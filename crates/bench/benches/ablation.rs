@@ -1,0 +1,37 @@
+//! Ablation bench: the solver's stability limit trades sub-step count
+//! (cost, measured here) against integration error (measured by
+//! `experiments ablation_substeps`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mercury::presets::{self, nodes};
+use mercury::solver::{Solver, SolverConfig};
+use std::hint::black_box;
+
+fn bench_substep_limits(c: &mut Criterion) {
+    let model = presets::validation_machine();
+    let mut group = c.benchmark_group("solver_tick_by_stability_limit");
+    for limit in [0.05, 0.1, 0.25, 0.5, 1.0] {
+        let cfg = SolverConfig { stability_limit: limit, ..SolverConfig::default() };
+        let mut solver = Solver::new(&model, cfg).unwrap();
+        solver.set_utilization(nodes::CPU, 0.7).unwrap();
+        let substeps = solver.substeps_per_tick();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{limit}_({substeps}_substeps)")),
+            &limit,
+            |b, _| {
+                b.iter(|| {
+                    solver.step();
+                    black_box(solver.time());
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_substep_limits
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Cluster-substrate kernels: LVS routing and one simulated second under
+//! the paper's peak load.
+
+use cluster_sim::{ClusterSim, Request, ServerConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn peak_arrivals() -> Vec<Request> {
+    // ≈ the §5 peak: 315 requests/s, 30% CGI.
+    (0..315)
+        .map(|i| if i % 10 < 3 { Request::dynamic() } else { Request::static_file() })
+        .collect()
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    c.bench_function("lvs_route_one_request", |b| {
+        let sim = ClusterSim::homogeneous(4, ServerConfig::default());
+        b.iter(|| {
+            // Route against a snapshot of four idle servers.
+            black_box(sim.lvs().route(std::array::from_fn::<_, 4, _>(|i| sim.server(i).clone()).as_slice()))
+        });
+    });
+
+    c.bench_function("cluster_tick_peak_load_4_servers", |b| {
+        let mut sim = ClusterSim::homogeneous(4, ServerConfig::default());
+        b.iter(|| black_box(sim.tick(peak_arrivals())));
+    });
+
+    c.bench_function("cluster_tick_idle_16_servers", |b| {
+        let mut sim = ClusterSim::homogeneous(16, ServerConfig::default());
+        b.iter(|| black_box(sim.tick(Vec::new())));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_cluster
+}
+criterion_main!(benches);

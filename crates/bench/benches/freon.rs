@@ -1,0 +1,56 @@
+//! Freon kernels: controller math, tempd observation, and one full
+//! closed-loop experiment second.
+
+use cluster_sim::{ClusterSim, ServerConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use freon::{
+    Experiment, ExperimentConfig, FreonConfig, FreonPolicy, PdController, Tempd, ThermalPolicy,
+};
+use std::hint::black_box;
+use workload_gen::{DiurnalProfile, RequestMix, WorkloadGenerator};
+
+fn bench_freon(c: &mut Criterion) {
+    c.bench_function("pd_controller_output", |b| {
+        let mut pd = PdController::paper();
+        let mut t = 67.5;
+        b.iter(|| {
+            t = 67.0 + (t * 1.01) % 3.0;
+            black_box(pd.output(t, 67.0))
+        });
+    });
+
+    c.bench_function("tempd_observe_two_components", |b| {
+        let cfg = FreonConfig::paper();
+        let mut tempd = Tempd::new(&cfg);
+        let temps =
+            vec![("cpu".to_string(), 68.0), ("disk_platters".to_string(), 55.0)];
+        b.iter(|| black_box(tempd.observe(&temps, &cfg)));
+    });
+
+    c.bench_function("experiment_second_closed_loop", |b| {
+        // Amortized cost of one engine second: cluster tick + monitord +
+        // Mercury tick + policy, measured over a 200 s run.
+        let model = mercury::presets::freon_cluster(4);
+        let mix = RequestMix::paper();
+        let peak = mix.rps_for_cpu_utilization(0.7, 4, 1000.0);
+        let profile = DiurnalProfile::new(200.0, peak * 0.5, peak);
+        let trace = WorkloadGenerator::new(profile, mix, 1).generate(200);
+        b.iter(|| {
+            let sim = ClusterSim::homogeneous(4, ServerConfig::default());
+            let config = ExperimentConfig { duration_s: 200, ..Default::default() };
+            let mut policy = FreonPolicy::new(FreonConfig::paper(), 4);
+            let log = Experiment::new(&model, sim, &trace, None, config)
+                .unwrap()
+                .run(&mut policy)
+                .unwrap();
+            black_box((log.len(), policy.name()))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_freon
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Input-language costs: lexing, parsing, and lowering the Table 1
+//! machine plus the Figure 1c room.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const SOURCE: &str = include_str!("../../../assets/server.mdl");
+
+fn bench_graphdl(c: &mut Criterion) {
+    c.bench_function("graphdl_lex_server_mdl", |b| {
+        b.iter(|| black_box(mercury_graphdl::lexer::lex(SOURCE).expect("lexes")));
+    });
+
+    c.bench_function("graphdl_parse_and_lower_server_mdl", |b| {
+        b.iter(|| black_box(mercury_graphdl::parse(SOURCE).expect("parses")));
+    });
+
+    c.bench_function("graphdl_emit_dot", |b| {
+        let library = mercury_graphdl::parse(SOURCE).expect("parses");
+        let machine = library.machine("server").expect("server defined");
+        b.iter(|| black_box(mercury_graphdl::dot::air_flow_to_dot(machine)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(60);
+    targets = bench_graphdl
+}
+criterion_main!(benches);

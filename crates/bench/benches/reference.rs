@@ -1,0 +1,48 @@
+//! M3 and the motivation: one CFD steady-state solve vs Mercury, plus
+//! the plant's per-second cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mercury::presets::{self, nodes};
+use mercury::solver::{Solver, SolverConfig};
+use reference_models::fluent2d::{CaseConfig, Component, Fluent2d};
+use reference_models::Plant;
+use std::hint::black_box;
+
+fn bench_reference(c: &mut Criterion) {
+    c.bench_function("fluent2d_coarse_steady_solve", |b| {
+        let mut case = Fluent2d::server_case(CaseConfig::coarse());
+        case.set_power(Component::Cpu, 19.0);
+        case.set_power(Component::Disk, 11.5);
+        case.set_power(Component::Psu, 40.0);
+        b.iter(|| black_box(case.solve(1e-5, 400_000).expect("converges")));
+    });
+
+    // The apples-to-apples comparison the paper motivates Mercury with:
+    // reaching one operating point with the CFD stand-in vs emulating a
+    // whole ten-minute transient.
+    c.bench_function("mercury_600s_transient", |b| {
+        let model = presets::validation_machine();
+        b.iter(|| {
+            let mut solver = Solver::new(&model, SolverConfig::default()).unwrap();
+            solver.set_utilization(nodes::CPU, 0.6).unwrap();
+            solver.step_for(600);
+            black_box(solver.temperature(nodes::CPU).unwrap())
+        });
+    });
+
+    c.bench_function("plant_step_1s", |b| {
+        let mut plant = Plant::pentium3_testbed(1);
+        plant.set_cpu_utilization(0.7);
+        b.iter(|| {
+            plant.step();
+            black_box(plant.time_s());
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_reference
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! M2: `readsensor` latency — the paper measures ≈ 300 µs per read over
+//! its UDP implementation, vs 500 µs for the real SCSI in-disk sensor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mercury::net::proto::{self, Reply, Request};
+use mercury::net::{Sensor, ServiceConfig, SolverService};
+use mercury::presets::{self, nodes};
+use std::hint::black_box;
+
+fn bench_sensor(c: &mut Criterion) {
+    let service =
+        SolverService::spawn_machine(&presets::validation_machine(), ServiceConfig::fast())
+            .expect("service spawns on loopback");
+    let sensor =
+        Sensor::open(service.local_addr(), "", nodes::DISK_SHELL).expect("sensor opens");
+
+    c.bench_function("readsensor_udp_loopback", |b| {
+        b.iter(|| black_box(sensor.read().expect("read succeeds")));
+    });
+
+    c.bench_function("proto_encode_utilization_update", |b| {
+        let update = Request::UtilizationUpdate {
+            machine: "machine1".into(),
+            utilizations: vec![
+                ("cpu".into(), 0.73),
+                ("disk_platters".into(), 0.21),
+                ("nic".into(), 0.05),
+            ],
+        };
+        b.iter(|| black_box(proto::encode_request(&update)));
+    });
+
+    c.bench_function("proto_decode_temperature_reply", |b| {
+        let encoded = proto::encode_reply(&Reply::Temperature { celsius: 35.25, time: 1234.0 });
+        b.iter(|| black_box(proto::decode_reply(&encoded).expect("decodes")));
+    });
+
+    sensor.close();
+    service.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_sensor
+}
+criterion_main!(benches);

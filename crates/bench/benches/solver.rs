@@ -1,0 +1,53 @@
+//! M1: the solver's per-iteration cost (the paper reports ≈ 100 µs per
+//! iteration on 2006 hardware for the Table 1 graphs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mercury::presets::{self, nodes};
+use mercury::solver::{ClusterSolver, Solver, SolverConfig};
+use std::hint::black_box;
+
+fn bench_solver(c: &mut Criterion) {
+    let model = presets::validation_machine();
+
+    c.bench_function("solver_tick_table1", |b| {
+        let mut solver = Solver::new(&model, SolverConfig::default()).unwrap();
+        solver.set_utilization(nodes::CPU, 0.7).unwrap();
+        solver.set_utilization(nodes::DISK_PLATTERS, 0.4).unwrap();
+        b.iter(|| {
+            solver.step();
+            black_box(solver.time());
+        });
+    });
+
+    c.bench_function("solver_tick_cluster4", |b| {
+        let cluster = presets::validation_cluster(4);
+        let mut solver = ClusterSolver::new(&cluster, SolverConfig::default()).unwrap();
+        for i in 1..=4 {
+            solver.set_utilization(&format!("machine{i}"), nodes::CPU, 0.7).unwrap();
+        }
+        b.iter(|| {
+            solver.step();
+            black_box(solver.time());
+        });
+    });
+
+    c.bench_function("solver_temperature_query", |b| {
+        let solver = Solver::new(&model, SolverConfig::default()).unwrap();
+        b.iter(|| black_box(solver.temperature(nodes::CPU_AIR).unwrap()));
+    });
+
+    c.bench_function("solver_steady_state_from_cold", |b| {
+        b.iter(|| {
+            let mut solver = Solver::new(&model, SolverConfig::default()).unwrap();
+            solver.set_utilization(nodes::CPU, 1.0).unwrap();
+            black_box(solver.run_to_steady_state(1e-4, 50_000));
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_solver
+}
+criterion_main!(benches);

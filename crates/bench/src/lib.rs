@@ -1,0 +1,8 @@
+//! Criterion benchmark crate for the Mercury & Freon reproduction.
+//!
+//! The benches live under `benches/`; see DESIGN.md section 4 (M1-M3)
+//! for which paper numbers each regenerates. Run with:
+//!
+//! ```text
+//! cargo bench -p bench
+//! ```

@@ -1,0 +1,287 @@
+//! The LVS model: weighted least-connections request distribution.
+//!
+//! The paper's load balancer is LVS, "a kernel module for Linux, with
+//! weighted least-connections request distribution" (§4.1): each request
+//! goes to the server with the smallest `connections / weight` ratio.
+//! Freon steers load by lowering a hot server's weight and by capping its
+//! number of concurrent connections; Freon-EC additionally quiesces
+//! servers entirely. This module reproduces exactly that control surface.
+
+use crate::server::Server;
+use serde::{Deserialize, Serialize};
+
+/// Why a request was (not) routed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouteOutcome {
+    /// Routed to the server with this index.
+    Routed(usize),
+    /// Every eligible server was at its connection cap (or none was
+    /// eligible): the request is lost, as in the paper's overload runs.
+    Dropped,
+}
+
+/// Per-server balancer state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Backend {
+    /// LVS weight; 0 removes the server from the rotation.
+    weight: f64,
+    /// Maximum concurrent connections admitted (`None` = unlimited).
+    connection_cap: Option<usize>,
+    /// Whether the balancer has been told to stop using this server
+    /// (Freon-EC's remove-from-rotation before shutdown).
+    quiesced: bool,
+}
+
+impl Default for Backend {
+    fn default() -> Self {
+        Backend { weight: 1.0, connection_cap: None, quiesced: false }
+    }
+}
+
+/// The weighted least-connections balancer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadBalancer {
+    backends: Vec<Backend>,
+}
+
+impl LoadBalancer {
+    /// Creates a balancer for `n` servers, all at weight 1, uncapped.
+    pub fn new(n: usize) -> Self {
+        LoadBalancer { backends: vec![Backend::default(); n] }
+    }
+
+    /// Number of servers the balancer knows about.
+    pub fn len(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// Whether the balancer has no servers.
+    pub fn is_empty(&self) -> bool {
+        self.backends.is_empty()
+    }
+
+    /// Sets a server's weight. Weight 0 removes it from the rotation
+    /// without disturbing existing connections. Negative or non-finite
+    /// weights are clamped to 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn set_weight(&mut self, server: usize, weight: f64) {
+        let w = if weight.is_finite() { weight.max(0.0) } else { 0.0 };
+        self.backends[server].weight = w;
+    }
+
+    /// A server's current weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn weight(&self, server: usize) -> f64 {
+        self.backends[server].weight
+    }
+
+    /// Caps the number of concurrent connections the balancer will allow
+    /// on a server — Freon's second lever: "limit the maximum allowed
+    /// number of concurrent requests to the hot server".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn set_connection_cap(&mut self, server: usize, cap: Option<usize>) {
+        self.backends[server].connection_cap = cap;
+    }
+
+    /// A server's connection cap, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn connection_cap(&self, server: usize) -> Option<usize> {
+        self.backends[server].connection_cap
+    }
+
+    /// Removes a server from the rotation (existing connections drain
+    /// naturally) or restores it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn set_quiesced(&mut self, server: usize, quiesced: bool) {
+        self.backends[server].quiesced = quiesced;
+    }
+
+    /// Whether a server is quiesced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn is_quiesced(&self, server: usize) -> bool {
+        self.backends[server].quiesced
+    }
+
+    /// Clears Freon's restrictions (weight back to 1, cap removed) — what
+    /// `admd` does when a server cools below its low thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn clear_restrictions(&mut self, server: usize) {
+        self.backends[server].weight = 1.0;
+        self.backends[server].connection_cap = None;
+    }
+
+    /// Routes one request: picks the eligible server minimizing
+    /// `connections / weight` (LVS's weighted least-connections), honours
+    /// connection caps, and reports a drop when no server can take it.
+    ///
+    /// Eligible means: accepting connections, not quiesced, weight > 0,
+    /// and below its cap.
+    pub fn route(&self, servers: &[Server]) -> RouteOutcome {
+        debug_assert_eq!(servers.len(), self.backends.len());
+        let mut best: Option<(usize, f64)> = None;
+        for (i, (server, backend)) in servers.iter().zip(&self.backends).enumerate() {
+            if backend.quiesced || backend.weight <= 0.0 || !server.accepts_connections() {
+                continue;
+            }
+            if server.connections() >= server.config().max_connections {
+                continue;
+            }
+            if let Some(cap) = backend.connection_cap {
+                if server.connections() >= cap {
+                    continue;
+                }
+            }
+            let ratio = server.connections() as f64 / backend.weight;
+            match best {
+                Some((_, best_ratio)) if ratio >= best_ratio => {}
+                _ => best = Some((i, ratio)),
+            }
+        }
+        match best {
+            Some((i, _)) => RouteOutcome::Routed(i),
+            None => RouteOutcome::Dropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Request;
+    use crate::server::{Server, ServerConfig};
+
+    fn servers(n: usize) -> Vec<Server> {
+        (0..n).map(|_| Server::new(ServerConfig::default())).collect()
+    }
+
+    fn route_and_admit(lvs: &LoadBalancer, servers: &mut [Server]) -> RouteOutcome {
+        let outcome = lvs.route(servers);
+        if let RouteOutcome::Routed(i) = outcome {
+            servers[i].admit(Request::static_file());
+        }
+        outcome
+    }
+
+    #[test]
+    fn equal_weights_balance_connection_counts() {
+        let lvs = LoadBalancer::new(4);
+        let mut s = servers(4);
+        for _ in 0..40 {
+            assert!(matches!(route_and_admit(&lvs, &mut s), RouteOutcome::Routed(_)));
+        }
+        for server in &s {
+            assert_eq!(server.connections(), 10);
+        }
+    }
+
+    #[test]
+    fn weights_shift_load_proportionally() {
+        let mut lvs = LoadBalancer::new(2);
+        lvs.set_weight(0, 3.0);
+        lvs.set_weight(1, 1.0);
+        let mut s = servers(2);
+        for _ in 0..40 {
+            route_and_admit(&lvs, &mut s);
+        }
+        // conns/weight equalizes: 30/3 == 10/1.
+        assert_eq!(s[0].connections(), 30);
+        assert_eq!(s[1].connections(), 10);
+    }
+
+    #[test]
+    fn zero_weight_removes_from_rotation() {
+        let mut lvs = LoadBalancer::new(2);
+        lvs.set_weight(0, 0.0);
+        let mut s = servers(2);
+        for _ in 0..10 {
+            assert_eq!(route_and_admit(&lvs, &mut s), RouteOutcome::Routed(1));
+        }
+        assert_eq!(s[0].connections(), 0);
+    }
+
+    #[test]
+    fn connection_caps_spill_to_other_servers_then_drop() {
+        let mut lvs = LoadBalancer::new(2);
+        lvs.set_connection_cap(0, Some(3));
+        lvs.set_connection_cap(1, Some(5));
+        let mut s = servers(2);
+        let mut dropped = 0;
+        for _ in 0..12 {
+            if route_and_admit(&lvs, &mut s) == RouteOutcome::Dropped {
+                dropped += 1;
+            }
+        }
+        assert_eq!(s[0].connections(), 3);
+        assert_eq!(s[1].connections(), 5);
+        assert_eq!(dropped, 4);
+    }
+
+    #[test]
+    fn quiesced_and_offline_servers_are_skipped() {
+        let mut lvs = LoadBalancer::new(3);
+        lvs.set_quiesced(0, true);
+        let mut s = servers(3);
+        s[1].shutdown_graceful(); // idle -> Off immediately
+        for _ in 0..6 {
+            assert_eq!(route_and_admit(&lvs, &mut s), RouteOutcome::Routed(2));
+        }
+        // All gone -> drops.
+        lvs.set_quiesced(2, true);
+        assert_eq!(lvs.route(&s), RouteOutcome::Dropped);
+        assert!(lvs.is_quiesced(2));
+    }
+
+    #[test]
+    fn clear_restrictions_resets_weight_and_cap() {
+        let mut lvs = LoadBalancer::new(1);
+        lvs.set_weight(0, 0.2);
+        lvs.set_connection_cap(0, Some(1));
+        lvs.clear_restrictions(0);
+        assert_eq!(lvs.weight(0), 1.0);
+        assert_eq!(lvs.connection_cap(0), None);
+    }
+
+    #[test]
+    fn bad_weights_are_clamped() {
+        let mut lvs = LoadBalancer::new(1);
+        lvs.set_weight(0, f64::NAN);
+        assert_eq!(lvs.weight(0), 0.0);
+        lvs.set_weight(0, -4.0);
+        assert_eq!(lvs.weight(0), 0.0);
+    }
+
+    #[test]
+    fn lower_weight_receives_fraction_of_load() {
+        // Freon's adjustment: weight w on a hot server vs 1.0 elsewhere
+        // steers roughly w/(w+...) of new connections away.
+        let mut lvs = LoadBalancer::new(2);
+        lvs.set_weight(0, 0.25);
+        let mut s = servers(2);
+        for _ in 0..50 {
+            route_and_admit(&lvs, &mut s);
+        }
+        assert_eq!(s[0].connections(), 10); // 10/0.25 == 40/1.0
+        assert_eq!(s[1].connections(), 40);
+    }
+}

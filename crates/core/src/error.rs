@@ -1,0 +1,147 @@
+//! Error types for the Mercury suite.
+
+use std::fmt;
+
+/// The error type returned by every fallible operation in this crate.
+///
+/// The variants are deliberately coarse: callers generally either report
+/// the error to the user or abort the experiment, so the priority is a
+/// precise, human-readable message rather than machine-matchable detail.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// A node name was referenced that does not exist in the model.
+    UnknownNode {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A machine name was referenced that does not exist in the cluster.
+    UnknownMachine {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// The model failed a structural or physical validation check.
+    InvalidModel {
+        /// Explanation of the failed check.
+        reason: String,
+    },
+    /// A numeric input was outside its legal range.
+    InvalidInput {
+        /// Explanation of the rejected value.
+        reason: String,
+    },
+    /// A fiddle script or command failed to parse.
+    FiddleParse {
+        /// Line number (1-based) of the offending statement.
+        line: usize,
+        /// Explanation of the parse failure.
+        reason: String,
+    },
+    /// A network datagram could not be encoded or decoded.
+    Protocol {
+        /// Explanation of the protocol violation.
+        reason: String,
+    },
+    /// The remote solver reported an error for a sensor or fiddle request.
+    Remote {
+        /// Message relayed from the solver service.
+        reason: String,
+    },
+    /// An underlying socket or file operation failed.
+    Io(std::io::Error),
+    /// A sensor read timed out waiting for the solver service.
+    Timeout,
+}
+
+impl Error {
+    /// Shorthand constructor for [`Error::InvalidModel`].
+    pub fn invalid_model(reason: impl Into<String>) -> Self {
+        Error::InvalidModel { reason: reason.into() }
+    }
+
+    /// Shorthand constructor for [`Error::InvalidInput`].
+    pub fn invalid_input(reason: impl Into<String>) -> Self {
+        Error::InvalidInput { reason: reason.into() }
+    }
+
+    /// Shorthand constructor for [`Error::UnknownNode`].
+    pub fn unknown_node(name: impl Into<String>) -> Self {
+        Error::UnknownNode { name: name.into() }
+    }
+
+    /// Shorthand constructor for [`Error::Protocol`].
+    pub fn protocol(reason: impl Into<String>) -> Self {
+        Error::Protocol { reason: reason.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownNode { name } => write!(f, "unknown node `{name}`"),
+            Error::UnknownMachine { name } => write!(f, "unknown machine `{name}`"),
+            Error::InvalidModel { reason } => write!(f, "invalid model: {reason}"),
+            Error::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+            Error::FiddleParse { line, reason } => {
+                write!(f, "fiddle script error at line {line}: {reason}")
+            }
+            Error::Protocol { reason } => write!(f, "protocol error: {reason}"),
+            Error::Remote { reason } => write!(f, "remote solver error: {reason}"),
+            Error::Io(err) => write!(f, "i/o error: {err}"),
+            Error::Timeout => write!(f, "timed out waiting for the solver service"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(err: std::io::Error) -> Self {
+        Error::Io(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(Error, &str)> = vec![
+            (Error::unknown_node("cpu"), "unknown node `cpu`"),
+            (
+                Error::UnknownMachine { name: "m9".into() },
+                "unknown machine `m9`",
+            ),
+            (
+                Error::invalid_model("air fractions exceed 1"),
+                "invalid model: air fractions exceed 1",
+            ),
+            (Error::Timeout, "timed out waiting for the solver service"),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        use std::error::Error as _;
+        let err = Error::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,64 @@
+//! The networked Mercury suite (§2.3, Figure 2).
+//!
+//! The paper runs Mercury as four cooperating pieces: the **solver** on a
+//! separate machine, **monitoring daemons** on each emulated server
+//! shipping 128-byte UDP utilization updates, a **sensor library** that
+//! applications call as if probing a local thermal sensor, and the
+//! **fiddle** tool injecting emergencies. This module implements all four
+//! over UDP:
+//!
+//! * [`service::SolverService`] — binds a UDP socket, advances the solver
+//!   at a configurable wall-clock pace, and answers sensor reads, fiddle
+//!   commands, and utilization updates;
+//! * [`sensor::Sensor`] — the `opensensor`/`readsensor`/`closesensor`
+//!   client (Figure 3);
+//! * [`monitord::Monitord`] — samples a [`monitord::UtilizationSource`]
+//!   (a replayed trace, a closure, or Linux `/proc`) and streams updates;
+//! * [`send_fiddle`] — one-shot fiddle delivery.
+//!
+//! The wire format lives in [`proto`]; it is a tiny length-prefixed binary
+//! encoding designed to keep a typical utilization update under the
+//! paper's 128 bytes.
+
+pub mod monitord;
+pub mod proto;
+pub mod sensor;
+pub mod service;
+
+pub use monitord::{FnSource, Monitord, PerfSource, ProcSource, TraceSource, UtilizationSource};
+pub use sensor::Sensor;
+pub use service::{ServiceConfig, SolverService};
+
+use crate::error::Error;
+use crate::fiddle::FiddleCommand;
+use std::net::{ToSocketAddrs, UdpSocket};
+use std::time::Duration;
+
+/// Sends a single fiddle command to a running solver service and waits
+/// for its acknowledgement.
+///
+/// # Errors
+///
+/// Returns [`Error::Io`] for socket failures, [`Error::Timeout`] when the
+/// service does not answer within a second, and [`Error::Remote`] when the
+/// service rejects the command (e.g. unknown machine or node).
+pub fn send_fiddle(addr: impl ToSocketAddrs, command: &FiddleCommand) -> Result<(), Error> {
+    let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+    socket.connect(addr)?;
+    socket.set_read_timeout(Some(Duration::from_secs(1)))?;
+    let msg = proto::Request::Fiddle { command: command.clone() };
+    socket.send(&proto::encode_request(&msg))?;
+    let mut buf = [0u8; proto::MAX_DATAGRAM];
+    let n = match socket.recv(&mut buf) {
+        Ok(n) => n,
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock || e.kind() == std::io::ErrorKind::TimedOut => {
+            return Err(Error::Timeout)
+        }
+        Err(e) => return Err(e.into()),
+    };
+    match proto::decode_reply(&buf[..n])? {
+        proto::Reply::Ack => Ok(()),
+        proto::Reply::Error { message } => Err(Error::Remote { reason: message }),
+        other => Err(Error::protocol(format!("unexpected reply {other:?} to a fiddle command"))),
+    }
+}

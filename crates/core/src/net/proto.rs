@@ -1,0 +1,380 @@
+//! Wire format of the Mercury UDP protocol.
+//!
+//! Datagrams are small, length-prefixed binary messages. Strings are
+//! `u8`-length-prefixed UTF-8 (node and machine names are short);
+//! utilizations travel as `f32` (plenty for a `[0, 1]` fraction) and
+//! temperatures as `f64`. A typical utilization update — machine name plus
+//! a handful of `(component, utilization)` pairs — fits comfortably inside
+//! the 128-byte updates the paper describes.
+
+use crate::error::Error;
+use crate::fiddle::FiddleCommand;
+use bytes::{Buf, BufMut};
+
+/// Largest datagram either side will send or accept.
+pub const MAX_DATAGRAM: usize = 1400;
+
+/// Client → service messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `monitord` reporting fresh component utilizations.
+    UtilizationUpdate {
+        /// Reporting machine.
+        machine: String,
+        /// `(component, utilization)` pairs.
+        utilizations: Vec<(String, f32)>,
+    },
+    /// Sensor read: the temperature of one node.
+    ReadTemperature {
+        /// Machine to query; empty string means "the only machine".
+        machine: String,
+        /// Node to query.
+        node: String,
+    },
+    /// A fiddle command to apply immediately.
+    Fiddle {
+        /// The command.
+        command: FiddleCommand,
+    },
+    /// List the node names of a machine (used by sensors to validate).
+    ListNodes {
+        /// Machine to query; empty string means "the only machine".
+        machine: String,
+    },
+    /// Liveness probe.
+    Ping,
+}
+
+/// Service → client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Answer to [`Request::ReadTemperature`].
+    Temperature {
+        /// Temperature in °C.
+        celsius: f64,
+        /// Emulated time of the reading, seconds.
+        time: f64,
+    },
+    /// Positive acknowledgement (updates, fiddle).
+    Ack,
+    /// Answer to [`Request::ListNodes`].
+    Nodes {
+        /// Node names.
+        names: Vec<String>,
+    },
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// The request failed on the service side.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+const TAG_UTIL: u8 = 0x01;
+const TAG_READ: u8 = 0x02;
+const TAG_FIDDLE: u8 = 0x03;
+const TAG_LIST: u8 = 0x04;
+const TAG_PING: u8 = 0x05;
+
+const TAG_TEMP: u8 = 0x81;
+const TAG_ACK: u8 = 0x82;
+const TAG_NODES: u8 = 0x83;
+const TAG_PONG: u8 = 0x84;
+const TAG_ERR: u8 = 0x85;
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    debug_assert!(bytes.len() <= u8::MAX as usize, "protocol strings are short names");
+    buf.put_u8(bytes.len().min(255) as u8);
+    buf.put_slice(&bytes[..bytes.len().min(255)]);
+}
+
+fn get_str(buf: &mut &[u8]) -> Result<String, Error> {
+    if buf.remaining() < 1 {
+        return Err(Error::protocol("truncated string length"));
+    }
+    let len = buf.get_u8() as usize;
+    if buf.remaining() < len {
+        return Err(Error::protocol("truncated string body"));
+    }
+    let s = std::str::from_utf8(&buf[..len])
+        .map_err(|_| Error::protocol("string is not valid UTF-8"))?
+        .to_string();
+    buf.advance(len);
+    Ok(s)
+}
+
+/// Encodes a request into a datagram.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(128);
+    match req {
+        Request::UtilizationUpdate { machine, utilizations } => {
+            buf.put_u8(TAG_UTIL);
+            put_str(&mut buf, machine);
+            buf.put_u8(utilizations.len().min(255) as u8);
+            for (component, util) in utilizations.iter().take(255) {
+                put_str(&mut buf, component);
+                buf.put_f32(*util);
+            }
+        }
+        Request::ReadTemperature { machine, node } => {
+            buf.put_u8(TAG_READ);
+            put_str(&mut buf, machine);
+            put_str(&mut buf, node);
+        }
+        Request::Fiddle { command } => {
+            buf.put_u8(TAG_FIDDLE);
+            // Fiddle commands reuse their script syntax on the wire: the
+            // service parses them with the same parser as script files,
+            // keeping the two front doors behaviourally identical.
+            let line = command.to_string();
+            let bytes = line.as_bytes();
+            buf.put_u16(bytes.len() as u16);
+            buf.put_slice(bytes);
+        }
+        Request::ListNodes { machine } => {
+            buf.put_u8(TAG_LIST);
+            put_str(&mut buf, machine);
+        }
+        Request::Ping => buf.put_u8(TAG_PING),
+    }
+    buf
+}
+
+/// Decodes a request datagram.
+///
+/// # Errors
+///
+/// Returns [`Error::Protocol`] for truncated, oversized, or malformed
+/// payloads.
+pub fn decode_request(mut data: &[u8]) -> Result<Request, Error> {
+    if data.len() > MAX_DATAGRAM {
+        return Err(Error::protocol("datagram exceeds MAX_DATAGRAM"));
+    }
+    if data.is_empty() {
+        return Err(Error::protocol("empty datagram"));
+    }
+    let buf = &mut data;
+    let tag = buf.get_u8();
+    match tag {
+        TAG_UTIL => {
+            let machine = get_str(buf)?;
+            if buf.remaining() < 1 {
+                return Err(Error::protocol("truncated utilization count"));
+            }
+            let n = buf.get_u8() as usize;
+            let mut utilizations = Vec::with_capacity(n);
+            for _ in 0..n {
+                let component = get_str(buf)?;
+                if buf.remaining() < 4 {
+                    return Err(Error::protocol("truncated utilization value"));
+                }
+                utilizations.push((component, buf.get_f32()));
+            }
+            Ok(Request::UtilizationUpdate { machine, utilizations })
+        }
+        TAG_READ => {
+            let machine = get_str(buf)?;
+            let node = get_str(buf)?;
+            Ok(Request::ReadTemperature { machine, node })
+        }
+        TAG_FIDDLE => {
+            if buf.remaining() < 2 {
+                return Err(Error::protocol("truncated fiddle length"));
+            }
+            let len = buf.get_u16() as usize;
+            if buf.remaining() < len {
+                return Err(Error::protocol("truncated fiddle body"));
+            }
+            let line = std::str::from_utf8(&buf[..len])
+                .map_err(|_| Error::protocol("fiddle command is not valid UTF-8"))?;
+            let script = crate::fiddle::FiddleScript::parse(line)
+                .map_err(|e| Error::protocol(format!("bad fiddle command on the wire: {e}")))?;
+            let command = script
+                .events()
+                .first()
+                .map(|e| e.command.clone())
+                .ok_or_else(|| Error::protocol("fiddle datagram carried no command"))?;
+            Ok(Request::Fiddle { command })
+        }
+        TAG_LIST => Ok(Request::ListNodes { machine: get_str(buf)? }),
+        TAG_PING => Ok(Request::Ping),
+        other => Err(Error::protocol(format!("unknown request tag {other:#04x}"))),
+    }
+}
+
+/// Encodes a reply into a datagram.
+pub fn encode_reply(reply: &Reply) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    match reply {
+        Reply::Temperature { celsius, time } => {
+            buf.put_u8(TAG_TEMP);
+            buf.put_f64(*celsius);
+            buf.put_f64(*time);
+        }
+        Reply::Ack => buf.put_u8(TAG_ACK),
+        Reply::Nodes { names } => {
+            buf.put_u8(TAG_NODES);
+            buf.put_u8(names.len().min(255) as u8);
+            for name in names.iter().take(255) {
+                put_str(&mut buf, name);
+            }
+        }
+        Reply::Pong => buf.put_u8(TAG_PONG),
+        Reply::Error { message } => {
+            buf.put_u8(TAG_ERR);
+            let bytes = message.as_bytes();
+            let len = bytes.len().min(512);
+            buf.put_u16(len as u16);
+            buf.put_slice(&bytes[..len]);
+        }
+    }
+    buf
+}
+
+/// Decodes a reply datagram.
+///
+/// # Errors
+///
+/// Returns [`Error::Protocol`] for truncated or malformed payloads.
+pub fn decode_reply(mut data: &[u8]) -> Result<Reply, Error> {
+    if data.is_empty() {
+        return Err(Error::protocol("empty datagram"));
+    }
+    let buf = &mut data;
+    let tag = buf.get_u8();
+    match tag {
+        TAG_TEMP => {
+            if buf.remaining() < 16 {
+                return Err(Error::protocol("truncated temperature reply"));
+            }
+            Ok(Reply::Temperature { celsius: buf.get_f64(), time: buf.get_f64() })
+        }
+        TAG_ACK => Ok(Reply::Ack),
+        TAG_NODES => {
+            if buf.remaining() < 1 {
+                return Err(Error::protocol("truncated node count"));
+            }
+            let n = buf.get_u8() as usize;
+            let mut names = Vec::with_capacity(n);
+            for _ in 0..n {
+                names.push(get_str(buf)?);
+            }
+            Ok(Reply::Nodes { names })
+        }
+        TAG_PONG => Ok(Reply::Pong),
+        TAG_ERR => {
+            if buf.remaining() < 2 {
+                return Err(Error::protocol("truncated error length"));
+            }
+            let len = buf.get_u16() as usize;
+            if buf.remaining() < len {
+                return Err(Error::protocol("truncated error body"));
+            }
+            let message = std::str::from_utf8(&buf[..len])
+                .map_err(|_| Error::protocol("error message is not valid UTF-8"))?
+                .to_string();
+            Ok(Reply::Error { message })
+        }
+        other => Err(Error::protocol(format!("unknown reply tag {other:#04x}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let encoded = encode_request(&req);
+        let decoded = decode_request(&encoded).unwrap();
+        assert_eq!(decoded, req);
+    }
+
+    fn round_trip_reply(reply: Reply) {
+        let encoded = encode_reply(&reply);
+        let decoded = decode_reply(&encoded).unwrap();
+        assert_eq!(decoded, reply);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Ping);
+        round_trip_request(Request::ReadTemperature {
+            machine: "machine1".into(),
+            node: "disk_shell".into(),
+        });
+        round_trip_request(Request::ListNodes { machine: String::new() });
+        round_trip_request(Request::UtilizationUpdate {
+            machine: "machine1".into(),
+            utilizations: vec![("cpu".into(), 0.75), ("disk_platters".into(), 0.1)],
+        });
+        round_trip_request(Request::Fiddle {
+            command: FiddleCommand::Temperature {
+                machine: "machine1".into(),
+                node: "inlet".into(),
+                celsius: 38.6,
+            },
+        });
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        round_trip_reply(Reply::Ack);
+        round_trip_reply(Reply::Pong);
+        round_trip_reply(Reply::Temperature { celsius: 35.25, time: 1234.0 });
+        round_trip_reply(Reply::Nodes { names: vec!["cpu".into(), "cpu_air".into()] });
+        round_trip_reply(Reply::Error { message: "unknown node `gpu`".into() });
+    }
+
+    #[test]
+    fn utilization_update_fits_the_papers_128_bytes() {
+        // The paper's monitord sends 128-byte UDP messages; a realistic
+        // update (machine name + CPU/disk/NIC utilizations) must fit.
+        let req = Request::UtilizationUpdate {
+            machine: "machine1".into(),
+            utilizations: vec![
+                ("cpu".into(), 0.73),
+                ("disk_platters".into(), 0.21),
+                ("nic".into(), 0.05),
+            ],
+        };
+        let bytes = encode_request(&req);
+        assert!(bytes.len() <= 128, "update was {} bytes", bytes.len());
+    }
+
+    #[test]
+    fn truncated_datagrams_error_cleanly() {
+        for req in [
+            Request::ReadTemperature { machine: "m".into(), node: "cpu".into() },
+            Request::UtilizationUpdate {
+                machine: "m".into(),
+                utilizations: vec![("cpu".into(), 0.5)],
+            },
+        ] {
+            let full = encode_request(&req);
+            for cut in 1..full.len() {
+                // Every strict prefix must fail without panicking.
+                let _ = decode_request(&full[..cut]);
+            }
+        }
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_request(&[0xFF]).is_err());
+        assert!(decode_reply(&[]).is_err());
+        assert!(decode_reply(&[0x00]).is_err());
+    }
+
+    #[test]
+    fn fiddle_wire_format_rejects_garbage() {
+        let mut buf = vec![0x03u8];
+        buf.extend_from_slice(&(5u16).to_be_bytes());
+        buf.extend_from_slice(b"junk!");
+        assert!(decode_request(&buf).is_err());
+    }
+
+    #[test]
+    fn oversized_datagram_rejected() {
+        let data = vec![0x05u8; MAX_DATAGRAM + 1];
+        assert!(decode_request(&data).is_err());
+    }
+}

@@ -1,0 +1,229 @@
+//! The sensor library: `opensensor` / `readsensor` / `closesensor`
+//! (§2.3, Figure 3).
+//!
+//! Applications and systems software treat Mercury as a regular, local
+//! sensor device. The paper's C interface
+//!
+//! ```c
+//! int sd;
+//! float temp;
+//! sd = opensensor("solvermachine", 8367, "disk");
+//! temp = readsensor(sd);
+//! closesensor(sd);
+//! ```
+//!
+//! maps onto [`Sensor::open`], [`Sensor::read`], and [`Sensor::close`]:
+//!
+//! ```no_run
+//! use mercury::net::Sensor;
+//!
+//! # fn main() -> Result<(), mercury::Error> {
+//! let sensor = Sensor::open(("solvermachine", 8367), "", "disk_shell")?;
+//! let temp = sensor.read()?;
+//! sensor.close();
+//! # Ok(())
+//! # }
+//! ```
+
+use super::proto::{self, Reply, Request};
+use crate::error::Error;
+use crate::units::Celsius;
+use std::net::{ToSocketAddrs, UdpSocket};
+use std::time::Duration;
+
+/// Default number of times a read is retried on timeout before giving up.
+/// UDP may drop datagrams even on loopback under load; a couple of
+/// retries make reads reliable without hiding a dead solver for long.
+const READ_RETRIES: u32 = 3;
+
+/// An open emulated thermal sensor: one `(machine, node)` pair on one
+/// solver service.
+///
+/// Opening validates the node against the service, so a typo fails at
+/// [`Sensor::open`] rather than on every read — the same behaviour as
+/// opening a missing device file.
+#[derive(Debug)]
+pub struct Sensor {
+    socket: UdpSocket,
+    machine: String,
+    node: String,
+    timeout: Duration,
+}
+
+impl Sensor {
+    /// Opens a sensor for `node` on `machine` (empty machine name means
+    /// "the only machine" — convenient for single-server solvers, like the
+    /// paper's `opensensor("solvermachine", 8367, "disk")`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] for socket failures, [`Error::Timeout`] when
+    /// the service does not answer, and [`Error::Remote`] when the machine
+    /// or node does not exist on the service.
+    pub fn open(
+        addr: impl ToSocketAddrs,
+        machine: impl Into<String>,
+        node: impl Into<String>,
+    ) -> Result<Self, Error> {
+        let machine = machine.into();
+        let node = node.into();
+        let socket = UdpSocket::bind(("0.0.0.0", 0))?;
+        socket.connect(addr)?;
+        let timeout = Duration::from_millis(500);
+        socket.set_read_timeout(Some(timeout))?;
+        let sensor = Sensor { socket, machine, node, timeout };
+        // Validate eagerly: one read proves machine+node exist.
+        sensor.read()?;
+        Ok(sensor)
+    }
+
+    /// The machine this sensor is attached to (may be empty for "the only
+    /// machine").
+    pub fn machine(&self) -> &str {
+        &self.machine
+    }
+
+    /// The node this sensor reports.
+    pub fn node(&self) -> &str {
+        &self.node
+    }
+
+    /// Changes the per-read timeout (default 500 ms — comfortably above
+    /// the ~300 µs reads measured in the paper, but short enough to notice
+    /// a dead solver quickly).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the socket rejects the timeout.
+    pub fn set_timeout(&mut self, timeout: Duration) -> Result<(), Error> {
+        self.timeout = timeout;
+        self.socket.set_read_timeout(Some(timeout))?;
+        Ok(())
+    }
+
+    /// Reads the current emulated temperature — the paper's
+    /// `readsensor()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Timeout`] after exhausting retries,
+    /// [`Error::Remote`] when the service rejects the query, and
+    /// [`Error::Io`]/[`Error::Protocol`] for transport problems.
+    pub fn read(&self) -> Result<Celsius, Error> {
+        Ok(self.read_with_time()?.0)
+    }
+
+    /// Reads the temperature together with the solver's emulated
+    /// timestamp, for callers correlating readings across sensors.
+    ///
+    /// # Errors
+    ///
+    /// As [`Sensor::read`].
+    pub fn read_with_time(&self) -> Result<(Celsius, f64), Error> {
+        let request = Request::ReadTemperature {
+            machine: self.machine.clone(),
+            node: self.node.clone(),
+        };
+        let encoded = proto::encode_request(&request);
+        let mut buf = [0u8; proto::MAX_DATAGRAM];
+        for _attempt in 0..READ_RETRIES {
+            self.socket.send(&encoded)?;
+            match self.socket.recv(&mut buf) {
+                Ok(n) => match proto::decode_reply(&buf[..n])? {
+                    Reply::Temperature { celsius, time } => return Ok((Celsius(celsius), time)),
+                    Reply::Error { message } => return Err(Error::Remote { reason: message }),
+                    other => {
+                        return Err(Error::protocol(format!(
+                            "unexpected reply {other:?} to a sensor read"
+                        )))
+                    }
+                },
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Err(Error::Timeout)
+    }
+
+    /// Closes the sensor — the paper's `closesensor()`. Dropping the
+    /// sensor has the same effect; the explicit method exists so call
+    /// sites can mirror the paper's three-call pattern.
+    pub fn close(self) {
+        drop(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::service::{ServiceConfig, SolverService};
+    use crate::presets;
+
+    #[test]
+    fn figure_3_pattern_open_read_close() {
+        let service =
+            SolverService::spawn_machine(&presets::validation_machine(), ServiceConfig::fast())
+                .unwrap();
+        let sensor = Sensor::open(service.local_addr(), "", "disk_shell").unwrap();
+        assert_eq!(sensor.node(), "disk_shell");
+        assert_eq!(sensor.machine(), "");
+        let temp = sensor.read().unwrap();
+        assert!(temp.0 > 0.0 && temp.0 < 100.0);
+        sensor.close();
+        service.shutdown();
+    }
+
+    #[test]
+    fn open_validates_the_node_eagerly() {
+        let service =
+            SolverService::spawn_machine(&presets::validation_machine(), ServiceConfig::fast())
+                .unwrap();
+        let err = Sensor::open(service.local_addr(), "", "gpu").unwrap_err();
+        assert!(matches!(err, Error::Remote { .. }), "got {err}");
+        let err = Sensor::open(service.local_addr(), "machine9", "cpu").unwrap_err();
+        assert!(matches!(err, Error::Remote { .. }), "got {err}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn read_reports_advancing_time() {
+        let service =
+            SolverService::spawn_machine(&presets::validation_machine(), ServiceConfig::fast())
+                .unwrap();
+        let sensor = Sensor::open(service.local_addr(), "", "cpu").unwrap();
+        let (_, t1) = sensor.read_with_time().unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        let (_, t2) = sensor.read_with_time().unwrap();
+        assert!(t2 > t1, "time went {t1} -> {t2}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn read_times_out_against_a_dead_address() {
+        // Bind a socket that never answers.
+        let dead = UdpSocket::bind("127.0.0.1:0").unwrap();
+        match Sensor::open(dead.local_addr().unwrap(), "", "cpu") {
+            Err(Error::Timeout) => {}
+            Err(other) => panic!("expected timeout, got {other}"),
+            Ok(_) => panic!("open should not succeed against a silent peer"),
+        }
+    }
+
+    #[test]
+    fn per_machine_sensors_on_a_cluster() {
+        let cluster = presets::validation_cluster(2);
+        let service = SolverService::spawn_cluster(&cluster, ServiceConfig::fast()).unwrap();
+        let s1 = Sensor::open(service.local_addr(), "machine1", "cpu").unwrap();
+        let s2 = Sensor::open(service.local_addr(), "machine2", "disk_shell").unwrap();
+        assert!(s1.read().is_ok());
+        assert!(s2.read().is_ok());
+        s1.close();
+        s2.close();
+        service.shutdown();
+    }
+}

@@ -1,0 +1,410 @@
+//! The solver service: Mercury's long-running network front end.
+
+use super::proto::{self, Reply, Request};
+use crate::error::Error;
+use crate::model::{ClusterModel, MachineModel};
+use crate::solver::{ClusterSolver, Solver, SolverConfig};
+use crate::units::Utilization;
+use parking_lot::Mutex;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The emulated system behind a service: one machine or a whole room.
+#[derive(Debug)]
+pub enum EmulatedSystem {
+    /// A single machine.
+    Single(Solver),
+    /// A cluster with an inter-machine air graph.
+    Cluster(ClusterSolver),
+}
+
+impl EmulatedSystem {
+    fn step(&mut self) {
+        match self {
+            EmulatedSystem::Single(s) => s.step(),
+            EmulatedSystem::Cluster(c) => c.step(),
+        }
+    }
+
+    fn time(&self) -> f64 {
+        match self {
+            EmulatedSystem::Single(s) => s.time().0,
+            EmulatedSystem::Cluster(c) => c.time().0,
+        }
+    }
+
+    fn resolve_machine(&mut self, machine: &str) -> Result<&mut Solver, Error> {
+        match self {
+            EmulatedSystem::Single(s) => {
+                if machine.is_empty() || machine == s.machine_name() {
+                    Ok(s)
+                } else {
+                    Err(Error::UnknownMachine { name: machine.to_string() })
+                }
+            }
+            EmulatedSystem::Cluster(c) => {
+                if machine.is_empty() {
+                    if c.is_empty() {
+                        Err(Error::UnknownMachine { name: String::new() })
+                    } else {
+                        Ok(c.machine_at_mut(0))
+                    }
+                } else {
+                    c.machine_mut(machine)
+                }
+            }
+        }
+    }
+
+    fn handle(&mut self, request: Request) -> Reply {
+        let result = self.try_handle(request);
+        match result {
+            Ok(reply) => reply,
+            Err(e) => Reply::Error { message: e.to_string() },
+        }
+    }
+
+    fn try_handle(&mut self, request: Request) -> Result<Reply, Error> {
+        match request {
+            Request::Ping => Ok(Reply::Pong),
+            Request::ReadTemperature { machine, node } => {
+                let time = self.time();
+                let solver = self.resolve_machine(&machine)?;
+                let t = solver.temperature(&node)?;
+                Ok(Reply::Temperature { celsius: t.0, time })
+            }
+            Request::ListNodes { machine } => {
+                let solver = self.resolve_machine(&machine)?;
+                Ok(Reply::Nodes { names: solver.node_names().map(str::to_string).collect() })
+            }
+            Request::UtilizationUpdate { machine, utilizations } => {
+                let solver = self.resolve_machine(&machine)?;
+                for (component, util) in utilizations {
+                    solver.set_utilization(&component, Utilization::new(util as f64))?;
+                }
+                Ok(Reply::Ack)
+            }
+            Request::Fiddle { command } => {
+                match self {
+                    EmulatedSystem::Single(s) => command.apply(s)?,
+                    EmulatedSystem::Cluster(c) => command.apply_to_cluster(c)?,
+                }
+                Ok(Reply::Ack)
+            }
+        }
+    }
+}
+
+/// Configuration of a [`SolverService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Address to bind the UDP socket to. Use port 0 to pick a free port
+    /// (the actual address is available from
+    /// [`SolverService::local_addr`]). The paper's example uses port 8367.
+    pub bind: SocketAddr,
+    /// Wall-clock duration of one emulated tick. One second matches the
+    /// paper's real-time deployment; tests and experiments shrink it to
+    /// fast-forward.
+    pub tick_wall: Duration,
+    /// Solver configuration (tick length in *emulated* seconds, etc.).
+    pub solver: SolverConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            bind: "127.0.0.1:0".parse().expect("valid literal address"),
+            tick_wall: Duration::from_secs(1),
+            solver: SolverConfig::default(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A configuration suited to tests: loopback, free port, 1 ms per
+    /// emulated second (a 2000 s experiment runs in 2 s of wall time).
+    pub fn fast() -> Self {
+        ServiceConfig { tick_wall: Duration::from_millis(1), ..ServiceConfig::default() }
+    }
+}
+
+/// A running solver service: background ticker + UDP request handler.
+///
+/// ```no_run
+/// use mercury::net::{Sensor, ServiceConfig, SolverService};
+/// use mercury::presets;
+///
+/// # fn main() -> Result<(), mercury::Error> {
+/// let service = SolverService::spawn_machine(&presets::validation_machine(), ServiceConfig::default())?;
+/// let sensor = Sensor::open(service.local_addr(), "", "disk_shell")?;
+/// let temp = sensor.read()?;
+/// println!("disk is at {temp}");
+/// sensor.close();
+/// service.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SolverService {
+    addr: SocketAddr,
+    system: Arc<Mutex<EmulatedSystem>>,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl SolverService {
+    /// Spawns a service emulating a single machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the socket cannot be bound and solver
+    /// construction errors for an unusable configuration.
+    pub fn spawn_machine(model: &MachineModel, cfg: ServiceConfig) -> Result<Self, Error> {
+        let solver = Solver::new(model, cfg.solver.clone())?;
+        Self::spawn(EmulatedSystem::Single(solver), cfg)
+    }
+
+    /// Spawns a service emulating a cluster.
+    ///
+    /// # Errors
+    ///
+    /// As [`SolverService::spawn_machine`].
+    pub fn spawn_cluster(model: &ClusterModel, cfg: ServiceConfig) -> Result<Self, Error> {
+        let solver = ClusterSolver::new(model, cfg.solver.clone())?;
+        Self::spawn(EmulatedSystem::Cluster(solver), cfg)
+    }
+
+    fn spawn(system: EmulatedSystem, cfg: ServiceConfig) -> Result<Self, Error> {
+        let socket = UdpSocket::bind(cfg.bind)?;
+        socket.set_read_timeout(Some(Duration::from_millis(20)))?;
+        let addr = socket.local_addr()?;
+        let system = Arc::new(Mutex::new(system));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        // Ticker thread: advances emulated time at the configured pace.
+        let ticker = {
+            let system = Arc::clone(&system);
+            let stop = Arc::clone(&stop);
+            let pace = cfg.tick_wall;
+            std::thread::Builder::new()
+                .name("mercury-ticker".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(pace);
+                        system.lock().step();
+                    }
+                })
+                .map_err(Error::Io)?
+        };
+
+        // Request thread: answers datagrams until shutdown.
+        let handler = {
+            let system = Arc::clone(&system);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("mercury-udp".into())
+                .spawn(move || {
+                    let mut buf = [0u8; proto::MAX_DATAGRAM];
+                    while !stop.load(Ordering::Relaxed) {
+                        let (n, peer) = match socket.recv_from(&mut buf) {
+                            Ok(ok) => ok,
+                            Err(e)
+                                if e.kind() == std::io::ErrorKind::WouldBlock
+                                    || e.kind() == std::io::ErrorKind::TimedOut =>
+                            {
+                                continue
+                            }
+                            Err(_) => break,
+                        };
+                        let reply = match proto::decode_request(&buf[..n]) {
+                            Ok(request) => system.lock().handle(request),
+                            Err(e) => Reply::Error { message: e.to_string() },
+                        };
+                        let _ = socket.send_to(&proto::encode_reply(&reply), peer);
+                    }
+                })
+                .map_err(Error::Io)?
+        };
+
+        Ok(SolverService { addr, system, stop, threads: vec![ticker, handler] })
+    }
+
+    /// The address the service is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Runs a closure with exclusive access to the emulated system —
+    /// useful for tests and for in-process experiment harnesses that also
+    /// expose the system over the network.
+    pub fn with_system<R>(&self, f: impl FnOnce(&mut EmulatedSystem) -> R) -> R {
+        f(&mut self.system.lock())
+    }
+
+    /// Stops the background threads and waits for them to finish.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for SolverService {
+    fn drop(&mut self) {
+        // Both threads poll the stop flag with short timeouts, so joining
+        // here never blocks longer than one poll interval.
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fiddle::FiddleCommand;
+    use crate::presets;
+
+    fn send(addr: SocketAddr, req: &Request) -> Reply {
+        let socket = UdpSocket::bind("127.0.0.1:0").unwrap();
+        socket.connect(addr).unwrap();
+        socket.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        socket.send(&proto::encode_request(req)).unwrap();
+        let mut buf = [0u8; proto::MAX_DATAGRAM];
+        let n = socket.recv(&mut buf).unwrap();
+        proto::decode_reply(&buf[..n]).unwrap()
+    }
+
+    #[test]
+    fn ping_pong() {
+        let service =
+            SolverService::spawn_machine(&presets::validation_machine(), ServiceConfig::fast())
+                .unwrap();
+        assert_eq!(send(service.local_addr(), &Request::Ping), Reply::Pong);
+        service.shutdown();
+    }
+
+    #[test]
+    fn read_temperature_and_list_nodes() {
+        let service =
+            SolverService::spawn_machine(&presets::validation_machine(), ServiceConfig::fast())
+                .unwrap();
+        let addr = service.local_addr();
+        let reply = send(
+            addr,
+            &Request::ReadTemperature { machine: String::new(), node: "cpu".into() },
+        );
+        match reply {
+            Reply::Temperature { celsius, .. } => assert!(celsius > 0.0),
+            other => panic!("unexpected {other:?}"),
+        }
+        match send(addr, &Request::ListNodes { machine: String::new() }) {
+            Reply::Nodes { names } => {
+                assert!(names.contains(&"cpu".to_string()));
+                assert!(names.contains(&"disk_shell".to_string()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match send(addr, &Request::ReadTemperature { machine: String::new(), node: "gpu".into() }) {
+            Reply::Error { message } => assert!(message.contains("gpu")),
+            other => panic!("unexpected {other:?}"),
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn utilization_updates_heat_the_cpu() {
+        let service =
+            SolverService::spawn_machine(&presets::validation_machine(), ServiceConfig::fast())
+                .unwrap();
+        let addr = service.local_addr();
+        let reply = send(
+            addr,
+            &Request::UtilizationUpdate {
+                machine: String::new(),
+                utilizations: vec![("cpu".into(), 1.0)],
+            },
+        );
+        assert_eq!(reply, Reply::Ack);
+        // Give the fast ticker a few hundred emulated seconds.
+        std::thread::sleep(Duration::from_millis(400));
+        match send(addr, &Request::ReadTemperature { machine: String::new(), node: "cpu".into() }) {
+            Reply::Temperature { celsius, time } => {
+                assert!(time > 100.0, "only {time}s elapsed");
+                assert!(celsius > 30.0, "cpu only reached {celsius}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn fiddle_over_the_wire() {
+        let model = presets::validation_machine_named("machine1");
+        let service = SolverService::spawn_machine(&model, ServiceConfig::fast()).unwrap();
+        let addr = service.local_addr();
+        super::super::send_fiddle(
+            addr,
+            &FiddleCommand::Temperature {
+                machine: "machine1".into(),
+                node: "inlet".into(),
+                celsius: 38.6,
+            },
+        )
+        .unwrap();
+        match send(addr, &Request::ReadTemperature { machine: String::new(), node: "inlet".into() })
+        {
+            Reply::Temperature { celsius, .. } => assert!((celsius - 38.6).abs() < 1e-9),
+            other => panic!("unexpected {other:?}"),
+        }
+        // A fiddle against an unknown machine is a remote error.
+        let err = super::super::send_fiddle(
+            addr,
+            &FiddleCommand::FanSpeed { machine: "ghost".into(), cfm: 1.0 },
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::Remote { .. }));
+        service.shutdown();
+    }
+
+    #[test]
+    fn cluster_service_routes_by_machine_name() {
+        let cluster = presets::validation_cluster(2);
+        let service = SolverService::spawn_cluster(&cluster, ServiceConfig::fast()).unwrap();
+        let addr = service.local_addr();
+        for machine in ["machine1", "machine2"] {
+            match send(
+                addr,
+                &Request::ReadTemperature { machine: machine.into(), node: "cpu".into() },
+            ) {
+                Reply::Temperature { .. } => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        match send(addr, &Request::ReadTemperature { machine: "machine9".into(), node: "cpu".into() })
+        {
+            Reply::Error { message } => assert!(message.contains("machine9")),
+            other => panic!("unexpected {other:?}"),
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn with_system_gives_exclusive_access() {
+        let service =
+            SolverService::spawn_machine(&presets::validation_machine(), ServiceConfig::fast())
+                .unwrap();
+        let name = service.with_system(|sys| match sys {
+            EmulatedSystem::Single(s) => s.machine_name().to_string(),
+            EmulatedSystem::Cluster(_) => unreachable!(),
+        });
+        assert_eq!(name, "server");
+        service.shutdown();
+    }
+}

@@ -1,0 +1,380 @@
+//! The cluster solver: per-machine solvers coupled by the inter-machine
+//! air-flow graph.
+
+use super::machine::{Solver, SolverConfig};
+use crate::error::Error;
+use crate::model::{ClusterEndpoint, ClusterModel};
+use crate::units::{Celsius, Seconds, Utilization};
+use std::collections::HashMap;
+
+/// Emulates the temperatures of an entire machine room (Figure 1c).
+///
+/// Each tick, the cluster solver:
+/// 1. resolves every junction temperature and machine-inlet temperature as
+///    the fraction-weighted mix of its sources (AC supplies, machine
+///    exhausts from the previous tick, upstream junctions);
+/// 2. pushes each inlet temperature into the corresponding machine solver
+///    (unless `fiddle` has forced that inlet); and
+/// 3. steps every machine solver by one tick.
+///
+/// ```
+/// use mercury::presets;
+/// use mercury::solver::{ClusterSolver, SolverConfig};
+///
+/// # fn main() -> Result<(), mercury::Error> {
+/// let cluster = presets::validation_cluster(4);
+/// let mut solver = ClusterSolver::new(&cluster, SolverConfig::default())?;
+/// solver.machine_mut("machine1")?.set_utilization("cpu", 0.9)?;
+/// solver.step_for(300);
+/// let t = solver.temperature("machine1", "cpu")?;
+/// assert!(t.0 > 21.6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ClusterSolver {
+    machines: Vec<Solver>,
+    by_name: HashMap<String, usize>,
+    supplies: HashMap<String, Celsius>,
+    junctions: HashMap<String, Celsius>,
+    edges: Vec<crate::model::ClusterEdge>,
+    /// Machine inlets whose temperature fiddle has taken over.
+    forced_inlets: Vec<Option<Celsius>>,
+    time: Seconds,
+    dt: Seconds,
+}
+
+impl ClusterSolver {
+    /// Creates a solver for the given cluster model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Solver::new`] errors for any machine.
+    pub fn new(model: &ClusterModel, cfg: SolverConfig) -> Result<Self, Error> {
+        let mut machines = Vec::with_capacity(model.machines().len());
+        let mut by_name = HashMap::new();
+        for (i, m) in model.machines().iter().enumerate() {
+            machines.push(Solver::new(m, cfg.clone())?);
+            by_name.insert(m.name().to_string(), i);
+        }
+        let supplies = model
+            .supplies()
+            .iter()
+            .map(|s| (s.name.clone(), s.temperature))
+            .collect();
+        let initial = cfg.initial_temperature.unwrap_or_else(|| {
+            model
+                .supplies()
+                .first()
+                .map(|s| s.temperature)
+                .unwrap_or(Celsius(21.6))
+        });
+        let junctions = model
+            .junctions()
+            .iter()
+            .map(|j| (j.clone(), initial))
+            .collect();
+        let n = machines.len();
+        Ok(ClusterSolver {
+            machines,
+            by_name,
+            supplies,
+            junctions,
+            edges: model.edges().to_vec(),
+            forced_inlets: vec![None; n],
+            time: Seconds(0.0),
+            dt: cfg.dt,
+        })
+    }
+
+    /// Number of machines in the cluster.
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Whether the cluster has no machines.
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// Emulated time elapsed since construction.
+    pub fn time(&self) -> Seconds {
+        self.time
+    }
+
+    /// Machine names in index order.
+    pub fn machine_names(&self) -> Vec<&str> {
+        self.machines.iter().map(Solver::machine_name).collect()
+    }
+
+    fn machine_index(&self, name: &str) -> Result<usize, Error> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| Error::UnknownMachine { name: name.to_string() })
+    }
+
+    /// Immutable access to one machine's solver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownMachine`] for unknown names.
+    pub fn machine(&self, name: &str) -> Result<&Solver, Error> {
+        Ok(&self.machines[self.machine_index(name)?])
+    }
+
+    /// Mutable access to one machine's solver (to set utilizations, fan
+    /// speeds, etc.).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownMachine`] for unknown names.
+    pub fn machine_mut(&mut self, name: &str) -> Result<&mut Solver, Error> {
+        let i = self.machine_index(name)?;
+        Ok(&mut self.machines[i])
+    }
+
+    /// Machine solver by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn machine_at(&self, index: usize) -> &Solver {
+        &self.machines[index]
+    }
+
+    /// Mutable machine solver by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn machine_at_mut(&mut self, index: usize) -> &mut Solver {
+        &mut self.machines[index]
+    }
+
+    /// Shorthand for `machine(name)?.temperature(node)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownMachine`] or [`Error::UnknownNode`].
+    pub fn temperature(&self, machine: &str, node: &str) -> Result<Celsius, Error> {
+        self.machine(machine)?.temperature(node)
+    }
+
+    /// Shorthand for `machine_mut(name)?.set_utilization(component, u)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownMachine`], [`Error::UnknownNode`], or
+    /// [`Error::InvalidInput`].
+    pub fn set_utilization(
+        &mut self,
+        machine: &str,
+        component: &str,
+        utilization: impl Into<Utilization>,
+    ) -> Result<(), Error> {
+        self.machine_mut(machine)?.set_utilization(component, utilization)
+    }
+
+    /// Changes an AC supply's output temperature (e.g. to emulate a failed
+    /// or degraded air conditioner for a whole region of the room).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownNode`] for unknown supply names.
+    pub fn set_supply_temperature(&mut self, supply: &str, t: Celsius) -> Result<(), Error> {
+        match self.supplies.get_mut(supply) {
+            Some(v) => {
+                *v = t;
+                Ok(())
+            }
+            None => Err(Error::unknown_node(supply)),
+        }
+    }
+
+    /// Pins one machine's inlet to a fixed temperature, overriding the
+    /// inter-machine graph (fiddle's "blocked inlet / broken AC duct").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownMachine`] for unknown names.
+    pub fn force_inlet(&mut self, machine: &str, t: Celsius) -> Result<(), Error> {
+        let i = self.machine_index(machine)?;
+        self.forced_inlets[i] = Some(t);
+        self.machines[i].set_inlet_temperature(t);
+        Ok(())
+    }
+
+    /// Releases a pinned inlet back to the inter-machine graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownMachine`] for unknown names.
+    pub fn release_inlet(&mut self, machine: &str) -> Result<(), Error> {
+        let i = self.machine_index(machine)?;
+        self.forced_inlets[i] = None;
+        Ok(())
+    }
+
+    /// Current temperature of a room junction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownNode`] for unknown junction names.
+    pub fn junction_temperature(&self, name: &str) -> Result<Celsius, Error> {
+        self.junctions
+            .get(name)
+            .copied()
+            .ok_or_else(|| Error::unknown_node(name))
+    }
+
+    fn endpoint_temperatures(&self) -> HashMap<ClusterEndpoint, Celsius> {
+        let mut map = HashMap::new();
+        for (name, t) in &self.supplies {
+            map.insert(ClusterEndpoint::Supply(name.clone()), *t);
+        }
+        for (name, t) in &self.junctions {
+            map.insert(ClusterEndpoint::Junction(name.clone()), *t);
+        }
+        for (i, m) in self.machines.iter().enumerate() {
+            map.insert(ClusterEndpoint::MachineExhaust(i), machine_exhaust_temperature(m));
+        }
+        map
+    }
+
+    /// Advances the whole room by one tick.
+    pub fn step(&mut self) {
+        let mut temps = self.endpoint_temperatures();
+
+        // Junctions first (they may feed inlets through recirculation
+        // edges). A single pass is enough because junction-to-junction
+        // chains are rare; values settle within a tick or two either way.
+        let junction_names: Vec<String> = self.junctions.keys().cloned().collect();
+        for name in junction_names {
+            let ep = ClusterEndpoint::Junction(name.clone());
+            if let Some(t) = crate::model::cluster::mixed_inlet_temperature(&self.edges, &ep, &temps)
+            {
+                self.junctions.insert(name.clone(), t);
+                temps.insert(ep, t);
+            }
+        }
+
+        // Machine inlets.
+        for i in 0..self.machines.len() {
+            if let Some(forced) = self.forced_inlets[i] {
+                self.machines[i].set_inlet_temperature(forced);
+                continue;
+            }
+            let ep = ClusterEndpoint::MachineInlet(i);
+            if let Some(t) = crate::model::cluster::mixed_inlet_temperature(&self.edges, &ep, &temps)
+            {
+                self.machines[i].set_inlet_temperature(t);
+            }
+        }
+
+        for m in &mut self.machines {
+            m.step();
+        }
+        self.time.0 += self.dt.0;
+    }
+
+    /// Advances the room by `ticks` ticks.
+    pub fn step_for(&mut self, ticks: usize) {
+        for _ in 0..ticks {
+            self.step();
+        }
+    }
+}
+
+/// The temperature the inter-machine graph observes at a machine's
+/// exhaust: the mean over its exhaust air regions, or its inlet
+/// temperature if it has none.
+fn machine_exhaust_temperature(solver: &Solver) -> Celsius {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for (name, t) in solver.temperatures() {
+        if solver.is_exhaust(&name) {
+            sum += t.0;
+            count += 1;
+        }
+    }
+    if count > 0 {
+        Celsius(sum / count as f64)
+    } else {
+        solver.inlet_temperature()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use crate::solver::SolverConfig;
+
+    #[test]
+    fn cluster_of_four_steps_and_heats() {
+        let cluster = presets::validation_cluster(4);
+        let mut s = ClusterSolver::new(&cluster, SolverConfig::default()).unwrap();
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        for name in ["machine1", "machine2", "machine3", "machine4"] {
+            s.set_utilization(name, "cpu", 1.0).unwrap();
+        }
+        s.step_for(1200);
+        for name in s.machine_names().iter().map(|s| s.to_string()).collect::<Vec<_>>() {
+            let t = s.temperature(&name, "cpu").unwrap();
+            assert!(t.0 > 40.0, "{name} cpu stayed at {t}");
+        }
+        // The shared exhaust junction warms above the supply.
+        let exhaust = s.junction_temperature("cluster_exhaust").unwrap();
+        assert!(exhaust.0 > 21.0, "cluster exhaust at {exhaust}");
+    }
+
+    #[test]
+    fn forced_inlet_overrides_the_room_graph() {
+        let cluster = presets::validation_cluster(2);
+        let mut s = ClusterSolver::new(&cluster, SolverConfig::default()).unwrap();
+        s.force_inlet("machine1", Celsius(38.6)).unwrap();
+        s.step_for(5);
+        let t1 = s.machine("machine1").unwrap().inlet_temperature();
+        let t2 = s.machine("machine2").unwrap().inlet_temperature();
+        assert_eq!(t1, Celsius(38.6));
+        assert!((t2.0 - 21.6).abs() < 0.5);
+        s.release_inlet("machine1").unwrap();
+        s.step_for(5);
+        let t1 = s.machine("machine1").unwrap().inlet_temperature();
+        assert!((t1.0 - 21.6).abs() < 0.5, "inlet did not recover: {t1}");
+    }
+
+    #[test]
+    fn supply_temperature_reaches_all_machines() {
+        let cluster = presets::validation_cluster(2);
+        let mut s = ClusterSolver::new(&cluster, SolverConfig::default()).unwrap();
+        s.set_supply_temperature("ac", Celsius(30.0)).unwrap();
+        s.step_for(3);
+        for name in ["machine1", "machine2"] {
+            let t = s.machine(name).unwrap().inlet_temperature();
+            assert!((t.0 - 30.0).abs() < 1e-9, "{name} inlet at {t}");
+        }
+        assert!(s.set_supply_temperature("ghost", Celsius(1.0)).is_err());
+    }
+
+    #[test]
+    fn unknown_machine_errors() {
+        let cluster = presets::validation_cluster(1);
+        let mut s = ClusterSolver::new(&cluster, SolverConfig::default()).unwrap();
+        assert!(matches!(s.machine("nope"), Err(Error::UnknownMachine { .. })));
+        assert!(s.machine_mut("nope").is_err());
+        assert!(s.force_inlet("nope", Celsius(1.0)).is_err());
+        assert!(s.temperature("nope", "cpu").is_err());
+        assert!(s.junction_temperature("nope").is_err());
+    }
+
+    #[test]
+    fn time_advances_with_ticks() {
+        let cluster = presets::validation_cluster(1);
+        let mut s = ClusterSolver::new(&cluster, SolverConfig::default()).unwrap();
+        s.step_for(42);
+        assert!((s.time().0 - 42.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,208 @@
+//! Air-flow propagation and stability analysis.
+
+use crate::model::{AirEdge, AirKind, MachineModel, NodeId};
+use crate::units::{JoulesPerKelvin, KilogramsPerSecond, Seconds, WattsPerKelvin};
+
+/// Propagates the fan's mass flow through the directed air-flow graph.
+///
+/// Every inlet sources the full fan mass flow (a machine with several
+/// inlets models several fans). Processing nodes in topological order,
+/// each node's inflow is the sum of its incoming edge flows and each
+/// outgoing edge carries `inflow × fraction`.
+///
+/// Returns `(edge_flows, node_inflows)` indexed like
+/// [`MachineModel::air_edges`] and [`MachineModel::nodes`] respectively.
+pub fn air_flows(
+    nodes_len: usize,
+    air_edges: &[AirEdge],
+    topo: &[NodeId],
+    inlets: &[NodeId],
+    fan_mass_flow: KilogramsPerSecond,
+) -> (Vec<KilogramsPerSecond>, Vec<KilogramsPerSecond>) {
+    let mut edge_flow = vec![KilogramsPerSecond(0.0); air_edges.len()];
+    let mut inflow = vec![KilogramsPerSecond(0.0); nodes_len];
+    let mut available = vec![0.0_f64; nodes_len];
+    for inlet in inlets {
+        available[inlet.index()] = fan_mass_flow.0;
+    }
+    for node in topo {
+        let out = available[node.index()];
+        if out <= 0.0 {
+            continue;
+        }
+        for (i, e) in air_edges.iter().enumerate() {
+            if e.from == *node {
+                let f = out * e.fraction;
+                edge_flow[i] = KilogramsPerSecond(f);
+                inflow[e.to.index()].0 += f;
+                available[e.to.index()] += f;
+            }
+        }
+    }
+    (edge_flow, inflow)
+}
+
+/// Computes the number of sub-steps needed for one tick of `dt` seconds to
+/// stay within the explicit-Euler stability limit.
+///
+/// Two families of rates are considered, in 1/s:
+/// - conductive: `k / (m·c)` on each side of every heat edge, summed per
+///   node (a node touched by several strong edges is faster than any single
+///   edge suggests), and
+/// - advective: `ṁ_in / m_air` for every air region.
+///
+/// The sub-step count is `ceil(dt · max_rate / limit)`, at least 1.
+pub fn required_substeps(
+    dt: Seconds,
+    limit: f64,
+    heat_edges: &[(usize, usize, WattsPerKelvin)],
+    capacity: &[JoulesPerKelvin],
+    inflow: &[KilogramsPerSecond],
+    air_mass: &[Option<f64>],
+) -> usize {
+    let n = capacity.len();
+    let mut conductive = vec![0.0_f64; n];
+    for (a, b, k) in heat_edges {
+        conductive[*a] += k.0 / capacity[*a].0;
+        conductive[*b] += k.0 / capacity[*b].0;
+    }
+    let mut max_rate = conductive.iter().copied().fold(0.0_f64, f64::max);
+    for (i, mass) in air_mass.iter().enumerate() {
+        if let Some(m) = mass {
+            if *m > 0.0 {
+                max_rate = max_rate.max(inflow[i].0 / m);
+            }
+        }
+    }
+    let steps = (dt.0 * max_rate / limit).ceil();
+    (steps as usize).max(1)
+}
+
+/// Convenience: compute flows straight from a model at its nominal fan
+/// speed. Used by tests and by the solver at construction.
+pub fn model_air_flows(
+    model: &MachineModel,
+) -> (Vec<KilogramsPerSecond>, Vec<KilogramsPerSecond>) {
+    let inlets: Vec<NodeId> = model
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.is_air_kind(AirKind::Inlet))
+        .map(|(i, _)| NodeId(i as u32))
+        .collect();
+    air_flows(
+        model.nodes().len(),
+        model.air_edges(),
+        model.topo_order(),
+        &inlets,
+        model.fan().mass_flow(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MachineModel;
+
+    /// Build the paper's intra-machine air-flow graph (Figure 1b) with the
+    /// Table 1 fractions and check flow conservation.
+    fn paper_airflow_model() -> MachineModel {
+        let mut b = MachineModel::builder("m");
+        b.inlet("inlet");
+        for name in [
+            "disk_air",
+            "ps_air",
+            "void_air",
+            "disk_air_down",
+            "ps_air_down",
+            "cpu_air",
+            "cpu_air_down",
+        ] {
+            b.air(name);
+        }
+        b.exhaust("exhaust");
+        b.air_edge("inlet", "disk_air", 0.4).unwrap();
+        b.air_edge("inlet", "ps_air", 0.5).unwrap();
+        b.air_edge("inlet", "void_air", 0.1).unwrap();
+        b.air_edge("disk_air", "disk_air_down", 1.0).unwrap();
+        b.air_edge("disk_air_down", "void_air", 1.0).unwrap();
+        b.air_edge("ps_air", "ps_air_down", 1.0).unwrap();
+        b.air_edge("ps_air_down", "void_air", 0.85).unwrap();
+        b.air_edge("ps_air_down", "cpu_air", 0.15).unwrap();
+        b.air_edge("void_air", "cpu_air", 0.05).unwrap();
+        b.air_edge("void_air", "exhaust", 0.95).unwrap();
+        b.air_edge("cpu_air", "cpu_air_down", 1.0).unwrap();
+        b.air_edge("cpu_air_down", "exhaust", 1.0).unwrap();
+        b.fan_cfm(38.6);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn flows_are_conserved_through_the_paper_graph() {
+        let model = paper_airflow_model();
+        let (_, inflow) = model_air_flows(&model);
+        let fan = model.fan().mass_flow().0;
+        let at = |name: &str| inflow[model.node_id(name).unwrap().index()].0;
+
+        assert!((at("disk_air") - 0.4 * fan).abs() < 1e-12);
+        assert!((at("ps_air") - 0.5 * fan).abs() < 1e-12);
+        // void = 0.1 (inlet) + 0.4 (disk chain) + 0.5*0.85 (ps chain)
+        let void_expect = (0.1 + 0.4 + 0.5 * 0.85) * fan;
+        assert!((at("void_air") - void_expect).abs() < 1e-12);
+        // cpu air = ps_down 0.15 of 0.5 + void 0.05 of its inflow
+        let cpu_expect = 0.5 * 0.15 * fan + 0.05 * void_expect;
+        assert!((at("cpu_air") - cpu_expect).abs() < 1e-12);
+        // everything reaches the exhaust: 0.95*void + cpu chain
+        let exhaust_expect = 0.95 * void_expect + cpu_expect;
+        assert!((at("exhaust") - exhaust_expect).abs() < 1e-12);
+        // total conservation: exhaust receives the full fan flow
+        assert!((exhaust_expect - fan).abs() < 1e-12);
+    }
+
+    #[test]
+    fn substeps_scale_with_the_fastest_coupling() {
+        // One slow edge: 0.75 W/K on 135 J/K -> rate ~0.0055/s -> 1 substep.
+        let caps = vec![JoulesPerKelvin(135.296), JoulesPerKelvin(135.296)];
+        let edges = vec![(0usize, 1usize, WattsPerKelvin(0.75))];
+        let inflow = vec![KilogramsPerSecond(0.0); 2];
+        let air = vec![None, None];
+        assert_eq!(required_substeps(Seconds(1.0), 0.25, &edges, &caps, &inflow, &air), 1);
+
+        // A fast edge: 10 W/K on a 6 J/K air region -> rate 1.67/s -> 7 substeps.
+        let caps = vec![JoulesPerKelvin(894.0), JoulesPerKelvin(6.0)];
+        let edges = vec![(0usize, 1usize, WattsPerKelvin(10.0))];
+        let n = required_substeps(Seconds(1.0), 0.25, &edges, &caps, &inflow, &air);
+        assert_eq!(n, (10.0_f64 / 6.0 / 0.25).ceil() as usize);
+    }
+
+    #[test]
+    fn substeps_account_for_advection() {
+        let caps = vec![JoulesPerKelvin(6.0)];
+        let inflow = vec![KilogramsPerSecond(0.02)];
+        let air = vec![Some(0.006)];
+        // advective rate = 0.02/0.006 = 3.33/s -> ceil(3.33/0.25) = 14.
+        let n = required_substeps(Seconds(1.0), 0.25, &[], &caps, &inflow, &air);
+        assert_eq!(n, 14);
+    }
+
+    #[test]
+    fn substeps_never_below_one() {
+        let caps = vec![JoulesPerKelvin(1000.0)];
+        let n = required_substeps(Seconds(1.0), 0.25, &[], &caps, &[KilogramsPerSecond(0.0)], &[None]);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn rates_sum_over_multiple_edges_on_one_node() {
+        // Two edges of 1 W/K each into a 4 J/K node: combined rate 0.5/s.
+        let caps = vec![JoulesPerKelvin(4.0), JoulesPerKelvin(1e9), JoulesPerKelvin(1e9)];
+        let edges = vec![
+            (0usize, 1usize, WattsPerKelvin(1.0)),
+            (0usize, 2usize, WattsPerKelvin(1.0)),
+        ];
+        let inflow = vec![KilogramsPerSecond(0.0); 3];
+        let air = vec![None; 3];
+        let n = required_substeps(Seconds(1.0), 0.25, &edges, &caps, &inflow, &air);
+        assert_eq!(n, 2); // 0.5 / 0.25
+    }
+}

@@ -1,0 +1,821 @@
+//! The per-machine solver.
+
+use super::flows::{air_flows, required_substeps};
+use crate::error::Error;
+use crate::model::{AirKind, MachineModel, NodeId, PowerModel};
+use crate::units::{
+    Celsius, CubicMetersPerSecond, Joules, JoulesPerKelvin, KilogramsPerSecond, Seconds,
+    Utilization, WattsPerKelvin,
+};
+use std::collections::HashMap;
+
+/// Configuration of a [`Solver`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverConfig {
+    /// Length of one tick. The paper computes "one iteration per second by
+    /// default".
+    pub dt: Seconds,
+    /// Maximum fraction of a node's distance-to-equilibrium exchanged per
+    /// internal sub-step (explicit-Euler stability margin). Smaller is more
+    /// accurate but costs proportionally more sub-steps per tick.
+    pub stability_limit: f64,
+    /// Starting temperature for every node. `None` starts everything at
+    /// the machine's inlet temperature — the paper's "user-defined initial
+    /// air temperature".
+    pub initial_temperature: Option<Celsius>,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig { dt: Seconds(1.0), stability_limit: 0.25, initial_temperature: None }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum NodeRt {
+    Component { power: PowerModel, monitored: bool },
+    Air { kind: AirKind, mass_kg: f64 },
+}
+
+/// Emulates the temperatures of one machine.
+///
+/// A `Solver` copies all constants out of a [`MachineModel`] at
+/// construction, so runtime changes (fiddle commands, fan-speed changes)
+/// never affect the source model. Temperatures are queried by node name,
+/// exactly like probing a hardware sensor:
+///
+/// ```
+/// use mercury::presets;
+/// use mercury::solver::{Solver, SolverConfig};
+///
+/// # fn main() -> Result<(), mercury::Error> {
+/// let mut solver = Solver::new(&presets::validation_machine(), SolverConfig::default())?;
+/// solver.set_utilization("cpu", 1.0)?;
+/// solver.step_for(600);
+/// println!("CPU air after 10 min: {}", solver.temperature("cpu_air")?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Solver {
+    machine: String,
+    names: Vec<String>,
+    by_name: HashMap<String, usize>,
+    kind: Vec<NodeRt>,
+    capacity: Vec<JoulesPerKelvin>,
+    utilization: Vec<Utilization>,
+    temp: Vec<Celsius>,
+    forced: Vec<Option<Celsius>>,
+    heat_edges: Vec<(usize, usize, WattsPerKelvin)>,
+    air_edges: Vec<(usize, usize, f64)>,
+    topo: Vec<usize>,
+    inlets: Vec<usize>,
+    fan: CubicMetersPerSecond,
+    inlet_temperature: Celsius,
+    edge_flow: Vec<KilogramsPerSecond>,
+    inflow: Vec<KilogramsPerSecond>,
+    substeps: usize,
+    dirty: bool,
+    cfg: SolverConfig,
+    time: Seconds,
+    generated_last_tick: Joules,
+}
+
+impl Solver {
+    /// Creates a solver for the given model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if the configuration is unusable
+    /// (non-positive `dt` or stability limit outside `(0, 1]`).
+    pub fn new(model: &MachineModel, cfg: SolverConfig) -> Result<Self, Error> {
+        if !(cfg.dt.0 > 0.0) || !cfg.dt.is_finite() {
+            return Err(Error::invalid_input(format!("solver dt {} must be positive", cfg.dt)));
+        }
+        if !(cfg.stability_limit > 0.0 && cfg.stability_limit <= 1.0) {
+            return Err(Error::invalid_input(format!(
+                "stability limit {} outside (0, 1]",
+                cfg.stability_limit
+            )));
+        }
+        let n = model.nodes().len();
+        let mut names = Vec::with_capacity(n);
+        let mut kind = Vec::with_capacity(n);
+        let mut capacity = Vec::with_capacity(n);
+        for node in model.nodes() {
+            names.push(node.name().to_string());
+            capacity.push(node.capacity());
+            kind.push(match node {
+                crate::model::NodeSpec::Component(c) => {
+                    NodeRt::Component { power: c.power.clone(), monitored: c.monitored }
+                }
+                crate::model::NodeSpec::Air(a) => NodeRt::Air { kind: a.kind, mass_kg: a.mass_kg },
+            });
+        }
+        let by_name = names.iter().enumerate().map(|(i, s)| (s.clone(), i)).collect();
+        let initial = cfg.initial_temperature.unwrap_or(model.inlet_temperature());
+        let inlets: Vec<usize> = model.inlets().iter().map(|id| id.index()).collect();
+        let mut solver = Solver {
+            machine: model.name().to_string(),
+            names,
+            by_name,
+            kind,
+            capacity,
+            utilization: vec![Utilization::IDLE; n],
+            temp: vec![initial; n],
+            forced: vec![None; n],
+            heat_edges: model
+                .heat_edges()
+                .iter()
+                .map(|e| (e.a.index(), e.b.index(), e.k))
+                .collect(),
+            air_edges: model
+                .air_edges()
+                .iter()
+                .map(|e| (e.from.index(), e.to.index(), e.fraction))
+                .collect(),
+            topo: model.topo_order().iter().map(|id| id.index()).collect(),
+            inlets,
+            fan: model.fan(),
+            inlet_temperature: model.inlet_temperature(),
+            edge_flow: Vec::new(),
+            inflow: Vec::new(),
+            substeps: 1,
+            dirty: true,
+            cfg,
+            time: Seconds(0.0),
+            generated_last_tick: Joules(0.0),
+        };
+        solver.refresh();
+        // Inlets start at the boundary temperature even when
+        // `initial_temperature` differs.
+        for &i in &solver.inlets.clone() {
+            solver.temp[i] = solver.inlet_temperature;
+        }
+        Ok(solver)
+    }
+
+    /// The machine name this solver emulates.
+    pub fn machine_name(&self) -> &str {
+        &self.machine
+    }
+
+    /// Emulated time elapsed since construction.
+    pub fn time(&self) -> Seconds {
+        self.time
+    }
+
+    /// Length of one tick.
+    pub fn dt(&self) -> Seconds {
+        self.cfg.dt
+    }
+
+    /// All node names, in model order.
+    pub fn node_names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
+    }
+
+    /// Names of the monitored components (the ones that accept
+    /// [`Solver::set_utilization`]).
+    pub fn monitored_components(&self) -> Vec<&str> {
+        self.kind
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| matches!(k, NodeRt::Component { monitored: true, .. }))
+            .map(|(i, _)| self.names[i].as_str())
+            .collect()
+    }
+
+    /// Whether the named node is an inlet air region.
+    pub fn is_inlet(&self, name: &str) -> bool {
+        self.by_name
+            .get(name)
+            .map(|&i| matches!(self.kind[i], NodeRt::Air { kind: AirKind::Inlet, .. }))
+            .unwrap_or(false)
+    }
+
+    /// Whether the named node is an exhaust air region.
+    pub fn is_exhaust(&self, name: &str) -> bool {
+        self.by_name
+            .get(name)
+            .map(|&i| matches!(self.kind[i], NodeRt::Air { kind: AirKind::Exhaust, .. }))
+            .unwrap_or(false)
+    }
+
+    /// Sub-steps the solver currently performs per tick (diagnostic).
+    pub fn substeps_per_tick(&mut self) -> usize {
+        if self.dirty {
+            self.refresh();
+        }
+        self.substeps
+    }
+
+    /// Heat generated by all components during the most recent tick.
+    pub fn generated_last_tick(&self) -> Joules {
+        self.generated_last_tick
+    }
+
+    /// Total heat content relative to 0 °C, `Σ m·c·T` — used by
+    /// conservation tests.
+    pub fn heat_content(&self) -> Joules {
+        Joules(
+            self.temp
+                .iter()
+                .zip(&self.capacity)
+                .map(|(t, c)| t.0 * c.0)
+                .sum(),
+        )
+    }
+
+    fn index(&self, name: &str) -> Result<usize, Error> {
+        self.by_name.get(name).copied().ok_or_else(|| Error::unknown_node(name))
+    }
+
+    /// The current temperature of a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownNode`] for names not in the model.
+    pub fn temperature(&self, name: &str) -> Result<Celsius, Error> {
+        Ok(self.temp[self.index(name)?])
+    }
+
+    /// Snapshot of every node's temperature, in model order.
+    pub fn temperatures(&self) -> Vec<(String, Celsius)> {
+        self.names.iter().cloned().zip(self.temp.iter().copied()).collect()
+    }
+
+    /// Sets the utilization of a monitored component.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownNode`] for unknown names and
+    /// [`Error::InvalidInput`] when the node is not a monitored component.
+    pub fn set_utilization(&mut self, name: &str, utilization: impl Into<Utilization>) -> Result<(), Error> {
+        let i = self.index(name)?;
+        match &self.kind[i] {
+            NodeRt::Component { monitored: true, .. } => {
+                self.utilization[i] = utilization.into();
+                Ok(())
+            }
+            NodeRt::Component { monitored: false, .. } => Err(Error::invalid_input(format!(
+                "component `{name}` is not monitored; its power draw is fixed"
+            ))),
+            NodeRt::Air { .. } => {
+                Err(Error::invalid_input(format!("`{name}` is an air region, not a component")))
+            }
+        }
+    }
+
+    /// The current utilization of a component.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownNode`] for unknown names.
+    pub fn utilization(&self, name: &str) -> Result<Utilization, Error> {
+        Ok(self.utilization[self.index(name)?])
+    }
+
+    /// Sets the inlet boundary temperature (all inlet nodes).
+    pub fn set_inlet_temperature(&mut self, t: Celsius) {
+        self.inlet_temperature = t;
+        for &i in &self.inlets {
+            if self.forced[i].is_none() {
+                self.temp[i] = t;
+            }
+        }
+    }
+
+    /// The current inlet boundary temperature.
+    pub fn inlet_temperature(&self) -> Celsius {
+        self.inlet_temperature
+    }
+
+    /// Pins a node at a temperature until [`Solver::release_temperature`].
+    /// This is how `fiddle` simulates e.g. a blocked inlet or a failed fan
+    /// sensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownNode`] for unknown names.
+    pub fn force_temperature(&mut self, name: &str, t: Celsius) -> Result<(), Error> {
+        let i = self.index(name)?;
+        self.forced[i] = Some(t);
+        self.temp[i] = t;
+        Ok(())
+    }
+
+    /// Releases a pinned node; it resumes evolving from the pinned value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownNode`] for unknown names.
+    pub fn release_temperature(&mut self, name: &str) -> Result<(), Error> {
+        let i = self.index(name)?;
+        self.forced[i] = None;
+        if self.inlets.contains(&i) {
+            self.temp[i] = self.inlet_temperature;
+        }
+        Ok(())
+    }
+
+    /// Overwrites a node's temperature once (it keeps evolving afterwards).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownNode`] for unknown names.
+    pub fn set_temperature(&mut self, name: &str, t: Celsius) -> Result<(), Error> {
+        let i = self.index(name)?;
+        self.temp[i] = t;
+        Ok(())
+    }
+
+    /// Changes the fan's volumetric flow (multi-speed fans, §2.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] for non-positive flows.
+    pub fn set_fan_cfm(&mut self, cfm: f64) -> Result<(), Error> {
+        if !(cfm > 0.0) || !cfm.is_finite() {
+            return Err(Error::invalid_input(format!("fan flow {cfm} cfm must be positive")));
+        }
+        self.fan = CubicMetersPerSecond::from_cfm(cfm);
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// The fan's current volumetric flow.
+    pub fn fan(&self) -> CubicMetersPerSecond {
+        self.fan
+    }
+
+    /// Changes the heat-transfer coefficient of an existing heat edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownNode`] if either endpoint is unknown,
+    /// [`Error::InvalidInput`] if the edge does not exist or `k` is not
+    /// positive.
+    pub fn set_heat_k(&mut self, a: &str, b: &str, k: f64) -> Result<(), Error> {
+        if !(k > 0.0) || !k.is_finite() {
+            return Err(Error::invalid_input(format!("heat k {k} must be positive")));
+        }
+        let ia = self.index(a)?;
+        let ib = self.index(b)?;
+        for edge in &mut self.heat_edges {
+            if (edge.0 == ia && edge.1 == ib) || (edge.0 == ib && edge.1 == ia) {
+                edge.2 = WattsPerKelvin(k);
+                self.dirty = true;
+                return Ok(());
+            }
+        }
+        Err(Error::invalid_input(format!("no heat edge between `{a}` and `{b}`")))
+    }
+
+    /// Changes the fraction of an existing air edge. The fractions leaving
+    /// the upstream node must still sum to at most 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownNode`] / [`Error::InvalidInput`] analogous
+    /// to [`Solver::set_heat_k`].
+    pub fn set_air_fraction(&mut self, from: &str, to: &str, fraction: f64) -> Result<(), Error> {
+        if !(fraction > 0.0 && fraction <= 1.0) {
+            return Err(Error::invalid_input(format!("air fraction {fraction} outside (0, 1]")));
+        }
+        let ifrom = self.index(from)?;
+        let ito = self.index(to)?;
+        let mut found = false;
+        let mut total = 0.0;
+        for edge in &mut self.air_edges {
+            if edge.0 == ifrom {
+                if edge.1 == ito {
+                    found = true;
+                    total += fraction;
+                } else {
+                    total += edge.2;
+                }
+            }
+        }
+        if !found {
+            return Err(Error::invalid_input(format!("no air edge `{from}` -> `{to}`")));
+        }
+        if total > 1.0 + 1e-9 {
+            return Err(Error::invalid_input(format!(
+                "air fractions leaving `{from}` would sum to {total:.4} > 1"
+            )));
+        }
+        for edge in &mut self.air_edges {
+            if edge.0 == ifrom && edge.1 == ito {
+                edge.2 = fraction;
+            }
+        }
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Replaces a component's power model (emulating e.g. voltage/frequency
+    /// scaling or clock throttling, §7).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownNode`] for unknown names,
+    /// [`Error::InvalidInput`] for air regions or invalid models.
+    pub fn set_power_model(&mut self, name: &str, model: PowerModel) -> Result<(), Error> {
+        model.validate().map_err(Error::invalid_input)?;
+        let i = self.index(name)?;
+        match &mut self.kind[i] {
+            NodeRt::Component { power, .. } => {
+                *power = model;
+                Ok(())
+            }
+            NodeRt::Air { .. } => {
+                Err(Error::invalid_input(format!("`{name}` is an air region, not a component")))
+            }
+        }
+    }
+
+    fn refresh(&mut self) {
+        let air_edges: Vec<crate::model::AirEdge> = self
+            .air_edges
+            .iter()
+            .map(|(f, t, fr)| crate::model::AirEdge {
+                from: NodeId(*f as u32),
+                to: NodeId(*t as u32),
+                fraction: *fr,
+            })
+            .collect();
+        let topo: Vec<NodeId> = self.topo.iter().map(|&i| NodeId(i as u32)).collect();
+        let inlets: Vec<NodeId> = self.inlets.iter().map(|&i| NodeId(i as u32)).collect();
+        let (edge_flow, inflow) = air_flows(
+            self.names.len(),
+            &air_edges,
+            &topo,
+            &inlets,
+            self.fan.mass_flow(),
+        );
+        self.edge_flow = edge_flow;
+        self.inflow = inflow;
+        let air_mass: Vec<Option<f64>> = self
+            .kind
+            .iter()
+            .map(|k| match k {
+                NodeRt::Air { mass_kg, .. } => Some(*mass_kg),
+                NodeRt::Component { .. } => None,
+            })
+            .collect();
+        self.substeps = required_substeps(
+            self.cfg.dt,
+            self.cfg.stability_limit,
+            &self.heat_edges,
+            &self.capacity,
+            &self.inflow,
+            &air_mass,
+        );
+        self.dirty = false;
+    }
+
+    fn is_fixed(&self, i: usize) -> bool {
+        self.forced[i].is_some()
+            || matches!(self.kind[i], NodeRt::Air { kind: AirKind::Inlet, .. })
+    }
+
+    /// Advances the emulation by one tick of [`SolverConfig::dt`] seconds.
+    pub fn step(&mut self) {
+        if self.dirty {
+            self.refresh();
+        }
+        let nsub = self.substeps;
+        let dts = Seconds(self.cfg.dt.0 / nsub as f64);
+        let n = self.names.len();
+        let mut generated = 0.0;
+        let mut dq = vec![0.0_f64; n];
+        let mut adv = vec![0.0_f64; n];
+        for _ in 0..nsub {
+            dq.iter_mut().for_each(|q| *q = 0.0);
+            adv.iter_mut().for_each(|q| *q = 0.0);
+            // Equation 3: heat generated by work.
+            for i in 0..n {
+                if let NodeRt::Component { power, .. } = &self.kind[i] {
+                    let q = crate::physics::heat_generated(power, self.utilization[i], dts);
+                    dq[i] += q.0;
+                    generated += q.0;
+                }
+            }
+            // Equation 2: Newton's law of cooling over the heat edges.
+            for &(a, b, k) in &self.heat_edges {
+                let q = crate::physics::heat_transfer(k, self.temp[a], self.temp[b], dts);
+                dq[a] -= q.0;
+                dq[b] += q.0;
+            }
+            // Air movement: perfect mixing, evaluated against the same
+            // start-of-substep snapshot as the heat fluxes. Computing both
+            // deltas before applying either keeps the scheme consistent —
+            // in particular, heat dumped into an air region during this
+            // substep is not partially flushed by the same substep's
+            // advection, which would bias steady-state temperatures low by
+            // a factor of (1 − α).
+            for &node in &self.topo {
+                if self.is_fixed(node) {
+                    continue;
+                }
+                let mass_kg = match self.kind[node] {
+                    NodeRt::Air { mass_kg, .. } => mass_kg,
+                    NodeRt::Component { .. } => continue,
+                };
+                let mut streams_mass = 0.0;
+                let mut streams_heat = 0.0;
+                for (ei, &(from, to, _)) in self.air_edges.iter().enumerate() {
+                    if to == node {
+                        streams_mass += self.edge_flow[ei].0;
+                        streams_heat += self.edge_flow[ei].0 * self.temp[from].0;
+                    }
+                }
+                if streams_mass > 0.0 {
+                    let t_mix = streams_heat / streams_mass;
+                    let alpha = crate::physics::replacement_fraction(
+                        KilogramsPerSecond(streams_mass),
+                        mass_kg,
+                        dts,
+                    );
+                    adv[node] = alpha * (t_mix - self.temp[node].0);
+                }
+            }
+            // Equation 5 plus advection: apply both deltas.
+            for i in 0..n {
+                if !self.is_fixed(i) {
+                    self.temp[i].0 += dq[i] / self.capacity[i].0 + adv[i];
+                }
+            }
+        }
+        self.generated_last_tick = Joules(generated);
+        self.time.0 += self.cfg.dt.0;
+    }
+
+    /// Advances the emulation by `ticks` ticks.
+    pub fn step_for(&mut self, ticks: usize) {
+        for _ in 0..ticks {
+            self.step();
+        }
+    }
+
+    /// Steps until every temperature changes by less than `tolerance`
+    /// Kelvin per tick, or until `max_ticks` elapse. Returns the number of
+    /// ticks taken and whether the run converged.
+    pub fn run_to_steady_state(&mut self, tolerance: f64, max_ticks: usize) -> (usize, bool) {
+        let mut prev: Vec<f64> = self.temp.iter().map(|t| t.0).collect();
+        for tick in 1..=max_ticks {
+            self.step();
+            let max_delta = self
+                .temp
+                .iter()
+                .zip(&prev)
+                .map(|(t, p)| (t.0 - p).abs())
+                .fold(0.0_f64, f64::max);
+            if max_delta < tolerance {
+                return (tick, true);
+            }
+            prev.iter_mut().zip(&self.temp).for_each(|(p, t)| *p = t.0);
+        }
+        (max_ticks, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MachineModel;
+
+    fn two_body_model() -> MachineModel {
+        // A closed system: two components coupled by one heat edge, no air.
+        let mut b = MachineModel::builder("closed");
+        b.component("hot").mass_kg(1.0).specific_heat(1000.0).constant_power(0.0);
+        b.component("cold").mass_kg(1.0).specific_heat(1000.0).constant_power(0.0);
+        b.heat_edge("hot", "cold", 5.0).unwrap();
+        b.build().unwrap()
+    }
+
+    fn flow_model() -> MachineModel {
+        let mut b = MachineModel::builder("flow");
+        b.component("cpu").mass_kg(0.151).specific_heat(896.0).power_range(7.0, 31.0);
+        b.inlet("inlet");
+        b.air("cpu_air");
+        b.exhaust("exhaust");
+        b.heat_edge("cpu", "cpu_air", 0.75).unwrap();
+        b.air_edge("inlet", "cpu_air", 1.0).unwrap();
+        b.air_edge("cpu_air", "exhaust", 1.0).unwrap();
+        b.fan_cfm(38.6);
+        b.inlet_temperature_c(21.6);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn closed_system_conserves_energy_and_equalizes() {
+        let model = two_body_model();
+        let mut s = Solver::new(&model, SolverConfig::default()).unwrap();
+        s.set_temperature("hot", Celsius(80.0)).unwrap();
+        s.set_temperature("cold", Celsius(20.0)).unwrap();
+        let before = s.heat_content();
+        s.step_for(5000);
+        let after = s.heat_content();
+        assert!((before.0 - after.0).abs() < 1e-6, "energy drifted by {}", after.0 - before.0);
+        let hot = s.temperature("hot").unwrap().0;
+        let cold = s.temperature("cold").unwrap().0;
+        assert!((hot - 50.0).abs() < 0.01, "hot settled at {hot}");
+        assert!((cold - 50.0).abs() < 0.01, "cold settled at {cold}");
+    }
+
+    #[test]
+    fn heat_always_flows_hot_to_cold() {
+        let model = two_body_model();
+        let mut s = Solver::new(&model, SolverConfig::default()).unwrap();
+        s.set_temperature("hot", Celsius(80.0)).unwrap();
+        s.set_temperature("cold", Celsius(20.0)).unwrap();
+        let mut prev_hot = 80.0;
+        let mut prev_cold = 20.0;
+        for _ in 0..100 {
+            s.step();
+            let hot = s.temperature("hot").unwrap().0;
+            let cold = s.temperature("cold").unwrap().0;
+            assert!(hot <= prev_hot + 1e-12);
+            assert!(cold >= prev_cold - 1e-12);
+            assert!(hot >= cold - 1e-12, "temperatures crossed: {hot} < {cold}");
+            prev_hot = hot;
+            prev_cold = cold;
+        }
+    }
+
+    #[test]
+    fn cpu_air_steady_state_matches_analytic_rise() {
+        // With the full fan flow over the CPU air, the steady-state air
+        // rise is P / (ṁ·c) and the CPU sits k⁻¹·P above its air.
+        let model = flow_model();
+        let mut s = Solver::new(&model, SolverConfig::default()).unwrap();
+        s.set_utilization("cpu", 1.0).unwrap();
+        let (_, converged) = s.run_to_steady_state(1e-6, 20_000);
+        assert!(converged);
+        let m_dot = model.fan().mass_flow().0;
+        let expected_air = 21.6 + 31.0 / (m_dot * 1005.0);
+        let air = s.temperature("cpu_air").unwrap().0;
+        assert!(
+            (air - expected_air).abs() < 0.05,
+            "air {air} vs analytic {expected_air}"
+        );
+        let cpu = s.temperature("cpu").unwrap().0;
+        let expected_cpu = expected_air + 31.0 / 0.75;
+        assert!((cpu - expected_cpu).abs() < 0.1, "cpu {cpu} vs analytic {expected_cpu}");
+    }
+
+    #[test]
+    fn utilization_changes_power_and_temperature() {
+        let model = flow_model();
+        let mut s = Solver::new(&model, SolverConfig::default()).unwrap();
+        s.set_utilization("cpu", 0.0).unwrap();
+        s.run_to_steady_state(1e-6, 20_000);
+        let idle = s.temperature("cpu").unwrap().0;
+        s.set_utilization("cpu", 1.0).unwrap();
+        s.run_to_steady_state(1e-6, 20_000);
+        let busy = s.temperature("cpu").unwrap().0;
+        assert!(busy > idle + 20.0, "idle {idle}, busy {busy}");
+    }
+
+    #[test]
+    fn inlet_temperature_shift_propagates_downstream() {
+        let model = flow_model();
+        let mut s = Solver::new(&model, SolverConfig::default()).unwrap();
+        s.set_utilization("cpu", 0.5).unwrap();
+        s.run_to_steady_state(1e-6, 20_000);
+        let before = s.temperature("cpu").unwrap().0;
+        s.set_inlet_temperature(Celsius(30.0));
+        s.run_to_steady_state(1e-6, 20_000);
+        let after = s.temperature("cpu").unwrap().0;
+        // An 8.4 K inlet rise moves the whole chain up by ~8.4 K.
+        assert!((after - before - 8.4).abs() < 0.1, "before {before}, after {after}");
+    }
+
+    #[test]
+    fn forced_temperature_pins_until_release() {
+        let model = flow_model();
+        let mut s = Solver::new(&model, SolverConfig::default()).unwrap();
+        s.force_temperature("cpu", Celsius(99.0)).unwrap();
+        s.step_for(100);
+        assert_eq!(s.temperature("cpu").unwrap(), Celsius(99.0));
+        s.release_temperature("cpu").unwrap();
+        s.step_for(500);
+        assert!(s.temperature("cpu").unwrap().0 < 99.0);
+    }
+
+    #[test]
+    fn faster_fan_cools_the_cpu() {
+        let model = flow_model();
+        let mut s = Solver::new(&model, SolverConfig::default()).unwrap();
+        s.set_utilization("cpu", 1.0).unwrap();
+        s.run_to_steady_state(1e-6, 20_000);
+        let slow = s.temperature("cpu").unwrap().0;
+        s.set_fan_cfm(77.2).unwrap();
+        s.run_to_steady_state(1e-6, 20_000);
+        let fast = s.temperature("cpu").unwrap().0;
+        // Doubling the flow halves the air-side rise (P/(ṁ·c) ≈ 1.4 K at
+        // 38.6 cfm); the die-to-air drop is k-limited and flow-independent
+        // in this model, so the total improvement is modest but real.
+        assert!(fast < slow - 0.5, "slow fan {slow}, fast fan {fast}");
+    }
+
+    #[test]
+    fn set_heat_k_and_air_fraction_validate() {
+        let model = flow_model();
+        let mut s = Solver::new(&model, SolverConfig::default()).unwrap();
+        assert!(s.set_heat_k("cpu", "cpu_air", 1.5).is_ok());
+        assert!(s.set_heat_k("cpu", "exhaust", 1.0).is_err());
+        assert!(s.set_heat_k("cpu", "cpu_air", 0.0).is_err());
+        assert!(s.set_air_fraction("inlet", "cpu_air", 0.9).is_ok());
+        assert!(s.set_air_fraction("inlet", "exhaust", 0.5).is_err());
+        assert!(s.set_air_fraction("cpu_air", "exhaust", 1.1).is_err());
+    }
+
+    #[test]
+    fn air_fraction_overcommit_is_rejected_at_runtime() {
+        let mut b = MachineModel::builder("m");
+        b.inlet("inlet");
+        b.air("a");
+        b.air("b");
+        b.exhaust("exhaust");
+        b.air_edge("inlet", "a", 0.5).unwrap();
+        b.air_edge("inlet", "b", 0.5).unwrap();
+        b.air_edge("a", "exhaust", 1.0).unwrap();
+        b.air_edge("b", "exhaust", 1.0).unwrap();
+        let model = b.build().unwrap();
+        let mut s = Solver::new(&model, SolverConfig::default()).unwrap();
+        // raising inlet->a to 0.6 would overcommit 0.6+0.5.
+        assert!(s.set_air_fraction("inlet", "a", 0.6).is_err());
+        assert!(s.set_air_fraction("inlet", "a", 0.4).is_ok());
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let model = flow_model();
+        let mut s = Solver::new(&model, SolverConfig::default()).unwrap();
+        assert!(matches!(s.temperature("ghost"), Err(Error::UnknownNode { .. })));
+        assert!(s.set_utilization("ghost", 0.5).is_err());
+        assert!(s.set_utilization("cpu_air", 0.5).is_err());
+        assert!(s.force_temperature("ghost", Celsius(1.0)).is_err());
+    }
+
+    #[test]
+    fn config_validation() {
+        let model = flow_model();
+        let bad = SolverConfig { dt: Seconds(0.0), ..SolverConfig::default() };
+        assert!(Solver::new(&model, bad).is_err());
+        let bad = SolverConfig { stability_limit: 0.0, ..SolverConfig::default() };
+        assert!(Solver::new(&model, bad).is_err());
+        let bad = SolverConfig { stability_limit: 2.0, ..SolverConfig::default() };
+        assert!(Solver::new(&model, bad).is_err());
+    }
+
+    #[test]
+    fn time_advances_by_dt() {
+        let model = flow_model();
+        let mut s = Solver::new(&model, SolverConfig::default()).unwrap();
+        s.step_for(10);
+        assert!((s.time().0 - 10.0).abs() < 1e-12);
+        let cfg = SolverConfig { dt: Seconds(0.5), ..SolverConfig::default() };
+        let mut s = Solver::new(&model, cfg).unwrap();
+        s.step_for(10);
+        assert!((s.time().0 - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smaller_dt_agrees_with_default_dt() {
+        // The sub-stepping should make tick size nearly irrelevant.
+        let model = flow_model();
+        let mut coarse = Solver::new(&model, SolverConfig::default()).unwrap();
+        let fine_cfg = SolverConfig { dt: Seconds(0.1), ..SolverConfig::default() };
+        let mut fine = Solver::new(&model, fine_cfg).unwrap();
+        coarse.set_utilization("cpu", 0.8).unwrap();
+        fine.set_utilization("cpu", 0.8).unwrap();
+        coarse.step_for(300);
+        fine.step_for(3000);
+        let tc = coarse.temperature("cpu").unwrap().0;
+        let tf = fine.temperature("cpu").unwrap().0;
+        assert!((tc - tf).abs() < 0.05, "coarse {tc} vs fine {tf}");
+    }
+
+    #[test]
+    fn generated_heat_accounting() {
+        let model = flow_model();
+        let mut s = Solver::new(&model, SolverConfig::default()).unwrap();
+        s.set_utilization("cpu", 1.0).unwrap();
+        s.step();
+        // CPU at 31 W for 1 s.
+        assert!((s.generated_last_tick().0 - 31.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monitored_components_listing() {
+        let model = flow_model();
+        let s = Solver::new(&model, SolverConfig::default()).unwrap();
+        assert_eq!(s.monitored_components(), vec!["cpu"]);
+        assert_eq!(s.machine_name(), "flow");
+        assert_eq!(s.node_names().count(), 4);
+    }
+}

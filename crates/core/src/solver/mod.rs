@@ -1,0 +1,31 @@
+//! The Mercury solver: a coarse-grained finite-element analyzer (§2.2).
+//!
+//! The solver advances a [`crate::model::MachineModel`] (or a whole
+//! [`crate::model::ClusterModel`]) in discrete time steps. Each tick does
+//! the paper's three graph traversals:
+//!
+//! 1. **inter-component heat flow** — Newton's law of cooling over the
+//!    heat-flow edges plus utilization-driven heat generation,
+//! 2. **intra-machine air movement** — flow-weighted mixing along the
+//!    air-flow edges in topological order, and
+//! 3. **inter-machine air movement** (cluster solver only) — supply /
+//!    exhaust / junction mixing that feeds every machine's inlet.
+//!
+//! ## Numerical stability
+//!
+//! The paper runs one solver iteration per emulated second. With the
+//! constants of Table 1 an explicit Euler step of a full second is
+//! *unstable* for the fastest couplings (e.g. the motherboard's k = 10 W/K
+//! against a few-gram air region). The solver therefore divides each tick
+//! into automatically-chosen sub-steps so that no node can exchange more
+//! than [`SolverConfig::stability_limit`] of its "distance to equilibrium"
+//! per sub-step. The public interface is unaffected: [`Solver::step`]
+//! still advances exactly one tick of [`SolverConfig::dt`] seconds.
+
+mod cluster;
+mod flows;
+mod machine;
+
+pub use cluster::ClusterSolver;
+pub use flows::{air_flows, model_air_flows, required_substeps};
+pub use machine::{Solver, SolverConfig};

@@ -1,0 +1,628 @@
+//! Utilization traces and offline (trace-driven) emulation.
+//!
+//! Mercury can compute temperatures from component-utilization traces
+//! without running any system software — the paper uses this to fine-tune
+//! parameters and, by *replicating* traces, to emulate cluster
+//! installations larger than the user's real system (§1, §2.3).
+//!
+//! [`UtilizationTrace`] is a fixed-interval, column-per-component recording
+//! of utilizations. [`run_offline`] replays a trace through a solver and
+//! produces a [`TemperatureLog`]; [`run_offline_cluster`] does the same for
+//! a whole room.
+
+use crate::error::Error;
+use crate::fiddle::FiddleScript;
+use crate::model::{ClusterModel, MachineModel};
+use crate::solver::{ClusterSolver, Solver, SolverConfig};
+use crate::units::{Celsius, Seconds, Utilization};
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+
+/// A fixed-interval recording of component utilizations for one machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationTrace {
+    machine: String,
+    interval: Seconds,
+    components: Vec<String>,
+    /// `samples[row][col]` is the utilization of `components[col]` during
+    /// the `row`-th interval.
+    samples: Vec<Vec<Utilization>>,
+}
+
+impl UtilizationTrace {
+    /// Creates an empty trace sampling the given components every
+    /// `interval_s` seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] for a non-positive interval or an
+    /// empty component list.
+    pub fn new(
+        machine: impl Into<String>,
+        interval_s: f64,
+        components: Vec<String>,
+    ) -> Result<Self, Error> {
+        if !(interval_s > 0.0) || !interval_s.is_finite() {
+            return Err(Error::invalid_input(format!(
+                "trace interval {interval_s} must be positive"
+            )));
+        }
+        if components.is_empty() {
+            return Err(Error::invalid_input("trace has no components"));
+        }
+        Ok(UtilizationTrace {
+            machine: machine.into(),
+            interval: Seconds(interval_s),
+            components,
+            samples: Vec::new(),
+        })
+    }
+
+    /// The machine this trace was recorded on.
+    pub fn machine(&self) -> &str {
+        &self.machine
+    }
+
+    /// Sampling interval.
+    pub fn interval(&self) -> Seconds {
+        self.interval
+    }
+
+    /// Component names, in column order.
+    pub fn components(&self) -> &[String] {
+        &self.components
+    }
+
+    /// Number of sample rows.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total covered duration.
+    pub fn duration(&self) -> Seconds {
+        Seconds(self.samples.len() as f64 * self.interval.0)
+    }
+
+    /// Appends one row of utilizations (one value per component, in
+    /// column order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] when the row width does not match
+    /// the component count.
+    pub fn push_row(&mut self, row: &[f64]) -> Result<(), Error> {
+        if row.len() != self.components.len() {
+            return Err(Error::invalid_input(format!(
+                "row has {} values but the trace has {} components",
+                row.len(),
+                self.components.len()
+            )));
+        }
+        self.samples.push(row.iter().map(|&v| Utilization::new(v)).collect());
+        Ok(())
+    }
+
+    /// Builds a trace by evaluating `f(time_s, component_index)` for
+    /// `rows` rows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`UtilizationTrace::new`] errors.
+    pub fn from_fn(
+        machine: impl Into<String>,
+        interval_s: f64,
+        components: Vec<String>,
+        rows: usize,
+        mut f: impl FnMut(f64, usize) -> f64,
+    ) -> Result<Self, Error> {
+        let mut trace = UtilizationTrace::new(machine, interval_s, components)?;
+        let width = trace.components.len();
+        for row in 0..rows {
+            let t = row as f64 * interval_s;
+            let values: Vec<f64> = (0..width).map(|c| f(t, c)).collect();
+            trace.push_row(&values)?;
+        }
+        Ok(trace)
+    }
+
+    /// The utilizations in effect at emulated time `t` (step function:
+    /// the most recent row at or before `t`, clamped to the last row).
+    pub fn at(&self, t: Seconds) -> Option<&[Utilization]> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let idx = ((t.0 / self.interval.0).floor().max(0.0) as usize).min(self.samples.len() - 1);
+        Some(&self.samples[idx])
+    }
+
+    /// The full series for one component.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownNode`] for unknown component names.
+    pub fn component_series(&self, component: &str) -> Result<Vec<Utilization>, Error> {
+        let col = self
+            .components
+            .iter()
+            .position(|c| c == component)
+            .ok_or_else(|| Error::unknown_node(component))?;
+        Ok(self.samples.iter().map(|row| row[col]).collect())
+    }
+
+    /// Clones this trace under a different machine name — the paper's
+    /// trace-replication trick for emulating large clusters from a single
+    /// measured machine.
+    pub fn replicate_for(&self, machine: impl Into<String>) -> UtilizationTrace {
+        let mut copy = self.clone();
+        copy.machine = machine.into();
+        copy
+    }
+
+    /// Writes the trace as CSV: a `time` column followed by one column
+    /// per component (utilization fractions). The machine name and
+    /// interval travel in a `#` header comment so the file is
+    /// self-describing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_csv<W: Write>(&self, mut w: W) -> Result<(), Error> {
+        writeln!(w, "# machine={} interval_s={}", self.machine, self.interval.0)?;
+        write!(w, "time")?;
+        for c in &self.components {
+            write!(w, ",{c}")?;
+        }
+        writeln!(w)?;
+        for (row_index, row) in self.samples.iter().enumerate() {
+            write!(w, "{}", row_index as f64 * self.interval.0)?;
+            for u in row {
+                write!(w, ",{}", u.fraction())?;
+            }
+            writeln!(w)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a trace back from the CSV format produced by
+    /// [`UtilizationTrace::write_csv`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] for malformed headers, rows of the
+    /// wrong width, or non-numeric utilizations.
+    pub fn read_csv(text: &str) -> Result<UtilizationTrace, Error> {
+        let mut lines = text.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| Error::invalid_input("empty trace file"))?;
+        let header = header
+            .strip_prefix('#')
+            .ok_or_else(|| Error::invalid_input("trace file is missing its `#` header"))?;
+        let mut machine = String::new();
+        let mut interval = 1.0_f64;
+        for field in header.split_whitespace() {
+            if let Some(v) = field.strip_prefix("machine=") {
+                machine = v.to_string();
+            } else if let Some(v) = field.strip_prefix("interval_s=") {
+                interval = v
+                    .parse()
+                    .map_err(|_| Error::invalid_input(format!("bad interval `{v}`")))?;
+            }
+        }
+        let columns = lines
+            .next()
+            .ok_or_else(|| Error::invalid_input("trace file is missing its column row"))?;
+        let components: Vec<String> =
+            columns.split(',').skip(1).map(str::to_string).collect();
+        let mut trace = UtilizationTrace::new(machine, interval, components)?;
+        for (number, line) in lines.enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let values: Result<Vec<f64>, Error> = line
+                .split(',')
+                .skip(1)
+                .map(|v| {
+                    v.parse::<f64>().map_err(|_| {
+                        Error::invalid_input(format!(
+                            "row {}: `{v}` is not a utilization",
+                            number + 3
+                        ))
+                    })
+                })
+                .collect();
+            trace.push_row(&values?)?;
+        }
+        Ok(trace)
+    }
+}
+
+/// A recorded time series of node temperatures, one column per
+/// `machine:node` pair.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TemperatureLog {
+    columns: Vec<String>,
+    times: Vec<f64>,
+    rows: Vec<Vec<f64>>,
+}
+
+impl TemperatureLog {
+    /// Creates an empty log with the given column names.
+    pub fn new(columns: Vec<String>) -> Self {
+        TemperatureLog { columns, times: Vec::new(), rows: Vec::new() }
+    }
+
+    /// Column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Recorded timestamps, seconds.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Number of recorded rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row of temperatures at time `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] when the row width mismatches the
+    /// column count.
+    pub fn push(&mut self, t: Seconds, temps: &[Celsius]) -> Result<(), Error> {
+        if temps.len() != self.columns.len() {
+            return Err(Error::invalid_input(format!(
+                "row has {} temperatures but the log has {} columns",
+                temps.len(),
+                self.columns.len()
+            )));
+        }
+        self.times.push(t.0);
+        self.rows.push(temps.iter().map(|t| t.0).collect());
+        Ok(())
+    }
+
+    /// The series recorded for one column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownNode`] for unknown columns.
+    pub fn series(&self, column: &str) -> Result<Vec<f64>, Error> {
+        let col = self
+            .columns
+            .iter()
+            .position(|c| c == column)
+            .ok_or_else(|| Error::unknown_node(column))?;
+        Ok(self.rows.iter().map(|row| row[col]).collect())
+    }
+
+    /// Largest value in a column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownNode`] for unknown columns.
+    pub fn max(&self, column: &str) -> Result<f64, Error> {
+        Ok(self.series(column)?.into_iter().fold(f64::NEG_INFINITY, f64::max))
+    }
+
+    /// Largest absolute pointwise difference between one column of this
+    /// log and one of `other`, over the overlapping prefix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownNode`] for unknown columns.
+    pub fn max_abs_difference(
+        &self,
+        column: &str,
+        other: &TemperatureLog,
+        other_column: &str,
+    ) -> Result<f64, Error> {
+        let a = self.series(column)?;
+        let b = other.series(other_column)?;
+        Ok(a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max))
+    }
+
+    /// Writes the log as CSV (`time` column first).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_csv<W: Write>(&self, mut w: W) -> Result<(), Error> {
+        write!(w, "time")?;
+        for c in &self.columns {
+            write!(w, ",{c}")?;
+        }
+        writeln!(w)?;
+        for (t, row) in self.times.iter().zip(&self.rows) {
+            write!(w, "{t}")?;
+            for v in row {
+                write!(w, ",{v}")?;
+            }
+            writeln!(w)?;
+        }
+        Ok(())
+    }
+}
+
+/// Replays a trace through a fresh solver for the trace's duration,
+/// applying `script` events as they fall due, and logs every node's
+/// temperature each tick.
+///
+/// # Errors
+///
+/// Propagates solver construction and fiddle application errors. Unknown
+/// trace components are an error — a trace for a different machine model
+/// should fail loudly, not silently drive nothing.
+pub fn run_offline(
+    model: &MachineModel,
+    trace: &UtilizationTrace,
+    cfg: SolverConfig,
+    script: Option<&FiddleScript>,
+) -> Result<TemperatureLog, Error> {
+    let mut solver = Solver::new(model, cfg)?;
+    let columns: Vec<String> = solver.node_names().map(str::to_string).collect();
+    let mut log = TemperatureLog::new(columns);
+    let mut runner = script.map(FiddleScript::runner);
+    let ticks = (trace.duration().0 / solver.dt().0).round() as usize;
+    for _ in 0..ticks {
+        let now = solver.time();
+        if let Some(r) = runner.as_mut() {
+            r.apply_due_to_solver(now, &mut solver)?;
+        }
+        if let Some(row) = trace.at(now) {
+            let row = row.to_vec();
+            for (component, u) in trace.components().iter().zip(row) {
+                solver.set_utilization(component, u)?;
+            }
+        }
+        solver.step();
+        let temps: Vec<Celsius> = solver.temperatures().into_iter().map(|(_, t)| t).collect();
+        log.push(solver.time(), &temps)?;
+    }
+    Ok(log)
+}
+
+/// Replays one trace per machine through a cluster solver. Columns are
+/// named `machine:node`.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidInput`] when the trace count differs from the
+/// machine count; otherwise as [`run_offline`].
+pub fn run_offline_cluster(
+    model: &ClusterModel,
+    traces: &[UtilizationTrace],
+    cfg: SolverConfig,
+    script: Option<&FiddleScript>,
+) -> Result<TemperatureLog, Error> {
+    if traces.len() != model.machines().len() {
+        return Err(Error::invalid_input(format!(
+            "{} traces supplied for {} machines",
+            traces.len(),
+            model.machines().len()
+        )));
+    }
+    let mut cluster = ClusterSolver::new(model, cfg)?;
+    let mut columns = Vec::new();
+    for m in model.machines() {
+        for node in m.nodes() {
+            columns.push(format!("{}:{}", m.name(), node.name()));
+        }
+    }
+    let mut log = TemperatureLog::new(columns);
+    let mut runner = script.map(FiddleScript::runner);
+    let max_duration = traces.iter().map(|t| t.duration().0).fold(0.0, f64::max);
+    let dt = cluster.machine_at(0).dt().0;
+    let ticks = (max_duration / dt).round() as usize;
+    for _ in 0..ticks {
+        let now = cluster.time();
+        if let Some(r) = runner.as_mut() {
+            r.apply_due_to_cluster(now, &mut cluster)?;
+        }
+        for (i, trace) in traces.iter().enumerate() {
+            if let Some(row) = trace.at(now) {
+                let row = row.to_vec();
+                let machine = cluster.machine_at_mut(i);
+                for (component, u) in trace.components().iter().zip(row) {
+                    machine.set_utilization(component, u)?;
+                }
+            }
+        }
+        cluster.step();
+        let mut temps = Vec::new();
+        for i in 0..cluster.len() {
+            for (_, t) in cluster.machine_at(i).temperatures() {
+                temps.push(t);
+            }
+        }
+        log.push(cluster.time(), &temps)?;
+    }
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{self, nodes};
+
+    fn staircase_trace(machine: &str) -> UtilizationTrace {
+        UtilizationTrace::from_fn(
+            machine,
+            1.0,
+            vec![nodes::CPU.to_string(), nodes::DISK_PLATTERS.to_string()],
+            600,
+            |t, c| {
+                if c == 0 {
+                    if t < 300.0 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                } else {
+                    0.2
+                }
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn trace_construction_and_queries() {
+        let trace = staircase_trace("server");
+        assert_eq!(trace.machine(), "server");
+        assert_eq!(trace.len(), 600);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.duration(), Seconds(600.0));
+        assert_eq!(trace.at(Seconds(0.0)).unwrap()[0].fraction(), 1.0);
+        assert_eq!(trace.at(Seconds(299.0)).unwrap()[0].fraction(), 1.0);
+        assert_eq!(trace.at(Seconds(300.0)).unwrap()[0].fraction(), 0.0);
+        // Clamped past the end.
+        assert_eq!(trace.at(Seconds(10_000.0)).unwrap()[0].fraction(), 0.0);
+        let series = trace.component_series(nodes::CPU).unwrap();
+        assert_eq!(series.len(), 600);
+        assert!(trace.component_series("nic").is_err());
+    }
+
+    #[test]
+    fn trace_validation() {
+        assert!(UtilizationTrace::new("m", 0.0, vec!["cpu".into()]).is_err());
+        assert!(UtilizationTrace::new("m", 1.0, vec![]).is_err());
+        let mut t = UtilizationTrace::new("m", 1.0, vec!["cpu".into()]).unwrap();
+        assert!(t.push_row(&[0.5, 0.5]).is_err());
+        assert!(t.push_row(&[0.5]).is_ok());
+        assert!(t.at(Seconds(0.0)).is_some());
+        let empty = UtilizationTrace::new("m", 1.0, vec!["cpu".into()]).unwrap();
+        assert!(empty.at(Seconds(0.0)).is_none());
+    }
+
+    #[test]
+    fn replication_renames_only() {
+        let trace = staircase_trace("server");
+        let copy = trace.replicate_for("machine2");
+        assert_eq!(copy.machine(), "machine2");
+        assert_eq!(copy.len(), trace.len());
+        assert_eq!(
+            copy.component_series(nodes::CPU).unwrap(),
+            trace.component_series(nodes::CPU).unwrap()
+        );
+    }
+
+    #[test]
+    fn offline_run_produces_a_full_log() {
+        let model = presets::validation_machine();
+        let trace = staircase_trace("server");
+        let log = run_offline(&model, &trace, Default::default(), None).unwrap();
+        assert_eq!(log.len(), 600);
+        assert_eq!(log.columns().len(), model.nodes().len());
+        // CPU heats while busy, cools after the load drops.
+        let cpu = log.series(nodes::CPU).unwrap();
+        assert!(cpu[299] > cpu[0] + 5.0, "cpu did not heat: {} -> {}", cpu[0], cpu[299]);
+        assert!(cpu[599] < cpu[299], "cpu did not cool after idle");
+    }
+
+    #[test]
+    fn offline_run_rejects_unknown_components() {
+        let model = presets::validation_machine();
+        let trace =
+            UtilizationTrace::from_fn("server", 1.0, vec!["gpu".into()], 10, |_, _| 0.5).unwrap();
+        assert!(run_offline(&model, &trace, Default::default(), None).is_err());
+    }
+
+    #[test]
+    fn offline_run_applies_fiddle_scripts() {
+        let model = presets::validation_machine_named("machine1");
+        let trace = staircase_trace("machine1");
+        let script = FiddleScript::parse(
+            "sleep 100\nfiddle machine1 temperature inlet 38.6\n",
+        )
+        .unwrap();
+        let log = run_offline(&model, &trace, Default::default(), Some(&script)).unwrap();
+        let inlet = log.series(nodes::INLET).unwrap();
+        assert!((inlet[50] - 21.6).abs() < 1e-9);
+        assert!((inlet[150] - 38.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offline_cluster_run_with_replicated_traces() {
+        let cluster = presets::validation_cluster(2);
+        let base = staircase_trace("machine1");
+        let traces = vec![base.clone(), base.replicate_for("machine2")];
+        let log = run_offline_cluster(&cluster, &traces, Default::default(), None).unwrap();
+        assert_eq!(log.len(), 600);
+        let c1 = log.series("machine1:cpu").unwrap();
+        let c2 = log.series("machine2:cpu").unwrap();
+        // Identical traces on identical machines give identical curves.
+        for (a, b) in c1.iter().zip(&c2) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn offline_cluster_requires_matching_trace_count() {
+        let cluster = presets::validation_cluster(2);
+        let base = staircase_trace("machine1");
+        assert!(run_offline_cluster(&cluster, &[base], Default::default(), None).is_err());
+    }
+
+    #[test]
+    fn utilization_trace_csv_round_trips() {
+        let trace = staircase_trace("server");
+        let mut buffer = Vec::new();
+        trace.write_csv(&mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        assert!(text.starts_with("# machine=server interval_s=1"));
+        let back = UtilizationTrace::read_csv(&text).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn utilization_trace_csv_rejects_garbage() {
+        assert!(UtilizationTrace::read_csv("").is_err());
+        assert!(UtilizationTrace::read_csv("time,cpu\n0,0.5\n").is_err()); // no header
+        assert!(UtilizationTrace::read_csv("# machine=m interval_s=zero\ntime,cpu\n").is_err());
+        let bad_row = "# machine=m interval_s=1\ntime,cpu\n0,not_a_number\n";
+        assert!(UtilizationTrace::read_csv(bad_row).is_err());
+        let wrong_width = "# machine=m interval_s=1\ntime,cpu\n0,0.5,0.9\n";
+        assert!(UtilizationTrace::read_csv(wrong_width).is_err());
+    }
+
+    #[test]
+    fn temperature_log_csv_and_stats() {
+        let mut log = TemperatureLog::new(vec!["a".into(), "b".into()]);
+        log.push(Seconds(1.0), &[Celsius(20.0), Celsius(30.0)]).unwrap();
+        log.push(Seconds(2.0), &[Celsius(25.0), Celsius(28.0)]).unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.max("a").unwrap(), 25.0);
+        assert!(log.push(Seconds(3.0), &[Celsius(1.0)]).is_err());
+        assert!(log.series("zzz").is_err());
+
+        let mut csv = Vec::new();
+        log.write_csv(&mut csv).unwrap();
+        let text = String::from_utf8(csv).unwrap();
+        assert_eq!(text.lines().next().unwrap(), "time,a,b");
+        assert!(text.contains("1,20,30"));
+
+        let mut other = TemperatureLog::new(vec!["a".into()]);
+        other.push(Seconds(1.0), &[Celsius(21.0)]).unwrap();
+        other.push(Seconds(2.0), &[Celsius(24.0)]).unwrap();
+        let d = log.max_abs_difference("a", &other, "a").unwrap();
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+}

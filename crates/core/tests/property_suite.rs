@@ -1,0 +1,160 @@
+//! Property tests for the Mercury core: physics invariants over random
+//! graphs, protocol totality, and fiddle grammar round-trips.
+
+use mercury::fiddle::{FiddleCommand, FiddleScript};
+use mercury::model::MachineModel;
+use mercury::net::proto::{self, Request};
+use mercury::solver::{Solver, SolverConfig};
+use mercury::units::Celsius;
+use proptest::prelude::*;
+
+/// A random closed system: `n` components fully mixed by a random
+/// spanning tree of heat edges (no air, no boundary, no power).
+fn closed_system() -> impl Strategy<Value = (MachineModel, Vec<f64>)> {
+    (2usize..7).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0.05f64..3.0, n..=n),   // masses
+            proptest::collection::vec(0.1f64..15.0, n - 1..=n - 1), // tree edge ks
+            proptest::collection::vec(-20.0f64..90.0, n..=n), // initial temps
+        )
+            .prop_map(move |(masses, ks, temps)| {
+                let mut b = MachineModel::builder("closed");
+                for (i, mass) in masses.iter().enumerate() {
+                    b.component(format!("c{i}"))
+                        .mass_kg(*mass)
+                        .specific_heat(900.0)
+                        .constant_power(0.0);
+                }
+                for (i, k) in ks.iter().enumerate() {
+                    // A path graph keeps everything connected and acyclic.
+                    b.heat_edge(&format!("c{i}"), &format!("c{}", i + 1), *k).unwrap();
+                }
+                (b.build().unwrap(), temps)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Energy conservation over arbitrary closed chains.
+    #[test]
+    fn random_closed_chains_conserve_energy((model, temps) in closed_system(), ticks in 1usize..300) {
+        let mut solver = Solver::new(&model, SolverConfig::default()).unwrap();
+        for (i, t) in temps.iter().enumerate() {
+            solver.set_temperature(&format!("c{i}"), Celsius(*t)).unwrap();
+        }
+        let before = solver.heat_content().0;
+        solver.step_for(ticks);
+        let after = solver.heat_content().0;
+        prop_assert!(
+            (before - after).abs() <= 1e-6 * before.abs().max(1.0),
+            "energy drifted {before} -> {after}"
+        );
+    }
+
+    /// Maximum principle: in a closed system with no sources, every
+    /// temperature stays inside the initial [min, max] envelope forever.
+    #[test]
+    fn closed_chains_obey_the_maximum_principle((model, temps) in closed_system()) {
+        let mut solver = Solver::new(&model, SolverConfig::default()).unwrap();
+        for (i, t) in temps.iter().enumerate() {
+            solver.set_temperature(&format!("c{i}"), Celsius(*t)).unwrap();
+        }
+        let lo = temps.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = temps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for _ in 0..300 {
+            solver.step();
+            for (name, t) in solver.temperatures() {
+                prop_assert!(
+                    t.0 >= lo - 1e-9 && t.0 <= hi + 1e-9,
+                    "{name} escaped [{lo}, {hi}]: {t}"
+                );
+            }
+        }
+    }
+
+    /// Equilibrium: the chain converges to the energy-weighted mean.
+    #[test]
+    fn closed_chains_converge_to_the_weighted_mean((model, temps) in closed_system()) {
+        let mut solver = Solver::new(&model, SolverConfig::default()).unwrap();
+        let mut total_energy = 0.0;
+        let mut total_capacity = 0.0;
+        for (i, t) in temps.iter().enumerate() {
+            solver.set_temperature(&format!("c{i}"), Celsius(*t)).unwrap();
+        }
+        for node in model.nodes() {
+            let capacity = node.capacity().0;
+            let i: usize = node.name()[1..].parse().unwrap();
+            total_energy += capacity * temps[i];
+            total_capacity += capacity;
+        }
+        let expected = total_energy / total_capacity;
+        let (_, converged) = solver.run_to_steady_state(1e-9, 2_000_000);
+        prop_assume!(converged);
+        for (name, t) in solver.temperatures() {
+            prop_assert!(
+                (t.0 - expected).abs() < 0.01,
+                "{name} settled at {t}, expected {expected:.3}"
+            );
+        }
+    }
+
+    /// The wire protocol decoder is total: arbitrary bytes never panic.
+    #[test]
+    fn protocol_decoders_are_total(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = proto::decode_request(&bytes);
+        let _ = proto::decode_reply(&bytes);
+    }
+
+    /// Utilization updates round-trip for arbitrary names and values.
+    #[test]
+    fn utilization_updates_round_trip(
+        machine in "[a-zA-Z0-9_.-]{0,30}",
+        pairs in proptest::collection::vec(("[a-zA-Z0-9_]{1,20}", 0.0f32..=1.0), 0..8),
+    ) {
+        let request = Request::UtilizationUpdate {
+            machine,
+            utilizations: pairs,
+        };
+        let decoded = proto::decode_request(&proto::encode_request(&request)).unwrap();
+        prop_assert_eq!(decoded, request);
+    }
+
+    /// Every fiddle command's display form parses back to itself, for
+    /// random identifiers and finite values.
+    #[test]
+    fn fiddle_commands_round_trip(
+        machine in "[a-zA-Z][a-zA-Z0-9_]{0,12}",
+        node in "[a-zA-Z][a-zA-Z0-9_]{0,12}",
+        value in 0.001f64..1000.0,
+        which in 0usize..6,
+    ) {
+        let command = match which {
+            0 => FiddleCommand::Temperature { machine, node, celsius: value },
+            1 => FiddleCommand::Release { machine, node },
+            2 => FiddleCommand::FanSpeed { machine, cfm: value },
+            3 => FiddleCommand::Power {
+                machine,
+                component: node,
+                base_w: value,
+                max_w: value * 2.0,
+            },
+            4 => FiddleCommand::HeatK { machine, a: node.clone(), b: format!("{node}_x"), k: value },
+            _ => FiddleCommand::AirFraction {
+                machine,
+                from: node.clone(),
+                to: format!("{node}_x"),
+                fraction: (value % 1.0).max(0.001),
+            },
+        };
+        let script = FiddleScript::parse(&command.to_string()).unwrap();
+        prop_assert_eq!(&script.events()[0].command, &command);
+    }
+
+    /// The fiddle script parser is total on arbitrary text.
+    #[test]
+    fn fiddle_parser_is_total(text in "\\PC{0,300}") {
+        let _ = FiddleScript::parse(&text);
+    }
+}

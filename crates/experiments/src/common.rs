@@ -1,0 +1,110 @@
+//! Shared plumbing for the experiment harness.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Returns (creating if necessary) the results directory.
+pub fn results_dir() -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from("results");
+    fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+/// Writes a CSV file under `results/` and reports where it went.
+pub fn write_results(name: &str, contents: &str) -> std::io::Result<()> {
+    let path = results_dir()?.join(name);
+    fs::write(&path, contents)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+/// Prints the paper's claim for an experiment.
+pub fn paper(line: &str) {
+    println!("PAPER:    {line}");
+}
+
+/// Prints what this reproduction measured.
+pub fn measured(line: &str) {
+    println!("MEASURED: {line}");
+}
+
+/// Prints a pass/attention verdict for a reproduction check.
+pub fn verdict(ok: bool, line: &str) {
+    if ok {
+        println!("CHECK:    ok — {line}");
+    } else {
+        println!("CHECK:    ATTENTION — {line}");
+    }
+}
+
+/// Centered moving average with window `w` (odd windows behave
+/// symmetrically; edges shrink the window). Used to compare *trends*
+/// against noisy, quantized sensor series the way one reads the paper's
+/// figures.
+pub fn smooth(series: &[f64], w: usize) -> Vec<f64> {
+    if w <= 1 || series.is_empty() {
+        return series.to_vec();
+    }
+    let half = w / 2;
+    (0..series.len())
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(series.len());
+            series[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
+/// Maximum absolute pointwise difference between two equally long series.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+/// Root-mean-square difference between two equally long series.
+pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let sum: f64 = a.iter().zip(b).take(n).map(|(x, y)| (x - y) * (x - y)).sum();
+    (sum / n as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoothing_preserves_constants_and_averages_steps() {
+        let flat = vec![5.0; 20];
+        assert_eq!(smooth(&flat, 7), flat);
+        // A step function's smoothed midpoint is the average of the sides.
+        let mut step = vec![0.0; 10];
+        step.extend(vec![10.0; 10]);
+        let smoothed = smooth(&step, 5);
+        assert!(smoothed[9] > 0.0 && smoothed[9] < 10.0);
+        // Window 1 or empty input are identity.
+        assert_eq!(smooth(&step, 1), step);
+        assert!(smooth(&[], 9).is_empty());
+    }
+
+    #[test]
+    fn smoothing_shrinks_windows_at_the_edges() {
+        let series = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let smoothed = smooth(&series, 3);
+        assert!((smoothed[0] - 1.5).abs() < 1e-12); // mean of [1,2]
+        assert!((smoothed[2] - 3.0).abs() < 1e-12); // mean of [2,3,4]
+        assert!((smoothed[4] - 4.5).abs() < 1e-12); // mean of [4,5]
+    }
+
+    #[test]
+    fn diff_metrics() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.5, 2.0, 1.0];
+        assert!((max_abs_diff(&a, &b) - 2.0).abs() < 1e-12);
+        let expected = ((0.25 + 0.0 + 4.0) / 3.0_f64).sqrt();
+        assert!((rmse(&a, &b) - expected).abs() < 1e-12);
+        assert_eq!(rmse(&[], &[]), 0.0);
+        assert_eq!(max_abs_diff(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! §3.2: steady-state comparison against the CFD stand-in across 14
+//! power combinations.
+//!
+//! Procedure, mirroring the paper ("our calibration of Mercury involved
+//! entering these values as input, with a rough approximation of the air
+//! flow that was also provided by Fluent"):
+//!
+//! 1. solve the 2-D case at three calibration points (a base point, a
+//!    CPU-power excursion, a disk-power excursion) and extract, per
+//!    component, (a) the effective material-to-air boundary coefficient
+//!    `k = ΔP/Δ(T_comp − T_air)` and (b) the air channel's behaviour as
+//!    an affine function of the component's power — its slope gives the
+//!    channel's mass flow and its intercept the *preheat* contributed by
+//!    upstream components (the CPU sits downstream of the power supply);
+//! 2. enter those constants into a small Mercury model of the same case —
+//!    one air channel per component, preheat modelled as a constant duct
+//!    heater;
+//! 3. for each of 14 (CPU, disk) power combinations, compare Mercury's
+//!    steady-state component temperatures against a fresh CFD solve.
+//!
+//! The paper reports agreement within 0.25 °C (disk) and 0.32 °C (CPU).
+
+use crate::common::{measured, paper, verdict, write_results};
+use mercury::model::{MachineModel, PowerModel};
+use mercury::solver::{Solver, SolverConfig};
+use mercury::units::{Watts, AIR_SPECIFIC_HEAT};
+use reference_models::fluent2d::{CaseConfig, Component, Fluent2d, SteadyState};
+use std::fmt::Write as _;
+
+type Result<T = ()> = std::result::Result<T, Box<dyn std::error::Error>>;
+
+/// The 14 power combinations: seven CPU levels × two disk levels, with
+/// the power supply fixed at its measured 40 W.
+pub fn power_combos() -> Vec<(f64, f64)> {
+    let mut combos = Vec::new();
+    for cpu in [7.0, 11.0, 15.0, 19.0, 23.0, 27.0, 31.0] {
+        for disk in [9.0, 14.0] {
+            combos.push((cpu, disk));
+        }
+    }
+    combos
+}
+
+const PSU_W: f64 = 40.0;
+
+fn solve_case(config: &CaseConfig, cpu_w: f64, disk_w: f64) -> Result<SteadyState> {
+    let mut case = Fluent2d::server_case(config.clone());
+    case.set_power(Component::Cpu, cpu_w);
+    case.set_power(Component::Disk, disk_w);
+    case.set_power(Component::Psu, PSU_W);
+    Ok(case.solve(1e-6, 400_000).map_err(|e| format!("CFD solve failed: {e}"))?)
+}
+
+/// Per-component constants extracted from the calibration solves.
+struct ChannelFit {
+    /// Boundary coefficient, W/K.
+    k: f64,
+    /// Air-channel mass flow, kg/s (from the rise-vs-power slope).
+    mass_flow: f64,
+    /// Constant upstream preheat of the channel, K.
+    preheat: f64,
+}
+
+/// Fits `T_air_near = inlet + preheat + P/(ṁ·c)` and
+/// `T_comp − T_air = P/k` from two solves that differ only in this
+/// component's power.
+fn fit_channel(
+    component: Component,
+    low: (&SteadyState, f64),
+    high: (&SteadyState, f64),
+    inlet_c: f64,
+) -> Result<ChannelFit> {
+    let (s_low, p_low) = low;
+    let (s_high, p_high) = high;
+    let dp = p_high - p_low;
+    if dp <= 0.0 {
+        return Err("calibration powers must differ".into());
+    }
+    let rise_low = s_low.air_near(component) - inlet_c;
+    let rise_high = s_high.air_near(component) - inlet_c;
+    let slope = (rise_high - rise_low) / dp; // K per W
+    if slope <= 0.0 {
+        return Err(format!("{component:?}: air does not respond to power").into());
+    }
+    let mass_flow = 1.0 / (slope * AIR_SPECIFIC_HEAT.0);
+    let preheat = (rise_low - slope * p_low).max(0.0);
+    let delta_low = s_low.component_temp(component) - s_low.air_near(component);
+    let delta_high = s_high.component_temp(component) - s_high.air_near(component);
+    let dk = delta_high - delta_low;
+    if dk <= 0.0 {
+        return Err(format!("{component:?}: block does not heat above its air").into());
+    }
+    Ok(ChannelFit { k: dp / dk, mass_flow, preheat })
+}
+
+/// Builds the Mercury model of the 2-D case from the channel fits.
+///
+/// The Mercury fan is sized so that every fitted channel fits: the fitted
+/// flows are *effective* flows (turbulent mixing transports more heat
+/// than the bulk stream through any one channel), so their sum may exceed
+/// the duct's bulk flow.
+fn mercury_case(fits: &[(&str, &ChannelFit)], inlet_c: f64) -> Result<MachineModel> {
+    let fan_mass_flow: f64 = fits.iter().map(|(_, f)| f.mass_flow).sum::<f64>() / 0.9;
+    let mut b = MachineModel::builder("case2d");
+    b.inlet("inlet");
+    b.exhaust("exhaust");
+    for (name, fit) in fits {
+        let fraction = (fit.mass_flow / fan_mass_flow).clamp(0.005, 0.95);
+        b.component(name.to_string()).mass_kg(0.3).specific_heat(896.0).constant_power(0.0);
+        let air = format!("{name}_air");
+        b.air(&air);
+        b.heat_edge(name, &air, fit.k)?;
+        b.air_edge("inlet", &air, fraction)?;
+        b.air_edge(&air, "exhaust", 1.0)?;
+        // Upstream preheat: a constant duct heater warming the channel by
+        // `preheat` Kelvin at its fitted flow.
+        let q = fit.preheat * fit.mass_flow * AIR_SPECIFIC_HEAT.0;
+        if q > 1e-3 {
+            let duct = format!("{name}_duct");
+            b.component(&duct).mass_kg(0.1).specific_heat(896.0).constant_power(q);
+            b.heat_edge(&duct, &air, 20.0)?;
+        }
+    }
+    b.inlet_temperature_c(inlet_c);
+    b.fan_cfm(fan_mass_flow / mercury::units::AIR_DENSITY / mercury::units::CFM_TO_M3S);
+    Ok(b.build()?)
+}
+
+/// Runs the 14-combination table.
+pub fn table_fluent() -> Result {
+    let config = CaseConfig::standard();
+    let inlet_c = config.inlet_c;
+
+    // Three calibration solves: base, CPU excursion, disk excursion.
+    let base = solve_case(&config, 12.0, 11.5)?;
+    let cpu_high = solve_case(&config, 26.0, 11.5)?;
+    let disk_high = solve_case(&config, 12.0, 14.0)?;
+    let cpu_fit = fit_channel(Component::Cpu, (&base, 12.0), (&cpu_high, 26.0), inlet_c)?;
+    let disk_fit = fit_channel(Component::Disk, (&base, 11.5), (&disk_high, 14.0), inlet_c)?;
+    // The PSU never varies; a single-point fit pins its channel.
+    let psu_rise = base.air_near(Component::Psu) - inlet_c;
+    let psu_fit = ChannelFit {
+        k: base.effective_k(Component::Psu).ok_or("no PSU k from the reference solve")?,
+        mass_flow: PSU_W / (AIR_SPECIFIC_HEAT.0 * psu_rise),
+        preheat: 0.0,
+    };
+    measured(&format!(
+        "calibration: {} sweeps/solve over {} cells; k — cpu {:.1}, disk {:.1}, psu {:.1} W/K; preheat — cpu {:.2} K, disk {:.2} K",
+        base.iterations,
+        config.nx * config.ny,
+        cpu_fit.k,
+        disk_fit.k,
+        psu_fit.k,
+        cpu_fit.preheat,
+        disk_fit.preheat,
+    ));
+
+    let model = mercury_case(
+        &[("cpu", &cpu_fit), ("disk", &disk_fit), ("psu", &psu_fit)],
+        inlet_c,
+    )?;
+
+    let mut csv = String::from(
+        "cpu_w,disk_w,fluent_cpu,mercury_cpu,delta_cpu,fluent_disk,mercury_disk,delta_disk\n",
+    );
+    let mut max_cpu_delta = 0.0_f64;
+    let mut max_disk_delta = 0.0_f64;
+    for (cpu_w, disk_w) in power_combos() {
+        let truth = solve_case(&config, cpu_w, disk_w)?;
+
+        let mut solver = Solver::new(&model, SolverConfig::default())?;
+        solver.set_power_model("cpu", PowerModel::Constant(Watts(cpu_w)))?;
+        solver.set_power_model("disk", PowerModel::Constant(Watts(disk_w)))?;
+        solver.set_power_model("psu", PowerModel::Constant(Watts(PSU_W)))?;
+        solver.run_to_steady_state(1e-7, 200_000);
+
+        let mercury_cpu = solver.temperature("cpu")?.0;
+        let mercury_disk = solver.temperature("disk")?.0;
+        let fluent_cpu = truth.component_temp(Component::Cpu);
+        let fluent_disk = truth.component_temp(Component::Disk);
+        let d_cpu = mercury_cpu - fluent_cpu;
+        let d_disk = mercury_disk - fluent_disk;
+        max_cpu_delta = max_cpu_delta.max(d_cpu.abs());
+        max_disk_delta = max_disk_delta.max(d_disk.abs());
+        let _ = writeln!(
+            csv,
+            "{cpu_w},{disk_w},{fluent_cpu:.3},{mercury_cpu:.3},{d_cpu:.3},{fluent_disk:.3},{mercury_disk:.3},{d_disk:.3}"
+        );
+    }
+    write_results("table_fluent.csv", &csv)?;
+    paper("across 14 CPU/disk power combinations Mercury matches Fluent steady state within 0.32 °C (CPU) and 0.25 °C (disk)");
+    measured(&format!(
+        "max |Δ| over 14 combos: CPU {max_cpu_delta:.2} °C, disk {max_disk_delta:.2} °C"
+    ));
+    verdict(max_cpu_delta < 0.5, "CPU steady-state agreement is in the paper's sub-half-degree class");
+    verdict(max_disk_delta < 0.5, "disk steady-state agreement is in the paper's sub-half-degree class");
+    Ok(())
+}

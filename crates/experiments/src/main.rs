@@ -1,0 +1,112 @@
+//! Reproduction harness for "Mercury and Freon" (ASPLOS 2006).
+//!
+//! One subcommand per paper artifact; each writes CSV series under
+//! `results/` and prints `PAPER:` / `MEASURED:` summary lines. Run with
+//! `--release` — the Fluent stand-in and the long calibration runs are
+//! deliberately expensive.
+//!
+//! ```text
+//! cargo run --release -p experiments -- all
+//! cargo run --release -p experiments -- fig11
+//! ```
+
+mod ablation;
+mod common;
+mod extensions;
+mod fluent;
+mod freon_exp;
+mod misc;
+mod validation;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: experiments <subcommand>
+
+  table1            print the Table 1 model as loaded by Mercury
+  fig1              dump the Figure 1 graphs in Graphviz dot
+  fig4              run the Figure 4 fiddle script against a live solver
+  fig5              CPU calibration run (plant vs Mercury)
+  fig6              disk calibration run
+  fig7              CPU-air validation on the combined benchmark
+  fig8              disk validation on the combined benchmark
+  table_fluent      14-combo steady-state comparison vs the CFD stand-in
+  fig11             Freon base policy under two inlet emergencies
+  fig12             Freon-EC under the same trace and emergencies
+  table_drops       Freon vs the traditional red-line baseline
+  micro             solver-iteration and sensor-read latency micro numbers
+  ablation_controller   PD vs P-only vs bang-bang admission control
+  ablation_projection   Freon-EC projection horizon 0/1/2/4 intervals
+  ablation_substeps     solver stability-limit sweep (accuracy vs cost)
+  sec43_throttling  remote (Freon) vs local (DVFS) vs combined throttling
+  ablation_fans     fixed vs variable-speed fans under the emergencies
+  all               everything above, in order
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match args.first() {
+        Some(c) => c.as_str(),
+        None => {
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = run(command);
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("experiments {command}: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(command: &str) -> Result<(), Box<dyn std::error::Error>> {
+    match command {
+        "table1" => misc::table1(),
+        "fig1" => misc::fig1(),
+        "fig4" => misc::fig4(),
+        "fig5" => validation::fig5(),
+        "fig6" => validation::fig6(),
+        "fig7" => validation::fig7(),
+        "fig8" => validation::fig8(),
+        "table_fluent" => fluent::table_fluent(),
+        "fig11" => freon_exp::fig11(),
+        "fig12" => freon_exp::fig12(),
+        "table_drops" => freon_exp::table_drops(),
+        "micro" => misc::micro(),
+        "ablation_controller" => ablation::controller(),
+        "ablation_projection" => ablation::projection(),
+        "ablation_substeps" => ablation::substeps(),
+        "sec43_throttling" => extensions::sec43_throttling(),
+        "ablation_fans" => extensions::ablation_fans(),
+        "all" => {
+            for cmd in [
+                "table1",
+                "fig1",
+                "fig4",
+                "fig5",
+                "fig6",
+                "fig7",
+                "fig8",
+                "table_fluent",
+                "fig11",
+                "fig12",
+                "table_drops",
+                "micro",
+                "ablation_controller",
+                "ablation_projection",
+                "ablation_substeps",
+                "sec43_throttling",
+                "ablation_fans",
+            ] {
+                println!("==================== {cmd} ====================");
+                run(cmd)?;
+                println!();
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`\n{USAGE}").into()),
+    }
+}

@@ -1,0 +1,345 @@
+//! The closed experiment loop: workload → cluster → Mercury → policy.
+//!
+//! Each simulated second the engine
+//!
+//! 1. applies any due `fiddle` events (the thermal emergencies),
+//! 2. feeds the second's arrivals through the LVS model and advances the
+//!    servers,
+//! 3. plays `monitord`: reports every server's CPU/disk utilization to
+//!    the Mercury cluster solver,
+//! 4. steps Mercury one tick,
+//! 5. hands the policy fresh temperatures and utilizations, and
+//! 6. records a log row.
+//!
+//! The engine also keeps the thermal model honest about power state:
+//! while a simulated server is off, its Mercury components are switched
+//! to (near-)zero draw, and restored when it boots — so Figure 12's
+//! "machines cooled down substantially while off" reproduces.
+
+use crate::log::{ExperimentLog, LogRow};
+use crate::policy::ThermalPolicy;
+use cluster_sim::ClusterSim;
+use mercury::fiddle::FiddleScript;
+use mercury::model::{ClusterModel, NodeSpec, PowerModel};
+use mercury::solver::{ClusterSolver, SolverConfig};
+use mercury::units::Watts;
+use workload_gen::WorkloadTrace;
+
+/// What a policy sees about one server each second.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerSnapshot {
+    /// Component temperatures, as `(component, °C)` pairs — what `tempd`
+    /// reads from Mercury's sensor interface.
+    pub temps: Vec<(String, f64)>,
+    /// CPU utilization over the last second.
+    pub cpu_util: f64,
+    /// Disk utilization over the last second.
+    pub disk_util: f64,
+    /// Active connections.
+    pub connections: usize,
+    /// Whether the server is powered at all.
+    pub powered: bool,
+    /// Whether the server currently accepts connections.
+    pub accepting: bool,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Run length, simulated seconds.
+    pub duration_s: u64,
+    /// Mercury solver configuration (1 s ticks by default).
+    pub solver: SolverConfig,
+    /// Mercury component fed with the server's CPU utilization.
+    pub cpu_component: String,
+    /// Mercury component fed with the server's disk utilization.
+    pub disk_component: String,
+    /// Residual draw of a powered-off server's monitored components, W
+    /// (wake-on-LAN circuitry etc.).
+    pub off_watts: f64,
+    /// Per-machine variable-speed fan firmware (§7 extension). Cloned for
+    /// every machine; `None` keeps fans at their fixed Table 1 speed.
+    pub fan_controller: Option<mercury::fan::FanController>,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            duration_s: 2000,
+            solver: SolverConfig::default(),
+            cpu_component: "cpu".to_string(),
+            disk_component: "disk_platters".to_string(),
+            off_watts: 0.5,
+            fan_controller: None,
+        }
+    }
+}
+
+/// DVFS power law: at frequency scale `s`, dynamic power scales roughly
+/// with `f·V²` and voltage tracks frequency, so `P_dyn ∝ s³`; idle/static
+/// power is unaffected.
+fn scaled_cpu_power(original: &PowerModel, scale: f64) -> PowerModel {
+    match original {
+        PowerModel::Linear { base, max } => PowerModel::Linear {
+            base: *base,
+            max: Watts(base.0 + (max.0 - base.0) * scale.powi(3)),
+        },
+        other => other.clone(),
+    }
+}
+
+/// Runs one experiment and returns its log.
+///
+/// `model` and `sim` must describe the same number of machines; the
+/// machine at cluster-model index `i` is driven by simulated server `i`.
+#[derive(Debug)]
+pub struct Experiment<'a> {
+    model: &'a ClusterModel,
+    sim: ClusterSim,
+    trace: &'a WorkloadTrace,
+    script: Option<&'a FiddleScript>,
+    config: ExperimentConfig,
+}
+
+impl<'a> Experiment<'a> {
+    /// Prepares an experiment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`mercury::Error::InvalidInput`] when the cluster model and
+    /// simulation disagree on the machine count.
+    pub fn new(
+        model: &'a ClusterModel,
+        sim: ClusterSim,
+        trace: &'a WorkloadTrace,
+        script: Option<&'a FiddleScript>,
+        config: ExperimentConfig,
+    ) -> Result<Self, mercury::Error> {
+        if model.machines().len() != sim.len() {
+            return Err(mercury::Error::invalid_input(format!(
+                "thermal model has {} machines but the simulation has {}",
+                model.machines().len(),
+                sim.len()
+            )));
+        }
+        Ok(Experiment { model, sim, trace, script, config })
+    }
+
+    /// Runs the experiment to completion under the given policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates Mercury solver construction errors and fiddle events
+    /// that address unknown machines or nodes.
+    pub fn run(mut self, policy: &mut dyn ThermalPolicy) -> Result<ExperimentLog, mercury::Error> {
+        let n = self.sim.len();
+        let mut solver = ClusterSolver::new(self.model, self.config.solver.clone())?;
+        let mut runner = self.script.map(FiddleScript::runner);
+        let mut log = ExperimentLog::new(policy.name());
+
+        // Original power models, to restore after a power-off episode.
+        let original_power: Vec<Vec<(String, PowerModel)>> = self
+            .model
+            .machines()
+            .iter()
+            .map(|m| {
+                m.nodes()
+                    .iter()
+                    .filter_map(|node| match node {
+                        NodeSpec::Component(c) => Some((c.name.clone(), c.power.clone())),
+                        NodeSpec::Air(_) => None,
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut was_powered = vec![true; n];
+        let mut last_scale = vec![1.0_f64; n];
+        let mut fans: Vec<Option<mercury::fan::FanController>> =
+            vec![self.config.fan_controller.clone(); n];
+
+        for t in 0..self.config.duration_s {
+            if let Some(r) = runner.as_mut() {
+                r.apply_due_to_cluster(mercury::units::Seconds(t as f64), &mut solver)?;
+            }
+
+            let arrivals = self.trace.arrivals_at(t);
+            let stats = self.sim.tick(arrivals);
+
+            // monitord: utilizations into Mercury, with power-state
+            // bookkeeping.
+            for i in 0..n {
+                let powered = self.sim.server(i).is_powered();
+                let scale = self.sim.server(i).speed_scale();
+                if powered != was_powered[i] || (powered && scale != last_scale[i]) {
+                    let machine = solver.machine_at_mut(i);
+                    for (component, model) in &original_power[i] {
+                        let desired = if !powered {
+                            PowerModel::Constant(Watts(self.config.off_watts))
+                        } else if component == &self.config.cpu_component && scale < 1.0 {
+                            scaled_cpu_power(model, scale)
+                        } else {
+                            model.clone()
+                        };
+                        machine.set_power_model(component, desired)?;
+                    }
+                    was_powered[i] = powered;
+                    last_scale[i] = scale;
+                }
+                let machine = solver.machine_at_mut(i);
+                machine.set_utilization(&self.config.cpu_component, stats.cpu_utilization[i])?;
+                machine.set_utilization(&self.config.disk_component, stats.disk_utilization[i])?;
+                if let Some(fan) = fans[i].as_mut() {
+                    fan.regulate(machine)?;
+                }
+            }
+
+            solver.step();
+
+            // Policy observation.
+            let snapshots: Vec<ServerSnapshot> = (0..n)
+                .map(|i| {
+                    let machine = solver.machine_at(i);
+                    ServerSnapshot {
+                        temps: machine
+                            .temperatures()
+                            .into_iter()
+                            .map(|(name, c)| (name, c.0))
+                            .collect(),
+                        cpu_util: stats.cpu_utilization[i],
+                        disk_util: stats.disk_utilization[i],
+                        connections: stats.connections[i],
+                        powered: self.sim.server(i).is_powered(),
+                        accepting: self.sim.server(i).accepts_connections(),
+                    }
+                })
+                .collect();
+            policy.control(t, &snapshots, &mut self.sim);
+
+            let cpu_temp: Vec<f64> = (0..n)
+                .map(|i| {
+                    solver
+                        .machine_at(i)
+                        .temperature(&self.config.cpu_component)
+                        .map(|c| c.0)
+                        .unwrap_or(f64::NAN)
+                })
+                .collect();
+            let disk_temp: Vec<f64> = (0..n)
+                .map(|i| {
+                    solver
+                        .machine_at(i)
+                        .temperature(&self.config.disk_component)
+                        .map(|c| c.0)
+                        .unwrap_or(f64::NAN)
+                })
+                .collect();
+            log.push(LogRow {
+                time_s: t,
+                cpu_temp,
+                disk_temp,
+                cpu_util: stats.cpu_utilization.clone(),
+                weight: (0..n).map(|i| self.sim.lvs().weight(i)).collect(),
+                connections: stats.connections.clone(),
+                active_servers: self.sim.active_servers(),
+                offered: stats.offered,
+                dropped: stats.dropped,
+                completed: stats.completed,
+                request_seconds: stats.request_seconds,
+            });
+        }
+        Ok(log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FreonConfig;
+    use crate::policy::{FreonPolicy, NoPolicy};
+    use cluster_sim::ServerConfig;
+    use workload_gen::{DiurnalProfile, RequestMix, WorkloadGenerator};
+
+    fn paper_trace(duration: u64) -> WorkloadTrace {
+        let mix = RequestMix::paper();
+        let peak = mix.rps_for_cpu_utilization(0.7, 4, 1000.0);
+        let profile = DiurnalProfile::new(duration as f64, peak * 0.15, peak).with_peak_at(0.65);
+        WorkloadGenerator::new(profile, mix, 42).generate(duration)
+    }
+
+    #[test]
+    fn engine_couples_load_to_temperature() {
+        let model = mercury::presets::validation_cluster(4);
+        let sim = ClusterSim::homogeneous(4, ServerConfig::default());
+        let trace = paper_trace(600);
+        let cfg = ExperimentConfig { duration_s: 600, ..Default::default() };
+        let log = Experiment::new(&model, sim, &trace, None, cfg)
+            .unwrap()
+            .run(&mut NoPolicy)
+            .unwrap();
+        assert_eq!(log.len(), 600);
+        // Temperatures rise from ambient as load ramps.
+        let first = log.rows()[10].cpu_temp[0];
+        let last = log.rows()[599].cpu_temp[0];
+        assert!(last > first + 3.0, "no thermal coupling: {first} -> {last}");
+        assert_eq!(log.total_dropped(), 0);
+    }
+
+    #[test]
+    fn engine_applies_fiddle_emergencies() {
+        let model = mercury::presets::validation_cluster(2);
+        let sim = ClusterSim::homogeneous(2, ServerConfig::default());
+        let trace = paper_trace(300);
+        let script = FiddleScript::parse("sleep 100\nfiddle machine1 temperature inlet 38.6\n").unwrap();
+        let cfg = ExperimentConfig { duration_s: 300, ..Default::default() };
+        let log = Experiment::new(&model, sim, &trace, Some(&script), cfg)
+            .unwrap()
+            .run(&mut NoPolicy)
+            .unwrap();
+        // Machine 1 ends hotter than machine 2.
+        let t1 = log.rows().last().unwrap().cpu_temp[0];
+        let t2 = log.rows().last().unwrap().cpu_temp[1];
+        assert!(t1 > t2 + 5.0, "emergency had no effect: {t1} vs {t2}");
+    }
+
+    #[test]
+    fn machine_count_mismatch_is_rejected() {
+        let model = mercury::presets::validation_cluster(2);
+        let sim = ClusterSim::homogeneous(3, ServerConfig::default());
+        let trace = paper_trace(10);
+        assert!(Experiment::new(&model, sim, &trace, None, Default::default()).is_err());
+    }
+
+    #[test]
+    fn powered_off_servers_cool_down() {
+        let model = mercury::presets::validation_cluster(2);
+        let mut sim = ClusterSim::homogeneous(2, ServerConfig::default());
+        sim.lvs_mut().set_quiesced(1, true);
+        sim.server_mut(1).shutdown_hard();
+        let trace = paper_trace(900);
+        let cfg = ExperimentConfig { duration_s: 900, ..Default::default() };
+        let log = Experiment::new(&model, sim, &trace, None, cfg)
+            .unwrap()
+            .run(&mut NoPolicy)
+            .unwrap();
+        let on = log.rows().last().unwrap().cpu_temp[0];
+        let off = log.rows().last().unwrap().cpu_temp[1];
+        // The off machine sits near ambient; the on machine runs warm.
+        assert!(off < 25.0, "off server at {off}");
+        assert!(on > off + 8.0, "on {on} vs off {off}");
+    }
+
+    #[test]
+    fn freon_policy_runs_in_the_loop() {
+        let model = mercury::presets::validation_cluster(4);
+        let sim = ClusterSim::homogeneous(4, ServerConfig::default());
+        let trace = paper_trace(400);
+        let cfg = ExperimentConfig { duration_s: 400, ..Default::default() };
+        let mut policy = FreonPolicy::new(FreonConfig::paper(), 4);
+        let log = Experiment::new(&model, sim, &trace, None, cfg)
+            .unwrap()
+            .run(&mut policy)
+            .unwrap();
+        assert_eq!(log.policy, "freon");
+        assert_eq!(log.len(), 400);
+    }
+}

@@ -1,0 +1,56 @@
+//! # freon — thermal-emergency management for server clusters
+//!
+//! Freon (the paper's §4) manages component temperatures in a web-server
+//! cluster fronted by an LVS load balancer, **without** the traditional
+//! approach of turning affected servers off (which needlessly degrades
+//! throughput under high load). Its pieces:
+//!
+//! * [`PdController`] — the proportional-derivative feedback controller
+//!   `output = max(kp·(T − T_h) + kd·(T − T_last), 0)` with the paper's
+//!   constants kp = 0.1, kd = 0.2;
+//! * [`Tempd`] — the per-server temperature daemon: wakes once a minute,
+//!   compares each component against its high/low/red-line thresholds,
+//!   and reports controller outputs to `admd`;
+//! * [`Admd`] — the admission-control daemon at the balancer: on a report
+//!   it rescales the hot server's LVS weight so the server receives only
+//!   `1/(output+1)` of its current load share, and caps its concurrent
+//!   connections at the last minute's average ("remote throttling");
+//! * [`FreonPolicy`] — the base policy wiring tempd + admd together, plus
+//!   red-line shutdown as the last resort;
+//! * [`FreonEcPolicy`] — Freon-EC (§4.2, Figure 10): energy conservation
+//!   by shrinking/growing the active server set, with room *regions* so
+//!   replacements come from parts of the room unaffected by the
+//!   emergency;
+//! * [`TraditionalPolicy`] — the baseline the paper compares against:
+//!   do nothing until a component red-lines, then turn the server off;
+//! * [`LocalDvfsPolicy`] / [`CombinedPolicy`] — the §4.3 comparison:
+//!   CPU-local voltage/frequency scaling, and Freon combined with it as
+//!   the paper's suggested software+hardware split;
+//! * [`Experiment`] — the closed loop: workload trace → cluster sim →
+//!   utilizations → Mercury → temperatures → policy → LVS, with fiddle
+//!   scripts injecting thermal emergencies (this regenerates Figures 11
+//!   and 12).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod admd;
+mod config;
+mod controller;
+mod engine;
+mod local;
+mod log;
+pub mod net;
+mod policy;
+mod tempd;
+
+pub use admd::Admd;
+pub use config::{ComponentThresholds, EcConfig, FreonConfig};
+pub use controller::PdController;
+pub use engine::{Experiment, ExperimentConfig, ServerSnapshot};
+pub use local::{CombinedPolicy, LocalDvfsPolicy, DEFAULT_LEVELS};
+pub use log::ExperimentLog;
+pub use net::{AdmdService, TempdDaemon, TempdMessage};
+pub use policy::{FreonEcPolicy, FreonPolicy, NoPolicy, ThermalPolicy, TraditionalPolicy};
+pub use tempd::{Tempd, TempdReport};

@@ -1,0 +1,289 @@
+//! CPU-local thermal management and the software+hardware combination
+//! (§4.3).
+//!
+//! The paper contrasts Freon's *remote throttling* with techniques that
+//! act on the hot CPU itself — clock throttling and voltage/frequency
+//! scaling — and argues the best system "should probably be a
+//! combination \[...\]; the software being responsible for the
+//! higher-level, coarser-grained tasks and the hardware being
+//! responsible for fine-grained, immediate-reaction, low-level tasks."
+//! This module supplies both sides of that comparison:
+//!
+//! * [`LocalDvfsPolicy`] — each server manages only itself: when its CPU
+//!   crosses `T_h` it steps down through a ladder of frequency scales
+//!   (the engine applies the cubic DVFS power law to the thermal model),
+//!   stepping back up when the CPU cools below `T_l`. No load balancer
+//!   involvement: in a least-connections cluster the slowed server
+//!   naturally sheds load, which is the effect the paper observes — at
+//!   the cost of slower service for the requests it does take.
+//! * [`CombinedPolicy`] — Freon's remote throttling as the first,
+//!   coarse-grained line of defense, with local DVFS engaging only for
+//!   servers that stay above `T_h` despite the load-distribution
+//!   adjustments.
+
+use crate::config::FreonConfig;
+use crate::engine::ServerSnapshot;
+use crate::policy::{FreonPolicy, ThermalPolicy};
+use cluster_sim::ClusterSim;
+
+/// The default frequency ladder (full speed first). Real parts expose "a
+/// limited set of voltages and frequencies" (§4.3) — five levels here.
+pub const DEFAULT_LEVELS: [f64; 5] = [1.0, 0.85, 0.7, 0.55, 0.4];
+
+/// Per-server DVFS state machine.
+#[derive(Debug, Clone)]
+struct DvfsLadder {
+    levels: Vec<f64>,
+    index: Vec<usize>,
+    steps_down: u64,
+}
+
+impl DvfsLadder {
+    fn new(levels: Vec<f64>, n: usize) -> Self {
+        DvfsLadder { levels, index: vec![0; n], steps_down: 0 }
+    }
+
+    fn scale(&self, server: usize) -> f64 {
+        self.levels[self.index[server]]
+    }
+
+    fn step_down(&mut self, sim: &mut ClusterSim, server: usize) -> bool {
+        if self.index[server] + 1 < self.levels.len() {
+            self.index[server] += 1;
+            sim.server_mut(server).set_speed_scale(self.scale(server));
+            self.steps_down += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn step_up(&mut self, sim: &mut ClusterSim, server: usize) {
+        if self.index[server] > 0 {
+            self.index[server] -= 1;
+            sim.server_mut(server).set_speed_scale(self.scale(server));
+        }
+    }
+}
+
+/// Purely local thermal management: per-CPU DVFS, no balancer changes.
+#[derive(Debug, Clone)]
+pub struct LocalDvfsPolicy {
+    config: FreonConfig,
+    ladder: DvfsLadder,
+    red_line_shutdowns: u64,
+}
+
+impl LocalDvfsPolicy {
+    /// Creates the policy with the default frequency ladder.
+    pub fn new(config: FreonConfig, n: usize) -> Self {
+        Self::with_levels(config, n, DEFAULT_LEVELS.to_vec())
+    }
+
+    /// Creates the policy with a custom (descending) frequency ladder.
+    pub fn with_levels(config: FreonConfig, n: usize, levels: Vec<f64>) -> Self {
+        LocalDvfsPolicy { config, ladder: DvfsLadder::new(levels, n), red_line_shutdowns: 0 }
+    }
+
+    /// Total downward frequency steps taken.
+    pub fn steps_down(&self) -> u64 {
+        self.ladder.steps_down
+    }
+
+    /// A server's current frequency scale.
+    pub fn scale(&self, server: usize) -> f64 {
+        self.ladder.scale(server)
+    }
+
+    /// Servers lost to red-line shutdowns (the CPU's own last resort).
+    pub fn red_line_shutdowns(&self) -> u64 {
+        self.red_line_shutdowns
+    }
+
+    fn cpu_temp(&self, snapshot: &ServerSnapshot) -> Option<(f64, f64, f64, f64)> {
+        let thresholds = self.config.thresholds_for("cpu")?;
+        let temp = snapshot.temps.iter().find(|(c, _)| c == "cpu")?.1;
+        Some((temp, thresholds.high, thresholds.low, thresholds.red_line))
+    }
+}
+
+impl ThermalPolicy for LocalDvfsPolicy {
+    fn name(&self) -> &'static str {
+        "local-dvfs"
+    }
+
+    fn control(&mut self, now_s: u64, snapshots: &[ServerSnapshot], sim: &mut ClusterSim) {
+        if now_s == 0 || now_s % self.config.monitor_period_s != 0 {
+            return;
+        }
+        for (i, snapshot) in snapshots.iter().enumerate() {
+            if !snapshot.powered {
+                continue;
+            }
+            let (temp, high, low, red) = match self.cpu_temp(snapshot) {
+                Some(t) => t,
+                None => continue,
+            };
+            if temp >= red {
+                sim.lvs_mut().set_quiesced(i, true);
+                sim.server_mut(i).shutdown_hard();
+                self.red_line_shutdowns += 1;
+            } else if temp > high {
+                self.ladder.step_down(sim, i);
+            } else if temp < low {
+                self.ladder.step_up(sim, i);
+            }
+        }
+    }
+}
+
+/// Freon plus local DVFS as the second line of defense.
+#[derive(Debug, Clone)]
+pub struct CombinedPolicy {
+    freon: FreonPolicy,
+    config: FreonConfig,
+    ladder: DvfsLadder,
+}
+
+impl CombinedPolicy {
+    /// Creates the combined policy.
+    pub fn new(config: FreonConfig, n: usize) -> Self {
+        CombinedPolicy {
+            freon: FreonPolicy::new(config.clone(), n),
+            config,
+            ladder: DvfsLadder::new(DEFAULT_LEVELS.to_vec(), n),
+        }
+    }
+
+    /// The wrapped Freon policy (for its counters).
+    pub fn freon(&self) -> &FreonPolicy {
+        &self.freon
+    }
+
+    /// Total downward DVFS steps the hardware side took.
+    pub fn dvfs_steps_down(&self) -> u64 {
+        self.ladder.steps_down
+    }
+}
+
+impl ThermalPolicy for CombinedPolicy {
+    fn name(&self) -> &'static str {
+        "freon+dvfs"
+    }
+
+    fn control(&mut self, now_s: u64, snapshots: &[ServerSnapshot], sim: &mut ClusterSim) {
+        // Software first: the coarse-grained, cluster-wide decisions.
+        self.freon.control(now_s, snapshots, sim);
+        if now_s == 0 || now_s % self.config.monitor_period_s != 0 {
+            return;
+        }
+        // Hardware second: servers that are *still* above T_h even though
+        // Freon has already restricted them get a frequency step; cool
+        // servers recover their frequency before their restrictions lift.
+        let thresholds = match self.config.thresholds_for("cpu") {
+            Some(t) => t.clone(),
+            None => return,
+        };
+        for (i, snapshot) in snapshots.iter().enumerate() {
+            if !snapshot.powered || !sim.server(i).is_powered() {
+                continue;
+            }
+            let temp = match snapshot.temps.iter().find(|(c, _)| c == "cpu") {
+                Some((_, t)) => *t,
+                None => continue,
+            };
+            if temp > thresholds.high && self.freon.restricted()[i] {
+                self.ladder.step_down(sim, i);
+            } else if temp < thresholds.low {
+                self.ladder.step_up(sim, i);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster_sim::ServerConfig;
+
+    fn snapshot(temp: f64, powered: bool) -> ServerSnapshot {
+        ServerSnapshot {
+            temps: vec![("cpu".to_string(), temp), ("disk_platters".to_string(), 40.0)],
+            cpu_util: 0.7,
+            disk_util: 0.2,
+            connections: 10,
+            powered,
+            accepting: powered,
+        }
+    }
+
+    #[test]
+    fn dvfs_steps_down_when_hot_and_recovers_when_cool() {
+        let mut policy = LocalDvfsPolicy::new(FreonConfig::paper(), 2);
+        let mut sim = ClusterSim::homogeneous(2, ServerConfig::default());
+        let hot = vec![snapshot(68.0, true), snapshot(60.0, true)];
+        policy.control(60, &hot, &mut sim);
+        assert_eq!(policy.scale(0), 0.85);
+        assert_eq!(policy.scale(1), 1.0);
+        assert_eq!(sim.server(0).speed_scale(), 0.85);
+        policy.control(120, &hot, &mut sim);
+        assert_eq!(policy.scale(0), 0.7);
+        assert_eq!(policy.steps_down(), 2);
+
+        let cool = vec![snapshot(63.0, true), snapshot(60.0, true)];
+        policy.control(180, &cool, &mut sim);
+        assert_eq!(policy.scale(0), 0.85);
+        policy.control(240, &cool, &mut sim);
+        assert_eq!(policy.scale(0), 1.0);
+        assert_eq!(sim.server(0).speed_scale(), 1.0);
+    }
+
+    #[test]
+    fn dvfs_saturates_at_the_ladder_bottom() {
+        let mut policy =
+            LocalDvfsPolicy::with_levels(FreonConfig::paper(), 1, vec![1.0, 0.5]);
+        let mut sim = ClusterSim::homogeneous(1, ServerConfig::default());
+        let hot = vec![snapshot(68.0, true)];
+        policy.control(60, &hot, &mut sim);
+        policy.control(120, &hot, &mut sim);
+        policy.control(180, &hot, &mut sim);
+        assert_eq!(policy.scale(0), 0.5);
+        assert_eq!(policy.steps_down(), 1);
+    }
+
+    #[test]
+    fn dvfs_red_lines_like_real_hardware() {
+        let mut policy = LocalDvfsPolicy::new(FreonConfig::paper(), 1);
+        let mut sim = ClusterSim::homogeneous(1, ServerConfig::default());
+        policy.control(60, &[snapshot(69.5, true)], &mut sim);
+        assert_eq!(policy.red_line_shutdowns(), 1);
+        assert!(!sim.server(0).is_powered());
+    }
+
+    #[test]
+    fn dvfs_acts_only_on_monitor_boundaries_and_powered_servers() {
+        let mut policy = LocalDvfsPolicy::new(FreonConfig::paper(), 1);
+        let mut sim = ClusterSim::homogeneous(1, ServerConfig::default());
+        policy.control(59, &[snapshot(68.0, true)], &mut sim);
+        assert_eq!(policy.scale(0), 1.0);
+        policy.control(60, &[snapshot(68.0, false)], &mut sim);
+        assert_eq!(policy.scale(0), 1.0);
+    }
+
+    #[test]
+    fn combined_engages_dvfs_only_after_freon_restrictions() {
+        let mut policy = CombinedPolicy::new(FreonConfig::paper(), 2);
+        let mut sim = ClusterSim::homogeneous(2, ServerConfig::default());
+        let hot = vec![snapshot(68.0, true), snapshot(60.0, true)];
+        // First period: Freon restricts, and since the server is both
+        // restricted and still hot, the hardware steps once too.
+        policy.control(60, &hot, &mut sim);
+        assert!(policy.freon().restricted()[0]);
+        assert_eq!(policy.dvfs_steps_down(), 1);
+        assert_eq!(sim.server(0).speed_scale(), 0.85);
+        // Cooling below T_l recovers the frequency.
+        let cool = vec![snapshot(63.0, true), snapshot(60.0, true)];
+        policy.control(120, &cool, &mut sim);
+        assert_eq!(sim.server(0).speed_scale(), 1.0);
+    }
+}

@@ -1,0 +1,365 @@
+//! The networked Freon deployment (Figure 9).
+//!
+//! In the paper, Freon is "a couple of communicating daemons and LVS": a
+//! `tempd` on every server monitors its component temperatures (through
+//! Mercury's sensor interface) and, on threshold crossings, sends UDP
+//! messages to `admd` at the load-balancer node, which adjusts the LVS
+//! request distribution. This module is that deployment over real
+//! sockets:
+//!
+//! * [`TempdDaemon`] — a thread that polls thermal sensors (any closure;
+//!   typically [`mercury::net::Sensor`] reads against a solver service)
+//!   once per monitoring period and ships [`TempdMessage`]s over UDP;
+//! * [`AdmdService`] — a thread that receives those messages and applies
+//!   the base-policy actions (throttle / release / red-line shutdown) to
+//!   the cluster behind a lock.
+//!
+//! The in-process [`crate::FreonPolicy`] and this networked pair share
+//! all decision logic ([`crate::Tempd`], [`crate::Admd`]), so the two
+//! deployments cannot drift apart behaviourally.
+
+use crate::admd::Admd;
+use crate::config::FreonConfig;
+use crate::tempd::Tempd;
+use cluster_sim::ClusterSim;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What a tempd tells admd (the paper sends "the output of a PD feedback
+/// controller"; release and red-line notifications travel the same way).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TempdMessage {
+    /// A component is above `T_h`; apply the controller output.
+    Throttle {
+        /// Reporting server's index at the balancer.
+        server: usize,
+        /// `max{output_c}` from the PD controllers.
+        output: f64,
+    },
+    /// Every monitored component fell below `T_l`; lift restrictions.
+    Release {
+        /// Reporting server's index.
+        server: usize,
+    },
+    /// A component crossed its red line; the server must go offline.
+    RedLine {
+        /// Reporting server's index.
+        server: usize,
+    },
+}
+
+impl TempdMessage {
+    /// Encodes the message for the wire (JSON — these are a few dozen
+    /// bytes once a minute, so readability beats compactness).
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("tempd messages are plain data")
+    }
+
+    /// Decodes a wire message.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serde error for malformed datagrams.
+    pub fn decode(bytes: &[u8]) -> Result<Self, serde_json::Error> {
+        serde_json::from_slice(bytes)
+    }
+}
+
+/// A running admd: receives [`TempdMessage`]s over UDP and actuates the
+/// balancer.
+#[derive(Debug)]
+pub struct AdmdService {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+    messages_handled: Arc<Mutex<u64>>,
+}
+
+impl AdmdService {
+    /// Spawns the service on a loopback port, actuating `sim`. The admd
+    /// also samples LVS connection statistics every
+    /// [`FreonConfig::sample_period_s`] *scaled* by `time_compression`
+    /// (pass e.g. 0.01 to run a sped-up experiment: one wall millisecond
+    /// per emulated... your call — the daemons only see durations).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::Error`] when the socket cannot be bound.
+    pub fn spawn(
+        sim: Arc<Mutex<ClusterSim>>,
+        config: FreonConfig,
+        time_compression: f64,
+    ) -> std::io::Result<Self> {
+        let socket = UdpSocket::bind("127.0.0.1:0")?;
+        socket.set_read_timeout(Some(Duration::from_millis(10)))?;
+        let addr = socket.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let messages_handled = Arc::new(Mutex::new(0u64));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            let handled = Arc::clone(&messages_handled);
+            std::thread::Builder::new().name("freon-admd".into()).spawn(move || {
+                let n = sim.lock().len();
+                let mut admd = Admd::new(n);
+                let sample_every = Duration::from_secs_f64(
+                    (config.sample_period_s as f64 * time_compression).max(0.001),
+                );
+                let mut last_sample = std::time::Instant::now();
+                let mut buf = [0u8; 512];
+                while !stop.load(Ordering::Relaxed) {
+                    if last_sample.elapsed() >= sample_every {
+                        admd.sample_connections(&sim.lock());
+                        last_sample = std::time::Instant::now();
+                    }
+                    let len = match socket.recv(&mut buf) {
+                        Ok(len) => len,
+                        Err(e)
+                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                || e.kind() == std::io::ErrorKind::TimedOut =>
+                        {
+                            continue
+                        }
+                        Err(_) => break,
+                    };
+                    let message = match TempdMessage::decode(&buf[..len]) {
+                        Ok(m) => m,
+                        Err(_) => continue, // garbage datagrams are dropped
+                    };
+                    let mut sim = sim.lock();
+                    match message {
+                        TempdMessage::Throttle { server, output } if server < n => {
+                            admd.rescale_weight(&mut sim, server, output);
+                            if config.connection_caps {
+                                admd.apply_connection_cap(&mut sim, server);
+                            }
+                            admd.end_interval();
+                        }
+                        TempdMessage::Release { server } if server < n => {
+                            admd.release(&mut sim, server);
+                        }
+                        TempdMessage::RedLine { server } if server < n => {
+                            sim.lvs_mut().set_quiesced(server, true);
+                            sim.server_mut(server).shutdown_hard();
+                        }
+                        _ => continue,
+                    }
+                    *handled.lock() += 1;
+                }
+            })?
+        };
+        Ok(AdmdService { addr, stop, thread: Some(thread), messages_handled })
+    }
+
+    /// The address tempds should send to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Messages applied so far.
+    pub fn messages_handled(&self) -> u64 {
+        *self.messages_handled.lock()
+    }
+
+    /// Stops the service.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for AdmdService {
+    fn drop(&mut self) {
+        // The receive loop polls the stop flag every 10 ms.
+        self.stop_and_join();
+    }
+}
+
+/// A running tempd: polls temperatures and reports threshold events.
+#[derive(Debug)]
+pub struct TempdDaemon {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl TempdDaemon {
+    /// Spawns a tempd for server `server`. `read_temps` produces
+    /// `(component, °C)` pairs each wake-up — typically by reading
+    /// Mercury sensors over UDP. The daemon wakes every
+    /// [`FreonConfig::monitor_period_s`] scaled by `time_compression`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::Error`] when the reporting socket cannot be
+    /// created.
+    pub fn spawn(
+        server: usize,
+        config: FreonConfig,
+        admd_addr: SocketAddr,
+        time_compression: f64,
+        mut read_temps: impl FnMut() -> Vec<(String, f64)> + Send + 'static,
+    ) -> std::io::Result<Self> {
+        let socket = UdpSocket::bind("127.0.0.1:0")?;
+        socket.connect(admd_addr)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new().name(format!("freon-tempd-{server}")).spawn(
+                move || {
+                    let mut tempd = Tempd::new(&config);
+                    let mut restricted = false;
+                    let period = Duration::from_secs_f64(
+                        (config.monitor_period_s as f64 * time_compression).max(0.001),
+                    );
+                    while !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(period);
+                        let temps = read_temps();
+                        let report = tempd.observe(&temps, &config);
+                        let message = if report.red_lined.is_some() {
+                            Some(TempdMessage::RedLine { server })
+                        } else if let Some(output) = report.output {
+                            restricted = true;
+                            Some(TempdMessage::Throttle { server, output })
+                        } else if report.all_below_low && restricted {
+                            restricted = false;
+                            Some(TempdMessage::Release { server })
+                        } else {
+                            None
+                        };
+                        if let Some(message) = message {
+                            let _ = socket.send(&message.encode());
+                        }
+                    }
+                },
+            )?
+        };
+        Ok(TempdDaemon { stop, thread: Some(thread) })
+    }
+
+    /// Stops the daemon.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TempdDaemon {
+    fn drop(&mut self) {
+        // The wake-up period is compressed in tests; joining is quick.
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster_sim::ServerConfig;
+
+    #[test]
+    fn messages_round_trip() {
+        for message in [
+            TempdMessage::Throttle { server: 2, output: 0.35 },
+            TempdMessage::Release { server: 0 },
+            TempdMessage::RedLine { server: 3 },
+        ] {
+            assert_eq!(TempdMessage::decode(&message.encode()).unwrap(), message);
+        }
+        assert!(TempdMessage::decode(b"junk").is_err());
+    }
+
+    #[test]
+    fn networked_loop_throttles_and_releases() {
+        let sim = Arc::new(Mutex::new(ClusterSim::homogeneous(2, ServerConfig::default())));
+        let config = FreonConfig::paper();
+        let admd = AdmdService::spawn(Arc::clone(&sim), config.clone(), 0.0005).unwrap();
+
+        // Server 0's CPU runs hot for a while, then cools below T_l.
+        let hot_phase = Arc::new(AtomicBool::new(true));
+        let hot_flag = Arc::clone(&hot_phase);
+        let tempd = TempdDaemon::spawn(0, config, admd.local_addr(), 0.0005, move || {
+            let t = if hot_flag.load(Ordering::Relaxed) { 68.5 } else { 62.0 };
+            vec![("cpu".to_string(), t), ("disk_platters".to_string(), 40.0)]
+        })
+        .unwrap();
+
+        // Wait for a throttle to land.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            if sim.lock().lvs().weight(0) < 1.0 {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "no throttle arrived");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        // Cool down; the release must restore the weight.
+        hot_phase.store(false, Ordering::Relaxed);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            if sim.lock().lvs().weight(0) == 1.0 {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "no release arrived");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(admd.messages_handled() >= 2);
+        tempd.shutdown();
+        admd.shutdown();
+    }
+
+    #[test]
+    fn networked_red_line_kills_the_server() {
+        let sim = Arc::new(Mutex::new(ClusterSim::homogeneous(1, ServerConfig::default())));
+        let config = FreonConfig::paper();
+        let admd = AdmdService::spawn(Arc::clone(&sim), config.clone(), 0.0005).unwrap();
+        let tempd = TempdDaemon::spawn(0, config, admd.local_addr(), 0.0005, || {
+            vec![("cpu".to_string(), 70.0)]
+        })
+        .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            if !sim.lock().server(0).is_powered() {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "red line never landed");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        tempd.shutdown();
+        admd.shutdown();
+    }
+
+    #[test]
+    fn garbage_datagrams_are_ignored() {
+        let sim = Arc::new(Mutex::new(ClusterSim::homogeneous(1, ServerConfig::default())));
+        let admd =
+            AdmdService::spawn(Arc::clone(&sim), FreonConfig::paper(), 0.001).unwrap();
+        let socket = UdpSocket::bind("127.0.0.1:0").unwrap();
+        socket.send_to(b"{not json", admd.local_addr()).unwrap();
+        socket
+            .send_to(
+                &TempdMessage::Throttle { server: 99, output: 1.0 }.encode(),
+                admd.local_addr(),
+            )
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        // Neither datagram crashed or actuated anything.
+        assert_eq!(sim.lock().lvs().weight(0), 1.0);
+        admd.shutdown();
+    }
+}

@@ -1,0 +1,607 @@
+//! The thermal-management policies: Freon, Freon-EC, and the traditional
+//! baseline.
+
+use crate::admd::Admd;
+use crate::config::{EcConfig, FreonConfig};
+use crate::engine::ServerSnapshot;
+use crate::tempd::Tempd;
+use cluster_sim::ClusterSim;
+
+/// A cluster-level thermal-management policy, invoked once per simulated
+/// second with fresh temperatures and utilizations. Policies do their own
+/// internal scheduling (the paper's daemons wake once per minute and
+/// sample LVS every five seconds).
+pub trait ThermalPolicy: std::fmt::Debug {
+    /// Short name for logs and reports.
+    fn name(&self) -> &'static str;
+
+    /// Observes the cluster and optionally actuates the balancer/servers.
+    fn control(&mut self, now_s: u64, snapshots: &[ServerSnapshot], sim: &mut ClusterSim);
+}
+
+/// A policy that never intervenes — the control for validation runs.
+#[derive(Debug, Clone, Default)]
+pub struct NoPolicy;
+
+impl ThermalPolicy for NoPolicy {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn control(&mut self, _now_s: u64, _snapshots: &[ServerSnapshot], _sim: &mut ClusterSim) {}
+}
+
+/// The traditional approach (§5.1): ignore temperatures until a component
+/// crosses its red line, then turn the server off. Servers stay off for
+/// the rest of the run (the emergency persists, so they would immediately
+/// red-line again).
+#[derive(Debug, Clone)]
+pub struct TraditionalPolicy {
+    config: FreonConfig,
+    /// Seconds at which each server was shut down, if it was.
+    shutdown_times: Vec<Option<u64>>,
+}
+
+impl TraditionalPolicy {
+    /// Creates the baseline for an `n`-server cluster.
+    pub fn new(config: FreonConfig, n: usize) -> Self {
+        TraditionalPolicy { config, shutdown_times: vec![None; n] }
+    }
+
+    /// When each server was turned off (`None` = survived the run).
+    pub fn shutdown_times(&self) -> &[Option<u64>] {
+        &self.shutdown_times
+    }
+}
+
+impl ThermalPolicy for TraditionalPolicy {
+    fn name(&self) -> &'static str {
+        "traditional"
+    }
+
+    fn control(&mut self, now_s: u64, snapshots: &[ServerSnapshot], sim: &mut ClusterSim) {
+        if now_s == 0 || now_s % self.config.monitor_period_s != 0 {
+            return;
+        }
+        for (i, snapshot) in snapshots.iter().enumerate() {
+            if !snapshot.accepting {
+                continue;
+            }
+            let red_lined = snapshot.temps.iter().any(|(component, temp)| {
+                self.config
+                    .thresholds_for(component)
+                    .is_some_and(|t| *temp >= t.red_line)
+            });
+            if red_lined {
+                sim.lvs_mut().set_quiesced(i, true);
+                sim.server_mut(i).shutdown_hard();
+                self.shutdown_times[i] = Some(now_s);
+            }
+        }
+    }
+}
+
+/// The base Freon policy (§4.1): remote throttling via LVS weights and
+/// connection caps, driven by per-server PD controllers; red-line
+/// shutdown only as the last resort.
+#[derive(Debug, Clone)]
+pub struct FreonPolicy {
+    config: FreonConfig,
+    tempds: Vec<Tempd>,
+    admd: Admd,
+    restricted: Vec<bool>,
+    adjustments: u64,
+    red_line_shutdowns: u64,
+}
+
+impl FreonPolicy {
+    /// Creates the policy for an `n`-server cluster.
+    pub fn new(config: FreonConfig, n: usize) -> Self {
+        let tempds = (0..n).map(|_| Tempd::new(&config)).collect();
+        FreonPolicy {
+            config,
+            tempds,
+            admd: Admd::new(n),
+            restricted: vec![false; n],
+            adjustments: 0,
+            red_line_shutdowns: 0,
+        }
+    }
+
+    /// How many load-distribution adjustments admd has made.
+    pub fn adjustments(&self) -> u64 {
+        self.adjustments
+    }
+
+    /// How many servers were lost to red-line shutdowns.
+    pub fn red_line_shutdowns(&self) -> u64 {
+        self.red_line_shutdowns
+    }
+
+    /// Which servers currently carry restrictions.
+    pub fn restricted(&self) -> &[bool] {
+        &self.restricted
+    }
+
+    fn monitor(&mut self, now_s: u64, snapshots: &[ServerSnapshot], sim: &mut ClusterSim) {
+        for (i, snapshot) in snapshots.iter().enumerate() {
+            if !snapshot.powered {
+                continue;
+            }
+            let report = self.tempds[i].observe(&snapshot.temps, &self.config);
+            if report.red_lined.is_some() {
+                // Modern CPUs and disks turn themselves off at the red
+                // line; Freon extends the action to the entire server.
+                sim.lvs_mut().set_quiesced(i, true);
+                sim.server_mut(i).shutdown_hard();
+                self.red_line_shutdowns += 1;
+                self.restricted[i] = false;
+                continue;
+            }
+            if let Some(output) = report.output {
+                self.admd.rescale_weight(sim, i, output);
+                if self.config.connection_caps {
+                    self.admd.apply_connection_cap(sim, i);
+                }
+                self.restricted[i] = true;
+                self.adjustments += 1;
+            } else if report.all_below_low && self.restricted[i] {
+                self.admd.release(sim, i);
+                self.restricted[i] = false;
+            }
+        }
+        let _ = now_s;
+        self.admd.end_interval();
+    }
+}
+
+impl ThermalPolicy for FreonPolicy {
+    fn name(&self) -> &'static str {
+        "freon"
+    }
+
+    fn control(&mut self, now_s: u64, snapshots: &[ServerSnapshot], sim: &mut ClusterSim) {
+        if now_s > 0 && now_s % self.config.sample_period_s == 0 {
+            self.admd.sample_connections(sim);
+        }
+        if now_s > 0 && now_s % self.config.monitor_period_s == 0 {
+            self.monitor(now_s, snapshots, sim);
+        }
+    }
+}
+
+/// Freon-EC (§4.2, Figure 10): the base thermal policy plus cluster
+/// reconfiguration for energy conservation, with room regions guiding
+/// which servers replace which.
+#[derive(Debug, Clone)]
+pub struct FreonEcPolicy {
+    config: FreonConfig,
+    ec: EcConfig,
+    tempds: Vec<Tempd>,
+    admd: Admd,
+    restricted: Vec<bool>,
+    region_emergencies: Vec<i64>,
+    /// Round-robin cursor over regions for turn-on selection.
+    next_region: usize,
+    /// Previous interval's cluster-average utilization per tracked
+    /// component (CPU, disk), for the linear projection.
+    prev_avg: Option<(f64, f64)>,
+    power_ons: u64,
+    power_offs: u64,
+    adjustments: u64,
+}
+
+impl FreonEcPolicy {
+    /// Creates Freon-EC for a cluster of `regions.len()` servers.
+    pub fn new(config: FreonConfig, ec: EcConfig) -> Self {
+        let n = ec.regions.len();
+        let tempds = (0..n).map(|_| Tempd::new(&config)).collect();
+        let region_count = ec.region_count();
+        FreonEcPolicy {
+            config,
+            ec,
+            tempds,
+            admd: Admd::new(n),
+            restricted: vec![false; n],
+            region_emergencies: vec![0; region_count],
+            next_region: 0,
+            prev_avg: None,
+            power_ons: 0,
+            power_offs: 0,
+            adjustments: 0,
+        }
+    }
+
+    /// Servers powered on by the policy so far.
+    pub fn power_ons(&self) -> u64 {
+        self.power_ons
+    }
+
+    /// Servers powered off by the policy so far.
+    pub fn power_offs(&self) -> u64 {
+        self.power_offs
+    }
+
+    /// Load-distribution adjustments made by the base thermal policy.
+    pub fn adjustments(&self) -> u64 {
+        self.adjustments
+    }
+
+    /// Current per-region emergency counts.
+    pub fn region_emergencies(&self) -> &[i64] {
+        &self.region_emergencies
+    }
+
+    /// Cluster-average CPU and disk utilization over the servers carrying
+    /// load (accepting connections).
+    fn average_utilization(snapshots: &[ServerSnapshot]) -> (f64, f64, usize) {
+        let mut cpu = 0.0;
+        let mut disk = 0.0;
+        let mut n = 0usize;
+        for s in snapshots.iter().filter(|s| s.accepting) {
+            cpu += s.cpu_util;
+            disk += s.disk_util;
+            n += 1;
+        }
+        if n == 0 {
+            (0.0, 0.0, 0)
+        } else {
+            (cpu / n as f64, disk / n as f64, n)
+        }
+    }
+
+    /// Picks a region to take a replacement server from: round-robin over
+    /// regions that have at least one off server, preferring regions not
+    /// under an emergency. Returns a server index to power on.
+    fn select_server_to_turn_on(&mut self, snapshots: &[ServerSnapshot]) -> Option<usize> {
+        let region_count = self.ec.region_count().max(1);
+        let has_off = |region: usize| {
+            self.ec
+                .regions
+                .iter()
+                .enumerate()
+                .any(|(i, &r)| r == region && !snapshots[i].powered)
+        };
+        // Two passes: first regions without emergencies, then any region.
+        for emergency_ok in [false, true] {
+            for offset in 0..region_count {
+                let region = (self.next_region + offset) % region_count;
+                let under_emergency = self.region_emergencies.get(region).copied().unwrap_or(0) > 0;
+                if (under_emergency && !emergency_ok) || !has_off(region) {
+                    continue;
+                }
+                let server = self
+                    .ec
+                    .regions
+                    .iter()
+                    .enumerate()
+                    .find(|(i, &r)| r == region && !snapshots[*i].powered)
+                    .map(|(i, _)| i);
+                if let Some(server) = server {
+                    self.next_region = (region + 1) % region_count;
+                    return Some(server);
+                }
+            }
+        }
+        None
+    }
+
+    fn turn_on(&mut self, sim: &mut ClusterSim, server: usize) {
+        sim.server_mut(server).power_on();
+        sim.lvs_mut().set_quiesced(server, false);
+        sim.lvs_mut().clear_restrictions(server);
+        self.restricted[server] = false;
+        self.power_ons += 1;
+    }
+
+    fn turn_off(&mut self, sim: &mut ClusterSim, server: usize) {
+        sim.lvs_mut().set_quiesced(server, true);
+        sim.server_mut(server).shutdown_graceful();
+        self.power_offs += 1;
+    }
+
+    fn monitor(&mut self, snapshots: &[ServerSnapshot], sim: &mut ClusterSim) {
+        // --- Figure 10, step 1: grow the configuration on projected load.
+        let (cpu_avg, disk_avg, active) = Self::average_utilization(snapshots);
+        let (cpu_proj, disk_proj) = match self.prev_avg {
+            Some((pc, pd)) if cpu_avg + disk_avg > pc + pd => {
+                let k = self.ec.projection_intervals as f64;
+                (cpu_avg + k * (cpu_avg - pc), disk_avg + k * (disk_avg - pd))
+            }
+            _ => (cpu_avg, disk_avg),
+        };
+        self.prev_avg = Some((cpu_avg, disk_avg));
+
+        let need_add = cpu_proj > self.ec.u_high || disk_proj > self.ec.u_high;
+        let any_off = snapshots.iter().any(|s| !s.powered);
+        if need_add && any_off {
+            if let Some(server) = self.select_server_to_turn_on(snapshots) {
+                self.turn_on(sim, server);
+            }
+        }
+
+        // Removal headroom: removing k servers lifts the average to
+        // avg·active/(active−k); it must stay below U_l.
+        let u_low = self.ec.u_low;
+        let removable = move |k: usize| {
+            active > k
+                && cpu_avg * active as f64 / (active - k) as f64 <= u_low
+                && disk_avg * active as f64 / (active - k) as f64 <= u_low
+        };
+
+        // --- Figure 10, step 2: per-server thermal events.
+        let mut reports = Vec::with_capacity(snapshots.len());
+        for (i, snapshot) in snapshots.iter().enumerate() {
+            if !snapshot.powered {
+                reports.push(None);
+                continue;
+            }
+            reports.push(Some(self.tempds[i].observe(&snapshot.temps, &self.config)));
+        }
+
+        let mut removed_for_heat = 0usize;
+        for (i, report) in reports.iter().enumerate() {
+            let report = match report {
+                Some(r) => r,
+                None => continue,
+            };
+            if report.red_lined.is_some() {
+                sim.lvs_mut().set_quiesced(i, true);
+                sim.server_mut(i).shutdown_hard();
+                self.power_offs += 1;
+                self.restricted[i] = false;
+                continue;
+            }
+            let region = self.ec.regions[i];
+            if !report.crossed_high.is_empty() {
+                self.region_emergencies[region] += 1;
+                if !removable(removed_for_heat + 1) {
+                    // All remaining servers are needed: fall back to the
+                    // base policy — unless we can bring up a replacement.
+                    if snapshots.iter().any(|s| !s.powered) {
+                        if let Some(replacement) = self.select_server_to_turn_on(snapshots) {
+                            self.turn_on(sim, replacement);
+                            self.turn_off(sim, i);
+                            removed_for_heat += 1;
+                            continue;
+                        }
+                    }
+                    if let Some(output) = report.output {
+                        self.admd.rescale_weight(sim, i, output);
+                        if self.config.connection_caps {
+                            self.admd.apply_connection_cap(sim, i);
+                        }
+                        self.restricted[i] = true;
+                        self.adjustments += 1;
+                    }
+                } else {
+                    // Capacity to spare: simply turn the hot server off.
+                    self.turn_off(sim, i);
+                    removed_for_heat += 1;
+                }
+                continue;
+            }
+            if !report.crossed_low.is_empty() {
+                self.region_emergencies[region] =
+                    (self.region_emergencies[region] - 1).max(0);
+            }
+            // Base policy for ongoing episodes / releases.
+            if let Some(output) = report.output {
+                self.admd.rescale_weight(sim, i, output);
+                if self.config.connection_caps {
+                    self.admd.apply_connection_cap(sim, i);
+                }
+                self.restricted[i] = true;
+                self.adjustments += 1;
+            } else if report.all_below_low && self.restricted[i] {
+                self.admd.release(sim, i);
+                self.restricted[i] = false;
+            }
+        }
+
+        // --- Figure 10, step 3: energy conservation — turn off as many
+        // servers as possible. Prefer servers in regions under emergency
+        // (they are the riskiest to keep hot), then higher indices; the
+        // paper orders by "current processing capacity", which is uniform
+        // in our homogeneous cluster.
+        let mut shrink = 0usize;
+        loop {
+            if !removable(removed_for_heat + shrink + 1) {
+                break;
+            }
+            let candidate = snapshots
+                .iter()
+                .enumerate()
+                .filter(|(i, s)| s.accepting && !sim.lvs().is_quiesced(*i))
+                .max_by_key(|(i, _)| {
+                    let emergency =
+                        self.region_emergencies.get(self.ec.regions[*i]).copied().unwrap_or(0) > 0;
+                    (emergency, *i)
+                })
+                .map(|(i, _)| i);
+            match candidate {
+                Some(i) if snapshots.iter().filter(|s| s.accepting).count() > shrink + 1 => {
+                    self.turn_off(sim, i);
+                    shrink += 1;
+                }
+                _ => break,
+            }
+        }
+
+        self.admd.end_interval();
+    }
+}
+
+impl ThermalPolicy for FreonEcPolicy {
+    fn name(&self) -> &'static str {
+        "freon-ec"
+    }
+
+    fn control(&mut self, now_s: u64, snapshots: &[ServerSnapshot], sim: &mut ClusterSim) {
+        if now_s > 0 && now_s % self.config.sample_period_s == 0 {
+            self.admd.sample_connections(sim);
+        }
+        if now_s > 0 && now_s % self.config.monitor_period_s == 0 {
+            self.monitor(snapshots, sim);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster_sim::ServerConfig;
+
+    fn snapshots(specs: &[(f64, f64, bool)]) -> Vec<ServerSnapshot> {
+        // (cpu_temp, cpu_util, powered)
+        specs
+            .iter()
+            .map(|&(temp, util, powered)| ServerSnapshot {
+                temps: vec![("cpu".to_string(), temp), ("disk_platters".to_string(), 40.0)],
+                cpu_util: util,
+                disk_util: util * 0.2,
+                connections: (util * 50.0) as usize,
+                powered,
+                accepting: powered,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn freon_throttles_only_at_monitor_boundaries() {
+        let mut policy = FreonPolicy::new(FreonConfig::paper(), 2);
+        let mut sim = ClusterSim::homogeneous(2, ServerConfig::default());
+        let snaps = snapshots(&[(68.0, 0.7, true), (60.0, 0.7, true)]);
+        policy.control(59, &snaps, &mut sim);
+        assert_eq!(policy.adjustments(), 0);
+        policy.control(60, &snaps, &mut sim);
+        assert_eq!(policy.adjustments(), 1);
+        assert!(sim.lvs().weight(0) < 1.0);
+        assert_eq!(sim.lvs().weight(1), 1.0);
+        assert!(policy.restricted()[0]);
+    }
+
+    #[test]
+    fn freon_releases_after_cooling_below_low() {
+        let mut policy = FreonPolicy::new(FreonConfig::paper(), 2);
+        let mut sim = ClusterSim::homogeneous(2, ServerConfig::default());
+        policy.control(60, &snapshots(&[(68.0, 0.7, true), (60.0, 0.7, true)]), &mut sim);
+        assert!(sim.lvs().weight(0) < 1.0);
+        // Still warm (between T_l and T_h): restrictions stay.
+        policy.control(120, &snapshots(&[(65.0, 0.5, true), (60.0, 0.7, true)]), &mut sim);
+        assert!(sim.lvs().weight(0) < 1.0);
+        // Cool below T_l=64: released.
+        policy.control(180, &snapshots(&[(63.0, 0.4, true), (60.0, 0.7, true)]), &mut sim);
+        assert_eq!(sim.lvs().weight(0), 1.0);
+        assert!(!policy.restricted()[0]);
+    }
+
+    #[test]
+    fn freon_red_line_turns_the_server_off() {
+        let mut policy = FreonPolicy::new(FreonConfig::paper(), 2);
+        let mut sim = ClusterSim::homogeneous(2, ServerConfig::default());
+        policy.control(60, &snapshots(&[(69.5, 0.9, true), (60.0, 0.5, true)]), &mut sim);
+        assert_eq!(policy.red_line_shutdowns(), 1);
+        assert!(!sim.server(0).is_powered());
+        assert!(sim.lvs().is_quiesced(0));
+    }
+
+    #[test]
+    fn traditional_ignores_everything_below_red_line() {
+        let mut policy = TraditionalPolicy::new(FreonConfig::paper(), 2);
+        let mut sim = ClusterSim::homogeneous(2, ServerConfig::default());
+        policy.control(60, &snapshots(&[(68.5, 0.9, true), (60.0, 0.5, true)]), &mut sim);
+        assert!(sim.server(0).is_powered(), "68.5 < red line 69: no action");
+        assert_eq!(sim.lvs().weight(0), 1.0);
+        policy.control(120, &snapshots(&[(69.2, 0.9, true), (60.0, 0.5, true)]), &mut sim);
+        assert!(!sim.server(0).is_powered());
+        assert_eq!(policy.shutdown_times(), &[Some(120), None]);
+    }
+
+    #[test]
+    fn ec_shrinks_under_light_load() {
+        let mut policy = FreonEcPolicy::new(FreonConfig::paper(), EcConfig::paper_four_servers());
+        let mut sim = ClusterSim::homogeneous(4, ServerConfig::default());
+        let light = snapshots(&[(40.0, 0.1, true); 4]);
+        policy.control(60, &light, &mut sim);
+        // avg 0.1 over 4 servers -> one server would run at 0.4 < 0.6.
+        assert!(policy.power_offs() >= 3, "power offs: {}", policy.power_offs());
+        assert_eq!(sim.active_servers(), 1);
+    }
+
+    #[test]
+    fn ec_grows_on_projected_load() {
+        let mut policy = FreonEcPolicy::new(FreonConfig::paper(), EcConfig::paper_four_servers());
+        let mut sim = ClusterSim::homogeneous(4, ServerConfig::default());
+        // Start with three servers off.
+        for i in 1..4 {
+            sim.lvs_mut().set_quiesced(i, true);
+            sim.server_mut(i).shutdown_hard();
+        }
+        let mut snaps = snapshots(&[(50.0, 0.5, true), (30.0, 0.0, false), (30.0, 0.0, false), (30.0, 0.0, false)]);
+        policy.control(60, &snaps, &mut sim);
+        // First observation: no history, no projection, 0.5 < 0.7.
+        assert_eq!(policy.power_ons(), 0);
+        // Load rising: 0.5 -> 0.65, projected 0.65 + 2·0.15 = 0.95 > 0.7.
+        snaps[0].cpu_util = 0.65;
+        policy.control(120, &snaps, &mut sim);
+        assert_eq!(policy.power_ons(), 1);
+        assert_eq!(sim.powered_servers(), 2);
+    }
+
+    #[test]
+    fn ec_replaces_hot_server_from_other_region() {
+        let mut policy = FreonEcPolicy::new(FreonConfig::paper(), EcConfig::paper_four_servers());
+        let mut sim = ClusterSim::homogeneous(4, ServerConfig::default());
+        // Servers 2 and 3 off; servers 0 and 1 at healthy load.
+        for i in 2..4 {
+            sim.lvs_mut().set_quiesced(i, true);
+            sim.server_mut(i).shutdown_hard();
+        }
+        // Server 0 (region 0) crosses T_h; load too high to just remove it.
+        let snaps = snapshots(&[(68.0, 0.6, true), (55.0, 0.6, true), (30.0, 0.0, false), (30.0, 0.0, false)]);
+        policy.control(60, &snaps, &mut sim);
+        assert_eq!(policy.region_emergencies()[0], 1);
+        // A replacement was powered on and the hot server taken out.
+        assert!(policy.power_ons() >= 1, "no replacement powered on");
+        assert!(sim.lvs().is_quiesced(0), "hot server still in rotation");
+        // The replacement should come from region 1 (no emergency there):
+        // region 1's off server is index 3.
+        assert!(sim.server(3).is_powered() || sim.server(1).is_powered());
+    }
+
+    #[test]
+    fn ec_emergency_counts_decrement_on_cooling() {
+        let mut policy = FreonEcPolicy::new(FreonConfig::paper(), EcConfig::paper_four_servers());
+        let mut sim = ClusterSim::homogeneous(4, ServerConfig::default());
+        let hot = snapshots(&[(68.0, 0.8, true), (66.0, 0.8, true), (60.0, 0.8, true), (60.0, 0.8, true)]);
+        policy.control(60, &hot, &mut sim);
+        assert_eq!(policy.region_emergencies()[0], 1);
+        let cool = snapshots(&[(63.0, 0.5, true), (60.0, 0.5, true), (55.0, 0.5, true), (55.0, 0.5, true)]);
+        policy.control(120, &cool, &mut sim);
+        assert_eq!(policy.region_emergencies()[0], 0);
+    }
+
+    #[test]
+    fn ec_never_removes_the_last_server() {
+        let mut policy = FreonEcPolicy::new(
+            FreonConfig::paper(),
+            EcConfig { regions: vec![0], ..EcConfig::paper_four_servers() },
+        );
+        let mut sim = ClusterSim::homogeneous(1, ServerConfig::default());
+        let idle = snapshots(&[(30.0, 0.0, true)]);
+        policy.control(60, &idle, &mut sim);
+        policy.control(120, &idle, &mut sim);
+        assert_eq!(sim.active_servers(), 1);
+        assert_eq!(policy.power_offs(), 0);
+    }
+
+    #[test]
+    fn no_policy_does_nothing() {
+        let mut policy = NoPolicy;
+        let mut sim = ClusterSim::homogeneous(2, ServerConfig::default());
+        policy.control(60, &snapshots(&[(90.0, 1.0, true), (90.0, 1.0, true)]), &mut sim);
+        assert_eq!(sim.active_servers(), 2);
+        assert_eq!(policy.name(), "none");
+    }
+}

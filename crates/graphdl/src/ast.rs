@@ -1,0 +1,155 @@
+//! Abstract syntax tree of the graph description language.
+
+use crate::error::Span;
+
+/// A whole document: a sequence of `machine` and `cluster` blocks.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Document {
+    /// Top-level blocks, in source order.
+    pub blocks: Vec<Block>,
+}
+
+/// What a top-level block declares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// `machine <name> { ... }`
+    Machine,
+    /// `cluster <name> { ... }`
+    Cluster,
+}
+
+/// One top-level block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Machine or cluster.
+    pub kind: BlockKind,
+    /// Declared name.
+    pub name: String,
+    /// Statements inside the braces.
+    pub statements: Vec<Statement>,
+    /// Where the block's header starts.
+    pub span: Span,
+}
+
+/// An attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A numeric value (`0.75`).
+    Number(f64),
+    /// A word or string value (`component`, `"server"`).
+    Text(String),
+}
+
+impl Value {
+    /// The numeric value, if this is a number.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            Value::Text(_) => None,
+        }
+    }
+
+    /// The textual value, if this is text.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            Value::Number(_) => None,
+        }
+    }
+}
+
+/// A `key=value` attribute with its location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribute {
+    /// Attribute key.
+    pub key: String,
+    /// Attribute value.
+    pub value: Value,
+    /// Location of the key.
+    pub span: Span,
+}
+
+/// A reference to a node, optionally qualified by a machine
+/// (`machine1:inlet` inside cluster blocks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EndpointRef {
+    /// Qualifying machine, for cluster-block endpoints.
+    pub machine: Option<String>,
+    /// Node (or supply/junction/machine) name.
+    pub node: String,
+    /// Location of the reference.
+    pub span: Span,
+}
+
+/// Edge direction / meaning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeOp {
+    /// `--`: an undirected heat-flow edge.
+    Heat,
+    /// `->`: a directed air-flow edge.
+    Air,
+}
+
+/// One statement inside a block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `name [attrs];` — declares a node.
+    Node {
+        /// Declared node name.
+        name: String,
+        /// Attribute list (may be empty).
+        attrs: Vec<Attribute>,
+        /// Location of the name.
+        span: Span,
+    },
+    /// `a -- b [attrs];` or `a -> b [attrs];` — declares an edge.
+    Edge {
+        /// Source endpoint.
+        from: EndpointRef,
+        /// Edge operator.
+        op: EdgeOp,
+        /// Destination endpoint.
+        to: EndpointRef,
+        /// Attribute list (may be empty).
+        attrs: Vec<Attribute>,
+        /// Location of the operator.
+        span: Span,
+    },
+    /// `key = value;` — a block-level setting (`fan`, `inlet_temperature`).
+    Assign {
+        /// Setting name.
+        key: String,
+        /// Setting value.
+        value: Value,
+        /// Location of the key.
+        span: Span,
+    },
+}
+
+/// Looks up an attribute by key.
+pub fn attr<'a>(attrs: &'a [Attribute], key: &str) -> Option<&'a Attribute> {
+    attrs.iter().find(|a| a.key == key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Number(1.5).as_number(), Some(1.5));
+        assert_eq!(Value::Number(1.5).as_text(), None);
+        assert_eq!(Value::Text("x".into()).as_text(), Some("x"));
+        assert_eq!(Value::Text("x".into()).as_number(), None);
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let attrs = vec![
+            Attribute { key: "k".into(), value: Value::Number(0.75), span: Span::default() },
+            Attribute { key: "type".into(), value: Value::Text("air".into()), span: Span::default() },
+        ];
+        assert!(attr(&attrs, "k").is_some());
+        assert!(attr(&attrs, "mass").is_none());
+    }
+}

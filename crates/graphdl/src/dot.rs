@@ -1,0 +1,165 @@
+//! Graphviz `dot` output for visualizing models.
+//!
+//! The paper chose a dot-derived language precisely because "the language
+//! enables freely available programs to draw the graphs for visualizing
+//! the system" (§2.3). These writers emit standard Graphviz syntax:
+//! components as boxes, air regions as ellipses, heat edges undirected and
+//! labelled with `k`, air edges directed and labelled with their fraction.
+
+use mercury::model::{AirKind, ClusterEndpoint, ClusterModel, MachineModel, NodeSpec};
+use std::fmt::Write;
+
+fn quote(name: &str) -> String {
+    format!("\"{}\"", name.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+/// Renders a machine's heat-flow graph (Figure 1a style) as `graph`.
+pub fn heat_flow_to_dot(model: &MachineModel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {} {{", quote(&format!("{}_heat", model.name())));
+    let _ = writeln!(out, "  label={};", quote(&format!("{} heat flow", model.name())));
+    for node in model.nodes() {
+        match node {
+            NodeSpec::Component(c) => {
+                let _ = writeln!(
+                    out,
+                    "  {} [shape=box, label={}];",
+                    quote(&c.name),
+                    quote(&format!("{}\\n{} kg", c.name, c.mass.0))
+                );
+            }
+            NodeSpec::Air(a) => {
+                let _ = writeln!(out, "  {} [shape=ellipse];", quote(&a.name));
+            }
+        }
+    }
+    for e in model.heat_edges() {
+        let _ = writeln!(
+            out,
+            "  {} -- {} [label=\"k={}\"];",
+            quote(model.node(e.a).name()),
+            quote(model.node(e.b).name()),
+            e.k.0
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a machine's air-flow graph (Figure 1b style) as `digraph`.
+pub fn air_flow_to_dot(model: &MachineModel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", quote(&format!("{}_air", model.name())));
+    let _ = writeln!(out, "  label={};", quote(&format!("{} air flow", model.name())));
+    let _ = writeln!(out, "  rankdir=LR;");
+    for node in model.nodes() {
+        if let NodeSpec::Air(a) = node {
+            let shape = match a.kind {
+                AirKind::Inlet => "invhouse",
+                AirKind::Exhaust => "house",
+                AirKind::Internal => "ellipse",
+            };
+            let _ = writeln!(out, "  {} [shape={shape}];", quote(&a.name));
+        }
+    }
+    for e in model.air_edges() {
+        let _ = writeln!(
+            out,
+            "  {} -> {} [label=\"{}\"];",
+            quote(model.node(e.from).name()),
+            quote(model.node(e.to).name()),
+            e.fraction
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn endpoint_name(cluster: &ClusterModel, ep: &ClusterEndpoint) -> String {
+    match ep {
+        ClusterEndpoint::Supply(n) | ClusterEndpoint::Junction(n) => n.clone(),
+        ClusterEndpoint::MachineInlet(i) => format!("{}:inlet", cluster.machines()[*i].name()),
+        ClusterEndpoint::MachineExhaust(i) => {
+            format!("{}:exhaust", cluster.machines()[*i].name())
+        }
+    }
+}
+
+/// Renders a cluster's inter-machine air-flow graph (Figure 1c style).
+pub fn cluster_to_dot(cluster: &ClusterModel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph cluster_air {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    for s in cluster.supplies() {
+        let _ = writeln!(
+            out,
+            "  {} [shape=invhouse, label={}];",
+            quote(&s.name),
+            quote(&format!("{}\\n{}", s.name, s.temperature))
+        );
+    }
+    for j in cluster.junctions() {
+        let _ = writeln!(out, "  {} [shape=house];", quote(j));
+    }
+    for m in cluster.machines() {
+        let _ = writeln!(out, "  {} [shape=box3d];", quote(m.name()));
+    }
+    for e in cluster.edges() {
+        // Machine ports collapse onto the machine box for drawing.
+        let from = endpoint_name(cluster, &e.from);
+        let to = endpoint_name(cluster, &e.to);
+        let from = from.split(':').next().expect("split yields at least one piece");
+        let to = to.split(':').next().expect("split yields at least one piece");
+        let _ = writeln!(out, "  {} -> {} [label=\"{}\"];", quote(from), quote(to), e.fraction);
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mercury::presets;
+
+    #[test]
+    fn heat_flow_dot_contains_every_node_and_edge() {
+        let model = presets::validation_machine();
+        let dot = heat_flow_to_dot(&model);
+        assert!(dot.starts_with("graph"));
+        for node in model.nodes() {
+            assert!(dot.contains(node.name()), "missing node {}", node.name());
+        }
+        assert!(dot.contains("k=0.75"));
+        assert!(dot.contains("k=10"));
+        assert_eq!(dot.matches(" -- ").count(), model.heat_edges().len());
+    }
+
+    #[test]
+    fn air_flow_dot_is_directed_with_fractions() {
+        let model = presets::validation_machine();
+        let dot = air_flow_to_dot(&model);
+        assert!(dot.starts_with("digraph"));
+        assert_eq!(dot.matches(" -> ").count(), model.air_edges().len());
+        assert!(dot.contains("0.15"));
+        assert!(dot.contains("invhouse"));
+        assert!(dot.contains("house"));
+    }
+
+    #[test]
+    fn cluster_dot_covers_supplies_machines_and_junctions() {
+        let cluster = presets::validation_cluster(4);
+        let dot = cluster_to_dot(&cluster);
+        assert!(dot.contains("\"ac\""));
+        assert!(dot.contains("\"cluster_exhaust\""));
+        for i in 1..=4 {
+            assert!(dot.contains(&format!("\"machine{i}\"")));
+        }
+        assert_eq!(dot.matches(" -> ").count(), cluster.edges().len());
+    }
+
+    #[test]
+    fn names_with_quotes_are_escaped() {
+        assert_eq!(quote("a\"b"), "\"a\\\"b\"");
+        assert_eq!(quote("a\\b"), "\"a\\\\b\"");
+    }
+}

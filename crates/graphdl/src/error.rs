@@ -1,0 +1,88 @@
+//! Parse errors with source locations.
+
+use std::fmt;
+
+/// A half-open source region, tracked as 1-based line and column of its
+/// start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based line of the first character.
+    pub line: usize,
+    /// 1-based column of the first character.
+    pub column: usize,
+}
+
+impl Span {
+    /// Creates a span at the given 1-based position.
+    pub fn new(line: usize, column: usize) -> Self {
+        Span { line, column }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// An error produced while lexing, parsing, or lowering a graph
+/// description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    span: Option<Span>,
+    message: String,
+}
+
+impl ParseError {
+    /// An error anchored at a source location.
+    pub fn at(span: Span, message: impl Into<String>) -> Self {
+        ParseError { span: Some(span), message: message.into() }
+    }
+
+    /// A semantic error with no single source location (e.g. a model
+    /// validation failure spanning several statements).
+    pub fn semantic(message: impl Into<String>) -> Self {
+        ParseError { span: None, message: message.into() }
+    }
+
+    /// The source location, when known.
+    pub fn span(&self) -> Option<Span> {
+        self.span
+    }
+
+    /// The error message without location prefix.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.span {
+            Some(span) => write!(f, "{span}: {}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location_when_present() {
+        let err = ParseError::at(Span::new(3, 14), "unexpected `}`");
+        assert_eq!(err.to_string(), "3:14: unexpected `}`");
+        assert_eq!(err.span(), Some(Span::new(3, 14)));
+        assert_eq!(err.message(), "unexpected `}`");
+    }
+
+    #[test]
+    fn semantic_errors_have_no_location() {
+        let err = ParseError::semantic("duplicate node `cpu`");
+        assert_eq!(err.to_string(), "duplicate node `cpu`");
+        assert_eq!(err.span(), None);
+    }
+}

@@ -1,0 +1,381 @@
+//! Tokenizer for the graph description language.
+
+use crate::error::{ParseError, Span};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A bare identifier (`cpu`, `machine`, `disk_air`).
+    Ident(String),
+    /// A quoted string (`"disk platters"`). Quotes support `\"` and `\\`.
+    Str(String),
+    /// A numeric literal (`0.75`, `38.6`, `-3`, `7`).
+    Number(f64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `=`
+    Equals,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `:`
+    Colon,
+    /// `--` (undirected / heat edge)
+    HeatEdge,
+    /// `->` (directed / air edge)
+    AirEdge,
+    /// End of input (always the last token).
+    Eof,
+}
+
+impl std::fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Str(s) => write!(f, "string \"{s}\""),
+            TokenKind::Number(n) => write!(f, "number `{n}`"),
+            TokenKind::LBrace => f.write_str("`{`"),
+            TokenKind::RBrace => f.write_str("`}`"),
+            TokenKind::LBracket => f.write_str("`[`"),
+            TokenKind::RBracket => f.write_str("`]`"),
+            TokenKind::Equals => f.write_str("`=`"),
+            TokenKind::Comma => f.write_str("`,`"),
+            TokenKind::Semicolon => f.write_str("`;`"),
+            TokenKind::Colon => f.write_str("`:`"),
+            TokenKind::HeatEdge => f.write_str("`--`"),
+            TokenKind::AirEdge => f.write_str("`->`"),
+            TokenKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A token with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it started.
+    pub span: Span,
+}
+
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+    column: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str) -> Self {
+        Cursor { chars: text.chars().peekable(), line: 1, column: 1 }
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line, self.column)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '.'
+}
+
+/// Tokenizes a document.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] for unterminated strings or block comments,
+/// malformed numbers, and characters outside the language.
+pub fn lex(text: &str) -> Result<Vec<Token>, ParseError> {
+    let mut cursor = Cursor::new(text);
+    let mut tokens = Vec::new();
+    loop {
+        // Skip whitespace and comments.
+        loop {
+            match cursor.peek() {
+                Some(c) if c.is_whitespace() => {
+                    cursor.bump();
+                }
+                Some('#') => {
+                    while let Some(c) = cursor.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        cursor.bump();
+                    }
+                }
+                Some('/') => {
+                    // Could be `//`, `/* */`, or an error.
+                    let span = cursor.span();
+                    let mut look = cursor.chars.clone();
+                    look.next();
+                    match look.peek() {
+                        Some('/') => {
+                            while let Some(c) = cursor.peek() {
+                                if c == '\n' {
+                                    break;
+                                }
+                                cursor.bump();
+                            }
+                        }
+                        Some('*') => {
+                            cursor.bump();
+                            cursor.bump();
+                            let mut closed = false;
+                            while let Some(c) = cursor.bump() {
+                                if c == '*' && cursor.peek() == Some('/') {
+                                    cursor.bump();
+                                    closed = true;
+                                    break;
+                                }
+                            }
+                            if !closed {
+                                return Err(ParseError::at(span, "unterminated block comment"));
+                            }
+                        }
+                        _ => return Err(ParseError::at(span, "unexpected character `/`")),
+                    }
+                }
+                _ => break,
+            }
+        }
+
+        let span = cursor.span();
+        let c = match cursor.peek() {
+            Some(c) => c,
+            None => {
+                tokens.push(Token { kind: TokenKind::Eof, span });
+                return Ok(tokens);
+            }
+        };
+
+        let kind = match c {
+            '{' => {
+                cursor.bump();
+                TokenKind::LBrace
+            }
+            '}' => {
+                cursor.bump();
+                TokenKind::RBrace
+            }
+            '[' => {
+                cursor.bump();
+                TokenKind::LBracket
+            }
+            ']' => {
+                cursor.bump();
+                TokenKind::RBracket
+            }
+            '=' => {
+                cursor.bump();
+                TokenKind::Equals
+            }
+            ',' => {
+                cursor.bump();
+                TokenKind::Comma
+            }
+            ';' => {
+                cursor.bump();
+                TokenKind::Semicolon
+            }
+            ':' => {
+                cursor.bump();
+                TokenKind::Colon
+            }
+            '-' => {
+                cursor.bump();
+                match cursor.peek() {
+                    Some('-') => {
+                        cursor.bump();
+                        TokenKind::HeatEdge
+                    }
+                    Some('>') => {
+                        cursor.bump();
+                        TokenKind::AirEdge
+                    }
+                    Some(c) if c.is_ascii_digit() || c == '.' => {
+                        let n = lex_number(&mut cursor, span)?;
+                        TokenKind::Number(-n)
+                    }
+                    _ => return Err(ParseError::at(span, "expected `--`, `->`, or a number after `-`")),
+                }
+            }
+            '"' => {
+                cursor.bump();
+                let mut s = String::new();
+                loop {
+                    match cursor.bump() {
+                        Some('"') => break,
+                        Some('\\') => match cursor.bump() {
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            Some(other) => {
+                                return Err(ParseError::at(
+                                    span,
+                                    format!("unknown escape `\\{other}` in string"),
+                                ))
+                            }
+                            None => return Err(ParseError::at(span, "unterminated string")),
+                        },
+                        Some(c) => s.push(c),
+                        None => return Err(ParseError::at(span, "unterminated string")),
+                    }
+                }
+                TokenKind::Str(s)
+            }
+            c if c.is_ascii_digit() || c == '.' => TokenKind::Number(lex_number(&mut cursor, span)?),
+            c if is_ident_start(c) => {
+                let mut s = String::new();
+                while let Some(c) = cursor.peek() {
+                    if is_ident_continue(c) {
+                        s.push(c);
+                        cursor.bump();
+                    } else {
+                        break;
+                    }
+                }
+                TokenKind::Ident(s)
+            }
+            other => return Err(ParseError::at(span, format!("unexpected character `{other}`"))),
+        };
+        tokens.push(Token { kind, span });
+    }
+}
+
+fn lex_number(cursor: &mut Cursor<'_>, span: Span) -> Result<f64, ParseError> {
+    let mut s = String::new();
+    while let Some(c) = cursor.peek() {
+        if c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' {
+            s.push(c);
+            cursor.bump();
+            continue;
+        }
+        // Exponent sign immediately after e/E.
+        if (c == '+' || c == '-') && matches!(s.chars().last(), Some('e') | Some('E')) {
+            s.push(c);
+            cursor.bump();
+            continue;
+        }
+        break;
+    }
+    s.parse::<f64>()
+        .map_err(|_| ParseError::at(span, format!("malformed number `{s}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(text: &str) -> Vec<TokenKind> {
+        lex(text).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_basic_tokens() {
+        assert_eq!(
+            kinds("machine m { cpu -- air [k=0.75]; inlet -> air; }"),
+            vec![
+                TokenKind::Ident("machine".into()),
+                TokenKind::Ident("m".into()),
+                TokenKind::LBrace,
+                TokenKind::Ident("cpu".into()),
+                TokenKind::HeatEdge,
+                TokenKind::Ident("air".into()),
+                TokenKind::LBracket,
+                TokenKind::Ident("k".into()),
+                TokenKind::Equals,
+                TokenKind::Number(0.75),
+                TokenKind::RBracket,
+                TokenKind::Semicolon,
+                TokenKind::Ident("inlet".into()),
+                TokenKind::AirEdge,
+                TokenKind::Ident("air".into()),
+                TokenKind::Semicolon,
+                TokenKind::RBrace,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers_including_negatives_and_exponents() {
+        assert_eq!(kinds("38.6"), vec![TokenKind::Number(38.6), TokenKind::Eof]);
+        assert_eq!(kinds("-3.5"), vec![TokenKind::Number(-3.5), TokenKind::Eof]);
+        assert_eq!(kinds("1e-3"), vec![TokenKind::Number(0.001), TokenKind::Eof]);
+        assert_eq!(kinds(".5"), vec![TokenKind::Number(0.5), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""disk platters" "a\"b""#),
+            vec![
+                TokenKind::Str("disk platters".into()),
+                TokenKind::Str("a\"b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_all_three_comment_styles() {
+        let text = "# hash\n// slashes\n/* block\nstill block */ cpu";
+        assert_eq!(kinds(text), vec![TokenKind::Ident("cpu".into()), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn tracks_line_and_column() {
+        let tokens = lex("a\n  b").unwrap();
+        assert_eq!(tokens[0].span, Span::new(1, 1));
+        assert_eq!(tokens[1].span, Span::new(2, 3));
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = lex("cpu @").unwrap_err();
+        assert_eq!(err.span(), Some(Span::new(1, 5)));
+        assert!(err.to_string().contains('@'));
+
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("/* open").is_err());
+        assert!(lex("a / b").is_err());
+        assert!(lex("- x").is_err());
+        assert!(lex("\"bad \\q escape\"").is_err());
+    }
+
+    #[test]
+    fn idents_allow_dots_and_underscores() {
+        assert_eq!(
+            kinds("disk_air m1.inlet"),
+            vec![
+                TokenKind::Ident("disk_air".into()),
+                TokenKind::Ident("m1.inlet".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+}

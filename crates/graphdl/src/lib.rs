@@ -1,0 +1,109 @@
+//! # mercury-graphdl — Mercury's input language
+//!
+//! The paper specifies its heat-flow and air-flow graphs in "our modified
+//! version of the language dot \[...\] changing its syntax to allow the
+//! specification of air fractions, component masses, etc." (§2.3). This
+//! crate implements that language: a dot-flavoured description that lowers
+//! directly into [`mercury::model::MachineModel`] and
+//! [`mercury::model::ClusterModel`] values, plus a writer that emits plain
+//! Graphviz `dot` so freely available tools can draw the graphs.
+//!
+//! ## The language
+//!
+//! ```text
+//! // Table 1, abridged. `--` edges carry heat, `->` edges carry air.
+//! machine server {
+//!     fan = 38.6;                 // ft³/min
+//!     inlet_temperature = 21.6;   // °C
+//!
+//!     cpu        [type=component, mass=0.151, c=896, pmin=7, pmax=31];
+//!     psu        [type=component, mass=1.643, c=896, power=40];
+//!     inlet      [type=inlet];
+//!     cpu_air    [type=air];
+//!     exhaust    [type=exhaust];
+//!
+//!     cpu -- cpu_air   [k=0.75];
+//!     inlet -> cpu_air [fraction=1.0];
+//!     cpu_air -> exhaust [fraction=1.0];
+//! }
+//!
+//! cluster room {
+//!     ac              [type=supply, temperature=21.6];
+//!     cluster_exhaust [type=junction];
+//!     machine1        [type=machine, model=server];
+//!
+//!     ac -> machine1:inlet [fraction=1.0];
+//!     machine1:exhaust -> cluster_exhaust [fraction=1.0];
+//! }
+//! ```
+//!
+//! Node statements are dot node statements with a mandatory `type`
+//! attribute; edge statements use dot's `--` (heat) and `->` (air) with
+//! `k=` and `fraction=` labels. Identifiers may be bare words or quoted
+//! strings (`"disk platters"`). Comments: `//`, `/* ... */`, and `#`.
+//!
+//! ## Entry points
+//!
+//! ```
+//! use mercury_graphdl::parse;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let library = parse(
+//!     "machine m { \
+//!        cpu [type=component, mass=0.1, c=896, pmin=7, pmax=31]; \
+//!        inlet [type=inlet]; a [type=air]; exhaust [type=exhaust]; \
+//!        cpu -- a [k=0.75]; inlet -> a [fraction=1]; a -> exhaust [fraction=1]; \
+//!      }",
+//! )?;
+//! let model = library.machine("m").expect("machine m is defined");
+//! assert_eq!(model.nodes().len(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ast;
+pub mod dot;
+pub mod error;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+pub mod writer;
+
+pub use error::{ParseError, Span};
+pub use lower::Library;
+
+/// Parses a graph-description document into a [`Library`] of machine and
+/// cluster models.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with a line/column span for lexical and
+/// syntactic problems, and with the underlying model-validation message
+/// for semantic ones (duplicate nodes, overcommitted fractions, cycles…).
+pub fn parse(text: &str) -> Result<Library, ParseError> {
+    let tokens = lexer::lex(text)?;
+    let document = parser::parse_document(&tokens)?;
+    lower::lower(&document)
+}
+
+/// Parses a document that must define exactly one machine (no clusters)
+/// and returns that machine.
+///
+/// # Errors
+///
+/// As [`parse`], plus an error when the document does not contain exactly
+/// one machine.
+pub fn parse_machine(text: &str) -> Result<mercury::model::MachineModel, ParseError> {
+    let library = parse(text)?;
+    if library.machines().len() != 1 {
+        return Err(ParseError::semantic(format!(
+            "expected exactly one machine, found {}",
+            library.machines().len()
+        )));
+    }
+    Ok(library.machines()[0].clone())
+}

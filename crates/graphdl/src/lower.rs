@@ -1,0 +1,495 @@
+//! Lowering: AST → validated `mercury` models.
+
+use crate::ast::{attr, Attribute, Block, BlockKind, Document, EdgeOp, Statement};
+use crate::error::{ParseError, Span};
+use mercury::model::{
+    AirKind, ClusterEndpoint, ClusterModel, MachineModel, PowerModel, DEFAULT_AIR_REGION_MASS_KG,
+};
+
+/// Everything a document defines: named machines and named clusters.
+#[derive(Debug, Clone, Default)]
+pub struct Library {
+    machines: Vec<MachineModel>,
+    clusters: Vec<(String, ClusterModel)>,
+}
+
+impl Library {
+    /// All machines, in declaration order.
+    pub fn machines(&self) -> &[MachineModel] {
+        &self.machines
+    }
+
+    /// All `(name, cluster)` pairs, in declaration order.
+    pub fn clusters(&self) -> &[(String, ClusterModel)] {
+        &self.clusters
+    }
+
+    /// A machine by its declared name.
+    pub fn machine(&self, name: &str) -> Option<&MachineModel> {
+        self.machines.iter().find(|m| m.name() == name)
+    }
+
+    /// A cluster by its declared name.
+    pub fn cluster(&self, name: &str) -> Option<&ClusterModel> {
+        self.clusters.iter().find(|(n, _)| n == name).map(|(_, c)| c)
+    }
+}
+
+fn num(attrs: &[Attribute], key: &str, span: Span) -> Result<Option<f64>, ParseError> {
+    match attr(attrs, key) {
+        None => Ok(None),
+        Some(a) => a
+            .value
+            .as_number()
+            .map(Some)
+            .ok_or_else(|| ParseError::at(a.span, format!("attribute `{key}` must be a number"))),
+    }
+    .map_err(|e| if e.span().is_some() { e } else { ParseError::at(span, e.message().to_string()) })
+}
+
+fn require_num(attrs: &[Attribute], key: &str, span: Span) -> Result<f64, ParseError> {
+    num(attrs, key, span)?
+        .ok_or_else(|| ParseError::at(span, format!("missing required attribute `{key}`")))
+}
+
+fn text<'a>(attrs: &'a [Attribute], key: &str) -> Result<Option<&'a str>, ParseError> {
+    match attr(attrs, key) {
+        None => Ok(None),
+        Some(a) => a
+            .value
+            .as_text()
+            .map(Some)
+            .ok_or_else(|| ParseError::at(a.span, format!("attribute `{key}` must be a name"))),
+    }
+}
+
+const KNOWN_COMPONENT_ATTRS: &[&str] =
+    &["type", "mass", "c", "pmin", "pmax", "power", "monitored"];
+const KNOWN_AIR_ATTRS: &[&str] = &["type", "mass"];
+
+fn reject_unknown_attrs(attrs: &[Attribute], known: &[&str]) -> Result<(), ParseError> {
+    for a in attrs {
+        if !known.contains(&a.key.as_str()) {
+            return Err(ParseError::at(
+                a.span,
+                format!("unknown attribute `{}` (expected one of {})", a.key, known.join(", ")),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn lower_machine(block: &Block) -> Result<MachineModel, ParseError> {
+    let mut builder = MachineModel::builder(block.name.clone());
+    for stmt in &block.statements {
+        match stmt {
+            Statement::Assign { key, value, span } => {
+                let v = value.as_number().ok_or_else(|| {
+                    ParseError::at(*span, format!("setting `{key}` must be a number"))
+                })?;
+                match key.as_str() {
+                    "fan" => {
+                        builder.fan_cfm(v);
+                    }
+                    "inlet_temperature" => {
+                        builder.inlet_temperature_c(v);
+                    }
+                    other => {
+                        return Err(ParseError::at(
+                            *span,
+                            format!("unknown machine setting `{other}` (expected `fan` or `inlet_temperature`)"),
+                        ))
+                    }
+                }
+            }
+            Statement::Node { name, attrs, span } => {
+                let kind = text(attrs, "type")?.ok_or_else(|| {
+                    ParseError::at(*span, format!("node `{name}` needs a `type` attribute"))
+                })?;
+                match kind {
+                    "component" => {
+                        reject_unknown_attrs(attrs, KNOWN_COMPONENT_ATTRS)?;
+                        let mass = require_num(attrs, "mass", *span)?;
+                        let c = require_num(attrs, "c", *span)?;
+                        let power = match (num(attrs, "power", *span)?, num(attrs, "pmin", *span)?, num(attrs, "pmax", *span)?) {
+                            (Some(w), None, None) => PowerModel::Constant(mercury::units::Watts(w)),
+                            (None, Some(pmin), Some(pmax)) => PowerModel::linear(pmin, pmax),
+                            (None, None, None) => PowerModel::Constant(mercury::units::Watts(0.0)),
+                            _ => {
+                                return Err(ParseError::at(
+                                    *span,
+                                    format!("component `{name}` must use either `power=<W>` or `pmin=`+`pmax=`"),
+                                ))
+                            }
+                        };
+                        let constant = matches!(power, PowerModel::Constant(_));
+                        let monitored = match text(attrs, "monitored")? {
+                            Some("true") => true,
+                            Some("false") => false,
+                            Some(other) => {
+                                return Err(ParseError::at(
+                                    *span,
+                                    format!("`monitored` must be true or false, found `{other}`"),
+                                ))
+                            }
+                            None => !constant,
+                        };
+                        let mut handle = builder.component(name.clone());
+                        handle
+                            .mass_kg(mass)
+                            .specific_heat(c)
+                            .power_model(power)
+                            .monitored(monitored);
+                    }
+                    air_kind @ ("air" | "inlet" | "exhaust") => {
+                        reject_unknown_attrs(attrs, KNOWN_AIR_ATTRS)?;
+                        let mass =
+                            num(attrs, "mass", *span)?.unwrap_or(DEFAULT_AIR_REGION_MASS_KG);
+                        let kind = match air_kind {
+                            "inlet" => AirKind::Inlet,
+                            "exhaust" => AirKind::Exhaust,
+                            _ => AirKind::Internal,
+                        };
+                        builder.air_with_mass(name.clone(), mass, kind);
+                    }
+                    other => {
+                        return Err(ParseError::at(
+                            *span,
+                            format!("unknown node type `{other}` (expected component, air, inlet, or exhaust)"),
+                        ))
+                    }
+                }
+            }
+            Statement::Edge { from, op, to, attrs, span } => {
+                if from.machine.is_some() || to.machine.is_some() {
+                    return Err(ParseError::at(
+                        *span,
+                        "machine blocks cannot reference other machines' nodes".to_string(),
+                    ));
+                }
+                match op {
+                    EdgeOp::Heat => {
+                        let k = require_num(attrs, "k", *span)?;
+                        builder
+                            .heat_edge(&from.node, &to.node, k)
+                            .map_err(|e| ParseError::at(*span, e.to_string()))?;
+                    }
+                    EdgeOp::Air => {
+                        let fraction = require_num(attrs, "fraction", *span)?;
+                        builder
+                            .air_edge(&from.node, &to.node, fraction)
+                            .map_err(|e| ParseError::at(*span, e.to_string()))?;
+                    }
+                }
+            }
+        }
+    }
+    builder.build().map_err(|e| ParseError::at(block.span, e.to_string()))
+}
+
+enum ClusterNodeKind {
+    Supply,
+    Junction,
+    Machine,
+}
+
+fn lower_cluster(block: &Block, machines: &[MachineModel]) -> Result<ClusterModel, ParseError> {
+    let mut builder = ClusterModel::builder();
+    let mut local: Vec<(String, ClusterNodeKind, Option<usize>)> = Vec::new();
+
+    // First pass: declarations.
+    for stmt in &block.statements {
+        match stmt {
+            Statement::Node { name, attrs, span } => {
+                let kind = text(attrs, "type")?.ok_or_else(|| {
+                    ParseError::at(*span, format!("node `{name}` needs a `type` attribute"))
+                })?;
+                match kind {
+                    "supply" => {
+                        let t = require_num(attrs, "temperature", *span)?;
+                        builder.supply(name.clone(), t);
+                        local.push((name.clone(), ClusterNodeKind::Supply, None));
+                    }
+                    "junction" => {
+                        builder.junction(name.clone());
+                        local.push((name.clone(), ClusterNodeKind::Junction, None));
+                    }
+                    "machine" => {
+                        let model_name = text(attrs, "model")?.ok_or_else(|| {
+                            ParseError::at(
+                                *span,
+                                format!("machine instance `{name}` needs `model=<machine>`"),
+                            )
+                        })?;
+                        let model = machines
+                            .iter()
+                            .find(|m| m.name() == model_name)
+                            .ok_or_else(|| {
+                                ParseError::at(
+                                    *span,
+                                    format!("unknown machine model `{model_name}` (define it in an earlier `machine` block)"),
+                                )
+                            })?;
+                        let idx = builder.machine(model.renamed(name.clone()));
+                        local.push((name.clone(), ClusterNodeKind::Machine, Some(idx)));
+                    }
+                    other => {
+                        return Err(ParseError::at(
+                            *span,
+                            format!("unknown cluster node type `{other}` (expected supply, junction, or machine)"),
+                        ))
+                    }
+                }
+            }
+            Statement::Assign { key, span, .. } => {
+                return Err(ParseError::at(*span, format!("unknown cluster setting `{key}`")));
+            }
+            Statement::Edge { .. } => {}
+        }
+    }
+
+    let resolve = |name: &str, port: Option<&str>, span: Span| -> Result<ClusterEndpoint, ParseError> {
+        let entry = local.iter().find(|(n, _, _)| n == name).ok_or_else(|| {
+            ParseError::at(span, format!("unknown cluster endpoint `{name}`"))
+        })?;
+        match (&entry.1, port) {
+            (ClusterNodeKind::Supply, None) => Ok(ClusterEndpoint::Supply(name.to_string())),
+            (ClusterNodeKind::Junction, None) => Ok(ClusterEndpoint::Junction(name.to_string())),
+            (ClusterNodeKind::Machine, Some("inlet")) => {
+                Ok(ClusterEndpoint::MachineInlet(entry.2.expect("machine entries carry an index")))
+            }
+            (ClusterNodeKind::Machine, Some("exhaust")) => Ok(ClusterEndpoint::MachineExhaust(
+                entry.2.expect("machine entries carry an index"),
+            )),
+            (ClusterNodeKind::Machine, Some(other)) => Err(ParseError::at(
+                span,
+                format!("machine port must be `inlet` or `exhaust`, found `{other}`"),
+            )),
+            (ClusterNodeKind::Machine, None) => Err(ParseError::at(
+                span,
+                format!("machine `{name}` must be referenced as `{name}:inlet` or `{name}:exhaust`"),
+            )),
+            (_, Some(_)) => Err(ParseError::at(
+                span,
+                format!("only machines take a `:port` qualifier, `{name}` does not"),
+            )),
+        }
+    };
+
+    // Second pass: edges.
+    for stmt in &block.statements {
+        if let Statement::Edge { from, op, to, attrs, span } = stmt {
+            if *op == EdgeOp::Heat {
+                return Err(ParseError::at(
+                    *span,
+                    "cluster blocks only carry air (`->`) edges".to_string(),
+                ));
+            }
+            let fraction = require_num(attrs, "fraction", *span)?;
+            let from_ep = match &from.machine {
+                Some(m) => resolve(m, Some(&from.node), from.span)?,
+                None => resolve(&from.node, None, from.span)?,
+            };
+            let to_ep = match &to.machine {
+                Some(m) => resolve(m, Some(&to.node), to.span)?,
+                None => resolve(&to.node, None, to.span)?,
+            };
+            builder.edge(from_ep, to_ep, fraction);
+        }
+    }
+
+    builder.build().map_err(|e| ParseError::at(block.span, e.to_string()))
+}
+
+/// Lowers a parsed document into models.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] for unknown attributes, missing required
+/// attributes, references to undefined machines, and any model validation
+/// failure.
+pub fn lower(document: &Document) -> Result<Library, ParseError> {
+    let mut library = Library::default();
+    for block in &document.blocks {
+        match block.kind {
+            BlockKind::Machine => {
+                if library.machine(&block.name).is_some() {
+                    return Err(ParseError::at(
+                        block.span,
+                        format!("machine `{}` is defined twice", block.name),
+                    ));
+                }
+                library.machines.push(lower_machine(block)?);
+            }
+            BlockKind::Cluster => {
+                if library.cluster(&block.name).is_some() {
+                    return Err(ParseError::at(
+                        block.span,
+                        format!("cluster `{}` is defined twice", block.name),
+                    ));
+                }
+                let cluster = lower_cluster(block, &library.machines)?;
+                library.clusters.push((block.name.clone(), cluster));
+            }
+        }
+    }
+    Ok(library)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse;
+
+    const TINY_MACHINE: &str = "machine m {\n\
+        fan = 38.6;\n\
+        inlet_temperature = 21.6;\n\
+        cpu [type=component, mass=0.151, c=896, pmin=7, pmax=31];\n\
+        psu [type=component, mass=1.643, c=896, power=40];\n\
+        inlet [type=inlet];\n\
+        cpu_air [type=air, mass=0.01];\n\
+        exhaust [type=exhaust];\n\
+        cpu -- cpu_air [k=0.75];\n\
+        inlet -> cpu_air [fraction=1];\n\
+        cpu_air -> exhaust [fraction=1];\n\
+    }";
+
+    #[test]
+    fn lowers_a_machine_with_all_node_kinds() {
+        let lib = parse(TINY_MACHINE).unwrap();
+        let m = lib.machine("m").unwrap();
+        assert_eq!(m.nodes().len(), 5);
+        assert_eq!(m.heat_edges().len(), 1);
+        assert_eq!(m.air_edges().len(), 2);
+        assert!((m.fan().to_cfm() - 38.6).abs() < 1e-9);
+        assert_eq!(m.inlet_temperature().0, 21.6);
+        // The constant-power PSU defaults to unmonitored.
+        assert_eq!(m.monitored_components(), vec!["cpu"]);
+        // The explicit air mass carried through.
+        let air = m.node(m.node_id("cpu_air").unwrap()).as_air().unwrap().clone();
+        assert_eq!(air.mass_kg, 0.01);
+    }
+
+    #[test]
+    fn lowers_a_cluster_referencing_machines() {
+        let text = format!(
+            "{TINY_MACHINE}\n\
+             cluster room {{\n\
+               ac [type=supply, temperature=18];\n\
+               out [type=junction];\n\
+               m1 [type=machine, model=m];\n\
+               m2 [type=machine, model=m];\n\
+               ac -> m1:inlet [fraction=0.5];\n\
+               ac -> m2:inlet [fraction=0.5];\n\
+               m1:exhaust -> out [fraction=1];\n\
+               m2:exhaust -> out [fraction=1];\n\
+             }}"
+        );
+        let lib = parse(&text).unwrap();
+        let cluster = lib.cluster("room").unwrap();
+        assert_eq!(cluster.machines().len(), 2);
+        assert_eq!(cluster.machines()[0].name(), "m1");
+        assert_eq!(cluster.supplies()[0].temperature.0, 18.0);
+        assert_eq!(cluster.edges().len(), 4);
+    }
+
+    #[test]
+    fn missing_required_attributes_are_reported() {
+        let err = parse("machine m { cpu [type=component, c=896]; }").unwrap_err();
+        assert!(err.to_string().contains("mass"), "{err}");
+
+        let err = parse("machine m { cpu [mass=1]; }").unwrap_err();
+        assert!(err.to_string().contains("type"), "{err}");
+
+        let err = parse("machine m { inlet [type=inlet]; a [type=air]; inlet -> a; }").unwrap_err();
+        assert!(err.to_string().contains("fraction"), "{err}");
+
+        let err = parse("machine m { a [type=air]; b [type=air]; a -- b; }").unwrap_err();
+        assert!(err.to_string().contains('k'), "{err}");
+    }
+
+    #[test]
+    fn power_specification_is_exclusive() {
+        let err =
+            parse("machine m { cpu [type=component, mass=1, c=1, power=40, pmin=7, pmax=31]; }")
+                .unwrap_err();
+        assert!(err.to_string().contains("either"), "{err}");
+        let err = parse("machine m { cpu [type=component, mass=1, c=1, pmin=7]; }").unwrap_err();
+        assert!(err.to_string().contains("either"), "{err}");
+    }
+
+    #[test]
+    fn unknown_attributes_and_types_are_rejected() {
+        let err = parse("machine m { cpu [type=component, mass=1, c=1, color=red]; }").unwrap_err();
+        assert!(err.to_string().contains("color"), "{err}");
+        let err = parse("machine m { cpu [type=widget]; }").unwrap_err();
+        assert!(err.to_string().contains("widget"), "{err}");
+        let err = parse("machine m { speed = 3; }").unwrap_err();
+        assert!(err.to_string().contains("speed"), "{err}");
+    }
+
+    #[test]
+    fn cluster_errors() {
+        let err = parse("cluster c { m1 [type=machine, model=ghost]; }").unwrap_err();
+        assert!(err.to_string().contains("ghost"), "{err}");
+
+        let err = parse(
+            "cluster c { ac [type=supply, temperature=18]; j [type=junction]; ac -- j [k=1]; }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("air"), "{err}");
+
+        let text = format!(
+            "{TINY_MACHINE} cluster c {{ m1 [type=machine, model=m]; ac [type=supply, temperature=18]; ac -> m1 [fraction=1]; }}"
+        );
+        let err = parse(&text).unwrap_err();
+        assert!(err.to_string().contains("inlet"), "{err}");
+
+        let text = format!(
+            "{TINY_MACHINE} cluster c {{ m1 [type=machine, model=m]; ac [type=supply, temperature=18]; ac:out -> m1:inlet [fraction=1]; }}"
+        );
+        let err = parse(&text).unwrap_err();
+        assert!(err.to_string().contains("qualifier"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_definitions_are_rejected() {
+        let err = parse("machine m { } machine m { }").unwrap_err();
+        assert!(err.to_string().contains("twice"), "{err}");
+    }
+
+    #[test]
+    fn model_level_validation_surfaces_with_block_span() {
+        // Fractions over 1 are a model error discovered at build().
+        let err = parse(
+            "machine m { inlet [type=inlet]; a [type=air]; b [type=air];\n\
+             inlet -> a [fraction=0.7]; inlet -> b [fraction=0.7]; }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("sum"), "{err}");
+        assert!(err.span().is_some());
+    }
+
+    #[test]
+    fn monitored_override_works_both_ways() {
+        let lib = parse(
+            "machine m {\n\
+               nic [type=component, mass=0.1, c=896, pmin=1, pmax=4, monitored=false];\n\
+               heater [type=component, mass=0.1, c=896, power=10, monitored=true];\n\
+             }",
+        )
+        .unwrap();
+        let m = lib.machine("m").unwrap();
+        assert_eq!(m.monitored_components(), vec!["heater"]);
+    }
+
+    #[test]
+    fn the_lowered_model_actually_solves() {
+        let lib = parse(TINY_MACHINE).unwrap();
+        let model = lib.machine("m").unwrap();
+        let mut solver =
+            mercury::solver::Solver::new(model, mercury::solver::SolverConfig::default()).unwrap();
+        solver.set_utilization("cpu", 1.0).unwrap();
+        solver.step_for(600);
+        assert!(solver.temperature("cpu").unwrap().0 > 30.0);
+    }
+}

@@ -1,0 +1,301 @@
+//! Recursive-descent parser for the graph description language.
+
+use crate::ast::{
+    Attribute, Block, BlockKind, Document, EdgeOp, EndpointRef, Statement, Value,
+};
+use crate::error::{ParseError, Span};
+use crate::lexer::{Token, TokenKind};
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> &Token {
+        let t = &self.tokens[self.pos.min(self.tokens.len() - 1)];
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Span, ParseError> {
+        let t = self.peek();
+        if &t.kind == kind {
+            let span = t.span;
+            self.bump();
+            Ok(span)
+        } else {
+            Err(ParseError::at(t.span, format!("expected {kind}, found {}", t.kind)))
+        }
+    }
+
+    fn name(&mut self) -> Result<(String, Span), ParseError> {
+        let t = self.peek().clone();
+        match t.kind {
+            TokenKind::Ident(s) | TokenKind::Str(s) => {
+                self.bump();
+                Ok((s, t.span))
+            }
+            other => Err(ParseError::at(t.span, format!("expected a name, found {other}"))),
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        let t = self.peek().clone();
+        match t.kind {
+            TokenKind::Number(n) => {
+                self.bump();
+                Ok(Value::Number(n))
+            }
+            TokenKind::Ident(s) | TokenKind::Str(s) => {
+                self.bump();
+                Ok(Value::Text(s))
+            }
+            other => Err(ParseError::at(t.span, format!("expected a value, found {other}"))),
+        }
+    }
+
+    fn attributes(&mut self) -> Result<Vec<Attribute>, ParseError> {
+        if self.peek().kind != TokenKind::LBracket {
+            return Ok(Vec::new());
+        }
+        self.bump();
+        let mut attrs = Vec::new();
+        loop {
+            if self.peek().kind == TokenKind::RBracket {
+                self.bump();
+                break;
+            }
+            let (key, span) = self.name()?;
+            self.expect(&TokenKind::Equals)?;
+            let value = self.value()?;
+            attrs.push(Attribute { key, value, span });
+            match &self.peek().kind {
+                TokenKind::Comma => {
+                    self.bump();
+                }
+                TokenKind::RBracket => {}
+                other => {
+                    return Err(ParseError::at(
+                        self.peek().span,
+                        format!("expected `,` or `]` in attribute list, found {other}"),
+                    ))
+                }
+            }
+        }
+        Ok(attrs)
+    }
+
+    fn endpoint(&mut self) -> Result<EndpointRef, ParseError> {
+        let (first, span) = self.name()?;
+        if self.peek().kind == TokenKind::Colon {
+            self.bump();
+            let (node, _) = self.name()?;
+            Ok(EndpointRef { machine: Some(first), node, span })
+        } else {
+            Ok(EndpointRef { machine: None, node: first, span })
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, ParseError> {
+        let from = self.endpoint()?;
+        let stmt = match &self.peek().kind {
+            TokenKind::HeatEdge | TokenKind::AirEdge => {
+                let op_token = self.bump().clone();
+                let op = if op_token.kind == TokenKind::HeatEdge { EdgeOp::Heat } else { EdgeOp::Air };
+                let to = self.endpoint()?;
+                let attrs = self.attributes()?;
+                Statement::Edge { from, op, to, attrs, span: op_token.span }
+            }
+            TokenKind::Equals => {
+                if from.machine.is_some() {
+                    return Err(ParseError::at(
+                        from.span,
+                        "a qualified name cannot be assigned to".to_string(),
+                    ));
+                }
+                self.bump();
+                let value = self.value()?;
+                Statement::Assign { key: from.node, value, span: from.span }
+            }
+            _ => {
+                if from.machine.is_some() {
+                    return Err(ParseError::at(
+                        from.span,
+                        "a qualified name can only appear in an edge".to_string(),
+                    ));
+                }
+                let attrs = self.attributes()?;
+                Statement::Node { name: from.node, attrs, span: from.span }
+            }
+        };
+        self.expect(&TokenKind::Semicolon)?;
+        Ok(stmt)
+    }
+
+    fn block(&mut self) -> Result<Block, ParseError> {
+        let (keyword, span) = self.name()?;
+        let kind = match keyword.as_str() {
+            "machine" => BlockKind::Machine,
+            "cluster" => BlockKind::Cluster,
+            other => {
+                return Err(ParseError::at(
+                    span,
+                    format!("expected `machine` or `cluster`, found `{other}`"),
+                ))
+            }
+        };
+        let (name, _) = self.name()?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut statements = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            if self.peek().kind == TokenKind::Eof {
+                return Err(ParseError::at(span, format!("unclosed block `{name}`")));
+            }
+            statements.push(self.statement()?);
+        }
+        self.bump(); // `}`
+        Ok(Block { kind, name, statements, span })
+    }
+}
+
+/// Parses a token stream into a document.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] at the first syntactic problem.
+pub fn parse_document(tokens: &[Token]) -> Result<Document, ParseError> {
+    debug_assert!(
+        matches!(tokens.last(), Some(Token { kind: TokenKind::Eof, .. })),
+        "the lexer always appends Eof"
+    );
+    let mut parser = Parser { tokens, pos: 0 };
+    let mut blocks = Vec::new();
+    while parser.peek().kind != TokenKind::Eof {
+        blocks.push(parser.block()?);
+    }
+    Ok(Document { blocks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(text: &str) -> Result<Document, ParseError> {
+        parse_document(&lex(text)?)
+    }
+
+    #[test]
+    fn parses_a_machine_block() {
+        let doc = parse(
+            "machine server {\n\
+               fan = 38.6;\n\
+               cpu [type=component, mass=0.151];\n\
+               inlet [type=inlet];\n\
+               cpu -- inlet [k=0.75];\n\
+               inlet -> cpu [fraction=0.4];\n\
+             }",
+        )
+        .unwrap();
+        assert_eq!(doc.blocks.len(), 1);
+        let block = &doc.blocks[0];
+        assert_eq!(block.kind, BlockKind::Machine);
+        assert_eq!(block.name, "server");
+        assert_eq!(block.statements.len(), 5);
+        assert!(matches!(block.statements[0], Statement::Assign { .. }));
+        assert!(matches!(block.statements[1], Statement::Node { .. }));
+        match &block.statements[3] {
+            Statement::Edge { op, attrs, .. } => {
+                assert_eq!(*op, EdgeOp::Heat);
+                assert_eq!(attrs.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &block.statements[4] {
+            Statement::Edge { op, .. } => assert_eq!(*op, EdgeOp::Air),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_cluster_blocks_with_qualified_endpoints() {
+        let doc = parse(
+            "cluster room {\n\
+               ac [type=supply, temperature=21.6];\n\
+               m1 [type=machine, model=server];\n\
+               ac -> m1:inlet [fraction=1];\n\
+             }",
+        )
+        .unwrap();
+        let block = &doc.blocks[0];
+        assert_eq!(block.kind, BlockKind::Cluster);
+        match &block.statements[2] {
+            Statement::Edge { to, .. } => {
+                assert_eq!(to.machine.as_deref(), Some("m1"));
+                assert_eq!(to.node, "inlet");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quoted_names_work_everywhere() {
+        let doc = parse(
+            "machine \"my server\" { \"disk platters\" [type=component, mass=1, c=896]; }",
+        )
+        .unwrap();
+        assert_eq!(doc.blocks[0].name, "my server");
+        match &doc.blocks[0].statements[0] {
+            Statement::Node { name, .. } => assert_eq!(name, "disk platters"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_attribute_lists_and_no_lists() {
+        let doc = parse("machine m { a []; b; }").unwrap();
+        assert_eq!(doc.blocks[0].statements.len(), 2);
+    }
+
+    #[test]
+    fn error_messages_point_at_the_problem() {
+        let err = parse("machine m { cpu [k=] }").unwrap_err();
+        assert!(err.span().is_some());
+        assert!(err.to_string().contains("expected a value"));
+
+        let err = parse("machine m { cpu ").unwrap_err();
+        assert!(err.to_string().contains("unclosed") || err.to_string().contains("expected"));
+
+        let err = parse("widget m { }").unwrap_err();
+        assert!(err.to_string().contains("machine` or `cluster"));
+
+        let err = parse("machine m { a -- ; }").unwrap_err();
+        assert!(err.to_string().contains("expected a name"));
+
+        let err = parse("machine m { m1:inlet = 3; }").unwrap_err();
+        assert!(err.to_string().contains("qualified"));
+
+        let err = parse("machine m { m1:inlet; }").unwrap_err();
+        assert!(err.to_string().contains("qualified"));
+    }
+
+    #[test]
+    fn missing_semicolon_is_an_error() {
+        let err = parse("machine m { a [type=air] b; }").unwrap_err();
+        assert!(err.to_string().contains("`;`"), "{err}");
+    }
+
+    #[test]
+    fn multiple_blocks_parse_in_order() {
+        let doc = parse("machine a { } machine b { } cluster c { }").unwrap();
+        assert_eq!(doc.blocks.len(), 3);
+        assert_eq!(doc.blocks[2].kind, BlockKind::Cluster);
+    }
+}

@@ -1,0 +1,203 @@
+//! Emitting models back into the description language.
+//!
+//! `parse(write(model))` reconstructs the model exactly (bit-identical
+//! constants), which makes the language a faithful storage format: a
+//! calibrated model can be saved next to the experiment that produced it
+//! and reloaded later. The round trip is property-tested.
+
+use mercury::model::{AirKind, ClusterEndpoint, ClusterModel, MachineModel, NodeSpec, PowerModel};
+use std::fmt::Write as _;
+
+/// Quotes a name when it is not a bare identifier.
+fn name(n: &str) -> String {
+    let bare = !n.is_empty()
+        && n.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+        && n.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.');
+    if bare {
+        n.to_string()
+    } else {
+        format!("\"{}\"", n.replace('\\', "\\\\").replace('"', "\\\""))
+    }
+}
+
+/// Formats an `f64` so that parsing it back yields the identical value.
+fn num(v: f64) -> String {
+    // The shortest round-trippable representation Rust offers.
+    let s = format!("{v}");
+    debug_assert_eq!(s.parse::<f64>().ok(), Some(v), "f64 display must round-trip");
+    s
+}
+
+/// Renders a machine as a `machine` block in the description language.
+pub fn machine_to_graphdl(model: &MachineModel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "machine {} {{", name(model.name()));
+    let _ = writeln!(out, "    fan = {};", num(model.fan().to_cfm()));
+    let _ = writeln!(out, "    inlet_temperature = {};", num(model.inlet_temperature().0));
+    let _ = writeln!(out);
+    for node in model.nodes() {
+        match node {
+            NodeSpec::Component(c) => {
+                let power = match &c.power {
+                    PowerModel::Linear { base, max } => {
+                        format!("pmin={}, pmax={}", num(base.0), num(max.0))
+                    }
+                    PowerModel::Constant(w) => format!("power={}", num(w.0)),
+                    PowerModel::Table(_) => {
+                        // The language's node syntax has no table form;
+                        // emit the equivalent end points. (Tables are an
+                        // API-level extension; documents round-trip for
+                        // Linear and Constant models.)
+                        format!(
+                            "pmin={}, pmax={}",
+                            num(c.power.base().0),
+                            num(c.power.max().0)
+                        )
+                    }
+                };
+                let monitored_default = !matches!(c.power, PowerModel::Constant(_));
+                let monitored = if c.monitored == monitored_default {
+                    String::new()
+                } else {
+                    format!(", monitored={}", c.monitored)
+                };
+                let _ = writeln!(
+                    out,
+                    "    {} [type=component, mass={}, c={}, {power}{monitored}];",
+                    name(&c.name),
+                    num(c.mass.0),
+                    num(c.specific_heat.0),
+                );
+            }
+            NodeSpec::Air(a) => {
+                let kind = match a.kind {
+                    AirKind::Inlet => "inlet",
+                    AirKind::Internal => "air",
+                    AirKind::Exhaust => "exhaust",
+                };
+                let _ = writeln!(
+                    out,
+                    "    {} [type={kind}, mass={}];",
+                    name(&a.name),
+                    num(a.mass_kg)
+                );
+            }
+        }
+    }
+    let _ = writeln!(out);
+    for e in model.heat_edges() {
+        let _ = writeln!(
+            out,
+            "    {} -- {} [k={}];",
+            name(model.node(e.a).name()),
+            name(model.node(e.b).name()),
+            num(e.k.0)
+        );
+    }
+    for e in model.air_edges() {
+        let _ = writeln!(
+            out,
+            "    {} -> {} [fraction={}];",
+            name(model.node(e.from).name()),
+            name(model.node(e.to).name()),
+            num(e.fraction)
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a cluster (and the machine definitions it references) as a
+/// complete document.
+pub fn cluster_to_graphdl(cluster_name: &str, cluster: &ClusterModel) -> String {
+    let mut out = String::new();
+    // Machine definitions first; instances reference them by name.
+    for machine in cluster.machines() {
+        out.push_str(&machine_to_graphdl(machine));
+        out.push('\n');
+    }
+    let _ = writeln!(out, "cluster {} {{", name(cluster_name));
+    for supply in cluster.supplies() {
+        let _ = writeln!(
+            out,
+            "    {} [type=supply, temperature={}];",
+            name(&supply.name),
+            num(supply.temperature.0)
+        );
+    }
+    for junction in cluster.junctions() {
+        let _ = writeln!(out, "    {} [type=junction];", name(junction));
+    }
+    for machine in cluster.machines() {
+        let _ = writeln!(
+            out,
+            "    {} [type=machine, model={}];",
+            name(machine.name()),
+            name(machine.name())
+        );
+    }
+    let endpoint = |ep: &ClusterEndpoint| -> String {
+        match ep {
+            ClusterEndpoint::Supply(n) | ClusterEndpoint::Junction(n) => name(n),
+            ClusterEndpoint::MachineInlet(i) => {
+                format!("{}:inlet", name(cluster.machines()[*i].name()))
+            }
+            ClusterEndpoint::MachineExhaust(i) => {
+                format!("{}:exhaust", name(cluster.machines()[*i].name()))
+            }
+        }
+    };
+    for e in cluster.edges() {
+        let _ = writeln!(
+            out,
+            "    {} -> {} [fraction={}];",
+            endpoint(&e.from),
+            endpoint(&e.to),
+            num(e.fraction)
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use mercury::presets;
+
+    #[test]
+    fn table1_round_trips_exactly() {
+        let model = presets::validation_machine();
+        let text = machine_to_graphdl(&model);
+        let library = parse(&text).unwrap();
+        assert_eq!(library.machine("server").unwrap(), &model);
+    }
+
+    #[test]
+    fn cluster_round_trips_exactly() {
+        let cluster = presets::validation_cluster(3);
+        let text = cluster_to_graphdl("room", &cluster);
+        let library = parse(&text).unwrap();
+        assert_eq!(library.cluster("room").unwrap(), &cluster);
+    }
+
+    #[test]
+    fn quoting_kicks_in_for_odd_names() {
+        assert_eq!(name("cpu_air"), "cpu_air");
+        assert_eq!(name("disk platters"), "\"disk platters\"");
+        assert_eq!(name("9lives"), "\"9lives\"");
+        assert_eq!(name("a\"b"), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn monitored_overrides_survive() {
+        let mut b = mercury::model::MachineModel::builder("m");
+        b.component("nic").mass_kg(0.1).specific_heat(896.0).power_range(1.0, 4.0).monitored(false);
+        b.component("heater").mass_kg(0.1).specific_heat(896.0).constant_power(10.0).monitored(true);
+        let model = b.build().unwrap();
+        let text = machine_to_graphdl(&model);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.machine("m").unwrap(), &model);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests: any valid machine model round-trips through the
+//! description language, and the lexer never panics on arbitrary input.
+
+use mercury::model::{AirKind, MachineModel};
+use mercury_graphdl::{parse, writer};
+use proptest::prelude::*;
+
+/// A strategy for component/air names, including ones that need quoting.
+fn node_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-z][a-z0-9_]{0,8}",
+        "[a-z ][a-z 0-9]{1,8}", // spaces force quoting
+    ]
+    .prop_filter("non-empty after trim", |s| !s.trim().is_empty())
+}
+
+/// Builds a random but always-valid machine: a chain of air regions from
+/// an inlet to an exhaust, with components hanging off random regions.
+fn machine() -> impl Strategy<Value = MachineModel> {
+    (
+        proptest::collection::vec(node_name(), 1..5), // component names
+        2usize..6,                                    // interior air regions
+        proptest::collection::vec((0.01f64..5.0, 100.0f64..2000.0, 0.0f64..50.0, 0.0f64..50.0), 1..5),
+        proptest::collection::vec(0.05f64..5.0, 1..5), // ks
+        0.1f64..80.0,                                  // fan cfm
+        -10.0f64..45.0,                                // inlet temp
+    )
+        .prop_map(|(mut comp_names, airs, specs, ks, fan, inlet)| {
+            comp_names.sort();
+            comp_names.dedup();
+            let mut b = MachineModel::builder("m");
+            b.inlet("inlet");
+            for i in 0..airs {
+                b.air_with_mass(format!("air{i}"), 0.004 + i as f64 * 0.001, AirKind::Internal);
+            }
+            b.exhaust("exhaust");
+            // A straight chain: inlet -> air0 -> ... -> exhaust.
+            b.air_edge("inlet", "air0", 1.0).unwrap();
+            for i in 1..airs {
+                b.air_edge(&format!("air{}", i - 1), &format!("air{i}"), 1.0).unwrap();
+            }
+            b.air_edge(&format!("air{}", airs - 1), "exhaust", 1.0).unwrap();
+            // Components attach to air regions round-robin.
+            for (i, name) in comp_names.iter().enumerate() {
+                let spec = specs[i % specs.len()];
+                let (mass, c, p0, p1) = spec;
+                let (pmin, pmax) = if p0 <= p1 { (p0, p1) } else { (p1, p0) };
+                b.component(name.clone()).mass_kg(mass).specific_heat(c).power_range(pmin, pmax);
+                let k = ks[i % ks.len()];
+                b.heat_edge(name, &format!("air{}", i % airs), k).unwrap();
+            }
+            b.fan_cfm(fan).inlet_temperature_c(inlet);
+            b.build().expect("generated machines are valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// write → parse reproduces the model exactly, constants included.
+    #[test]
+    fn machine_round_trips(model in machine()) {
+        let text = writer::machine_to_graphdl(&model);
+        let library = parse(&text)
+            .unwrap_or_else(|e| panic!("emitted text failed to parse: {e}\n{text}"));
+        prop_assert_eq!(library.machine("m").expect("machine m emitted"), &model);
+    }
+
+    /// The lexer and parser never panic, whatever bytes arrive.
+    #[test]
+    fn parser_is_total_on_garbage(input in "\\PC{0,200}") {
+        let _ = parse(&input);
+    }
+
+    /// Structured-looking garbage does not panic either.
+    #[test]
+    fn parser_is_total_on_almost_valid_input(
+        keyword in "(machine|cluster|widget)",
+        body in "[a-z{}\\[\\]=;>, -]{0,80}",
+    ) {
+        let _ = parse(&format!("{keyword} m {{ {body} }}"));
+    }
+}

@@ -1,0 +1,443 @@
+//! The calibration phase (§3.1), automated.
+//!
+//! The paper tunes Mercury's heat- and air-flow constants "until the
+//! emulated readings match the calibration experiment", noting it took
+//! "less than an hour" by hand. This module does the same by coordinate
+//! descent: each tunable heat-transfer coefficient is nudged through a
+//! set of multiplicative factors, keeping whichever value minimizes the
+//! RMS error between Mercury's emulated series and the measured one.
+//! "Since temperature changes are second-order effects on the constants
+//! in our system, the constants that result from this process may be
+//! relied upon for reasonable changes in temperature (ΔT < 40 °C)" — the
+//! validation experiments (Figures 7–8) check exactly that, on a workload
+//! the calibration never saw.
+
+use mercury::model::{MachineModel, NodeSpec};
+use mercury::solver::SolverConfig;
+use mercury::trace::{run_offline, UtilizationTrace};
+
+/// A tunable model constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Param {
+    /// The heat-transfer coefficient of one heat edge, bounded to
+    /// `[min, max]` W/K.
+    HeatK {
+        /// One endpoint of the edge.
+        a: String,
+        /// The other endpoint.
+        b: String,
+        /// Lower bound, W/K.
+        min: f64,
+        /// Upper bound, W/K.
+        max: f64,
+    },
+    /// A two-way air split leaving one region: the fraction on the
+    /// `from → to_a` edge is the tuned value and the `from → to_b` edge
+    /// receives the remainder, so the pair's combined fraction is
+    /// preserved (air-flow fractions out of a node may not exceed 1).
+    AirSplit {
+        /// The upstream region.
+        from: String,
+        /// Edge whose fraction is tuned directly.
+        to_a: String,
+        /// Edge that absorbs the complement.
+        to_b: String,
+        /// Lower bound on the `to_a` fraction.
+        min: f64,
+        /// Upper bound on the `to_a` fraction.
+        max: f64,
+    },
+}
+
+/// What a calibration run produced.
+#[derive(Debug, Clone)]
+pub struct CalibrationOutcome {
+    /// The calibrated model.
+    pub model: MachineModel,
+    /// Final parameter values, aligned with the problem's parameter list.
+    pub values: Vec<f64>,
+    /// RMS error of the uncalibrated model, °C.
+    pub initial_rmse: f64,
+    /// RMS error after calibration, °C.
+    pub final_rmse: f64,
+    /// Coordinate-descent rounds performed.
+    pub rounds: usize,
+}
+
+/// One measured target series: a Mercury node name and the second-by-
+/// second measurements it should match.
+#[derive(Debug, Clone)]
+pub struct Target {
+    node: String,
+    measured: Vec<f64>,
+}
+
+/// A calibration problem: a base model, the workload that was measured,
+/// the measurements, and which constants may move.
+#[derive(Debug, Clone)]
+pub struct CalibrationProblem<'a> {
+    base: &'a MachineModel,
+    trace: &'a UtilizationTrace,
+    params: Vec<Param>,
+    targets: Vec<Target>,
+    /// Seconds ignored at the start of the comparison (sensor warm-up).
+    warmup_s: usize,
+}
+
+impl<'a> CalibrationProblem<'a> {
+    /// Creates a problem over a base model and the calibration workload.
+    pub fn new(base: &'a MachineModel, trace: &'a UtilizationTrace) -> Self {
+        CalibrationProblem { base, trace, params: Vec::new(), targets: Vec::new(), warmup_s: 60 }
+    }
+
+    /// Adds a tunable parameter.
+    pub fn param(mut self, param: Param) -> Self {
+        self.params.push(param);
+        self
+    }
+
+    /// Adds a measured series for a Mercury node (one value per second of
+    /// the trace).
+    pub fn target(mut self, node: impl Into<String>, measured: Vec<f64>) -> Self {
+        self.targets.push(Target { node: node.into(), measured });
+        self
+    }
+
+    /// Changes the ignored warm-up prefix.
+    pub fn warmup_s(mut self, seconds: usize) -> Self {
+        self.warmup_s = seconds;
+        self
+    }
+
+    fn current_value(&self, model: &MachineModel, param: &Param) -> f64 {
+        match param {
+            Param::HeatK { a, b, .. } => {
+                let ia = model.node_id(a).expect("param endpoint exists");
+                let ib = model.node_id(b).expect("param endpoint exists");
+                model
+                    .heat_edges()
+                    .iter()
+                    .find(|e| (e.a == ia && e.b == ib) || (e.a == ib && e.b == ia))
+                    .map(|e| e.k.0)
+                    .expect("param edge exists")
+            }
+            Param::AirSplit { from, to_a, .. } => {
+                let ifrom = model.node_id(from).expect("param endpoint exists");
+                let ito = model.node_id(to_a).expect("param endpoint exists");
+                model
+                    .air_edges()
+                    .iter()
+                    .find(|e| e.from == ifrom && e.to == ito)
+                    .map(|e| e.fraction)
+                    .expect("param air edge exists")
+            }
+        }
+    }
+
+    fn apply(&self, values: &[f64]) -> MachineModel {
+        let overrides: Vec<(&Param, f64)> = self.params.iter().zip(values.iter().copied()).collect();
+        rebuild_with_overrides(self.base, &overrides)
+    }
+
+    /// RMS error (°C) of a candidate model against every target.
+    pub fn rmse(&self, model: &MachineModel) -> f64 {
+        let log = match run_offline(model, self.trace, SolverConfig::default(), None) {
+            Ok(log) => log,
+            Err(_) => return f64::INFINITY,
+        };
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for target in &self.targets {
+            let emulated = match log.series(&target.node) {
+                Ok(series) => series,
+                Err(_) => return f64::INFINITY,
+            };
+            for (e, m) in emulated.iter().zip(&target.measured).skip(self.warmup_s) {
+                sum += (e - m) * (e - m);
+                count += 1;
+            }
+        }
+        if count == 0 {
+            f64::INFINITY
+        } else {
+            (sum / count as f64).sqrt()
+        }
+    }
+
+    /// Runs coordinate descent for at most `max_rounds` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parameter references an edge that does not exist in
+    /// the base model — that is a programming error in the experiment
+    /// setup, not a data condition.
+    pub fn calibrate(&self, max_rounds: usize) -> CalibrationOutcome {
+        let mut values: Vec<f64> =
+            self.params.iter().map(|p| self.current_value(self.base, p)).collect();
+        let initial_rmse = self.rmse(self.base);
+        let mut best_rmse = initial_rmse;
+        let factors = [0.6, 0.8, 0.9, 0.95, 1.05, 1.1, 1.25, 1.6];
+        let mut rounds = 0usize;
+        for _ in 0..max_rounds {
+            rounds += 1;
+            let mut improved = false;
+            for i in 0..self.params.len() {
+                let (lo, hi) = match &self.params[i] {
+                    Param::HeatK { min, max, .. } => (*min, *max),
+                    Param::AirSplit { min, max, .. } => (*min, *max),
+                };
+                let base_value = values[i];
+                let mut best_value = base_value;
+                for factor in factors {
+                    let candidate = (base_value * factor).clamp(lo, hi);
+                    if (candidate - best_value).abs() < 1e-12 {
+                        continue;
+                    }
+                    let mut trial = values.clone();
+                    trial[i] = candidate;
+                    let rmse = self.rmse(&self.apply(&trial));
+                    if rmse + 1e-4 < best_rmse {
+                        best_rmse = rmse;
+                        best_value = candidate;
+                        improved = true;
+                    }
+                }
+                values[i] = best_value;
+            }
+            if !improved {
+                break;
+            }
+        }
+        CalibrationOutcome {
+            model: self.apply(&values),
+            values,
+            initial_rmse,
+            final_rmse: best_rmse,
+            rounds,
+        }
+    }
+}
+
+/// Rebuilds a machine model with some heat-edge coefficients and/or air
+/// splits replaced.
+pub fn rebuild_with_overrides(base: &MachineModel, overrides: &[(&Param, f64)]) -> MachineModel {
+    let mut builder = MachineModel::builder(base.name());
+    for node in base.nodes() {
+        match node {
+            NodeSpec::Component(c) => {
+                let mut handle = builder.component(c.name.clone());
+                handle
+                    .mass_kg(c.mass.0)
+                    .specific_heat(c.specific_heat.0)
+                    .power_model(c.power.clone())
+                    .monitored(c.monitored);
+            }
+            NodeSpec::Air(a) => {
+                builder.air_with_mass(a.name.clone(), a.mass_kg, a.kind);
+            }
+        }
+    }
+    for edge in base.heat_edges() {
+        let a = base.node(edge.a).name().to_string();
+        let b = base.node(edge.b).name().to_string();
+        let k = overrides
+            .iter()
+            .find(|(p, _)| match p {
+                Param::HeatK { a: pa, b: pb, .. } => {
+                    (pa == &a && pb == &b) || (pa == &b && pb == &a)
+                }
+                Param::AirSplit { .. } => false,
+            })
+            .map(|(_, v)| *v)
+            .unwrap_or(edge.k.0);
+        builder.heat_edge(&a, &b, k).expect("edge endpoints exist in the rebuilt model");
+    }
+    for edge in base.air_edges() {
+        let from = base.node(edge.from).name().to_string();
+        let to = base.node(edge.to).name().to_string();
+        let mut fraction = edge.fraction;
+        for (p, v) in overrides {
+            if let Param::AirSplit { from: pf, to_a, to_b, .. } = p {
+                if pf == &from && to_a == &to {
+                    fraction = *v;
+                } else if pf == &from && to_b == &to {
+                    // The complement edge keeps the pair's total.
+                    let ifrom = base.node_id(pf).expect("split endpoint exists");
+                    let ia = base.node_id(to_a).expect("split endpoint exists");
+                    let pair_total: f64 = base
+                        .air_edges()
+                        .iter()
+                        .filter(|e| {
+                            e.from == ifrom
+                                && (base.node(e.to).name() == to_a.as_str()
+                                    || base.node(e.to).name() == to_b.as_str())
+                        })
+                        .map(|e| e.fraction)
+                        .sum();
+                    let _ = ia;
+                    fraction = (pair_total - *v).max(1e-6);
+                }
+            }
+        }
+        builder.air_edge(&from, &to, fraction).expect("air endpoints exist");
+    }
+    builder.fan_cfm(base.fan().to_cfm());
+    builder.inlet_temperature_c(base.inlet_temperature().0);
+    builder.build().expect("a valid model rebuilds validly")
+}
+
+/// Backwards-compatible alias for heat-only overrides.
+pub fn rebuild_with_heat_overrides(
+    base: &MachineModel,
+    overrides: &[(&Param, f64)],
+) -> MachineModel {
+    rebuild_with_overrides(base, overrides)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mercury::presets::{self, nodes};
+
+    #[test]
+    fn rebuild_round_trips_without_overrides() {
+        let base = presets::validation_machine();
+        let copy = rebuild_with_heat_overrides(&base, &[]);
+        assert_eq!(base, copy);
+    }
+
+    #[test]
+    fn rebuild_applies_overrides_symmetrically() {
+        let base = presets::validation_machine();
+        let param = Param::HeatK {
+            a: nodes::CPU_AIR.to_string(), // reversed endpoint order
+            b: nodes::CPU.to_string(),
+            min: 0.1,
+            max: 5.0,
+        };
+        let copy = rebuild_with_heat_overrides(&base, &[(&param, 1.23)]);
+        let ia = copy.node_id(nodes::CPU).unwrap();
+        let k = copy
+            .heat_edges()
+            .iter()
+            .find(|e| e.a == ia || e.b == ia)
+            .map(|e| e.k.0)
+            .unwrap();
+        assert!((k - 1.23).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibration_recovers_a_perturbed_constant() {
+        // Ground truth: the stock Table 1 machine. Candidate: same machine
+        // with the CPU k badly wrong. Calibration on a CPU staircase must
+        // pull it back toward the truth.
+        let truth = presets::validation_machine();
+        let trace = crate::microbench::cpu_staircase(1200, 150);
+        let truth_log =
+            run_offline(&truth, &trace, SolverConfig::default(), None).unwrap();
+        let measured = truth_log.series(nodes::CPU_AIR).unwrap();
+
+        let cpu_param = Param::HeatK {
+            a: nodes::CPU.to_string(),
+            b: nodes::CPU_AIR.to_string(),
+            min: 0.2,
+            max: 3.0,
+        };
+        let perturbed = rebuild_with_heat_overrides(&truth, &[(&cpu_param, 1.6)]);
+
+        let problem = CalibrationProblem::new(&perturbed, &trace)
+            .param(cpu_param.clone())
+            .target(nodes::CPU_AIR, measured);
+        let outcome = problem.calibrate(6);
+        assert!(
+            outcome.final_rmse < outcome.initial_rmse * 0.7,
+            "rmse {} -> {}",
+            outcome.initial_rmse,
+            outcome.final_rmse
+        );
+        assert!(
+            (outcome.values[0] - 0.75).abs() < 0.3,
+            "recovered k = {}",
+            outcome.values[0]
+        );
+        assert!(outcome.rounds >= 1);
+    }
+
+    #[test]
+    fn air_split_override_preserves_the_pair_total() {
+        let base = presets::validation_machine();
+        let split = Param::AirSplit {
+            from: nodes::PS_AIR_DOWN.to_string(),
+            to_a: nodes::CPU_AIR.to_string(),
+            to_b: nodes::VOID_AIR.to_string(),
+            min: 0.05,
+            max: 0.5,
+        };
+        let copy = rebuild_with_overrides(&base, &[(&split, 0.25)]);
+        let ifrom = copy.node_id(nodes::PS_AIR_DOWN).unwrap();
+        let frac = |to: &str| {
+            let ito = copy.node_id(to).unwrap();
+            copy.air_edges()
+                .iter()
+                .find(|e| e.from == ifrom && e.to == ito)
+                .map(|e| e.fraction)
+                .unwrap()
+        };
+        assert!((frac(nodes::CPU_AIR) - 0.25).abs() < 1e-12);
+        assert!((frac(nodes::VOID_AIR) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn air_split_calibration_moves_the_fraction() {
+        // Ground truth: machine with ps_down->cpu_air = 0.22. Candidate
+        // starts at the stock 0.15; calibrating on a CPU staircase should
+        // move it toward the truth (the steady-state CPU-air temperature
+        // depends on this split, not on k).
+        let base = presets::validation_machine();
+        let split = Param::AirSplit {
+            from: nodes::PS_AIR_DOWN.to_string(),
+            to_a: nodes::CPU_AIR.to_string(),
+            to_b: nodes::VOID_AIR.to_string(),
+            min: 0.05,
+            max: 0.5,
+        };
+        let truth = rebuild_with_overrides(&base, &[(&split, 0.22)]);
+        let trace = crate::microbench::cpu_staircase(900, 150);
+        let truth_log = run_offline(&truth, &trace, SolverConfig::default(), None).unwrap();
+        let problem = CalibrationProblem::new(&base, &trace)
+            .param(split)
+            .target(nodes::CPU_AIR, truth_log.series(nodes::CPU_AIR).unwrap());
+        let outcome = problem.calibrate(6);
+        assert!(outcome.final_rmse < outcome.initial_rmse);
+        assert!(outcome.values[0] > 0.16, "fraction stayed at {}", outcome.values[0]);
+    }
+
+    #[test]
+    fn rmse_of_truth_against_itself_is_zero() {
+        let truth = presets::validation_machine();
+        let trace = crate::microbench::cpu_staircase(300, 60);
+        let log = run_offline(&truth, &trace, SolverConfig::default(), None).unwrap();
+        let problem = CalibrationProblem::new(&truth, &trace)
+            .target(nodes::CPU_AIR, log.series(nodes::CPU_AIR).unwrap());
+        assert!(problem.rmse(&truth) < 1e-9);
+    }
+
+    #[test]
+    fn rmse_is_infinite_for_unknown_targets() {
+        let truth = presets::validation_machine();
+        let trace = crate::microbench::cpu_staircase(60, 30);
+        let problem =
+            CalibrationProblem::new(&truth, &trace).target("ghost", vec![0.0; 60]);
+        assert!(problem.rmse(&truth).is_infinite());
+    }
+
+    #[test]
+    fn empty_target_overlap_is_infinite() {
+        let truth = presets::validation_machine();
+        let trace = crate::microbench::cpu_staircase(60, 30);
+        let problem = CalibrationProblem::new(&truth, &trace)
+            .target(nodes::CPU_AIR, vec![])
+            .warmup_s(0);
+        assert!(problem.rmse(&truth).is_infinite());
+    }
+}

@@ -1,0 +1,444 @@
+//! A 2-D steady-state finite-difference thermal solver — the stand-in
+//! for the commercial Fluent package of §3.2.
+//!
+//! The paper "modeled a 2D description of a server case, with a CPU, a
+//! disk, and a power supply", let Fluent compute the heat-transfer
+//! properties of the material-to-air boundaries, fed those to Mercury,
+//! and compared steady-state temperatures across 14 combinations of CPU
+//! and disk power. This module provides the same capabilities:
+//!
+//! * a gridded server case with solid blocks (aluminium-class
+//!   conductivity) for the three components and an air region with an
+//!   effective turbulent conductivity,
+//! * upwind advection along the case (inlet on the left, exhaust on the
+//!   right),
+//! * Gauss–Seidel/SOR iteration to a steady state, and
+//! * extraction of each component's mean temperature, the air temperature
+//!   near it, and the effective boundary coefficient
+//!   `k = P / (T_component − T_air)` that calibrates Mercury.
+//!
+//! Hundreds to thousands of mesh cells and tens of thousands of sweeps
+//! per solve also reproduce the *motivation*: this is orders of magnitude
+//! slower than Mercury's per-tick graph traversal (see `bench/reference`).
+
+use mercury::units::{AIR_DENSITY, AIR_SPECIFIC_HEAT};
+
+/// The three modelled components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// The CPU block (mid-case, downstream).
+    Cpu,
+    /// The disk block (front, top).
+    Disk,
+    /// The power supply block (front, bottom).
+    Psu,
+}
+
+/// All components, for iteration.
+pub const COMPONENTS: [Component; 3] = [Component::Cpu, Component::Disk, Component::Psu];
+
+/// A rectangular block of cells, in cell coordinates, half-open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Rect {
+    x0: usize,
+    x1: usize,
+    y0: usize,
+    y1: usize,
+}
+
+impl Rect {
+    fn contains(&self, x: usize, y: usize) -> bool {
+        x >= self.x0 && x < self.x1 && y >= self.y0 && y < self.y1
+    }
+
+    fn cells(&self) -> usize {
+        (self.x1 - self.x0) * (self.y1 - self.y0)
+    }
+}
+
+/// Geometry and material parameters of the 2-D case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseConfig {
+    /// Grid cells along the flow direction.
+    pub nx: usize,
+    /// Grid cells across the case.
+    pub ny: usize,
+    /// Cell edge length, metres.
+    pub cell_m: f64,
+    /// Case depth (out-of-plane), metres.
+    pub depth_m: f64,
+    /// Inlet air temperature, °C.
+    pub inlet_c: f64,
+    /// Bulk air speed along the case, m/s.
+    pub velocity_m_s: f64,
+    /// Effective (turbulent) air conductivity, W/(m·K). Molecular air
+    /// conductivity is 0.026; forced mixing in a server case transports
+    /// heat 2–3 orders of magnitude faster, hence an effective value.
+    pub air_k: f64,
+    /// Solid (aluminium-class) conductivity, W/(m·K).
+    pub solid_k: f64,
+}
+
+impl CaseConfig {
+    /// The standard case: 90 × 30 cells at 5 mm — 2 700 mesh cells.
+    pub fn standard() -> Self {
+        CaseConfig {
+            nx: 90,
+            ny: 30,
+            cell_m: 0.005,
+            depth_m: 0.15,
+            inlet_c: 21.6,
+            velocity_m_s: 0.8,
+            air_k: 8.0,
+            solid_k: 200.0,
+        }
+    }
+
+    /// A coarse case for fast tests: 45 × 15 cells at 10 mm.
+    pub fn coarse() -> Self {
+        CaseConfig { nx: 45, ny: 15, cell_m: 0.010, ..CaseConfig::standard() }
+    }
+}
+
+/// The solver: a case plus per-component power settings.
+#[derive(Debug, Clone)]
+pub struct Fluent2d {
+    config: CaseConfig,
+    blocks: [(Component, Rect); 3],
+    power_w: [f64; 3],
+}
+
+/// A converged solution.
+#[derive(Debug, Clone)]
+pub struct SteadyState {
+    nx: usize,
+    ny: usize,
+    temp: Vec<f64>,
+    /// Sweeps performed before convergence.
+    pub iterations: usize,
+    component_temp: [f64; 3],
+    air_near: [f64; 3],
+    power_w: [f64; 3],
+}
+
+fn component_index(c: Component) -> usize {
+    match c {
+        Component::Cpu => 0,
+        Component::Disk => 1,
+        Component::Psu => 2,
+    }
+}
+
+impl Fluent2d {
+    /// Builds the paper's server case: disk front-top, power supply
+    /// front-bottom, CPU mid-case. Block positions scale with the grid.
+    pub fn server_case(config: CaseConfig) -> Self {
+        let (nx, ny) = (config.nx, config.ny);
+        let fx = |f: f64| ((f * nx as f64) as usize).min(nx - 1);
+        let fy = |f: f64| ((f * ny as f64) as usize).min(ny - 1);
+        let blocks = [
+            (
+                Component::Cpu,
+                Rect { x0: fx(0.55), x1: fx(0.70), y0: fy(0.35), y1: fy(0.65) },
+            ),
+            (
+                Component::Disk,
+                Rect { x0: fx(0.10), x1: fx(0.32), y0: fy(0.62), y1: fy(0.88) },
+            ),
+            (
+                Component::Psu,
+                Rect { x0: fx(0.10), x1: fx(0.38), y0: fy(0.08), y1: fy(0.38) },
+            ),
+        ];
+        Fluent2d { config, blocks, power_w: [0.0; 3] }
+    }
+
+    /// Sets a component's dissipated power, W.
+    pub fn set_power(&mut self, component: Component, watts: f64) {
+        self.power_w[component_index(component)] = watts.max(0.0);
+    }
+
+    /// The current power of a component, W.
+    pub fn power(&self, component: Component) -> f64 {
+        self.power_w[component_index(component)]
+    }
+
+    /// The case configuration.
+    pub fn config(&self) -> &CaseConfig {
+        &self.config
+    }
+
+    fn solid_at(&self, x: usize, y: usize) -> Option<usize> {
+        self.blocks
+            .iter()
+            .position(|(_, rect)| rect.contains(x, y))
+    }
+
+    /// Iterates to a steady state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string when the solver fails to converge within
+    /// `max_sweeps` (signalling a bad configuration, e.g. zero airflow
+    /// with nonzero power).
+    pub fn solve(&self, tolerance: f64, max_sweeps: usize) -> Result<SteadyState, String> {
+        let CaseConfig { nx, ny, cell_m, depth_m, inlet_c, velocity_m_s, air_k, solid_k } =
+            self.config;
+        let idx = |x: usize, y: usize| y * nx + x;
+
+        // Precompute per-cell material and source.
+        let mut solid: Vec<Option<usize>> = vec![None; nx * ny];
+        let mut source = vec![0.0_f64; nx * ny];
+        for y in 0..ny {
+            for x in 0..nx {
+                if let Some(b) = self.solid_at(x, y) {
+                    solid[idx(x, y)] = Some(b);
+                    let cells = self.blocks[b].1.cells() as f64;
+                    source[idx(x, y)] = self.power_w[b] / cells;
+                }
+            }
+        }
+
+        // Face conductance between two cells: harmonic mean of the two
+        // conductivities × depth (face area h·d over distance h).
+        let conductance = |a: Option<usize>, b: Option<usize>| -> f64 {
+            let ka = if a.is_some() { solid_k } else { air_k };
+            let kb = if b.is_some() { solid_k } else { air_k };
+            (2.0 * ka * kb / (ka + kb)) * depth_m
+        };
+        // Advective coupling for an air cell fed from the west: mass flow
+        // through one cell face × c_p.
+        let advect = AIR_DENSITY * velocity_m_s * cell_m * depth_m * AIR_SPECIFIC_HEAT.0;
+
+        let mut temp = vec![inlet_c; nx * ny];
+        let omega = 1.6; // SOR relaxation
+        let mut iterations = 0;
+        loop {
+            iterations += 1;
+            let mut max_delta = 0.0_f64;
+            for y in 0..ny {
+                for x in 0..nx {
+                    if x == 0 && solid[idx(x, y)].is_none() {
+                        // Inlet boundary: fixed temperature.
+                        temp[idx(x, y)] = inlet_c;
+                        continue;
+                    }
+                    let me = solid[idx(x, y)];
+                    let mut num = source[idx(x, y)];
+                    let mut den = 0.0;
+                    let mut couple = |nb_x: usize, nb_y: usize| {
+                        let g = conductance(me, solid[idx(nb_x, nb_y)]);
+                        num += g * temp[idx(nb_x, nb_y)];
+                        den += g;
+                    };
+                    if x > 0 {
+                        couple(x - 1, y);
+                    }
+                    if x + 1 < nx {
+                        couple(x + 1, y);
+                    }
+                    if y > 0 {
+                        couple(x, y - 1);
+                    }
+                    if y + 1 < ny {
+                        couple(x, y + 1);
+                    }
+                    // Upwind advection between air cells.
+                    if me.is_none() && x > 0 && solid[idx(x - 1, y)].is_none() {
+                        num += advect * temp[idx(x - 1, y)];
+                        den += advect;
+                    }
+                    if den <= 0.0 {
+                        continue;
+                    }
+                    let fresh = num / den;
+                    let old = temp[idx(x, y)];
+                    let relaxed = old + omega * (fresh - old);
+                    max_delta = max_delta.max((relaxed - old).abs());
+                    temp[idx(x, y)] = relaxed;
+                }
+            }
+            if max_delta < tolerance {
+                break;
+            }
+            if iterations >= max_sweeps {
+                return Err(format!(
+                    "no convergence after {max_sweeps} sweeps (last delta {max_delta:.2e})"
+                ));
+            }
+        }
+
+        // Extract block averages and near-block air temperatures.
+        let mut component_temp = [0.0; 3];
+        let mut air_near = [0.0; 3];
+        for (slot, (_, rect)) in self.blocks.iter().enumerate() {
+            let mut sum = 0.0;
+            for y in rect.y0..rect.y1 {
+                for x in rect.x0..rect.x1 {
+                    sum += temp[idx(x, y)];
+                }
+            }
+            component_temp[slot] = sum / rect.cells() as f64;
+
+            // Air cells adjacent to any block face.
+            let mut air_sum = 0.0;
+            let mut air_count = 0usize;
+            let mut visit = |x: isize, y: isize| {
+                if x < 0 || y < 0 || x as usize >= nx || y as usize >= ny {
+                    return;
+                }
+                let (x, y) = (x as usize, y as usize);
+                if solid[idx(x, y)].is_none() {
+                    air_sum += temp[idx(x, y)];
+                    air_count += 1;
+                }
+            };
+            for y in rect.y0..rect.y1 {
+                visit(rect.x0 as isize - 1, y as isize);
+                visit(rect.x1 as isize, y as isize);
+            }
+            for x in rect.x0..rect.x1 {
+                visit(x as isize, rect.y0 as isize - 1);
+                visit(x as isize, rect.y1 as isize);
+            }
+            air_near[slot] = if air_count > 0 {
+                air_sum / air_count as f64
+            } else {
+                inlet_c
+            };
+        }
+
+        Ok(SteadyState {
+            nx,
+            ny,
+            temp,
+            iterations,
+            component_temp,
+            air_near,
+            power_w: self.power_w,
+        })
+    }
+}
+
+impl SteadyState {
+    /// Mean temperature of a component block, °C.
+    pub fn component_temp(&self, component: Component) -> f64 {
+        self.component_temp[component_index(component)]
+    }
+
+    /// Mean air temperature immediately around a component, °C.
+    pub fn air_near(&self, component: Component) -> f64 {
+        self.air_near[component_index(component)]
+    }
+
+    /// The effective material-to-air boundary coefficient the paper takes
+    /// from Fluent: `k = P / (T_component − T_air)` in W/K. Returns `None`
+    /// when the temperature difference is too small to divide by.
+    pub fn effective_k(&self, component: Component) -> Option<f64> {
+        let i = component_index(component);
+        let delta = self.component_temp[i] - self.air_near[i];
+        if delta.abs() < 1e-6 || self.power_w[i] <= 0.0 {
+            None
+        } else {
+            Some(self.power_w[i] / delta)
+        }
+    }
+
+    /// The temperature of one mesh cell, °C.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the coordinates are outside the grid.
+    pub fn cell(&self, x: usize, y: usize) -> f64 {
+        assert!(x < self.nx && y < self.ny, "cell ({x},{y}) outside {}x{}", self.nx, self.ny);
+        self.temp[y * self.nx + x]
+    }
+
+    /// The hottest cell in the grid, °C.
+    pub fn max_temp(&self) -> f64 {
+        self.temp.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve_with(cpu: f64, disk: f64, psu: f64) -> SteadyState {
+        let mut case = Fluent2d::server_case(CaseConfig::coarse());
+        case.set_power(Component::Cpu, cpu);
+        case.set_power(Component::Disk, disk);
+        case.set_power(Component::Psu, psu);
+        case.solve(1e-5, 200_000).expect("coarse case converges")
+    }
+
+    #[test]
+    fn unpowered_case_is_isothermal_at_inlet() {
+        let state = solve_with(0.0, 0.0, 0.0);
+        assert!((state.max_temp() - 21.6).abs() < 0.01);
+        assert!((state.component_temp(Component::Cpu) - 21.6).abs() < 0.01);
+    }
+
+    #[test]
+    fn components_heat_above_the_air_around_them() {
+        let state = solve_with(31.0, 14.0, 40.0);
+        for c in COMPONENTS {
+            let t = state.component_temp(c);
+            let air = state.air_near(c);
+            assert!(t > air, "{c:?}: block {t} not above air {air}");
+            assert!(t < 120.0, "{c:?} runaway at {t}");
+            assert!(air > 21.0, "{c:?} air below inlet: {air}");
+        }
+        assert!(state.iterations > 10);
+    }
+
+    #[test]
+    fn more_power_means_hotter_component() {
+        let low = solve_with(7.0, 9.0, 40.0);
+        let high = solve_with(31.0, 9.0, 40.0);
+        assert!(
+            high.component_temp(Component::Cpu) > low.component_temp(Component::Cpu) + 1.0
+        );
+        // The disk barely notices the CPU change (it sits upstream).
+        let disk_shift = (high.component_temp(Component::Disk)
+            - low.component_temp(Component::Disk))
+        .abs();
+        assert!(disk_shift < 1.0, "disk moved by {disk_shift}");
+    }
+
+    #[test]
+    fn effective_k_is_stable_across_power_levels() {
+        // k = P/ΔT should be (approximately) a property of the geometry,
+        // not the power level — that is what makes it usable as a Mercury
+        // calibration constant.
+        let a = solve_with(15.0, 9.0, 40.0);
+        let b = solve_with(31.0, 9.0, 40.0);
+        let ka = a.effective_k(Component::Cpu).unwrap();
+        let kb = b.effective_k(Component::Cpu).unwrap();
+        assert!(ka > 0.0 && kb > 0.0);
+        assert!((ka - kb).abs() / ka < 0.2, "k drifted: {ka} vs {kb}");
+    }
+
+    #[test]
+    fn effective_k_handles_degenerate_cases() {
+        let state = solve_with(0.0, 0.0, 0.0);
+        assert_eq!(state.effective_k(Component::Cpu), None);
+    }
+
+    #[test]
+    fn air_warms_downstream() {
+        let state = solve_with(31.0, 14.0, 40.0);
+        // Air column near the exhaust is warmer than near the inlet.
+        let ny = CaseConfig::coarse().ny;
+        let nx = CaseConfig::coarse().nx;
+        let mid = ny / 2;
+        assert!(state.cell(nx - 1, mid) > state.cell(1, mid) + 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_grid_cell_panics() {
+        let state = solve_with(0.0, 0.0, 0.0);
+        let _ = state.cell(1000, 0);
+    }
+}

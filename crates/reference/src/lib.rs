@@ -1,0 +1,42 @@
+//! # reference-models — what Mercury is validated against
+//!
+//! The paper validates Mercury two ways (§3): against **real
+//! measurements** of a Pentium III server (Figures 5–8) and against
+//! **Fluent**, a commercial CFD package, in steady state (§3.2). We have
+//! neither the physical server nor the commercial license, so this crate
+//! builds the closest synthetic equivalents, each deliberately *not*
+//! sharing Mercury's model class so the comparison stays meaningful:
+//!
+//! * [`plant::Plant`] — a finer-grained transient thermal model of the
+//!   testbed server: more internal nodes than Mercury models (CPU die
+//!   separate from heat sink, disk spindle), temperature- and
+//!   flow-dependent heat-transfer coefficients, and quantized, noisy
+//!   sensors with the accuracies the paper quotes (±1.5 °C digital
+//!   thermometer, ±3 °C in-disk sensor). It plays the "real machine":
+//!   Mercury is calibrated against its readings and then judged on an
+//!   unseen benchmark.
+//! * [`fluent2d::Fluent2d`] — a 2-D steady-state finite-difference
+//!   conduction+advection solver over a gridded server case with CPU,
+//!   disk, and power-supply blocks. It plays Fluent: hundreds of mesh
+//!   cells, minutes-not-microseconds solve times, and the source of the
+//!   material-to-air boundary coefficients Mercury's §3.2 calibration
+//!   uses.
+//! * [`microbench`] — the calibration and validation workloads: the CPU
+//!   and disk utilization staircases of Figures 5–6 and the "challenging"
+//!   combined benchmark of Figures 7–8.
+//! * [`calibrate`] — the paper's calibration phase, automated: coordinate
+//!   descent over Mercury's heat-transfer coefficients until the emulated
+//!   series matches the plant's.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod calibrate;
+pub mod fluent2d;
+pub mod microbench;
+pub mod plant;
+
+pub use calibrate::{CalibrationOutcome, CalibrationProblem, Param};
+pub use fluent2d::{CaseConfig, Fluent2d, SteadyState};
+pub use plant::Plant;

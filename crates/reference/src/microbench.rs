@@ -1,0 +1,137 @@
+//! The calibration and validation workloads of §3.1.
+//!
+//! * Figures 5–6 drive one component at a time through "various levels of
+//!   utilization interspersed with idle periods" — [`cpu_staircase`] and
+//!   [`disk_staircase`].
+//! * Figures 7–8 use "a more challenging benchmark \[that\] exercises the
+//!   CPU and disk at the same time, generating widely different
+//!   utilizations over time \[...\] utilizations change constantly and
+//!   quickly" — [`combined_benchmark`].
+
+use mercury::trace::UtilizationTrace;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn components() -> Vec<String> {
+    vec!["cpu".to_string(), "disk_platters".to_string()]
+}
+
+/// A utilization staircase for one component: idle, then plateaus at
+/// 25/50/75/100 %, each `plateau_s` long with equal idle gaps, repeating
+/// until `duration_s`. The other component stays idle.
+fn staircase(duration_s: u64, plateau_s: u64, component: usize) -> UtilizationTrace {
+    let plateau = plateau_s.max(1);
+    let levels = [0.25, 0.5, 0.75, 1.0];
+    UtilizationTrace::from_fn("plant", 1.0, components(), duration_s as usize, move |t, c| {
+        if c != component {
+            return 0.0;
+        }
+        // Cycle: (idle, level) pairs.
+        let cycle = 2 * plateau;
+        let phase = (t as u64) % (cycle * levels.len() as u64);
+        let step = (phase / cycle) as usize;
+        let within = phase % cycle;
+        if within < plateau {
+            0.0
+        } else {
+            levels[step]
+        }
+    })
+    .expect("staircase parameters are valid")
+}
+
+/// The CPU calibration workload (Figure 5).
+pub fn cpu_staircase(duration_s: u64, plateau_s: u64) -> UtilizationTrace {
+    staircase(duration_s, plateau_s, 0)
+}
+
+/// The disk calibration workload (Figure 6).
+pub fn disk_staircase(duration_s: u64, plateau_s: u64) -> UtilizationTrace {
+    staircase(duration_s, plateau_s, 1)
+}
+
+/// The combined validation benchmark (Figures 7–8): both components
+/// driven through randomly chosen levels that change every 30–120 s,
+/// deterministically from `seed`.
+pub fn combined_benchmark(duration_s: u64, seed: u64) -> UtilizationTrace {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut schedule: Vec<(u64, f64, f64)> = Vec::new();
+    let mut t = 0u64;
+    while t < duration_s {
+        let hold = rng.gen_range(30..=120);
+        let cpu: f64 = if rng.gen_bool(0.25) { 0.0 } else { rng.gen_range(0.0..=1.0) };
+        let disk: f64 = if rng.gen_bool(0.25) { 0.0 } else { rng.gen_range(0.0..=1.0) };
+        schedule.push((t, cpu, disk));
+        t += hold;
+    }
+    UtilizationTrace::from_fn("plant", 1.0, components(), duration_s as usize, move |t, c| {
+        let entry = schedule
+            .iter()
+            .rev()
+            .find(|(start, _, _)| *start as f64 <= t)
+            .copied()
+            .unwrap_or((0, 0.0, 0.0));
+        if c == 0 {
+            entry.1
+        } else {
+            entry.2
+        }
+    })
+    .expect("benchmark parameters are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mercury::units::Seconds;
+
+    #[test]
+    fn cpu_staircase_hits_every_level_and_idles_between() {
+        let trace = cpu_staircase(800, 100);
+        let series = trace.component_series("cpu").unwrap();
+        // Levels appear in order with idle gaps: 0..100 idle, 100..200 at
+        // 25%, 200..300 idle, ...
+        assert_eq!(series[50].fraction(), 0.0);
+        assert_eq!(series[150].fraction(), 0.25);
+        assert_eq!(series[250].fraction(), 0.0);
+        assert_eq!(series[350].fraction(), 0.5);
+        assert_eq!(series[550].fraction(), 0.75);
+        assert_eq!(series[750].fraction(), 1.0);
+        // Disk stays idle throughout.
+        let disk = trace.component_series("disk_platters").unwrap();
+        assert!(disk.iter().all(|u| u.fraction() == 0.0));
+    }
+
+    #[test]
+    fn disk_staircase_mirrors_cpu_shape() {
+        let trace = disk_staircase(400, 50);
+        let disk = trace.component_series("disk_platters").unwrap();
+        assert_eq!(disk[75].fraction(), 0.25);
+        let cpu = trace.component_series("cpu").unwrap();
+        assert!(cpu.iter().all(|u| u.fraction() == 0.0));
+    }
+
+    #[test]
+    fn combined_benchmark_varies_both_components() {
+        let trace = combined_benchmark(5000, 42);
+        assert_eq!(trace.duration(), Seconds(5000.0));
+        let cpu = trace.component_series("cpu").unwrap();
+        let disk = trace.component_series("disk_platters").unwrap();
+        let distinct_cpu: std::collections::BTreeSet<u64> =
+            cpu.iter().map(|u| (u.fraction() * 1000.0) as u64).collect();
+        let distinct_disk: std::collections::BTreeSet<u64> =
+            disk.iter().map(|u| (u.fraction() * 1000.0) as u64).collect();
+        assert!(distinct_cpu.len() > 10, "cpu levels: {}", distinct_cpu.len());
+        assert!(distinct_disk.len() > 10);
+        // Both components are actually exercised.
+        assert!(cpu.iter().any(|u| u.fraction() > 0.5));
+        assert!(disk.iter().any(|u| u.fraction() > 0.5));
+    }
+
+    #[test]
+    fn combined_benchmark_is_deterministic() {
+        assert_eq!(combined_benchmark(1000, 7), combined_benchmark(1000, 7));
+        assert_ne!(combined_benchmark(1000, 7), combined_benchmark(1000, 8));
+    }
+}

@@ -1,0 +1,420 @@
+//! The "real machine": a finer-grained transient model of the Pentium III
+//! testbed server, with realistic (noisy, quantized) sensors.
+//!
+//! Differences from Mercury's model class, chosen so that validating
+//! Mercury against the plant is a real test rather than a tautology:
+//!
+//! * more internal structure — the CPU die is separate from its heat
+//!   sink, the disk has a spindle-motor node, so the plant has thermal
+//!   paths Mercury's coarse graph does not;
+//! * **temperature- and flow-dependent** heat-transfer coefficients on
+//!   every solid-to-air boundary (`k = k₀·(1+β(T̄−25))·(V̇/V̇₀)^0.8`),
+//!   where Mercury deliberately assumes constant `k` (§2.1 discusses this
+//!   simplification);
+//! * finer integration (50 ms) and sensor models with the accuracies the
+//!   paper quotes: the external digital thermometer is ±1.5 °C (0.5 °C
+//!   quantization, Gaussian jitter, a fixed bias), the in-disk sensor
+//!   ±3 °C (1 °C quantization, more jitter).
+
+use mercury::trace::{TemperatureLog, UtilizationTrace};
+use mercury::units::{Celsius, Seconds};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const N: usize = 13;
+
+// Node indices.
+const DIE: usize = 0;
+const SINK: usize = 1;
+const MOBO: usize = 2;
+const PSU: usize = 3;
+const PLATTERS: usize = 4;
+const SPINDLE: usize = 5;
+const SHELL: usize = 6;
+const INLET: usize = 7;
+const DISK_AIR: usize = 8;
+const PS_AIR: usize = 9;
+const VOID: usize = 10;
+const CPU_AIR: usize = 11;
+const EXHAUST: usize = 12;
+
+const NAMES: [&str; N] = [
+    "die", "sink", "mobo", "psu", "platters", "spindle", "shell", "inlet", "disk_air", "ps_air",
+    "void", "cpu_air", "exhaust",
+];
+
+/// Internal integration step, seconds.
+const DT_SUB: f64 = 0.05;
+/// Temperature sensitivity of the boundary coefficients, 1/K.
+const K_TEMP_BETA: f64 = 0.002;
+/// Flow exponent of forced convection.
+const K_FLOW_EXP: f64 = 0.8;
+/// Nominal fan flow the k₀ values were "measured" at, cfm.
+const FAN0_CFM: f64 = 38.6;
+
+#[derive(Debug, Clone, Copy)]
+struct Edge {
+    a: usize,
+    b: usize,
+    k0: f64,
+    /// Solid-to-air boundaries get the variable-k treatment.
+    boundary: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct AirEdge {
+    from: usize,
+    to: usize,
+    fraction: f64,
+}
+
+/// The high-fidelity plant.
+#[derive(Debug, Clone)]
+pub struct Plant {
+    temp: [f64; N],
+    capacity: [f64; N],
+    air_mass: [f64; N],
+    edges: Vec<Edge>,
+    air_edges: Vec<AirEdge>,
+    inlet_c: f64,
+    fan_cfm: f64,
+    cpu_util: f64,
+    disk_util: f64,
+    time_s: f64,
+    rng: ChaCha8Rng,
+}
+
+impl Plant {
+    /// Builds the Pentium III testbed server. The seed drives only the
+    /// sensor noise — the underlying physics is deterministic.
+    pub fn pentium3_testbed(seed: u64) -> Self {
+        let mut capacity = [0.0; N];
+        capacity[DIE] = 0.020 * 700.0;
+        capacity[SINK] = 0.131 * 896.0;
+        capacity[MOBO] = 0.718 * 1245.0;
+        capacity[PSU] = 1.643 * 896.0;
+        capacity[PLATTERS] = 0.236 * 896.0;
+        capacity[SPINDLE] = 0.100 * 450.0;
+        capacity[SHELL] = 0.505 * 896.0;
+
+        let mut air_mass = [0.0; N];
+        air_mass[INLET] = 0.006;
+        air_mass[DISK_AIR] = 0.005;
+        air_mass[PS_AIR] = 0.007;
+        air_mass[VOID] = 0.022;
+        air_mass[CPU_AIR] = 0.004;
+        air_mass[EXHAUST] = 0.006;
+        for i in [INLET, DISK_AIR, PS_AIR, VOID, CPU_AIR, EXHAUST] {
+            capacity[i] = air_mass[i] * 1005.0;
+        }
+
+        let edges = vec![
+            Edge { a: DIE, b: SINK, k0: 15.0, boundary: false },
+            Edge { a: SINK, b: CPU_AIR, k0: 0.85, boundary: true },
+            Edge { a: MOBO, b: VOID, k0: 11.0, boundary: true },
+            Edge { a: MOBO, b: DIE, k0: 0.12, boundary: false },
+            Edge { a: PLATTERS, b: SPINDLE, k0: 3.0, boundary: false },
+            Edge { a: SPINDLE, b: SHELL, k0: 2.5, boundary: false },
+            Edge { a: PLATTERS, b: SHELL, k0: 1.7, boundary: false },
+            Edge { a: SHELL, b: DISK_AIR, k0: 2.1, boundary: true },
+            Edge { a: PSU, b: PS_AIR, k0: 4.4, boundary: true },
+        ];
+        let air_edges = vec![
+            AirEdge { from: INLET, to: DISK_AIR, fraction: 0.38 },
+            AirEdge { from: INLET, to: PS_AIR, fraction: 0.52 },
+            AirEdge { from: INLET, to: VOID, fraction: 0.10 },
+            AirEdge { from: DISK_AIR, to: VOID, fraction: 1.0 },
+            AirEdge { from: PS_AIR, to: VOID, fraction: 0.83 },
+            AirEdge { from: PS_AIR, to: CPU_AIR, fraction: 0.17 },
+            AirEdge { from: VOID, to: CPU_AIR, fraction: 0.06 },
+            AirEdge { from: VOID, to: EXHAUST, fraction: 0.94 },
+            AirEdge { from: CPU_AIR, to: EXHAUST, fraction: 1.0 },
+        ];
+
+        Plant {
+            temp: [21.6; N],
+            capacity,
+            air_mass,
+            edges,
+            air_edges,
+            inlet_c: 21.6,
+            fan_cfm: FAN0_CFM,
+            cpu_util: 0.0,
+            disk_util: 0.0,
+            time_s: 0.0,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Sets the CPU utilization in `[0, 1]`.
+    pub fn set_cpu_utilization(&mut self, u: f64) {
+        self.cpu_util = u.clamp(0.0, 1.0);
+    }
+
+    /// Sets the disk utilization in `[0, 1]`.
+    pub fn set_disk_utilization(&mut self, u: f64) {
+        self.disk_util = u.clamp(0.0, 1.0);
+    }
+
+    /// Sets the machine-room air temperature at the inlet.
+    pub fn set_inlet(&mut self, celsius: f64) {
+        self.inlet_c = celsius;
+    }
+
+    /// Sets the fan speed (affects every boundary coefficient).
+    pub fn set_fan_cfm(&mut self, cfm: f64) {
+        self.fan_cfm = cfm.max(1.0);
+    }
+
+    /// Elapsed plant time, seconds.
+    pub fn time_s(&self) -> f64 {
+        self.time_s
+    }
+
+    /// The exact (noise-free) temperature of an internal node. Intended
+    /// for tests and debugging — a real machine would not offer this.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown node names; the node list is fixed.
+    pub fn true_temperature(&self, node: &str) -> f64 {
+        let idx = NAMES
+            .iter()
+            .position(|n| *n == node)
+            .unwrap_or_else(|| panic!("unknown plant node `{node}`"));
+        self.temp[idx]
+    }
+
+    /// Node names, for discovery.
+    pub fn node_names() -> &'static [&'static str] {
+        &NAMES
+    }
+
+    fn mass_flow(&self) -> f64 {
+        self.fan_cfm * mercury::units::CFM_TO_M3S * mercury::units::AIR_DENSITY
+    }
+
+    /// Advances the plant by one second.
+    pub fn step(&mut self) {
+        let steps = (1.0 / DT_SUB) as usize;
+        let flow_ratio = (self.fan_cfm / FAN0_CFM).powf(K_FLOW_EXP);
+        let fan_flow = self.mass_flow();
+
+        // Per-edge flow (kg/s) through the fixed air graph.
+        let mut node_out = [0.0_f64; N];
+        node_out[INLET] = fan_flow;
+        // The graph is listed in topological order; accumulate.
+        let mut edge_flow = vec![0.0_f64; self.air_edges.len()];
+        for (i, e) in self.air_edges.iter().enumerate() {
+            edge_flow[i] = node_out[e.from] * e.fraction;
+            node_out[e.to] += edge_flow[i];
+        }
+
+        for _ in 0..steps {
+            self.temp[INLET] = self.inlet_c;
+            let mut dq = [0.0_f64; N];
+            // Heat sources.
+            dq[DIE] += (7.0 + 24.0 * self.cpu_util) * DT_SUB;
+            dq[PLATTERS] += (9.0 + 5.0 * self.disk_util) * DT_SUB;
+            dq[PSU] += 40.0 * DT_SUB;
+            dq[MOBO] += 4.0 * DT_SUB;
+            // Conduction / convection with variable boundary k.
+            for e in &self.edges {
+                let t_avg = 0.5 * (self.temp[e.a] + self.temp[e.b]);
+                let mut k = e.k0;
+                if e.boundary {
+                    k *= (1.0 + K_TEMP_BETA * (t_avg - 25.0)) * flow_ratio;
+                }
+                let q = k * (self.temp[e.a] - self.temp[e.b]) * DT_SUB;
+                dq[e.a] -= q;
+                dq[e.b] += q;
+            }
+            // Advection deltas against the same snapshot.
+            let mut adv = [0.0_f64; N];
+            for node in [DISK_AIR, PS_AIR, VOID, CPU_AIR, EXHAUST] {
+                let mut inflow = 0.0;
+                let mut heat = 0.0;
+                for (i, e) in self.air_edges.iter().enumerate() {
+                    if e.to == node {
+                        inflow += edge_flow[i];
+                        heat += edge_flow[i] * self.temp[e.from];
+                    }
+                }
+                if inflow > 0.0 {
+                    let t_mix = heat / inflow;
+                    let alpha = ((inflow * DT_SUB) / self.air_mass[node]).min(1.0);
+                    adv[node] = alpha * (t_mix - self.temp[node]);
+                }
+            }
+            for i in 0..N {
+                if i == INLET {
+                    continue;
+                }
+                self.temp[i] += dq[i] / self.capacity[i] + adv[i];
+            }
+        }
+        self.time_s += 1.0;
+    }
+
+    /// Reads the external digital thermometer placed on top of the CPU
+    /// heat sink (it measures the air heated by the CPU, as in §3.1):
+    /// 0.5 °C quantization, small bias, Gaussian jitter — overall within
+    /// the paper's ±1.5 °C.
+    pub fn read_cpu_air_sensor(&mut self) -> f64 {
+        let noisy = self.temp[CPU_AIR] + 0.2 + self.rng.gen_range(-0.45..0.45);
+        (noisy / 0.5).round() * 0.5
+    }
+
+    /// Reads the disk's internal sensor (mounted on the shell): 1 °C
+    /// quantization and wider jitter — the paper's ±3 °C class.
+    pub fn read_disk_sensor(&mut self) -> f64 {
+        let noisy = self.temp[SHELL] - 0.3 + self.rng.gen_range(-0.9..0.9);
+        noisy.round()
+    }
+
+    /// Drives the plant with a utilization trace (components `cpu` and
+    /// `disk_platters`) and records both sensors every second into a log
+    /// with columns `cpu_air` and `disk`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates log construction errors (they indicate a bug, not bad
+    /// input).
+    pub fn record_sensors(
+        &mut self,
+        trace: &UtilizationTrace,
+    ) -> Result<TemperatureLog, mercury::Error> {
+        let mut log =
+            TemperatureLog::new(vec!["cpu_air".to_string(), "disk".to_string()]);
+        let ticks = trace.duration().0 as usize;
+        for t in 0..ticks {
+            if let Some(row) = trace.at(Seconds(t as f64)) {
+                let row = row.to_vec();
+                for (component, util) in trace.components().iter().zip(row) {
+                    match component.as_str() {
+                        "cpu" => self.set_cpu_utilization(util.fraction()),
+                        "disk_platters" => self.set_disk_utilization(util.fraction()),
+                        _ => {}
+                    }
+                }
+            }
+            self.step();
+            let cpu_air = self.read_cpu_air_sensor();
+            let disk = self.read_disk_sensor();
+            log.push(Seconds(self.time_s), &[Celsius(cpu_air), Celsius(disk)])?;
+        }
+        Ok(log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_plant_settles_warm_but_reasonable() {
+        let mut plant = Plant::pentium3_testbed(1);
+        for _ in 0..4000 {
+            plant.step();
+        }
+        let cpu_air = plant.true_temperature("cpu_air");
+        assert!((23.0..35.0).contains(&cpu_air), "idle cpu air {cpu_air}");
+        let shell = plant.true_temperature("shell");
+        assert!((25.0..40.0).contains(&shell), "idle shell {shell}");
+        // The die runs hotter than the sink, the sink hotter than its air.
+        assert!(plant.true_temperature("die") > plant.true_temperature("sink"));
+        assert!(plant.true_temperature("sink") > cpu_air);
+    }
+
+    #[test]
+    fn load_heats_the_right_components() {
+        let mut a = Plant::pentium3_testbed(1);
+        let mut b = Plant::pentium3_testbed(1);
+        b.set_cpu_utilization(1.0);
+        for _ in 0..3000 {
+            a.step();
+            b.step();
+        }
+        assert!(
+            b.true_temperature("cpu_air") > a.true_temperature("cpu_air") + 0.5,
+            "cpu load invisible in cpu air"
+        );
+        // Disk barely affected by CPU load.
+        let d = (b.true_temperature("shell") - a.true_temperature("shell")).abs();
+        assert!(d < 1.0, "cpu load leaked into the disk by {d}");
+    }
+
+    #[test]
+    fn inlet_change_propagates() {
+        let mut plant = Plant::pentium3_testbed(2);
+        for _ in 0..2000 {
+            plant.step();
+        }
+        let before = plant.true_temperature("cpu_air");
+        plant.set_inlet(30.0);
+        for _ in 0..2000 {
+            plant.step();
+        }
+        let after = plant.true_temperature("cpu_air");
+        assert!((after - before - 8.4).abs() < 1.0, "shift was {}", after - before);
+    }
+
+    #[test]
+    fn sensors_are_quantized_and_near_truth() {
+        let mut plant = Plant::pentium3_testbed(3);
+        for _ in 0..1000 {
+            plant.step();
+        }
+        for _ in 0..20 {
+            let reading = plant.read_cpu_air_sensor();
+            assert_eq!(reading, (reading / 0.5).round() * 0.5);
+            assert!((reading - plant.true_temperature("cpu_air")).abs() < 1.5);
+            let disk = plant.read_disk_sensor();
+            assert_eq!(disk, disk.round());
+            assert!((disk - plant.true_temperature("shell")).abs() < 3.0);
+        }
+    }
+
+    #[test]
+    fn sensor_noise_is_seeded() {
+        let mut a = Plant::pentium3_testbed(7);
+        let mut b = Plant::pentium3_testbed(7);
+        for _ in 0..100 {
+            a.step();
+            b.step();
+        }
+        assert_eq!(a.read_cpu_air_sensor(), b.read_cpu_air_sensor());
+        assert_eq!(a.read_disk_sensor(), b.read_disk_sensor());
+    }
+
+    #[test]
+    fn faster_fan_cools_the_boundaries() {
+        let mut slow = Plant::pentium3_testbed(1);
+        let mut fast = Plant::pentium3_testbed(1);
+        fast.set_fan_cfm(77.2);
+        slow.set_cpu_utilization(1.0);
+        fast.set_cpu_utilization(1.0);
+        for _ in 0..3000 {
+            slow.step();
+            fast.step();
+        }
+        assert!(fast.true_temperature("die") < slow.true_temperature("die") - 1.0);
+    }
+
+    #[test]
+    fn record_sensors_produces_a_full_log() {
+        let trace = crate::microbench::cpu_staircase(300, 60);
+        let mut plant = Plant::pentium3_testbed(5);
+        let log = plant.record_sensors(&trace).unwrap();
+        assert_eq!(log.len(), 300);
+        assert_eq!(log.columns(), ["cpu_air".to_string(), "disk".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown plant node")]
+    fn unknown_node_panics() {
+        let plant = Plant::pentium3_testbed(1);
+        let _ = plant.true_temperature("gpu");
+    }
+}

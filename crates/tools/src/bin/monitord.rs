@@ -1,0 +1,88 @@
+//! `mercury-monitord` — the component-utilization monitoring daemon.
+//!
+//! ```text
+//! usage: mercury-monitord --solver HOST:PORT --machine NAME
+//!                         [--cpu COMPONENT] [--disk COMPONENT DEVICE]
+//!                         [--synthetic CPU_UTIL DISK_UTIL]
+//!                         [--interval-ms MILLIS]
+//!
+//!   --solver       address of mercury-solverd
+//!   --machine      machine name to report for ("" for single-machine solvers)
+//!   --cpu          Mercury component fed with host CPU utilization
+//!                  (default cpu; reads /proc/stat)
+//!   --disk         Mercury component and block device for disk
+//!                  utilization (default: disk_platters sda; /proc/diskstats)
+//!   --synthetic    report fixed utilizations instead of sampling /proc —
+//!                  for driving experiments on non-Linux hosts
+//!   --interval-ms  sampling period (default 1000, the paper's 1 s)
+//! ```
+
+use mercury::net::{FnSource, Monitord, ProcSource};
+use mercury_tools::{resolve, Args};
+use std::time::Duration;
+
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("mercury-monitord: {message}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::parse(std::env::args().skip(1));
+    let solver = resolve(args.require("solver")?)?;
+    let machine = args.require("machine")?.to_string();
+    let interval_ms: u64 = args
+        .value("interval-ms")
+        .unwrap_or("1000")
+        .parse()
+        .map_err(|_| "--interval-ms wants an integer".to_string())?;
+    let interval = Duration::from_millis(interval_ms.max(1));
+
+    let _daemon = if args.has("synthetic") {
+        let mut fixed = args.positional().iter();
+        let cpu: f64 = args
+            .value("synthetic")
+            .unwrap_or("0.5")
+            .parse()
+            .map_err(|_| "--synthetic wants a cpu utilization".to_string())?;
+        let disk: f64 = fixed.next().map(|s| s.parse().unwrap_or(0.0)).unwrap_or(0.0);
+        eprintln!("reporting synthetic utilizations: cpu {cpu}, disk {disk}");
+        Monitord::spawn(
+            machine,
+            FnSource(move || {
+                vec![("cpu".to_string(), cpu), ("disk_platters".to_string(), disk)]
+            }),
+            solver,
+            interval,
+        )
+        .map_err(|e| e.to_string())?
+    } else {
+        let cpu_component = args.value("cpu").unwrap_or("cpu").to_string();
+        let (disk_component, device) = match args.value("disk") {
+            Some(component) => {
+                let device = args
+                    .positional()
+                    .first()
+                    .cloned()
+                    .unwrap_or_else(|| "sda".to_string());
+                (component.to_string(), device)
+            }
+            None => ("disk_platters".to_string(), "sda".to_string()),
+        };
+        eprintln!(
+            "sampling /proc every {interval_ms} ms: cpu -> `{cpu_component}`, {device} -> `{disk_component}`"
+        );
+        let source = ProcSource::new(cpu_component, disk_component, device);
+        Monitord::spawn(machine, source, solver, interval).map_err(|e| e.to_string())?
+    };
+
+    eprintln!("mercury-monitord reporting to {solver}; ctrl-c to stop");
+    // The daemon thread keeps running; sleep until killed.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

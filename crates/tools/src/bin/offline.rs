@@ -1,0 +1,72 @@
+//! `mercury-offline` — trace-driven emulation without any live system.
+//!
+//! "Mercury is capable of computing temperatures from component-
+//! utilization traces, which allows for fine-tuning of parameters
+//! without actually running the system software" (§1). This tool is that
+//! mode as a batch program:
+//!
+//! ```text
+//! usage: mercury-offline --model PRESET|FILE.mdl --trace TRACE.csv
+//!                        [--machine NAME] [--script SCRIPT.fiddle]
+//!                        [--out TEMPS.csv]
+//!
+//!   --model    `table1`, `freon`, or a graph-description file
+//!   --trace    a utilization trace (see UtilizationTrace::write_csv)
+//!   --script   fiddle events to apply during the replay
+//!   --out      where to write the temperature CSV (default stdout)
+//! ```
+
+use mercury::fiddle::FiddleScript;
+use mercury::solver::SolverConfig;
+use mercury::trace::{run_offline, UtilizationTrace};
+use mercury_tools::{load_machine, Args};
+
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("mercury-offline: {message}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::parse(std::env::args().skip(1));
+    let model = load_machine(args.value("model").unwrap_or("table1"), args.value("machine"))?;
+    let trace_path = args.require("trace")?;
+    let trace_text = std::fs::read_to_string(trace_path)
+        .map_err(|e| format!("cannot read trace `{trace_path}`: {e}"))?;
+    let trace = UtilizationTrace::read_csv(&trace_text).map_err(|e| e.to_string())?;
+    let script = match args.value("script") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read script `{path}`: {e}"))?;
+            Some(FiddleScript::parse(&text).map_err(|e| e.to_string())?)
+        }
+        None => None,
+    };
+
+    eprintln!(
+        "replaying {}s of `{}` utilizations through `{}`",
+        trace.duration().0,
+        trace.machine(),
+        model.name()
+    );
+    let log = run_offline(&model, &trace, SolverConfig::default(), script.as_ref())
+        .map_err(|e| e.to_string())?;
+
+    let mut csv = Vec::new();
+    log.write_csv(&mut csv).map_err(|e| e.to_string())?;
+    match args.value("out") {
+        Some(path) => {
+            std::fs::write(path, &csv).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            eprintln!("wrote {} rows to {path}", log.len());
+        }
+        None => {
+            use std::io::Write as _;
+            std::io::stdout().write_all(&csv).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}

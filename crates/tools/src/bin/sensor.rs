@@ -1,0 +1,79 @@
+//! `mercury-sensor` — read emulated thermal sensors from the shell.
+//!
+//! ```text
+//! usage: mercury-sensor --solver HOST:PORT --node NODE [--machine NAME]
+//!                       [--watch SECONDS] [--list]
+//!
+//!   --node     node to read (e.g. cpu, cpu_air, disk_shell)
+//!   --machine  machine name on a cluster solver (default: the only one)
+//!   --watch    keep reading every N seconds until interrupted
+//!   --list     print the solver's node names and exit
+//! ```
+
+use mercury::net::proto::{self, Reply, Request};
+use mercury::net::Sensor;
+use mercury_tools::{resolve, Args};
+use std::net::UdpSocket;
+use std::time::Duration;
+
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("mercury-sensor: {message}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn list_nodes(solver: std::net::SocketAddr, machine: &str) -> Result<(), String> {
+    let socket = UdpSocket::bind("0.0.0.0:0").map_err(|e| e.to_string())?;
+    socket.connect(solver).map_err(|e| e.to_string())?;
+    socket
+        .set_read_timeout(Some(Duration::from_secs(1)))
+        .map_err(|e| e.to_string())?;
+    let request = Request::ListNodes { machine: machine.to_string() };
+    socket.send(&proto::encode_request(&request)).map_err(|e| e.to_string())?;
+    let mut buf = [0u8; proto::MAX_DATAGRAM];
+    let n = socket.recv(&mut buf).map_err(|e| format!("no reply from the solver: {e}"))?;
+    match proto::decode_reply(&buf[..n]).map_err(|e| e.to_string())? {
+        Reply::Nodes { names } => {
+            for name in names {
+                println!("{name}");
+            }
+            Ok(())
+        }
+        Reply::Error { message } => Err(message),
+        other => Err(format!("unexpected reply {other:?}")),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::parse(std::env::args().skip(1));
+    let solver = resolve(args.require("solver")?)?;
+    let machine = args.value("machine").unwrap_or("");
+
+    if args.has("list") {
+        return list_nodes(solver, machine);
+    }
+
+    let node = args.require("node")?;
+    let sensor = Sensor::open(solver, machine, node).map_err(|e| e.to_string())?;
+    match args.value("watch") {
+        None => {
+            let (temp, time) = sensor.read_with_time().map_err(|e| e.to_string())?;
+            println!("{:.3}  # {node} at emulated t={time:.0}s", temp.0);
+        }
+        Some(period) => {
+            let period: f64 =
+                period.parse().map_err(|_| "--watch wants seconds".to_string())?;
+            loop {
+                let (temp, time) = sensor.read_with_time().map_err(|e| e.to_string())?;
+                println!("t={time:>8.0}s  {node} = {temp}");
+                std::thread::sleep(Duration::from_secs_f64(period.max(0.05)));
+            }
+        }
+    }
+    sensor.close();
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! `mercury-solverd` — the Mercury solver as a long-running service.
+//!
+//! ```text
+//! usage: mercury-solverd [--bind HOST:PORT] [--model PRESET|FILE.mdl]
+//!                        [--machine NAME | --cluster NAME]
+//!                        [--tick-ms MILLIS] [--dt SECONDS]
+//!
+//!   --bind      address to listen on            (default 127.0.0.1:8367)
+//!   --model     `table1`, `freon`, `room:<n>`, `freon-room:<n>`,
+//!               or a graph-description file     (default table1)
+//!   --machine   machine to pick from a file defining several
+//!   --cluster   cluster to pick from a file (serves a whole room)
+//!   --tick-ms   wall milliseconds per emulated second (default 1000 =
+//!               real time; smaller fast-forwards)
+//!   --dt        emulated seconds per solver tick (default 1)
+//! ```
+//!
+//! The paper's example port is 8367.
+
+use mercury::net::{ServiceConfig, SolverService};
+use mercury::solver::SolverConfig;
+use mercury::units::Seconds;
+use mercury_tools::{load_cluster, load_machine, resolve, Args};
+use std::time::Duration;
+
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("mercury-solverd: {message}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::parse(std::env::args().skip(1));
+    let bind = resolve(args.value("bind").unwrap_or("127.0.0.1:8367"))?;
+    let model = args.value("model").unwrap_or("table1");
+    let tick_ms: u64 = args
+        .value("tick-ms")
+        .unwrap_or("1000")
+        .parse()
+        .map_err(|_| "--tick-ms wants an integer".to_string())?;
+    let dt: f64 = args
+        .value("dt")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "--dt wants a number".to_string())?;
+
+    let config = ServiceConfig {
+        bind,
+        tick_wall: Duration::from_millis(tick_ms.max(1)),
+        solver: SolverConfig { dt: Seconds(dt), ..SolverConfig::default() },
+    };
+
+    let wants_cluster = args.has("cluster")
+        || model.starts_with("room:")
+        || model.starts_with("freon-room:");
+    let service = if wants_cluster {
+        let cluster = load_cluster(model, args.value("cluster"))?;
+        eprintln!(
+            "serving a {}-machine room from `{model}`",
+            cluster.machines().len()
+        );
+        SolverService::spawn_cluster(&cluster, config).map_err(|e| e.to_string())?
+    } else {
+        let machine = load_machine(model, args.value("machine"))?;
+        eprintln!("serving machine `{}` from `{model}`", machine.name());
+        SolverService::spawn_machine(&machine, config).map_err(|e| e.to_string())?
+    };
+
+    eprintln!(
+        "mercury-solverd listening on {} ({} wall ms per emulated second)",
+        service.local_addr(),
+        tick_ms
+    );
+    eprintln!("press ctrl-c to stop");
+    // Serve until killed; the service threads do all the work.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,286 @@
+//! Seeded arrival generation and pre-generated traces.
+
+use crate::mix::RequestMix;
+use crate::profile::DiurnalProfile;
+use cluster_sim::{Request, RequestKind};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Generates Poisson arrivals second by second, following a profile.
+///
+/// The generator is deterministic for a given `(profile, mix, seed)`
+/// triple — the ChaCha8 stream is stable across platforms — so every
+/// policy under comparison can be driven by the *same* trace, which is
+/// the whole point of emulation ("enables repeatable experiments").
+#[derive(Debug, Clone)]
+pub struct WorkloadGenerator {
+    profile: DiurnalProfile,
+    mix: RequestMix,
+    rng: ChaCha8Rng,
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator with the given seed.
+    pub fn new(profile: DiurnalProfile, mix: RequestMix, seed: u64) -> Self {
+        WorkloadGenerator { profile, mix, rng: ChaCha8Rng::seed_from_u64(seed) }
+    }
+
+    /// The load profile.
+    pub fn profile(&self) -> &DiurnalProfile {
+        &self.profile
+    }
+
+    /// The request mix.
+    pub fn mix(&self) -> &RequestMix {
+        &self.mix
+    }
+
+    /// Draws the arrivals for second `t`.
+    pub fn arrivals_at(&mut self, t: u64) -> Vec<Request> {
+        let lambda = self.profile.rps_at(t as f64);
+        let count = poisson(&mut self.rng, lambda);
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let kind = if self.rng.gen::<f64>() < self.mix.dynamic_fraction {
+                RequestKind::Dynamic
+            } else {
+                RequestKind::Static
+            };
+            out.push(self.mix.request(kind));
+        }
+        out
+    }
+
+    /// Pre-generates `duration_s` seconds into a compact trace.
+    pub fn generate(&mut self, duration_s: u64) -> WorkloadTrace {
+        let mut seconds = Vec::with_capacity(duration_s as usize);
+        for t in 0..duration_s {
+            let arrivals = self.arrivals_at(t);
+            let dynamic =
+                arrivals.iter().filter(|r| r.kind() == RequestKind::Dynamic).count() as u32;
+            seconds.push(SecondCounts {
+                static_count: (arrivals.len() as u32) - dynamic,
+                dynamic_count: dynamic,
+            });
+        }
+        WorkloadTrace { mix: self.mix.clone(), seconds }
+    }
+}
+
+/// Sample a Poisson variate. Knuth's product method below λ=30, normal
+/// approximation above (clamped at zero) — accurate enough for load
+/// generation and allocation-free.
+fn poisson(rng: &mut ChaCha8Rng, lambda: f64) -> usize {
+    if !(lambda > 0.0) {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0usize;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+            if k > 10_000 {
+                return k; // numerical safety net
+            }
+        }
+    } else {
+        // Box-Muller normal approximation N(λ, λ).
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = lambda + lambda.sqrt() * z;
+        v.round().max(0.0) as usize
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct SecondCounts {
+    static_count: u32,
+    dynamic_count: u32,
+}
+
+/// A pre-generated arrival schedule: per-second static/dynamic counts,
+/// materialized back into [`Request`] values at replay time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadTrace {
+    mix: RequestMix,
+    seconds: Vec<SecondCounts>,
+}
+
+impl WorkloadTrace {
+    /// Length of the trace, seconds.
+    pub fn duration_s(&self) -> u64 {
+        self.seconds.len() as u64
+    }
+
+    /// The mix requests are materialized with.
+    pub fn mix(&self) -> &RequestMix {
+        &self.mix
+    }
+
+    /// The arrivals of second `t` (empty past the end).
+    pub fn arrivals_at(&self, t: u64) -> Vec<Request> {
+        match self.seconds.get(t as usize) {
+            None => Vec::new(),
+            Some(counts) => {
+                let mut out =
+                    Vec::with_capacity((counts.static_count + counts.dynamic_count) as usize);
+                for _ in 0..counts.dynamic_count {
+                    out.push(self.mix.request(RequestKind::Dynamic));
+                }
+                for _ in 0..counts.static_count {
+                    out.push(self.mix.request(RequestKind::Static));
+                }
+                out
+            }
+        }
+    }
+
+    /// Total requests in the trace.
+    pub fn total_requests(&self) -> u64 {
+        self.seconds
+            .iter()
+            .map(|s| (s.static_count + s.dynamic_count) as u64)
+            .sum()
+    }
+
+    /// Fraction of requests that are dynamic.
+    pub fn dynamic_fraction(&self) -> f64 {
+        let total = self.total_requests();
+        if total == 0 {
+            return 0.0;
+        }
+        let dynamic: u64 = self.seconds.iter().map(|s| s.dynamic_count as u64).sum();
+        dynamic as f64 / total as f64
+    }
+
+    /// Offered requests during second `t`.
+    pub fn offered_at(&self, t: u64) -> u32 {
+        self.seconds
+            .get(t as usize)
+            .map(|s| s.static_count + s.dynamic_count)
+            .unwrap_or(0)
+    }
+
+    /// Serializes the trace to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("traces contain only plain data")
+    }
+
+    /// Reads a trace back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error for malformed input.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_generator(seed: u64) -> WorkloadGenerator {
+        let mix = RequestMix::paper();
+        let peak = mix.rps_for_cpu_utilization(0.7, 4, 1000.0);
+        let profile = DiurnalProfile::new(2000.0, peak * 0.15, peak).with_peak_at(0.65);
+        WorkloadGenerator::new(profile, mix, seed)
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let t1 = paper_generator(7).generate(500);
+        let t2 = paper_generator(7).generate(500);
+        assert_eq!(t1, t2);
+        let t3 = paper_generator(8).generate(500);
+        assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn dynamic_share_approximates_30_percent() {
+        let trace = paper_generator(42).generate(2000);
+        let share = trace.dynamic_fraction();
+        assert!((share - 0.3).abs() < 0.02, "dynamic share {share}");
+    }
+
+    #[test]
+    fn offered_load_follows_the_profile_shape() {
+        let trace = paper_generator(42).generate(2000);
+        let window = |center: u64| -> f64 {
+            let lo = center.saturating_sub(50);
+            (lo..center + 50).map(|t| trace.offered_at(t) as f64).sum::<f64>() / 100.0
+        };
+        let valley = window(60);
+        let peak = window(1300);
+        let late = window(1900);
+        assert!(peak > 3.0 * valley, "valley {valley}, peak {peak}");
+        assert!(late < peak / 2.0, "load did not subside: peak {peak}, late {late}");
+    }
+
+    #[test]
+    fn peak_rate_matches_the_70_percent_sizing() {
+        let trace = paper_generator(42).generate(2000);
+        let peak_avg: f64 =
+            (1250..1350).map(|t| trace.offered_at(t) as f64).sum::<f64>() / 100.0;
+        let expected = RequestMix::paper().rps_for_cpu_utilization(0.7, 4, 1000.0);
+        assert!(
+            (peak_avg - expected).abs() < expected * 0.1,
+            "peak average {peak_avg} vs sized {expected}"
+        );
+    }
+
+    #[test]
+    fn replay_materializes_the_same_counts() {
+        let trace = paper_generator(1).generate(100);
+        for t in [0u64, 50, 99] {
+            let arrivals = trace.arrivals_at(t);
+            assert_eq!(arrivals.len() as u32, trace.offered_at(t));
+        }
+        assert!(trace.arrivals_at(100).is_empty());
+        assert_eq!(trace.offered_at(100), 0);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let trace = paper_generator(3).generate(50);
+        let json = trace.to_json();
+        let back = WorkloadTrace::from_json(&json).unwrap();
+        assert_eq!(trace, back);
+        assert!(WorkloadTrace::from_json("{broken").is_err());
+    }
+
+    #[test]
+    fn poisson_sampler_hits_the_mean_in_both_regimes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for lambda in [0.5, 5.0, 25.0, 80.0, 300.0] {
+            let n = 3000;
+            let total: usize = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
+            let mean = total as f64 / n as f64;
+            let tolerance = 4.0 * (lambda / n as f64).sqrt() + 0.5;
+            assert!(
+                (mean - lambda).abs() < tolerance,
+                "lambda {lambda}: sampled mean {mean}"
+            );
+        }
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+        assert_eq!(poisson(&mut rng, -3.0), 0);
+        assert_eq!(poisson(&mut rng, f64::NAN), 0);
+    }
+
+    #[test]
+    fn arrivals_at_uses_profile_rate() {
+        // A flat profile (valley == peak) should produce ~lambda arrivals.
+        let profile = DiurnalProfile::new(100.0, 50.0, 50.0);
+        let mut generator = WorkloadGenerator::new(profile, RequestMix::paper(), 11);
+        let total: usize = (0..500).map(|t| generator.arrivals_at(t).len()).sum();
+        let mean = total as f64 / 500.0;
+        assert!((mean - 50.0).abs() < 2.0, "mean arrivals {mean}");
+    }
+}

@@ -1,0 +1,66 @@
+//! The full networked Mercury deployment (the paper's Figure 2): a
+//! cluster solver service, one `monitord` per emulated server streaming
+//! UDP utilization updates, sensors reading temperatures remotely, and
+//! `fiddle` injecting an emergency over the wire.
+//!
+//! Run with: `cargo run --example networked_suite`
+
+use mercury_freon::mercury::fiddle::FiddleCommand;
+use mercury_freon::mercury::net::{send_fiddle, FnSource, Monitord, Sensor, ServiceConfig, SolverService};
+use mercury_freon::mercury::presets;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The solver runs "on a separate machine" — here, a separate thread
+    // behind a UDP socket, fast-forwarding 1 s of emulated time per
+    // millisecond of wall time.
+    let cluster = presets::validation_cluster(2);
+    let service = SolverService::spawn_cluster(&cluster, ServiceConfig::fast())?;
+    println!("solver service on {}", service.local_addr());
+
+    // One monitord per server. machine1 is busy, machine2 idles.
+    let busy = Monitord::spawn(
+        "machine1",
+        FnSource(|| vec![("cpu".to_string(), 0.9), ("disk_platters".to_string(), 0.4)]),
+        service.local_addr(),
+        Duration::from_millis(2),
+    )?;
+    let idle = Monitord::spawn(
+        "machine2",
+        FnSource(|| vec![("cpu".to_string(), 0.05)]),
+        service.local_addr(),
+        Duration::from_millis(2),
+    )?;
+
+    // Sensors for both machines' CPUs (the Figure 3 interface).
+    let s1 = Sensor::open(service.local_addr(), "machine1", "cpu")?;
+    let s2 = Sensor::open(service.local_addr(), "machine2", "cpu")?;
+
+    println!("\nletting the emulation run (1 ms wall = 1 s emulated)...");
+    std::thread::sleep(Duration::from_millis(600));
+    let (t1, at1) = s1.read_with_time()?;
+    let (t2, _) = s2.read_with_time()?;
+    println!("t={at1:.0}s  machine1 cpu {t1}  |  machine2 cpu {t2}");
+    println!("(the busy machine runs hotter)");
+
+    // Break machine2's cooling over the wire with fiddle.
+    send_fiddle(
+        service.local_addr(),
+        &FiddleCommand::Temperature {
+            machine: "machine2".into(),
+            node: "inlet".into(),
+            celsius: 38.6,
+        },
+    )?;
+    println!("\nfiddle: machine2 inlet forced to 38.6 °C");
+    std::thread::sleep(Duration::from_millis(600));
+    let t2_after = s2.read()?;
+    println!("machine2 cpu after the emergency: {t2_after}");
+
+    s1.close();
+    s2.close();
+    busy.shutdown();
+    idle.shutdown();
+    service.shutdown();
+    Ok(())
+}

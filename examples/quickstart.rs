@@ -1,0 +1,57 @@
+//! Quickstart: emulate the paper's Table 1 server and read its sensors.
+//!
+//! This walks the same path as the paper's Figure 3 example — start a
+//! solver, open a sensor, read temperatures — both in-process and over
+//! the UDP interface.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use mercury_freon::mercury::net::{Sensor, ServiceConfig, SolverService};
+use mercury_freon::mercury::presets::{self, nodes};
+use mercury_freon::mercury::solver::{Solver, SolverConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ----- In-process emulation ------------------------------------------
+    // The Pentium III validation server with the paper's Table 1 constants.
+    let model = presets::validation_machine();
+    println!(
+        "loaded `{}`: {} nodes, {} heat edges, {} air edges, fan {:.1} cfm",
+        model.name(),
+        model.nodes().len(),
+        model.heat_edges().len(),
+        model.air_edges().len(),
+        model.fan().to_cfm()
+    );
+
+    let mut solver = Solver::new(&model, SolverConfig::default())?;
+    solver.set_utilization(nodes::CPU, 0.8)?;
+    solver.set_utilization(nodes::DISK_PLATTERS, 0.3)?;
+
+    println!("\nwarming up at 80% CPU / 30% disk:");
+    for minutes in 1..=10 {
+        solver.step_for(60);
+        println!(
+            "  t={:>4}s  cpu {:5.1}  cpu_air {:5.1}  disk {:5.1}",
+            minutes * 60,
+            solver.temperature(nodes::CPU)?,
+            solver.temperature(nodes::CPU_AIR)?,
+            solver.temperature(nodes::DISK_SHELL)?,
+        );
+    }
+
+    // ----- The networked sensor interface (Figure 3) ---------------------
+    // The solver service is Mercury's normal deployment: it runs on its
+    // own machine and applications probe it like a local sensor device.
+    // `ServiceConfig::fast()` compresses a simulated second into a
+    // millisecond so this example finishes instantly.
+    let service = SolverService::spawn_machine(&model, ServiceConfig::fast())?;
+    println!("\nsolver service listening on {}", service.local_addr());
+
+    // The paper's three calls: opensensor / readsensor / closesensor.
+    let sensor = Sensor::open(service.local_addr(), "", nodes::DISK_SHELL)?;
+    let temp = sensor.read()?;
+    println!("readsensor(disk) -> {temp}");
+    sensor.close();
+    service.shutdown();
+    Ok(())
+}

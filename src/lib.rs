@@ -1,0 +1,28 @@
+//! # mercury-freon — facade crate
+//!
+//! One-stop re-export of the Mercury & Freon reproduction workspace
+//! (*"Mercury and Freon: Temperature Emulation and Management for Server
+//! Systems"*, Heath et al., ASPLOS 2006):
+//!
+//! * [`mercury`] — the temperature-emulation suite (models, solver,
+//!   fiddle, traces, UDP sensor interface);
+//! * [`graphdl`] — the dot-like input language for heat-/air-flow graphs;
+//! * [`cluster`] — the simulated web-server cluster and LVS-style load
+//!   balancer substrate;
+//! * [`workload`] — synthetic diurnal web workloads;
+//! * [`freon`] — the thermal-emergency manager (base policy, Freon-EC,
+//!   and the traditional red-line baseline);
+//! * [`reference`](mod@reference) — high-fidelity reference models (the "real machine"
+//!   plant and the CFD stand-in) plus calibration.
+//!
+//! See the workspace `README.md` for a tour and `examples/` for runnable
+//! entry points (`cargo run --example quickstart`).
+
+#![forbid(unsafe_code)]
+
+pub use cluster_sim as cluster;
+pub use freon;
+pub use mercury;
+pub use mercury_graphdl as graphdl;
+pub use reference_models as reference;
+pub use workload_gen as workload;

