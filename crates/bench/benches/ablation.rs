@@ -11,7 +11,10 @@ fn bench_substep_limits(c: &mut Criterion) {
     let model = presets::validation_machine();
     let mut group = c.benchmark_group("solver_tick_by_stability_limit");
     for limit in [0.05, 0.1, 0.25, 0.5, 1.0] {
-        let cfg = SolverConfig { stability_limit: limit, ..SolverConfig::default() };
+        let cfg = SolverConfig {
+            stability_limit: limit,
+            ..SolverConfig::default()
+        };
         let mut solver = Solver::new(&model, cfg).unwrap();
         solver.set_utilization(nodes::CPU, 0.7).unwrap();
         let substeps = solver.substeps_per_tick();

@@ -8,7 +8,13 @@ use std::hint::black_box;
 fn peak_arrivals() -> Vec<Request> {
     // ≈ the §5 peak: 315 requests/s, 30% CGI.
     (0..315)
-        .map(|i| if i % 10 < 3 { Request::dynamic() } else { Request::static_file() })
+        .map(|i| {
+            if i % 10 < 3 {
+                Request::dynamic()
+            } else {
+                Request::static_file()
+            }
+        })
         .collect()
 }
 
@@ -17,7 +23,10 @@ fn bench_cluster(c: &mut Criterion) {
         let sim = ClusterSim::homogeneous(4, ServerConfig::default());
         b.iter(|| {
             // Route against a snapshot of four idle servers.
-            black_box(sim.lvs().route(std::array::from_fn::<_, 4, _>(|i| sim.server(i).clone()).as_slice()))
+            black_box(
+                sim.lvs()
+                    .route(std::array::from_fn::<_, 4, _>(|i| sim.server(i).clone()).as_slice()),
+            )
         });
     });
 

@@ -22,8 +22,10 @@ fn bench_freon(c: &mut Criterion) {
     c.bench_function("tempd_observe_two_components", |b| {
         let cfg = FreonConfig::paper();
         let mut tempd = Tempd::new(&cfg);
-        let temps =
-            vec![("cpu".to_string(), 68.0), ("disk_platters".to_string(), 55.0)];
+        let temps = vec![
+            ("cpu".to_string(), 68.0),
+            ("disk_platters".to_string(), 55.0),
+        ];
         b.iter(|| black_box(tempd.observe(&temps, &cfg)));
     });
 
@@ -37,7 +39,10 @@ fn bench_freon(c: &mut Criterion) {
         let trace = WorkloadGenerator::new(profile, mix, 1).generate(200);
         b.iter(|| {
             let sim = ClusterSim::homogeneous(4, ServerConfig::default());
-            let config = ExperimentConfig { duration_s: 200, ..Default::default() };
+            let config = ExperimentConfig {
+                duration_s: 200,
+                ..Default::default()
+            };
             let mut policy = FreonPolicy::new(FreonConfig::paper(), 4);
             let log = Experiment::new(&model, sim, &trace, None, config)
                 .unwrap()

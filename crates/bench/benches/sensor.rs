@@ -11,8 +11,7 @@ fn bench_sensor(c: &mut Criterion) {
     let service =
         SolverService::spawn_machine(&presets::validation_machine(), ServiceConfig::fast())
             .expect("service spawns on loopback");
-    let sensor =
-        Sensor::open(service.local_addr(), "", nodes::DISK_SHELL).expect("sensor opens");
+    let sensor = Sensor::open(service.local_addr(), "", nodes::DISK_SHELL).expect("sensor opens");
 
     c.bench_function("readsensor_udp_loopback", |b| {
         b.iter(|| black_box(sensor.read().expect("read succeeds")));
@@ -31,7 +30,10 @@ fn bench_sensor(c: &mut Criterion) {
     });
 
     c.bench_function("proto_decode_temperature_reply", |b| {
-        let encoded = proto::encode_reply(&Reply::Temperature { celsius: 35.25, time: 1234.0 });
+        let encoded = proto::encode_reply(&Reply::Temperature {
+            celsius: 35.25,
+            time: 1234.0,
+        });
         b.iter(|| black_box(proto::decode_reply(&encoded).expect("decodes")));
     });
 

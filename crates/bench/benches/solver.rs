@@ -23,7 +23,39 @@ fn bench_solver(c: &mut Criterion) {
         let cluster = presets::validation_cluster(4);
         let mut solver = ClusterSolver::new(&cluster, SolverConfig::default()).unwrap();
         for i in 1..=4 {
-            solver.set_utilization(&format!("machine{i}"), nodes::CPU, 0.7).unwrap();
+            solver
+                .set_utilization(&format!("machine{i}"), nodes::CPU, 0.7)
+                .unwrap();
+        }
+        b.iter(|| {
+            solver.step();
+            black_box(solver.time());
+        });
+    });
+
+    c.bench_function("solver_tick_cluster64_serial", |b| {
+        let cluster = presets::validation_cluster(64);
+        let mut solver = ClusterSolver::new(&cluster, SolverConfig::default()).unwrap();
+        solver.set_threads(1);
+        for i in 1..=64 {
+            solver
+                .set_utilization(&format!("machine{i}"), nodes::CPU, 0.7)
+                .unwrap();
+        }
+        b.iter(|| {
+            solver.step();
+            black_box(solver.time());
+        });
+    });
+
+    c.bench_function("solver_tick_cluster64_parallel", |b| {
+        let cluster = presets::validation_cluster(64);
+        let mut solver = ClusterSolver::new(&cluster, SolverConfig::default()).unwrap();
+        solver.set_threads(0); // auto: one chunk per available core
+        for i in 1..=64 {
+            solver
+                .set_utilization(&format!("machine{i}"), nodes::CPU, 0.7)
+                .unwrap();
         }
         b.iter(|| {
             solver.step();

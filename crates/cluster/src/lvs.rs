@@ -34,7 +34,11 @@ struct Backend {
 
 impl Default for Backend {
     fn default() -> Self {
-        Backend { weight: 1.0, connection_cap: None, quiesced: false }
+        Backend {
+            weight: 1.0,
+            connection_cap: None,
+            quiesced: false,
+        }
     }
 }
 
@@ -47,7 +51,9 @@ pub struct LoadBalancer {
 impl LoadBalancer {
     /// Creates a balancer for `n` servers, all at weight 1, uncapped.
     pub fn new(n: usize) -> Self {
-        LoadBalancer { backends: vec![Backend::default(); n] }
+        LoadBalancer {
+            backends: vec![Backend::default(); n],
+        }
     }
 
     /// Number of servers the balancer knows about.
@@ -68,7 +74,11 @@ impl LoadBalancer {
     ///
     /// Panics if `server` is out of range.
     pub fn set_weight(&mut self, server: usize, weight: f64) {
-        let w = if weight.is_finite() { weight.max(0.0) } else { 0.0 };
+        let w = if weight.is_finite() {
+            weight.max(0.0)
+        } else {
+            0.0
+        };
         self.backends[server].weight = w;
     }
 
@@ -172,7 +182,9 @@ mod tests {
     use crate::server::{Server, ServerConfig};
 
     fn servers(n: usize) -> Vec<Server> {
-        (0..n).map(|_| Server::new(ServerConfig::default())).collect()
+        (0..n)
+            .map(|_| Server::new(ServerConfig::default()))
+            .collect()
     }
 
     fn route_and_admit(lvs: &LoadBalancer, servers: &mut [Server]) -> RouteOutcome {
@@ -188,7 +200,10 @@ mod tests {
         let lvs = LoadBalancer::new(4);
         let mut s = servers(4);
         for _ in 0..40 {
-            assert!(matches!(route_and_admit(&lvs, &mut s), RouteOutcome::Routed(_)));
+            assert!(matches!(
+                route_and_admit(&lvs, &mut s),
+                RouteOutcome::Routed(_)
+            ));
         }
         for server in &s {
             assert_eq!(server.connections(), 10);

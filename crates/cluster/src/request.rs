@@ -38,8 +38,16 @@ impl Request {
     /// Creates a request with explicit demands (non-finite or negative
     /// demands are clamped to zero).
     pub fn new(kind: RequestKind, cpu_ms: f64, disk_ms: f64) -> Self {
-        let cpu = if cpu_ms.is_finite() { cpu_ms.max(0.0) } else { 0.0 };
-        let disk = if disk_ms.is_finite() { disk_ms.max(0.0) } else { 0.0 };
+        let cpu = if cpu_ms.is_finite() {
+            cpu_ms.max(0.0)
+        } else {
+            0.0
+        };
+        let disk = if disk_ms.is_finite() {
+            disk_ms.max(0.0)
+        } else {
+            0.0
+        };
         Request {
             kind,
             cpu_ms: cpu,

@@ -105,7 +105,11 @@ impl Server {
     /// per second; utilization is reported relative to the *scaled*
     /// capacity, exactly as a real `/proc` reading would behave.
     pub fn set_speed_scale(&mut self, scale: f64) {
-        self.speed_scale = if scale.is_finite() { scale.clamp(MIN_SPEED_SCALE, 1.0) } else { 1.0 };
+        self.speed_scale = if scale.is_finite() {
+            scale.clamp(MIN_SPEED_SCALE, 1.0)
+        } else {
+            1.0
+        };
     }
 
     /// The server's configuration.
@@ -156,7 +160,10 @@ impl Server {
     /// Panics in debug builds when called on a server that does not accept
     /// connections; the load balancer never routes to one.
     pub(crate) fn admit(&mut self, request: Request) {
-        debug_assert!(self.accepts_connections(), "routed to a non-accepting server");
+        debug_assert!(
+            self.accepts_connections(),
+            "routed to a non-accepting server"
+        );
         self.active.push(request);
     }
 
@@ -166,7 +173,9 @@ impl Server {
             self.state = if self.config.boot_seconds == 0 {
                 PowerState::On
             } else {
-                PowerState::Booting { remaining: self.config.boot_seconds }
+                PowerState::Booting {
+                    remaining: self.config.boot_seconds,
+                }
             };
         }
     }
@@ -175,8 +184,11 @@ impl Server {
     pub fn shutdown_graceful(&mut self) {
         match self.state {
             PowerState::On => {
-                self.state =
-                    if self.active.is_empty() { PowerState::Off } else { PowerState::Draining };
+                self.state = if self.active.is_empty() {
+                    PowerState::Off
+                } else {
+                    PowerState::Draining
+                };
             }
             PowerState::Booting { .. } => self.state = PowerState::Off,
             PowerState::Draining | PowerState::Off => {}
@@ -228,16 +240,40 @@ impl Server {
         // equally among connections that still need that resource; repeat
         // until the budget or the demand is exhausted.
         for _ in 0..32 {
-            let cpu_hungry = self.active.iter().filter(|r| r.remaining_cpu_ms() > 1e-9).count();
-            let disk_hungry = self.active.iter().filter(|r| r.remaining_disk_ms() > 1e-9).count();
+            let cpu_hungry = self
+                .active
+                .iter()
+                .filter(|r| r.remaining_cpu_ms() > 1e-9)
+                .count();
+            let disk_hungry = self
+                .active
+                .iter()
+                .filter(|r| r.remaining_disk_ms() > 1e-9)
+                .count();
             if (cpu_hungry == 0 || cpu_left <= 1e-9) && (disk_hungry == 0 || disk_left <= 1e-9) {
                 break;
             }
-            let cpu_share = if cpu_hungry > 0 { cpu_left / cpu_hungry as f64 } else { 0.0 };
-            let disk_share = if disk_hungry > 0 { disk_left / disk_hungry as f64 } else { 0.0 };
+            let cpu_share = if cpu_hungry > 0 {
+                cpu_left / cpu_hungry as f64
+            } else {
+                0.0
+            };
+            let disk_share = if disk_hungry > 0 {
+                disk_left / disk_hungry as f64
+            } else {
+                0.0
+            };
             for r in &mut self.active {
-                let want_cpu = if r.remaining_cpu_ms() > 1e-9 { cpu_share } else { 0.0 };
-                let want_disk = if r.remaining_disk_ms() > 1e-9 { disk_share } else { 0.0 };
+                let want_cpu = if r.remaining_cpu_ms() > 1e-9 {
+                    cpu_share
+                } else {
+                    0.0
+                };
+                let want_disk = if r.remaining_disk_ms() > 1e-9 {
+                    disk_share
+                } else {
+                    0.0
+                };
                 let (c, d) = r.serve(want_cpu, want_disk);
                 cpu_left -= c;
                 disk_left -= d;
@@ -277,7 +313,9 @@ impl Server {
                 self.state = if remaining <= 1 {
                     PowerState::On
                 } else {
-                    PowerState::Booting { remaining: remaining - 1 }
+                    PowerState::Booting {
+                        remaining: remaining - 1,
+                    }
                 };
             }
             PowerState::On | PowerState::Draining => {
@@ -328,7 +366,11 @@ mod tests {
         }
         let done = s.tick();
         assert_eq!(done, 20, "all requests fit within one second");
-        assert!((s.cpu_utilization() - 0.5).abs() < 0.01, "cpu {}", s.cpu_utilization());
+        assert!(
+            (s.cpu_utilization() - 0.5).abs() < 0.01,
+            "cpu {}",
+            s.cpu_utilization()
+        );
     }
 
     #[test]
@@ -363,7 +405,10 @@ mod tests {
 
     #[test]
     fn boot_sequence_takes_configured_time_and_burns_cpu() {
-        let mut s = Server::new(ServerConfig { boot_seconds: 3, ..Default::default() });
+        let mut s = Server::new(ServerConfig {
+            boot_seconds: 3,
+            ..Default::default()
+        });
         s.shutdown_graceful();
         assert_eq!(s.state(), PowerState::Off);
         s.power_on();
@@ -420,7 +465,10 @@ mod tests {
 
     #[test]
     fn zero_boot_time_powers_on_instantly() {
-        let mut s = Server::new(ServerConfig { boot_seconds: 0, ..Default::default() });
+        let mut s = Server::new(ServerConfig {
+            boot_seconds: 0,
+            ..Default::default()
+        });
         s.shutdown_graceful();
         s.power_on();
         assert_eq!(s.state(), PowerState::On);
@@ -465,7 +513,11 @@ mod tests {
             s.admit(Request::new(RequestKind::Static, 0.0, 8.0)); // 800 ms disk
         }
         s.tick();
-        assert!((s.disk_utilization() - 0.8).abs() < 0.01, "disk {}", s.disk_utilization());
+        assert!(
+            (s.disk_utilization() - 0.8).abs() < 0.01,
+            "disk {}",
+            s.disk_utilization()
+        );
     }
 
     #[test]

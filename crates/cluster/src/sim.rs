@@ -192,7 +192,10 @@ impl ClusterSim {
 
     /// Number of servers currently accepting connections.
     pub fn active_servers(&self) -> usize {
-        self.servers.iter().filter(|s| s.accepts_connections()).count()
+        self.servers
+            .iter()
+            .filter(|s| s.accepts_connections())
+            .count()
     }
 
     /// Number of servers that are powered (anything but off).
@@ -207,7 +210,13 @@ mod tests {
 
     fn burst(n: usize) -> Vec<Request> {
         (0..n)
-            .map(|i| if i % 10 < 3 { Request::dynamic() } else { Request::static_file() })
+            .map(|i| {
+                if i % 10 < 3 {
+                    Request::dynamic()
+                } else {
+                    Request::static_file()
+                }
+            })
             .collect()
     }
 
@@ -271,7 +280,10 @@ mod tests {
 
     #[test]
     fn booting_server_joins_after_boot_time() {
-        let cfg = ServerConfig { boot_seconds: 2, ..Default::default() };
+        let cfg = ServerConfig {
+            boot_seconds: 2,
+            ..Default::default()
+        };
         let mut sim = ClusterSim::homogeneous(2, cfg);
         sim.server_mut(0).shutdown_graceful();
         assert_eq!(sim.active_servers(), 1);
@@ -316,7 +328,10 @@ mod tests {
             heavy.tick(burst(150)); // ~1.4 s of CPU work per second
         }
         let heavy_rt = heavy.mean_response_time_s();
-        assert!(heavy_rt > 3.0 * light_rt, "no queueing delay: {light_rt} vs {heavy_rt}");
+        assert!(
+            heavy_rt > 3.0 * light_rt,
+            "no queueing delay: {light_rt} vs {heavy_rt}"
+        );
     }
 
     #[test]

@@ -56,12 +56,16 @@ pub enum Error {
 impl Error {
     /// Shorthand constructor for [`Error::InvalidModel`].
     pub fn invalid_model(reason: impl Into<String>) -> Self {
-        Error::InvalidModel { reason: reason.into() }
+        Error::InvalidModel {
+            reason: reason.into(),
+        }
     }
 
     /// Shorthand constructor for [`Error::InvalidInput`].
     pub fn invalid_input(reason: impl Into<String>) -> Self {
-        Error::InvalidInput { reason: reason.into() }
+        Error::InvalidInput {
+            reason: reason.into(),
+        }
     }
 
     /// Shorthand constructor for [`Error::UnknownNode`].
@@ -71,7 +75,9 @@ impl Error {
 
     /// Shorthand constructor for [`Error::Protocol`].
     pub fn protocol(reason: impl Into<String>) -> Self {
-        Error::Protocol { reason: reason.into() }
+        Error::Protocol {
+            reason: reason.into(),
+        }
     }
 }
 
@@ -134,7 +140,7 @@ mod tests {
     #[test]
     fn io_error_preserves_source() {
         use std::error::Error as _;
-        let err = Error::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let err = Error::from(std::io::Error::other("boom"));
         assert!(err.source().is_some());
         assert!(err.to_string().contains("boom"));
     }

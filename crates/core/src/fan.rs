@@ -47,7 +47,10 @@ impl FanCurve {
                 return Err("fan curves must be monotone (hotter -> not slower)".to_string());
             }
         }
-        if points.iter().any(|(t, cfm)| !t.is_finite() || !(*cfm > 0.0)) {
+        if points
+            .iter()
+            .any(|(t, cfm)| !t.is_finite() || cfm.is_nan() || *cfm <= 0.0)
+        {
             return Err("fan-curve flows must be positive and finite".to_string());
         }
         Ok(FanCurve { points })
@@ -169,8 +172,7 @@ mod tests {
 
     #[test]
     fn multi_point_curves_work() {
-        let curve =
-            FanCurve::new(vec![(40.0, 10.0), (50.0, 20.0), (60.0, 40.0)]).unwrap();
+        let curve = FanCurve::new(vec![(40.0, 10.0), (50.0, 20.0), (60.0, 40.0)]).unwrap();
         assert!((curve.cfm_for(45.0) - 15.0).abs() < 1e-9);
         assert!((curve.cfm_for(55.0) - 30.0).abs() < 1e-9);
     }
@@ -194,15 +196,17 @@ mod tests {
         let model = presets::validation_machine();
         let mut solver = Solver::new(&model, SolverConfig::default()).unwrap();
         solver.set_utilization(nodes::CPU, 1.0).unwrap();
-        let mut fan =
-            FanController::new(FanCurve::ramp(40.0, 38.6, 75.0, 77.2), nodes::CPU);
+        let mut fan = FanController::new(FanCurve::ramp(40.0, 38.6, 75.0, 77.2), nodes::CPU);
         let initial = solver.fan().to_cfm();
         for _ in 0..1200 {
             solver.step();
             fan.regulate(&mut solver).unwrap();
         }
         let final_cfm = solver.fan().to_cfm();
-        assert!(final_cfm > initial + 5.0, "fan never sped up: {initial} -> {final_cfm}");
+        assert!(
+            final_cfm > initial + 5.0,
+            "fan never sped up: {initial} -> {final_cfm}"
+        );
     }
 
     #[test]
@@ -211,8 +215,7 @@ mod tests {
         let run = |with_fan: bool| {
             let mut solver = Solver::new(&model, SolverConfig::default()).unwrap();
             solver.set_utilization(nodes::CPU, 1.0).unwrap();
-            let mut fan =
-                FanController::new(FanCurve::ramp(40.0, 38.6, 70.0, 77.2), nodes::CPU);
+            let mut fan = FanController::new(FanCurve::ramp(40.0, 38.6, 70.0, 77.2), nodes::CPU);
             for _ in 0..4000 {
                 solver.step();
                 if with_fan {
@@ -223,15 +226,17 @@ mod tests {
         };
         let fixed = run(false);
         let controlled = run(true);
-        assert!(controlled < fixed - 1.0, "fan control useless: {fixed} vs {controlled}");
+        assert!(
+            controlled < fixed - 1.0,
+            "fan control useless: {fixed} vs {controlled}"
+        );
     }
 
     #[test]
     fn hysteresis_suppresses_tiny_changes() {
         let model = presets::validation_machine();
         let mut solver = Solver::new(&model, SolverConfig::default()).unwrap();
-        let mut fan =
-            FanController::new(FanCurve::ramp(10.0, 20.0, 100.0, 40.0), nodes::CPU);
+        let mut fan = FanController::new(FanCurve::ramp(10.0, 20.0, 100.0, 40.0), nodes::CPU);
         // First regulation always applies.
         assert!(fan.regulate(&mut solver).unwrap().is_some());
         // Without meaningful temperature movement, no re-command.

@@ -115,7 +115,9 @@ impl FiddleCommand {
     /// returns.
     pub fn apply(&self, solver: &mut Solver) -> Result<(), Error> {
         if solver.machine_name() != self.machine() {
-            return Err(Error::UnknownMachine { name: self.machine().to_string() });
+            return Err(Error::UnknownMachine {
+                name: self.machine().to_string(),
+            });
         }
         match self {
             FiddleCommand::Temperature { node, celsius, .. } => {
@@ -123,13 +125,16 @@ impl FiddleCommand {
             }
             FiddleCommand::Release { node, .. } => solver.release_temperature(node),
             FiddleCommand::FanSpeed { cfm, .. } => solver.set_fan_cfm(*cfm),
-            FiddleCommand::Power { component, base_w, max_w, .. } => {
-                solver.set_power_model(component, PowerModel::linear(*base_w, *max_w))
-            }
+            FiddleCommand::Power {
+                component,
+                base_w,
+                max_w,
+                ..
+            } => solver.set_power_model(component, PowerModel::linear(*base_w, *max_w)),
             FiddleCommand::HeatK { a, b, k, .. } => solver.set_heat_k(a, b, *k),
-            FiddleCommand::AirFraction { from, to, fraction, .. } => {
-                solver.set_air_fraction(from, to, *fraction)
-            }
+            FiddleCommand::AirFraction {
+                from, to, fraction, ..
+            } => solver.set_air_fraction(from, to, *fraction),
         }
     }
 
@@ -145,7 +150,11 @@ impl FiddleCommand {
     /// plus whatever the underlying solver operation returns.
     pub fn apply_to_cluster(&self, cluster: &mut ClusterSolver) -> Result<(), Error> {
         match self {
-            FiddleCommand::Temperature { machine, node, celsius } => {
+            FiddleCommand::Temperature {
+                machine,
+                node,
+                celsius,
+            } => {
                 let is_inlet = {
                     let m = cluster.machine(machine)?;
                     m.is_inlet(node)
@@ -153,7 +162,9 @@ impl FiddleCommand {
                 if is_inlet {
                     cluster.force_inlet(machine, Celsius(*celsius))
                 } else {
-                    cluster.machine_mut(machine)?.force_temperature(node, Celsius(*celsius))
+                    cluster
+                        .machine_mut(machine)?
+                        .force_temperature(node, Celsius(*celsius))
                 }
             }
             FiddleCommand::Release { machine, node } => {
@@ -177,7 +188,11 @@ impl FiddleCommand {
 impl fmt::Display for FiddleCommand {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FiddleCommand::Temperature { machine, node, celsius } => {
+            FiddleCommand::Temperature {
+                machine,
+                node,
+                celsius,
+            } => {
                 write!(f, "fiddle {machine} temperature {node} {celsius}")
             }
             FiddleCommand::Release { machine, node } => {
@@ -186,13 +201,23 @@ impl fmt::Display for FiddleCommand {
             FiddleCommand::FanSpeed { machine, cfm } => {
                 write!(f, "fiddle {machine} fanspeed {cfm}")
             }
-            FiddleCommand::Power { machine, component, base_w, max_w } => {
+            FiddleCommand::Power {
+                machine,
+                component,
+                base_w,
+                max_w,
+            } => {
                 write!(f, "fiddle {machine} power {component} {base_w} {max_w}")
             }
             FiddleCommand::HeatK { machine, a, b, k } => {
                 write!(f, "fiddle {machine} k {a} {b} {k}")
             }
-            FiddleCommand::AirFraction { machine, from, to, fraction } => {
+            FiddleCommand::AirFraction {
+                machine,
+                from,
+                to,
+                fraction,
+            } => {
                 write!(f, "fiddle {machine} fraction {from} {to} {fraction}")
             }
         }
@@ -223,8 +248,15 @@ impl FiddleScript {
     /// Adds a command firing `at` seconds into the run. Events may be
     /// added out of order; they are kept sorted by time.
     pub fn at(&mut self, seconds: f64, command: FiddleCommand) -> &mut Self {
-        self.events.push(FiddleEvent { at: Seconds(seconds), command });
-        self.events.sort_by(|a, b| a.at.0.partial_cmp(&b.at.0).unwrap_or(std::cmp::Ordering::Equal));
+        self.events.push(FiddleEvent {
+            at: Seconds(seconds),
+            command,
+        });
+        self.events.sort_by(|a, b| {
+            a.at.0
+                .partial_cmp(&b.at.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         self
     }
 
@@ -261,7 +293,10 @@ impl FiddleScript {
                 continue;
             }
             let tokens: Vec<&str> = line.split_whitespace().collect();
-            let err = |reason: String| Error::FiddleParse { line: lineno, reason };
+            let err = |reason: String| Error::FiddleParse {
+                line: lineno,
+                reason,
+            };
             match tokens[0] {
                 "sleep" => {
                     if tokens.len() != 2 {
@@ -280,7 +315,8 @@ impl FiddleScript {
                     let machine = tokens[1].to_string();
                     let command = match tokens[2] {
                         "temperature" => {
-                            let [node, val] = expect_args(&tokens[3..], lineno, "temperature <node> <celsius>")?;
+                            let [node, val] =
+                                expect_args(&tokens[3..], lineno, "temperature <node> <celsius>")?;
                             FiddleCommand::Temperature {
                                 machine,
                                 node: node.to_string(),
@@ -289,15 +325,24 @@ impl FiddleScript {
                         }
                         "release" => {
                             let [node] = expect_args(&tokens[3..], lineno, "release <node>")?;
-                            FiddleCommand::Release { machine, node: node.to_string() }
+                            FiddleCommand::Release {
+                                machine,
+                                node: node.to_string(),
+                            }
                         }
                         "fanspeed" => {
                             let [val] = expect_args(&tokens[3..], lineno, "fanspeed <cfm>")?;
-                            FiddleCommand::FanSpeed { machine, cfm: parse_f64(val).map_err(&err)? }
+                            FiddleCommand::FanSpeed {
+                                machine,
+                                cfm: parse_f64(val).map_err(&err)?,
+                            }
                         }
                         "power" => {
-                            let [comp, base, max] =
-                                expect_args(&tokens[3..], lineno, "power <component> <base> <max>")?;
+                            let [comp, base, max] = expect_args(
+                                &tokens[3..],
+                                lineno,
+                                "power <component> <base> <max>",
+                            )?;
                             FiddleCommand::Power {
                                 machine,
                                 component: comp.to_string(),
@@ -326,7 +371,10 @@ impl FiddleScript {
                         }
                         verb => return Err(err(format!("unknown fiddle verb `{verb}`"))),
                     };
-                    script.events.push(FiddleEvent { at: Seconds(clock), command });
+                    script.events.push(FiddleEvent {
+                        at: Seconds(clock),
+                        command,
+                    });
                 }
                 word => return Err(err(format!("unknown statement `{word}`"))),
             }
@@ -336,12 +384,16 @@ impl FiddleScript {
 
     /// Creates a runner that replays this script against a solver.
     pub fn runner(&self) -> ScriptRunner {
-        ScriptRunner { events: self.events.clone(), next: 0 }
+        ScriptRunner {
+            events: self.events.clone(),
+            next: 0,
+        }
     }
 }
 
 fn parse_f64(s: &str) -> Result<f64, String> {
-    s.parse::<f64>().map_err(|_| format!("`{s}` is not a number"))
+    s.parse::<f64>()
+        .map_err(|_| format!("`{s}` is not a number"))
 }
 
 fn expect_args<'a, const N: usize>(
@@ -482,17 +534,46 @@ mod tests {
     #[test]
     fn command_display_round_trips_through_parse() {
         let commands = vec![
-            FiddleCommand::Temperature { machine: "m1".into(), node: "inlet".into(), celsius: 30.0 },
-            FiddleCommand::Release { machine: "m1".into(), node: "inlet".into() },
-            FiddleCommand::FanSpeed { machine: "m1".into(), cfm: 19.3 },
-            FiddleCommand::Power { machine: "m1".into(), component: "cpu".into(), base_w: 7.0, max_w: 31.0 },
-            FiddleCommand::HeatK { machine: "m1".into(), a: "cpu".into(), b: "cpu_air".into(), k: 0.9 },
-            FiddleCommand::AirFraction { machine: "m1".into(), from: "inlet".into(), to: "disk_air".into(), fraction: 0.3 },
+            FiddleCommand::Temperature {
+                machine: "m1".into(),
+                node: "inlet".into(),
+                celsius: 30.0,
+            },
+            FiddleCommand::Release {
+                machine: "m1".into(),
+                node: "inlet".into(),
+            },
+            FiddleCommand::FanSpeed {
+                machine: "m1".into(),
+                cfm: 19.3,
+            },
+            FiddleCommand::Power {
+                machine: "m1".into(),
+                component: "cpu".into(),
+                base_w: 7.0,
+                max_w: 31.0,
+            },
+            FiddleCommand::HeatK {
+                machine: "m1".into(),
+                a: "cpu".into(),
+                b: "cpu_air".into(),
+                k: 0.9,
+            },
+            FiddleCommand::AirFraction {
+                machine: "m1".into(),
+                from: "inlet".into(),
+                to: "disk_air".into(),
+                fraction: 0.3,
+            },
         ];
         for cmd in commands {
             let text = cmd.to_string();
             let script = FiddleScript::parse(&text).unwrap();
-            assert_eq!(script.events()[0].command, cmd, "round trip failed for `{text}`");
+            assert_eq!(
+                script.events()[0].command,
+                cmd,
+                "round trip failed for `{text}`"
+            );
         }
     }
 
@@ -503,7 +584,10 @@ mod tests {
         assert!(runner.due(Seconds(50.0)).is_empty());
         let at_100 = runner.due(Seconds(100.0));
         assert_eq!(at_100.len(), 1);
-        assert!(runner.due(Seconds(100.0)).is_empty(), "events must fire once");
+        assert!(
+            runner.due(Seconds(100.0)).is_empty(),
+            "events must fire once"
+        );
         assert!(!runner.is_finished());
         let late = runner.due(Seconds(1000.0));
         assert_eq!(late.len(), 1);
@@ -519,7 +603,9 @@ mod tests {
         let mut inlet_at_150 = None;
         let mut inlet_at_400 = None;
         for t in 0..500 {
-            runner.apply_due_to_solver(Seconds(t as f64), &mut solver).unwrap();
+            runner
+                .apply_due_to_solver(Seconds(t as f64), &mut solver)
+                .unwrap();
             solver.step();
             if t == 150 {
                 inlet_at_150 = Some(solver.temperature("inlet").unwrap());
@@ -536,8 +622,14 @@ mod tests {
     fn apply_rejects_wrong_machine() {
         let model = presets::validation_machine_named("machine1");
         let mut solver = Solver::new(&model, SolverConfig::default()).unwrap();
-        let cmd = FiddleCommand::FanSpeed { machine: "other".into(), cfm: 10.0 };
-        assert!(matches!(cmd.apply(&mut solver), Err(Error::UnknownMachine { .. })));
+        let cmd = FiddleCommand::FanSpeed {
+            machine: "other".into(),
+            cfm: 10.0,
+        };
+        assert!(matches!(
+            cmd.apply(&mut solver),
+            Err(Error::UnknownMachine { .. })
+        ));
     }
 
     #[test]
@@ -551,8 +643,14 @@ mod tests {
         };
         force.apply_to_cluster(&mut cs).unwrap();
         cs.step_for(3);
-        assert_eq!(cs.machine("machine1").unwrap().inlet_temperature(), Celsius(38.6));
-        let release = FiddleCommand::Release { machine: "machine1".into(), node: "inlet".into() };
+        assert_eq!(
+            cs.machine("machine1").unwrap().inlet_temperature(),
+            Celsius(38.6)
+        );
+        let release = FiddleCommand::Release {
+            machine: "machine1".into(),
+            node: "inlet".into(),
+        };
         release.apply_to_cluster(&mut cs).unwrap();
         cs.step_for(3);
         let t = cs.machine("machine1").unwrap().inlet_temperature();
@@ -562,8 +660,20 @@ mod tests {
     #[test]
     fn builder_api_keeps_events_sorted() {
         let mut script = FiddleScript::new();
-        script.at(200.0, FiddleCommand::FanSpeed { machine: "m".into(), cfm: 10.0 });
-        script.at(100.0, FiddleCommand::FanSpeed { machine: "m".into(), cfm: 20.0 });
+        script.at(
+            200.0,
+            FiddleCommand::FanSpeed {
+                machine: "m".into(),
+                cfm: 10.0,
+            },
+        );
+        script.at(
+            100.0,
+            FiddleCommand::FanSpeed {
+                machine: "m".into(),
+                cfm: 20.0,
+            },
+        );
         assert_eq!(script.events()[0].at, Seconds(100.0));
         assert_eq!(script.events()[1].at, Seconds(200.0));
     }

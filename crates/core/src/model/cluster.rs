@@ -13,7 +13,9 @@ use super::machine::MachineModel;
 use crate::error::Error;
 use crate::units::Celsius;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+#[cfg(test)]
+use std::collections::HashMap;
+use std::collections::HashSet;
 
 /// A cold-air source in the room: an air conditioner.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -104,6 +106,18 @@ impl ClusterModel {
     pub fn machine_index(&self, name: &str) -> Option<usize> {
         self.machines.iter().position(|m| m.name() == name)
     }
+
+    /// Index of the supply with the given name (into
+    /// [`ClusterModel::supplies`]).
+    pub fn supply_index(&self, name: &str) -> Option<usize> {
+        self.supplies.iter().position(|s| s.name == name)
+    }
+
+    /// Index of the junction with the given name (into
+    /// [`ClusterModel::junctions`]).
+    pub fn junction_index(&self, name: &str) -> Option<usize> {
+        self.junctions.iter().position(|j| j == name)
+    }
 }
 
 /// Incremental builder for [`ClusterModel`].
@@ -124,7 +138,10 @@ impl ClusterBuilder {
 
     /// Adds an air-conditioner supply at the given output temperature.
     pub fn supply(&mut self, name: impl Into<String>, temperature_c: f64) -> &mut Self {
-        self.supplies.push(SupplySpec { name: name.into(), temperature: Celsius(temperature_c) });
+        self.supplies.push(SupplySpec {
+            name: name.into(),
+            temperature: Celsius(temperature_c),
+        });
         self
     }
 
@@ -135,12 +152,7 @@ impl ClusterBuilder {
     }
 
     /// Adds a directed air edge between two endpoints.
-    pub fn edge(
-        &mut self,
-        from: ClusterEndpoint,
-        to: ClusterEndpoint,
-        fraction: f64,
-    ) -> &mut Self {
+    pub fn edge(&mut self, from: ClusterEndpoint, to: ClusterEndpoint, fraction: f64) -> &mut Self {
         self.edges.push(ClusterEdge { from, to, fraction });
         self
     }
@@ -158,7 +170,10 @@ impl ClusterBuilder {
         let mut machine_names = HashSet::new();
         for m in &self.machines {
             if !machine_names.insert(m.name().to_string()) {
-                return Err(Error::invalid_model(format!("duplicate machine name `{}`", m.name())));
+                return Err(Error::invalid_model(format!(
+                    "duplicate machine name `{}`",
+                    m.name()
+                )));
             }
         }
         let mut names = HashSet::new();
@@ -173,7 +188,10 @@ impl ClusterBuilder {
                 )));
             }
             if !names.insert(("s", s.name.clone())) {
-                return Err(Error::invalid_model(format!("duplicate supply name `{}`", s.name)));
+                return Err(Error::invalid_model(format!(
+                    "duplicate supply name `{}`",
+                    s.name
+                )));
             }
         }
         for j in &self.junctions {
@@ -181,7 +199,9 @@ impl ClusterBuilder {
                 return Err(Error::invalid_model("junction name is empty"));
             }
             if !names.insert(("j", j.clone())) {
-                return Err(Error::invalid_model(format!("duplicate junction name `{j}`")));
+                return Err(Error::invalid_model(format!(
+                    "duplicate junction name `{j}`"
+                )));
             }
         }
 
@@ -259,7 +279,9 @@ impl ClusterBuilder {
             }
             ClusterEndpoint::MachineInlet(i) | ClusterEndpoint::MachineExhaust(i) => {
                 if *i >= self.machines.len() {
-                    return Err(Error::invalid_model(format!("machine index {i} out of range")));
+                    return Err(Error::invalid_model(format!(
+                        "machine index {i} out of range"
+                    )));
                 }
             }
         }
@@ -267,12 +289,18 @@ impl ClusterBuilder {
     }
 }
 
-/// Mixing helper used by the cluster solver: resolves the temperature of a
-/// sink endpoint as the fraction-weighted average of its incoming edges.
+/// Mixing reference: resolves the temperature of a sink endpoint as the
+/// fraction-weighted average of its incoming edges.
 ///
 /// `source_temp` maps each source endpoint to its current temperature.
 /// Returns `None` when the endpoint has no incoming edges (the caller
 /// keeps the previous value).
+///
+/// The cluster solver used to call this every tick; it now mixes through
+/// the precompiled CSR plan in `solver::kernel::MixGraph`, and this
+/// straightforward formulation survives as the test oracle the plan is
+/// checked against.
+#[cfg(test)]
 pub(crate) fn mixed_inlet_temperature(
     edges: &[ClusterEdge],
     sink: &ClusterEndpoint,
@@ -299,7 +327,10 @@ mod tests {
 
     fn machine(name: &str) -> MachineModel {
         let mut b = MachineModel::builder(name);
-        b.component("cpu").mass_kg(0.1).specific_heat(896.0).power_range(7.0, 31.0);
+        b.component("cpu")
+            .mass_kg(0.1)
+            .specific_heat(896.0)
+            .power_range(7.0, 31.0);
         b.inlet("inlet");
         b.air("cpu_air");
         b.exhaust("exhaust");
@@ -436,6 +467,8 @@ mod tests {
         let t = mixed_inlet_temperature(&edges, &ClusterEndpoint::MachineInlet(0), &temps).unwrap();
         assert!((t.0 - 23.0).abs() < 1e-12);
 
-        assert!(mixed_inlet_temperature(&edges, &ClusterEndpoint::MachineInlet(9), &temps).is_none());
+        assert!(
+            mixed_inlet_temperature(&edges, &ClusterEndpoint::MachineInlet(9), &temps).is_none()
+        );
     }
 }

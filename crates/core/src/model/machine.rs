@@ -3,9 +3,7 @@
 use super::node::{AirKind, AirSpec, ComponentSpec, NodeId, NodeSpec, DEFAULT_AIR_REGION_MASS_KG};
 use crate::error::Error;
 use crate::physics::PowerModel;
-use crate::units::{
-    Celsius, CubicMetersPerSecond, JoulesPerKgKelvin, Kilograms, WattsPerKelvin,
-};
+use crate::units::{Celsius, CubicMetersPerSecond, JoulesPerKgKelvin, Kilograms, WattsPerKelvin};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -262,7 +260,10 @@ impl MachineBuilder {
             monitored: true,
         }));
         let index = self.nodes.len() - 1;
-        ComponentHandle { builder: self, index }
+        ComponentHandle {
+            builder: self,
+            index,
+        }
     }
 
     /// Adds an interior air region with the default effective mass.
@@ -287,7 +288,11 @@ impl MachineBuilder {
         mass_kg: f64,
         kind: AirKind,
     ) -> &mut Self {
-        self.nodes.push(NodeSpec::Air(AirSpec { name: name.into(), kind, mass_kg }));
+        self.nodes.push(NodeSpec::Air(AirSpec {
+            name: name.into(),
+            kind,
+            mass_kg,
+        }));
         self
     }
 
@@ -300,14 +305,19 @@ impl MachineBuilder {
     /// self-loop.
     pub fn heat_edge(&mut self, a: &str, b: &str, k: f64) -> Result<&mut Self, Error> {
         if a == b {
-            return Err(Error::invalid_input(format!("heat edge `{a}` -- `{b}` is a self-loop")));
+            return Err(Error::invalid_input(format!(
+                "heat edge `{a}` -- `{b}` is a self-loop"
+            )));
         }
-        if !(k > 0.0) || !k.is_finite() {
-            return Err(Error::invalid_input(format!("heat edge `{a}` -- `{b}` has non-positive k {k}")));
+        if !k.is_finite() || k <= 0.0 {
+            return Err(Error::invalid_input(format!(
+                "heat edge `{a}` -- `{b}` has non-positive k {k}"
+            )));
         }
         self.require_node(a)?;
         self.require_node(b)?;
-        self.heat_edges.push((a.to_string(), b.to_string(), WattsPerKelvin(k)));
+        self.heat_edges
+            .push((a.to_string(), b.to_string(), WattsPerKelvin(k)));
         Ok(self)
     }
 
@@ -321,7 +331,9 @@ impl MachineBuilder {
     /// or endpoints that are not air regions.
     pub fn air_edge(&mut self, from: &str, to: &str, fraction: f64) -> Result<&mut Self, Error> {
         if from == to {
-            return Err(Error::invalid_input(format!("air edge `{from}` -> `{to}` is a self-loop")));
+            return Err(Error::invalid_input(format!(
+                "air edge `{from}` -> `{to}` is a self-loop"
+            )));
         }
         if !(fraction > 0.0 && fraction <= 1.0) {
             return Err(Error::invalid_input(format!(
@@ -336,7 +348,8 @@ impl MachineBuilder {
                 )));
             }
         }
-        self.air_edges.push((from.to_string(), to.to_string(), fraction));
+        self.air_edges
+            .push((from.to_string(), to.to_string(), fraction));
         Ok(self)
     }
 
@@ -379,7 +392,10 @@ impl MachineBuilder {
         for (i, node) in self.nodes.iter().enumerate() {
             node.validate().map_err(Error::invalid_model)?;
             if by_name.insert(node.name(), NodeId(i as u32)).is_some() {
-                return Err(Error::invalid_model(format!("duplicate node name `{}`", node.name())));
+                return Err(Error::invalid_model(format!(
+                    "duplicate node name `{}`",
+                    node.name()
+                )));
             }
         }
 
@@ -390,9 +406,15 @@ impl MachineBuilder {
             let ib = by_name[b.as_str()];
             let key = (ia.min(ib), ia.max(ib));
             if !seen_pairs.insert(key) {
-                return Err(Error::invalid_model(format!("duplicate heat edge `{a}` -- `{b}`")));
+                return Err(Error::invalid_model(format!(
+                    "duplicate heat edge `{a}` -- `{b}`"
+                )));
             }
-            heat_edges.push(HeatEdge { a: ia, b: ib, k: *k });
+            heat_edges.push(HeatEdge {
+                a: ia,
+                b: ib,
+                k: *k,
+            });
         }
 
         let mut air_edges = Vec::with_capacity(self.air_edges.len());
@@ -402,7 +424,9 @@ impl MachineBuilder {
             let ifrom = by_name[from.as_str()];
             let ito = by_name[to.as_str()];
             if !seen_air.insert((ifrom, ito)) {
-                return Err(Error::invalid_model(format!("duplicate air edge `{from}` -> `{to}`")));
+                return Err(Error::invalid_model(format!(
+                    "duplicate air edge `{from}` -> `{to}`"
+                )));
             }
             if self.nodes[ito.index()].is_air_kind(AirKind::Inlet) {
                 return Err(Error::invalid_model(format!(
@@ -415,7 +439,11 @@ impl MachineBuilder {
                 )));
             }
             *outgoing.entry(ifrom).or_insert(0.0) += fraction;
-            air_edges.push(AirEdge { from: ifrom, to: ito, fraction: *fraction });
+            air_edges.push(AirEdge {
+                from: ifrom,
+                to: ito,
+                fraction: *fraction,
+            });
         }
         for (id, total) in &outgoing {
             if *total > 1.0 + 1e-9 {
@@ -425,8 +453,10 @@ impl MachineBuilder {
                 )));
             }
         }
-        if !air_edges.is_empty() && !(self.fan.0 > 0.0) {
-            return Err(Error::invalid_model("air edges exist but fan flow is non-positive"));
+        if !air_edges.is_empty() && (self.fan.0.is_nan() || self.fan.0 <= 0.0) {
+            return Err(Error::invalid_model(
+                "air edges exist but fan flow is non-positive",
+            ));
         }
 
         let topo_order = topo_sort_air(&self.nodes, &air_edges)?;
@@ -454,8 +484,7 @@ fn topo_sort_air(nodes: &[NodeSpec], edges: &[AirEdge]) -> Result<Vec<NodeId>, E
     for e in edges {
         indegree[e.to.index()] += 1;
     }
-    let mut queue: Vec<usize> =
-        (0..n).filter(|&i| is_air[i] && indegree[i] == 0).collect();
+    let mut queue: Vec<usize> = (0..n).filter(|&i| is_air[i] && indegree[i] == 0).collect();
     // Deterministic order: process lowest index first.
     queue.sort_unstable();
     let mut order = Vec::new();
@@ -488,7 +517,10 @@ mod tests {
 
     fn tiny_builder() -> MachineBuilder {
         let mut b = MachineModel::builder("m");
-        b.component("cpu").mass_kg(0.151).specific_heat(896.0).power_range(7.0, 31.0);
+        b.component("cpu")
+            .mass_kg(0.151)
+            .specific_heat(896.0)
+            .power_range(7.0, 31.0);
         b.inlet("inlet");
         b.air("cpu_air");
         b.exhaust("exhaust");
@@ -521,8 +553,11 @@ mod tests {
     #[test]
     fn topo_order_is_upstream_first() {
         let model = tiny_builder().build().unwrap();
-        let order: Vec<&str> =
-            model.topo_order().iter().map(|id| model.node(*id).name()).collect();
+        let order: Vec<&str> = model
+            .topo_order()
+            .iter()
+            .map(|id| model.node(*id).name())
+            .collect();
         let inlet_pos = order.iter().position(|n| *n == "inlet").unwrap();
         let cpu_air_pos = order.iter().position(|n| *n == "cpu_air").unwrap();
         let exhaust_pos = order.iter().position(|n| *n == "exhaust").unwrap();
@@ -612,10 +647,17 @@ mod tests {
     #[test]
     fn component_handle_configures_spec() {
         let mut b = MachineModel::builder("m");
-        b.component("psu").mass_kg(1.643).specific_heat(896.0).constant_power(40.0);
+        b.component("psu")
+            .mass_kg(1.643)
+            .specific_heat(896.0)
+            .constant_power(40.0);
         b.component("nic").monitored(false);
         let model = b.build().unwrap();
-        let psu = model.node(model.node_id("psu").unwrap()).as_component().unwrap().clone();
+        let psu = model
+            .node(model.node_id("psu").unwrap())
+            .as_component()
+            .unwrap()
+            .clone();
         assert!(!psu.monitored);
         assert_eq!(psu.power, PowerModel::Constant(crate::units::Watts(40.0)));
         assert!(model.monitored_components().is_empty());

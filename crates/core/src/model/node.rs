@@ -94,10 +94,13 @@ impl ComponentSpec {
         if self.name.is_empty() {
             return Err("component name is empty".to_string());
         }
-        if !(self.mass.0 > 0.0) || !self.mass.is_finite() {
-            return Err(format!("component `{}` has non-positive mass {}", self.name, self.mass));
+        if !self.mass.is_finite() || self.mass.0 <= 0.0 {
+            return Err(format!(
+                "component `{}` has non-positive mass {}",
+                self.name, self.mass
+            ));
         }
-        if !(self.specific_heat.0 > 0.0) || !self.specific_heat.is_finite() {
+        if !self.specific_heat.is_finite() || self.specific_heat.0 <= 0.0 {
             return Err(format!(
                 "component `{}` has non-positive specific heat {}",
                 self.name, self.specific_heat
@@ -133,8 +136,11 @@ impl AirSpec {
         if self.name.is_empty() {
             return Err("air region name is empty".to_string());
         }
-        if !(self.mass_kg > 0.0) || !self.mass_kg.is_finite() {
-            return Err(format!("air region `{}` has non-positive mass {}", self.name, self.mass_kg));
+        if !self.mass_kg.is_finite() || self.mass_kg <= 0.0 {
+            return Err(format!(
+                "air region `{}` has non-positive mass {}",
+                self.name, self.mass_kg
+            ));
         }
         Ok(())
     }
@@ -247,9 +253,17 @@ mod tests {
 
     #[test]
     fn air_validation_rejects_bad_mass() {
-        let air = AirSpec { name: "x".to_string(), kind: AirKind::Internal, mass_kg: 0.0 };
+        let air = AirSpec {
+            name: "x".to_string(),
+            kind: AirKind::Internal,
+            mass_kg: 0.0,
+        };
         assert!(air.validate().is_err());
-        let air = AirSpec { name: "x".to_string(), kind: AirKind::Internal, mass_kg: f64::NAN };
+        let air = AirSpec {
+            name: "x".to_string(),
+            kind: AirKind::Internal,
+            mass_kg: f64::NAN,
+        };
         assert!(air.validate().is_err());
     }
 

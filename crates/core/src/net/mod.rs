@@ -46,12 +46,17 @@ pub fn send_fiddle(addr: impl ToSocketAddrs, command: &FiddleCommand) -> Result<
     let socket = UdpSocket::bind(("127.0.0.1", 0))?;
     socket.connect(addr)?;
     socket.set_read_timeout(Some(Duration::from_secs(1)))?;
-    let msg = proto::Request::Fiddle { command: command.clone() };
+    let msg = proto::Request::Fiddle {
+        command: command.clone(),
+    };
     socket.send(&proto::encode_request(&msg))?;
     let mut buf = [0u8; proto::MAX_DATAGRAM];
     let n = match socket.recv(&mut buf) {
         Ok(n) => n,
-        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock || e.kind() == std::io::ErrorKind::TimedOut => {
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
             return Err(Error::Timeout)
         }
         Err(e) => return Err(e.into()),
@@ -59,6 +64,8 @@ pub fn send_fiddle(addr: impl ToSocketAddrs, command: &FiddleCommand) -> Result<
     match proto::decode_reply(&buf[..n])? {
         proto::Reply::Ack => Ok(()),
         proto::Reply::Error { message } => Err(Error::Remote { reason: message }),
-        other => Err(Error::protocol(format!("unexpected reply {other:?} to a fiddle command"))),
+        other => Err(Error::protocol(format!(
+            "unexpected reply {other:?} to a fiddle command"
+        ))),
     }
 }

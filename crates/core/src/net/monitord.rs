@@ -142,7 +142,9 @@ where
 {
     fn sample(&mut self) -> Vec<(String, f64)> {
         let counters = (self.provider)();
-        let util = self.model.low_level_utilization(&counters, self.base, self.max);
+        let util = self
+            .model
+            .low_level_utilization(&counters, self.base, self.max);
         vec![(self.component.clone(), util.fraction())]
     }
 }
@@ -194,8 +196,11 @@ impl ProcSource {
     fn read_cpu_counters(&self) -> Option<(u64, u64)> {
         let text = fs::read_to_string(self.proc_root.join("stat")).ok()?;
         let line = text.lines().find(|l| l.starts_with("cpu "))?;
-        let fields: Vec<u64> =
-            line.split_whitespace().skip(1).filter_map(|f| f.parse().ok()).collect();
+        let fields: Vec<u64> = line
+            .split_whitespace()
+            .skip(1)
+            .filter_map(|f| f.parse().ok())
+            .collect();
         if fields.len() < 5 {
             return None;
         }
@@ -303,7 +308,10 @@ impl Monitord {
                 })
                 .map_err(Error::Io)?
         };
-        Ok(Monitord { stop, thread: Some(thread) })
+        Ok(Monitord {
+            stop,
+            thread: Some(thread),
+        })
     }
 
     /// Stops the daemon and waits for its thread.
@@ -357,13 +365,13 @@ mod tests {
 
     #[test]
     fn trace_source_replays_rows_and_clamps() {
-        let trace = UtilizationTrace::from_fn(
-            "m",
-            1.0,
-            vec![nodes::CPU.to_string()],
-            3,
-            |t, _| if t < 1.0 { 0.2 } else { 0.9 },
-        )
+        let trace = UtilizationTrace::from_fn("m", 1.0, vec![nodes::CPU.to_string()], 3, |t, _| {
+            if t < 1.0 {
+                0.2
+            } else {
+                0.9
+            }
+        })
         .unwrap();
         let mut source = TraceSource::new(trace);
         assert_eq!(source.sample()[0].1, 0.2);
@@ -391,7 +399,10 @@ mod tests {
         let mut source = ProcSource::new("cpu", "disk_platters", "sda").with_proc_root(&dir);
         // First sample warms up the counters.
         let first = source.sample();
-        assert!(first.is_empty(), "warm-up sample should be empty, got {first:?}");
+        assert!(
+            first.is_empty(),
+            "warm-up sample should be empty, got {first:?}"
+        );
         // Advance the counters: 100 more busy jiffies, 100 more idle.
         fs::write(
             dir.join("stat"),
@@ -408,7 +419,10 @@ mod tests {
         let cpu = second.iter().find(|(c, _)| c == "cpu").expect("cpu sample");
         // Delta: total 200, idle 100 -> 50% busy.
         assert!((cpu.1 - 0.5).abs() < 1e-9, "cpu util {}", cpu.1);
-        let disk = second.iter().find(|(c, _)| c == "disk_platters").expect("disk sample");
+        let disk = second
+            .iter()
+            .find(|(c, _)| c == "disk_platters")
+            .expect("disk sample");
         assert!(disk.1 > 0.0 && disk.1 <= 1.0, "disk util {}", disk.1);
         fs::remove_dir_all(&dir).ok();
     }
@@ -427,12 +441,8 @@ mod tests {
         // A synthetic counter stream: heavy for the first sample, idle
         // afterwards.
         let mut first = true;
-        let mut source = PerfSource::new(
-            "cpu",
-            EventEnergyModel::pentium4(),
-            12.0,
-            55.0,
-            move || {
+        let mut source =
+            PerfSource::new("cpu", EventEnergyModel::pentium4(), 12.0, 55.0, move || {
                 let sample = if first {
                     CounterSample::new(Seconds(1.0))
                         .with_count("uops_retired", 2_000_000_000)
@@ -442,8 +452,7 @@ mod tests {
                 };
                 first = false;
                 sample
-            },
-        );
+            });
         let busy = source.sample();
         assert_eq!(busy[0].0, "cpu");
         assert!(busy[0].1 > 0.1, "busy sample reported {}", busy[0].1);
@@ -458,17 +467,11 @@ mod tests {
         let service =
             SolverService::spawn_machine(&presets::validation_machine(), ServiceConfig::fast())
                 .unwrap();
-        let source = PerfSource::new(
-            "cpu",
-            EventEnergyModel::pentium4(),
-            7.0,
-            31.0,
-            || {
-                CounterSample::new(Seconds(1.0))
-                    .with_count("uops_retired", 3_000_000_000)
-                    .with_count("bus_transaction", 50_000_000)
-            },
-        );
+        let source = PerfSource::new("cpu", EventEnergyModel::pentium4(), 7.0, 31.0, || {
+            CounterSample::new(Seconds(1.0))
+                .with_count("uops_retired", 3_000_000_000)
+                .with_count("bus_transaction", 50_000_000)
+        });
         let daemon =
             Monitord::spawn("", source, service.local_addr(), Duration::from_millis(5)).unwrap();
         std::thread::sleep(Duration::from_millis(200));

@@ -85,7 +85,10 @@ const TAG_ERR: u8 = 0x85;
 
 fn put_str(buf: &mut Vec<u8>, s: &str) {
     let bytes = s.as_bytes();
-    debug_assert!(bytes.len() <= u8::MAX as usize, "protocol strings are short names");
+    debug_assert!(
+        bytes.len() <= u8::MAX as usize,
+        "protocol strings are short names"
+    );
     buf.put_u8(bytes.len().min(255) as u8);
     buf.put_slice(&bytes[..bytes.len().min(255)]);
 }
@@ -109,7 +112,10 @@ fn get_str(buf: &mut &[u8]) -> Result<String, Error> {
 pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut buf = Vec::with_capacity(128);
     match req {
-        Request::UtilizationUpdate { machine, utilizations } => {
+        Request::UtilizationUpdate {
+            machine,
+            utilizations,
+        } => {
             buf.put_u8(TAG_UTIL);
             put_str(&mut buf, machine);
             buf.put_u8(utilizations.len().min(255) as u8);
@@ -172,7 +178,10 @@ pub fn decode_request(mut data: &[u8]) -> Result<Request, Error> {
                 }
                 utilizations.push((component, buf.get_f32()));
             }
-            Ok(Request::UtilizationUpdate { machine, utilizations })
+            Ok(Request::UtilizationUpdate {
+                machine,
+                utilizations,
+            })
         }
         TAG_READ => {
             let machine = get_str(buf)?;
@@ -198,7 +207,9 @@ pub fn decode_request(mut data: &[u8]) -> Result<Request, Error> {
                 .ok_or_else(|| Error::protocol("fiddle datagram carried no command"))?;
             Ok(Request::Fiddle { command })
         }
-        TAG_LIST => Ok(Request::ListNodes { machine: get_str(buf)? }),
+        TAG_LIST => Ok(Request::ListNodes {
+            machine: get_str(buf)?,
+        }),
         TAG_PING => Ok(Request::Ping),
         other => Err(Error::protocol(format!("unknown request tag {other:#04x}"))),
     }
@@ -249,7 +260,10 @@ pub fn decode_reply(mut data: &[u8]) -> Result<Reply, Error> {
             if buf.remaining() < 16 {
                 return Err(Error::protocol("truncated temperature reply"));
             }
-            Ok(Reply::Temperature { celsius: buf.get_f64(), time: buf.get_f64() })
+            Ok(Reply::Temperature {
+                celsius: buf.get_f64(),
+                time: buf.get_f64(),
+            })
         }
         TAG_ACK => Ok(Reply::Ack),
         TAG_NODES => {
@@ -304,7 +318,9 @@ mod tests {
             machine: "machine1".into(),
             node: "disk_shell".into(),
         });
-        round_trip_request(Request::ListNodes { machine: String::new() });
+        round_trip_request(Request::ListNodes {
+            machine: String::new(),
+        });
         round_trip_request(Request::UtilizationUpdate {
             machine: "machine1".into(),
             utilizations: vec![("cpu".into(), 0.75), ("disk_platters".into(), 0.1)],
@@ -322,9 +338,16 @@ mod tests {
     fn replies_round_trip() {
         round_trip_reply(Reply::Ack);
         round_trip_reply(Reply::Pong);
-        round_trip_reply(Reply::Temperature { celsius: 35.25, time: 1234.0 });
-        round_trip_reply(Reply::Nodes { names: vec!["cpu".into(), "cpu_air".into()] });
-        round_trip_reply(Reply::Error { message: "unknown node `gpu`".into() });
+        round_trip_reply(Reply::Temperature {
+            celsius: 35.25,
+            time: 1234.0,
+        });
+        round_trip_reply(Reply::Nodes {
+            names: vec!["cpu".into(), "cpu_air".into()],
+        });
+        round_trip_reply(Reply::Error {
+            message: "unknown node `gpu`".into(),
+        });
     }
 
     #[test]
@@ -346,7 +369,10 @@ mod tests {
     #[test]
     fn truncated_datagrams_error_cleanly() {
         for req in [
-            Request::ReadTemperature { machine: "m".into(), node: "cpu".into() },
+            Request::ReadTemperature {
+                machine: "m".into(),
+                node: "cpu".into(),
+            },
             Request::UtilizationUpdate {
                 machine: "m".into(),
                 utilizations: vec![("cpu".into(), 0.5)],

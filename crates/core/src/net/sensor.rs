@@ -71,7 +71,12 @@ impl Sensor {
         socket.connect(addr)?;
         let timeout = Duration::from_millis(500);
         socket.set_read_timeout(Some(timeout))?;
-        let sensor = Sensor { socket, machine, node, timeout };
+        let sensor = Sensor {
+            socket,
+            machine,
+            node,
+            timeout,
+        };
         // Validate eagerly: one read proves machine+node exist.
         sensor.read()?;
         Ok(sensor)

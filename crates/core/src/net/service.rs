@@ -13,7 +13,11 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// The emulated system behind a service: one machine or a whole room.
+///
+/// The variants differ a lot in size, but exactly one instance exists
+/// per service thread, so boxing would only add indirection.
 #[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
 pub enum EmulatedSystem {
     /// A single machine.
     Single(Solver),
@@ -42,13 +46,17 @@ impl EmulatedSystem {
                 if machine.is_empty() || machine == s.machine_name() {
                     Ok(s)
                 } else {
-                    Err(Error::UnknownMachine { name: machine.to_string() })
+                    Err(Error::UnknownMachine {
+                        name: machine.to_string(),
+                    })
                 }
             }
             EmulatedSystem::Cluster(c) => {
                 if machine.is_empty() {
                     if c.is_empty() {
-                        Err(Error::UnknownMachine { name: String::new() })
+                        Err(Error::UnknownMachine {
+                            name: String::new(),
+                        })
                     } else {
                         Ok(c.machine_at_mut(0))
                     }
@@ -63,7 +71,9 @@ impl EmulatedSystem {
         let result = self.try_handle(request);
         match result {
             Ok(reply) => reply,
-            Err(e) => Reply::Error { message: e.to_string() },
+            Err(e) => Reply::Error {
+                message: e.to_string(),
+            },
         }
     }
 
@@ -78,9 +88,14 @@ impl EmulatedSystem {
             }
             Request::ListNodes { machine } => {
                 let solver = self.resolve_machine(&machine)?;
-                Ok(Reply::Nodes { names: solver.node_names().map(str::to_string).collect() })
+                Ok(Reply::Nodes {
+                    names: solver.node_names().map(str::to_string).collect(),
+                })
             }
-            Request::UtilizationUpdate { machine, utilizations } => {
+            Request::UtilizationUpdate {
+                machine,
+                utilizations,
+            } => {
                 let solver = self.resolve_machine(&machine)?;
                 for (component, util) in utilizations {
                     solver.set_utilization(&component, Utilization::new(util as f64))?;
@@ -127,7 +142,10 @@ impl ServiceConfig {
     /// A configuration suited to tests: loopback, free port, 1 ms per
     /// emulated second (a 2000 s experiment runs in 2 s of wall time).
     pub fn fast() -> Self {
-        ServiceConfig { tick_wall: Duration::from_millis(1), ..ServiceConfig::default() }
+        ServiceConfig {
+            tick_wall: Duration::from_millis(1),
+            ..ServiceConfig::default()
+        }
     }
 }
 
@@ -221,7 +239,9 @@ impl SolverService {
                         };
                         let reply = match proto::decode_request(&buf[..n]) {
                             Ok(request) => system.lock().handle(request),
-                            Err(e) => Reply::Error { message: e.to_string() },
+                            Err(e) => Reply::Error {
+                                message: e.to_string(),
+                            },
                         };
                         let _ = socket.send_to(&proto::encode_reply(&reply), peer);
                     }
@@ -229,7 +249,12 @@ impl SolverService {
                 .map_err(Error::Io)?
         };
 
-        Ok(SolverService { addr, system, stop, threads: vec![ticker, handler] })
+        Ok(SolverService {
+            addr,
+            system,
+            stop,
+            threads: vec![ticker, handler],
+        })
     }
 
     /// The address the service is listening on.
@@ -274,7 +299,9 @@ mod tests {
     fn send(addr: SocketAddr, req: &Request) -> Reply {
         let socket = UdpSocket::bind("127.0.0.1:0").unwrap();
         socket.connect(addr).unwrap();
-        socket.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        socket
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
         socket.send(&proto::encode_request(req)).unwrap();
         let mut buf = [0u8; proto::MAX_DATAGRAM];
         let n = socket.recv(&mut buf).unwrap();
@@ -298,20 +325,34 @@ mod tests {
         let addr = service.local_addr();
         let reply = send(
             addr,
-            &Request::ReadTemperature { machine: String::new(), node: "cpu".into() },
+            &Request::ReadTemperature {
+                machine: String::new(),
+                node: "cpu".into(),
+            },
         );
         match reply {
             Reply::Temperature { celsius, .. } => assert!(celsius > 0.0),
             other => panic!("unexpected {other:?}"),
         }
-        match send(addr, &Request::ListNodes { machine: String::new() }) {
+        match send(
+            addr,
+            &Request::ListNodes {
+                machine: String::new(),
+            },
+        ) {
             Reply::Nodes { names } => {
                 assert!(names.contains(&"cpu".to_string()));
                 assert!(names.contains(&"disk_shell".to_string()));
             }
             other => panic!("unexpected {other:?}"),
         }
-        match send(addr, &Request::ReadTemperature { machine: String::new(), node: "gpu".into() }) {
+        match send(
+            addr,
+            &Request::ReadTemperature {
+                machine: String::new(),
+                node: "gpu".into(),
+            },
+        ) {
             Reply::Error { message } => assert!(message.contains("gpu")),
             other => panic!("unexpected {other:?}"),
         }
@@ -334,7 +375,13 @@ mod tests {
         assert_eq!(reply, Reply::Ack);
         // Give the fast ticker a few hundred emulated seconds.
         std::thread::sleep(Duration::from_millis(400));
-        match send(addr, &Request::ReadTemperature { machine: String::new(), node: "cpu".into() }) {
+        match send(
+            addr,
+            &Request::ReadTemperature {
+                machine: String::new(),
+                node: "cpu".into(),
+            },
+        ) {
             Reply::Temperature { celsius, time } => {
                 assert!(time > 100.0, "only {time}s elapsed");
                 assert!(celsius > 30.0, "cpu only reached {celsius}");
@@ -358,15 +405,23 @@ mod tests {
             },
         )
         .unwrap();
-        match send(addr, &Request::ReadTemperature { machine: String::new(), node: "inlet".into() })
-        {
+        match send(
+            addr,
+            &Request::ReadTemperature {
+                machine: String::new(),
+                node: "inlet".into(),
+            },
+        ) {
             Reply::Temperature { celsius, .. } => assert!((celsius - 38.6).abs() < 1e-9),
             other => panic!("unexpected {other:?}"),
         }
         // A fiddle against an unknown machine is a remote error.
         let err = super::super::send_fiddle(
             addr,
-            &FiddleCommand::FanSpeed { machine: "ghost".into(), cfm: 1.0 },
+            &FiddleCommand::FanSpeed {
+                machine: "ghost".into(),
+                cfm: 1.0,
+            },
         )
         .unwrap_err();
         assert!(matches!(err, Error::Remote { .. }));
@@ -381,14 +436,22 @@ mod tests {
         for machine in ["machine1", "machine2"] {
             match send(
                 addr,
-                &Request::ReadTemperature { machine: machine.into(), node: "cpu".into() },
+                &Request::ReadTemperature {
+                    machine: machine.into(),
+                    node: "cpu".into(),
+                },
             ) {
                 Reply::Temperature { .. } => {}
                 other => panic!("unexpected {other:?}"),
             }
         }
-        match send(addr, &Request::ReadTemperature { machine: "machine9".into(), node: "cpu".into() })
-        {
+        match send(
+            addr,
+            &Request::ReadTemperature {
+                machine: "machine9".into(),
+                node: "cpu".into(),
+            },
+        ) {
             Reply::Error { message } => assert!(message.contains("machine9")),
             other => panic!("unexpected {other:?}"),
         }

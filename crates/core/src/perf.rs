@@ -41,7 +41,10 @@ pub struct CounterSample {
 impl CounterSample {
     /// Creates an empty sample covering `interval` seconds.
     pub fn new(interval: Seconds) -> Self {
-        CounterSample { interval, counts: HashMap::new() }
+        CounterSample {
+            interval,
+            counts: HashMap::new(),
+        }
     }
 
     /// Adds (or accumulates into) one counter's event count.
@@ -79,7 +82,10 @@ pub struct EventEnergyModel {
 impl EventEnergyModel {
     /// Creates an empty model with the given uncounted idle power.
     pub fn new(idle: Watts) -> Self {
-        EventEnergyModel { event_nanojoules: HashMap::new(), idle }
+        EventEnergyModel {
+            event_nanojoules: HashMap::new(),
+            idle,
+        }
     }
 
     /// A representative model for the Pentium 4 (Northwood-class) with
@@ -99,7 +105,8 @@ impl EventEnergyModel {
 
     /// Adds (or replaces) an event's per-occurrence energy in nanojoules.
     pub fn with_event(mut self, event: impl Into<String>, nanojoules: f64) -> Self {
-        self.event_nanojoules.insert(event.into(), nanojoules.max(0.0));
+        self.event_nanojoules
+            .insert(event.into(), nanojoules.max(0.0));
         self
     }
 

@@ -51,7 +51,10 @@ pub enum PowerModel {
 impl PowerModel {
     /// Creates the default linear model from idle and peak Watts.
     pub fn linear(base: f64, max: f64) -> Self {
-        PowerModel::Linear { base: Watts(base), max: Watts(max) }
+        PowerModel::Linear {
+            base: Watts(base),
+            max: Watts(max),
+        }
     }
 
     /// The power consumed at a given utilization.
@@ -80,7 +83,9 @@ impl PowerModel {
         match self {
             PowerModel::Linear { base, max } => {
                 if !base.is_finite() || !max.is_finite() || base.0 < 0.0 || max.0 < 0.0 {
-                    return Err(format!("linear power range ({base}, {max}) must be finite and non-negative"));
+                    return Err(format!(
+                        "linear power range ({base}, {max}) must be finite and non-negative"
+                    ));
                 }
                 if max.0 < base.0 {
                     return Err(format!("peak power {max} is below idle power {base}"));
@@ -89,7 +94,9 @@ impl PowerModel {
             }
             PowerModel::Constant(w) => {
                 if !w.is_finite() || w.0 < 0.0 {
-                    return Err(format!("constant power {w} must be finite and non-negative"));
+                    return Err(format!(
+                        "constant power {w} must be finite and non-negative"
+                    ));
                 }
                 Ok(())
             }
@@ -293,9 +300,15 @@ mod tests {
 
     #[test]
     fn replacement_fraction_caps_at_one() {
-        assert_eq!(replacement_fraction(KilogramsPerSecond(1.0), 0.1, Seconds(1.0)), 1.0);
+        assert_eq!(
+            replacement_fraction(KilogramsPerSecond(1.0), 0.1, Seconds(1.0)),
+            1.0
+        );
         let f = replacement_fraction(KilogramsPerSecond(0.01), 0.1, Seconds(1.0));
         assert!((f - 0.1).abs() < 1e-12);
-        assert_eq!(replacement_fraction(KilogramsPerSecond(1.0), 0.0, Seconds(1.0)), 1.0);
+        assert_eq!(
+            replacement_fraction(KilogramsPerSecond(1.0), 0.0, Seconds(1.0)),
+            1.0
+        );
     }
 }

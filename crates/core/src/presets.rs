@@ -250,7 +250,12 @@ mod tests {
     #[test]
     fn table_1_constants_are_encoded_exactly() {
         let m = validation_machine();
-        let comp = |name: &str| m.node(m.node_id(name).unwrap()).as_component().unwrap().clone();
+        let comp = |name: &str| {
+            m.node(m.node_id(name).unwrap())
+                .as_component()
+                .unwrap()
+                .clone()
+        };
 
         let platters = comp(nodes::DISK_PLATTERS);
         assert_eq!(platters.mass.0, 0.336);
@@ -321,7 +326,10 @@ mod tests {
         let (_, converged) = s.run_to_steady_state(1e-7, 100_000);
         assert!(converged);
         let cpu_air = s.temperature(nodes::CPU_AIR).unwrap().0;
-        assert!((28.0..45.0).contains(&cpu_air), "cpu air settled at {cpu_air}");
+        assert!(
+            (28.0..45.0).contains(&cpu_air),
+            "cpu air settled at {cpu_air}"
+        );
         let disk = s.temperature(nodes::DISK_SHELL).unwrap().0;
         assert!((26.0..45.0).contains(&disk), "disk shell settled at {disk}");
         // The CPU die runs much hotter than its air.
@@ -364,9 +372,18 @@ mod tests {
         };
         let (inlet_sealed, cpu_sealed) = run(0.0);
         let (inlet_leaky, cpu_leaky) = run(0.3);
-        assert!((inlet_sealed - 21.6).abs() < 0.2, "sealed inlet {inlet_sealed}");
-        assert!(inlet_leaky > inlet_sealed + 0.5, "recirculation invisible: {inlet_leaky}");
-        assert!(cpu_leaky > cpu_sealed + 0.5, "cpu {cpu_sealed} -> {cpu_leaky}");
+        assert!(
+            (inlet_sealed - 21.6).abs() < 0.2,
+            "sealed inlet {inlet_sealed}"
+        );
+        assert!(
+            inlet_leaky > inlet_sealed + 0.5,
+            "recirculation invisible: {inlet_leaky}"
+        );
+        assert!(
+            cpu_leaky > cpu_sealed + 0.5,
+            "cpu {cpu_sealed} -> {cpu_leaky}"
+        );
     }
 
     #[test]
@@ -389,8 +406,7 @@ mod tests {
         assert!(cpu > 55.0, "freon machine suspiciously cool: {cpu}");
 
         // The validation machine is hotter (k = 0.75).
-        let mut v =
-            Solver::new(&validation_machine(), SolverConfig::default()).unwrap();
+        let mut v = Solver::new(&validation_machine(), SolverConfig::default()).unwrap();
         v.set_utilization(nodes::CPU, 1.0).unwrap();
         v.set_utilization(nodes::DISK_PLATTERS, 1.0).unwrap();
         v.run_to_steady_state(1e-7, 100_000);

@@ -1,21 +1,37 @@
 //! The cluster solver: per-machine solvers coupled by the inter-machine
 //! air-flow graph.
 
+use super::kernel::MixGraph;
 use super::machine::{Solver, SolverConfig};
 use crate::error::Error;
-use crate::model::{ClusterEndpoint, ClusterModel};
+use crate::model::ClusterModel;
 use crate::units::{Celsius, Seconds, Utilization};
 use std::collections::HashMap;
+
+/// Below this cluster size the automatic thread policy stays serial: the
+/// per-tick work of a handful of machines is cheaper than waking a thread
+/// pool for them.
+const SERIAL_MACHINE_CUTOFF: usize = 8;
 
 /// Emulates the temperatures of an entire machine room (Figure 1c).
 ///
 /// Each tick, the cluster solver:
 /// 1. resolves every junction temperature and machine-inlet temperature as
 ///    the fraction-weighted mix of its sources (AC supplies, machine
-///    exhausts from the previous tick, upstream junctions);
+///    exhausts from the previous tick, upstream junctions) through the
+///    mixing plan precompiled in `solver::kernel` — no per-tick hashing or
+///    allocation;
 /// 2. pushes each inlet temperature into the corresponding machine solver
 ///    (unless `fiddle` has forced that inlet); and
-/// 3. steps every machine solver by one tick.
+/// 3. steps every machine solver by one tick — serially or fanned out
+///    across threads (see [`ClusterSolver::set_threads`]). Machines within
+///    a tick are independent (they only read the *previous* tick's exhaust
+///    temperatures, all mixed in phases 1–2), so serial and parallel
+///    stepping produce bit-identical trajectories.
+///
+/// Junctions are resolved in model declaration order, with each junction's
+/// update visible to the junctions and inlets after it — deterministic
+/// across runs and processes.
 ///
 /// ```
 /// use mercury::presets;
@@ -35,11 +51,18 @@ use std::collections::HashMap;
 pub struct ClusterSolver {
     machines: Vec<Solver>,
     by_name: HashMap<String, usize>,
-    supplies: HashMap<String, Celsius>,
-    junctions: HashMap<String, Celsius>,
-    edges: Vec<crate::model::ClusterEdge>,
+    supply_names: Vec<String>,
+    supply_temps: Vec<Celsius>,
+    junction_names: Vec<String>,
+    junction_temps: Vec<Celsius>,
+    /// The precompiled mixing plan over dense endpoint slots.
+    mix: MixGraph,
+    /// Per-machine exhaust temperatures observed at the start of the tick.
+    exhaust_scratch: Vec<Celsius>,
     /// Machine inlets whose temperature fiddle has taken over.
     forced_inlets: Vec<Option<Celsius>>,
+    /// Worker threads for machine stepping; 0 = automatic.
+    threads: usize,
     time: Seconds,
     dt: Seconds,
 }
@@ -57,11 +80,8 @@ impl ClusterSolver {
             machines.push(Solver::new(m, cfg.clone())?);
             by_name.insert(m.name().to_string(), i);
         }
-        let supplies = model
-            .supplies()
-            .iter()
-            .map(|s| (s.name.clone(), s.temperature))
-            .collect();
+        let supply_names: Vec<String> = model.supplies().iter().map(|s| s.name.clone()).collect();
+        let supply_temps: Vec<Celsius> = model.supplies().iter().map(|s| s.temperature).collect();
         let initial = cfg.initial_temperature.unwrap_or_else(|| {
             model
                 .supplies()
@@ -69,19 +89,20 @@ impl ClusterSolver {
                 .map(|s| s.temperature)
                 .unwrap_or(Celsius(21.6))
         });
-        let junctions = model
-            .junctions()
-            .iter()
-            .map(|j| (j.clone(), initial))
-            .collect();
+        let junction_names = model.junctions().to_vec();
+        let junction_temps = vec![initial; junction_names.len()];
         let n = machines.len();
         Ok(ClusterSolver {
             machines,
             by_name,
-            supplies,
-            junctions,
-            edges: model.edges().to_vec(),
+            supply_names,
+            supply_temps,
+            junction_names,
+            junction_temps,
+            mix: MixGraph::build(model),
+            exhaust_scratch: vec![Celsius(0.0); n],
             forced_inlets: vec![None; n],
+            threads: 0,
             time: Seconds(0.0),
             dt: cfg.dt,
         })
@@ -111,7 +132,9 @@ impl ClusterSolver {
         self.by_name
             .get(name)
             .copied()
-            .ok_or_else(|| Error::UnknownMachine { name: name.to_string() })
+            .ok_or_else(|| Error::UnknownMachine {
+                name: name.to_string(),
+            })
     }
 
     /// Immutable access to one machine's solver.
@@ -173,7 +196,8 @@ impl ClusterSolver {
         component: &str,
         utilization: impl Into<Utilization>,
     ) -> Result<(), Error> {
-        self.machine_mut(machine)?.set_utilization(component, utilization)
+        self.machine_mut(machine)?
+            .set_utilization(component, utilization)
     }
 
     /// Changes an AC supply's output temperature (e.g. to emulate a failed
@@ -183,9 +207,9 @@ impl ClusterSolver {
     ///
     /// Returns [`Error::UnknownNode`] for unknown supply names.
     pub fn set_supply_temperature(&mut self, supply: &str, t: Celsius) -> Result<(), Error> {
-        match self.supplies.get_mut(supply) {
-            Some(v) => {
-                *v = t;
+        match self.supply_names.iter().position(|n| n == supply) {
+            Some(i) => {
+                self.supply_temps[i] = t;
                 Ok(())
             }
             None => Err(Error::unknown_node(supply)),
@@ -222,60 +246,99 @@ impl ClusterSolver {
     ///
     /// Returns [`Error::UnknownNode`] for unknown junction names.
     pub fn junction_temperature(&self, name: &str) -> Result<Celsius, Error> {
-        self.junctions
-            .get(name)
-            .copied()
+        self.junction_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.junction_temps[i])
             .ok_or_else(|| Error::unknown_node(name))
     }
 
-    fn endpoint_temperatures(&self) -> HashMap<ClusterEndpoint, Celsius> {
-        let mut map = HashMap::new();
-        for (name, t) in &self.supplies {
-            map.insert(ClusterEndpoint::Supply(name.clone()), *t);
+    /// Sets the number of worker threads used to step machines each tick.
+    ///
+    /// `0` (the default) picks automatically: serial for clusters of at
+    /// most 8 machines, one thread per available core (capped at the
+    /// machine count) for larger rooms. Any explicit value is clamped to
+    /// the machine count. The thread count never changes results —
+    /// machines within a tick are independent, so serial and parallel
+    /// stepping are bit-identical.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
+    /// The thread count [`ClusterSolver::step`] will actually use.
+    pub fn effective_threads(&self) -> usize {
+        let n = self.machines.len();
+        if n == 0 {
+            return 1;
         }
-        for (name, t) in &self.junctions {
-            map.insert(ClusterEndpoint::Junction(name.clone()), *t);
+        match self.threads {
+            0 if n <= SERIAL_MACHINE_CUTOFF => 1,
+            0 => std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .min(n),
+            t => t.min(n),
         }
-        for (i, m) in self.machines.iter().enumerate() {
-            map.insert(ClusterEndpoint::MachineExhaust(i), machine_exhaust_temperature(m));
-        }
-        map
     }
 
     /// Advances the whole room by one tick.
     pub fn step(&mut self) {
-        let mut temps = self.endpoint_temperatures();
+        // Phase 0: observe every machine's previous-tick exhaust once.
+        for m in 0..self.machines.len() {
+            self.exhaust_scratch[m] =
+                exhaust_temperature(&self.machines[m], self.mix.exhaust_nodes(m));
+        }
+        self.mix.begin_tick(
+            &self.supply_temps,
+            &self.junction_temps,
+            &self.exhaust_scratch,
+        );
 
-        // Junctions first (they may feed inlets through recirculation
-        // edges). A single pass is enough because junction-to-junction
-        // chains are rare; values settle within a tick or two either way.
-        let junction_names: Vec<String> = self.junctions.keys().cloned().collect();
-        for name in junction_names {
-            let ep = ClusterEndpoint::Junction(name.clone());
-            if let Some(t) = crate::model::cluster::mixed_inlet_temperature(&self.edges, &ep, &temps)
-            {
-                self.junctions.insert(name.clone(), t);
-                temps.insert(ep, t);
+        // Phase 1: junctions, in model order (they may feed inlets through
+        // recirculation edges). A single pass is enough because
+        // junction-to-junction chains are rare; values settle within a
+        // tick or two either way.
+        for j in 0..self.junction_temps.len() {
+            if let Some(t) = self.mix.mix_junction(j) {
+                self.junction_temps[j] = t;
             }
         }
 
-        // Machine inlets.
+        // Phase 2: machine inlets.
         for i in 0..self.machines.len() {
             if let Some(forced) = self.forced_inlets[i] {
                 self.machines[i].set_inlet_temperature(forced);
                 continue;
             }
-            let ep = ClusterEndpoint::MachineInlet(i);
-            if let Some(t) = crate::model::cluster::mixed_inlet_temperature(&self.edges, &ep, &temps)
-            {
+            if let Some(t) = self.mix.mix_inlet(i) {
                 self.machines[i].set_inlet_temperature(t);
             }
         }
 
-        for m in &mut self.machines {
-            m.step();
-        }
+        // Phase 3: step every machine; all cross-machine reads happened
+        // above, so the fan-out is embarrassingly parallel.
+        self.step_machines();
         self.time.0 += self.dt.0;
+    }
+
+    fn step_machines(&mut self) {
+        let threads = self.effective_threads();
+        if threads <= 1 {
+            for m in &mut self.machines {
+                m.step();
+            }
+            return;
+        }
+        let chunk = self.machines.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for slice in self.machines.chunks_mut(chunk) {
+                scope.spawn(move || {
+                    for m in slice {
+                        m.step();
+                    }
+                });
+            }
+        });
     }
 
     /// Advances the room by `ticks` ticks.
@@ -287,22 +350,17 @@ impl ClusterSolver {
 }
 
 /// The temperature the inter-machine graph observes at a machine's
-/// exhaust: the mean over its exhaust air regions, or its inlet
-/// temperature if it has none.
-fn machine_exhaust_temperature(solver: &Solver) -> Celsius {
+/// exhaust: the mean over its exhaust air regions (in model node order),
+/// or its inlet temperature if it has none.
+fn exhaust_temperature(solver: &Solver, exhaust_nodes: &[u32]) -> Celsius {
+    if exhaust_nodes.is_empty() {
+        return solver.inlet_temperature();
+    }
     let mut sum = 0.0;
-    let mut count = 0usize;
-    for (name, t) in solver.temperatures() {
-        if solver.is_exhaust(&name) {
-            sum += t.0;
-            count += 1;
-        }
+    for &i in exhaust_nodes {
+        sum += solver.temperature_at(i as usize).0;
     }
-    if count > 0 {
-        Celsius(sum / count as f64)
-    } else {
-        solver.inlet_temperature()
-    }
+    Celsius(sum / exhaust_nodes.len() as f64)
 }
 
 #[cfg(test)]
@@ -321,7 +379,12 @@ mod tests {
             s.set_utilization(name, "cpu", 1.0).unwrap();
         }
         s.step_for(1200);
-        for name in s.machine_names().iter().map(|s| s.to_string()).collect::<Vec<_>>() {
+        for name in s
+            .machine_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+        {
             let t = s.temperature(&name, "cpu").unwrap();
             assert!(t.0 > 40.0, "{name} cpu stayed at {t}");
         }
@@ -363,7 +426,10 @@ mod tests {
     fn unknown_machine_errors() {
         let cluster = presets::validation_cluster(1);
         let mut s = ClusterSolver::new(&cluster, SolverConfig::default()).unwrap();
-        assert!(matches!(s.machine("nope"), Err(Error::UnknownMachine { .. })));
+        assert!(matches!(
+            s.machine("nope"),
+            Err(Error::UnknownMachine { .. })
+        ));
         assert!(s.machine_mut("nope").is_err());
         assert!(s.force_inlet("nope", Celsius(1.0)).is_err());
         assert!(s.temperature("nope", "cpu").is_err());
@@ -376,5 +442,43 @@ mod tests {
         let mut s = ClusterSolver::new(&cluster, SolverConfig::default()).unwrap();
         s.step_for(42);
         assert!((s.time().0 - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thread_policy_clamps_and_defaults() {
+        let cluster = presets::validation_cluster(4);
+        let mut s = ClusterSolver::new(&cluster, SolverConfig::default()).unwrap();
+        // 4 machines is under the serial cutoff.
+        assert_eq!(s.effective_threads(), 1);
+        s.set_threads(16);
+        assert_eq!(s.effective_threads(), 4);
+        s.set_threads(2);
+        assert_eq!(s.effective_threads(), 2);
+    }
+
+    #[test]
+    fn parallel_stepping_matches_serial_exactly() {
+        let model = presets::validation_cluster(6);
+        let mut serial = ClusterSolver::new(&model, SolverConfig::default()).unwrap();
+        let mut parallel = ClusterSolver::new(&model, SolverConfig::default()).unwrap();
+        serial.set_threads(1);
+        parallel.set_threads(3);
+        for (i, name) in ["machine1", "machine3", "machine5"].iter().enumerate() {
+            serial
+                .set_utilization(name, "cpu", 0.3 * (i + 1) as f64)
+                .unwrap();
+            parallel
+                .set_utilization(name, "cpu", 0.3 * (i + 1) as f64)
+                .unwrap();
+        }
+        serial.step_for(50);
+        parallel.step_for(50);
+        for m in 0..serial.len() {
+            let a = serial.machine_at(m).temperatures();
+            let b = parallel.machine_at(m).temperatures();
+            for ((name, ta), (_, tb)) in a.iter().zip(&b) {
+                assert_eq!(ta.0.to_bits(), tb.0.to_bits(), "machine {m} node {name}");
+            }
+        }
     }
 }

@@ -12,6 +12,13 @@ use crate::units::{JoulesPerKelvin, KilogramsPerSecond, Seconds, WattsPerKelvin}
 ///
 /// Returns `(edge_flows, node_inflows)` indexed like
 /// [`MachineModel::air_edges`] and [`MachineModel::nodes`] respectively.
+///
+/// Runs in O(nodes + edges): the edge list is first grouped by source
+/// node (a counting sort that keeps declaration order within each
+/// group), so the topological sweep touches each edge exactly once
+/// instead of rescanning the full edge list per node. The per-node
+/// accumulation order is identical to the naive rescan, so the results
+/// are bit-for-bit unchanged.
 pub fn air_flows(
     nodes_len: usize,
     air_edges: &[AirEdge],
@@ -19,6 +26,22 @@ pub fn air_flows(
     inlets: &[NodeId],
     fan_mass_flow: KilogramsPerSecond,
 ) -> (Vec<KilogramsPerSecond>, Vec<KilogramsPerSecond>) {
+    // Group edge indices by source: out_off[i]..out_off[i+1] indexes the
+    // edges leaving node i, in declaration order.
+    let mut out_off = vec![0u32; nodes_len + 1];
+    for e in air_edges {
+        out_off[e.from.index() + 1] += 1;
+    }
+    for i in 0..nodes_len {
+        out_off[i + 1] += out_off[i];
+    }
+    let mut out_edge = vec![0u32; air_edges.len()];
+    let mut cursor: Vec<u32> = out_off[..nodes_len].to_vec();
+    for (i, e) in air_edges.iter().enumerate() {
+        out_edge[cursor[e.from.index()] as usize] = i as u32;
+        cursor[e.from.index()] += 1;
+    }
+
     let mut edge_flow = vec![KilogramsPerSecond(0.0); air_edges.len()];
     let mut inflow = vec![KilogramsPerSecond(0.0); nodes_len];
     let mut available = vec![0.0_f64; nodes_len];
@@ -30,13 +53,12 @@ pub fn air_flows(
         if out <= 0.0 {
             continue;
         }
-        for (i, e) in air_edges.iter().enumerate() {
-            if e.from == *node {
-                let f = out * e.fraction;
-                edge_flow[i] = KilogramsPerSecond(f);
-                inflow[e.to.index()].0 += f;
-                available[e.to.index()] += f;
-            }
+        for &i in &out_edge[out_off[node.index()] as usize..out_off[node.index() + 1] as usize] {
+            let e = &air_edges[i as usize];
+            let f = out * e.fraction;
+            edge_flow[i as usize] = KilogramsPerSecond(f);
+            inflow[e.to.index()].0 += f;
+            available[e.to.index()] += f;
         }
     }
     (edge_flow, inflow)
@@ -80,9 +102,7 @@ pub fn required_substeps(
 
 /// Convenience: compute flows straight from a model at its nominal fan
 /// speed. Used by tests and by the solver at construction.
-pub fn model_air_flows(
-    model: &MachineModel,
-) -> (Vec<KilogramsPerSecond>, Vec<KilogramsPerSecond>) {
+pub fn model_air_flows(model: &MachineModel) -> (Vec<KilogramsPerSecond>, Vec<KilogramsPerSecond>) {
     let inlets: Vec<NodeId> = model
         .nodes()
         .iter()
@@ -166,7 +186,10 @@ mod tests {
         let edges = vec![(0usize, 1usize, WattsPerKelvin(0.75))];
         let inflow = vec![KilogramsPerSecond(0.0); 2];
         let air = vec![None, None];
-        assert_eq!(required_substeps(Seconds(1.0), 0.25, &edges, &caps, &inflow, &air), 1);
+        assert_eq!(
+            required_substeps(Seconds(1.0), 0.25, &edges, &caps, &inflow, &air),
+            1
+        );
 
         // A fast edge: 10 W/K on a 6 J/K air region -> rate 1.67/s -> 7 substeps.
         let caps = vec![JoulesPerKelvin(894.0), JoulesPerKelvin(6.0)];
@@ -188,14 +211,25 @@ mod tests {
     #[test]
     fn substeps_never_below_one() {
         let caps = vec![JoulesPerKelvin(1000.0)];
-        let n = required_substeps(Seconds(1.0), 0.25, &[], &caps, &[KilogramsPerSecond(0.0)], &[None]);
+        let n = required_substeps(
+            Seconds(1.0),
+            0.25,
+            &[],
+            &caps,
+            &[KilogramsPerSecond(0.0)],
+            &[None],
+        );
         assert_eq!(n, 1);
     }
 
     #[test]
     fn rates_sum_over_multiple_edges_on_one_node() {
         // Two edges of 1 W/K each into a 4 J/K node: combined rate 0.5/s.
-        let caps = vec![JoulesPerKelvin(4.0), JoulesPerKelvin(1e9), JoulesPerKelvin(1e9)];
+        let caps = vec![
+            JoulesPerKelvin(4.0),
+            JoulesPerKelvin(1e9),
+            JoulesPerKelvin(1e9),
+        ];
         let edges = vec![
             (0usize, 1usize, WattsPerKelvin(1.0)),
             (0usize, 2usize, WattsPerKelvin(1.0)),

@@ -1,0 +1,749 @@
+//! The shared CSR-indexed step kernel.
+//!
+//! Both solvers used to walk their graphs with per-tick linear scans: the
+//! machine solver re-scanned the full air-edge list for every air region
+//! in every sub-step (O(nodes × edges)), and the cluster solver rebuilt a
+//! `HashMap<ClusterEndpoint, Celsius>` — with freshly allocated `String`
+//! keys — every tick. This module flattens both graphs once, at
+//! construction (or when a runtime change dirties the topology), into
+//! compressed-sparse-row (CSR) adjacency: per-node offset ranges into
+//! contiguous edge arrays, plus precomputed `1/(m·c)` rate constants and
+//! reusable scratch buffers. [`StepKernel`] owns the per-machine step
+//! loop; [`MixGraph`] owns the inter-machine mixing plan. The two solver
+//! types in [`super::machine`] and [`super::cluster`] are thin state
+//! holders on top.
+//!
+//! ## Bit-for-bit equivalence with the scan-based step
+//!
+//! The refactor preserves the exact floating-point results of the
+//! original nested-loop implementation wherever the original was
+//! deterministic, because every per-node accumulation happens in the same
+//! order:
+//!
+//! - CSR adjacency lists are filled by iterating the edge list in
+//!   declaration order, so each node sees its incident edges in exactly
+//!   the order the original `for edge in edges` loop delivered them.
+//! - `heat_transfer(k, t_a, t_b, dt)` is antisymmetric *exactly* in IEEE
+//!   arithmetic (negating a subtraction and negating a product are both
+//!   exact), so accumulating `+heat_transfer(k, t_nbr, t_self, dt)` per
+//!   node equals the original's paired `dq[a] -= q; dq[b] += q`.
+//! - Per-substep constants (the power term, the advection replacement
+//!   fraction `alpha`, the per-node incoming mass) are hoisted out of the
+//!   loop; they were recomputed from identical inputs every sub-step, so
+//!   hoisting cannot change their values.
+//!
+//! The deliberate deviations, all ulp-level per sub-step and bounded at
+//! 1e-9 over hundreds of ticks by the property tests in
+//! `tests/kernel_equivalence.rs`:
+//!
+//! - divisions are hoisted: `dq / (m·c)` becomes a multiply by the
+//!   precomputed reciprocal, and the advection mix divides once per
+//!   rebuild instead of once per node per sub-step;
+//! - the per-node heat sum is factored: `Σ k·(T_j − T_i)·Δt` is computed
+//!   as `Δt/(m·c) · (Σ k·T_j − T_i·Σk)` with `Σk` precomputed, halving
+//!   the work per incidence. The subtraction of the two partial sums
+//!   cancels like the original's per-edge subtractions did, so the
+//!   absolute error stays ~1 ulp of `k·T` per sub-step — orders of
+//!   magnitude below the solver's 1e-6-class accuracy targets;
+//! - the whole sub-step is assembled, at rebuild time, into one sparse
+//!   affine row per node — `T'_i = w_self·T_i + Σ w_j·T_j + ΔT_power` —
+//!   combining heat conduction and advection weights, and applied as a
+//!   single double-buffered sweep. The stability bound keeps every
+//!   `w_self` in `[1 − 2·limit, 1]`, so assembling the row reassociates
+//!   well-conditioned sums only.
+
+use super::flows::{air_flows, required_substeps};
+use crate::model::{ClusterEndpoint, ClusterModel, NodeId};
+use crate::units::{Celsius, JoulesPerKelvin, KilogramsPerSecond, Seconds, WattsPerKelvin};
+
+/// Flattened per-machine stepping state: CSR topology, precomputed rate
+/// constants, and scratch buffers, all reused across ticks.
+///
+/// Built empty with [`StepKernel::new`] and populated by
+/// [`StepKernel::rebuild`]; rebuilt whenever the owning solver changes
+/// the fan speed, a heat-transfer coefficient, or an air fraction.
+#[derive(Debug, Clone)]
+pub(crate) struct StepKernel {
+    /// Number of nodes.
+    n: usize,
+    /// Tick length and explicit-Euler stability margin.
+    dt: Seconds,
+    stability_limit: f64,
+    /// Sub-steps per tick and the resulting sub-step length.
+    substeps: usize,
+    dt_sub: Seconds,
+    /// Heat adjacency: node `i`'s incident heat edges occupy
+    /// `heat_off[i]..heat_off[i+1]` in the two parallel arrays below,
+    /// ordered by edge declaration index.
+    heat_off: Vec<u32>,
+    /// The node on the far side of each incidence.
+    heat_nbr: Vec<u32>,
+    /// The edge's conductance, W/K.
+    heat_k: Vec<f64>,
+    /// Per-node sum of incident conductances, Σk, for the factored heat
+    /// update.
+    heat_ksum: Vec<f64>,
+    /// Per-node `Δt_sub / (m·c)`: converts the factored conductance sum
+    /// straight into a temperature delta.
+    heat_coef: Vec<f64>,
+    /// Incoming-air adjacency, same CSR layout: for node `i`, the
+    /// upstream region and the mass flow (kg/s) of each incoming stream.
+    air_off: Vec<u32>,
+    air_src: Vec<u32>,
+    air_flow: Vec<f64>,
+    /// Per-node total incoming mass flow (used by the sub-step bound).
+    inflow: Vec<KilogramsPerSecond>,
+    /// Per-node advection replacement fraction per sub-step; zero for
+    /// nodes that don't mix (components, starved regions).
+    alpha: Vec<f64>,
+    /// Per-node reciprocal of the total incoming mass, for the mix
+    /// average (zero where `alpha` is zero).
+    inv_streams_mass: Vec<f64>,
+    /// Precomputed `1/(m·c)` per node.
+    inv_capacity: Vec<f64>,
+    /// The assembled sub-step operator: one sparse affine row per node,
+    /// `T'_i = self_w[i]·T_i + Σ op_w[j]·T[op_src[j]] + ΔT_power[i]`,
+    /// combining the factored heat update and the advection mix. Heat
+    /// incidences come first (edge declaration order), then air streams.
+    op_off: Vec<u32>,
+    op_src: Vec<u32>,
+    op_w: Vec<f64>,
+    self_w: Vec<f64>,
+    /// Scratch: per-node power ΔT for the current tick, and the two
+    /// temperature buffers the fused sweep ping-pongs between.
+    power_dt: Vec<f64>,
+    cur: Vec<f64>,
+    next: Vec<f64>,
+}
+
+impl StepKernel {
+    /// Creates an empty kernel; call [`StepKernel::rebuild`] before
+    /// stepping.
+    pub(crate) fn new(dt: Seconds, stability_limit: f64) -> Self {
+        StepKernel {
+            n: 0,
+            dt,
+            stability_limit,
+            substeps: 1,
+            dt_sub: dt,
+            heat_off: Vec::new(),
+            heat_nbr: Vec::new(),
+            heat_k: Vec::new(),
+            heat_ksum: Vec::new(),
+            heat_coef: Vec::new(),
+            air_off: Vec::new(),
+            air_src: Vec::new(),
+            air_flow: Vec::new(),
+            inflow: Vec::new(),
+            alpha: Vec::new(),
+            inv_streams_mass: Vec::new(),
+            inv_capacity: Vec::new(),
+            op_off: Vec::new(),
+            op_src: Vec::new(),
+            op_w: Vec::new(),
+            self_w: Vec::new(),
+            power_dt: Vec::new(),
+            cur: Vec::new(),
+            next: Vec::new(),
+        }
+    }
+
+    /// Sub-steps one tick is divided into.
+    pub(crate) fn substeps(&self) -> usize {
+        self.substeps
+    }
+
+    /// Length of one sub-step.
+    pub(crate) fn dt_sub(&self) -> Seconds {
+        self.dt_sub
+    }
+
+    /// Recompresses the topology and reprices every derived constant.
+    ///
+    /// `air_mass[i]` is `Some(kg)` for air regions and `None` for
+    /// components. Edge lists use the same `(a, b, k)` / `(from, to,
+    /// fraction)` layout the solver stores.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn rebuild(
+        &mut self,
+        heat_edges: &[(usize, usize, WattsPerKelvin)],
+        air_edges: &[(usize, usize, f64)],
+        topo: &[usize],
+        inlets: &[usize],
+        fan_mass_flow: KilogramsPerSecond,
+        capacity: &[JoulesPerKelvin],
+        air_mass: &[Option<f64>],
+    ) {
+        let n = capacity.len();
+        debug_assert!(n < u32::MAX as usize, "node count exceeds CSR index width");
+        self.n = n;
+
+        self.inv_capacity.clear();
+        self.inv_capacity.extend(capacity.iter().map(|c| 1.0 / c.0));
+
+        // Heat CSR: every edge contributes one incidence to each endpoint.
+        // Filling in declaration order keeps each node's adjacency list in
+        // declaration order, which preserves the scan-based accumulation
+        // order exactly.
+        self.heat_off.clear();
+        self.heat_off.resize(n + 1, 0);
+        for &(a, b, _) in heat_edges {
+            self.heat_off[a + 1] += 1;
+            self.heat_off[b + 1] += 1;
+        }
+        for i in 0..n {
+            self.heat_off[i + 1] += self.heat_off[i];
+        }
+        self.heat_nbr.clear();
+        self.heat_nbr.resize(2 * heat_edges.len(), 0);
+        self.heat_k.clear();
+        self.heat_k.resize(2 * heat_edges.len(), 0.0);
+        let mut cursor: Vec<u32> = self.heat_off[..n].to_vec();
+        for &(a, b, k) in heat_edges {
+            let ca = cursor[a] as usize;
+            self.heat_nbr[ca] = b as u32;
+            self.heat_k[ca] = k.0;
+            cursor[a] += 1;
+            let cb = cursor[b] as usize;
+            self.heat_nbr[cb] = a as u32;
+            self.heat_k[cb] = k.0;
+            cursor[b] += 1;
+        }
+
+        // Air flows: delegate to the shared propagation routine in
+        // `flows` — the single home of flow-graph walking — then index
+        // the per-edge result into the incoming CSR below. Rebuilds are
+        // cold (only on topology-affecting changes), so the id-vector
+        // conversions don't matter.
+        let model_edges: Vec<crate::model::AirEdge> = air_edges
+            .iter()
+            .map(|&(from, to, fraction)| crate::model::AirEdge {
+                from: NodeId(from as u32),
+                to: NodeId(to as u32),
+                fraction,
+            })
+            .collect();
+        let topo_ids: Vec<NodeId> = topo.iter().map(|&i| NodeId(i as u32)).collect();
+        let inlet_ids: Vec<NodeId> = inlets.iter().map(|&i| NodeId(i as u32)).collect();
+        let (edge_flow, inflow) = air_flows(n, &model_edges, &topo_ids, &inlet_ids, fan_mass_flow);
+        self.inflow = inflow;
+
+        // Incoming-air CSR, again in edge declaration order per node.
+        self.air_off.clear();
+        self.air_off.resize(n + 1, 0);
+        for &(_, to, _) in air_edges {
+            self.air_off[to + 1] += 1;
+        }
+        for i in 0..n {
+            self.air_off[i + 1] += self.air_off[i];
+        }
+        self.air_src.clear();
+        self.air_src.resize(air_edges.len(), 0);
+        self.air_flow.clear();
+        self.air_flow.resize(air_edges.len(), 0.0);
+        let mut in_cursor: Vec<u32> = self.air_off[..n].to_vec();
+        for (ei, &(from, to, _)) in air_edges.iter().enumerate() {
+            let c = in_cursor[to] as usize;
+            self.air_src[c] = from as u32;
+            self.air_flow[c] = edge_flow[ei].0;
+            in_cursor[to] += 1;
+        }
+
+        // Sub-step count first: the advection coefficients depend on the
+        // sub-step length.
+        self.substeps = required_substeps(
+            self.dt,
+            self.stability_limit,
+            heat_edges,
+            capacity,
+            &self.inflow,
+            air_mass,
+        );
+        self.dt_sub = Seconds(self.dt.0 / self.substeps as f64);
+
+        // Factored heat constants: Σk per node (in adjacency order) and
+        // the Δt/(m·c) coefficient that turns the conductance sum into a
+        // temperature delta.
+        self.heat_ksum.clear();
+        self.heat_ksum.resize(n, 0.0);
+        for i in 0..n {
+            let mut ksum = 0.0;
+            for j in self.heat_off[i] as usize..self.heat_off[i + 1] as usize {
+                ksum += self.heat_k[j];
+            }
+            self.heat_ksum[i] = ksum;
+        }
+        self.heat_coef.clear();
+        self.heat_coef
+            .extend(self.inv_capacity.iter().map(|inv| self.dt_sub.0 * inv));
+
+        // Advection plan: the per-sub-step replacement fraction and the
+        // reciprocal mass for the mix average. The scan-based step
+        // recomputed both every sub-step from these same inputs; `alpha`
+        // stays zero for nodes that don't mix.
+        self.alpha.clear();
+        self.alpha.resize(n, 0.0);
+        self.inv_streams_mass.clear();
+        self.inv_streams_mass.resize(n, 0.0);
+        for &node in topo {
+            let Some(mass_kg) = air_mass[node] else {
+                continue;
+            };
+            let mut streams_mass = 0.0;
+            for j in self.air_off[node] as usize..self.air_off[node + 1] as usize {
+                streams_mass += self.air_flow[j];
+            }
+            if streams_mass > 0.0 {
+                self.alpha[node] = crate::physics::replacement_fraction(
+                    KilogramsPerSecond(streams_mass),
+                    mass_kg,
+                    self.dt_sub,
+                );
+                self.inv_streams_mass[node] = 1.0 / streams_mass;
+            }
+        }
+
+        // Assemble the sub-step operator: per node, one weight per heat
+        // incidence (Δt/(m·c) · k), one per incoming air stream
+        // (α · ṁ/Σṁ), and the self weight 1 − Δt/(m·c)·Σk − α. The
+        // stability bound keeps the self weight in [1 − 2·limit, 1], so
+        // the assembled row is well-conditioned.
+        self.op_off.clear();
+        self.op_off.resize(n + 1, 0);
+        for i in 0..n {
+            let heat = self.heat_off[i + 1] - self.heat_off[i];
+            let air = if self.alpha[i] != 0.0 {
+                self.air_off[i + 1] - self.air_off[i]
+            } else {
+                0
+            };
+            self.op_off[i + 1] = self.op_off[i] + heat + air;
+        }
+        let entries = self.op_off[n] as usize;
+        self.op_src.clear();
+        self.op_src.resize(entries, 0);
+        self.op_w.clear();
+        self.op_w.resize(entries, 0.0);
+        self.self_w.clear();
+        self.self_w.resize(n, 0.0);
+        for i in 0..n {
+            let mut w = self.op_off[i] as usize;
+            for j in self.heat_off[i] as usize..self.heat_off[i + 1] as usize {
+                self.op_src[w] = self.heat_nbr[j];
+                self.op_w[w] = self.heat_coef[i] * self.heat_k[j];
+                w += 1;
+            }
+            if self.alpha[i] != 0.0 {
+                for j in self.air_off[i] as usize..self.air_off[i + 1] as usize {
+                    self.op_src[w] = self.air_src[j];
+                    self.op_w[w] = self.alpha[i] * self.inv_streams_mass[i] * self.air_flow[j];
+                    w += 1;
+                }
+            }
+            debug_assert_eq!(w, self.op_off[i + 1] as usize);
+            self.self_w[i] = 1.0 - self.heat_coef[i] * self.heat_ksum[i] - self.alpha[i];
+        }
+
+        self.power_dt.clear();
+        self.power_dt.resize(n, 0.0);
+        self.cur.clear();
+        self.cur.resize(n, 0.0);
+        self.next.clear();
+        self.next.resize(n, 0.0);
+    }
+
+    /// Advances `temp` by one tick (all sub-steps).
+    ///
+    /// `fixed[i]` marks boundary nodes (inlets and force-pinned nodes)
+    /// that never change; `power_q[i]` is the heat each node generates
+    /// per sub-step (zero for air regions). Returns the total heat
+    /// generated over the tick, in Joules.
+    pub(crate) fn tick(&mut self, temp: &mut [Celsius], fixed: &[bool], power_q: &[f64]) -> f64 {
+        debug_assert_eq!(temp.len(), self.n);
+        debug_assert_eq!(fixed.len(), self.n);
+        debug_assert_eq!(power_q.len(), self.n);
+        // Equation 3: `power_q` is constant across the tick's sub-steps,
+        // so the generated total and the per-sub-step ΔT are priced once.
+        let mut sum_q = 0.0;
+        for (pt, (&q, inv)) in self
+            .power_dt
+            .iter_mut()
+            .zip(power_q.iter().zip(&self.inv_capacity))
+        {
+            sum_q += q;
+            *pt = q * inv;
+        }
+        let generated = sum_q * self.substeps as f64;
+
+        for (c, t) in self.cur.iter_mut().zip(temp.iter()) {
+            *c = t.0;
+        }
+        for _ in 0..self.substeps {
+            // One fused sweep per sub-step: every node reads the
+            // start-of-sub-step snapshot in `cur` and writes `next`, so
+            // heat dumped into a region this sub-step is not partially
+            // flushed by the same sub-step's advection. Equations 2 and 5
+            // plus the advection mix are one precomputed affine row each.
+            // (An indexed loop, not iterators: each node reads five
+            // parallel arrays plus gathered neighbors.)
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..self.n {
+                let t_i = self.cur[i];
+                if fixed[i] {
+                    self.next[i] = t_i;
+                    continue;
+                }
+                let lo = self.op_off[i] as usize;
+                let hi = self.op_off[i + 1] as usize;
+                let mut t = self.self_w[i] * t_i + self.power_dt[i];
+                for (&src, &w) in self.op_src[lo..hi].iter().zip(&self.op_w[lo..hi]) {
+                    t += w * self.cur[src as usize];
+                }
+                self.next[i] = t;
+            }
+            std::mem::swap(&mut self.cur, &mut self.next);
+        }
+        for (t, &c) in temp.iter_mut().zip(self.cur.iter()) {
+            t.0 = c;
+        }
+        generated
+    }
+}
+
+/// Flattened inter-machine mixing plan for the cluster solver.
+///
+/// Endpoints are mapped to dense *slots* — supplies first (model order),
+/// then junctions, then one exhaust slot per machine — and each sink's
+/// incoming edges are stored as CSR ranges of `(source slot, fraction)`
+/// pairs in edge declaration order. A tick fills the slot temperatures
+/// once ([`MixGraph::begin_tick`]) and mixes by index, replacing the
+/// per-tick `HashMap<ClusterEndpoint, Celsius>` (and its `String` clones)
+/// of the original implementation.
+#[derive(Debug)]
+pub(crate) struct MixGraph {
+    n_supply: usize,
+    /// Per-junction incoming CSR (junctions in model order).
+    junction_off: Vec<u32>,
+    junction_src: Vec<u32>,
+    junction_frac: Vec<f64>,
+    /// Per-machine-inlet incoming CSR.
+    inlet_off: Vec<u32>,
+    inlet_src: Vec<u32>,
+    inlet_frac: Vec<f64>,
+    /// Per-machine exhaust node indices (model order within the machine).
+    exhaust_off: Vec<u32>,
+    exhaust_node: Vec<u32>,
+    /// Endpoint temperatures for the current tick, by slot.
+    temps: Vec<f64>,
+}
+
+impl MixGraph {
+    /// Compiles the cluster model's edge list into the dense mixing plan.
+    pub(crate) fn build(model: &ClusterModel) -> Self {
+        let n_supply = model.supplies().len();
+        let n_junction = model.junctions().len();
+        let n_machine = model.machines().len();
+        let slot = |ep: &ClusterEndpoint| -> usize {
+            match ep {
+                ClusterEndpoint::Supply(name) => {
+                    model.supply_index(name).expect("validated supply")
+                }
+                ClusterEndpoint::Junction(name) => {
+                    n_supply + model.junction_index(name).expect("validated junction")
+                }
+                ClusterEndpoint::MachineExhaust(i) => n_supply + n_junction + *i,
+                ClusterEndpoint::MachineInlet(_) => {
+                    unreachable!("machine inlets are sinks, never sources")
+                }
+            }
+        };
+
+        let mut junction_off = vec![0u32; n_junction + 1];
+        let mut inlet_off = vec![0u32; n_machine + 1];
+        for e in model.edges() {
+            match &e.to {
+                ClusterEndpoint::Junction(name) => {
+                    junction_off[model.junction_index(name).expect("validated junction") + 1] += 1;
+                }
+                ClusterEndpoint::MachineInlet(i) => inlet_off[*i + 1] += 1,
+                // The builder rejects edges into supplies or exhausts.
+                _ => {}
+            }
+        }
+        for j in 0..n_junction {
+            junction_off[j + 1] += junction_off[j];
+        }
+        for m in 0..n_machine {
+            inlet_off[m + 1] += inlet_off[m];
+        }
+        let mut junction_src = vec![0u32; junction_off[n_junction] as usize];
+        let mut junction_frac = vec![0.0_f64; junction_off[n_junction] as usize];
+        let mut inlet_src = vec![0u32; inlet_off[n_machine] as usize];
+        let mut inlet_frac = vec![0.0_f64; inlet_off[n_machine] as usize];
+        let mut jcursor: Vec<u32> = junction_off[..n_junction].to_vec();
+        let mut icursor: Vec<u32> = inlet_off[..n_machine].to_vec();
+        for e in model.edges() {
+            match &e.to {
+                ClusterEndpoint::Junction(name) => {
+                    let j = model.junction_index(name).expect("validated junction");
+                    let c = jcursor[j] as usize;
+                    junction_src[c] = slot(&e.from) as u32;
+                    junction_frac[c] = e.fraction;
+                    jcursor[j] += 1;
+                }
+                ClusterEndpoint::MachineInlet(i) => {
+                    let c = icursor[*i] as usize;
+                    inlet_src[c] = slot(&e.from) as u32;
+                    inlet_frac[c] = e.fraction;
+                    icursor[*i] += 1;
+                }
+                _ => {}
+            }
+        }
+
+        let mut exhaust_off = vec![0u32; n_machine + 1];
+        let mut exhaust_node = Vec::new();
+        for (m, machine) in model.machines().iter().enumerate() {
+            for id in machine.exhausts() {
+                exhaust_node.push(id.index() as u32);
+            }
+            exhaust_off[m + 1] = exhaust_node.len() as u32;
+        }
+
+        MixGraph {
+            n_supply,
+            junction_off,
+            junction_src,
+            junction_frac,
+            inlet_off,
+            inlet_src,
+            inlet_frac,
+            exhaust_off,
+            exhaust_node,
+            temps: vec![0.0; n_supply + n_junction + n_machine],
+        }
+    }
+
+    /// Node indices of machine `m`'s exhaust air regions.
+    pub(crate) fn exhaust_nodes(&self, m: usize) -> &[u32] {
+        &self.exhaust_node[self.exhaust_off[m] as usize..self.exhaust_off[m + 1] as usize]
+    }
+
+    /// Loads this tick's endpoint temperatures into the slot array.
+    pub(crate) fn begin_tick(
+        &mut self,
+        supplies: &[Celsius],
+        junctions: &[Celsius],
+        exhausts: &[Celsius],
+    ) {
+        let mut w = 0;
+        for t in supplies.iter().chain(junctions).chain(exhausts) {
+            self.temps[w] = t.0;
+            w += 1;
+        }
+        debug_assert_eq!(w, self.temps.len());
+    }
+
+    /// Mixes junction `j` from its incoming edges and publishes the
+    /// result to its slot, so later junctions and the machine inlets see
+    /// the updated value — matching the original single junction pass.
+    /// Returns `None` for a junction with no incoming edges.
+    pub(crate) fn mix_junction(&mut self, j: usize) -> Option<Celsius> {
+        let t = self.mix(
+            &self.junction_src[self.junction_off[j] as usize..self.junction_off[j + 1] as usize],
+            &self.junction_frac[self.junction_off[j] as usize..self.junction_off[j + 1] as usize],
+        )?;
+        self.temps[self.n_supply + j] = t.0;
+        Some(t)
+    }
+
+    /// Mixes machine `m`'s inlet temperature from its incoming edges.
+    pub(crate) fn mix_inlet(&self, m: usize) -> Option<Celsius> {
+        self.mix(
+            &self.inlet_src[self.inlet_off[m] as usize..self.inlet_off[m + 1] as usize],
+            &self.inlet_frac[self.inlet_off[m] as usize..self.inlet_off[m + 1] as usize],
+        )
+    }
+
+    /// Fraction-weighted average over `(source slot, fraction)` pairs, in
+    /// the same accumulation order as the original edge-list scan.
+    fn mix(&self, src: &[u32], frac: &[f64]) -> Option<Celsius> {
+        let mut weight = 0.0;
+        let mut sum = 0.0;
+        for (&s, &f) in src.iter().zip(frac) {
+            weight += f;
+            sum += f * self.temps[s as usize];
+        }
+        if weight > 0.0 {
+            Some(Celsius(sum / weight))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::cluster::mixed_inlet_temperature;
+    use crate::model::{ClusterEndpoint, ClusterModel, MachineModel};
+    use std::collections::HashMap;
+
+    fn machine(name: &str) -> MachineModel {
+        let mut b = MachineModel::builder(name);
+        b.component("cpu")
+            .mass_kg(0.1)
+            .specific_heat(896.0)
+            .power_range(7.0, 31.0);
+        b.inlet("inlet");
+        b.air("cpu_air");
+        b.exhaust("exhaust");
+        b.heat_edge("cpu", "cpu_air", 0.75).unwrap();
+        b.air_edge("inlet", "cpu_air", 1.0).unwrap();
+        b.air_edge("cpu_air", "exhaust", 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    /// Two machines, one junction, recirculation from the junction back
+    /// into machine 1's inlet.
+    fn recirculating_cluster() -> ClusterModel {
+        let mut b = ClusterModel::builder();
+        b.supply("ac", 18.0);
+        b.junction("room");
+        let m0 = b.machine(machine("m1"));
+        let m1 = b.machine(machine("m2"));
+        b.edge(
+            ClusterEndpoint::Supply("ac".into()),
+            ClusterEndpoint::MachineInlet(m0),
+            0.8,
+        );
+        b.edge(
+            ClusterEndpoint::Junction("room".into()),
+            ClusterEndpoint::MachineInlet(m0),
+            0.2,
+        );
+        b.edge(
+            ClusterEndpoint::Supply("ac".into()),
+            ClusterEndpoint::MachineInlet(m1),
+            1.0,
+        );
+        b.edge(
+            ClusterEndpoint::MachineExhaust(m0),
+            ClusterEndpoint::Junction("room".into()),
+            1.0,
+        );
+        b.edge(
+            ClusterEndpoint::MachineExhaust(m1),
+            ClusterEndpoint::Junction("room".into()),
+            1.0,
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn mix_graph_matches_the_hashmap_reference() {
+        let model = recirculating_cluster();
+        let mut mix = MixGraph::build(&model);
+        let supplies = [Celsius(18.0)];
+        let junctions = [Celsius(21.0)];
+        let exhausts = [Celsius(35.0), Celsius(31.0)];
+        mix.begin_tick(&supplies, &junctions, &exhausts);
+
+        // The reference: the HashMap-based helper the cluster solver used
+        // before the kernel refactor.
+        let mut temps = HashMap::new();
+        temps.insert(ClusterEndpoint::Supply("ac".into()), supplies[0]);
+        temps.insert(ClusterEndpoint::Junction("room".into()), junctions[0]);
+        temps.insert(ClusterEndpoint::MachineExhaust(0), exhausts[0]);
+        temps.insert(ClusterEndpoint::MachineExhaust(1), exhausts[1]);
+
+        let jt = mix.mix_junction(0).unwrap();
+        let expected = mixed_inlet_temperature(
+            model.edges(),
+            &ClusterEndpoint::Junction("room".into()),
+            &temps,
+        )
+        .unwrap();
+        assert_eq!(jt.0, expected.0);
+        // The junction pass publishes before inlets mix, as the original
+        // single pass did.
+        temps.insert(ClusterEndpoint::Junction("room".into()), expected);
+
+        for m in 0..2 {
+            let got = mix.mix_inlet(m).unwrap();
+            let want =
+                mixed_inlet_temperature(model.edges(), &ClusterEndpoint::MachineInlet(m), &temps)
+                    .unwrap();
+            assert_eq!(got.0, want.0, "machine {m} inlet");
+        }
+    }
+
+    #[test]
+    fn mix_graph_exposes_exhaust_nodes_in_model_order() {
+        let model = recirculating_cluster();
+        let mix = MixGraph::build(&model);
+        for m in 0..2 {
+            let nodes = mix.exhaust_nodes(m);
+            let expected: Vec<u32> = model.machines()[m]
+                .exhausts()
+                .iter()
+                .map(|id| id.index() as u32)
+                .collect();
+            assert_eq!(nodes, expected.as_slice());
+        }
+    }
+
+    #[test]
+    fn kernel_reuses_scratch_and_counts_substeps() {
+        let model = machine("m");
+        let mut kernel = StepKernel::new(Seconds(1.0), 0.25);
+        let capacity: Vec<JoulesPerKelvin> = model.nodes().iter().map(|n| n.capacity()).collect();
+        let air_mass: Vec<Option<f64>> = model
+            .nodes()
+            .iter()
+            .map(|n| n.as_air().map(|a| a.mass_kg))
+            .collect();
+        let heat_edges: Vec<(usize, usize, WattsPerKelvin)> = model
+            .heat_edges()
+            .iter()
+            .map(|e| (e.a.index(), e.b.index(), e.k))
+            .collect();
+        let air_edges: Vec<(usize, usize, f64)> = model
+            .air_edges()
+            .iter()
+            .map(|e| (e.from.index(), e.to.index(), e.fraction))
+            .collect();
+        let topo: Vec<usize> = model.topo_order().iter().map(|id| id.index()).collect();
+        let inlets: Vec<usize> = model.inlets().iter().map(|id| id.index()).collect();
+        kernel.rebuild(
+            &heat_edges,
+            &air_edges,
+            &topo,
+            &inlets,
+            model.fan().mass_flow(),
+            &capacity,
+            &air_mass,
+        );
+        assert!(kernel.substeps() >= 1);
+        assert!((kernel.dt_sub().0 * kernel.substeps() as f64 - 1.0).abs() < 1e-12);
+
+        let n = model.nodes().len();
+        let mut temp = vec![Celsius(21.6); n];
+        let fixed: Vec<bool> = model
+            .nodes()
+            .iter()
+            .map(|node| {
+                node.as_air()
+                    .map(|a| a.kind == crate::model::AirKind::Inlet)
+                    .unwrap_or(false)
+            })
+            .collect();
+        let mut power_q = vec![0.0; n];
+        power_q[0] = 31.0 * kernel.dt_sub().0; // cpu at full utilization
+        let generated = kernel.tick(&mut temp, &fixed, &power_q);
+        assert!((generated - 31.0).abs() < 1e-9, "generated {generated}");
+        // The CPU warmed; the inlet boundary did not move.
+        assert!(temp[0].0 > 21.6);
+        assert_eq!(temp[1], Celsius(21.6));
+    }
+}

@@ -1,11 +1,10 @@
 //! The per-machine solver.
 
-use super::flows::{air_flows, required_substeps};
+use super::kernel::StepKernel;
 use crate::error::Error;
-use crate::model::{AirKind, MachineModel, NodeId, PowerModel};
+use crate::model::{AirKind, MachineModel, PowerModel};
 use crate::units::{
-    Celsius, CubicMetersPerSecond, Joules, JoulesPerKelvin, KilogramsPerSecond, Seconds,
-    Utilization, WattsPerKelvin,
+    Celsius, CubicMetersPerSecond, Joules, JoulesPerKelvin, Seconds, Utilization, WattsPerKelvin,
 };
 use std::collections::HashMap;
 
@@ -27,7 +26,11 @@ pub struct SolverConfig {
 
 impl Default for SolverConfig {
     fn default() -> Self {
-        SolverConfig { dt: Seconds(1.0), stability_limit: 0.25, initial_temperature: None }
+        SolverConfig {
+            dt: Seconds(1.0),
+            stability_limit: 0.25,
+            initial_temperature: None,
+        }
     }
 }
 
@@ -41,8 +44,15 @@ enum NodeRt {
 ///
 /// A `Solver` copies all constants out of a [`MachineModel`] at
 /// construction, so runtime changes (fiddle commands, fan-speed changes)
-/// never affect the source model. Temperatures are queried by node name,
-/// exactly like probing a hardware sensor:
+/// never affect the source model. The stepping arithmetic itself lives in
+/// the shared `solver::kernel` module: at construction (and again after
+/// any topology-affecting change such as [`Solver::set_fan_cfm`]) the
+/// solver compiles its graphs into a CSR-indexed [`StepKernel`] with
+/// precomputed rate constants, and each [`Solver::step`] is a single
+/// kernel tick over reused buffers. Temperatures are queried by node
+/// name, exactly like probing a hardware sensor — or by dense index via
+/// [`Solver::node_index`] / [`Solver::temperature_at`] when polling in a
+/// tight loop:
 ///
 /// ```
 /// use mercury::presets;
@@ -72,9 +82,13 @@ pub struct Solver {
     inlets: Vec<usize>,
     fan: CubicMetersPerSecond,
     inlet_temperature: Celsius,
-    edge_flow: Vec<KilogramsPerSecond>,
-    inflow: Vec<KilogramsPerSecond>,
-    substeps: usize,
+    /// The compiled step kernel; rebuilt from the edge lists above
+    /// whenever `dirty` is set.
+    kernel: StepKernel,
+    /// Scratch refilled each tick: boundary flags (forced nodes and
+    /// inlets) and per-sub-step generated heat per node.
+    fixed: Vec<bool>,
+    power_q: Vec<f64>,
     dirty: bool,
     cfg: SolverConfig,
     time: Seconds,
@@ -89,8 +103,11 @@ impl Solver {
     /// Returns [`Error::InvalidInput`] if the configuration is unusable
     /// (non-positive `dt` or stability limit outside `(0, 1]`).
     pub fn new(model: &MachineModel, cfg: SolverConfig) -> Result<Self, Error> {
-        if !(cfg.dt.0 > 0.0) || !cfg.dt.is_finite() {
-            return Err(Error::invalid_input(format!("solver dt {} must be positive", cfg.dt)));
+        if !cfg.dt.is_finite() || cfg.dt.0 <= 0.0 {
+            return Err(Error::invalid_input(format!(
+                "solver dt {} must be positive",
+                cfg.dt
+            )));
         }
         if !(cfg.stability_limit > 0.0 && cfg.stability_limit <= 1.0) {
             return Err(Error::invalid_input(format!(
@@ -106,13 +123,21 @@ impl Solver {
             names.push(node.name().to_string());
             capacity.push(node.capacity());
             kind.push(match node {
-                crate::model::NodeSpec::Component(c) => {
-                    NodeRt::Component { power: c.power.clone(), monitored: c.monitored }
-                }
-                crate::model::NodeSpec::Air(a) => NodeRt::Air { kind: a.kind, mass_kg: a.mass_kg },
+                crate::model::NodeSpec::Component(c) => NodeRt::Component {
+                    power: c.power.clone(),
+                    monitored: c.monitored,
+                },
+                crate::model::NodeSpec::Air(a) => NodeRt::Air {
+                    kind: a.kind,
+                    mass_kg: a.mass_kg,
+                },
             });
         }
-        let by_name = names.iter().enumerate().map(|(i, s)| (s.clone(), i)).collect();
+        let by_name = names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), i))
+            .collect();
         let initial = cfg.initial_temperature.unwrap_or(model.inlet_temperature());
         let inlets: Vec<usize> = model.inlets().iter().map(|id| id.index()).collect();
         let mut solver = Solver {
@@ -138,9 +163,9 @@ impl Solver {
             inlets,
             fan: model.fan(),
             inlet_temperature: model.inlet_temperature(),
-            edge_flow: Vec::new(),
-            inflow: Vec::new(),
-            substeps: 1,
+            kernel: StepKernel::new(cfg.dt, cfg.stability_limit),
+            fixed: vec![false; n],
+            power_q: vec![0.0; n],
             dirty: true,
             cfg,
             time: Seconds(0.0),
@@ -181,7 +206,15 @@ impl Solver {
         self.kind
             .iter()
             .enumerate()
-            .filter(|(_, k)| matches!(k, NodeRt::Component { monitored: true, .. }))
+            .filter(|(_, k)| {
+                matches!(
+                    k,
+                    NodeRt::Component {
+                        monitored: true,
+                        ..
+                    }
+                )
+            })
             .map(|(i, _)| self.names[i].as_str())
             .collect()
     }
@@ -190,7 +223,15 @@ impl Solver {
     pub fn is_inlet(&self, name: &str) -> bool {
         self.by_name
             .get(name)
-            .map(|&i| matches!(self.kind[i], NodeRt::Air { kind: AirKind::Inlet, .. }))
+            .map(|&i| {
+                matches!(
+                    self.kind[i],
+                    NodeRt::Air {
+                        kind: AirKind::Inlet,
+                        ..
+                    }
+                )
+            })
             .unwrap_or(false)
     }
 
@@ -198,7 +239,15 @@ impl Solver {
     pub fn is_exhaust(&self, name: &str) -> bool {
         self.by_name
             .get(name)
-            .map(|&i| matches!(self.kind[i], NodeRt::Air { kind: AirKind::Exhaust, .. }))
+            .map(|&i| {
+                matches!(
+                    self.kind[i],
+                    NodeRt::Air {
+                        kind: AirKind::Exhaust,
+                        ..
+                    }
+                )
+            })
             .unwrap_or(false)
     }
 
@@ -207,7 +256,7 @@ impl Solver {
         if self.dirty {
             self.refresh();
         }
-        self.substeps
+        self.kernel.substeps()
     }
 
     /// Heat generated by all components during the most recent tick.
@@ -228,7 +277,10 @@ impl Solver {
     }
 
     fn index(&self, name: &str) -> Result<usize, Error> {
-        self.by_name.get(name).copied().ok_or_else(|| Error::unknown_node(name))
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| Error::unknown_node(name))
     }
 
     /// The current temperature of a node.
@@ -242,7 +294,29 @@ impl Solver {
 
     /// Snapshot of every node's temperature, in model order.
     pub fn temperatures(&self) -> Vec<(String, Celsius)> {
-        self.names.iter().cloned().zip(self.temp.iter().copied()).collect()
+        self.names
+            .iter()
+            .cloned()
+            .zip(self.temp.iter().copied())
+            .collect()
+    }
+
+    /// Stable dense index of a node, for repeated access without name
+    /// hashing. Indices follow model order and never change over the
+    /// solver's lifetime; resolve once, then poll with
+    /// [`Solver::temperature_at`] on the hot path.
+    pub fn node_index(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The current temperature of the node at `index` (from
+    /// [`Solver::node_index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn temperature_at(&self, index: usize) -> Celsius {
+        self.temp[index]
     }
 
     /// Sets the utilization of a monitored component.
@@ -251,19 +325,50 @@ impl Solver {
     ///
     /// Returns [`Error::UnknownNode`] for unknown names and
     /// [`Error::InvalidInput`] when the node is not a monitored component.
-    pub fn set_utilization(&mut self, name: &str, utilization: impl Into<Utilization>) -> Result<(), Error> {
+    pub fn set_utilization(
+        &mut self,
+        name: &str,
+        utilization: impl Into<Utilization>,
+    ) -> Result<(), Error> {
         let i = self.index(name)?;
-        match &self.kind[i] {
-            NodeRt::Component { monitored: true, .. } => {
-                self.utilization[i] = utilization.into();
+        self.set_utilization_at(i, utilization)
+    }
+
+    /// Sets the utilization of the monitored component at `index` (from
+    /// [`Solver::node_index`]) — the hot-path variant of
+    /// [`Solver::set_utilization`] for callers feeding utilizations every
+    /// tick.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] when the node is not a monitored
+    /// component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_utilization_at(
+        &mut self,
+        index: usize,
+        utilization: impl Into<Utilization>,
+    ) -> Result<(), Error> {
+        match &self.kind[index] {
+            NodeRt::Component {
+                monitored: true, ..
+            } => {
+                self.utilization[index] = utilization.into();
                 Ok(())
             }
-            NodeRt::Component { monitored: false, .. } => Err(Error::invalid_input(format!(
-                "component `{name}` is not monitored; its power draw is fixed"
+            NodeRt::Component {
+                monitored: false, ..
+            } => Err(Error::invalid_input(format!(
+                "component `{}` is not monitored; its power draw is fixed",
+                self.names[index]
             ))),
-            NodeRt::Air { .. } => {
-                Err(Error::invalid_input(format!("`{name}` is an air region, not a component")))
-            }
+            NodeRt::Air { .. } => Err(Error::invalid_input(format!(
+                "`{}` is an air region, not a component",
+                self.names[index]
+            ))),
         }
     }
 
@@ -336,8 +441,10 @@ impl Solver {
     ///
     /// Returns [`Error::InvalidInput`] for non-positive flows.
     pub fn set_fan_cfm(&mut self, cfm: f64) -> Result<(), Error> {
-        if !(cfm > 0.0) || !cfm.is_finite() {
-            return Err(Error::invalid_input(format!("fan flow {cfm} cfm must be positive")));
+        if !cfm.is_finite() || cfm <= 0.0 {
+            return Err(Error::invalid_input(format!(
+                "fan flow {cfm} cfm must be positive"
+            )));
         }
         self.fan = CubicMetersPerSecond::from_cfm(cfm);
         self.dirty = true;
@@ -357,7 +464,7 @@ impl Solver {
     /// [`Error::InvalidInput`] if the edge does not exist or `k` is not
     /// positive.
     pub fn set_heat_k(&mut self, a: &str, b: &str, k: f64) -> Result<(), Error> {
-        if !(k > 0.0) || !k.is_finite() {
+        if !k.is_finite() || k <= 0.0 {
             return Err(Error::invalid_input(format!("heat k {k} must be positive")));
         }
         let ia = self.index(a)?;
@@ -369,7 +476,9 @@ impl Solver {
                 return Ok(());
             }
         }
-        Err(Error::invalid_input(format!("no heat edge between `{a}` and `{b}`")))
+        Err(Error::invalid_input(format!(
+            "no heat edge between `{a}` and `{b}`"
+        )))
     }
 
     /// Changes the fraction of an existing air edge. The fractions leaving
@@ -381,7 +490,9 @@ impl Solver {
     /// to [`Solver::set_heat_k`].
     pub fn set_air_fraction(&mut self, from: &str, to: &str, fraction: f64) -> Result<(), Error> {
         if !(fraction > 0.0 && fraction <= 1.0) {
-            return Err(Error::invalid_input(format!("air fraction {fraction} outside (0, 1]")));
+            return Err(Error::invalid_input(format!(
+                "air fraction {fraction} outside (0, 1]"
+            )));
         }
         let ifrom = self.index(from)?;
         let ito = self.index(to)?;
@@ -398,7 +509,9 @@ impl Solver {
             }
         }
         if !found {
-            return Err(Error::invalid_input(format!("no air edge `{from}` -> `{to}`")));
+            return Err(Error::invalid_input(format!(
+                "no air edge `{from}` -> `{to}`"
+            )));
         }
         if total > 1.0 + 1e-9 {
             return Err(Error::invalid_input(format!(
@@ -429,33 +542,14 @@ impl Solver {
                 *power = model;
                 Ok(())
             }
-            NodeRt::Air { .. } => {
-                Err(Error::invalid_input(format!("`{name}` is an air region, not a component")))
-            }
+            NodeRt::Air { .. } => Err(Error::invalid_input(format!(
+                "`{name}` is an air region, not a component"
+            ))),
         }
     }
 
+    /// Recompiles the kernel from the current edge lists and fan speed.
     fn refresh(&mut self) {
-        let air_edges: Vec<crate::model::AirEdge> = self
-            .air_edges
-            .iter()
-            .map(|(f, t, fr)| crate::model::AirEdge {
-                from: NodeId(*f as u32),
-                to: NodeId(*t as u32),
-                fraction: *fr,
-            })
-            .collect();
-        let topo: Vec<NodeId> = self.topo.iter().map(|&i| NodeId(i as u32)).collect();
-        let inlets: Vec<NodeId> = self.inlets.iter().map(|&i| NodeId(i as u32)).collect();
-        let (edge_flow, inflow) = air_flows(
-            self.names.len(),
-            &air_edges,
-            &topo,
-            &inlets,
-            self.fan.mass_flow(),
-        );
-        self.edge_flow = edge_flow;
-        self.inflow = inflow;
         let air_mass: Vec<Option<f64>> = self
             .kind
             .iter()
@@ -464,90 +558,46 @@ impl Solver {
                 NodeRt::Component { .. } => None,
             })
             .collect();
-        self.substeps = required_substeps(
-            self.cfg.dt,
-            self.cfg.stability_limit,
+        self.kernel.rebuild(
             &self.heat_edges,
+            &self.air_edges,
+            &self.topo,
+            &self.inlets,
+            self.fan.mass_flow(),
             &self.capacity,
-            &self.inflow,
             &air_mass,
         );
         self.dirty = false;
     }
 
-    fn is_fixed(&self, i: usize) -> bool {
-        self.forced[i].is_some()
-            || matches!(self.kind[i], NodeRt::Air { kind: AirKind::Inlet, .. })
-    }
-
     /// Advances the emulation by one tick of [`SolverConfig::dt`] seconds.
+    ///
+    /// The graph arithmetic (Equations 2, 3, and 5 plus advection) runs in
+    /// the compiled [`StepKernel`]; this method only refreshes the kernel
+    /// when dirty and prices the per-tick inputs — boundary flags and the
+    /// per-sub-step generated heat, both constant within a tick.
     pub fn step(&mut self) {
         if self.dirty {
             self.refresh();
         }
-        let nsub = self.substeps;
-        let dts = Seconds(self.cfg.dt.0 / nsub as f64);
-        let n = self.names.len();
-        let mut generated = 0.0;
-        let mut dq = vec![0.0_f64; n];
-        let mut adv = vec![0.0_f64; n];
-        for _ in 0..nsub {
-            dq.iter_mut().for_each(|q| *q = 0.0);
-            adv.iter_mut().for_each(|q| *q = 0.0);
-            // Equation 3: heat generated by work.
-            for i in 0..n {
-                if let NodeRt::Component { power, .. } = &self.kind[i] {
-                    let q = crate::physics::heat_generated(power, self.utilization[i], dts);
-                    dq[i] += q.0;
-                    generated += q.0;
-                }
-            }
-            // Equation 2: Newton's law of cooling over the heat edges.
-            for &(a, b, k) in &self.heat_edges {
-                let q = crate::physics::heat_transfer(k, self.temp[a], self.temp[b], dts);
-                dq[a] -= q.0;
-                dq[b] += q.0;
-            }
-            // Air movement: perfect mixing, evaluated against the same
-            // start-of-substep snapshot as the heat fluxes. Computing both
-            // deltas before applying either keeps the scheme consistent —
-            // in particular, heat dumped into an air region during this
-            // substep is not partially flushed by the same substep's
-            // advection, which would bias steady-state temperatures low by
-            // a factor of (1 − α).
-            for &node in &self.topo {
-                if self.is_fixed(node) {
-                    continue;
-                }
-                let mass_kg = match self.kind[node] {
-                    NodeRt::Air { mass_kg, .. } => mass_kg,
-                    NodeRt::Component { .. } => continue,
-                };
-                let mut streams_mass = 0.0;
-                let mut streams_heat = 0.0;
-                for (ei, &(from, to, _)) in self.air_edges.iter().enumerate() {
-                    if to == node {
-                        streams_mass += self.edge_flow[ei].0;
-                        streams_heat += self.edge_flow[ei].0 * self.temp[from].0;
+        let dts = self.kernel.dt_sub();
+        for i in 0..self.names.len() {
+            self.fixed[i] = self.forced[i].is_some()
+                || matches!(
+                    self.kind[i],
+                    NodeRt::Air {
+                        kind: AirKind::Inlet,
+                        ..
                     }
+                );
+            self.power_q[i] = match &self.kind[i] {
+                NodeRt::Component { power, .. } => {
+                    crate::physics::heat_generated(power, self.utilization[i], dts).0
                 }
-                if streams_mass > 0.0 {
-                    let t_mix = streams_heat / streams_mass;
-                    let alpha = crate::physics::replacement_fraction(
-                        KilogramsPerSecond(streams_mass),
-                        mass_kg,
-                        dts,
-                    );
-                    adv[node] = alpha * (t_mix - self.temp[node].0);
-                }
-            }
-            // Equation 5 plus advection: apply both deltas.
-            for i in 0..n {
-                if !self.is_fixed(i) {
-                    self.temp[i].0 += dq[i] / self.capacity[i].0 + adv[i];
-                }
-            }
+                NodeRt::Air { .. } => 0.0,
+            };
         }
+        let generated = self.kernel.tick(&mut self.temp, &self.fixed, &self.power_q);
         self.generated_last_tick = Joules(generated);
         self.time.0 += self.cfg.dt.0;
     }
@@ -589,15 +639,24 @@ mod tests {
     fn two_body_model() -> MachineModel {
         // A closed system: two components coupled by one heat edge, no air.
         let mut b = MachineModel::builder("closed");
-        b.component("hot").mass_kg(1.0).specific_heat(1000.0).constant_power(0.0);
-        b.component("cold").mass_kg(1.0).specific_heat(1000.0).constant_power(0.0);
+        b.component("hot")
+            .mass_kg(1.0)
+            .specific_heat(1000.0)
+            .constant_power(0.0);
+        b.component("cold")
+            .mass_kg(1.0)
+            .specific_heat(1000.0)
+            .constant_power(0.0);
         b.heat_edge("hot", "cold", 5.0).unwrap();
         b.build().unwrap()
     }
 
     fn flow_model() -> MachineModel {
         let mut b = MachineModel::builder("flow");
-        b.component("cpu").mass_kg(0.151).specific_heat(896.0).power_range(7.0, 31.0);
+        b.component("cpu")
+            .mass_kg(0.151)
+            .specific_heat(896.0)
+            .power_range(7.0, 31.0);
         b.inlet("inlet");
         b.air("cpu_air");
         b.exhaust("exhaust");
@@ -618,7 +677,11 @@ mod tests {
         let before = s.heat_content();
         s.step_for(5000);
         let after = s.heat_content();
-        assert!((before.0 - after.0).abs() < 1e-6, "energy drifted by {}", after.0 - before.0);
+        assert!(
+            (before.0 - after.0).abs() < 1e-6,
+            "energy drifted by {}",
+            after.0 - before.0
+        );
         let hot = s.temperature("hot").unwrap().0;
         let cold = s.temperature("cold").unwrap().0;
         assert!((hot - 50.0).abs() < 0.01, "hot settled at {hot}");
@@ -663,7 +726,10 @@ mod tests {
         );
         let cpu = s.temperature("cpu").unwrap().0;
         let expected_cpu = expected_air + 31.0 / 0.75;
-        assert!((cpu - expected_cpu).abs() < 0.1, "cpu {cpu} vs analytic {expected_cpu}");
+        assert!(
+            (cpu - expected_cpu).abs() < 0.1,
+            "cpu {cpu} vs analytic {expected_cpu}"
+        );
     }
 
     #[test]
@@ -690,7 +756,10 @@ mod tests {
         s.run_to_steady_state(1e-6, 20_000);
         let after = s.temperature("cpu").unwrap().0;
         // An 8.4 K inlet rise moves the whole chain up by ~8.4 K.
-        assert!((after - before - 8.4).abs() < 0.1, "before {before}, after {after}");
+        assert!(
+            (after - before - 8.4).abs() < 0.1,
+            "before {before}, after {after}"
+        );
     }
 
     #[test]
@@ -755,7 +824,10 @@ mod tests {
     fn unknown_names_error() {
         let model = flow_model();
         let mut s = Solver::new(&model, SolverConfig::default()).unwrap();
-        assert!(matches!(s.temperature("ghost"), Err(Error::UnknownNode { .. })));
+        assert!(matches!(
+            s.temperature("ghost"),
+            Err(Error::UnknownNode { .. })
+        ));
         assert!(s.set_utilization("ghost", 0.5).is_err());
         assert!(s.set_utilization("cpu_air", 0.5).is_err());
         assert!(s.force_temperature("ghost", Celsius(1.0)).is_err());
@@ -764,11 +836,20 @@ mod tests {
     #[test]
     fn config_validation() {
         let model = flow_model();
-        let bad = SolverConfig { dt: Seconds(0.0), ..SolverConfig::default() };
+        let bad = SolverConfig {
+            dt: Seconds(0.0),
+            ..SolverConfig::default()
+        };
         assert!(Solver::new(&model, bad).is_err());
-        let bad = SolverConfig { stability_limit: 0.0, ..SolverConfig::default() };
+        let bad = SolverConfig {
+            stability_limit: 0.0,
+            ..SolverConfig::default()
+        };
         assert!(Solver::new(&model, bad).is_err());
-        let bad = SolverConfig { stability_limit: 2.0, ..SolverConfig::default() };
+        let bad = SolverConfig {
+            stability_limit: 2.0,
+            ..SolverConfig::default()
+        };
         assert!(Solver::new(&model, bad).is_err());
     }
 
@@ -778,7 +859,10 @@ mod tests {
         let mut s = Solver::new(&model, SolverConfig::default()).unwrap();
         s.step_for(10);
         assert!((s.time().0 - 10.0).abs() < 1e-12);
-        let cfg = SolverConfig { dt: Seconds(0.5), ..SolverConfig::default() };
+        let cfg = SolverConfig {
+            dt: Seconds(0.5),
+            ..SolverConfig::default()
+        };
         let mut s = Solver::new(&model, cfg).unwrap();
         s.step_for(10);
         assert!((s.time().0 - 5.0).abs() < 1e-12);
@@ -789,7 +873,10 @@ mod tests {
         // The sub-stepping should make tick size nearly irrelevant.
         let model = flow_model();
         let mut coarse = Solver::new(&model, SolverConfig::default()).unwrap();
-        let fine_cfg = SolverConfig { dt: Seconds(0.1), ..SolverConfig::default() };
+        let fine_cfg = SolverConfig {
+            dt: Seconds(0.1),
+            ..SolverConfig::default()
+        };
         let mut fine = Solver::new(&model, fine_cfg).unwrap();
         coarse.set_utilization("cpu", 0.8).unwrap();
         fine.set_utilization("cpu", 0.8).unwrap();

@@ -21,9 +21,21 @@
 //! than [`SolverConfig::stability_limit`] of its "distance to equilibrium"
 //! per sub-step. The public interface is unaffected: [`Solver::step`]
 //! still advances exactly one tick of [`SolverConfig::dt`] seconds.
+//!
+//! ## Engine layout
+//!
+//! The graph arithmetic for traversals 1 and 2 lives in one place — the
+//! private `kernel` module — as a CSR-indexed step kernel with
+//! precomputed rate constants and reusable scratch buffers; `Solver` and
+//! `ClusterSolver` are state holders compiled onto it. The cluster
+//! solver's traversal 3 uses the same module's precompiled mixing plan,
+//! and its per-tick machine stepping can fan out across threads (see
+//! [`ClusterSolver::set_threads`]) because machines within a tick only
+//! read the *previous* tick's exhaust temperatures.
 
 mod cluster;
 mod flows;
+mod kernel;
 mod machine;
 
 pub use cluster::ClusterSolver;

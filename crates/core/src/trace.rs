@@ -42,7 +42,7 @@ impl UtilizationTrace {
         interval_s: f64,
         components: Vec<String>,
     ) -> Result<Self, Error> {
-        if !(interval_s > 0.0) || !interval_s.is_finite() {
+        if !interval_s.is_finite() || interval_s <= 0.0 {
             return Err(Error::invalid_input(format!(
                 "trace interval {interval_s} must be positive"
             )));
@@ -103,7 +103,8 @@ impl UtilizationTrace {
                 self.components.len()
             )));
         }
-        self.samples.push(row.iter().map(|&v| Utilization::new(v)).collect());
+        self.samples
+            .push(row.iter().map(|&v| Utilization::new(v)).collect());
         Ok(())
     }
 
@@ -172,7 +173,11 @@ impl UtilizationTrace {
     ///
     /// Propagates I/O errors from the writer.
     pub fn write_csv<W: Write>(&self, mut w: W) -> Result<(), Error> {
-        writeln!(w, "# machine={} interval_s={}", self.machine, self.interval.0)?;
+        writeln!(
+            w,
+            "# machine={} interval_s={}",
+            self.machine, self.interval.0
+        )?;
         write!(w, "time")?;
         for c in &self.components {
             write!(w, ",{c}")?;
@@ -217,8 +222,7 @@ impl UtilizationTrace {
         let columns = lines
             .next()
             .ok_or_else(|| Error::invalid_input("trace file is missing its column row"))?;
-        let components: Vec<String> =
-            columns.split(',').skip(1).map(str::to_string).collect();
+        let components: Vec<String> = columns.split(',').skip(1).map(str::to_string).collect();
         let mut trace = UtilizationTrace::new(machine, interval, components)?;
         for (number, line) in lines.enumerate() {
             if line.trim().is_empty() {
@@ -254,7 +258,11 @@ pub struct TemperatureLog {
 impl TemperatureLog {
     /// Creates an empty log with the given column names.
     pub fn new(columns: Vec<String>) -> Self {
-        TemperatureLog { columns, times: Vec::new(), rows: Vec::new() }
+        TemperatureLog {
+            columns,
+            times: Vec::new(),
+            rows: Vec::new(),
+        }
     }
 
     /// Column names.
@@ -316,7 +324,10 @@ impl TemperatureLog {
     ///
     /// Returns [`Error::UnknownNode`] for unknown columns.
     pub fn max(&self, column: &str) -> Result<f64, Error> {
-        Ok(self.series(column)?.into_iter().fold(f64::NEG_INFINITY, f64::max))
+        Ok(self
+            .series(column)?
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max))
     }
 
     /// Largest absolute pointwise difference between one column of this
@@ -533,7 +544,12 @@ mod tests {
         assert_eq!(log.columns().len(), model.nodes().len());
         // CPU heats while busy, cools after the load drops.
         let cpu = log.series(nodes::CPU).unwrap();
-        assert!(cpu[299] > cpu[0] + 5.0, "cpu did not heat: {} -> {}", cpu[0], cpu[299]);
+        assert!(
+            cpu[299] > cpu[0] + 5.0,
+            "cpu did not heat: {} -> {}",
+            cpu[0],
+            cpu[299]
+        );
         assert!(cpu[599] < cpu[299], "cpu did not cool after idle");
     }
 
@@ -549,10 +565,8 @@ mod tests {
     fn offline_run_applies_fiddle_scripts() {
         let model = presets::validation_machine_named("machine1");
         let trace = staircase_trace("machine1");
-        let script = FiddleScript::parse(
-            "sleep 100\nfiddle machine1 temperature inlet 38.6\n",
-        )
-        .unwrap();
+        let script =
+            FiddleScript::parse("sleep 100\nfiddle machine1 temperature inlet 38.6\n").unwrap();
         let log = run_offline(&model, &trace, Default::default(), Some(&script)).unwrap();
         let inlet = log.series(nodes::INLET).unwrap();
         assert!((inlet[50] - 21.6).abs() < 1e-9);
@@ -606,8 +620,10 @@ mod tests {
     #[test]
     fn temperature_log_csv_and_stats() {
         let mut log = TemperatureLog::new(vec!["a".into(), "b".into()]);
-        log.push(Seconds(1.0), &[Celsius(20.0), Celsius(30.0)]).unwrap();
-        log.push(Seconds(2.0), &[Celsius(25.0), Celsius(28.0)]).unwrap();
+        log.push(Seconds(1.0), &[Celsius(20.0), Celsius(30.0)])
+            .unwrap();
+        log.push(Seconds(2.0), &[Celsius(25.0), Celsius(28.0)])
+            .unwrap();
         assert_eq!(log.len(), 2);
         assert_eq!(log.max("a").unwrap(), 25.0);
         assert!(log.push(Seconds(3.0), &[Celsius(1.0)]).is_err());

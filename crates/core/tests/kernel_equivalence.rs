@@ -1,0 +1,345 @@
+//! Equivalence tests for the CSR step kernel.
+//!
+//! `ReferenceSolver` below is a line-for-line port of the original
+//! scan-based step loop (per-sub-step edge-list scans, division by the
+//! heat capacity) built purely on the public API. The property tests
+//! drive it and the production [`Solver`] over random machine models and
+//! require agreement within 1e-9 °C per node over a hundred-plus ticks —
+//! the kernel's only numerical deviation is multiplying by a precomputed
+//! `1/(m·c)` instead of dividing, worth less than an ulp per sub-step.
+//!
+//! The cluster-side guarantee is stronger: serial and multi-threaded
+//! stepping must be *bit-identical*, because machines within a tick are
+//! independent.
+
+// The reference port deliberately mirrors the seed's indexed loops.
+#![allow(clippy::needless_range_loop)]
+
+use mercury::model::{AirKind, MachineModel};
+use mercury::physics;
+use mercury::presets;
+use mercury::solver::{air_flows, required_substeps, ClusterSolver, Solver, SolverConfig};
+use mercury::units::{Celsius, KilogramsPerSecond, Seconds, Utilization, WattsPerKelvin};
+use proptest::prelude::*;
+
+/// The original scan-based stepper, kept as the oracle the kernel is
+/// measured against.
+struct ReferenceSolver {
+    names: Vec<String>,
+    power: Vec<Option<mercury::model::PowerModel>>,
+    air_mass: Vec<Option<f64>>,
+    fixed: Vec<bool>,
+    capacity: Vec<f64>,
+    utilization: Vec<Utilization>,
+    temp: Vec<f64>,
+    heat_edges: Vec<(usize, usize, WattsPerKelvin)>,
+    air_edges: Vec<(usize, usize, f64)>,
+    edge_flow: Vec<KilogramsPerSecond>,
+    topo: Vec<usize>,
+    substeps: usize,
+    dt: Seconds,
+}
+
+impl ReferenceSolver {
+    fn new(model: &MachineModel) -> Self {
+        let cfg = SolverConfig::default();
+        let n = model.nodes().len();
+        let names: Vec<String> = model.nodes().iter().map(|x| x.name().to_string()).collect();
+        let power = model
+            .nodes()
+            .iter()
+            .map(|x| x.as_component().map(|c| c.power.clone()))
+            .collect();
+        let air_mass: Vec<Option<f64>> = model
+            .nodes()
+            .iter()
+            .map(|x| x.as_air().map(|a| a.mass_kg))
+            .collect();
+        let fixed: Vec<bool> = model
+            .nodes()
+            .iter()
+            .map(|x| x.is_air_kind(AirKind::Inlet))
+            .collect();
+        let capacity: Vec<f64> = model.nodes().iter().map(|x| x.capacity().0).collect();
+        let heat_edges: Vec<(usize, usize, WattsPerKelvin)> = model
+            .heat_edges()
+            .iter()
+            .map(|e| (e.a.index(), e.b.index(), e.k))
+            .collect();
+        let air_edges: Vec<(usize, usize, f64)> = model
+            .air_edges()
+            .iter()
+            .map(|e| (e.from.index(), e.to.index(), e.fraction))
+            .collect();
+        let inlets = model.inlets();
+        let (edge_flow, inflow) = air_flows(
+            n,
+            model.air_edges(),
+            model.topo_order(),
+            &inlets,
+            model.fan().mass_flow(),
+        );
+        let caps: Vec<mercury::units::JoulesPerKelvin> =
+            model.nodes().iter().map(|x| x.capacity()).collect();
+        let substeps = required_substeps(
+            cfg.dt,
+            cfg.stability_limit,
+            &heat_edges,
+            &caps,
+            &inflow,
+            &air_mass,
+        );
+        ReferenceSolver {
+            names,
+            power,
+            air_mass,
+            fixed,
+            capacity,
+            utilization: vec![Utilization::IDLE; n],
+            temp: vec![model.inlet_temperature().0; n],
+            heat_edges,
+            air_edges,
+            edge_flow,
+            topo: model.topo_order().iter().map(|id| id.index()).collect(),
+            substeps,
+            dt: cfg.dt,
+        }
+    }
+
+    fn set_utilization(&mut self, name: &str, u: f64) {
+        let i = self.names.iter().position(|x| x == name).unwrap();
+        self.utilization[i] = u.into();
+    }
+
+    fn step(&mut self) {
+        let n = self.names.len();
+        let dts = Seconds(self.dt.0 / self.substeps as f64);
+        let mut dq = vec![0.0_f64; n];
+        let mut adv = vec![0.0_f64; n];
+        for _ in 0..self.substeps {
+            dq.iter_mut().for_each(|q| *q = 0.0);
+            adv.iter_mut().for_each(|q| *q = 0.0);
+            for i in 0..n {
+                if let Some(power) = &self.power[i] {
+                    dq[i] += physics::heat_generated(power, self.utilization[i], dts).0;
+                }
+            }
+            for &(a, b, k) in &self.heat_edges {
+                let q =
+                    physics::heat_transfer(k, Celsius(self.temp[a]), Celsius(self.temp[b]), dts);
+                dq[a] -= q.0;
+                dq[b] += q.0;
+            }
+            for &node in &self.topo {
+                if self.fixed[node] {
+                    continue;
+                }
+                let Some(mass_kg) = self.air_mass[node] else {
+                    continue;
+                };
+                let mut streams_mass = 0.0;
+                let mut streams_heat = 0.0;
+                for (ei, &(from, to, _)) in self.air_edges.iter().enumerate() {
+                    if to == node {
+                        streams_mass += self.edge_flow[ei].0;
+                        streams_heat += self.edge_flow[ei].0 * self.temp[from];
+                    }
+                }
+                if streams_mass > 0.0 {
+                    let t_mix = streams_heat / streams_mass;
+                    let alpha = physics::replacement_fraction(
+                        KilogramsPerSecond(streams_mass),
+                        mass_kg,
+                        dts,
+                    );
+                    adv[node] = alpha * (t_mix - self.temp[node]);
+                }
+            }
+            for i in 0..n {
+                if !self.fixed[i] {
+                    self.temp[i] += dq[i] / self.capacity[i] + adv[i];
+                }
+            }
+        }
+    }
+}
+
+/// A random but always-valid machine: an air chain from inlet to exhaust
+/// with optional skip edges, and components heat-tied to random regions.
+fn random_machine() -> impl Strategy<Value = (MachineModel, Vec<f64>)> {
+    (1usize..5, 1usize..5).prop_flat_map(|(airs, comps)| {
+        (
+            proptest::collection::vec(0.004f64..0.02, airs..=airs), // region masses
+            proptest::collection::vec(0.3f64..0.9, airs + 1..=airs + 1), // chain fractions
+            proptest::collection::vec(0.05f64..2.0, comps..=comps), // component masses
+            proptest::collection::vec(0.2f64..8.0, comps..=comps),  // heat ks
+            proptest::collection::vec(0usize..airs, comps..=comps), // component placement
+            proptest::collection::vec(0.0f64..1.0, comps..=comps),  // utilizations
+            proptest::collection::vec(3.0f64..60.0, comps..=comps), // max powers
+            (20.0f64..80.0, any::<bool>()),                         // fan cfm, skip edges
+        )
+            .prop_map(
+                move |(masses, fracs, cmasses, ks, placement, utils, powers, (cfm, skips))| {
+                    let mut b = MachineModel::builder("random");
+                    b.inlet("inlet");
+                    for (i, m) in masses.iter().enumerate() {
+                        b.air_with_mass(format!("a{i}"), *m, AirKind::Internal);
+                    }
+                    b.exhaust("exhaust");
+                    let node_name = |i: usize| {
+                        if i == 0 {
+                            "inlet".to_string()
+                        } else if i <= airs {
+                            format!("a{}", i - 1)
+                        } else {
+                            "exhaust".to_string()
+                        }
+                    };
+                    // Chain inlet -> a0 -> ... -> exhaust. With skip edges
+                    // on, each chain hop carries `f` and a skip edge to the
+                    // node after next carries most of the remainder, so no
+                    // source ever exceeds a fraction sum of 1.
+                    for i in 0..=airs {
+                        let f = if skips { fracs[i] } else { 1.0 };
+                        b.air_edge(&node_name(i), &node_name(i + 1), f).unwrap();
+                        if skips && i + 2 <= airs + 1 {
+                            b.air_edge(&node_name(i), &node_name(i + 2), (1.0 - fracs[i]) * 0.9)
+                                .unwrap();
+                        }
+                    }
+                    for c in 0..cmasses.len() {
+                        b.component(format!("c{c}"))
+                            .mass_kg(cmasses[c])
+                            .specific_heat(896.0)
+                            .power_range(powers[c] * 0.2, powers[c]);
+                        b.heat_edge(&format!("c{c}"), &format!("a{}", placement[c]), ks[c])
+                            .unwrap();
+                    }
+                    b.fan_cfm(cfm).inlet_temperature_c(21.6);
+                    (b.build().unwrap(), utils)
+                },
+            )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The kernel-based solver agrees with the scan-based reference to
+    /// 1e-9 °C on every node, over 120 ticks of a random machine.
+    #[test]
+    fn kernel_matches_reference_stepper((model, utils) in random_machine()) {
+        let mut reference = ReferenceSolver::new(&model);
+        let mut solver = Solver::new(&model, SolverConfig::default()).unwrap();
+        for (c, u) in utils.iter().enumerate() {
+            let name = format!("c{c}");
+            reference.set_utilization(&name, *u);
+            solver.set_utilization(&name, *u).unwrap();
+        }
+        for tick in 0..120 {
+            reference.step();
+            solver.step();
+            for (i, name) in reference.names.iter().enumerate() {
+                let got = solver.temperature(name).unwrap().0;
+                let want = reference.temp[i];
+                prop_assert!(
+                    (got - want).abs() <= 1e-9,
+                    "tick {tick}, node {name}: kernel {got} vs reference {want}"
+                );
+            }
+        }
+    }
+
+    /// Changing utilization mid-run keeps the two steppers in agreement
+    /// (the kernel re-prices its per-tick power inputs every step).
+    #[test]
+    fn kernel_tracks_utilization_changes((model, utils) in random_machine(), flip in 1usize..100) {
+        let mut reference = ReferenceSolver::new(&model);
+        let mut solver = Solver::new(&model, SolverConfig::default()).unwrap();
+        for tick in 0..100 {
+            if tick == flip {
+                for (c, u) in utils.iter().enumerate() {
+                    let name = format!("c{c}");
+                    reference.set_utilization(&name, *u);
+                    solver.set_utilization(&name, *u).unwrap();
+                }
+            }
+            reference.step();
+            solver.step();
+        }
+        for (i, name) in reference.names.iter().enumerate() {
+            let got = solver.temperature(name).unwrap().0;
+            prop_assert!(
+                (got - reference.temp[i]).abs() <= 1e-9,
+                "node {name}: kernel {got} vs reference {}", reference.temp[i]
+            );
+        }
+    }
+}
+
+/// Serial and parallel cluster stepping must produce bit-identical
+/// trajectories — inter-machine mixing happens before the per-tick
+/// fan-out, so thread count can never reorder a floating-point operation.
+#[test]
+fn cluster_thread_count_is_bit_invariant() {
+    let model = presets::validation_cluster(12);
+    let mut serial = ClusterSolver::new(&model, SolverConfig::default()).unwrap();
+    let mut threaded = ClusterSolver::new(&model, SolverConfig::default()).unwrap();
+    serial.set_threads(1);
+    threaded.set_threads(4);
+    for m in 0..12 {
+        let u = 0.05 + 0.08 * m as f64;
+        let name = format!("machine{}", m + 1);
+        serial.set_utilization(&name, "cpu", u).unwrap();
+        threaded.set_utilization(&name, "cpu", u).unwrap();
+    }
+    serial.step_for(50);
+    threaded.step_for(50);
+    assert_eq!(serial.effective_threads(), 1);
+    assert!(
+        threaded.effective_threads() > 1
+            || std::thread::available_parallelism().unwrap().get() == 1
+    );
+    for m in 0..12 {
+        let a = serial.machine_at(m).temperatures();
+        let b = threaded.machine_at(m).temperatures();
+        for ((name, ta), (_, tb)) in a.iter().zip(&b) {
+            assert_eq!(
+                ta.0.to_bits(),
+                tb.0.to_bits(),
+                "machine {m} node {name}: {} vs {}",
+                ta.0,
+                tb.0
+            );
+        }
+    }
+}
+
+/// The paper's Table 1 machine, end to end: kernel vs reference.
+#[test]
+fn validation_machine_matches_reference() {
+    let model = presets::validation_machine();
+    let mut reference = ReferenceSolver::new(&model);
+    let mut solver = Solver::new(&model, SolverConfig::default()).unwrap();
+    for name in model
+        .nodes()
+        .iter()
+        .filter_map(|n| n.as_component().map(|c| c.name.clone()))
+    {
+        if solver.set_utilization(&name, 0.7).is_ok() {
+            reference.set_utilization(&name, 0.7);
+        }
+    }
+    for _ in 0..300 {
+        reference.step();
+        solver.step();
+    }
+    for (i, name) in reference.names.iter().enumerate() {
+        let got = solver.temperature(name).unwrap().0;
+        let want = reference.temp[i];
+        assert!(
+            (got - want).abs() <= 1e-9,
+            "node {name}: kernel {got} vs reference {want}"
+        );
+    }
+}

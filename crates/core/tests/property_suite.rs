@@ -13,7 +13,7 @@ use proptest::prelude::*;
 fn closed_system() -> impl Strategy<Value = (MachineModel, Vec<f64>)> {
     (2usize..7).prop_flat_map(|n| {
         (
-            proptest::collection::vec(0.05f64..3.0, n..=n),   // masses
+            proptest::collection::vec(0.05f64..3.0, n..=n), // masses
             proptest::collection::vec(0.1f64..15.0, n - 1..=n - 1), // tree edge ks
             proptest::collection::vec(-20.0f64..90.0, n..=n), // initial temps
         )
@@ -27,7 +27,8 @@ fn closed_system() -> impl Strategy<Value = (MachineModel, Vec<f64>)> {
                 }
                 for (i, k) in ks.iter().enumerate() {
                     // A path graph keeps everything connected and acyclic.
-                    b.heat_edge(&format!("c{i}"), &format!("c{}", i + 1), *k).unwrap();
+                    b.heat_edge(&format!("c{i}"), &format!("c{}", i + 1), *k)
+                        .unwrap();
                 }
                 (b.build().unwrap(), temps)
             })

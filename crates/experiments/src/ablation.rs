@@ -3,10 +3,7 @@
 use crate::common::{measured, paper, verdict, write_results};
 use crate::freon_exp::run_policy;
 use cluster_sim::ClusterSim;
-use freon::{
-    Admd, EcConfig, FreonConfig, FreonEcPolicy, ServerSnapshot,
-    Tempd, ThermalPolicy,
-};
+use freon::{Admd, EcConfig, FreonConfig, FreonEcPolicy, ServerSnapshot, Tempd, ThermalPolicy};
 use mercury::presets::{self, nodes};
 use mercury::solver::{Solver, SolverConfig};
 
@@ -28,7 +25,12 @@ struct BangBangPolicy {
 impl BangBangPolicy {
     fn new(config: FreonConfig, n: usize) -> Self {
         let tempds = (0..n).map(|_| Tempd::new(&config)).collect();
-        BangBangPolicy { config, tempds, admd: Admd::new(n), restricted: vec![false; n] }
+        BangBangPolicy {
+            config,
+            tempds,
+            admd: Admd::new(n),
+            restricted: vec![false; n],
+        }
     }
 }
 
@@ -38,10 +40,10 @@ impl ThermalPolicy for BangBangPolicy {
     }
 
     fn control(&mut self, now_s: u64, snapshots: &[ServerSnapshot], sim: &mut ClusterSim) {
-        if now_s > 0 && now_s % self.config.sample_period_s == 0 {
+        if now_s > 0 && now_s.is_multiple_of(self.config.sample_period_s) {
             self.admd.sample_connections(sim);
         }
-        if now_s == 0 || now_s % self.config.monitor_period_s != 0 {
+        if now_s == 0 || !now_s.is_multiple_of(self.config.monitor_period_s) {
             return;
         }
         for (i, snapshot) in snapshots.iter().enumerate() {
@@ -84,20 +86,35 @@ impl ThermalPolicy for GainPolicy {
 pub fn controller() -> Result {
     // Connection caps are disabled for all three variants so the
     // controllers' weight decisions are the only lever under test.
-    let pd_cfg = FreonConfig { connection_caps: false, ..FreonConfig::paper() };
-    let p_only_cfg = FreonConfig { kd: 0.0, ..pd_cfg.clone() };
+    let pd_cfg = FreonConfig {
+        connection_caps: false,
+        ..FreonConfig::paper()
+    };
+    let p_only_cfg = FreonConfig {
+        kd: 0.0,
+        ..pd_cfg.clone()
+    };
 
     let mut pd = freon::FreonPolicy::new(pd_cfg.clone(), 4);
     let pd_log = run_policy(&mut pd)?;
-    let mut p_only = GainPolicy { inner: freon::FreonPolicy::new(p_only_cfg, 4) };
+    let mut p_only = GainPolicy {
+        inner: freon::FreonPolicy::new(p_only_cfg, 4),
+    };
     let p_log = run_policy(&mut p_only)?;
     let mut bang = BangBangPolicy::new(pd_cfg.clone(), 4);
     let bang_log = run_policy(&mut bang)?;
 
-    let th = pd_cfg.thresholds_for("cpu").expect("cpu thresholds exist").high;
+    let th = pd_cfg
+        .thresholds_for("cpu")
+        .expect("cpu thresholds exist")
+        .high;
     let mut csv =
         String::from("controller,drop_rate_pct,overshoot_c,seconds_above_th,mean_hot_weight\n");
-    for (name, log) in [("pd", &pd_log), ("p-only", &p_log), ("bang-bang", &bang_log)] {
+    for (name, log) in [
+        ("pd", &pd_log),
+        ("p-only", &p_log),
+        ("bang-bang", &bang_log),
+    ] {
         let overshoot = (0..4)
             .map(|i| log.max_cpu_temp(i) - th)
             .fold(f64::NEG_INFINITY, f64::max)
@@ -106,8 +123,12 @@ pub fn controller() -> Result {
         // How hard machine1 was throttled after its emergency: the mean
         // of its LVS weight from the emergency onset onward. Lower means
         // the controller sacrificed more of a working server's capacity.
-        let m1_weights: Vec<f64> =
-            log.rows().iter().filter(|r| r.time_s >= 480).map(|r| r.weight[0]).collect();
+        let m1_weights: Vec<f64> = log
+            .rows()
+            .iter()
+            .filter(|r| r.time_s >= 480)
+            .map(|r| r.weight[0])
+            .collect();
         let mean_weight = m1_weights.iter().sum::<f64>() / m1_weights.len().max(1) as f64;
         let _ = writeln!(
             csv,
@@ -118,21 +139,30 @@ pub fn controller() -> Result {
     write_results("ablation_controller.csv", &csv)?;
     paper("(design choice) the paper uses a PD controller with kp=0.1, kd=0.2; the derivative term reacts to fast-rising temperatures before they overshoot");
     measured("see ablation_controller.csv: drop rate, peak overshoot over T_h, and time spent above T_h per controller");
-    verdict(pd_log.total_dropped() == 0, "the PD controller serves the full trace");
+    verdict(
+        pd_log.total_dropped() == 0,
+        "the PD controller serves the full trace",
+    );
     Ok(())
 }
 
 /// Freon-EC utilization-projection horizon sweep (0/1/2/4 intervals).
 pub fn projection() -> Result {
-    let mut csv = String::from("projection_intervals,drop_rate_pct,mean_active_servers,power_ons\n");
+    let mut csv =
+        String::from("projection_intervals,drop_rate_pct,mean_active_servers,power_ons\n");
     let mut drop_rates = Vec::new();
     for horizon in [0u32, 1, 2, 4] {
-        let ec = EcConfig { projection_intervals: horizon, ..EcConfig::paper_four_servers() };
+        let ec = EcConfig {
+            projection_intervals: horizon,
+            ..EcConfig::paper_four_servers()
+        };
         let mut policy = FreonEcPolicy::new(FreonConfig::paper(), ec);
         // Slow-booting servers (2.5 min) make the projection earn its
         // keep: without look-ahead, rising load outruns the boots.
-        let server_config =
-            cluster_sim::ServerConfig { boot_seconds: 150, ..Default::default() };
+        let server_config = cluster_sim::ServerConfig {
+            boot_seconds: 150,
+            ..Default::default()
+        };
         let log = crate::freon_exp::run_policy_with(&mut policy, server_config)?;
         drop_rates.push(log.drop_rate());
         let _ = writeln!(
@@ -176,7 +206,9 @@ pub fn substeps() -> Result {
     write_results("ablation_substeps.csv", &csv)?;
     paper("(design choice) the solver sub-divides each 1 s tick to keep explicit Euler stable; the limit trades accuracy for per-tick cost");
     for (limit, steps, err) in &rows {
-        measured(&format!("limit {limit}: {steps} sub-steps/tick, max error {err:.4} °C"));
+        measured(&format!(
+            "limit {limit}: {steps} sub-steps/tick, max error {err:.4} °C"
+        ));
     }
     verdict(
         rows.iter().all(|(_, _, err)| *err < 0.5),
@@ -191,7 +223,10 @@ fn run_step_response(
     model: &mercury::model::MachineModel,
     stability_limit: f64,
 ) -> Result<(usize, Vec<f64>)> {
-    let cfg = SolverConfig { stability_limit, ..SolverConfig::default() };
+    let cfg = SolverConfig {
+        stability_limit,
+        ..SolverConfig::default()
+    };
     let mut solver = Solver::new(model, cfg)?;
     solver.set_utilization(nodes::CPU, 1.0)?;
     let substeps = solver.substeps_per_tick();

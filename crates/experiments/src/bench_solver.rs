@@ -1,0 +1,353 @@
+//! Solver throughput benchmark: the CSR step kernel vs the original
+//! scan-based stepper.
+//!
+//! `ReferenceSolver` / `ReferenceCluster` below reimplement the
+//! pre-kernel algorithm exactly as the seed shipped it: per-sub-step
+//! edge-list scans, an O(nodes × edges) advection rescan, per-tick
+//! allocation of the accumulators, division by the heat capacity, and
+//! name/HashMap-keyed inter-machine mixing. Timing both against the
+//! production [`Solver`] / [`ClusterSolver`] gives the before/after
+//! numbers recorded in `BENCH_solver.json`.
+
+// The reference port deliberately mirrors the seed's indexed loops.
+#![allow(clippy::needless_range_loop)]
+
+use crate::common::{measured, paper, verdict};
+use mercury::model::{AirKind, ClusterEndpoint, ClusterModel, MachineModel};
+use mercury::physics;
+use mercury::presets::{self, nodes};
+use mercury::solver::{air_flows, required_substeps, ClusterSolver, Solver, SolverConfig};
+use mercury::units::{Celsius, KilogramsPerSecond, Seconds, Utilization};
+use std::collections::HashMap;
+use std::time::Instant;
+
+type Result<T = ()> = std::result::Result<T, Box<dyn std::error::Error>>;
+
+/// The seed's single-machine stepper, preserved for benchmarking.
+struct ReferenceSolver {
+    names: Vec<String>,
+    power: Vec<Option<mercury::model::PowerModel>>,
+    air_mass: Vec<Option<f64>>,
+    fixed: Vec<bool>,
+    capacity: Vec<f64>,
+    utilization: Vec<Utilization>,
+    temp: Vec<f64>,
+    heat_edges: Vec<(usize, usize, mercury::units::WattsPerKelvin)>,
+    air_edges: Vec<(usize, usize, f64)>,
+    edge_flow: Vec<KilogramsPerSecond>,
+    topo: Vec<usize>,
+    inlet_nodes: Vec<usize>,
+    exhaust_nodes: Vec<usize>,
+    substeps: usize,
+    dt: Seconds,
+}
+
+impl ReferenceSolver {
+    fn new(model: &MachineModel) -> Self {
+        let cfg = SolverConfig::default();
+        let n = model.nodes().len();
+        let heat_edges: Vec<_> = model
+            .heat_edges()
+            .iter()
+            .map(|e| (e.a.index(), e.b.index(), e.k))
+            .collect();
+        let air_mass: Vec<Option<f64>> = model
+            .nodes()
+            .iter()
+            .map(|x| x.as_air().map(|a| a.mass_kg))
+            .collect();
+        let inlets = model.inlets();
+        let (edge_flow, inflow) = air_flows(
+            n,
+            model.air_edges(),
+            model.topo_order(),
+            &inlets,
+            model.fan().mass_flow(),
+        );
+        let caps: Vec<_> = model.nodes().iter().map(|x| x.capacity()).collect();
+        let substeps = required_substeps(
+            cfg.dt,
+            cfg.stability_limit,
+            &heat_edges,
+            &caps,
+            &inflow,
+            &air_mass,
+        );
+        ReferenceSolver {
+            names: model.nodes().iter().map(|x| x.name().to_string()).collect(),
+            power: model
+                .nodes()
+                .iter()
+                .map(|x| x.as_component().map(|c| c.power.clone()))
+                .collect(),
+            air_mass,
+            fixed: model
+                .nodes()
+                .iter()
+                .map(|x| x.is_air_kind(AirKind::Inlet))
+                .collect(),
+            capacity: caps.iter().map(|c| c.0).collect(),
+            utilization: vec![Utilization::IDLE; n],
+            temp: vec![model.inlet_temperature().0; n],
+            heat_edges,
+            air_edges: model
+                .air_edges()
+                .iter()
+                .map(|e| (e.from.index(), e.to.index(), e.fraction))
+                .collect(),
+            edge_flow,
+            topo: model.topo_order().iter().map(|id| id.index()).collect(),
+            inlet_nodes: inlets.iter().map(|id| id.index()).collect(),
+            exhaust_nodes: model
+                .nodes()
+                .iter()
+                .enumerate()
+                .filter(|(_, x)| x.is_air_kind(AirKind::Exhaust))
+                .map(|(i, _)| i)
+                .collect(),
+            substeps,
+            dt: cfg.dt,
+        }
+    }
+
+    fn set_utilization(&mut self, name: &str, u: f64) {
+        let i = self.names.iter().position(|x| x == name).unwrap();
+        self.utilization[i] = u.into();
+    }
+
+    fn set_inlet(&mut self, t: Celsius) {
+        for &i in &self.inlet_nodes {
+            self.temp[i] = t.0;
+        }
+    }
+
+    fn exhaust_temperature(&self) -> Celsius {
+        let sum: f64 = self.exhaust_nodes.iter().map(|&i| self.temp[i]).sum();
+        Celsius(sum / self.exhaust_nodes.len() as f64)
+    }
+
+    fn step(&mut self) {
+        let n = self.names.len();
+        let dts = Seconds(self.dt.0 / self.substeps as f64);
+        // The seed allocated fresh accumulators every tick.
+        let mut dq = vec![0.0_f64; n];
+        let mut adv = vec![0.0_f64; n];
+        for _ in 0..self.substeps {
+            dq.iter_mut().for_each(|q| *q = 0.0);
+            adv.iter_mut().for_each(|q| *q = 0.0);
+            for i in 0..n {
+                if let Some(power) = &self.power[i] {
+                    dq[i] += physics::heat_generated(power, self.utilization[i], dts).0;
+                }
+            }
+            for &(a, b, k) in &self.heat_edges {
+                let q =
+                    physics::heat_transfer(k, Celsius(self.temp[a]), Celsius(self.temp[b]), dts);
+                dq[a] -= q.0;
+                dq[b] += q.0;
+            }
+            // O(nodes × edges): every air node rescans the full edge list.
+            for &node in &self.topo {
+                if self.fixed[node] {
+                    continue;
+                }
+                let Some(mass_kg) = self.air_mass[node] else {
+                    continue;
+                };
+                let mut streams_mass = 0.0;
+                let mut streams_heat = 0.0;
+                for (ei, &(from, to, _)) in self.air_edges.iter().enumerate() {
+                    if to == node {
+                        streams_mass += self.edge_flow[ei].0;
+                        streams_heat += self.edge_flow[ei].0 * self.temp[from];
+                    }
+                }
+                if streams_mass > 0.0 {
+                    let t_mix = streams_heat / streams_mass;
+                    let alpha = physics::replacement_fraction(
+                        KilogramsPerSecond(streams_mass),
+                        mass_kg,
+                        dts,
+                    );
+                    adv[node] = alpha * (t_mix - self.temp[node]);
+                }
+            }
+            for i in 0..n {
+                if !self.fixed[i] {
+                    self.temp[i] += dq[i] / self.capacity[i] + adv[i];
+                }
+            }
+        }
+    }
+}
+
+/// The seed's cluster stepper: serial machines plus HashMap-keyed
+/// endpoint mixing.
+struct ReferenceCluster {
+    machines: Vec<ReferenceSolver>,
+    supplies: HashMap<String, Celsius>,
+    junctions: HashMap<String, Celsius>,
+    edges: Vec<mercury::model::ClusterEdge>,
+    junction_names: Vec<String>,
+}
+
+impl ReferenceCluster {
+    fn new(model: &ClusterModel) -> Self {
+        let supplies: HashMap<String, Celsius> = model
+            .supplies()
+            .iter()
+            .map(|s| (s.name.clone(), s.temperature))
+            .collect();
+        let initial = model
+            .supplies()
+            .first()
+            .map(|s| s.temperature)
+            .unwrap_or(Celsius(21.6));
+        ReferenceCluster {
+            machines: model.machines().iter().map(ReferenceSolver::new).collect(),
+            junctions: model
+                .junctions()
+                .iter()
+                .map(|j| (j.clone(), initial))
+                .collect(),
+            supplies,
+            edges: model.edges().to_vec(),
+            junction_names: model.junctions().to_vec(),
+        }
+    }
+
+    fn endpoint_temperature(&self, e: &ClusterEndpoint, exhausts: &[Celsius]) -> Option<Celsius> {
+        match e {
+            ClusterEndpoint::Supply(name) => self.supplies.get(name).copied(),
+            ClusterEndpoint::MachineExhaust(i) => Some(exhausts[*i]),
+            ClusterEndpoint::Junction(name) => self.junctions.get(name).copied(),
+            ClusterEndpoint::MachineInlet(_) => None,
+        }
+    }
+
+    fn mix_into(&self, to: &ClusterEndpoint, exhausts: &[Celsius]) -> Option<Celsius> {
+        let mut weight = 0.0;
+        let mut heat = 0.0;
+        for e in self.edges.iter().filter(|e| e.to == *to) {
+            if let Some(t) = self.endpoint_temperature(&e.from, exhausts) {
+                weight += e.fraction;
+                heat += e.fraction * t.0;
+            }
+        }
+        (weight > 0.0).then(|| Celsius(heat / weight))
+    }
+
+    fn step(&mut self) {
+        let exhausts: Vec<Celsius> = self
+            .machines
+            .iter()
+            .map(|m| m.exhaust_temperature())
+            .collect();
+        for name in &self.junction_names {
+            if let Some(t) = self.mix_into(&ClusterEndpoint::Junction(name.clone()), &exhausts) {
+                self.junctions.insert(name.clone(), t);
+            }
+        }
+        for m in 0..self.machines.len() {
+            if let Some(t) = self.mix_into(&ClusterEndpoint::MachineInlet(m), &exhausts) {
+                self.machines[m].set_inlet(t);
+            }
+        }
+        for m in &mut self.machines {
+            m.step();
+        }
+    }
+}
+
+fn time<F: FnMut()>(mut f: F) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64()
+}
+
+/// `bench_solver`: single-machine and 64-machine cluster throughput,
+/// kernel vs the seed algorithm, written to `BENCH_solver.json`.
+pub fn bench_solver() -> Result {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // --- single machine: Table 1 graphs, 20k ticks -----------------------
+    let model = presets::validation_machine();
+    let ticks = 20_000usize;
+
+    let mut reference = ReferenceSolver::new(&model);
+    reference.set_utilization(nodes::CPU, 0.7);
+    reference.set_utilization(nodes::DISK_PLATTERS, 0.4);
+    for _ in 0..200 {
+        reference.step(); // warm-up
+    }
+    let ref_s = time(|| {
+        for _ in 0..ticks {
+            reference.step();
+        }
+    });
+
+    let mut kernel = Solver::new(&model, SolverConfig::default())?;
+    kernel.set_utilization(nodes::CPU, 0.7)?;
+    kernel.set_utilization(nodes::DISK_PLATTERS, 0.4)?;
+    kernel.step_for(200); // warm-up
+    let kern_s = time(|| kernel.step_for(ticks));
+
+    let machine_ref_tps = ticks as f64 / ref_s;
+    let machine_kern_tps = ticks as f64 / kern_s;
+    let machine_speedup = machine_kern_tps / machine_ref_tps;
+
+    // --- 64-machine cluster: step_for(3600), one emulated hour -----------
+    let cluster_model = presets::validation_cluster(64);
+    let cluster_ticks = 3_600usize;
+
+    let mut ref_cluster = ReferenceCluster::new(&cluster_model);
+    for m in &mut ref_cluster.machines {
+        m.set_utilization(nodes::CPU, 0.7);
+    }
+    let cluster_ref_s = time(|| {
+        for _ in 0..cluster_ticks {
+            ref_cluster.step();
+        }
+    });
+
+    let mut serial = ClusterSolver::new(&cluster_model, SolverConfig::default())?;
+    serial.set_threads(1);
+    for i in 1..=64 {
+        serial.set_utilization(&format!("machine{i}"), nodes::CPU, 0.7)?;
+    }
+    let cluster_serial_s = time(|| serial.step_for(cluster_ticks));
+
+    let mut parallel = ClusterSolver::new(&cluster_model, SolverConfig::default())?;
+    parallel.set_threads(0); // auto
+    for i in 1..=64 {
+        parallel.set_utilization(&format!("machine{i}"), nodes::CPU, 0.7)?;
+    }
+    let threads = parallel.effective_threads();
+    let cluster_parallel_s = time(|| parallel.step_for(cluster_ticks));
+
+    let cluster_ref_tps = cluster_ticks as f64 / cluster_ref_s;
+    let cluster_serial_tps = cluster_ticks as f64 / cluster_serial_s;
+    let cluster_parallel_tps = cluster_ticks as f64 / cluster_parallel_s;
+    let cluster_speedup = cluster_parallel_tps / cluster_ref_tps;
+
+    let json = format!(
+        "{{\n  \"hardware\": {{ \"cores\": {cores} }},\n  \"single_machine\": {{\n    \"model\": \"validation_machine\",\n    \"ticks\": {ticks},\n    \"reference_ticks_per_sec\": {machine_ref_tps:.1},\n    \"kernel_ticks_per_sec\": {machine_kern_tps:.1},\n    \"speedup\": {machine_speedup:.2}\n  }},\n  \"cluster_64\": {{\n    \"model\": \"validation_cluster(64)\",\n    \"ticks\": {cluster_ticks},\n    \"reference_seconds\": {cluster_ref_s:.3},\n    \"kernel_serial_seconds\": {cluster_serial_s:.3},\n    \"kernel_parallel_seconds\": {cluster_parallel_s:.3},\n    \"parallel_threads\": {threads},\n    \"reference_ticks_per_sec\": {cluster_ref_tps:.1},\n    \"kernel_serial_ticks_per_sec\": {cluster_serial_tps:.1},\n    \"kernel_parallel_ticks_per_sec\": {cluster_parallel_tps:.1},\n    \"speedup_vs_reference\": {cluster_speedup:.2}\n  }}\n}}\n"
+    );
+    std::fs::write("BENCH_solver.json", &json)?;
+    println!("wrote BENCH_solver.json");
+
+    paper("solver ≈ 100 µs per iteration on 2006 hardware (§2.3)");
+    measured(&format!(
+        "single machine: reference {machine_ref_tps:.0} ticks/s, kernel {machine_kern_tps:.0} ticks/s ({machine_speedup:.2}×)"
+    ));
+    measured(&format!(
+        "64-machine cluster, 3600 ticks: reference {cluster_ref_s:.2} s, kernel serial {cluster_serial_s:.2} s, kernel parallel {cluster_parallel_s:.2} s ({threads} thread(s), {cluster_speedup:.2}× vs reference)"
+    ));
+    verdict(
+        cluster_speedup >= 2.0,
+        "64-machine cluster steps ≥2× faster than the seed algorithm",
+    );
+    Ok(())
+}

@@ -57,7 +57,10 @@ pub fn smooth(series: &[f64], w: usize) -> Vec<f64> {
 
 /// Maximum absolute pointwise difference between two equally long series.
 pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
 }
 
 /// Root-mean-square difference between two equally long series.
@@ -66,7 +69,12 @@ pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
     if n == 0 {
         return 0.0;
     }
-    let sum: f64 = a.iter().zip(b).take(n).map(|(x, y)| (x - y) * (x - y)).sum();
+    let sum: f64 = a
+        .iter()
+        .zip(b)
+        .take(n)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum();
     (sum / n as f64).sqrt()
 }
 

@@ -13,7 +13,10 @@ type Result<T = ()> = std::result::Result<T, Box<dyn std::error::Error>>;
 /// under the §5 scenario.
 pub fn sec43_throttling() -> Result {
     let cfg = FreonConfig::paper();
-    let th = cfg.thresholds_for("cpu").expect("cpu thresholds exist").high;
+    let th = cfg
+        .thresholds_for("cpu")
+        .expect("cpu thresholds exist")
+        .high;
 
     let mut freon = FreonPolicy::new(cfg.clone(), 4);
     let freon_log = run_policy(&mut freon)?;
@@ -22,18 +25,26 @@ pub fn sec43_throttling() -> Result {
     let mut combined = CombinedPolicy::new(cfg.clone(), 4);
     let combined_log = run_policy(&mut combined)?;
 
-    let mut csv = String::from(
-        "policy,drop_rate_pct,seconds_above_th,peak_c,servers_lost\n",
-    );
+    let mut csv = String::from("policy,drop_rate_pct,seconds_above_th,peak_c,servers_lost\n");
     let mut rows = Vec::new();
     for (name, log, lost) in [
         ("freon", &freon_log, freon.red_line_shutdowns()),
         ("local-dvfs", &local_log, local.red_line_shutdowns()),
-        ("freon+dvfs", &combined_log, combined.freon().red_line_shutdowns()),
+        (
+            "freon+dvfs",
+            &combined_log,
+            combined.freon().red_line_shutdowns(),
+        ),
     ] {
         let above: u64 = (0..4).map(|i| log.seconds_above(i, th)).sum();
-        let peak = (0..4).map(|i| log.max_cpu_temp(i)).fold(f64::NEG_INFINITY, f64::max);
-        let _ = writeln!(csv, "{name},{:.3},{above},{peak:.2},{lost}", log.drop_rate() * 100.0);
+        let peak = (0..4)
+            .map(|i| log.max_cpu_temp(i))
+            .fold(f64::NEG_INFINITY, f64::max);
+        let _ = writeln!(
+            csv,
+            "{name},{:.3},{above},{peak:.2},{lost}",
+            log.drop_rate() * 100.0
+        );
         rows.push((name, log.drop_rate(), above, peak, lost));
     }
     write_results("sec43_throttling.csv", &csv)?;
@@ -52,12 +63,18 @@ pub fn sec43_throttling() -> Result {
     ));
     let freon_row = &rows[0];
     let combined_row = &rows[2];
-    verdict(freon_row.1 == 0.0, "remote throttling serves the full trace");
+    verdict(
+        freon_row.1 == 0.0,
+        "remote throttling serves the full trace",
+    );
     verdict(
         combined_row.2 <= freon_row.2 && combined_row.1 <= freon_row.1,
         "the combination is at least as good as software alone (the paper's conjecture)",
     );
-    verdict(rows[1].4 == 0, "local DVFS alone avoids red-lining in this scenario");
+    verdict(
+        rows[1].4 == 0,
+        "local DVFS alone avoids red-lining in this scenario",
+    );
     Ok(())
 }
 
@@ -75,14 +92,8 @@ pub fn ablation_fans() -> Result {
             fan_controller: fan,
             ..Default::default()
         };
-        let log = freon::Experiment::new(
-            &model,
-            sim.clone(),
-            &trace,
-            Some(&script),
-            config,
-        )?
-        .run(&mut NoPolicy)?;
+        let log = freon::Experiment::new(&model, sim.clone(), &trace, Some(&script), config)?
+            .run(&mut NoPolicy)?;
         Ok(log)
     };
 

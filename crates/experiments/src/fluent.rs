@@ -48,7 +48,9 @@ fn solve_case(config: &CaseConfig, cpu_w: f64, disk_w: f64) -> Result<SteadyStat
     case.set_power(Component::Cpu, cpu_w);
     case.set_power(Component::Disk, disk_w);
     case.set_power(Component::Psu, PSU_W);
-    Ok(case.solve(1e-6, 400_000).map_err(|e| format!("CFD solve failed: {e}"))?)
+    Ok(case
+        .solve(1e-6, 400_000)
+        .map_err(|e| format!("CFD solve failed: {e}"))?)
 }
 
 /// Per-component constants extracted from the calibration solves.
@@ -90,7 +92,11 @@ fn fit_channel(
     if dk <= 0.0 {
         return Err(format!("{component:?}: block does not heat above its air").into());
     }
-    Ok(ChannelFit { k: dp / dk, mass_flow, preheat })
+    Ok(ChannelFit {
+        k: dp / dk,
+        mass_flow,
+        preheat,
+    })
 }
 
 /// Builds the Mercury model of the 2-D case from the channel fits.
@@ -106,7 +112,10 @@ fn mercury_case(fits: &[(&str, &ChannelFit)], inlet_c: f64) -> Result<MachineMod
     b.exhaust("exhaust");
     for (name, fit) in fits {
         let fraction = (fit.mass_flow / fan_mass_flow).clamp(0.005, 0.95);
-        b.component(name.to_string()).mass_kg(0.3).specific_heat(896.0).constant_power(0.0);
+        b.component(name.to_string())
+            .mass_kg(0.3)
+            .specific_heat(896.0)
+            .constant_power(0.0);
         let air = format!("{name}_air");
         b.air(&air);
         b.heat_edge(name, &air, fit.k)?;
@@ -117,7 +126,10 @@ fn mercury_case(fits: &[(&str, &ChannelFit)], inlet_c: f64) -> Result<MachineMod
         let q = fit.preheat * fit.mass_flow * AIR_SPECIFIC_HEAT.0;
         if q > 1e-3 {
             let duct = format!("{name}_duct");
-            b.component(&duct).mass_kg(0.1).specific_heat(896.0).constant_power(q);
+            b.component(&duct)
+                .mass_kg(0.1)
+                .specific_heat(896.0)
+                .constant_power(q);
             b.heat_edge(&duct, &air, 20.0)?;
         }
     }
@@ -140,7 +152,9 @@ pub fn table_fluent() -> Result {
     // The PSU never varies; a single-point fit pins its channel.
     let psu_rise = base.air_near(Component::Psu) - inlet_c;
     let psu_fit = ChannelFit {
-        k: base.effective_k(Component::Psu).ok_or("no PSU k from the reference solve")?,
+        k: base
+            .effective_k(Component::Psu)
+            .ok_or("no PSU k from the reference solve")?,
         mass_flow: PSU_W / (AIR_SPECIFIC_HEAT.0 * psu_rise),
         preheat: 0.0,
     };
@@ -192,7 +206,13 @@ pub fn table_fluent() -> Result {
     measured(&format!(
         "max |Δ| over 14 combos: CPU {max_cpu_delta:.2} °C, disk {max_disk_delta:.2} °C"
     ));
-    verdict(max_cpu_delta < 0.5, "CPU steady-state agreement is in the paper's sub-half-degree class");
-    verdict(max_disk_delta < 0.5, "disk steady-state agreement is in the paper's sub-half-degree class");
+    verdict(
+        max_cpu_delta < 0.5,
+        "CPU steady-state agreement is in the paper's sub-half-degree class",
+    );
+    verdict(
+        max_disk_delta < 0.5,
+        "disk steady-state agreement is in the paper's sub-half-degree class",
+    );
     Ok(())
 }

@@ -4,8 +4,8 @@
 use crate::common::{measured, paper, verdict, write_results};
 use cluster_sim::{ClusterSim, ServerConfig};
 use freon::{
-    EcConfig, Experiment, ExperimentConfig, ExperimentLog, FreonConfig, FreonEcPolicy,
-    FreonPolicy, ThermalPolicy, TraditionalPolicy,
+    EcConfig, Experiment, ExperimentConfig, ExperimentLog, FreonConfig, FreonEcPolicy, FreonPolicy,
+    ThermalPolicy, TraditionalPolicy,
 };
 use mercury::fiddle::FiddleScript;
 use mercury::model::ClusterModel;
@@ -23,7 +23,9 @@ pub const SEED: u64 = 42;
 pub fn paper_trace() -> WorkloadTrace {
     let mix = RequestMix::paper();
     let peak = mix.rps_for_cpu_utilization(0.7, 4, 1000.0);
-    let profile = DiurnalProfile::new(DURATION_S as f64, peak * 0.15, peak).with_peak_at(0.70).with_plateau(0.30);
+    let profile = DiurnalProfile::new(DURATION_S as f64, peak * 0.15, peak)
+        .with_peak_at(0.70)
+        .with_plateau(0.30);
     WorkloadGenerator::new(profile, mix, SEED).generate(DURATION_S)
 }
 
@@ -63,7 +65,10 @@ pub fn run_policy_with(
     let sim = ClusterSim::homogeneous(4, server_config);
     let trace = paper_trace();
     let script = emergencies();
-    let config = ExperimentConfig { duration_s: DURATION_S, ..Default::default() };
+    let config = ExperimentConfig {
+        duration_s: DURATION_S,
+        ..Default::default()
+    };
     let log = Experiment::new(&model, sim, &trace, Some(&script), config)?.run(policy)?;
     Ok(log)
 }
@@ -81,8 +86,14 @@ pub fn fig11() -> Result {
     let log = run_policy(&mut policy)?;
     write_results("fig11_freon.csv", &log_to_csv(&log)?)?;
 
-    let th = cfg.thresholds_for("cpu").expect("cpu thresholds exist").high;
-    let tr = cfg.thresholds_for("cpu").expect("cpu thresholds exist").red_line;
+    let th = cfg
+        .thresholds_for("cpu")
+        .expect("cpu thresholds exist")
+        .high;
+    let tr = cfg
+        .thresholds_for("cpu")
+        .expect("cpu thresholds exist")
+        .red_line;
     let crossings: Vec<Option<u64>> = (0..4).map(|i| log.first_crossing(i, th)).collect();
     let peaks: Vec<f64> = (0..4).map(|i| log.max_cpu_temp(i)).collect();
 
@@ -103,18 +114,27 @@ pub fn fig11() -> Result {
         log.total_offered(),
         log.drop_rate() * 100.0
     ));
-    verdict(crossings[0].is_some() && crossings[2].is_some(), "both emergency machines cross T_h");
+    verdict(
+        crossings[0].is_some() && crossings[2].is_some(),
+        "both emergency machines cross T_h",
+    );
     verdict(
         crossings[0].unwrap_or(u64::MAX) < crossings[2].unwrap_or(u64::MAX),
         "machine1 (hotter inlet) crosses before machine3",
     );
-    verdict(crossings[1].is_none() && crossings[3].is_none(), "unaffected machines stay below T_h");
+    verdict(
+        crossings[1].is_none() && crossings[3].is_none(),
+        "unaffected machines stay below T_h",
+    );
     verdict(
         peaks.iter().all(|&p| p < tr),
         "no CPU ever reaches the red line under Freon",
     );
     verdict(policy.red_line_shutdowns() == 0, "no server was turned off");
-    verdict(log.total_dropped() == 0, "the entire workload was served (0 drops)");
+    verdict(
+        log.total_dropped() == 0,
+        "the entire workload was served (0 drops)",
+    );
     Ok(())
 }
 
@@ -126,9 +146,25 @@ pub fn fig12() -> Result {
     let log = run_policy(&mut policy)?;
     write_results("fig12_freon_ec.csv", &log_to_csv(&log)?)?;
 
-    let min_active = log.rows().iter().map(|r| r.active_servers).min().unwrap_or(0);
-    let max_active = log.rows().iter().map(|r| r.active_servers).max().unwrap_or(0);
-    let active_at_valley = log.rows().iter().take(300).map(|r| r.active_servers).min().unwrap_or(0);
+    let min_active = log
+        .rows()
+        .iter()
+        .map(|r| r.active_servers)
+        .min()
+        .unwrap_or(0);
+    let max_active = log
+        .rows()
+        .iter()
+        .map(|r| r.active_servers)
+        .max()
+        .unwrap_or(0);
+    let active_at_valley = log
+        .rows()
+        .iter()
+        .take(300)
+        .map(|r| r.active_servers)
+        .min()
+        .unwrap_or(0);
 
     paper("during light load Freon-EC shrinks the active configuration to a single server (at ~60 s); off machines cool ~10 °C; as load rises the configuration grows back to 4 without dropping requests; the peak emergencies are handled by the base policy");
     measured(&format!(
@@ -146,16 +182,33 @@ pub fn fig12() -> Result {
     ));
     // Cooling while off: compare machine4's temperature right before the
     // valley shutdown with its minimum while off.
-    let m4_at_60 = log.rows().get(60).map(|r| r.cpu_temp[3]).unwrap_or(f64::NAN);
-    let m4_min: f64 =
-        log.rows().iter().take(600).map(|r| r.cpu_temp[3]).fold(f64::INFINITY, f64::min);
+    let m4_at_60 = log
+        .rows()
+        .get(60)
+        .map(|r| r.cpu_temp[3])
+        .unwrap_or(f64::NAN);
+    let m4_min: f64 = log
+        .rows()
+        .iter()
+        .take(600)
+        .map(|r| r.cpu_temp[3])
+        .fold(f64::INFINITY, f64::min);
     measured(&format!(
         "machine4 CPU: {m4_at_60:.1} °C at the shutdown, cooled to {m4_min:.1} °C while off (Δ {:.1})",
         m4_at_60 - m4_min
     ));
-    verdict(active_at_valley <= 1, "the valley shrinks the configuration to one server");
-    verdict(max_active == 4, "the peak grows the configuration back to four");
-    verdict(log.drop_rate() < 0.005, "energy conservation cost (almost) no requests");
+    verdict(
+        active_at_valley <= 1,
+        "the valley shrinks the configuration to one server",
+    );
+    verdict(
+        max_active == 4,
+        "the peak grows the configuration back to four",
+    );
+    verdict(
+        log.drop_rate() < 0.005,
+        "energy conservation cost (almost) no requests",
+    );
     Ok(())
 }
 
@@ -166,10 +219,12 @@ pub fn table_drops() -> Result {
 
     let mut traditional = TraditionalPolicy::new(FreonConfig::paper(), 4);
     let traditional_log = run_policy(&mut traditional)?;
-    write_results("table_drops_traditional.csv", &log_to_csv(&traditional_log)?)?;
+    write_results(
+        "table_drops_traditional.csv",
+        &log_to_csv(&traditional_log)?,
+    )?;
 
-    let mut csv =
-        String::from("policy,offered,dropped,drop_rate_pct,mean_response_ms\n");
+    let mut csv = String::from("policy,offered,dropped,drop_rate_pct,mean_response_ms\n");
     for log in [&freon_log, &traditional_log] {
         csv.push_str(&format!(
             "{},{},{},{:.2},{:.1}\n",
@@ -201,7 +256,12 @@ pub fn table_drops() -> Result {
         "the traditional baseline loses a substantial fraction of the trace (paper: 14%)",
     );
     verdict(
-        traditional.shutdown_times().iter().filter(|t| t.is_some()).count() == 2,
+        traditional
+            .shutdown_times()
+            .iter()
+            .filter(|t| t.is_some())
+            .count()
+            == 2,
         "exactly the two emergency machines red-line under the traditional policy",
     );
     Ok(())

@@ -11,6 +11,7 @@
 //! ```
 
 mod ablation;
+mod bench_solver;
 mod common;
 mod extensions;
 mod fluent;
@@ -35,6 +36,7 @@ usage: experiments <subcommand>
   fig12             Freon-EC under the same trace and emergencies
   table_drops       Freon vs the traditional red-line baseline
   micro             solver-iteration and sensor-read latency micro numbers
+  bench_solver      step-kernel vs seed-algorithm throughput -> BENCH_solver.json
   ablation_controller   PD vs P-only vs bang-bang admission control
   ablation_projection   Freon-EC projection horizon 0/1/2/4 intervals
   ablation_substeps     solver stability-limit sweep (accuracy vs cost)
@@ -76,6 +78,7 @@ fn run(command: &str) -> Result<(), Box<dyn std::error::Error>> {
         "fig12" => freon_exp::fig12(),
         "table_drops" => freon_exp::table_drops(),
         "micro" => misc::micro(),
+        "bench_solver" => bench_solver::bench_solver(),
         "ablation_controller" => ablation::controller(),
         "ablation_projection" => ablation::projection(),
         "ablation_substeps" => ablation::substeps(),
@@ -95,6 +98,7 @@ fn run(command: &str) -> Result<(), Box<dyn std::error::Error>> {
                 "fig12",
                 "table_drops",
                 "micro",
+                "bench_solver",
                 "ablation_controller",
                 "ablation_projection",
                 "ablation_substeps",

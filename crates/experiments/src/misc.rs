@@ -14,9 +14,18 @@ type Result = std::result::Result<(), Box<dyn std::error::Error>>;
 /// Prints the Table 1 model exactly as Mercury loads it.
 pub fn table1() -> Result {
     let model = presets::validation_machine();
-    println!("machine `{}` — {} nodes, {} heat edges, {} air edges", model.name(),
-        model.nodes().len(), model.heat_edges().len(), model.air_edges().len());
-    println!("fan: {:.1} cfm, inlet: {}", model.fan().to_cfm(), model.inlet_temperature());
+    println!(
+        "machine `{}` — {} nodes, {} heat edges, {} air edges",
+        model.name(),
+        model.nodes().len(),
+        model.heat_edges().len(),
+        model.air_edges().len()
+    );
+    println!(
+        "fan: {:.1} cfm, inlet: {}",
+        model.fan().to_cfm(),
+        model.inlet_temperature()
+    );
     println!("\ncomponents:");
     for node in model.nodes() {
         if let Some(c) = node.as_component() {
@@ -28,11 +37,21 @@ pub fn table1() -> Result {
     }
     println!("\nheat edges (k in W/K):");
     for e in model.heat_edges() {
-        println!("  {:14} -- {:14} k={}", model.node(e.a).name(), model.node(e.b).name(), e.k.0);
+        println!(
+            "  {:14} -- {:14} k={}",
+            model.node(e.a).name(),
+            model.node(e.b).name(),
+            e.k.0
+        );
     }
     println!("\nair edges (fractions):");
     for e in model.air_edges() {
-        println!("  {:14} -> {:14} {}", model.node(e.from).name(), model.node(e.to).name(), e.fraction);
+        println!(
+            "  {:14} -> {:14} {}",
+            model.node(e.from).name(),
+            model.node(e.to).name(),
+            e.fraction
+        );
     }
     paper("Table 1 lists the validation server's constants");
     measured("all constants encoded and asserted by unit tests (presets module)");
@@ -43,9 +62,18 @@ pub fn table1() -> Result {
 pub fn fig1() -> Result {
     let machine = presets::validation_machine();
     let cluster = presets::validation_cluster(4);
-    write_results("fig1a_heatflow.dot", &mercury_graphdl::dot::heat_flow_to_dot(&machine))?;
-    write_results("fig1b_airflow.dot", &mercury_graphdl::dot::air_flow_to_dot(&machine))?;
-    write_results("fig1c_cluster.dot", &mercury_graphdl::dot::cluster_to_dot(&cluster))?;
+    write_results(
+        "fig1a_heatflow.dot",
+        &mercury_graphdl::dot::heat_flow_to_dot(&machine),
+    )?;
+    write_results(
+        "fig1b_airflow.dot",
+        &mercury_graphdl::dot::air_flow_to_dot(&machine),
+    )?;
+    write_results(
+        "fig1c_cluster.dot",
+        &mercury_graphdl::dot::cluster_to_dot(&cluster),
+    )?;
     paper("Figure 1 shows the intra-machine heat-flow, intra-machine air-flow, and inter-machine air-flow graphs");
     measured("three dot files written (render with `dot -Tpng`)");
     Ok(())
@@ -80,7 +108,9 @@ pub fn fig4() -> Result {
     }
     write_results("fig4_fiddle.csv", &csv)?;
     paper("the script raises machine1's inlet to 30 °C at t=100 s and restores 21.6 °C at t=300 s");
-    measured(&format!("inlet at t=250 s: {inlet_during:.1} °C; at t=550 s: {inlet_after:.1} °C"));
+    measured(&format!(
+        "inlet at t=250 s: {inlet_during:.1} °C; at t=550 s: {inlet_after:.1} °C"
+    ));
     verdict(
         (inlet_during - 30.0).abs() < 1e-6 && (inlet_after - 21.6).abs() < 1e-6,
         "fiddle events land at the scripted times",
@@ -121,7 +151,13 @@ pub fn micro() -> Result {
         per_iter * 1e6,
         per_read * 1e6
     ));
-    verdict(per_iter * 1e6 < 500.0, "solver iteration is in the paper's order of magnitude");
-    verdict(per_read * 1e6 < 1_000.0, "sensor reads beat the real in-disk sensor's 500 µs class");
+    verdict(
+        per_iter * 1e6 < 500.0,
+        "solver iteration is in the paper's order of magnitude",
+    );
+    verdict(
+        per_read * 1e6 < 1_000.0,
+        "sensor reads beat the real in-disk sensor's 500 µs class",
+    );
     Ok(())
 }

@@ -98,8 +98,8 @@ pub fn calibrate() -> Result<Calibrated> {
     let mut plant = Plant::pentium3_testbed(PLANT_SEED);
     let cpu_log = plant.record_sensors(&cpu_trace)?;
     let cpu_measured = cpu_log.series("cpu_air")?;
-    let mut problem = CalibrationProblem::new(&base, &cpu_trace)
-        .target(nodes::CPU_AIR, cpu_measured);
+    let mut problem =
+        CalibrationProblem::new(&base, &cpu_trace).target(nodes::CPU_AIR, cpu_measured);
     for p in cpu_params() {
         problem = problem.param(p);
     }
@@ -150,15 +150,18 @@ fn report_match(label: &str, plant_series: &[f64], emulated: &[f64], claim_c: f6
     measured(&format!(
         "{label}: max |Δ| {max_d:.2} °C, RMSE {rms:.2} °C (61 s smoothed, first {skip} s skipped)"
     ));
-    verdict(max_d <= claim_c + 0.5, &format!("{label} trend-matches within ~{claim_c} °C"));
+    verdict(
+        max_d <= claim_c + 0.5,
+        &format!("{label} trend-matches within ~{claim_c} °C"),
+    );
 }
 
 /// Figure 5: calibrating Mercury for CPU usage and temperature.
 pub fn fig5() -> Result {
     let cal = calibrate()?;
     let (trace, plant_log, rmse_before, rmse_after) = &cal.cpu_run;
-    let emulated = run_offline(&cal.model, trace, SolverConfig::default(), None)?
-        .series(nodes::CPU_AIR)?;
+    let emulated =
+        run_offline(&cal.model, trace, SolverConfig::default(), None)?.series(nodes::CPU_AIR)?;
     let plant_series = plant_log.series("cpu_air")?;
     write_results(
         "fig5_cpu_calibration.csv",
@@ -176,14 +179,16 @@ pub fn fig5() -> Result {
 pub fn fig6() -> Result {
     let cal = calibrate()?;
     let (trace, plant_log, rmse_before, rmse_after) = &cal.disk_run;
-    let emulated = run_offline(&cal.model, trace, SolverConfig::default(), None)?
-        .series(nodes::DISK_SHELL)?;
+    let emulated =
+        run_offline(&cal.model, trace, SolverConfig::default(), None)?.series(nodes::DISK_SHELL)?;
     let plant_series = plant_log.series("disk")?;
     write_results(
         "fig6_disk_calibration.csv",
         &staircase_csv(trace, nodes::DISK_PLATTERS, &plant_series, &emulated)?,
     )?;
-    paper("after calibration Mercury tracks the in-disk sensor through a disk utilization staircase");
+    paper(
+        "after calibration Mercury tracks the in-disk sensor through a disk utilization staircase",
+    );
     measured(&format!(
         "coordinate descent shrank the disk-run RMSE from {rmse_before:.2} to {rmse_after:.2} °C"
     ));

@@ -24,7 +24,9 @@ pub struct Admd {
 impl Admd {
     /// Creates a daemon for an `n`-server cluster.
     pub fn new(n: usize) -> Self {
-        Admd { samples: vec![Vec::new(); n] }
+        Admd {
+            samples: vec![Vec::new(); n],
+        }
     }
 
     /// Records one LVS statistics sample (called every

@@ -21,7 +21,12 @@ impl ComponentThresholds {
     /// Creates thresholds, with `red_line` defaulting to `high + 2` — the
     /// paper: "`T_h` should be set just below `T_r`, e.g. 2 °C lower".
     pub fn new(component: impl Into<String>, high: f64, low: f64) -> Self {
-        ComponentThresholds { component: component.into(), high, low, red_line: high + 2.0 }
+        ComponentThresholds {
+            component: component.into(),
+            high,
+            low,
+            red_line: high + 2.0,
+        }
     }
 
     /// Overrides the red line.
@@ -132,12 +137,22 @@ impl EcConfig {
     /// `{m2, m4}` (indices 0,2 vs 1,3), `U_h = 70%`, `U_l = 60%`,
     /// projection two intervals ahead.
     pub fn paper_four_servers() -> Self {
-        EcConfig { regions: vec![0, 1, 0, 1], u_high: 0.70, u_low: 0.60, projection_intervals: 2 }
+        EcConfig {
+            regions: vec![0, 1, 0, 1],
+            u_high: 0.70,
+            u_low: 0.60,
+            projection_intervals: 2,
+        }
     }
 
     /// Number of distinct regions.
     pub fn region_count(&self) -> usize {
-        self.regions.iter().copied().max().map(|m| m + 1).unwrap_or(0)
+        self.regions
+            .iter()
+            .copied()
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(0)
     }
 
     /// Validates utilization bounds and the region map.
@@ -178,8 +193,12 @@ mod tests {
 
     #[test]
     fn threshold_validation_enforces_ordering() {
-        assert!(ComponentThresholds::new("cpu", 67.0, 64.0).validate().is_ok());
-        assert!(ComponentThresholds::new("cpu", 60.0, 64.0).validate().is_err());
+        assert!(ComponentThresholds::new("cpu", 67.0, 64.0)
+            .validate()
+            .is_ok());
+        assert!(ComponentThresholds::new("cpu", 60.0, 64.0)
+            .validate()
+            .is_err());
         let bad = ComponentThresholds::new("cpu", 67.0, 64.0).with_red_line(66.0);
         assert!(bad.validate().is_err());
     }
@@ -204,7 +223,10 @@ mod tests {
         assert_eq!(ec.regions[1], ec.regions[3]);
         assert_ne!(ec.regions[0], ec.regions[1]);
         assert!(ec.validate(3).is_err());
-        let bad = EcConfig { u_low: 0.8, ..EcConfig::paper_four_servers() };
+        let bad = EcConfig {
+            u_low: 0.8,
+            ..EcConfig::paper_four_servers()
+        };
         assert!(bad.validate(4).is_err());
     }
 }

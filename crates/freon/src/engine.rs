@@ -122,7 +122,13 @@ impl<'a> Experiment<'a> {
                 sim.len()
             )));
         }
-        Ok(Experiment { model, sim, trace, script, config })
+        Ok(Experiment {
+            model,
+            sim,
+            trace,
+            script,
+            config,
+        })
     }
 
     /// Runs the experiment to completion under the given policy.
@@ -157,6 +163,24 @@ impl<'a> Experiment<'a> {
         let mut fans: Vec<Option<mercury::fan::FanController>> =
             vec![self.config.fan_controller.clone(); n];
 
+        // Resolve the monitored component names to dense node indices
+        // once; the per-second loop below reads and writes by index.
+        let mut cpu_idx = Vec::with_capacity(n);
+        let mut disk_idx = Vec::with_capacity(n);
+        for i in 0..n {
+            let machine = solver.machine_at(i);
+            cpu_idx.push(
+                machine
+                    .node_index(&self.config.cpu_component)
+                    .ok_or_else(|| mercury::Error::unknown_node(&self.config.cpu_component))?,
+            );
+            disk_idx.push(
+                machine
+                    .node_index(&self.config.disk_component)
+                    .ok_or_else(|| mercury::Error::unknown_node(&self.config.disk_component))?,
+            );
+        }
+
         for t in 0..self.config.duration_s {
             if let Some(r) = runner.as_mut() {
                 r.apply_due_to_cluster(mercury::units::Seconds(t as f64), &mut solver)?;
@@ -186,8 +210,8 @@ impl<'a> Experiment<'a> {
                     last_scale[i] = scale;
                 }
                 let machine = solver.machine_at_mut(i);
-                machine.set_utilization(&self.config.cpu_component, stats.cpu_utilization[i])?;
-                machine.set_utilization(&self.config.disk_component, stats.disk_utilization[i])?;
+                machine.set_utilization_at(cpu_idx[i], stats.cpu_utilization[i])?;
+                machine.set_utilization_at(disk_idx[i], stats.disk_utilization[i])?;
                 if let Some(fan) = fans[i].as_mut() {
                     fan.regulate(machine)?;
                 }
@@ -216,22 +240,10 @@ impl<'a> Experiment<'a> {
             policy.control(t, &snapshots, &mut self.sim);
 
             let cpu_temp: Vec<f64> = (0..n)
-                .map(|i| {
-                    solver
-                        .machine_at(i)
-                        .temperature(&self.config.cpu_component)
-                        .map(|c| c.0)
-                        .unwrap_or(f64::NAN)
-                })
+                .map(|i| solver.machine_at(i).temperature_at(cpu_idx[i]).0)
                 .collect();
             let disk_temp: Vec<f64> = (0..n)
-                .map(|i| {
-                    solver
-                        .machine_at(i)
-                        .temperature(&self.config.disk_component)
-                        .map(|c| c.0)
-                        .unwrap_or(f64::NAN)
-                })
+                .map(|i| solver.machine_at(i).temperature_at(disk_idx[i]).0)
                 .collect();
             log.push(LogRow {
                 time_s: t,
@@ -271,7 +283,10 @@ mod tests {
         let model = mercury::presets::validation_cluster(4);
         let sim = ClusterSim::homogeneous(4, ServerConfig::default());
         let trace = paper_trace(600);
-        let cfg = ExperimentConfig { duration_s: 600, ..Default::default() };
+        let cfg = ExperimentConfig {
+            duration_s: 600,
+            ..Default::default()
+        };
         let log = Experiment::new(&model, sim, &trace, None, cfg)
             .unwrap()
             .run(&mut NoPolicy)
@@ -289,8 +304,12 @@ mod tests {
         let model = mercury::presets::validation_cluster(2);
         let sim = ClusterSim::homogeneous(2, ServerConfig::default());
         let trace = paper_trace(300);
-        let script = FiddleScript::parse("sleep 100\nfiddle machine1 temperature inlet 38.6\n").unwrap();
-        let cfg = ExperimentConfig { duration_s: 300, ..Default::default() };
+        let script =
+            FiddleScript::parse("sleep 100\nfiddle machine1 temperature inlet 38.6\n").unwrap();
+        let cfg = ExperimentConfig {
+            duration_s: 300,
+            ..Default::default()
+        };
         let log = Experiment::new(&model, sim, &trace, Some(&script), cfg)
             .unwrap()
             .run(&mut NoPolicy)
@@ -316,7 +335,10 @@ mod tests {
         sim.lvs_mut().set_quiesced(1, true);
         sim.server_mut(1).shutdown_hard();
         let trace = paper_trace(900);
-        let cfg = ExperimentConfig { duration_s: 900, ..Default::default() };
+        let cfg = ExperimentConfig {
+            duration_s: 900,
+            ..Default::default()
+        };
         let log = Experiment::new(&model, sim, &trace, None, cfg)
             .unwrap()
             .run(&mut NoPolicy)
@@ -333,7 +355,10 @@ mod tests {
         let model = mercury::presets::validation_cluster(4);
         let sim = ClusterSim::homogeneous(4, ServerConfig::default());
         let trace = paper_trace(400);
-        let cfg = ExperimentConfig { duration_s: 400, ..Default::default() };
+        let cfg = ExperimentConfig {
+            duration_s: 400,
+            ..Default::default()
+        };
         let mut policy = FreonPolicy::new(FreonConfig::paper(), 4);
         let log = Experiment::new(&model, sim, &trace, None, cfg)
             .unwrap()

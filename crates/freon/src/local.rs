@@ -40,7 +40,11 @@ struct DvfsLadder {
 
 impl DvfsLadder {
     fn new(levels: Vec<f64>, n: usize) -> Self {
-        DvfsLadder { levels, index: vec![0; n], steps_down: 0 }
+        DvfsLadder {
+            levels,
+            index: vec![0; n],
+            steps_down: 0,
+        }
     }
 
     fn scale(&self, server: usize) -> f64 {
@@ -82,7 +86,11 @@ impl LocalDvfsPolicy {
 
     /// Creates the policy with a custom (descending) frequency ladder.
     pub fn with_levels(config: FreonConfig, n: usize, levels: Vec<f64>) -> Self {
-        LocalDvfsPolicy { config, ladder: DvfsLadder::new(levels, n), red_line_shutdowns: 0 }
+        LocalDvfsPolicy {
+            config,
+            ladder: DvfsLadder::new(levels, n),
+            red_line_shutdowns: 0,
+        }
     }
 
     /// Total downward frequency steps taken.
@@ -113,7 +121,7 @@ impl ThermalPolicy for LocalDvfsPolicy {
     }
 
     fn control(&mut self, now_s: u64, snapshots: &[ServerSnapshot], sim: &mut ClusterSim) {
-        if now_s == 0 || now_s % self.config.monitor_period_s != 0 {
+        if now_s == 0 || !now_s.is_multiple_of(self.config.monitor_period_s) {
             return;
         }
         for (i, snapshot) in snapshots.iter().enumerate() {
@@ -174,7 +182,7 @@ impl ThermalPolicy for CombinedPolicy {
     fn control(&mut self, now_s: u64, snapshots: &[ServerSnapshot], sim: &mut ClusterSim) {
         // Software first: the coarse-grained, cluster-wide decisions.
         self.freon.control(now_s, snapshots, sim);
-        if now_s == 0 || now_s % self.config.monitor_period_s != 0 {
+        if now_s == 0 || !now_s.is_multiple_of(self.config.monitor_period_s) {
             return;
         }
         // Hardware second: servers that are *still* above T_h even though
@@ -208,7 +216,10 @@ mod tests {
 
     fn snapshot(temp: f64, powered: bool) -> ServerSnapshot {
         ServerSnapshot {
-            temps: vec![("cpu".to_string(), temp), ("disk_platters".to_string(), 40.0)],
+            temps: vec![
+                ("cpu".to_string(), temp),
+                ("disk_platters".to_string(), 40.0),
+            ],
             cpu_util: 0.7,
             disk_util: 0.2,
             connections: 10,
@@ -240,8 +251,7 @@ mod tests {
 
     #[test]
     fn dvfs_saturates_at_the_ladder_bottom() {
-        let mut policy =
-            LocalDvfsPolicy::with_levels(FreonConfig::paper(), 1, vec![1.0, 0.5]);
+        let mut policy = LocalDvfsPolicy::with_levels(FreonConfig::paper(), 1, vec![1.0, 0.5]);
         let mut sim = ClusterSim::homogeneous(1, ServerConfig::default());
         let hot = vec![snapshot(68.0, true)];
         policy.control(60, &hot, &mut sim);

@@ -42,7 +42,10 @@ pub struct ExperimentLog {
 impl ExperimentLog {
     /// Creates an empty log for the named policy.
     pub fn new(policy: impl Into<String>) -> Self {
-        ExperimentLog { policy: policy.into(), rows: Vec::new() }
+        ExperimentLog {
+            policy: policy.into(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -102,7 +105,10 @@ impl ExperimentLog {
     ///
     /// Panics if `server` is out of range for the recorded rows.
     pub fn max_cpu_temp(&self, server: usize) -> f64 {
-        self.rows.iter().map(|r| r.cpu_temp[server]).fold(f64::NEG_INFINITY, f64::max)
+        self.rows
+            .iter()
+            .map(|r| r.cpu_temp[server])
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Seconds one server's CPU spent above a temperature.
@@ -111,7 +117,10 @@ impl ExperimentLog {
     ///
     /// Panics if `server` is out of range for the recorded rows.
     pub fn seconds_above(&self, server: usize, celsius: f64) -> u64 {
-        self.rows.iter().filter(|r| r.cpu_temp[server] > celsius).count() as u64
+        self.rows
+            .iter()
+            .filter(|r| r.cpu_temp[server] > celsius)
+            .count() as u64
     }
 
     /// The first time a server's CPU exceeded a temperature, if ever.
@@ -120,7 +129,10 @@ impl ExperimentLog {
     ///
     /// Panics if `server` is out of range for the recorded rows.
     pub fn first_crossing(&self, server: usize, celsius: f64) -> Option<u64> {
-        self.rows.iter().find(|r| r.cpu_temp[server] > celsius).map(|r| r.time_s)
+        self.rows
+            .iter()
+            .find(|r| r.cpu_temp[server] > celsius)
+            .map(|r| r.time_s)
     }
 
     /// Mean number of active servers over the run (Freon-EC's thick line).
@@ -128,7 +140,11 @@ impl ExperimentLog {
         if self.rows.is_empty() {
             return 0.0;
         }
-        self.rows.iter().map(|r| r.active_servers as f64).sum::<f64>() / self.rows.len() as f64
+        self.rows
+            .iter()
+            .map(|r| r.active_servers as f64)
+            .sum::<f64>()
+            / self.rows.len() as f64
     }
 
     /// Writes the log as CSV: time, then per-server temp/util/weight
@@ -141,7 +157,11 @@ impl ExperimentLog {
         let n = self.rows.first().map(|r| r.cpu_temp.len()).unwrap_or(0);
         write!(w, "time")?;
         for i in 0..n {
-            write!(w, ",cpu_temp_m{0},disk_temp_m{0},cpu_util_m{0},weight_m{0},conns_m{0}", i + 1)?;
+            write!(
+                w,
+                ",cpu_temp_m{0},disk_temp_m{0},cpu_util_m{0},weight_m{0},conns_m{0}",
+                i + 1
+            )?;
         }
         writeln!(w, ",active_servers,offered,dropped,completed")?;
         for r in &self.rows {
@@ -153,7 +173,11 @@ impl ExperimentLog {
                     r.cpu_temp[i], r.disk_temp[i], r.cpu_util[i], r.weight[i], r.connections[i]
                 )?;
             }
-            writeln!(w, ",{},{},{},{}", r.active_servers, r.offered, r.dropped, r.completed)?;
+            writeln!(
+                w,
+                ",{},{},{},{}",
+                r.active_servers, r.offered, r.dropped, r.completed
+            )?;
         }
         Ok(())
     }

@@ -103,56 +103,63 @@ impl AdmdService {
         let thread = {
             let stop = Arc::clone(&stop);
             let handled = Arc::clone(&messages_handled);
-            std::thread::Builder::new().name("freon-admd".into()).spawn(move || {
-                let n = sim.lock().len();
-                let mut admd = Admd::new(n);
-                let sample_every = Duration::from_secs_f64(
-                    (config.sample_period_s as f64 * time_compression).max(0.001),
-                );
-                let mut last_sample = std::time::Instant::now();
-                let mut buf = [0u8; 512];
-                while !stop.load(Ordering::Relaxed) {
-                    if last_sample.elapsed() >= sample_every {
-                        admd.sample_connections(&sim.lock());
-                        last_sample = std::time::Instant::now();
-                    }
-                    let len = match socket.recv(&mut buf) {
-                        Ok(len) => len,
-                        Err(e)
-                            if e.kind() == std::io::ErrorKind::WouldBlock
-                                || e.kind() == std::io::ErrorKind::TimedOut =>
-                        {
-                            continue
+            std::thread::Builder::new()
+                .name("freon-admd".into())
+                .spawn(move || {
+                    let n = sim.lock().len();
+                    let mut admd = Admd::new(n);
+                    let sample_every = Duration::from_secs_f64(
+                        (config.sample_period_s as f64 * time_compression).max(0.001),
+                    );
+                    let mut last_sample = std::time::Instant::now();
+                    let mut buf = [0u8; 512];
+                    while !stop.load(Ordering::Relaxed) {
+                        if last_sample.elapsed() >= sample_every {
+                            admd.sample_connections(&sim.lock());
+                            last_sample = std::time::Instant::now();
                         }
-                        Err(_) => break,
-                    };
-                    let message = match TempdMessage::decode(&buf[..len]) {
-                        Ok(m) => m,
-                        Err(_) => continue, // garbage datagrams are dropped
-                    };
-                    let mut sim = sim.lock();
-                    match message {
-                        TempdMessage::Throttle { server, output } if server < n => {
-                            admd.rescale_weight(&mut sim, server, output);
-                            if config.connection_caps {
-                                admd.apply_connection_cap(&mut sim, server);
+                        let len = match socket.recv(&mut buf) {
+                            Ok(len) => len,
+                            Err(e)
+                                if e.kind() == std::io::ErrorKind::WouldBlock
+                                    || e.kind() == std::io::ErrorKind::TimedOut =>
+                            {
+                                continue
                             }
-                            admd.end_interval();
+                            Err(_) => break,
+                        };
+                        let message = match TempdMessage::decode(&buf[..len]) {
+                            Ok(m) => m,
+                            Err(_) => continue, // garbage datagrams are dropped
+                        };
+                        let mut sim = sim.lock();
+                        match message {
+                            TempdMessage::Throttle { server, output } if server < n => {
+                                admd.rescale_weight(&mut sim, server, output);
+                                if config.connection_caps {
+                                    admd.apply_connection_cap(&mut sim, server);
+                                }
+                                admd.end_interval();
+                            }
+                            TempdMessage::Release { server } if server < n => {
+                                admd.release(&mut sim, server);
+                            }
+                            TempdMessage::RedLine { server } if server < n => {
+                                sim.lvs_mut().set_quiesced(server, true);
+                                sim.server_mut(server).shutdown_hard();
+                            }
+                            _ => continue,
                         }
-                        TempdMessage::Release { server } if server < n => {
-                            admd.release(&mut sim, server);
-                        }
-                        TempdMessage::RedLine { server } if server < n => {
-                            sim.lvs_mut().set_quiesced(server, true);
-                            sim.server_mut(server).shutdown_hard();
-                        }
-                        _ => continue,
+                        *handled.lock() += 1;
                     }
-                    *handled.lock() += 1;
-                }
-            })?
+                })?
         };
-        Ok(AdmdService { addr, stop, thread: Some(thread), messages_handled })
+        Ok(AdmdService {
+            addr,
+            stop,
+            thread: Some(thread),
+            messages_handled,
+        })
     }
 
     /// The address tempds should send to.
@@ -214,8 +221,9 @@ impl TempdDaemon {
         let stop = Arc::new(AtomicBool::new(false));
         let thread = {
             let stop = Arc::clone(&stop);
-            std::thread::Builder::new().name(format!("freon-tempd-{server}")).spawn(
-                move || {
+            std::thread::Builder::new()
+                .name(format!("freon-tempd-{server}"))
+                .spawn(move || {
                     let mut tempd = Tempd::new(&config);
                     let mut restricted = false;
                     let period = Duration::from_secs_f64(
@@ -240,10 +248,12 @@ impl TempdDaemon {
                             let _ = socket.send(&message.encode());
                         }
                     }
-                },
-            )?
+                })?
         };
-        Ok(TempdDaemon { stop, thread: Some(thread) })
+        Ok(TempdDaemon {
+            stop,
+            thread: Some(thread),
+        })
     }
 
     /// Stops the daemon.
@@ -274,7 +284,10 @@ mod tests {
     #[test]
     fn messages_round_trip() {
         for message in [
-            TempdMessage::Throttle { server: 2, output: 0.35 },
+            TempdMessage::Throttle {
+                server: 2,
+                output: 0.35,
+            },
             TempdMessage::Release { server: 0 },
             TempdMessage::RedLine { server: 3 },
         ] {
@@ -285,7 +298,10 @@ mod tests {
 
     #[test]
     fn networked_loop_throttles_and_releases() {
-        let sim = Arc::new(Mutex::new(ClusterSim::homogeneous(2, ServerConfig::default())));
+        let sim = Arc::new(Mutex::new(ClusterSim::homogeneous(
+            2,
+            ServerConfig::default(),
+        )));
         let config = FreonConfig::paper();
         let admd = AdmdService::spawn(Arc::clone(&sim), config.clone(), 0.0005).unwrap();
 
@@ -293,7 +309,11 @@ mod tests {
         let hot_phase = Arc::new(AtomicBool::new(true));
         let hot_flag = Arc::clone(&hot_phase);
         let tempd = TempdDaemon::spawn(0, config, admd.local_addr(), 0.0005, move || {
-            let t = if hot_flag.load(Ordering::Relaxed) { 68.5 } else { 62.0 };
+            let t = if hot_flag.load(Ordering::Relaxed) {
+                68.5
+            } else {
+                62.0
+            };
             vec![("cpu".to_string(), t), ("disk_platters".to_string(), 40.0)]
         })
         .unwrap();
@@ -325,7 +345,10 @@ mod tests {
 
     #[test]
     fn networked_red_line_kills_the_server() {
-        let sim = Arc::new(Mutex::new(ClusterSim::homogeneous(1, ServerConfig::default())));
+        let sim = Arc::new(Mutex::new(ClusterSim::homogeneous(
+            1,
+            ServerConfig::default(),
+        )));
         let config = FreonConfig::paper();
         let admd = AdmdService::spawn(Arc::clone(&sim), config.clone(), 0.0005).unwrap();
         let tempd = TempdDaemon::spawn(0, config, admd.local_addr(), 0.0005, || {
@@ -337,7 +360,10 @@ mod tests {
             if !sim.lock().server(0).is_powered() {
                 break;
             }
-            assert!(std::time::Instant::now() < deadline, "red line never landed");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "red line never landed"
+            );
             std::thread::sleep(Duration::from_millis(5));
         }
         tempd.shutdown();
@@ -346,14 +372,20 @@ mod tests {
 
     #[test]
     fn garbage_datagrams_are_ignored() {
-        let sim = Arc::new(Mutex::new(ClusterSim::homogeneous(1, ServerConfig::default())));
-        let admd =
-            AdmdService::spawn(Arc::clone(&sim), FreonConfig::paper(), 0.001).unwrap();
+        let sim = Arc::new(Mutex::new(ClusterSim::homogeneous(
+            1,
+            ServerConfig::default(),
+        )));
+        let admd = AdmdService::spawn(Arc::clone(&sim), FreonConfig::paper(), 0.001).unwrap();
         let socket = UdpSocket::bind("127.0.0.1:0").unwrap();
         socket.send_to(b"{not json", admd.local_addr()).unwrap();
         socket
             .send_to(
-                &TempdMessage::Throttle { server: 99, output: 1.0 }.encode(),
+                &TempdMessage::Throttle {
+                    server: 99,
+                    output: 1.0,
+                }
+                .encode(),
                 admd.local_addr(),
             )
             .unwrap();

@@ -45,7 +45,10 @@ pub struct TraditionalPolicy {
 impl TraditionalPolicy {
     /// Creates the baseline for an `n`-server cluster.
     pub fn new(config: FreonConfig, n: usize) -> Self {
-        TraditionalPolicy { config, shutdown_times: vec![None; n] }
+        TraditionalPolicy {
+            config,
+            shutdown_times: vec![None; n],
+        }
     }
 
     /// When each server was turned off (`None` = survived the run).
@@ -60,7 +63,7 @@ impl ThermalPolicy for TraditionalPolicy {
     }
 
     fn control(&mut self, now_s: u64, snapshots: &[ServerSnapshot], sim: &mut ClusterSim) {
-        if now_s == 0 || now_s % self.config.monitor_period_s != 0 {
+        if now_s == 0 || !now_s.is_multiple_of(self.config.monitor_period_s) {
             return;
         }
         for (i, snapshot) in snapshots.iter().enumerate() {
@@ -161,10 +164,10 @@ impl ThermalPolicy for FreonPolicy {
     }
 
     fn control(&mut self, now_s: u64, snapshots: &[ServerSnapshot], sim: &mut ClusterSim) {
-        if now_s > 0 && now_s % self.config.sample_period_s == 0 {
+        if now_s > 0 && now_s.is_multiple_of(self.config.sample_period_s) {
             self.admd.sample_connections(sim);
         }
-        if now_s > 0 && now_s % self.config.monitor_period_s == 0 {
+        if now_s > 0 && now_s.is_multiple_of(self.config.monitor_period_s) {
             self.monitor(now_s, snapshots, sim);
         }
     }
@@ -382,8 +385,7 @@ impl FreonEcPolicy {
                 continue;
             }
             if !report.crossed_low.is_empty() {
-                self.region_emergencies[region] =
-                    (self.region_emergencies[region] - 1).max(0);
+                self.region_emergencies[region] = (self.region_emergencies[region] - 1).max(0);
             }
             // Base policy for ongoing episodes / releases.
             if let Some(output) = report.output {
@@ -414,8 +416,12 @@ impl FreonEcPolicy {
                 .enumerate()
                 .filter(|(i, s)| s.accepting && !sim.lvs().is_quiesced(*i))
                 .max_by_key(|(i, _)| {
-                    let emergency =
-                        self.region_emergencies.get(self.ec.regions[*i]).copied().unwrap_or(0) > 0;
+                    let emergency = self
+                        .region_emergencies
+                        .get(self.ec.regions[*i])
+                        .copied()
+                        .unwrap_or(0)
+                        > 0;
                     (emergency, *i)
                 })
                 .map(|(i, _)| i);
@@ -438,10 +444,10 @@ impl ThermalPolicy for FreonEcPolicy {
     }
 
     fn control(&mut self, now_s: u64, snapshots: &[ServerSnapshot], sim: &mut ClusterSim) {
-        if now_s > 0 && now_s % self.config.sample_period_s == 0 {
+        if now_s > 0 && now_s.is_multiple_of(self.config.sample_period_s) {
             self.admd.sample_connections(sim);
         }
-        if now_s > 0 && now_s % self.config.monitor_period_s == 0 {
+        if now_s > 0 && now_s.is_multiple_of(self.config.monitor_period_s) {
             self.monitor(snapshots, sim);
         }
     }
@@ -457,7 +463,10 @@ mod tests {
         specs
             .iter()
             .map(|&(temp, util, powered)| ServerSnapshot {
-                temps: vec![("cpu".to_string(), temp), ("disk_platters".to_string(), 40.0)],
+                temps: vec![
+                    ("cpu".to_string(), temp),
+                    ("disk_platters".to_string(), 40.0),
+                ],
                 cpu_util: util,
                 disk_util: util * 0.2,
                 connections: (util * 50.0) as usize,
@@ -485,13 +494,25 @@ mod tests {
     fn freon_releases_after_cooling_below_low() {
         let mut policy = FreonPolicy::new(FreonConfig::paper(), 2);
         let mut sim = ClusterSim::homogeneous(2, ServerConfig::default());
-        policy.control(60, &snapshots(&[(68.0, 0.7, true), (60.0, 0.7, true)]), &mut sim);
+        policy.control(
+            60,
+            &snapshots(&[(68.0, 0.7, true), (60.0, 0.7, true)]),
+            &mut sim,
+        );
         assert!(sim.lvs().weight(0) < 1.0);
         // Still warm (between T_l and T_h): restrictions stay.
-        policy.control(120, &snapshots(&[(65.0, 0.5, true), (60.0, 0.7, true)]), &mut sim);
+        policy.control(
+            120,
+            &snapshots(&[(65.0, 0.5, true), (60.0, 0.7, true)]),
+            &mut sim,
+        );
         assert!(sim.lvs().weight(0) < 1.0);
         // Cool below T_l=64: released.
-        policy.control(180, &snapshots(&[(63.0, 0.4, true), (60.0, 0.7, true)]), &mut sim);
+        policy.control(
+            180,
+            &snapshots(&[(63.0, 0.4, true), (60.0, 0.7, true)]),
+            &mut sim,
+        );
         assert_eq!(sim.lvs().weight(0), 1.0);
         assert!(!policy.restricted()[0]);
     }
@@ -500,7 +521,11 @@ mod tests {
     fn freon_red_line_turns_the_server_off() {
         let mut policy = FreonPolicy::new(FreonConfig::paper(), 2);
         let mut sim = ClusterSim::homogeneous(2, ServerConfig::default());
-        policy.control(60, &snapshots(&[(69.5, 0.9, true), (60.0, 0.5, true)]), &mut sim);
+        policy.control(
+            60,
+            &snapshots(&[(69.5, 0.9, true), (60.0, 0.5, true)]),
+            &mut sim,
+        );
         assert_eq!(policy.red_line_shutdowns(), 1);
         assert!(!sim.server(0).is_powered());
         assert!(sim.lvs().is_quiesced(0));
@@ -510,10 +535,18 @@ mod tests {
     fn traditional_ignores_everything_below_red_line() {
         let mut policy = TraditionalPolicy::new(FreonConfig::paper(), 2);
         let mut sim = ClusterSim::homogeneous(2, ServerConfig::default());
-        policy.control(60, &snapshots(&[(68.5, 0.9, true), (60.0, 0.5, true)]), &mut sim);
+        policy.control(
+            60,
+            &snapshots(&[(68.5, 0.9, true), (60.0, 0.5, true)]),
+            &mut sim,
+        );
         assert!(sim.server(0).is_powered(), "68.5 < red line 69: no action");
         assert_eq!(sim.lvs().weight(0), 1.0);
-        policy.control(120, &snapshots(&[(69.2, 0.9, true), (60.0, 0.5, true)]), &mut sim);
+        policy.control(
+            120,
+            &snapshots(&[(69.2, 0.9, true), (60.0, 0.5, true)]),
+            &mut sim,
+        );
         assert!(!sim.server(0).is_powered());
         assert_eq!(policy.shutdown_times(), &[Some(120), None]);
     }
@@ -525,7 +558,11 @@ mod tests {
         let light = snapshots(&[(40.0, 0.1, true); 4]);
         policy.control(60, &light, &mut sim);
         // avg 0.1 over 4 servers -> one server would run at 0.4 < 0.6.
-        assert!(policy.power_offs() >= 3, "power offs: {}", policy.power_offs());
+        assert!(
+            policy.power_offs() >= 3,
+            "power offs: {}",
+            policy.power_offs()
+        );
         assert_eq!(sim.active_servers(), 1);
     }
 
@@ -538,7 +575,12 @@ mod tests {
             sim.lvs_mut().set_quiesced(i, true);
             sim.server_mut(i).shutdown_hard();
         }
-        let mut snaps = snapshots(&[(50.0, 0.5, true), (30.0, 0.0, false), (30.0, 0.0, false), (30.0, 0.0, false)]);
+        let mut snaps = snapshots(&[
+            (50.0, 0.5, true),
+            (30.0, 0.0, false),
+            (30.0, 0.0, false),
+            (30.0, 0.0, false),
+        ]);
         policy.control(60, &snaps, &mut sim);
         // First observation: no history, no projection, 0.5 < 0.7.
         assert_eq!(policy.power_ons(), 0);
@@ -559,7 +601,12 @@ mod tests {
             sim.server_mut(i).shutdown_hard();
         }
         // Server 0 (region 0) crosses T_h; load too high to just remove it.
-        let snaps = snapshots(&[(68.0, 0.6, true), (55.0, 0.6, true), (30.0, 0.0, false), (30.0, 0.0, false)]);
+        let snaps = snapshots(&[
+            (68.0, 0.6, true),
+            (55.0, 0.6, true),
+            (30.0, 0.0, false),
+            (30.0, 0.0, false),
+        ]);
         policy.control(60, &snaps, &mut sim);
         assert_eq!(policy.region_emergencies()[0], 1);
         // A replacement was powered on and the hot server taken out.
@@ -574,10 +621,20 @@ mod tests {
     fn ec_emergency_counts_decrement_on_cooling() {
         let mut policy = FreonEcPolicy::new(FreonConfig::paper(), EcConfig::paper_four_servers());
         let mut sim = ClusterSim::homogeneous(4, ServerConfig::default());
-        let hot = snapshots(&[(68.0, 0.8, true), (66.0, 0.8, true), (60.0, 0.8, true), (60.0, 0.8, true)]);
+        let hot = snapshots(&[
+            (68.0, 0.8, true),
+            (66.0, 0.8, true),
+            (60.0, 0.8, true),
+            (60.0, 0.8, true),
+        ]);
         policy.control(60, &hot, &mut sim);
         assert_eq!(policy.region_emergencies()[0], 1);
-        let cool = snapshots(&[(63.0, 0.5, true), (60.0, 0.5, true), (55.0, 0.5, true), (55.0, 0.5, true)]);
+        let cool = snapshots(&[
+            (63.0, 0.5, true),
+            (60.0, 0.5, true),
+            (55.0, 0.5, true),
+            (55.0, 0.5, true),
+        ]);
         policy.control(120, &cool, &mut sim);
         assert_eq!(policy.region_emergencies()[0], 0);
     }
@@ -586,7 +643,10 @@ mod tests {
     fn ec_never_removes_the_last_server() {
         let mut policy = FreonEcPolicy::new(
             FreonConfig::paper(),
-            EcConfig { regions: vec![0], ..EcConfig::paper_four_servers() },
+            EcConfig {
+                regions: vec![0],
+                ..EcConfig::paper_four_servers()
+            },
         );
         let mut sim = ClusterSim::homogeneous(1, ServerConfig::default());
         let idle = snapshots(&[(30.0, 0.0, true)]);
@@ -600,7 +660,11 @@ mod tests {
     fn no_policy_does_nothing() {
         let mut policy = NoPolicy;
         let mut sim = ClusterSim::homogeneous(2, ServerConfig::default());
-        policy.control(60, &snapshots(&[(90.0, 1.0, true), (90.0, 1.0, true)]), &mut sim);
+        policy.control(
+            60,
+            &snapshots(&[(90.0, 1.0, true), (90.0, 1.0, true)]),
+            &mut sim,
+        );
         assert_eq!(sim.active_servers(), 2);
         assert_eq!(policy.name(), "none");
     }

@@ -107,7 +107,10 @@ mod tests {
     use super::*;
 
     fn temps(cpu: f64, disk: f64) -> Vec<(String, f64)> {
-        vec![("cpu".to_string(), cpu), ("disk_platters".to_string(), disk)]
+        vec![
+            ("cpu".to_string(), cpu),
+            ("disk_platters".to_string(), disk),
+        ]
     }
 
     #[test]

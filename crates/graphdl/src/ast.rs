@@ -146,8 +146,16 @@ mod tests {
     #[test]
     fn attr_lookup() {
         let attrs = vec![
-            Attribute { key: "k".into(), value: Value::Number(0.75), span: Span::default() },
-            Attribute { key: "type".into(), value: Value::Text("air".into()), span: Span::default() },
+            Attribute {
+                key: "k".into(),
+                value: Value::Number(0.75),
+                span: Span::default(),
+            },
+            Attribute {
+                key: "type".into(),
+                value: Value::Text("air".into()),
+                span: Span::default(),
+            },
         ];
         assert!(attr(&attrs, "k").is_some());
         assert!(attr(&attrs, "mass").is_none());

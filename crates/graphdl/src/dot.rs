@@ -17,7 +17,11 @@ fn quote(name: &str) -> String {
 pub fn heat_flow_to_dot(model: &MachineModel) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "graph {} {{", quote(&format!("{}_heat", model.name())));
-    let _ = writeln!(out, "  label={};", quote(&format!("{} heat flow", model.name())));
+    let _ = writeln!(
+        out,
+        "  label={};",
+        quote(&format!("{} heat flow", model.name()))
+    );
     for node in model.nodes() {
         match node {
             NodeSpec::Component(c) => {
@@ -49,8 +53,16 @@ pub fn heat_flow_to_dot(model: &MachineModel) -> String {
 /// Renders a machine's air-flow graph (Figure 1b style) as `digraph`.
 pub fn air_flow_to_dot(model: &MachineModel) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "digraph {} {{", quote(&format!("{}_air", model.name())));
-    let _ = writeln!(out, "  label={};", quote(&format!("{} air flow", model.name())));
+    let _ = writeln!(
+        out,
+        "digraph {} {{",
+        quote(&format!("{}_air", model.name()))
+    );
+    let _ = writeln!(
+        out,
+        "  label={};",
+        quote(&format!("{} air flow", model.name()))
+    );
     let _ = writeln!(out, "  rankdir=LR;");
     for node in model.nodes() {
         if let NodeSpec::Air(a) = node {
@@ -108,9 +120,21 @@ pub fn cluster_to_dot(cluster: &ClusterModel) -> String {
         // Machine ports collapse onto the machine box for drawing.
         let from = endpoint_name(cluster, &e.from);
         let to = endpoint_name(cluster, &e.to);
-        let from = from.split(':').next().expect("split yields at least one piece");
-        let to = to.split(':').next().expect("split yields at least one piece");
-        let _ = writeln!(out, "  {} -> {} [label=\"{}\"];", quote(from), quote(to), e.fraction);
+        let from = from
+            .split(':')
+            .next()
+            .expect("split yields at least one piece");
+        let to = to
+            .split(':')
+            .next()
+            .expect("split yields at least one piece");
+        let _ = writeln!(
+            out,
+            "  {} -> {} [label=\"{}\"];",
+            quote(from),
+            quote(to),
+            e.fraction
+        );
     }
     out.push_str("}\n");
     out

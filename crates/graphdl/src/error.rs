@@ -36,13 +36,19 @@ pub struct ParseError {
 impl ParseError {
     /// An error anchored at a source location.
     pub fn at(span: Span, message: impl Into<String>) -> Self {
-        ParseError { span: Some(span), message: message.into() }
+        ParseError {
+            span: Some(span),
+            message: message.into(),
+        }
     }
 
     /// A semantic error with no single source location (e.g. a model
     /// validation failure spanning several statements).
     pub fn semantic(message: impl Into<String>) -> Self {
-        ParseError { span: None, message: message.into() }
+        ParseError {
+            span: None,
+            message: message.into(),
+        }
     }
 
     /// The source location, when known.

@@ -73,7 +73,11 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn new(text: &'a str) -> Self {
-        Cursor { chars: text.chars().peekable(), line: 1, column: 1 }
+        Cursor {
+            chars: text.chars().peekable(),
+            line: 1,
+            column: 1,
+        }
     }
 
     fn span(&self) -> Span {
@@ -168,7 +172,10 @@ pub fn lex(text: &str) -> Result<Vec<Token>, ParseError> {
         let c = match cursor.peek() {
             Some(c) => c,
             None => {
-                tokens.push(Token { kind: TokenKind::Eof, span });
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    span,
+                });
                 return Ok(tokens);
             }
         };
@@ -221,7 +228,12 @@ pub fn lex(text: &str) -> Result<Vec<Token>, ParseError> {
                         let n = lex_number(&mut cursor, span)?;
                         TokenKind::Number(-n)
                     }
-                    _ => return Err(ParseError::at(span, "expected `--`, `->`, or a number after `-`")),
+                    _ => {
+                        return Err(ParseError::at(
+                            span,
+                            "expected `--`, `->`, or a number after `-`",
+                        ))
+                    }
                 }
             }
             '"' => {
@@ -247,7 +259,9 @@ pub fn lex(text: &str) -> Result<Vec<Token>, ParseError> {
                 }
                 TokenKind::Str(s)
             }
-            c if c.is_ascii_digit() || c == '.' => TokenKind::Number(lex_number(&mut cursor, span)?),
+            c if c.is_ascii_digit() || c == '.' => {
+                TokenKind::Number(lex_number(&mut cursor, span)?)
+            }
             c if is_ident_start(c) => {
                 let mut s = String::new();
                 while let Some(c) = cursor.peek() {
@@ -260,7 +274,12 @@ pub fn lex(text: &str) -> Result<Vec<Token>, ParseError> {
                 }
                 TokenKind::Ident(s)
             }
-            other => return Err(ParseError::at(span, format!("unexpected character `{other}`"))),
+            other => {
+                return Err(ParseError::at(
+                    span,
+                    format!("unexpected character `{other}`"),
+                ))
+            }
         };
         tokens.push(Token { kind, span });
     }
@@ -325,7 +344,10 @@ mod tests {
     fn lexes_numbers_including_negatives_and_exponents() {
         assert_eq!(kinds("38.6"), vec![TokenKind::Number(38.6), TokenKind::Eof]);
         assert_eq!(kinds("-3.5"), vec![TokenKind::Number(-3.5), TokenKind::Eof]);
-        assert_eq!(kinds("1e-3"), vec![TokenKind::Number(0.001), TokenKind::Eof]);
+        assert_eq!(
+            kinds("1e-3"),
+            vec![TokenKind::Number(0.001), TokenKind::Eof]
+        );
         assert_eq!(kinds(".5"), vec![TokenKind::Number(0.5), TokenKind::Eof]);
     }
 
@@ -344,7 +366,10 @@ mod tests {
     #[test]
     fn skips_all_three_comment_styles() {
         let text = "# hash\n// slashes\n/* block\nstill block */ cpu";
-        assert_eq!(kinds(text), vec![TokenKind::Ident("cpu".into()), TokenKind::Eof]);
+        assert_eq!(
+            kinds(text),
+            vec![TokenKind::Ident("cpu".into()), TokenKind::Eof]
+        );
     }
 
     #[test]

@@ -31,20 +31,29 @@ impl Library {
 
     /// A cluster by its declared name.
     pub fn cluster(&self, name: &str) -> Option<&ClusterModel> {
-        self.clusters.iter().find(|(n, _)| n == name).map(|(_, c)| c)
+        self.clusters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c)
     }
 }
 
 fn num(attrs: &[Attribute], key: &str, span: Span) -> Result<Option<f64>, ParseError> {
     match attr(attrs, key) {
         None => Ok(None),
-        Some(a) => a
-            .value
-            .as_number()
-            .map(Some)
-            .ok_or_else(|| ParseError::at(a.span, format!("attribute `{key}` must be a number"))),
+        Some(a) => {
+            a.value.as_number().map(Some).ok_or_else(|| {
+                ParseError::at(a.span, format!("attribute `{key}` must be a number"))
+            })
+        }
     }
-    .map_err(|e| if e.span().is_some() { e } else { ParseError::at(span, e.message().to_string()) })
+    .map_err(|e| {
+        if e.span().is_some() {
+            e
+        } else {
+            ParseError::at(span, e.message().to_string())
+        }
+    })
 }
 
 fn require_num(attrs: &[Attribute], key: &str, span: Span) -> Result<f64, ParseError> {
@@ -63,8 +72,7 @@ fn text<'a>(attrs: &'a [Attribute], key: &str) -> Result<Option<&'a str>, ParseE
     }
 }
 
-const KNOWN_COMPONENT_ATTRS: &[&str] =
-    &["type", "mass", "c", "pmin", "pmax", "power", "monitored"];
+const KNOWN_COMPONENT_ATTRS: &[&str] = &["type", "mass", "c", "pmin", "pmax", "power", "monitored"];
 const KNOWN_AIR_ATTRS: &[&str] = &["type", "mass"];
 
 fn reject_unknown_attrs(attrs: &[Attribute], known: &[&str]) -> Result<(), ParseError> {
@@ -72,7 +80,11 @@ fn reject_unknown_attrs(attrs: &[Attribute], known: &[&str]) -> Result<(), Parse
         if !known.contains(&a.key.as_str()) {
             return Err(ParseError::at(
                 a.span,
-                format!("unknown attribute `{}` (expected one of {})", a.key, known.join(", ")),
+                format!(
+                    "unknown attribute `{}` (expected one of {})",
+                    a.key,
+                    known.join(", ")
+                ),
             ));
         }
     }
@@ -160,7 +172,13 @@ fn lower_machine(block: &Block) -> Result<MachineModel, ParseError> {
                     }
                 }
             }
-            Statement::Edge { from, op, to, attrs, span } => {
+            Statement::Edge {
+                from,
+                op,
+                to,
+                attrs,
+                span,
+            } => {
                 if from.machine.is_some() || to.machine.is_some() {
                     return Err(ParseError::at(
                         *span,
@@ -184,7 +202,9 @@ fn lower_machine(block: &Block) -> Result<MachineModel, ParseError> {
             }
         }
     }
-    builder.build().map_err(|e| ParseError::at(block.span, e.to_string()))
+    builder
+        .build()
+        .map_err(|e| ParseError::at(block.span, e.to_string()))
 }
 
 enum ClusterNodeKind {
@@ -242,43 +262,58 @@ fn lower_cluster(block: &Block, machines: &[MachineModel]) -> Result<ClusterMode
                 }
             }
             Statement::Assign { key, span, .. } => {
-                return Err(ParseError::at(*span, format!("unknown cluster setting `{key}`")));
+                return Err(ParseError::at(
+                    *span,
+                    format!("unknown cluster setting `{key}`"),
+                ));
             }
             Statement::Edge { .. } => {}
         }
     }
 
-    let resolve = |name: &str, port: Option<&str>, span: Span| -> Result<ClusterEndpoint, ParseError> {
-        let entry = local.iter().find(|(n, _, _)| n == name).ok_or_else(|| {
-            ParseError::at(span, format!("unknown cluster endpoint `{name}`"))
-        })?;
-        match (&entry.1, port) {
-            (ClusterNodeKind::Supply, None) => Ok(ClusterEndpoint::Supply(name.to_string())),
-            (ClusterNodeKind::Junction, None) => Ok(ClusterEndpoint::Junction(name.to_string())),
-            (ClusterNodeKind::Machine, Some("inlet")) => {
-                Ok(ClusterEndpoint::MachineInlet(entry.2.expect("machine entries carry an index")))
+    let resolve =
+        |name: &str, port: Option<&str>, span: Span| -> Result<ClusterEndpoint, ParseError> {
+            let entry = local.iter().find(|(n, _, _)| n == name).ok_or_else(|| {
+                ParseError::at(span, format!("unknown cluster endpoint `{name}`"))
+            })?;
+            match (&entry.1, port) {
+                (ClusterNodeKind::Supply, None) => Ok(ClusterEndpoint::Supply(name.to_string())),
+                (ClusterNodeKind::Junction, None) => {
+                    Ok(ClusterEndpoint::Junction(name.to_string()))
+                }
+                (ClusterNodeKind::Machine, Some("inlet")) => Ok(ClusterEndpoint::MachineInlet(
+                    entry.2.expect("machine entries carry an index"),
+                )),
+                (ClusterNodeKind::Machine, Some("exhaust")) => Ok(ClusterEndpoint::MachineExhaust(
+                    entry.2.expect("machine entries carry an index"),
+                )),
+                (ClusterNodeKind::Machine, Some(other)) => Err(ParseError::at(
+                    span,
+                    format!("machine port must be `inlet` or `exhaust`, found `{other}`"),
+                )),
+                (ClusterNodeKind::Machine, None) => Err(ParseError::at(
+                    span,
+                    format!(
+                        "machine `{name}` must be referenced as `{name}:inlet` or `{name}:exhaust`"
+                    ),
+                )),
+                (_, Some(_)) => Err(ParseError::at(
+                    span,
+                    format!("only machines take a `:port` qualifier, `{name}` does not"),
+                )),
             }
-            (ClusterNodeKind::Machine, Some("exhaust")) => Ok(ClusterEndpoint::MachineExhaust(
-                entry.2.expect("machine entries carry an index"),
-            )),
-            (ClusterNodeKind::Machine, Some(other)) => Err(ParseError::at(
-                span,
-                format!("machine port must be `inlet` or `exhaust`, found `{other}`"),
-            )),
-            (ClusterNodeKind::Machine, None) => Err(ParseError::at(
-                span,
-                format!("machine `{name}` must be referenced as `{name}:inlet` or `{name}:exhaust`"),
-            )),
-            (_, Some(_)) => Err(ParseError::at(
-                span,
-                format!("only machines take a `:port` qualifier, `{name}` does not"),
-            )),
-        }
-    };
+        };
 
     // Second pass: edges.
     for stmt in &block.statements {
-        if let Statement::Edge { from, op, to, attrs, span } = stmt {
+        if let Statement::Edge {
+            from,
+            op,
+            to,
+            attrs,
+            span,
+        } = stmt
+        {
             if *op == EdgeOp::Heat {
                 return Err(ParseError::at(
                     *span,
@@ -298,7 +333,9 @@ fn lower_cluster(block: &Block, machines: &[MachineModel]) -> Result<ClusterMode
         }
     }
 
-    builder.build().map_err(|e| ParseError::at(block.span, e.to_string()))
+    builder
+        .build()
+        .map_err(|e| ParseError::at(block.span, e.to_string()))
 }
 
 /// Lowers a parsed document into models.
@@ -365,7 +402,11 @@ mod tests {
         // The constant-power PSU defaults to unmonitored.
         assert_eq!(m.monitored_components(), vec!["cpu"]);
         // The explicit air mass carried through.
-        let air = m.node(m.node_id("cpu_air").unwrap()).as_air().unwrap().clone();
+        let air = m
+            .node(m.node_id("cpu_air").unwrap())
+            .as_air()
+            .unwrap()
+            .clone();
         assert_eq!(air.mass_kg, 0.01);
     }
 

@@ -1,8 +1,6 @@
 //! Recursive-descent parser for the graph description language.
 
-use crate::ast::{
-    Attribute, Block, BlockKind, Document, EdgeOp, EndpointRef, Statement, Value,
-};
+use crate::ast::{Attribute, Block, BlockKind, Document, EdgeOp, EndpointRef, Statement, Value};
 use crate::error::{ParseError, Span};
 use crate::lexer::{Token, TokenKind};
 
@@ -31,7 +29,10 @@ impl<'a> Parser<'a> {
             self.bump();
             Ok(span)
         } else {
-            Err(ParseError::at(t.span, format!("expected {kind}, found {}", t.kind)))
+            Err(ParseError::at(
+                t.span,
+                format!("expected {kind}, found {}", t.kind),
+            ))
         }
     }
 
@@ -42,7 +43,10 @@ impl<'a> Parser<'a> {
                 self.bump();
                 Ok((s, t.span))
             }
-            other => Err(ParseError::at(t.span, format!("expected a name, found {other}"))),
+            other => Err(ParseError::at(
+                t.span,
+                format!("expected a name, found {other}"),
+            )),
         }
     }
 
@@ -57,7 +61,10 @@ impl<'a> Parser<'a> {
                 self.bump();
                 Ok(Value::Text(s))
             }
-            other => Err(ParseError::at(t.span, format!("expected a value, found {other}"))),
+            other => Err(ParseError::at(
+                t.span,
+                format!("expected a value, found {other}"),
+            )),
         }
     }
 
@@ -97,9 +104,17 @@ impl<'a> Parser<'a> {
         if self.peek().kind == TokenKind::Colon {
             self.bump();
             let (node, _) = self.name()?;
-            Ok(EndpointRef { machine: Some(first), node, span })
+            Ok(EndpointRef {
+                machine: Some(first),
+                node,
+                span,
+            })
         } else {
-            Ok(EndpointRef { machine: None, node: first, span })
+            Ok(EndpointRef {
+                machine: None,
+                node: first,
+                span,
+            })
         }
     }
 
@@ -108,10 +123,20 @@ impl<'a> Parser<'a> {
         let stmt = match &self.peek().kind {
             TokenKind::HeatEdge | TokenKind::AirEdge => {
                 let op_token = self.bump().clone();
-                let op = if op_token.kind == TokenKind::HeatEdge { EdgeOp::Heat } else { EdgeOp::Air };
+                let op = if op_token.kind == TokenKind::HeatEdge {
+                    EdgeOp::Heat
+                } else {
+                    EdgeOp::Air
+                };
                 let to = self.endpoint()?;
                 let attrs = self.attributes()?;
-                Statement::Edge { from, op, to, attrs, span: op_token.span }
+                Statement::Edge {
+                    from,
+                    op,
+                    to,
+                    attrs,
+                    span: op_token.span,
+                }
             }
             TokenKind::Equals => {
                 if from.machine.is_some() {
@@ -122,7 +147,11 @@ impl<'a> Parser<'a> {
                 }
                 self.bump();
                 let value = self.value()?;
-                Statement::Assign { key: from.node, value, span: from.span }
+                Statement::Assign {
+                    key: from.node,
+                    value,
+                    span: from.span,
+                }
             }
             _ => {
                 if from.machine.is_some() {
@@ -132,7 +161,11 @@ impl<'a> Parser<'a> {
                     ));
                 }
                 let attrs = self.attributes()?;
-                Statement::Node { name: from.node, attrs, span: from.span }
+                Statement::Node {
+                    name: from.node,
+                    attrs,
+                    span: from.span,
+                }
             }
         };
         self.expect(&TokenKind::Semicolon)?;
@@ -161,7 +194,12 @@ impl<'a> Parser<'a> {
             statements.push(self.statement()?);
         }
         self.bump(); // `}`
-        Ok(Block { kind, name, statements, span })
+        Ok(Block {
+            kind,
+            name,
+            statements,
+            span,
+        })
     }
 }
 
@@ -172,7 +210,13 @@ impl<'a> Parser<'a> {
 /// Returns [`ParseError`] at the first syntactic problem.
 pub fn parse_document(tokens: &[Token]) -> Result<Document, ParseError> {
     debug_assert!(
-        matches!(tokens.last(), Some(Token { kind: TokenKind::Eof, .. })),
+        matches!(
+            tokens.last(),
+            Some(Token {
+                kind: TokenKind::Eof,
+                ..
+            })
+        ),
         "the lexer always appends Eof"
     );
     let mut parser = Parser { tokens, pos: 0 };
@@ -247,10 +291,9 @@ mod tests {
 
     #[test]
     fn quoted_names_work_everywhere() {
-        let doc = parse(
-            "machine \"my server\" { \"disk platters\" [type=component, mass=1, c=896]; }",
-        )
-        .unwrap();
+        let doc =
+            parse("machine \"my server\" { \"disk platters\" [type=component, mass=1, c=896]; }")
+                .unwrap();
         assert_eq!(doc.blocks[0].name, "my server");
         match &doc.blocks[0].statements[0] {
             Statement::Node { name, .. } => assert_eq!(name, "disk platters"),

@@ -11,8 +11,11 @@ use std::fmt::Write as _;
 /// Quotes a name when it is not a bare identifier.
 fn name(n: &str) -> String {
     let bare = !n.is_empty()
-        && n.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
-        && n.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.');
+        && n.chars()
+            .next()
+            .is_some_and(|c| c.is_alphabetic() || c == '_')
+        && n.chars()
+            .all(|c| c.is_alphanumeric() || c == '_' || c == '.');
     if bare {
         n.to_string()
     } else {
@@ -24,7 +27,11 @@ fn name(n: &str) -> String {
 fn num(v: f64) -> String {
     // The shortest round-trippable representation Rust offers.
     let s = format!("{v}");
-    debug_assert_eq!(s.parse::<f64>().ok(), Some(v), "f64 display must round-trip");
+    debug_assert_eq!(
+        s.parse::<f64>().ok(),
+        Some(v),
+        "f64 display must round-trip"
+    );
     s
 }
 
@@ -33,7 +40,11 @@ pub fn machine_to_graphdl(model: &MachineModel) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "machine {} {{", name(model.name()));
     let _ = writeln!(out, "    fan = {};", num(model.fan().to_cfm()));
-    let _ = writeln!(out, "    inlet_temperature = {};", num(model.inlet_temperature().0));
+    let _ = writeln!(
+        out,
+        "    inlet_temperature = {};",
+        num(model.inlet_temperature().0)
+    );
     let _ = writeln!(out);
     for node in model.nodes() {
         match node {
@@ -193,8 +204,16 @@ mod tests {
     #[test]
     fn monitored_overrides_survive() {
         let mut b = mercury::model::MachineModel::builder("m");
-        b.component("nic").mass_kg(0.1).specific_heat(896.0).power_range(1.0, 4.0).monitored(false);
-        b.component("heater").mass_kg(0.1).specific_heat(896.0).constant_power(10.0).monitored(true);
+        b.component("nic")
+            .mass_kg(0.1)
+            .specific_heat(896.0)
+            .power_range(1.0, 4.0)
+            .monitored(false);
+        b.component("heater")
+            .mass_kg(0.1)
+            .specific_heat(896.0)
+            .constant_power(10.0)
+            .monitored(true);
         let model = b.build().unwrap();
         let text = machine_to_graphdl(&model);
         let back = parse(&text).unwrap();

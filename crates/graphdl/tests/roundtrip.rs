@@ -20,7 +20,10 @@ fn machine() -> impl Strategy<Value = MachineModel> {
     (
         proptest::collection::vec(node_name(), 1..5), // component names
         2usize..6,                                    // interior air regions
-        proptest::collection::vec((0.01f64..5.0, 100.0f64..2000.0, 0.0f64..50.0, 0.0f64..50.0), 1..5),
+        proptest::collection::vec(
+            (0.01f64..5.0, 100.0f64..2000.0, 0.0f64..50.0, 0.0f64..50.0),
+            1..5,
+        ),
         proptest::collection::vec(0.05f64..5.0, 1..5), // ks
         0.1f64..80.0,                                  // fan cfm
         -10.0f64..45.0,                                // inlet temp
@@ -31,21 +34,30 @@ fn machine() -> impl Strategy<Value = MachineModel> {
             let mut b = MachineModel::builder("m");
             b.inlet("inlet");
             for i in 0..airs {
-                b.air_with_mass(format!("air{i}"), 0.004 + i as f64 * 0.001, AirKind::Internal);
+                b.air_with_mass(
+                    format!("air{i}"),
+                    0.004 + i as f64 * 0.001,
+                    AirKind::Internal,
+                );
             }
             b.exhaust("exhaust");
             // A straight chain: inlet -> air0 -> ... -> exhaust.
             b.air_edge("inlet", "air0", 1.0).unwrap();
             for i in 1..airs {
-                b.air_edge(&format!("air{}", i - 1), &format!("air{i}"), 1.0).unwrap();
+                b.air_edge(&format!("air{}", i - 1), &format!("air{i}"), 1.0)
+                    .unwrap();
             }
-            b.air_edge(&format!("air{}", airs - 1), "exhaust", 1.0).unwrap();
+            b.air_edge(&format!("air{}", airs - 1), "exhaust", 1.0)
+                .unwrap();
             // Components attach to air regions round-robin.
             for (i, name) in comp_names.iter().enumerate() {
                 let spec = specs[i % specs.len()];
                 let (mass, c, p0, p1) = spec;
                 let (pmin, pmax) = if p0 <= p1 { (p0, p1) } else { (p1, p0) };
-                b.component(name.clone()).mass_kg(mass).specific_heat(c).power_range(pmin, pmax);
+                b.component(name.clone())
+                    .mass_kg(mass)
+                    .specific_heat(c)
+                    .power_range(pmin, pmax);
                 let k = ks[i % ks.len()];
                 b.heat_edge(name, &format!("air{}", i % airs), k).unwrap();
             }

@@ -87,7 +87,13 @@ pub struct CalibrationProblem<'a> {
 impl<'a> CalibrationProblem<'a> {
     /// Creates a problem over a base model and the calibration workload.
     pub fn new(base: &'a MachineModel, trace: &'a UtilizationTrace) -> Self {
-        CalibrationProblem { base, trace, params: Vec::new(), targets: Vec::new(), warmup_s: 60 }
+        CalibrationProblem {
+            base,
+            trace,
+            params: Vec::new(),
+            targets: Vec::new(),
+            warmup_s: 60,
+        }
     }
 
     /// Adds a tunable parameter.
@@ -99,7 +105,10 @@ impl<'a> CalibrationProblem<'a> {
     /// Adds a measured series for a Mercury node (one value per second of
     /// the trace).
     pub fn target(mut self, node: impl Into<String>, measured: Vec<f64>) -> Self {
-        self.targets.push(Target { node: node.into(), measured });
+        self.targets.push(Target {
+            node: node.into(),
+            measured,
+        });
         self
     }
 
@@ -135,7 +144,8 @@ impl<'a> CalibrationProblem<'a> {
     }
 
     fn apply(&self, values: &[f64]) -> MachineModel {
-        let overrides: Vec<(&Param, f64)> = self.params.iter().zip(values.iter().copied()).collect();
+        let overrides: Vec<(&Param, f64)> =
+            self.params.iter().zip(values.iter().copied()).collect();
         rebuild_with_overrides(self.base, &overrides)
     }
 
@@ -172,8 +182,11 @@ impl<'a> CalibrationProblem<'a> {
     /// the base model — that is a programming error in the experiment
     /// setup, not a data condition.
     pub fn calibrate(&self, max_rounds: usize) -> CalibrationOutcome {
-        let mut values: Vec<f64> =
-            self.params.iter().map(|p| self.current_value(self.base, p)).collect();
+        let mut values: Vec<f64> = self
+            .params
+            .iter()
+            .map(|p| self.current_value(self.base, p))
+            .collect();
         let initial_rmse = self.rmse(self.base);
         let mut best_rmse = initial_rmse;
         let factors = [0.6, 0.8, 0.9, 0.95, 1.05, 1.1, 1.25, 1.6];
@@ -250,14 +263,22 @@ pub fn rebuild_with_overrides(base: &MachineModel, overrides: &[(&Param, f64)]) 
             })
             .map(|(_, v)| *v)
             .unwrap_or(edge.k.0);
-        builder.heat_edge(&a, &b, k).expect("edge endpoints exist in the rebuilt model");
+        builder
+            .heat_edge(&a, &b, k)
+            .expect("edge endpoints exist in the rebuilt model");
     }
     for edge in base.air_edges() {
         let from = base.node(edge.from).name().to_string();
         let to = base.node(edge.to).name().to_string();
         let mut fraction = edge.fraction;
         for (p, v) in overrides {
-            if let Param::AirSplit { from: pf, to_a, to_b, .. } = p {
+            if let Param::AirSplit {
+                from: pf,
+                to_a,
+                to_b,
+                ..
+            } = p
+            {
                 if pf == &from && to_a == &to {
                     fraction = *v;
                 } else if pf == &from && to_b == &to {
@@ -279,7 +300,9 @@ pub fn rebuild_with_overrides(base: &MachineModel, overrides: &[(&Param, f64)]) 
                 }
             }
         }
-        builder.air_edge(&from, &to, fraction).expect("air endpoints exist");
+        builder
+            .air_edge(&from, &to, fraction)
+            .expect("air endpoints exist");
     }
     builder.fan_cfm(base.fan().to_cfm());
     builder.inlet_temperature_c(base.inlet_temperature().0);
@@ -333,8 +356,7 @@ mod tests {
         // pull it back toward the truth.
         let truth = presets::validation_machine();
         let trace = crate::microbench::cpu_staircase(1200, 150);
-        let truth_log =
-            run_offline(&truth, &trace, SolverConfig::default(), None).unwrap();
+        let truth_log = run_offline(&truth, &trace, SolverConfig::default(), None).unwrap();
         let measured = truth_log.series(nodes::CPU_AIR).unwrap();
 
         let cpu_param = Param::HeatK {
@@ -409,7 +431,11 @@ mod tests {
             .target(nodes::CPU_AIR, truth_log.series(nodes::CPU_AIR).unwrap());
         let outcome = problem.calibrate(6);
         assert!(outcome.final_rmse < outcome.initial_rmse);
-        assert!(outcome.values[0] > 0.16, "fraction stayed at {}", outcome.values[0]);
+        assert!(
+            outcome.values[0] > 0.16,
+            "fraction stayed at {}",
+            outcome.values[0]
+        );
     }
 
     #[test]
@@ -426,8 +452,7 @@ mod tests {
     fn rmse_is_infinite_for_unknown_targets() {
         let truth = presets::validation_machine();
         let trace = crate::microbench::cpu_staircase(60, 30);
-        let problem =
-            CalibrationProblem::new(&truth, &trace).target("ghost", vec![0.0; 60]);
+        let problem = CalibrationProblem::new(&truth, &trace).target("ghost", vec![0.0; 60]);
         assert!(problem.rmse(&truth).is_infinite());
     }
 

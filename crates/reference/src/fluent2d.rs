@@ -96,7 +96,12 @@ impl CaseConfig {
 
     /// A coarse case for fast tests: 45 × 15 cells at 10 mm.
     pub fn coarse() -> Self {
-        CaseConfig { nx: 45, ny: 15, cell_m: 0.010, ..CaseConfig::standard() }
+        CaseConfig {
+            nx: 45,
+            ny: 15,
+            cell_m: 0.010,
+            ..CaseConfig::standard()
+        }
     }
 }
 
@@ -139,18 +144,37 @@ impl Fluent2d {
         let blocks = [
             (
                 Component::Cpu,
-                Rect { x0: fx(0.55), x1: fx(0.70), y0: fy(0.35), y1: fy(0.65) },
+                Rect {
+                    x0: fx(0.55),
+                    x1: fx(0.70),
+                    y0: fy(0.35),
+                    y1: fy(0.65),
+                },
             ),
             (
                 Component::Disk,
-                Rect { x0: fx(0.10), x1: fx(0.32), y0: fy(0.62), y1: fy(0.88) },
+                Rect {
+                    x0: fx(0.10),
+                    x1: fx(0.32),
+                    y0: fy(0.62),
+                    y1: fy(0.88),
+                },
             ),
             (
                 Component::Psu,
-                Rect { x0: fx(0.10), x1: fx(0.38), y0: fy(0.08), y1: fy(0.38) },
+                Rect {
+                    x0: fx(0.10),
+                    x1: fx(0.38),
+                    y0: fy(0.08),
+                    y1: fy(0.38),
+                },
             ),
         ];
-        Fluent2d { config, blocks, power_w: [0.0; 3] }
+        Fluent2d {
+            config,
+            blocks,
+            power_w: [0.0; 3],
+        }
     }
 
     /// Sets a component's dissipated power, W.
@@ -169,9 +193,7 @@ impl Fluent2d {
     }
 
     fn solid_at(&self, x: usize, y: usize) -> Option<usize> {
-        self.blocks
-            .iter()
-            .position(|(_, rect)| rect.contains(x, y))
+        self.blocks.iter().position(|(_, rect)| rect.contains(x, y))
     }
 
     /// Iterates to a steady state.
@@ -182,8 +204,16 @@ impl Fluent2d {
     /// `max_sweeps` (signalling a bad configuration, e.g. zero airflow
     /// with nonzero power).
     pub fn solve(&self, tolerance: f64, max_sweeps: usize) -> Result<SteadyState, String> {
-        let CaseConfig { nx, ny, cell_m, depth_m, inlet_c, velocity_m_s, air_k, solid_k } =
-            self.config;
+        let CaseConfig {
+            nx,
+            ny,
+            cell_m,
+            depth_m,
+            inlet_c,
+            velocity_m_s,
+            air_k,
+            solid_k,
+        } = self.config;
         let idx = |x: usize, y: usize| y * nx + x;
 
         // Precompute per-cell material and source.
@@ -350,7 +380,12 @@ impl SteadyState {
     ///
     /// Panics when the coordinates are outside the grid.
     pub fn cell(&self, x: usize, y: usize) -> f64 {
-        assert!(x < self.nx && y < self.ny, "cell ({x},{y}) outside {}x{}", self.nx, self.ny);
+        assert!(
+            x < self.nx && y < self.ny,
+            "cell ({x},{y}) outside {}x{}",
+            self.nx,
+            self.ny
+        );
         self.temp[y * self.nx + x]
     }
 
@@ -396,13 +431,10 @@ mod tests {
     fn more_power_means_hotter_component() {
         let low = solve_with(7.0, 9.0, 40.0);
         let high = solve_with(31.0, 9.0, 40.0);
-        assert!(
-            high.component_temp(Component::Cpu) > low.component_temp(Component::Cpu) + 1.0
-        );
+        assert!(high.component_temp(Component::Cpu) > low.component_temp(Component::Cpu) + 1.0);
         // The disk barely notices the CPU change (it sits upstream).
-        let disk_shift = (high.component_temp(Component::Disk)
-            - low.component_temp(Component::Disk))
-        .abs();
+        let disk_shift =
+            (high.component_temp(Component::Disk) - low.component_temp(Component::Disk)).abs();
         assert!(disk_shift < 1.0, "disk moved by {disk_shift}");
     }
 

@@ -23,21 +23,27 @@ fn components() -> Vec<String> {
 fn staircase(duration_s: u64, plateau_s: u64, component: usize) -> UtilizationTrace {
     let plateau = plateau_s.max(1);
     let levels = [0.25, 0.5, 0.75, 1.0];
-    UtilizationTrace::from_fn("plant", 1.0, components(), duration_s as usize, move |t, c| {
-        if c != component {
-            return 0.0;
-        }
-        // Cycle: (idle, level) pairs.
-        let cycle = 2 * plateau;
-        let phase = (t as u64) % (cycle * levels.len() as u64);
-        let step = (phase / cycle) as usize;
-        let within = phase % cycle;
-        if within < plateau {
-            0.0
-        } else {
-            levels[step]
-        }
-    })
+    UtilizationTrace::from_fn(
+        "plant",
+        1.0,
+        components(),
+        duration_s as usize,
+        move |t, c| {
+            if c != component {
+                return 0.0;
+            }
+            // Cycle: (idle, level) pairs.
+            let cycle = 2 * plateau;
+            let phase = (t as u64) % (cycle * levels.len() as u64);
+            let step = (phase / cycle) as usize;
+            let within = phase % cycle;
+            if within < plateau {
+                0.0
+            } else {
+                levels[step]
+            }
+        },
+    )
     .expect("staircase parameters are valid")
 }
 
@@ -60,24 +66,38 @@ pub fn combined_benchmark(duration_s: u64, seed: u64) -> UtilizationTrace {
     let mut t = 0u64;
     while t < duration_s {
         let hold = rng.gen_range(30..=120);
-        let cpu: f64 = if rng.gen_bool(0.25) { 0.0 } else { rng.gen_range(0.0..=1.0) };
-        let disk: f64 = if rng.gen_bool(0.25) { 0.0 } else { rng.gen_range(0.0..=1.0) };
+        let cpu: f64 = if rng.gen_bool(0.25) {
+            0.0
+        } else {
+            rng.gen_range(0.0..=1.0)
+        };
+        let disk: f64 = if rng.gen_bool(0.25) {
+            0.0
+        } else {
+            rng.gen_range(0.0..=1.0)
+        };
         schedule.push((t, cpu, disk));
         t += hold;
     }
-    UtilizationTrace::from_fn("plant", 1.0, components(), duration_s as usize, move |t, c| {
-        let entry = schedule
-            .iter()
-            .rev()
-            .find(|(start, _, _)| *start as f64 <= t)
-            .copied()
-            .unwrap_or((0, 0.0, 0.0));
-        if c == 0 {
-            entry.1
-        } else {
-            entry.2
-        }
-    })
+    UtilizationTrace::from_fn(
+        "plant",
+        1.0,
+        components(),
+        duration_s as usize,
+        move |t, c| {
+            let entry = schedule
+                .iter()
+                .rev()
+                .find(|(start, _, _)| *start as f64 <= t)
+                .copied()
+                .unwrap_or((0, 0.0, 0.0));
+            if c == 0 {
+                entry.1
+            } else {
+                entry.2
+            }
+        },
+    )
     .expect("benchmark parameters are valid")
 }
 
@@ -120,9 +140,15 @@ mod tests {
         let disk = trace.component_series("disk_platters").unwrap();
         let distinct_cpu: std::collections::BTreeSet<u64> =
             cpu.iter().map(|u| (u.fraction() * 1000.0) as u64).collect();
-        let distinct_disk: std::collections::BTreeSet<u64> =
-            disk.iter().map(|u| (u.fraction() * 1000.0) as u64).collect();
-        assert!(distinct_cpu.len() > 10, "cpu levels: {}", distinct_cpu.len());
+        let distinct_disk: std::collections::BTreeSet<u64> = disk
+            .iter()
+            .map(|u| (u.fraction() * 1000.0) as u64)
+            .collect();
+        assert!(
+            distinct_cpu.len() > 10,
+            "cpu levels: {}",
+            distinct_cpu.len()
+        );
         assert!(distinct_disk.len() > 10);
         // Both components are actually exercised.
         assert!(cpu.iter().any(|u| u.fraction() > 0.5));

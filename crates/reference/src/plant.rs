@@ -110,26 +110,107 @@ impl Plant {
         }
 
         let edges = vec![
-            Edge { a: DIE, b: SINK, k0: 15.0, boundary: false },
-            Edge { a: SINK, b: CPU_AIR, k0: 0.85, boundary: true },
-            Edge { a: MOBO, b: VOID, k0: 11.0, boundary: true },
-            Edge { a: MOBO, b: DIE, k0: 0.12, boundary: false },
-            Edge { a: PLATTERS, b: SPINDLE, k0: 3.0, boundary: false },
-            Edge { a: SPINDLE, b: SHELL, k0: 2.5, boundary: false },
-            Edge { a: PLATTERS, b: SHELL, k0: 1.7, boundary: false },
-            Edge { a: SHELL, b: DISK_AIR, k0: 2.1, boundary: true },
-            Edge { a: PSU, b: PS_AIR, k0: 4.4, boundary: true },
+            Edge {
+                a: DIE,
+                b: SINK,
+                k0: 15.0,
+                boundary: false,
+            },
+            Edge {
+                a: SINK,
+                b: CPU_AIR,
+                k0: 0.85,
+                boundary: true,
+            },
+            Edge {
+                a: MOBO,
+                b: VOID,
+                k0: 11.0,
+                boundary: true,
+            },
+            Edge {
+                a: MOBO,
+                b: DIE,
+                k0: 0.12,
+                boundary: false,
+            },
+            Edge {
+                a: PLATTERS,
+                b: SPINDLE,
+                k0: 3.0,
+                boundary: false,
+            },
+            Edge {
+                a: SPINDLE,
+                b: SHELL,
+                k0: 2.5,
+                boundary: false,
+            },
+            Edge {
+                a: PLATTERS,
+                b: SHELL,
+                k0: 1.7,
+                boundary: false,
+            },
+            Edge {
+                a: SHELL,
+                b: DISK_AIR,
+                k0: 2.1,
+                boundary: true,
+            },
+            Edge {
+                a: PSU,
+                b: PS_AIR,
+                k0: 4.4,
+                boundary: true,
+            },
         ];
         let air_edges = vec![
-            AirEdge { from: INLET, to: DISK_AIR, fraction: 0.38 },
-            AirEdge { from: INLET, to: PS_AIR, fraction: 0.52 },
-            AirEdge { from: INLET, to: VOID, fraction: 0.10 },
-            AirEdge { from: DISK_AIR, to: VOID, fraction: 1.0 },
-            AirEdge { from: PS_AIR, to: VOID, fraction: 0.83 },
-            AirEdge { from: PS_AIR, to: CPU_AIR, fraction: 0.17 },
-            AirEdge { from: VOID, to: CPU_AIR, fraction: 0.06 },
-            AirEdge { from: VOID, to: EXHAUST, fraction: 0.94 },
-            AirEdge { from: CPU_AIR, to: EXHAUST, fraction: 1.0 },
+            AirEdge {
+                from: INLET,
+                to: DISK_AIR,
+                fraction: 0.38,
+            },
+            AirEdge {
+                from: INLET,
+                to: PS_AIR,
+                fraction: 0.52,
+            },
+            AirEdge {
+                from: INLET,
+                to: VOID,
+                fraction: 0.10,
+            },
+            AirEdge {
+                from: DISK_AIR,
+                to: VOID,
+                fraction: 1.0,
+            },
+            AirEdge {
+                from: PS_AIR,
+                to: VOID,
+                fraction: 0.83,
+            },
+            AirEdge {
+                from: PS_AIR,
+                to: CPU_AIR,
+                fraction: 0.17,
+            },
+            AirEdge {
+                from: VOID,
+                to: CPU_AIR,
+                fraction: 0.06,
+            },
+            AirEdge {
+                from: VOID,
+                to: EXHAUST,
+                fraction: 0.94,
+            },
+            AirEdge {
+                from: CPU_AIR,
+                to: EXHAUST,
+                fraction: 1.0,
+            },
         ];
 
         Plant {
@@ -285,8 +366,7 @@ impl Plant {
         &mut self,
         trace: &UtilizationTrace,
     ) -> Result<TemperatureLog, mercury::Error> {
-        let mut log =
-            TemperatureLog::new(vec!["cpu_air".to_string(), "disk".to_string()]);
+        let mut log = TemperatureLog::new(vec!["cpu_air".to_string(), "disk".to_string()]);
         let ticks = trace.duration().0 as usize;
         for t in 0..ticks {
             if let Some(row) = trace.at(Seconds(t as f64)) {
@@ -357,7 +437,11 @@ mod tests {
             plant.step();
         }
         let after = plant.true_temperature("cpu_air");
-        assert!((after - before - 8.4).abs() < 1.0, "shift was {}", after - before);
+        assert!(
+            (after - before - 8.4).abs() < 1.0,
+            "shift was {}",
+            after - before
+        );
     }
 
     #[test]

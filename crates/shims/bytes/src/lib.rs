@@ -1,0 +1,148 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Supplies the two traits the wire protocol uses: [`Buf`] for cursored
+//! reads from `&[u8]` and [`BufMut`] for appends to `Vec<u8>`. All
+//! multi-byte accessors are big-endian (network order), matching the
+//! real crate's `get_*`/`put_*` defaults. Reads past the end panic, as
+//! they do upstream; protocol code checks `remaining()` first.
+
+/// Cursored read access to a contiguous byte buffer.
+pub trait Buf {
+    /// Bytes left between the cursor and the end.
+    fn remaining(&self) -> usize;
+
+    /// Returns the unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Moves the cursor forward `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let v = u16::from_be_bytes(self.chunk()[..2].try_into().unwrap());
+        self.advance(2);
+        v
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let v = u32::from_be_bytes(self.chunk()[..4].try_into().unwrap());
+        self.advance(4);
+        v
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let v = u64::from_be_bytes(self.chunk()[..8].try_into().unwrap());
+        self.advance(8);
+        v
+    }
+
+    /// Reads a big-endian `f32`.
+    fn get_f32(&mut self) -> f32 {
+        f32::from_bits(self.get_u32())
+    }
+
+    /// Reads a big-endian `f64`.
+    fn get_f64(&mut self) -> f64 {
+        f64::from_bits(self.get_u64())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        *self = &self[cnt..];
+    }
+}
+
+/// Append access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `f32`.
+    fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+
+    /// Appends a big-endian `f64`.
+    fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_big_endian() {
+        let mut buf = Vec::new();
+        buf.put_u8(7);
+        buf.put_u16(0xBEEF);
+        buf.put_f32(1.5);
+        buf.put_f64(-2.25);
+        buf.put_slice(b"ok");
+
+        let mut r: &[u8] = &buf;
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16(), 0xBEEF);
+        assert_eq!(r.get_f32(), 1.5);
+        assert_eq!(r.get_f64(), -2.25);
+        assert_eq!(r.remaining(), 2);
+        assert_eq!(r.chunk(), b"ok");
+        r.advance(2);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn u16_is_network_order() {
+        let mut buf = Vec::new();
+        buf.put_u16(0x0102);
+        assert_eq!(buf, vec![0x01, 0x02]);
+    }
+}

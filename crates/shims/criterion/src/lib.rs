@@ -1,0 +1,281 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A wall-clock harness with criterion's API shape: `Criterion`,
+//! `Bencher::iter`, benchmark groups with `bench_with_input`, and the
+//! `criterion_group!`/`criterion_main!` macros. Like the real crate it
+//! detects how it was invoked: under `cargo bench` (a `--bench` argument
+//! is present) each benchmark is timed and a `time/iter` line is
+//! printed; under `cargo test` each benchmark body runs exactly once so
+//! bench targets double as smoke tests.
+//!
+//! Statistics are deliberately simple — median of `sample_size` samples,
+//! no outlier analysis, no HTML reports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness state and configuration.
+pub struct Criterion {
+    sample_size: usize,
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            bench_mode: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timing samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, self.bench_mode, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A parameterized benchmark label (`group/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Label made of a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Label made of a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.id);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(&label, samples, self.criterion.bench_mode, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(
+            &label,
+            samples,
+            self.criterion.bench_mode,
+            &mut |b: &mut Bencher| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    mode: BenchMode,
+    /// Median seconds per iteration, filled in by `iter` in bench mode.
+    result_s: Option<f64>,
+}
+
+enum BenchMode {
+    /// `cargo test`: run the body once, no timing.
+    Smoke,
+    /// `cargo bench`: collect this many timed samples.
+    Timed { samples: usize },
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records its median time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            BenchMode::Smoke => {
+                black_box(routine());
+            }
+            BenchMode::Timed { samples } => {
+                // Warm up and size the per-sample batch so one sample
+                // takes roughly a millisecond.
+                let start = Instant::now();
+                black_box(routine());
+                let once = start.elapsed().max(Duration::from_nanos(1));
+                let batch = (Duration::from_millis(1).as_nanos() / once.as_nanos())
+                    .clamp(1, 1_000_000) as usize;
+
+                let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+                for _ in 0..samples {
+                    let t0 = Instant::now();
+                    for _ in 0..batch {
+                        black_box(routine());
+                    }
+                    per_iter.push(t0.elapsed().as_secs_f64() / batch as f64);
+                }
+                per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                self.result_s = Some(per_iter[per_iter.len() / 2]);
+            }
+        }
+    }
+}
+
+fn run_one(label: &str, samples: usize, bench_mode: bool, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        mode: if bench_mode {
+            BenchMode::Timed { samples }
+        } else {
+            BenchMode::Smoke
+        },
+        result_s: None,
+    };
+    f(&mut bencher);
+    if bench_mode {
+        match bencher.result_s {
+            Some(s) => println!("{label:<50} time: {}", format_time(s)),
+            None => println!("{label:<50} (no iter() call)"),
+        }
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s/iter")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms/iter", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs/iter", seconds * 1e6)
+    } else {
+        format!("{:.1} ns/iter", seconds * 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion {
+            sample_size: 10,
+            bench_mode: false,
+        };
+        let mut runs = 0;
+        c.bench_function("probe", |b| {
+            b.iter(|| runs += 1);
+        });
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn timed_mode_collects_samples() {
+        let mut c = Criterion {
+            sample_size: 5,
+            bench_mode: true,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &3u32, |b, &x| {
+            b.iter(|| black_box(x * 2));
+        });
+        group.finish();
+    }
+}

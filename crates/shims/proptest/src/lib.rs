@@ -1,0 +1,300 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the strategy/combinator/runner surface this workspace's
+//! property tests use — `Strategy` with `prop_map`/`prop_flat_map`/
+//! `prop_filter`, tuple and range strategies, `collection::vec`,
+//! `option::of`, regex-subset string strategies, `prop_oneof!`, and the
+//! `proptest!` macro with `prop_assert!`/`prop_assert_eq!`/`prop_assume!`.
+//!
+//! Differences from the real crate, by design:
+//! - **No shrinking.** A failing case reports the generated inputs via
+//!   `Debug` and the assertion message, unminimized.
+//! - **Deterministic seeding.** Each test's RNG is seeded from the test
+//!   name, so failures reproduce across runs by default.
+//! - **Regex strategies** support the subset used here: literals, char
+//!   classes (ranges, escapes), `(a|b)` alternation, `{m,n}`/`{n}`/`?`/
+//!   `*`/`+` repetition, and `\PC` (any non-control char).
+
+pub mod strategy;
+pub mod test_runner;
+
+mod regex_gen;
+
+/// `proptest::collection` — strategies for collections.
+pub mod collection {
+    use crate::strategy::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive size bound for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `proptest::option` — strategies for `Option`.
+pub mod option {
+    use crate::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy producing `Option`s of an inner strategy's values.
+    #[derive(Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// Generates `None` about a quarter of the time, `Some` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.gen_bool(0.25) {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    // Macros are exported at the crate root; re-list them so both
+    // `prop_assert!` and `proptest::prelude::prop_assert!` resolve.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Builds a strategy choosing uniformly between the given strategies
+/// (which must share a value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Fails the current test case with a message if the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current test case if the two expressions are not equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                left, right
+            )));
+        }
+    }};
+}
+
+/// Fails the current test case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if left == right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `(left != right)`\n  both: `{:?}`",
+                left
+            )));
+        }
+    }};
+}
+
+/// Discards the current test case (does not count toward the case
+/// budget) if the condition is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$attr:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let config = $config;
+            let mut runner =
+                $crate::test_runner::TestRunner::new(config, stringify!($name));
+            let strategy = ($($strategy,)+);
+            let outcome = runner.run(&strategy, |($($pat,)+)| {
+                $body
+                ::std::result::Result::Ok(())
+            });
+            if let ::std::result::Result::Err(message) = outcome {
+                panic!("{}", message);
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_vecs(
+            xs in crate::collection::vec(0.5f64..2.0, 1..10),
+            n in 3usize..=7,
+            flag in crate::option::of(0u32..5),
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() < 10);
+            prop_assert!(xs.iter().all(|x| (0.5..2.0).contains(x)));
+            prop_assert!((3..=7).contains(&n));
+            if let Some(f) = flag {
+                prop_assert!(f < 5);
+            }
+        }
+
+        #[test]
+        fn regex_strategies_match_shape(
+            name in "[a-z][a-z0-9_]{0,8}",
+            keyword in "(machine|cluster|widget)",
+            garbage in "\\PC{0,40}",
+        ) {
+            prop_assert!(!name.is_empty() && name.len() <= 9);
+            prop_assert!(name.chars().next().unwrap().is_ascii_lowercase());
+            prop_assert!(["machine", "cluster", "widget"].contains(&keyword.as_str()));
+            prop_assert!(garbage.chars().all(|c| !c.is_control()));
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in (1usize..5).prop_flat_map(|n| crate::collection::vec(Just(n), n..=n)),
+            s in prop_oneof!["[a-z]{3}", "[0-9]{3}"]
+                .prop_filter("letters only start", |s| !s.is_empty())
+                .prop_map(|s| s.len()),
+        ) {
+            prop_assert!(!v.is_empty());
+            prop_assert!(v.iter().all(|&x| x == v.len()));
+            prop_assert_eq!(s, 3);
+        }
+
+        #[test]
+        fn assume_rejects_do_not_fail(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn failures_report_and_panic() {
+        let mut runner = crate::test_runner::TestRunner::new(
+            crate::test_runner::ProptestConfig::with_cases(8),
+            "failures_report_and_panic",
+        );
+        let result = runner.run(&(0u32..10,), |(x,)| {
+            prop_assert!(x < 3, "x too big: {x}");
+            Ok(())
+        });
+        let message = result.expect_err("a case with x >= 3 must fail");
+        assert!(
+            message.contains("x too big"),
+            "unexpected message: {message}"
+        );
+    }
+}

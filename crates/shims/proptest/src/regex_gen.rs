@@ -1,0 +1,312 @@
+//! Generation of random strings matching a small regex subset.
+//!
+//! Supported syntax — exactly what the workspace's string strategies use:
+//! literals, `[...]` character classes (ranges, `\`-escapes, leading or
+//! trailing literal `-`), `(a|b|c)` alternation groups, the quantifiers
+//! `{n}`, `{m,n}`, `?`, `*`, `+` (unbounded forms capped at 8 extra
+//! repetitions), and `\PC` for "any non-control character".
+
+use crate::strategy::TestRng;
+use rand::Rng;
+
+enum Node {
+    /// A literal character.
+    Lit(char),
+    /// One character drawn from an expanded set.
+    Class(Vec<char>),
+    /// Any printable (non-control) character.
+    AnyPrintable,
+    /// Alternation: one of the sequences.
+    Group(Vec<Vec<Node>>),
+    /// The inner node repeated between `min` and `max` times.
+    Repeat(Box<Node>, usize, usize),
+}
+
+/// Generates a string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let alternatives = parse_alternatives(&chars, &mut pos, pattern);
+    assert!(
+        pos == chars.len(),
+        "regex strategy: unexpected `{}` at offset {pos} in `{pattern}`",
+        chars[pos]
+    );
+    let mut out = String::new();
+    emit(&Node::Group(alternatives), rng, &mut out);
+    out
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::Class(set) => out.push(set[rng.gen_range(0..set.len())]),
+        Node::AnyPrintable => out.push(printable_char(rng)),
+        Node::Group(alternatives) => {
+            let seq = &alternatives[rng.gen_range(0..alternatives.len())];
+            for n in seq {
+                emit(n, rng, out);
+            }
+        }
+        Node::Repeat(inner, min, max) => {
+            let count = rng.gen_range(*min..=*max);
+            for _ in 0..count {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+fn printable_char(rng: &mut TestRng) -> char {
+    // Mostly ASCII printable, occasionally multi-byte, to exercise UTF-8
+    // handling without drowning parsers in exotic codepoints.
+    const WIDE: &[char] = &['é', 'ß', 'λ', 'Ω', '中', '→', '🦀'];
+    if rng.gen_bool(0.9) {
+        char::from_u32(rng.gen_range(0x20u32..0x7F)).unwrap()
+    } else {
+        WIDE[rng.gen_range(0..WIDE.len())]
+    }
+}
+
+fn parse_alternatives(chars: &[char], pos: &mut usize, pattern: &str) -> Vec<Vec<Node>> {
+    let mut alternatives = vec![parse_sequence(chars, pos, pattern)];
+    while chars.get(*pos) == Some(&'|') {
+        *pos += 1;
+        alternatives.push(parse_sequence(chars, pos, pattern));
+    }
+    alternatives
+}
+
+fn parse_sequence(chars: &[char], pos: &mut usize, pattern: &str) -> Vec<Node> {
+    let mut seq = Vec::new();
+    while let Some(&c) = chars.get(*pos) {
+        if c == '|' || c == ')' {
+            break;
+        }
+        let atom = parse_atom(chars, pos, pattern);
+        seq.push(parse_quantifier(atom, chars, pos, pattern));
+    }
+    seq
+}
+
+fn parse_atom(chars: &[char], pos: &mut usize, pattern: &str) -> Node {
+    match chars[*pos] {
+        '[' => {
+            *pos += 1;
+            Node::Class(parse_class(chars, pos, pattern))
+        }
+        '(' => {
+            *pos += 1;
+            let alternatives = parse_alternatives(chars, pos, pattern);
+            assert!(
+                chars.get(*pos) == Some(&')'),
+                "regex strategy: unclosed group in `{pattern}`"
+            );
+            *pos += 1;
+            Node::Group(alternatives)
+        }
+        '\\' => {
+            *pos += 1;
+            let c = *chars
+                .get(*pos)
+                .unwrap_or_else(|| panic!("regex strategy: dangling `\\` in `{pattern}`"));
+            *pos += 1;
+            match c {
+                // `\PC`: any char not in the "control" category.
+                'P' => {
+                    assert!(
+                        chars.get(*pos) == Some(&'C'),
+                        "regex strategy: only `\\PC` is supported in `{pattern}`"
+                    );
+                    *pos += 1;
+                    Node::AnyPrintable
+                }
+                'n' => Node::Lit('\n'),
+                't' => Node::Lit('\t'),
+                'r' => Node::Lit('\r'),
+                other => Node::Lit(other),
+            }
+        }
+        '.' => {
+            *pos += 1;
+            Node::AnyPrintable
+        }
+        c => {
+            *pos += 1;
+            Node::Lit(c)
+        }
+    }
+}
+
+fn parse_quantifier(atom: Node, chars: &[char], pos: &mut usize, pattern: &str) -> Node {
+    match chars.get(*pos) {
+        Some('{') => {
+            *pos += 1;
+            let min = parse_int(chars, pos, pattern);
+            let max = if chars.get(*pos) == Some(&',') {
+                *pos += 1;
+                parse_int(chars, pos, pattern)
+            } else {
+                min
+            };
+            assert!(
+                chars.get(*pos) == Some(&'}'),
+                "regex strategy: unclosed `{{` in `{pattern}`"
+            );
+            *pos += 1;
+            assert!(
+                min <= max,
+                "regex strategy: bad repeat bounds in `{pattern}`"
+            );
+            Node::Repeat(Box::new(atom), min, max)
+        }
+        Some('?') => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 0, 1)
+        }
+        Some('*') => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 0, 8)
+        }
+        Some('+') => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 1, 8)
+        }
+        _ => atom,
+    }
+}
+
+fn parse_int(chars: &[char], pos: &mut usize, pattern: &str) -> usize {
+    let start = *pos;
+    while chars.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+        *pos += 1;
+    }
+    assert!(
+        *pos > start,
+        "regex strategy: expected a number in `{pattern}`"
+    );
+    chars[start..*pos]
+        .iter()
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+fn parse_class(chars: &[char], pos: &mut usize, pattern: &str) -> Vec<char> {
+    let mut set = Vec::new();
+    // A literal `]` right after `[` would need escaping; the workspace
+    // always escapes it, so `]` here always closes the class.
+    while let Some(&c) = chars.get(*pos) {
+        if c == ']' {
+            *pos += 1;
+            assert!(
+                !set.is_empty(),
+                "regex strategy: empty class in `{pattern}`"
+            );
+            return set;
+        }
+        let lo = if c == '\\' {
+            *pos += 1;
+            let esc = *chars
+                .get(*pos)
+                .unwrap_or_else(|| panic!("regex strategy: dangling `\\` in `{pattern}`"));
+            *pos += 1;
+            match esc {
+                'n' => '\n',
+                't' => '\t',
+                'r' => '\r',
+                other => other,
+            }
+        } else {
+            *pos += 1;
+            c
+        };
+        // A `-` forms a range unless it is the last char in the class.
+        if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|&n| n != ']') {
+            *pos += 1; // `-`
+            let mut hi = chars[*pos];
+            *pos += 1;
+            if hi == '\\' {
+                hi = chars[*pos];
+                *pos += 1;
+            }
+            assert!(lo <= hi, "regex strategy: inverted range in `{pattern}`");
+            for u in lo as u32..=hi as u32 {
+                if let Some(ch) = char::from_u32(u) {
+                    set.push(ch);
+                }
+            }
+        } else {
+            set.push(lo);
+        }
+    }
+    panic!("regex strategy: unclosed `[` in `{pattern}`");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn classes_and_repeats() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[a-z][a-z0-9_]{0,8}", &mut r);
+            assert!((1..=9).contains(&s.len()));
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn alternation_groups() {
+        let mut r = rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let s = generate("(machine|cluster|widget)", &mut r);
+            assert!(["machine", "cluster", "widget"].contains(&s.as_str()));
+            seen.insert(s);
+        }
+        assert_eq!(seen.len(), 3, "all alternatives should appear");
+    }
+
+    #[test]
+    fn escaped_class_members() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[a-z{}\\[\\]=;>, -]{0,80}", &mut r);
+            assert!(s.len() <= 80);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || "{}[]=;>, -".contains(c)));
+        }
+    }
+
+    #[test]
+    fn any_printable_is_not_control() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate("\\PC{0,200}", &mut r);
+            assert!(s.len() <= 800); // multi-byte chars inflate byte length
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn literal_dash_at_class_end() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[a-zA-Z0-9_.-]{0,30}", &mut r);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "_.-".contains(c)));
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! The case runner behind the `proptest!` macro.
+
+use crate::strategy::{Strategy, TestRng};
+use rand::SeedableRng;
+use std::fmt::Debug;
+
+/// Per-test configuration (the subset the workspace sets).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Cap on discarded cases (`prop_assume!` and filter rejections)
+    /// before the run aborts.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case failed an assertion: the whole test fails.
+    Fail(String),
+    /// The case was discarded (`prop_assume!`): draw a replacement.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// Drives a strategy through the configured number of cases.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Creates a runner whose RNG is seeded from the test name, so each
+    /// test sees a stable but distinct input stream.
+    pub fn new(config: ProptestConfig, test_name: &str) -> Self {
+        // FNV-1a over the name: stable across runs and platforms.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRunner {
+            config,
+            rng: TestRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Runs `test` over generated inputs until `cases` successes, a
+    /// failure, or the rejection cap. Returns a report on failure.
+    pub fn run<S, F>(&mut self, strategy: &S, test: F) -> Result<(), String>
+    where
+        S: Strategy,
+        S::Value: Debug,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < self.config.cases {
+            let input = strategy.generate(&mut self.rng);
+            let shown = format!("{input:?}");
+            match test(input) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        return Err(format!(
+                            "too many rejected cases ({rejected}) after {passed} passes"
+                        ));
+                    }
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    return Err(format!(
+                        "property failed after {passed} passing case(s): {message}\n\
+                         input: {shown}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}

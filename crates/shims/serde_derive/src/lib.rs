@@ -1,0 +1,421 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crate depends on `syn`/`quote`, which are unavailable in this
+//! build environment, so the derives here are built on a small hand-rolled
+//! token walker. They cover exactly the shapes this workspace uses:
+//! non-generic structs (named, tuple/newtype, unit) and enums whose
+//! variants are unit, newtype, tuple, or struct-like. Attributes are
+//! accepted and ignored (`#[serde(transparent)]` on newtypes coincides
+//! with the default newtype representation, so ignoring it is correct).
+//!
+//! Generated impls target the sibling `serde` stand-in: `Serialize`
+//! lowers into `::serde::Value`, `Deserialize` rebuilds from one, with
+//! serde's externally-tagged enum representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field layout of a struct or of one enum variant.
+enum Fields {
+    /// No payload (`struct S;` or `Variant`).
+    Unit,
+    /// Positional fields (`struct S(A, B)` or `Variant(A, B)`), by count.
+    Tuple(usize),
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+}
+
+enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("derive(Serialize): generated code failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("derive(Deserialize): generated code failed to parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and the visibility qualifier.
+    skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+
+    let keyword = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive: generic type `{name}` is not supported by the offline serde stand-in");
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("derive: unexpected struct body for `{name}`: {other:?}"),
+            };
+            Item {
+                name,
+                kind: ItemKind::Struct(fields),
+            }
+        }
+        "enum" => {
+            let body = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("derive: expected enum body for `{name}`, found {other:?}"),
+            };
+            Item {
+                name,
+                kind: ItemKind::Enum(parse_variants(body)),
+            }
+        }
+        other => panic!("derive: expected `struct` or `enum`, found `{other}`"),
+    }
+}
+
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) {
+    while matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1; // `#`
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+        {
+            *i += 1; // `[...]`
+        }
+    }
+}
+
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        // `pub(crate)` / `pub(super)` / `pub(in ...)`
+        if matches!(
+            toks.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+/// Advances past a type, stopping at a `,` outside any `<...>` nesting.
+/// Consumes the trailing comma if present.
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i64;
+    while let Some(t) = toks.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("derive: expected field name, found {other:?}"),
+        };
+        i += 1; // name
+        i += 1; // `:`
+        skip_type(&toks, &mut i);
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break; // trailing comma
+        }
+        skip_type(&toks, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<(String, Fields)> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("derive: expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            while i < toks.len() && !matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+            }
+        }
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => match fields {
+            Fields::Unit => "::serde::Value::Null".to_string(),
+            Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                    .collect();
+                format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+            }
+            Fields::Named(fields) => {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!("(String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))")
+                    })
+                    .collect();
+                format!("::serde::Value::Obj(vec![{}])", entries.join(", "))
+            }
+        },
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, fields)| match fields {
+                    Fields::Unit => format!(
+                        "Self::{vname} => ::serde::Value::Str(String::from(\"{vname}\")),"
+                    ),
+                    Fields::Tuple(1) => format!(
+                        "Self::{vname}(x0) => ::serde::Value::Obj(vec![(String::from(\"{vname}\"), ::serde::Serialize::to_value(x0))]),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Serialize::to_value(x{k})"))
+                            .collect();
+                        format!(
+                            "Self::{vname}({}) => ::serde::Value::Obj(vec![(String::from(\"{vname}\"), ::serde::Value::Arr(vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    Fields::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "Self::{vname} {{ {binds} }} => ::serde::Value::Obj(vec![(String::from(\"{vname}\"), ::serde::Value::Obj(vec![{}]))]),",
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Expression that deserializes field `f` out of the object value `src`.
+fn named_field_expr(owner: &str, f: &str, src: &str) -> String {
+    format!(
+        "{f}: ::serde::Deserialize::from_value({src}.get(\"{f}\").unwrap_or(&::serde::Value::Null))\
+             .map_err(|e| ::serde::DeError::msg(format!(\"{owner}.{f}: {{}}\", e.0)))?"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => match fields {
+            Fields::Unit => format!(
+                "match v {{\n\
+                     ::serde::Value::Null => Ok(Self),\n\
+                     other => Err(::serde::DeError::msg(format!(\"expected null for {name}, found {{:?}}\", other))),\n\
+                 }}"
+            ),
+            Fields::Tuple(1) => {
+                "Ok(Self(::serde::Deserialize::from_value(v)?))".to_string()
+            }
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                    .collect();
+                format!(
+                    "match v {{\n\
+                         ::serde::Value::Arr(items) if items.len() == {n} => Ok(Self({})),\n\
+                         other => Err(::serde::DeError::msg(format!(\"expected {n}-element array for {name}, found {{:?}}\", other))),\n\
+                     }}",
+                    items.join(", ")
+                )
+            }
+            Fields::Named(fields) => {
+                let inits: Vec<String> =
+                    fields.iter().map(|f| named_field_expr(name, f, "v")).collect();
+                format!(
+                    "match v {{\n\
+                         ::serde::Value::Obj(_) => Ok(Self {{ {} }}),\n\
+                         other => Err(::serde::DeError::msg(format!(\"expected object for {name}, found {{:?}}\", other))),\n\
+                     }}",
+                    inits.join(", ")
+                )
+            }
+        },
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut tagged_arms = Vec::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        unit_arms.push(format!(
+                            "::serde::Value::Str(s) if s == \"{vname}\" => Ok(Self::{vname}),"
+                        ));
+                    }
+                    Fields::Tuple(1) => {
+                        tagged_arms.push(format!(
+                            "\"{vname}\" => Ok(Self::{vname}(::serde::Deserialize::from_value(inner)?)),"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                            .collect();
+                        tagged_arms.push(format!(
+                            "\"{vname}\" => match inner {{\n\
+                                 ::serde::Value::Arr(items) if items.len() == {n} => Ok(Self::{vname}({})),\n\
+                                 other => Err(::serde::DeError::msg(format!(\"expected {n}-element array for {name}::{vname}, found {{:?}}\", other))),\n\
+                             }},",
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| named_field_expr(&format!("{name}::{vname}"), f, "inner"))
+                            .collect();
+                        tagged_arms.push(format!(
+                            "\"{vname}\" => Ok(Self::{vname} {{ {} }}),",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            let tagged_match = if tagged_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Value::Obj(entries) if entries.len() == 1 => {{\n\
+                         let (tag, inner) = &entries[0];\n\
+                         match tag.as_str() {{\n\
+                             {}\n\
+                             other => Err(::serde::DeError::msg(format!(\"unknown variant `{{}}` for {name}\", other))),\n\
+                         }}\n\
+                     }}",
+                    tagged_arms.join("\n")
+                )
+            };
+            format!(
+                "match v {{\n\
+                     {}\n\
+                     {}\n\
+                     other => Err(::serde::DeError::msg(format!(\"unexpected value for {name}: {{:?}}\", other))),\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_match
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}

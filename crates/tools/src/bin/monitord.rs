@@ -49,12 +49,18 @@ fn run() -> Result<(), String> {
             .unwrap_or("0.5")
             .parse()
             .map_err(|_| "--synthetic wants a cpu utilization".to_string())?;
-        let disk: f64 = fixed.next().map(|s| s.parse().unwrap_or(0.0)).unwrap_or(0.0);
+        let disk: f64 = fixed
+            .next()
+            .map(|s| s.parse().unwrap_or(0.0))
+            .unwrap_or(0.0);
         eprintln!("reporting synthetic utilizations: cpu {cpu}, disk {disk}");
         Monitord::spawn(
             machine,
             FnSource(move || {
-                vec![("cpu".to_string(), cpu), ("disk_platters".to_string(), disk)]
+                vec![
+                    ("cpu".to_string(), cpu),
+                    ("disk_platters".to_string(), disk),
+                ]
             }),
             solver,
             interval,

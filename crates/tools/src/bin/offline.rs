@@ -33,7 +33,10 @@ fn main() -> std::process::ExitCode {
 
 fn run() -> Result<(), String> {
     let args = Args::parse(std::env::args().skip(1));
-    let model = load_machine(args.value("model").unwrap_or("table1"), args.value("machine"))?;
+    let model = load_machine(
+        args.value("model").unwrap_or("table1"),
+        args.value("machine"),
+    )?;
     let trace_path = args.require("trace")?;
     let trace_text = std::fs::read_to_string(trace_path)
         .map_err(|e| format!("cannot read trace `{trace_path}`: {e}"))?;
@@ -65,7 +68,9 @@ fn run() -> Result<(), String> {
         }
         None => {
             use std::io::Write as _;
-            std::io::stdout().write_all(&csv).map_err(|e| e.to_string())?;
+            std::io::stdout()
+                .write_all(&csv)
+                .map_err(|e| e.to_string())?;
         }
     }
     Ok(())

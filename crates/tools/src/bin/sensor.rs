@@ -32,10 +32,16 @@ fn list_nodes(solver: std::net::SocketAddr, machine: &str) -> Result<(), String>
     socket
         .set_read_timeout(Some(Duration::from_secs(1)))
         .map_err(|e| e.to_string())?;
-    let request = Request::ListNodes { machine: machine.to_string() };
-    socket.send(&proto::encode_request(&request)).map_err(|e| e.to_string())?;
+    let request = Request::ListNodes {
+        machine: machine.to_string(),
+    };
+    socket
+        .send(&proto::encode_request(&request))
+        .map_err(|e| e.to_string())?;
     let mut buf = [0u8; proto::MAX_DATAGRAM];
-    let n = socket.recv(&mut buf).map_err(|e| format!("no reply from the solver: {e}"))?;
+    let n = socket
+        .recv(&mut buf)
+        .map_err(|e| format!("no reply from the solver: {e}"))?;
     match proto::decode_reply(&buf[..n]).map_err(|e| e.to_string())? {
         Reply::Nodes { names } => {
             for name in names {
@@ -65,8 +71,9 @@ fn run() -> Result<(), String> {
             println!("{:.3}  # {node} at emulated t={time:.0}s", temp.0);
         }
         Some(period) => {
-            let period: f64 =
-                period.parse().map_err(|_| "--watch wants seconds".to_string())?;
+            let period: f64 = period
+                .parse()
+                .map_err(|_| "--watch wants seconds".to_string())?;
             loop {
                 let (temp, time) = sensor.read_with_time().map_err(|e| e.to_string())?;
                 println!("t={time:>8.0}s  {node} = {temp}");

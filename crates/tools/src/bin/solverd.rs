@@ -51,12 +51,14 @@ fn run() -> Result<(), String> {
     let config = ServiceConfig {
         bind,
         tick_wall: Duration::from_millis(tick_ms.max(1)),
-        solver: SolverConfig { dt: Seconds(dt), ..SolverConfig::default() },
+        solver: SolverConfig {
+            dt: Seconds(dt),
+            ..SolverConfig::default()
+        },
     };
 
-    let wants_cluster = args.has("cluster")
-        || model.starts_with("room:")
-        || model.starts_with("freon-room:");
+    let wants_cluster =
+        args.has("cluster") || model.starts_with("room:") || model.starts_with("freon-room:");
     let service = if wants_cluster {
         let cluster = load_cluster(model, args.value("cluster"))?;
         eprintln!(

@@ -84,7 +84,8 @@ impl Args {
 
     /// The value of `--key`, or an error message naming it.
     pub fn require(&self, key: &str) -> Result<&str, String> {
-        self.value(key).ok_or_else(|| format!("missing required --{key} <value>"))
+        self.value(key)
+            .ok_or_else(|| format!("missing required --{key} <value>"))
     }
 }
 
@@ -118,8 +119,7 @@ pub fn load_machine(
         path => {
             let source = std::fs::read_to_string(path)
                 .map_err(|e| format!("cannot read model file `{path}`: {e}"))?;
-            let library =
-                mercury_graphdl::parse(&source).map_err(|e| format!("{path}: {e}"))?;
+            let library = mercury_graphdl::parse(&source).map_err(|e| format!("{path}: {e}"))?;
             match machine {
                 Some(name) => library
                     .machine(name)
@@ -146,11 +146,15 @@ pub fn load_cluster(
     cluster: Option<&str>,
 ) -> Result<mercury::model::ClusterModel, String> {
     if let Some(n) = model.strip_prefix("room:") {
-        let n: usize = n.parse().map_err(|_| format!("bad machine count in `{model}`"))?;
+        let n: usize = n
+            .parse()
+            .map_err(|_| format!("bad machine count in `{model}`"))?;
         return Ok(mercury::presets::validation_cluster(n));
     }
     if let Some(n) = model.strip_prefix("freon-room:") {
-        let n: usize = n.parse().map_err(|_| format!("bad machine count in `{model}`"))?;
+        let n: usize = n
+            .parse()
+            .map_err(|_| format!("bad machine count in `{model}`"))?;
         return Ok(mercury::presets::freon_cluster(n));
     }
     let source = std::fs::read_to_string(model)
@@ -179,7 +183,15 @@ mod tests {
 
     #[test]
     fn parses_flags_values_and_positionals() {
-        let a = args(&["--bind", "0.0.0.0:8367", "--verbose", "server", "temperature", "inlet", "30"]);
+        let a = args(&[
+            "--bind",
+            "0.0.0.0:8367",
+            "--verbose",
+            "server",
+            "temperature",
+            "inlet",
+            "30",
+        ]);
         assert_eq!(a.value("bind"), Some("0.0.0.0:8367"));
         assert!(a.has("verbose"));
         assert_eq!(a.value("verbose"), None);
@@ -231,7 +243,10 @@ mod tests {
     #[test]
     fn load_cluster_presets() {
         assert_eq!(load_cluster("room:4", None).unwrap().machines().len(), 4);
-        assert_eq!(load_cluster("freon-room:2", None).unwrap().machines().len(), 2);
+        assert_eq!(
+            load_cluster("freon-room:2", None).unwrap().machines().len(),
+            2
+        );
         assert!(load_cluster("room:x", None).is_err());
         assert!(load_cluster("/no/such.mdl", None).is_err());
     }

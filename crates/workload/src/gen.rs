@@ -23,7 +23,11 @@ pub struct WorkloadGenerator {
 impl WorkloadGenerator {
     /// Creates a generator with the given seed.
     pub fn new(profile: DiurnalProfile, mix: RequestMix, seed: u64) -> Self {
-        WorkloadGenerator { profile, mix, rng: ChaCha8Rng::seed_from_u64(seed) }
+        WorkloadGenerator {
+            profile,
+            mix,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 
     /// The load profile.
@@ -57,14 +61,19 @@ impl WorkloadGenerator {
         let mut seconds = Vec::with_capacity(duration_s as usize);
         for t in 0..duration_s {
             let arrivals = self.arrivals_at(t);
-            let dynamic =
-                arrivals.iter().filter(|r| r.kind() == RequestKind::Dynamic).count() as u32;
+            let dynamic = arrivals
+                .iter()
+                .filter(|r| r.kind() == RequestKind::Dynamic)
+                .count() as u32;
             seconds.push(SecondCounts {
                 static_count: (arrivals.len() as u32) - dynamic,
                 dynamic_count: dynamic,
             });
         }
-        WorkloadTrace { mix: self.mix.clone(), seconds }
+        WorkloadTrace {
+            mix: self.mix.clone(),
+            seconds,
+        }
     }
 }
 
@@ -72,7 +81,7 @@ impl WorkloadGenerator {
 /// approximation above (clamped at zero) — accurate enough for load
 /// generation and allocation-free.
 fn poisson(rng: &mut ChaCha8Rng, lambda: f64) -> usize {
-    if !(lambda > 0.0) {
+    if lambda.is_nan() || lambda <= 0.0 {
         return 0;
     }
     if lambda < 30.0 {
@@ -215,20 +224,28 @@ mod tests {
         let trace = paper_generator(42).generate(2000);
         let window = |center: u64| -> f64 {
             let lo = center.saturating_sub(50);
-            (lo..center + 50).map(|t| trace.offered_at(t) as f64).sum::<f64>() / 100.0
+            (lo..center + 50)
+                .map(|t| trace.offered_at(t) as f64)
+                .sum::<f64>()
+                / 100.0
         };
         let valley = window(60);
         let peak = window(1300);
         let late = window(1900);
         assert!(peak > 3.0 * valley, "valley {valley}, peak {peak}");
-        assert!(late < peak / 2.0, "load did not subside: peak {peak}, late {late}");
+        assert!(
+            late < peak / 2.0,
+            "load did not subside: peak {peak}, late {late}"
+        );
     }
 
     #[test]
     fn peak_rate_matches_the_70_percent_sizing() {
         let trace = paper_generator(42).generate(2000);
-        let peak_avg: f64 =
-            (1250..1350).map(|t| trace.offered_at(t) as f64).sum::<f64>() / 100.0;
+        let peak_avg: f64 = (1250..1350)
+            .map(|t| trace.offered_at(t) as f64)
+            .sum::<f64>()
+            / 100.0;
         let expected = RequestMix::paper().rps_for_cpu_utilization(0.7, 4, 1000.0);
         assert!(
             (peak_avg - expected).abs() < expected * 0.1,

@@ -46,7 +46,12 @@ impl RequestMix {
     /// The request rate that produces `target` average CPU utilization on
     /// `servers` machines of `cpu_capacity_ms` ms/s each — how the paper
     /// sizes its peak ("70% utilization with 4 servers").
-    pub fn rps_for_cpu_utilization(&self, target: f64, servers: usize, cpu_capacity_ms: f64) -> f64 {
+    pub fn rps_for_cpu_utilization(
+        &self,
+        target: f64,
+        servers: usize,
+        cpu_capacity_ms: f64,
+    ) -> f64 {
         let budget = target.clamp(0.0, 1.0) * servers as f64 * cpu_capacity_ms;
         let mean = self.mean_cpu_ms();
         if mean <= 0.0 {
@@ -59,9 +64,11 @@ impl RequestMix {
     /// Materializes a request of the given kind with this mix's demands.
     pub fn request(&self, kind: RequestKind) -> Request {
         match kind {
-            RequestKind::Dynamic => {
-                Request::new(RequestKind::Dynamic, self.dynamic_cpu_ms, self.dynamic_disk_ms)
-            }
+            RequestKind::Dynamic => Request::new(
+                RequestKind::Dynamic,
+                self.dynamic_cpu_ms,
+                self.dynamic_disk_ms,
+            ),
             RequestKind::Static => {
                 Request::new(RequestKind::Static, self.static_cpu_ms, self.static_disk_ms)
             }
@@ -95,13 +102,20 @@ mod tests {
         let rps = mix.rps_for_cpu_utilization(0.7, 4, 1000.0);
         assert!((rps - 2800.0 / 8.9).abs() < 1e-9);
         // Degenerate mean -> 0.
-        let silly = RequestMix { dynamic_cpu_ms: 0.0, static_cpu_ms: 0.0, ..RequestMix::paper() };
+        let silly = RequestMix {
+            dynamic_cpu_ms: 0.0,
+            static_cpu_ms: 0.0,
+            ..RequestMix::paper()
+        };
         assert_eq!(silly.rps_for_cpu_utilization(0.7, 4, 1000.0), 0.0);
     }
 
     #[test]
     fn materialized_requests_carry_the_mix_demands() {
-        let mix = RequestMix { dynamic_cpu_ms: 40.0, ..RequestMix::paper() };
+        let mix = RequestMix {
+            dynamic_cpu_ms: 40.0,
+            ..RequestMix::paper()
+        };
         let r = mix.request(RequestKind::Dynamic);
         assert_eq!(r.cpu_ms(), 40.0);
         let r = mix.request(RequestKind::Static);

@@ -28,7 +28,11 @@ impl DiurnalProfile {
     pub fn new(period_s: f64, valley_rps: f64, peak_rps: f64) -> Self {
         let clamp = |v: f64| if v.is_finite() { v.max(0.0) } else { 0.0 };
         DiurnalProfile {
-            period_s: if period_s.is_finite() { period_s.max(1.0) } else { 1.0 },
+            period_s: if period_s.is_finite() {
+                period_s.max(1.0)
+            } else {
+                1.0
+            },
             valley_rps: clamp(valley_rps),
             peak_rps: clamp(peak_rps).max(clamp(valley_rps)),
             peak_position: 0.5,
@@ -128,7 +132,10 @@ mod tests {
         let p = DiurnalProfile::new(777.0, 12.0, 88.0).with_peak_at(0.8);
         for t in 0..777 {
             let v = p.rps_at(t as f64);
-            assert!((12.0..=88.0 + 1e-9).contains(&v), "out of range at {t}: {v}");
+            assert!(
+                (12.0..=88.0 + 1e-9).contains(&v),
+                "out of range at {t}: {v}"
+            );
         }
     }
 

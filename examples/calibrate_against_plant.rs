@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut plant = Plant::pentium3_testbed(7);
     let measurements = plant.record_sensors(&trace)?;
     let measured = measurements.series("cpu_air")?;
-    println!("recorded {} seconds from the plant's CPU-air thermometer", measured.len());
+    println!(
+        "recorded {} seconds from the plant's CPU-air thermometer",
+        measured.len()
+    );
 
     // 2. Calibrate Mercury's CPU-side constants against those readings.
     let base = presets::validation_machine();
@@ -42,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "calibration: RMSE {:.2} °C -> {:.2} °C in {} rounds",
         outcome.initial_rmse, outcome.final_rmse, outcome.rounds
     );
-    println!("fitted values: k(cpu--cpu_air) = {:.3} W/K, split(ps_down->cpu_air) = {:.3}", outcome.values[0], outcome.values[1]);
+    println!(
+        "fitted values: k(cpu--cpu_air) = {:.3} W/K, split(ps_down->cpu_air) = {:.3}",
+        outcome.values[0], outcome.values[1]
+    );
 
     // 3. Show a few emulated-vs-measured points from the calibrated model.
     let emulated = run_offline(&outcome.model, &trace, SolverConfig::default(), None)?

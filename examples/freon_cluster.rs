@@ -19,8 +19,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // utilization across the four servers.
     let mix = RequestMix::paper();
     let peak = mix.rps_for_cpu_utilization(0.7, 4, 1000.0);
-    let profile =
-        DiurnalProfile::new(2000.0, peak * 0.15, peak).with_peak_at(0.70).with_plateau(0.3);
+    let profile = DiurnalProfile::new(2000.0, peak * 0.15, peak)
+        .with_peak_at(0.70)
+        .with_plateau(0.3);
     let trace = WorkloadGenerator::new(profile, mix, 42).generate(2000);
 
     // Two thermal emergencies at t=480 s, lasting the whole run.
@@ -28,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "sleep 480\nfiddle machine1 temperature inlet 38.6\nfiddle machine3 temperature inlet 35.6\n",
     )?;
 
-    let config = ExperimentConfig { duration_s: 2000, ..Default::default() };
+    let config = ExperimentConfig {
+        duration_s: 2000,
+        ..Default::default()
+    };
     let mut policy = FreonPolicy::new(FreonConfig::paper(), 4);
     let log = Experiment::new(&model, sim, &trace, Some(&script), config)?.run(&mut policy)?;
 
@@ -54,6 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         log.total_offered(),
         log.drop_rate() * 100.0
     );
-    println!("peak CPU temperatures: {:?}", (0..4).map(|i| log.max_cpu_temp(i).round()).collect::<Vec<_>>());
+    println!(
+        "peak CPU temperatures: {:?}",
+        (0..4)
+            .map(|i| log.max_cpu_temp(i).round())
+            .collect::<Vec<_>>()
+    );
     Ok(())
 }

@@ -17,8 +17,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mix = RequestMix::paper();
     let peak = mix.rps_for_cpu_utilization(0.7, 4, 1000.0);
-    let profile =
-        DiurnalProfile::new(2000.0, peak * 0.15, peak).with_peak_at(0.70).with_plateau(0.3);
+    let profile = DiurnalProfile::new(2000.0, peak * 0.15, peak)
+        .with_peak_at(0.70)
+        .with_plateau(0.3);
     let trace = WorkloadGenerator::new(profile, mix, 42).generate(2000);
 
     let script = FiddleScript::parse(
@@ -30,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ec = EcConfig::paper_four_servers();
     let mut policy = FreonEcPolicy::new(FreonConfig::paper(), ec);
 
-    let config = ExperimentConfig { duration_s: 2000, ..Default::default() };
+    let config = ExperimentConfig {
+        duration_s: 2000,
+        ..Default::default()
+    };
     let log = Experiment::new(&model, sim, &trace, Some(&script), config)?.run(&mut policy)?;
 
     println!("time   active  m1_temp m2_temp m3_temp m4_temp  dropped");
@@ -53,6 +57,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         log.mean_active_servers(),
         log.drop_rate() * 100.0
     );
-    println!("region emergency counts at the end: {:?}", policy.region_emergencies());
+    println!(
+        "region emergency counts at the end: {:?}",
+        policy.region_emergencies()
+    );
     Ok(())
 }

@@ -15,7 +15,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let source = std::fs::read_to_string("assets/server.mdl")?;
     let library = graphdl::parse(&source)?;
 
-    let machine = library.machine("server").ok_or("assets define machine `server`")?;
+    let machine = library
+        .machine("server")
+        .ok_or("assets define machine `server`")?;
     println!(
         "parsed machine `{}`: {} nodes, {} heat edges, {} air edges",
         machine.name(),
@@ -26,17 +28,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The file encodes exactly the built-in Table 1 preset.
     let preset = mercury_freon::mercury::presets::validation_machine();
-    assert_eq!(machine, &preset, "assets/server.mdl matches presets::validation_machine()");
+    assert_eq!(
+        machine, &preset,
+        "assets/server.mdl matches presets::validation_machine()"
+    );
     println!("matches presets::validation_machine() exactly");
 
     // Run the parsed machine for ten minutes at full CPU load.
     let mut solver = Solver::new(machine, SolverConfig::default())?;
     solver.set_utilization("cpu", 1.0)?;
     solver.step_for(600);
-    println!("after 600 s at 100% CPU: cpu = {}", solver.temperature("cpu")?);
+    println!(
+        "after 600 s at 100% CPU: cpu = {}",
+        solver.temperature("cpu")?
+    );
 
     // And the parsed room.
-    let room = library.cluster("room").ok_or("assets define cluster `room`")?;
+    let room = library
+        .cluster("room")
+        .ok_or("assets define cluster `room`")?;
     let mut cluster = ClusterSolver::new(room, SolverConfig::default())?;
     cluster.set_utilization("machine2", "cpu", 0.9)?;
     cluster.step_for(300);
@@ -49,8 +59,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Emit Graphviz for the three Figure 1 graphs.
     let out = std::path::Path::new("results");
     std::fs::create_dir_all(out)?;
-    std::fs::write(out.join("server_heat.dot"), graphdl::dot::heat_flow_to_dot(machine))?;
-    std::fs::write(out.join("server_air.dot"), graphdl::dot::air_flow_to_dot(machine))?;
+    std::fs::write(
+        out.join("server_heat.dot"),
+        graphdl::dot::heat_flow_to_dot(machine),
+    )?;
+    std::fs::write(
+        out.join("server_air.dot"),
+        graphdl::dot::air_flow_to_dot(machine),
+    )?;
     std::fs::write(out.join("room.dot"), graphdl::dot::cluster_to_dot(room))?;
     println!("wrote results/server_heat.dot, results/server_air.dot, results/room.dot");
     println!("render with e.g.: dot -Tpng results/server_air.dot -o air.png");

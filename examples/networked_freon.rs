@@ -14,7 +14,9 @@ use mercury_freon::cluster::{ClusterSim, ServerConfig};
 use mercury_freon::freon::net::{AdmdService, TempdDaemon};
 use mercury_freon::freon::FreonConfig;
 use mercury_freon::mercury::fiddle::FiddleCommand;
-use mercury_freon::mercury::net::{send_fiddle, FnSource, Monitord, Sensor, ServiceConfig, SolverService};
+use mercury_freon::mercury::net::{
+    send_fiddle, FnSource, Monitord, Sensor, ServiceConfig, SolverService,
+};
 use mercury_freon::mercury::presets;
 use mercury_freon::workload::{DiurnalProfile, RequestMix, WorkloadGenerator};
 use parking_lot::Mutex;
@@ -40,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("mercury solver service on {}", solver.local_addr());
 
     // --- The cluster being managed ----------------------------------------
-    let sim = Arc::new(Mutex::new(ClusterSim::homogeneous(4, ServerConfig::default())));
+    let sim = Arc::new(Mutex::new(ClusterSim::homogeneous(
+        4,
+        ServerConfig::default(),
+    )));
 
     // --- admd at the balancer ----------------------------------------------
     let compression = MS_PER_SECOND as f64 / 1000.0;
@@ -60,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 let sim = sim_for_monitor.lock();
                 vec![
                     ("cpu".to_string(), sim.server(i).cpu_utilization()),
-                    ("disk_platters".to_string(), sim.server(i).disk_utilization()),
+                    (
+                        "disk_platters".to_string(),
+                        sim.server(i).disk_utilization(),
+                    ),
                 ]
             }),
             solver.local_addr(),
@@ -69,28 +77,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // tempd: reads Mercury sensors over UDP, reports to admd.
         let cpu_sensor = Sensor::open(solver.local_addr(), machine.clone(), "cpu")?;
         let disk_sensor = Sensor::open(solver.local_addr(), machine.clone(), "disk_platters")?;
-        let tempd = TempdDaemon::spawn(i, config.clone(), admd.local_addr(), compression, move || {
-            let mut temps = Vec::with_capacity(2);
-            if let Ok(t) = cpu_sensor.read() {
-                temps.push(("cpu".to_string(), t.0));
-            }
-            if let Ok(t) = disk_sensor.read() {
-                temps.push(("disk_platters".to_string(), t.0));
-            }
-            temps
-        })?;
+        let tempd = TempdDaemon::spawn(
+            i,
+            config.clone(),
+            admd.local_addr(),
+            compression,
+            move || {
+                let mut temps = Vec::with_capacity(2);
+                if let Ok(t) = cpu_sensor.read() {
+                    temps.push(("cpu".to_string(), t.0));
+                }
+                if let Ok(t) = disk_sensor.read() {
+                    temps.push(("disk_platters".to_string(), t.0));
+                }
+                temps
+            },
+        )?;
         daemons.push((monitord, tempd));
     }
 
     // --- The workload driver, in this thread --------------------------------
     let mix = RequestMix::paper();
     let peak = mix.rps_for_cpu_utilization(0.7, 4, 1000.0);
-    let profile =
-        DiurnalProfile::new(DURATION_S as f64, peak * 0.15, peak).with_peak_at(0.70).with_plateau(0.3);
+    let profile = DiurnalProfile::new(DURATION_S as f64, peak * 0.15, peak)
+        .with_peak_at(0.70)
+        .with_plateau(0.3);
     let mut generator = WorkloadGenerator::new(profile, mix, 42);
 
     let stop = Arc::new(AtomicBool::new(false));
-    println!("\nrunning {DURATION_S} emulated seconds ({} ms wall each)...", MS_PER_SECOND);
+    println!(
+        "\nrunning {DURATION_S} emulated seconds ({} ms wall each)...",
+        MS_PER_SECOND
+    );
     let mut emergency_sent = false;
     for t in 0..DURATION_S {
         let arrivals = generator.arrivals_at(t);
@@ -120,7 +138,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "t={:>4}s  m1 cpu {:>5.1}  weights {:?}",
                 t + 1,
                 m1.read()?.0,
-                weights.iter().map(|w| (w * 100.0).round() / 100.0).collect::<Vec<_>>()
+                weights
+                    .iter()
+                    .map(|w| (w * 100.0).round() / 100.0)
+                    .collect::<Vec<_>>()
             );
         }
         std::thread::sleep(Duration::from_millis(MS_PER_SECOND));

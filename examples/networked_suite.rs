@@ -6,7 +6,9 @@
 //! Run with: `cargo run --example networked_suite`
 
 use mercury_freon::mercury::fiddle::FiddleCommand;
-use mercury_freon::mercury::net::{send_fiddle, FnSource, Monitord, Sensor, ServiceConfig, SolverService};
+use mercury_freon::mercury::net::{
+    send_fiddle, FnSource, Monitord, Sensor, ServiceConfig, SolverService,
+};
 use mercury_freon::mercury::presets;
 use std::time::Duration;
 

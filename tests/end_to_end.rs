@@ -13,8 +13,9 @@ use mercury_freon::workload::{DiurnalProfile, RequestMix, WorkloadGenerator, Wor
 fn short_trace(duration: u64, peak_util: f64) -> WorkloadTrace {
     let mix = RequestMix::paper();
     let peak = mix.rps_for_cpu_utilization(peak_util, 4, 1000.0);
-    let profile =
-        DiurnalProfile::new(duration as f64, peak * 0.15, peak).with_peak_at(0.7).with_plateau(0.3);
+    let profile = DiurnalProfile::new(duration as f64, peak * 0.15, peak)
+        .with_peak_at(0.7)
+        .with_plateau(0.3);
     WorkloadGenerator::new(profile, mix, 42).generate(duration)
 }
 
@@ -33,7 +34,10 @@ fn freon_contains_emergencies_without_drops() {
     let sim = ClusterSim::homogeneous(4, ServerConfig::default());
     let trace = short_trace(1500, 0.7);
     let script = emergency_script();
-    let config = ExperimentConfig { duration_s: 1500, ..Default::default() };
+    let config = ExperimentConfig {
+        duration_s: 1500,
+        ..Default::default()
+    };
     let mut policy = FreonPolicy::new(FreonConfig::paper(), 4);
     let log = Experiment::new(&model, sim, &trace, Some(&script), config)
         .unwrap()
@@ -61,7 +65,10 @@ fn freon_dominates_the_traditional_baseline() {
         let sim = ClusterSim::homogeneous(4, ServerConfig::default());
         let trace = short_trace(2000, 0.7);
         let script = emergency_script();
-        let config = ExperimentConfig { duration_s: 2000, ..Default::default() };
+        let config = ExperimentConfig {
+            duration_s: 2000,
+            ..Default::default()
+        };
         Experiment::new(&model, sim, &trace, Some(&script), config)
             .unwrap()
             .run(policy)
@@ -91,7 +98,10 @@ fn freon_ec_shrinks_and_grows_the_configuration() {
     let model = presets::freon_cluster(4);
     let sim = ClusterSim::homogeneous(4, ServerConfig::default());
     let trace = short_trace(1500, 0.7);
-    let config = ExperimentConfig { duration_s: 1500, ..Default::default() };
+    let config = ExperimentConfig {
+        duration_s: 1500,
+        ..Default::default()
+    };
     let mut policy = FreonEcPolicy::new(FreonConfig::paper(), EcConfig::paper_four_servers());
     let log = Experiment::new(&model, sim, &trace, None, config)
         .unwrap()
@@ -106,7 +116,11 @@ fn freon_ec_shrinks_and_grows_the_configuration() {
     assert!(policy.power_ons() >= 1);
     assert!(log.drop_rate() < 0.01, "drop rate {:.3}", log.drop_rate());
     // Energy saved: mean active servers well below the static 4.
-    assert!(log.mean_active_servers() < 3.6, "mean {}", log.mean_active_servers());
+    assert!(
+        log.mean_active_servers() < 3.6,
+        "mean {}",
+        log.mean_active_servers()
+    );
 }
 
 /// Without any policy, the emergencies drive the affected CPUs past the
@@ -117,13 +131,20 @@ fn the_emergencies_are_real_without_a_policy() {
     let sim = ClusterSim::homogeneous(4, ServerConfig::default());
     let trace = short_trace(2000, 0.7);
     let script = emergency_script();
-    let config = ExperimentConfig { duration_s: 2000, ..Default::default() };
+    let config = ExperimentConfig {
+        duration_s: 2000,
+        ..Default::default()
+    };
     let log = Experiment::new(&model, sim, &trace, Some(&script), config)
         .unwrap()
         .run(&mut NoPolicy)
         .unwrap();
     let tr = FreonConfig::paper().thresholds_for("cpu").unwrap().red_line;
-    assert!(log.max_cpu_temp(0) > tr, "machine1 only reached {:.1}", log.max_cpu_temp(0));
+    assert!(
+        log.max_cpu_temp(0) > tr,
+        "machine1 only reached {:.1}",
+        log.max_cpu_temp(0)
+    );
     assert!(log.max_cpu_temp(1) < tr, "machine2 should stay safe");
 }
 
@@ -150,7 +171,10 @@ fn experiments_are_exactly_repeatable() {
         let mix = RequestMix::paper();
         let profile = DiurnalProfile::new(400.0, 20.0, 120.0);
         let trace = WorkloadGenerator::new(profile, mix, 7).generate(400);
-        let config = ExperimentConfig { duration_s: 400, ..Default::default() };
+        let config = ExperimentConfig {
+            duration_s: 400,
+            ..Default::default()
+        };
         let mut policy = FreonPolicy::new(FreonConfig::paper(), 2);
         Experiment::new(&model, sim, &trace, None, config)
             .unwrap()

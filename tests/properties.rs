@@ -20,8 +20,14 @@ fn closed_pair() -> impl Strategy<Value = (MachineModel, f64, f64)> {
     )
         .prop_map(|(ma, mb, k, ta, tb)| {
             let mut b = MachineModel::builder("closed");
-            b.component("a").mass_kg(ma).specific_heat(900.0).constant_power(0.0);
-            b.component("b").mass_kg(mb).specific_heat(900.0).constant_power(0.0);
+            b.component("a")
+                .mass_kg(ma)
+                .specific_heat(900.0)
+                .constant_power(0.0);
+            b.component("b")
+                .mass_kg(mb)
+                .specific_heat(900.0)
+                .constant_power(0.0);
             b.heat_edge("a", "b", k).expect("valid edge");
             (b.build().expect("valid model"), ta, tb)
         })

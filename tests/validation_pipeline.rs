@@ -27,7 +27,11 @@ fn calibrated_mercury_tracks_the_plant_on_unseen_load() {
     // Calibration phase.
     let staircase = cpu_staircase(1600, 200);
     let mut plant = Plant::pentium3_testbed(11);
-    let measured = plant.record_sensors(&staircase).unwrap().series("cpu_air").unwrap();
+    let measured = plant
+        .record_sensors(&staircase)
+        .unwrap()
+        .series("cpu_air")
+        .unwrap();
     let base = presets::validation_machine();
     let outcome = CalibrationProblem::new(&base, &staircase)
         .param(Param::HeatK {
@@ -55,7 +59,11 @@ fn calibrated_mercury_tracks_the_plant_on_unseen_load() {
     // Validation phase: an unseen, rapidly varying benchmark.
     let benchmark = combined_benchmark(1500, 3);
     let mut plant = Plant::pentium3_testbed(12);
-    let plant_series = plant.record_sensors(&benchmark).unwrap().series("cpu_air").unwrap();
+    let plant_series = plant
+        .record_sensors(&benchmark)
+        .unwrap()
+        .series("cpu_air")
+        .unwrap();
     let emulated = run_offline(&outcome.model, &benchmark, SolverConfig::default(), None)
         .unwrap()
         .series(nodes::CPU_AIR)
@@ -108,7 +116,9 @@ fn mercury_matches_the_cfd_stand_in_after_calibration() {
 #[test]
 fn networked_suite_round_trip() {
     use mercury_freon::mercury::fiddle::FiddleCommand;
-    use mercury_freon::mercury::net::{send_fiddle, FnSource, Monitord, Sensor, ServiceConfig, SolverService};
+    use mercury_freon::mercury::net::{
+        send_fiddle, FnSource, Monitord, Sensor, ServiceConfig, SolverService,
+    };
     use std::time::Duration;
 
     let service = SolverService::spawn_machine(
@@ -127,11 +137,18 @@ fn networked_suite_round_trip() {
     let first = sensor.read().unwrap();
     std::thread::sleep(Duration::from_millis(500));
     let later = sensor.read().unwrap();
-    assert!(later.0 > first.0 + 1.0, "cpu did not heat: {first} -> {later}");
+    assert!(
+        later.0 > first.0 + 1.0,
+        "cpu did not heat: {first} -> {later}"
+    );
 
     send_fiddle(
         service.local_addr(),
-        &FiddleCommand::Temperature { machine: "m1".into(), node: "inlet".into(), celsius: 38.6 },
+        &FiddleCommand::Temperature {
+            machine: "m1".into(),
+            node: "inlet".into(),
+            celsius: 38.6,
+        },
     )
     .unwrap();
     std::thread::sleep(Duration::from_millis(300));
