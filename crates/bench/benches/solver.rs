@@ -63,6 +63,29 @@ fn bench_solver(c: &mut Criterion) {
         });
     });
 
+    // Replicated-room scaling: the batched SoA path vs per-machine
+    // stepping, single-threaded so the comparison is pure kernel effect.
+    for &n in &[256usize, 1024] {
+        for &(label, batching) in &[("batched", true), ("per_machine", false)] {
+            c.bench_function(&format!("solver_tick_cluster{n}_{label}"), |b| {
+                let cluster = presets::validation_cluster(n);
+                let mut solver = ClusterSolver::new(&cluster, SolverConfig::default()).unwrap();
+                solver.set_batching(batching);
+                solver.set_threads(1);
+                for i in 1..=n {
+                    solver
+                        .set_utilization(&format!("machine{i}"), nodes::CPU, 0.7)
+                        .unwrap();
+                }
+                solver.step(); // build the batch plan outside the timing
+                b.iter(|| {
+                    solver.step();
+                    black_box(solver.time());
+                });
+            });
+        }
+    }
+
     c.bench_function("solver_temperature_query", |b| {
         let solver = Solver::new(&model, SolverConfig::default()).unwrap();
         b.iter(|| black_box(solver.temperature(nodes::CPU_AIR).unwrap()));

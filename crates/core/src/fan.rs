@@ -100,8 +100,16 @@ impl FanCurve {
 }
 
 /// A per-machine fan controller: reads one node, commands the fan, and
-/// hysteresis-filters small changes so the solver's flow tables are not
-/// rebuilt every tick.
+/// hysteresis-filters small changes.
+///
+/// The solver's flow cache already makes re-commanding an *unchanged*
+/// speed free (the air-flow tables are keyed on the fan's mass flow and
+/// only recompute when it actually moves — see
+/// [`crate::solver::Solver::flow_recomputes`]), so hysteresis is not
+/// needed for solver throughput. It still matters for batching: any
+/// *applied* fan change diverges the machine from its replicated group
+/// (DESIGN.md §3b), so suppressing sub-`min_step_cfm` jitter keeps
+/// identical machines stepping together on the batched path.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FanController {
     /// The firmware curve.
@@ -241,6 +249,27 @@ mod tests {
         assert!(fan.regulate(&mut solver).unwrap().is_some());
         // Without meaningful temperature movement, no re-command.
         assert!(fan.regulate(&mut solver).unwrap().is_none());
+    }
+
+    #[test]
+    fn unchanged_speed_commands_do_not_recompute_flows() {
+        let model = presets::validation_machine();
+        let mut solver = Solver::new(&model, SolverConfig::default()).unwrap();
+        // Flat curve: every regulation commands the same 33 cfm.
+        let mut fan = FanController::new(FanCurve::new(vec![(50.0, 33.0)]).unwrap(), nodes::CPU);
+        fan.min_step_cfm = 0.0; // defeat hysteresis: re-command every call
+        fan.regulate(&mut solver).unwrap();
+        solver.step();
+        let after_first = solver.flow_recomputes();
+        for _ in 0..5 {
+            fan.regulate(&mut solver).unwrap();
+            solver.step();
+        }
+        assert_eq!(
+            solver.flow_recomputes(),
+            after_first,
+            "identical fan commands must hit the flow cache"
+        );
     }
 
     #[test]

@@ -148,6 +148,53 @@ impl MachineModel {
         copy.name = name.into();
         copy
     }
+
+    /// A hash of everything the step kernel's constants derive from:
+    /// node kinds and heat capacities, air-region kinds and masses, both
+    /// edge lists (indices and rate constants), the air topological
+    /// order, and the fan's mass flow.
+    ///
+    /// Two machines with equal fingerprints compile to identical kernels
+    /// and can be stepped together by the batched cluster kernel. Names,
+    /// power models, and the inlet boundary temperature are deliberately
+    /// excluded: they are per-machine *inputs* (utilization-driven heat
+    /// and boundary data), not stepping structure, so trace-replicated
+    /// machines batch even when each replica runs a different workload.
+    pub fn structural_fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.nodes.len().hash(&mut h);
+        for node in &self.nodes {
+            match node {
+                NodeSpec::Component(c) => {
+                    0u8.hash(&mut h);
+                    c.capacity().0.to_bits().hash(&mut h);
+                }
+                NodeSpec::Air(a) => {
+                    1u8.hash(&mut h);
+                    (a.kind as u8).hash(&mut h);
+                    a.mass_kg.to_bits().hash(&mut h);
+                }
+            }
+        }
+        self.heat_edges.len().hash(&mut h);
+        for e in &self.heat_edges {
+            e.a.0.hash(&mut h);
+            e.b.0.hash(&mut h);
+            e.k.0.to_bits().hash(&mut h);
+        }
+        self.air_edges.len().hash(&mut h);
+        for e in &self.air_edges {
+            e.from.0.hash(&mut h);
+            e.to.0.hash(&mut h);
+            e.fraction.to_bits().hash(&mut h);
+        }
+        for id in &self.topo_order {
+            id.0.hash(&mut h);
+        }
+        self.fan.mass_flow().0.to_bits().hash(&mut h);
+        h.finish()
+    }
 }
 
 /// Handle returned by [`MachineBuilder::component`] for fluent per-component

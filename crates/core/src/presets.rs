@@ -218,6 +218,53 @@ pub fn recirculating_cluster(n: usize, recirculation: f64) -> ClusterModel {
     b.build().expect("recirculating cluster validates")
 }
 
+/// A deliberately heterogeneous room: `replicated` identical Table 1
+/// servers (named `machine1..`) plus `unique` structural variants (named
+/// `variant1..`, each with a different CPU heat-transfer coefficient, so
+/// each has its own structural fingerprint). All are wired to one AC
+/// supply and one shared exhaust junction like [`validation_cluster`].
+///
+/// This is the shape that exercises the cluster solver's batched path
+/// next to its per-machine fallback: the replicas form one batch group,
+/// the variants step individually.
+///
+/// # Panics
+///
+/// Panics if `replicated + unique` is zero.
+pub fn mixed_cluster(replicated: usize, unique: usize) -> ClusterModel {
+    let n = replicated + unique;
+    assert!(n > 0, "a cluster needs at least one machine");
+    let mut b = ClusterModel::builder();
+    b.supply("ac", INLET_TEMPERATURE_C);
+    b.junction("cluster_exhaust");
+    let fraction = 1.0 / n as f64;
+    let wire = |b: &mut crate::model::ClusterBuilder, m: MachineModel| {
+        let idx = b.machine(m);
+        b.edge(
+            ClusterEndpoint::Supply("ac".into()),
+            ClusterEndpoint::MachineInlet(idx),
+            fraction,
+        );
+        b.edge(
+            ClusterEndpoint::MachineExhaust(idx),
+            ClusterEndpoint::Junction("cluster_exhaust".into()),
+            1.0,
+        );
+    };
+    for i in 0..replicated {
+        wire(
+            &mut b,
+            validation_machine_named(&format!("machine{}", i + 1)),
+        );
+    }
+    for i in 0..unique {
+        // A per-variant CPU k gives every variant a distinct fingerprint.
+        let k = 1.0 + 0.05 * (i + 1) as f64;
+        wire(&mut b, machine_with_cpu_k(&format!("variant{}", i + 1), k));
+    }
+    b.build().expect("mixed cluster validates")
+}
+
 fn build_cluster(n: usize, machine: fn(&str) -> MachineModel) -> ClusterModel {
     assert!(n > 0, "a cluster needs at least one machine");
     let mut b = ClusterModel::builder();

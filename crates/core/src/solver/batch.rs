@@ -1,0 +1,396 @@
+//! Batched cluster stepping: structure-sharing for replicated machines.
+//!
+//! Mercury's trace-replication trick (§2.3) emulates a large machine room
+//! by replicating one calibrated server model, so the common cluster is
+//! hundreds of machines with *identical* stepping structure. Stepping
+//! them through separate [`super::kernel::StepKernel`]s wastes both
+//! memory (each kernel holds its own copy of the same CSR topology and
+//! operator weights) and cache (every machine switch evicts the previous
+//! machine's operator arrays).
+//!
+//! This module groups machines by [`structural
+//! fingerprint`](crate::model::MachineModel::structural_fingerprint) and
+//! steps each group as one fused sweep over a contiguous
+//! `[nodes × machines]` state matrix:
+//!
+//! - **Shared operator.** One read-only copy of the assembled sub-step
+//!   operator (CSR offsets, sources, weights, `1/(m·c)`) serves every
+//!   machine in the group — the topology memory for a 1024-replica room
+//!   is that of *one* machine plus state rows.
+//! - **SoA layout.** Temperatures and per-node power ΔT are stored
+//!   node-major: row `i` holds node `i`'s value for every machine in the
+//!   chunk (one f64 *lane* per machine). Applying operator entry
+//!   `(src, w)` to node `i` is then a straight sequential walk over two
+//!   contiguous rows — `next[i][·] += w · cur[src][·]` — which the
+//!   compiler auto-vectorizes.
+//! - **Bit-identical trajectories.** Per lane, the accumulation sequence
+//!   is exactly the scalar kernel's: `self_w·T_i + ΔT_power`, then one
+//!   `+= w_j·T_src(j)` per operator entry in the same order. Lanes never
+//!   interact (no horizontal reductions), so batched, per-machine,
+//!   serial, and parallel stepping all produce the same bits.
+//!
+//! Machines whose kernel constants have diverged from their source model
+//! (fan-speed, heat-k, or air-fraction fiddles) or that carry
+//! force-pinned nodes fall back transparently to the per-machine path;
+//! see [`super::machine::Solver::batch_eligible`]. Groups are split into
+//! fixed-width chunks of at most [`CHUNK_LANES`] machines so that (a)
+//! the working set of one chunk stays cache-resident and (b) parallel
+//! cluster ticks can hand whole chunks to worker threads — chunk width
+//! never depends on the thread count, so parallelism cannot change
+//! results.
+
+use super::kernel::AssembledOp;
+use super::machine::Solver;
+
+/// Maximum machines (f64 lanes) per batch chunk. 32 lanes keep one
+/// chunk's three `[nodes × lanes]` matrices a few KiB — cache-resident —
+/// while amortizing the per-node operator walk over a long vectorizable
+/// inner loop. Chunk width is a constant of the layout, not a tuning
+/// knob the thread count may touch: trajectories must not depend on how
+/// chunks are distributed.
+pub(crate) const CHUNK_LANES: usize = 32;
+
+/// Below this many same-fingerprint machines, batching is not worth the
+/// per-tick gather/scatter: the pair stays on the per-machine path.
+const MIN_GROUP: usize = 2;
+
+/// One group's shared, read-only sub-step operator — a deep copy of the
+/// representative machine's assembled [`AssembledOp`], plus the group's
+/// boundary mask (inlet nodes; eligible machines have no force-pinned
+/// nodes, so the mask is structural and identical across the group).
+#[derive(Debug)]
+pub(crate) struct SharedOp {
+    n: usize,
+    substeps: usize,
+    op_off: Vec<u32>,
+    op_src: Vec<u32>,
+    op_w: Vec<f64>,
+    self_w: Vec<f64>,
+    inv_capacity: Vec<f64>,
+    /// Refreshed from the representative each tick (cheap: `n` bools).
+    fixed: Vec<bool>,
+}
+
+impl SharedOp {
+    fn from_assembled(op: AssembledOp<'_>) -> Self {
+        SharedOp {
+            n: op.n,
+            substeps: op.substeps,
+            op_off: op.op_off.to_vec(),
+            op_src: op.op_src.to_vec(),
+            op_w: op.op_w.to_vec(),
+            self_w: op.self_w.to_vec(),
+            inv_capacity: op.inv_capacity.to_vec(),
+            fixed: vec![false; op.n],
+        }
+    }
+
+    /// Exact (bitwise) equality with another machine's assembled
+    /// operator. Fingerprint-equal machines compile to identical
+    /// operators by construction; this check makes a 64-bit fingerprint
+    /// collision harmless instead of silently wrong.
+    fn matches(&self, op: &AssembledOp<'_>) -> bool {
+        self.n == op.n
+            && self.substeps == op.substeps
+            && self.op_off == op.op_off
+            && self.op_src == op.op_src
+            && bits_eq(&self.op_w, op.op_w)
+            && bits_eq(&self.self_w, op.self_w)
+            && bits_eq(&self.inv_capacity, op.inv_capacity)
+    }
+}
+
+fn bits_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// One chunk of a batch group: up to [`CHUNK_LANES`] machines stepped
+/// together over node-major state matrices.
+#[derive(Debug)]
+pub(crate) struct Chunk {
+    /// Cluster machine indices, in cluster order; lane `l` holds
+    /// machine `members[l]`.
+    members: Vec<usize>,
+    /// `[nodes × lanes]` temperature matrices, double-buffered.
+    cur: Vec<f64>,
+    next: Vec<f64>,
+    /// `[nodes × lanes]` per-sub-step power ΔT.
+    power_dt: Vec<f64>,
+    /// Per-lane heat generated over the tick (Joules), for
+    /// [`Solver::finish_tick`] bookkeeping.
+    generated: Vec<f64>,
+    /// Whether the chunk's matrices already hold every member's state
+    /// from the previous tick. A warm chunk only re-gathers boundary
+    /// rows (the inter-machine graph rewrites inlets each tick) and
+    /// lanes whose solver reports changed inputs; everything else is
+    /// bit-identical to what the scatter just wrote back.
+    warm: bool,
+}
+
+impl Chunk {
+    fn new(members: Vec<usize>, n: usize) -> Self {
+        let lanes = members.len();
+        Chunk {
+            members,
+            cur: vec![0.0; n * lanes],
+            next: vec![0.0; n * lanes],
+            power_dt: vec![0.0; n * lanes],
+            generated: vec![0.0; lanes],
+            warm: false,
+        }
+    }
+
+    /// Advances every lane by one tick (all sub-steps). Pure compute on
+    /// chunk-owned state plus the shared read-only operator — safe to
+    /// run concurrently with other chunks.
+    pub(crate) fn tick(&mut self, op: &SharedOp) {
+        let lanes = self.members.len();
+        for _ in 0..op.substeps {
+            // Field-disjoint borrows: `cur` read-only, `next` written.
+            let cur = &self.cur;
+            let next = &mut self.next;
+            let power_dt = &self.power_dt;
+            for i in 0..op.n {
+                let row = i * lanes;
+                let cur_row = &cur[row..row + lanes];
+                let next_row = &mut next[row..row + lanes];
+                if op.fixed[i] {
+                    next_row.copy_from_slice(cur_row);
+                    continue;
+                }
+                // Per lane this is the scalar kernel's exact sequence:
+                // t = self_w·T_i + ΔT_power, then += w_j·T_src(j) in
+                // operator order. Lanes are independent, so splitting
+                // the scalar loop into these row passes reorders nothing
+                // within a lane.
+                let sw = op.self_w[i];
+                let pd_row = &power_dt[row..row + lanes];
+                for l in 0..lanes {
+                    next_row[l] = sw * cur_row[l] + pd_row[l];
+                }
+                for j in op.op_off[i] as usize..op.op_off[i + 1] as usize {
+                    let src = op.op_src[j] as usize * lanes;
+                    let w = op.op_w[j];
+                    let src_row = &cur[src..src + lanes];
+                    let next_row = &mut next[row..row + lanes];
+                    for l in 0..lanes {
+                        next_row[l] += w * src_row[l];
+                    }
+                }
+            }
+            std::mem::swap(&mut self.cur, &mut self.next);
+        }
+    }
+}
+
+/// One structural group: the shared operator plus its member chunks.
+#[derive(Debug)]
+struct Group {
+    op: SharedOp,
+    chunks: Vec<Chunk>,
+}
+
+/// The cluster's batch plan: which machines step together, and the
+/// matrices they step in. Owned by `ClusterSolver`; rebuilt only when
+/// membership changes (a machine diverges, a pin appears/disappears, or
+/// batching is toggled).
+#[derive(Debug, Default)]
+pub(crate) struct BatchSet {
+    groups: Vec<Group>,
+    /// `membership[m]` — machine `m` steps on the batched path.
+    membership: Vec<bool>,
+    /// The `(fingerprint, eligible)` vector the current plan was built
+    /// from; a cheap per-tick comparison detects membership changes.
+    signature: Vec<(u64, bool)>,
+    planned: bool,
+}
+
+impl BatchSet {
+    pub(crate) fn new(n_machines: usize) -> Self {
+        BatchSet {
+            groups: Vec::new(),
+            membership: vec![false; n_machines],
+            signature: Vec::new(),
+            planned: false,
+        }
+    }
+
+    /// Whether machine `m` is currently stepped on the batched path.
+    pub(crate) fn is_batched(&self, m: usize) -> bool {
+        self.membership.get(m).copied().unwrap_or(false)
+    }
+
+    /// Number of machines currently stepped on the batched path.
+    pub(crate) fn batched_machines(&self) -> usize {
+        self.membership.iter().filter(|&&b| b).count()
+    }
+
+    /// Drops the plan; every machine steps per-machine until `plan` runs
+    /// again.
+    pub(crate) fn clear(&mut self) {
+        self.groups.clear();
+        self.membership.iter_mut().for_each(|b| *b = false);
+        self.signature.clear();
+        self.planned = false;
+    }
+
+    /// (Re)partitions the cluster into batch groups. Cheap when nothing
+    /// changed: recomputes the `(fingerprint, eligible)` signature and
+    /// compares it to the current plan's.
+    pub(crate) fn plan(&mut self, machines: &mut [Solver]) {
+        let signature: Vec<(u64, bool)> = machines
+            .iter()
+            .map(|m| (m.fingerprint(), m.batch_eligible()))
+            .collect();
+        if self.planned && signature == self.signature {
+            return;
+        }
+
+        self.groups.clear();
+        self.membership.clear();
+        self.membership.resize(machines.len(), false);
+
+        // Group eligible machines by fingerprint, preserving first-seen
+        // order so the plan is deterministic in machine order.
+        let mut order: Vec<u64> = Vec::new();
+        let mut by_print: std::collections::HashMap<u64, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (m, &(print, eligible)) in signature.iter().enumerate() {
+            if !eligible {
+                continue;
+            }
+            let entry = by_print.entry(print).or_default();
+            if entry.is_empty() {
+                order.push(print);
+            }
+            entry.push(m);
+        }
+
+        for print in order {
+            let members = by_print.remove(&print).expect("grouped above");
+            if members.len() < MIN_GROUP {
+                continue;
+            }
+            // Deep-copy the representative's operator, then verify every
+            // member compiled to the same bits (fingerprint collisions
+            // demote the odd one out to the per-machine path).
+            let op =
+                SharedOp::from_assembled(machines[members[0]].compiled_kernel().assembled_op());
+            let mut verified = Vec::with_capacity(members.len());
+            for &m in &members {
+                if op.matches(&machines[m].compiled_kernel().assembled_op()) {
+                    verified.push(m);
+                } else {
+                    debug_assert!(false, "fingerprint collision between machines");
+                }
+            }
+            if verified.len() < MIN_GROUP {
+                continue;
+            }
+            for &m in &verified {
+                self.membership[m] = true;
+            }
+            let n = op.n;
+            let chunks = verified
+                .chunks(CHUNK_LANES)
+                .map(|c| Chunk::new(c.to_vec(), n))
+                .collect();
+            self.groups.push(Group { op, chunks });
+        }
+
+        self.signature = signature;
+        self.planned = true;
+    }
+
+    /// Tick preamble for every batched machine: runs the identical
+    /// per-machine input pricing ([`Solver::fill_tick_inputs`]), then
+    /// gathers temperatures and per-node power ΔT into the chunk
+    /// matrices. The representative's boundary mask is copied into the
+    /// shared operator (it is structural, hence identical group-wide).
+    pub(crate) fn begin_tick(&mut self, machines: &mut [Solver]) {
+        for group in &mut self.groups {
+            let op = &mut group.op;
+            let mut first = true;
+            for chunk in &mut group.chunks {
+                let lanes = chunk.members.len();
+                for l in 0..lanes {
+                    let solver = &mut machines[chunk.members[l]];
+                    let repriced = solver.fill_tick_inputs();
+                    let (fixed, power_q) = solver.tick_inputs();
+                    if first {
+                        op.fixed.copy_from_slice(fixed);
+                        first = false;
+                    } else {
+                        debug_assert_eq!(op.fixed, fixed, "boundary mask diverged within group");
+                    }
+                    let temps = solver.temps();
+                    if chunk.warm && !repriced {
+                        // Nothing about this lane changed outside the
+                        // chunk except possibly its boundary rows (the
+                        // room graph rewrote the inlet); non-boundary
+                        // rows still hold the previous scatter's bits.
+                        for (i, (&fixed, t)) in op.fixed.iter().zip(temps).enumerate() {
+                            if fixed {
+                                chunk.cur[i * lanes + l] = t.0;
+                            }
+                        }
+                        continue;
+                    }
+                    // `sum_q` accumulates in node order — the scalar
+                    // kernel's exact `generated` bookkeeping.
+                    let mut sum_q = 0.0;
+                    for i in 0..op.n {
+                        let q = power_q[i];
+                        sum_q += q;
+                        chunk.cur[i * lanes + l] = temps[i].0;
+                        chunk.power_dt[i * lanes + l] = q * op.inv_capacity[i];
+                    }
+                    chunk.generated[l] = sum_q * op.substeps as f64;
+                }
+                chunk.warm = true;
+            }
+        }
+    }
+
+    /// Steps every chunk serially, in plan order.
+    pub(crate) fn tick_serial(&mut self) {
+        for group in &mut self.groups {
+            for chunk in &mut group.chunks {
+                chunk.tick(&group.op);
+            }
+        }
+    }
+
+    /// The independent `(operator, chunk)` work items, for distributing
+    /// across worker threads. Chunks never alias; the operator is shared
+    /// read-only within its group.
+    pub(crate) fn par_items(&mut self) -> Vec<(&SharedOp, &mut Chunk)> {
+        self.groups
+            .iter_mut()
+            .flat_map(|g| {
+                let op = &g.op;
+                g.chunks.iter_mut().map(move |c| (&*op, c))
+            })
+            .collect()
+    }
+
+    /// Tick epilogue: scatters chunk temperatures back into each member
+    /// solver and books its heat/time accounting, exactly as
+    /// [`Solver::step`]'s epilogue does.
+    pub(crate) fn finish_tick(&mut self, machines: &mut [Solver]) {
+        for group in &mut self.groups {
+            let n = group.op.n;
+            for chunk in &mut group.chunks {
+                let lanes = chunk.members.len();
+                for l in 0..lanes {
+                    let solver = &mut machines[chunk.members[l]];
+                    let temps = solver.temps_mut();
+                    for (i, t) in temps.iter_mut().enumerate().take(n) {
+                        t.0 = chunk.cur[i * lanes + l];
+                    }
+                    solver.finish_tick(chunk.generated[l]);
+                }
+            }
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! The cluster solver: per-machine solvers coupled by the inter-machine
 //! air-flow graph.
 
+use super::batch::BatchSet;
 use super::kernel::MixGraph;
 use super::machine::{Solver, SolverConfig};
 use crate::error::Error;
@@ -63,6 +64,10 @@ pub struct ClusterSolver {
     forced_inlets: Vec<Option<Celsius>>,
     /// Worker threads for machine stepping; 0 = automatic.
     threads: usize,
+    /// Batch plan over structurally identical machines (see
+    /// [`ClusterSolver::set_batching`]).
+    batch: BatchSet,
+    batching: bool,
     time: Seconds,
     dt: Seconds,
 }
@@ -103,6 +108,8 @@ impl ClusterSolver {
             exhaust_scratch: vec![Celsius(0.0); n],
             forced_inlets: vec![None; n],
             threads: 0,
+            batch: BatchSet::new(n),
+            batching: true,
             time: Seconds(0.0),
             dt: cfg.dt,
         })
@@ -265,6 +272,34 @@ impl ClusterSolver {
         self.threads = threads;
     }
 
+    /// Enables or disables batched stepping of structurally identical
+    /// machines (default: enabled).
+    ///
+    /// When enabled, machines that share a [`structural
+    /// fingerprint`](crate::model::MachineModel::structural_fingerprint)
+    /// and have not been fiddled away from their source model step
+    /// together through one shared structure-of-arrays kernel — the fast
+    /// path for trace-replicated rooms. Batched and per-machine stepping
+    /// are bit-identical; this switch exists for benchmarking and for
+    /// pinning down a suspect path, not for correctness.
+    pub fn set_batching(&mut self, on: bool) {
+        self.batching = on;
+        if !on {
+            self.batch.clear();
+        }
+    }
+
+    /// Whether batched stepping is enabled.
+    pub fn batching(&self) -> bool {
+        self.batching
+    }
+
+    /// Number of machines stepped on the batched path in the most recent
+    /// tick (`0` before the first tick, or with batching disabled).
+    pub fn batched_machines(&self) -> usize {
+        self.batch.batched_machines()
+    }
+
     /// The thread count [`ClusterSolver::step`] will actually use.
     pub fn effective_threads(&self) -> usize {
         let n = self.machines.len();
@@ -322,23 +357,66 @@ impl ClusterSolver {
     }
 
     fn step_machines(&mut self) {
+        // Partition the cluster: structurally identical, unfiddled
+        // machines step batched; the rest step per-machine. The plan is
+        // rebuilt only when membership changes.
+        if self.batching {
+            self.batch.plan(&mut self.machines);
+        }
+        // Gather batched machines' inputs into the chunk matrices
+        // (serial: touches every member solver).
+        self.batch.begin_tick(&mut self.machines);
+
         let threads = self.effective_threads();
         if threads <= 1 {
-            for m in &mut self.machines {
-                m.step();
+            for (i, m) in self.machines.iter_mut().enumerate() {
+                if !self.batch.is_batched(i) {
+                    m.step();
+                }
             }
-            return;
-        }
-        let chunk = self.machines.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            for slice in self.machines.chunks_mut(chunk) {
-                scope.spawn(move || {
-                    for m in slice {
-                        m.step();
+            self.batch.tick_serial();
+        } else {
+            // Parallel fan-out over two kinds of independent work item:
+            // solo machines (their whole `step`) and batch chunks (pure
+            // compute on chunk-owned state). Work is chunked by item, not
+            // by thread-dependent matrix strides, so the thread count
+            // never changes any machine's arithmetic.
+            let batch = &self.batch;
+            let mut solos: Vec<&mut Solver> = self
+                .machines
+                .iter_mut()
+                .enumerate()
+                .filter(|(i, _)| !batch.is_batched(*i))
+                .map(|(_, m)| m)
+                .collect();
+            let mut items = self.batch.par_items();
+            std::thread::scope(|scope| {
+                if !solos.is_empty() {
+                    let chunk = solos.len().div_ceil(threads);
+                    for slice in solos.chunks_mut(chunk) {
+                        scope.spawn(move || {
+                            for m in slice {
+                                m.step();
+                            }
+                        });
                     }
-                });
-            }
-        });
+                }
+                if !items.is_empty() {
+                    let chunk = items.len().div_ceil(threads);
+                    for slice in items.chunks_mut(chunk) {
+                        scope.spawn(move || {
+                            for (op, c) in slice.iter_mut() {
+                                c.tick(op);
+                            }
+                        });
+                    }
+                }
+            });
+        }
+
+        // Scatter batched results back and book per-machine accounting
+        // (serial: touches every member solver).
+        self.batch.finish_tick(&mut self.machines);
     }
 
     /// Advances the room by `ticks` ticks.

@@ -100,6 +100,85 @@ pub fn required_substeps(
     (steps as usize).max(1)
 }
 
+/// Dirty-tracked cache around [`air_flows`].
+///
+/// A kernel rebuild is triggered by *any* constant change — fan speed,
+/// heat-transfer coefficient, air fraction — but the air-flow
+/// distribution only depends on the fan's mass flow and the air-edge
+/// fractions. The cache keys on exactly those inputs and replays the
+/// stored `(edge_flows, node_inflows)` when they are unchanged, so e.g.
+/// a `set_heat_k` fiddle no longer re-walks the flow graph and a fan
+/// controller that commands the same speed twice pays nothing.
+///
+/// The recompute counter is observable via [`FlowCache::recomputes`]
+/// (surfaced as `Solver::flow_recomputes`) so tests can assert the
+/// invalidation contract: a fan-speed change invalidates the cached
+/// flows exactly once.
+#[derive(Debug, Clone, Default)]
+pub struct FlowCache {
+    valid: bool,
+    /// Cache key: fan mass-flow bits plus every air edge as
+    /// `(from, to, fraction bits)` in declaration order.
+    key_fan: u64,
+    key_edges: Vec<(u32, u32, u64)>,
+    edge_flow: Vec<KilogramsPerSecond>,
+    inflow: Vec<KilogramsPerSecond>,
+    recomputes: u64,
+}
+
+impl FlowCache {
+    /// Creates an empty (invalid) cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times the cached flows have been (re)computed since construction.
+    pub fn recomputes(&self) -> u64 {
+        self.recomputes
+    }
+
+    fn key_matches(&self, air_edges: &[AirEdge], fan_mass_flow: KilogramsPerSecond) -> bool {
+        self.valid
+            && self.key_fan == fan_mass_flow.0.to_bits()
+            && self.key_edges.len() == air_edges.len()
+            && self
+                .key_edges
+                .iter()
+                .zip(air_edges)
+                .all(|(&(from, to, frac), e)| {
+                    from == e.from.0 && to == e.to.0 && frac == e.fraction.to_bits()
+                })
+    }
+
+    /// Returns the flow distribution for the given graph, recomputing
+    /// via [`air_flows`] only when the fan mass flow or an air-edge
+    /// fraction actually changed since the last call.
+    pub fn flows(
+        &mut self,
+        nodes_len: usize,
+        air_edges: &[AirEdge],
+        topo: &[NodeId],
+        inlets: &[NodeId],
+        fan_mass_flow: KilogramsPerSecond,
+    ) -> (&[KilogramsPerSecond], &[KilogramsPerSecond]) {
+        if !self.key_matches(air_edges, fan_mass_flow) {
+            let (edge_flow, inflow) = air_flows(nodes_len, air_edges, topo, inlets, fan_mass_flow);
+            self.edge_flow = edge_flow;
+            self.inflow = inflow;
+            self.key_fan = fan_mass_flow.0.to_bits();
+            self.key_edges.clear();
+            self.key_edges.extend(
+                air_edges
+                    .iter()
+                    .map(|e| (e.from.0, e.to.0, e.fraction.to_bits())),
+            );
+            self.valid = true;
+            self.recomputes += 1;
+        }
+        (&self.edge_flow, &self.inflow)
+    }
+}
+
 /// Convenience: compute flows straight from a model at its nominal fan
 /// speed. Used by tests and by the solver at construction.
 pub fn model_air_flows(model: &MachineModel) -> (Vec<KilogramsPerSecond>, Vec<KilogramsPerSecond>) {
@@ -220,6 +299,77 @@ mod tests {
             &[None],
         );
         assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn flow_cache_recomputes_only_on_flow_affecting_changes() {
+        let model = paper_airflow_model();
+        let inlets: Vec<NodeId> = model.inlets();
+        let mut cache = FlowCache::new();
+        assert_eq!(cache.recomputes(), 0);
+
+        let fan = model.fan().mass_flow();
+        let (direct_edges, direct_inflow) = air_flows(
+            model.nodes().len(),
+            model.air_edges(),
+            model.topo_order(),
+            &inlets,
+            fan,
+        );
+        let (edges, inflow) = cache.flows(
+            model.nodes().len(),
+            model.air_edges(),
+            model.topo_order(),
+            &inlets,
+            fan,
+        );
+        assert_eq!(edges, direct_edges.as_slice());
+        assert_eq!(inflow, direct_inflow.as_slice());
+        assert_eq!(cache.recomputes(), 1);
+
+        // Same inputs: served from cache.
+        for _ in 0..5 {
+            cache.flows(
+                model.nodes().len(),
+                model.air_edges(),
+                model.topo_order(),
+                &inlets,
+                fan,
+            );
+        }
+        assert_eq!(cache.recomputes(), 1);
+
+        // A fan change invalidates exactly once.
+        let faster = KilogramsPerSecond(fan.0 * 2.0);
+        cache.flows(
+            model.nodes().len(),
+            model.air_edges(),
+            model.topo_order(),
+            &inlets,
+            faster,
+        );
+        assert_eq!(cache.recomputes(), 2);
+        cache.flows(
+            model.nodes().len(),
+            model.air_edges(),
+            model.topo_order(),
+            &inlets,
+            faster,
+        );
+        assert_eq!(cache.recomputes(), 2);
+
+        // A fraction change invalidates too.
+        let mut edited = model.air_edges().to_vec();
+        edited[0].fraction = 0.35;
+        edited[1].fraction = 0.55;
+        cache.flows(
+            model.nodes().len(),
+            &edited,
+            model.topo_order(),
+            &inlets,
+            faster,
+        );
+        assert_eq!(cache.recomputes(), 3);
     }
 
     #[test]

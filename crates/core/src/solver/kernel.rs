@@ -52,7 +52,7 @@
 //!   `w_self` in `[1 − 2·limit, 1]`, so assembling the row reassociates
 //!   well-conditioned sums only.
 
-use super::flows::{air_flows, required_substeps};
+use super::flows::{required_substeps, FlowCache};
 use crate::model::{ClusterEndpoint, ClusterModel, NodeId};
 use crate::units::{Celsius, JoulesPerKelvin, KilogramsPerSecond, Seconds, WattsPerKelvin};
 
@@ -114,6 +114,23 @@ pub(crate) struct StepKernel {
     power_dt: Vec<f64>,
     cur: Vec<f64>,
     next: Vec<f64>,
+    /// Dirty-tracked air-flow cache: rebuilds triggered by non-flow
+    /// changes (e.g. a heat-k fiddle) replay the stored distribution.
+    flow_cache: FlowCache,
+}
+
+/// A read-only view of a kernel's assembled sub-step operator, shared
+/// with the batched cluster kernel so both paths run the exact same
+/// per-node affine rows.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AssembledOp<'a> {
+    pub n: usize,
+    pub substeps: usize,
+    pub op_off: &'a [u32],
+    pub op_src: &'a [u32],
+    pub op_w: &'a [f64],
+    pub self_w: &'a [f64],
+    pub inv_capacity: &'a [f64],
 }
 
 impl StepKernel {
@@ -145,6 +162,7 @@ impl StepKernel {
             power_dt: Vec::new(),
             cur: Vec::new(),
             next: Vec::new(),
+            flow_cache: FlowCache::new(),
         }
     }
 
@@ -156,6 +174,25 @@ impl StepKernel {
     /// Length of one sub-step.
     pub(crate) fn dt_sub(&self) -> Seconds {
         self.dt_sub
+    }
+
+    /// Times the air-flow distribution has been recomputed (vs replayed
+    /// from the dirty-tracked cache) across all rebuilds.
+    pub(crate) fn flow_recomputes(&self) -> u64 {
+        self.flow_cache.recomputes()
+    }
+
+    /// The assembled sub-step operator, for the batched cluster kernel.
+    pub(crate) fn assembled_op(&self) -> AssembledOp<'_> {
+        AssembledOp {
+            n: self.n,
+            substeps: self.substeps,
+            op_off: &self.op_off,
+            op_src: &self.op_src,
+            op_w: &self.op_w,
+            self_w: &self.self_w,
+            inv_capacity: &self.inv_capacity,
+        }
     }
 
     /// Recompresses the topology and reprices every derived constant.
@@ -214,7 +251,9 @@ impl StepKernel {
         // `flows` — the single home of flow-graph walking — then index
         // the per-edge result into the incoming CSR below. Rebuilds are
         // cold (only on topology-affecting changes), so the id-vector
-        // conversions don't matter.
+        // conversions don't matter. The dirty-tracked cache replays the
+        // stored distribution when neither the fan mass flow nor an
+        // air-edge fraction changed (e.g. a heat-k rebuild).
         let model_edges: Vec<crate::model::AirEdge> = air_edges
             .iter()
             .map(|&(from, to, fraction)| crate::model::AirEdge {
@@ -225,8 +264,12 @@ impl StepKernel {
             .collect();
         let topo_ids: Vec<NodeId> = topo.iter().map(|&i| NodeId(i as u32)).collect();
         let inlet_ids: Vec<NodeId> = inlets.iter().map(|&i| NodeId(i as u32)).collect();
-        let (edge_flow, inflow) = air_flows(n, &model_edges, &topo_ids, &inlet_ids, fan_mass_flow);
-        self.inflow = inflow;
+        let (edge_flow, inflow) =
+            self.flow_cache
+                .flows(n, &model_edges, &topo_ids, &inlet_ids, fan_mass_flow);
+        let edge_flow = edge_flow.to_vec();
+        self.inflow.clear();
+        self.inflow.extend_from_slice(inflow);
 
         // Incoming-air CSR, again in edge declaration order per node.
         self.air_off.clear();

@@ -90,6 +90,20 @@ pub struct Solver {
     fixed: Vec<bool>,
     power_q: Vec<f64>,
     dirty: bool,
+    /// Set when the per-tick inputs (boundary flags, generated heat) or
+    /// externally written temperature state may have changed since the
+    /// last [`Solver::fill_tick_inputs`]; cleared there. While clear,
+    /// stepping reuses the priced inputs, and the batched cluster kernel
+    /// additionally skips re-gathering this machine's non-boundary rows.
+    inputs_dirty: bool,
+    /// Structural fingerprint of the source model
+    /// ([`MachineModel::structural_fingerprint`]), captured at
+    /// construction for batch grouping.
+    fingerprint: u64,
+    /// Set once any kernel constant diverges from the source model
+    /// (fan speed, heat k, air fraction). A diverged solver steps on the
+    /// per-machine path; it never rejoins a batch group.
+    diverged: bool,
     cfg: SolverConfig,
     time: Seconds,
     generated_last_tick: Joules,
@@ -167,6 +181,9 @@ impl Solver {
             fixed: vec![false; n],
             power_q: vec![0.0; n],
             dirty: true,
+            inputs_dirty: true,
+            fingerprint: model.structural_fingerprint(),
+            diverged: false,
             cfg,
             time: Seconds(0.0),
             generated_last_tick: Joules(0.0),
@@ -357,6 +374,7 @@ impl Solver {
                 monitored: true, ..
             } => {
                 self.utilization[index] = utilization.into();
+                self.inputs_dirty = true;
                 Ok(())
             }
             NodeRt::Component {
@@ -407,6 +425,7 @@ impl Solver {
         let i = self.index(name)?;
         self.forced[i] = Some(t);
         self.temp[i] = t;
+        self.inputs_dirty = true;
         Ok(())
     }
 
@@ -421,6 +440,7 @@ impl Solver {
         if self.inlets.contains(&i) {
             self.temp[i] = self.inlet_temperature;
         }
+        self.inputs_dirty = true;
         Ok(())
     }
 
@@ -432,6 +452,7 @@ impl Solver {
     pub fn set_temperature(&mut self, name: &str, t: Celsius) -> Result<(), Error> {
         let i = self.index(name)?;
         self.temp[i] = t;
+        self.inputs_dirty = true;
         Ok(())
     }
 
@@ -448,6 +469,7 @@ impl Solver {
         }
         self.fan = CubicMetersPerSecond::from_cfm(cfm);
         self.dirty = true;
+        self.diverged = true;
         Ok(())
     }
 
@@ -473,6 +495,7 @@ impl Solver {
             if (edge.0 == ia && edge.1 == ib) || (edge.0 == ib && edge.1 == ia) {
                 edge.2 = WattsPerKelvin(k);
                 self.dirty = true;
+                self.diverged = true;
                 return Ok(());
             }
         }
@@ -524,6 +547,7 @@ impl Solver {
             }
         }
         self.dirty = true;
+        self.diverged = true;
         Ok(())
     }
 
@@ -540,6 +564,7 @@ impl Solver {
         match &mut self.kind[i] {
             NodeRt::Component { power, .. } => {
                 *power = model;
+                self.inputs_dirty = true;
                 Ok(())
             }
             NodeRt::Air { .. } => Err(Error::invalid_input(format!(
@@ -568,17 +593,41 @@ impl Solver {
             &air_mass,
         );
         self.dirty = false;
+        // A rebuild can change the sub-step length, which the generated
+        // heat is priced against.
+        self.inputs_dirty = true;
     }
 
-    /// Advances the emulation by one tick of [`SolverConfig::dt`] seconds.
+    /// Times the air-flow distribution has actually been recomputed (as
+    /// opposed to replayed from the kernel's dirty-tracked cache). The
+    /// initial compile counts as one; a fan-speed or air-fraction change
+    /// adds exactly one more at the next rebuild, while changes that
+    /// leave the flows alone (e.g. [`Solver::set_heat_k`]) add none.
     ///
-    /// The graph arithmetic (Equations 2, 3, and 5 plus advection) runs in
-    /// the compiled [`StepKernel`]; this method only refreshes the kernel
-    /// when dirty and prices the per-tick inputs — boundary flags and the
-    /// per-sub-step generated heat, both constant within a tick.
-    pub fn step(&mut self) {
+    /// Rebuilds are lazy: a pending change is priced at the next
+    /// [`Solver::step`] (or any call that needs the compiled kernel),
+    /// not at the setter.
+    pub fn flow_recomputes(&self) -> u64 {
+        self.kernel.flow_recomputes()
+    }
+
+    /// Prices this tick's per-machine inputs exactly as [`Solver::step`]
+    /// does: recompiles the kernel if dirty, then fills the boundary
+    /// flags and the per-sub-step generated heat. The batched cluster
+    /// kernel calls this before gathering the machine's state so both
+    /// paths run the identical preamble.
+    ///
+    /// The inputs only change when a setter ran since the last pricing
+    /// (utilization, power model, forced nodes, a kernel rebuild), so
+    /// unchanged inputs are reused. Returns whether a repricing happened
+    /// — the batch gather uses this to skip re-reading rows it already
+    /// holds.
+    pub(crate) fn fill_tick_inputs(&mut self) -> bool {
         if self.dirty {
             self.refresh();
+        }
+        if !self.inputs_dirty {
+            return false;
         }
         let dts = self.kernel.dt_sub();
         for i in 0..self.names.len() {
@@ -597,9 +646,69 @@ impl Solver {
                 NodeRt::Air { .. } => 0.0,
             };
         }
-        let generated = self.kernel.tick(&mut self.temp, &self.fixed, &self.power_q);
+        self.inputs_dirty = false;
+        true
+    }
+
+    /// Books the results of one tick stepped outside this solver (by the
+    /// batched cluster kernel): heat accounting and the time advance —
+    /// the exact epilogue of [`Solver::step`].
+    pub(crate) fn finish_tick(&mut self, generated: f64) {
         self.generated_last_tick = Joules(generated);
         self.time.0 += self.cfg.dt.0;
+    }
+
+    /// Structural fingerprint of the source model, for batch grouping.
+    pub(crate) fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Whether this machine may step on the batched path this tick: its
+    /// kernel constants still match the source model and no node is
+    /// force-pinned (pinning changes the boundary-flag pattern, which a
+    /// batch group shares structurally).
+    pub(crate) fn batch_eligible(&self) -> bool {
+        !self.diverged && self.forced.iter().all(Option::is_none)
+    }
+
+    /// Recompiles the kernel if a change is pending, then exposes it
+    /// (the batch group copies the representative's assembled operator).
+    pub(crate) fn compiled_kernel(&mut self) -> &StepKernel {
+        if self.dirty {
+            self.refresh();
+        }
+        &self.kernel
+    }
+
+    /// The per-tick inputs priced by [`Solver::fill_tick_inputs`].
+    pub(crate) fn tick_inputs(&self) -> (&[bool], &[f64]) {
+        (&self.fixed, &self.power_q)
+    }
+
+    /// Raw temperature state, for the batch gather.
+    pub(crate) fn temps(&self) -> &[Celsius] {
+        &self.temp
+    }
+
+    /// Raw temperature state, for the batch scatter.
+    pub(crate) fn temps_mut(&mut self) -> &mut [Celsius] {
+        &mut self.temp
+    }
+
+    /// Advances the emulation by one tick of [`SolverConfig::dt`] seconds.
+    ///
+    /// The graph arithmetic (Equations 2, 3, and 5 plus advection) runs in
+    /// the compiled [`StepKernel`]; this method only refreshes the kernel
+    /// when dirty and prices the per-tick inputs — boundary flags and the
+    /// per-sub-step generated heat, both constant within a tick.
+    pub fn step(&mut self) {
+        self.fill_tick_inputs();
+        let generated = self.kernel.tick(&mut self.temp, &self.fixed, &self.power_q);
+        self.finish_tick(generated);
+        // A direct step rewrites this solver's temperatures outside any
+        // batch chunk; if the solver is a chunk member, the chunk must
+        // re-gather the lane before reusing it.
+        self.inputs_dirty = true;
     }
 
     /// Advances the emulation by `ticks` ticks.

@@ -32,7 +32,15 @@
 //! and its per-tick machine stepping can fan out across threads (see
 //! [`ClusterSolver::set_threads`]) because machines within a tick only
 //! read the *previous* tick's exhaust temperatures.
+//!
+//! Structurally identical machines — the common case under the paper's
+//! trace replication (§2.3) — are additionally stepped *batched*: the
+//! private `batch` module groups them by structural fingerprint and
+//! sweeps each group over one shared operator in a vectorizable
+//! structure-of-arrays layout, bit-identical to per-machine stepping
+//! (see [`ClusterSolver::set_batching`]).
 
+mod batch;
 mod cluster;
 mod flows;
 mod kernel;

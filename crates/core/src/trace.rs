@@ -17,13 +17,18 @@ use crate::solver::{ClusterSolver, Solver, SolverConfig};
 use crate::units::{Celsius, Seconds, Utilization};
 use serde::{Deserialize, Serialize};
 use std::io::Write;
+use std::sync::Arc;
 
 /// A fixed-interval recording of component utilizations for one machine.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct UtilizationTrace {
     machine: String,
     interval: Seconds,
-    components: Vec<String>,
+    /// Shared, immutable column metadata: replicas made with
+    /// [`UtilizationTrace::replicate_for`] (and plain clones) all point
+    /// at one allocation, so a 1024-replica offline run does not carry
+    /// 1024 copies of identical component names.
+    components: Arc<[String]>,
     /// `samples[row][col]` is the utilization of `components[col]` during
     /// the `row`-th interval.
     samples: Vec<Vec<Utilization>>,
@@ -53,7 +58,7 @@ impl UtilizationTrace {
         Ok(UtilizationTrace {
             machine: machine.into(),
             interval: Seconds(interval_s),
-            components,
+            components: components.into(),
             samples: Vec::new(),
         })
     }
@@ -157,11 +162,18 @@ impl UtilizationTrace {
 
     /// Clones this trace under a different machine name — the paper's
     /// trace-replication trick for emulating large clusters from a single
-    /// measured machine.
+    /// measured machine. The component-name metadata is shared with the
+    /// original (`Arc`), not deep-cloned per replica.
     pub fn replicate_for(&self, machine: impl Into<String>) -> UtilizationTrace {
         let mut copy = self.clone();
         copy.machine = machine.into();
         copy
+    }
+
+    /// Whether `other` shares this trace's component-name storage (true
+    /// for replicas and clones; diagnostic for memory tests).
+    pub fn shares_components_with(&self, other: &UtilizationTrace) -> bool {
+        Arc::ptr_eq(&self.components, &other.components)
     }
 
     /// Writes the trace as CSV: a `time` column followed by one column
@@ -179,7 +191,7 @@ impl UtilizationTrace {
             self.machine, self.interval.0
         )?;
         write!(w, "time")?;
-        for c in &self.components {
+        for c in self.components.iter() {
             write!(w, ",{c}")?;
         }
         writeln!(w)?;
@@ -533,6 +545,22 @@ mod tests {
             copy.component_series(nodes::CPU).unwrap(),
             trace.component_series(nodes::CPU).unwrap()
         );
+    }
+
+    #[test]
+    fn replication_shares_component_storage() {
+        let trace = staircase_trace("server");
+        let copy = trace.replicate_for("machine2");
+        assert!(trace.shares_components_with(&copy));
+        // An independently built trace holds its own storage...
+        let other = staircase_trace("server");
+        assert!(!trace.shares_components_with(&other));
+        // ...and so does a CSV round-trip, with equal content.
+        let mut buf = Vec::new();
+        trace.write_csv(&mut buf).unwrap();
+        let back = UtilizationTrace::read_csv(&String::from_utf8(buf).unwrap()).unwrap();
+        assert!(!trace.shares_components_with(&back));
+        assert_eq!(back.components(), trace.components());
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Equivalence tests for batched cluster stepping.
+//!
+//! The cluster solver's batched path (structure-sharing SoA sweeps over
+//! fingerprint-identical machines) must be *bit-identical* to the
+//! per-machine path, at every thread count, on clusters that mix
+//! replicated machines, structurally unique machines, and machines
+//! fiddled away from their source model mid-run. These tests drive both
+//! paths over the same inputs and compare every node temperature bitwise.
+//!
+//! Test names contain `batch` so CI can run exactly this suite in
+//! release mode (`cargo test -p mercury --release -- batch`), where the
+//! vectorized sweep actually engages.
+
+use mercury::presets::{self, nodes};
+use mercury::solver::{ClusterSolver, Solver, SolverConfig};
+use mercury::units::Celsius;
+use proptest::prelude::*;
+
+/// Bitwise comparison of every node temperature on every machine.
+fn assert_bit_identical(a: &ClusterSolver, b: &ClusterSolver, context: &str) {
+    assert_eq!(a.len(), b.len());
+    for m in 0..a.len() {
+        let ta = a.machine_at(m).temperatures();
+        let tb = b.machine_at(m).temperatures();
+        for ((name, x), (_, y)) in ta.iter().zip(&tb) {
+            assert_eq!(
+                x.0.to_bits(),
+                y.0.to_bits(),
+                "{context}: machine {m} node {name}: {} vs {}",
+                x.0,
+                y.0
+            );
+        }
+    }
+}
+
+/// One scripted run: identical inputs pushed into a solver configured
+/// with (batching, threads). Exercises replica fan-fiddles mid-run (a
+/// machine leaving its batch group), per-variant utilizations, and a
+/// forced inlet.
+fn scripted_run(
+    cluster: &mercury::model::ClusterModel,
+    batching: bool,
+    threads: usize,
+    utils: &[f64],
+    fiddle_machine: usize,
+    fiddle_tick: usize,
+    ticks: usize,
+) -> ClusterSolver {
+    let mut s = ClusterSolver::new(cluster, SolverConfig::default()).unwrap();
+    s.set_batching(batching);
+    s.set_threads(threads);
+    let names: Vec<String> = s.machine_names().iter().map(|n| n.to_string()).collect();
+    for (i, name) in names.iter().enumerate() {
+        let u = utils[i % utils.len()];
+        s.set_utilization(name, nodes::CPU, u).unwrap();
+        s.set_utilization(name, nodes::DISK_PLATTERS, 1.0 - u)
+            .unwrap();
+    }
+    s.force_inlet(&names[0], Celsius(24.0)).unwrap();
+    for tick in 0..ticks {
+        if tick == fiddle_tick {
+            // Kick one machine off the batched path mid-run: a fan-speed
+            // fiddle diverges its kernel from the source model.
+            let name = &names[fiddle_machine % names.len()];
+            s.machine_mut(name).unwrap().set_fan_cfm(30.0).unwrap();
+        }
+        s.step();
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Batched and per-machine stepping are bit-identical on a mixed
+    /// cluster (replicas + structural variants + a mid-run fan fiddle +
+    /// a forced inlet), at thread counts 1, 2 and 3.
+    #[test]
+    fn batched_matches_per_machine_on_mixed_clusters(
+        replicated in 3usize..8,
+        unique in 0usize..3,
+        utils in proptest::collection::vec(0.0f64..1.0, 3..6),
+        fiddle_machine in 0usize..8,
+        fiddle_tick in 1usize..25,
+        threads in 1usize..4,
+    ) {
+        let cluster = presets::mixed_cluster(replicated, unique);
+        let baseline = scripted_run(
+            &cluster, false, 1, &utils, fiddle_machine, fiddle_tick, 30,
+        );
+        prop_assert_eq!(baseline.batched_machines(), 0);
+        let batched = scripted_run(
+            &cluster, true, threads, &utils, fiddle_machine, fiddle_tick, 30,
+        );
+        // The batched run really used the batched path (the replicas
+        // minus at most the fiddled one still form a group of >= 2).
+        prop_assert!(
+            batched.batched_machines() >= replicated - 1,
+            "only {} machines batched out of {} replicas",
+            batched.batched_machines(),
+            replicated
+        );
+        assert_bit_identical(&baseline, &batched, "mixed cluster");
+    }
+}
+
+/// The replicated fast path engages on a homogeneous cluster and stays
+/// bit-identical to the per-machine path across thread counts.
+#[test]
+fn batched_replicated_cluster_is_bit_identical_at_all_thread_counts() {
+    let cluster = presets::validation_cluster(40);
+    let utils = [0.9, 0.2, 0.55, 0.7];
+    let baseline = scripted_run(&cluster, false, 1, &utils, 5, 10, 40);
+    for threads in [1, 2, 3, 4] {
+        let batched = scripted_run(&cluster, true, threads, &utils, 5, 10, 40);
+        // 40 replicas, one fiddled away mid-run.
+        assert_eq!(batched.batched_machines(), 39);
+        assert_bit_identical(&baseline, &batched, &format!("{threads} threads"));
+    }
+}
+
+/// A machine whose fan is fiddled leaves the batch group; the rest stay.
+#[test]
+fn batch_membership_follows_divergence() {
+    let cluster = presets::validation_cluster(12);
+    let mut s = ClusterSolver::new(&cluster, SolverConfig::default()).unwrap();
+    assert_eq!(s.batched_machines(), 0, "no plan before the first tick");
+    s.step();
+    assert_eq!(s.batched_machines(), 12);
+    s.machine_mut("machine3")
+        .unwrap()
+        .set_fan_cfm(20.0)
+        .unwrap();
+    s.step();
+    assert_eq!(s.batched_machines(), 11);
+    // Disabling batching clears the plan; re-enabling rebuilds it.
+    s.set_batching(false);
+    s.step();
+    assert_eq!(s.batched_machines(), 0);
+    s.set_batching(true);
+    s.step();
+    assert_eq!(s.batched_machines(), 11);
+}
+
+/// A mid-run fan-speed change invalidates the cached air flows exactly
+/// once: the flows are recomputed on the next step and then served from
+/// cache again, and re-commanding the *same* speed recomputes nothing.
+#[test]
+fn batch_flow_cache_invalidated_exactly_once_by_fan_change() {
+    let mut s = Solver::new(&presets::validation_machine(), SolverConfig::default()).unwrap();
+    assert_eq!(s.flow_recomputes(), 1, "construction prices the flows once");
+    for _ in 0..10 {
+        s.step();
+    }
+    assert_eq!(s.flow_recomputes(), 1, "steady stepping hits the cache");
+
+    s.set_fan_cfm(50.0).unwrap();
+    for _ in 0..10 {
+        s.step();
+    }
+    assert_eq!(s.flow_recomputes(), 2, "fan change recomputes exactly once");
+
+    s.set_fan_cfm(50.0).unwrap();
+    s.step();
+    assert_eq!(
+        s.flow_recomputes(),
+        2,
+        "same speed re-commanded is a cache hit"
+    );
+
+    // A heat-k fiddle rebuilds the operator but leaves air flows alone.
+    s.set_heat_k(nodes::CPU, nodes::CPU_AIR, 0.9).unwrap();
+    s.step();
+    assert_eq!(s.flow_recomputes(), 2, "heat-k fiddle does not touch flows");
+
+    // An air-fraction fiddle *does* change the flow distribution.
+    s.set_air_fraction(nodes::VOID_AIR, nodes::EXHAUST, 0.9)
+        .unwrap();
+    s.step();
+    assert_eq!(s.flow_recomputes(), 3);
+}

@@ -265,8 +265,39 @@ fn time<F: FnMut()>(mut f: F) -> f64 {
     start.elapsed().as_secs_f64()
 }
 
-/// `bench_solver`: single-machine and 64-machine cluster throughput,
-/// kernel vs the seed algorithm, written to `BENCH_solver.json`.
+/// Peak resident set size of this process (Linux `VmHWM`), in bytes.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Times one replicated-cluster configuration at the given thread count,
+/// with the batched path on or off. Returns (seconds, batched machines).
+fn time_replicated_cluster(
+    n: usize,
+    ticks: usize,
+    batching: bool,
+    threads: usize,
+) -> Result<(f64, usize)> {
+    let model = presets::validation_cluster(n);
+    let mut s = ClusterSolver::new(&model, SolverConfig::default())?;
+    s.set_batching(batching);
+    s.set_threads(threads);
+    for i in 1..=n {
+        s.set_utilization(&format!("machine{i}"), nodes::CPU, 0.7)?;
+    }
+    s.step_for(20); // warm-up (also builds the batch plan)
+    let secs = time(|| s.step_for(ticks));
+    Ok((secs, s.batched_machines()))
+}
+
+/// `bench_solver`: single-machine and cluster throughput — the CSR
+/// kernel vs the seed algorithm, and the batched SoA cluster path vs
+/// per-machine stepping at 64/256/1024 replicated machines — written to
+/// `BENCH_solver.json` together with the core count, actual thread
+/// counts, and peak RSS.
 pub fn bench_solver() -> Result {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -312,28 +343,86 @@ pub fn bench_solver() -> Result {
         }
     });
 
-    let mut serial = ClusterSolver::new(&cluster_model, SolverConfig::default())?;
-    serial.set_threads(1);
-    for i in 1..=64 {
-        serial.set_utilization(&format!("machine{i}"), nodes::CPU, 0.7)?;
-    }
-    let cluster_serial_s = time(|| serial.step_for(cluster_ticks));
+    // Per-machine path (the PR-1 kernel): batching off, one thread.
+    let (cluster_serial_s, _) = time_replicated_cluster(64, cluster_ticks, false, 1)?;
+    // Batched path, one thread.
+    let (cluster_batched_s, _) = time_replicated_cluster(64, cluster_ticks, true, 1)?;
 
-    let mut parallel = ClusterSolver::new(&cluster_model, SolverConfig::default())?;
-    parallel.set_threads(0); // auto
-    for i in 1..=64 {
-        parallel.set_utilization(&format!("machine{i}"), nodes::CPU, 0.7)?;
-    }
-    let threads = parallel.effective_threads();
-    let cluster_parallel_s = time(|| parallel.step_for(cluster_ticks));
+    // The parallel measurement is only meaningful with >1 core: on a
+    // single-core box the scoped threads just time-slice and the result
+    // would (misleadingly) read slower than serial. Skip it there, and
+    // record the thread count actually used otherwise.
+    let parallel = if cores > 1 {
+        let mut s = ClusterSolver::new(&cluster_model, SolverConfig::default())?;
+        s.set_threads(0); // auto
+        for i in 1..=64 {
+            s.set_utilization(&format!("machine{i}"), nodes::CPU, 0.7)?;
+        }
+        let threads = s.effective_threads();
+        s.step_for(20);
+        Some((time(|| s.step_for(cluster_ticks)), threads))
+    } else {
+        None
+    };
 
     let cluster_ref_tps = cluster_ticks as f64 / cluster_ref_s;
     let cluster_serial_tps = cluster_ticks as f64 / cluster_serial_s;
-    let cluster_parallel_tps = cluster_ticks as f64 / cluster_parallel_s;
-    let cluster_speedup = cluster_parallel_tps / cluster_ref_tps;
+    let cluster_batched_tps = cluster_ticks as f64 / cluster_batched_s;
+    let cluster_speedup = cluster_batched_tps / cluster_ref_tps;
+    let parallel_json = match parallel {
+        Some((secs, threads)) => format!(
+            "\"kernel_parallel_seconds\": {secs:.3},\n    \"kernel_parallel_ticks_per_sec\": {:.1},\n    \"parallel_threads\": {threads}",
+            cluster_ticks as f64 / secs
+        ),
+        None => "\"kernel_parallel_seconds\": \"skipped_single_core\",\n    \"parallel_threads\": 1".to_string(),
+    };
+
+    // --- replicated-cluster scaling: batched vs per-machine kernel -------
+    let scale = |n: usize, ticks: usize| -> Result<(usize, f64, f64, usize)> {
+        let (per_machine_s, _) = time_replicated_cluster(n, ticks, false, 1)?;
+        let (batched_s, batched) = time_replicated_cluster(n, ticks, true, 1)?;
+        Ok((ticks, per_machine_s, batched_s, batched))
+    };
+    let (ticks_256, per_machine_256_s, batched_256_s, batched_256) = scale(256, 1200)?;
+    let (ticks_1024, per_machine_1024_s, batched_1024_s, batched_1024) = scale(1024, 300)?;
+    let batch_speedup_256 = per_machine_256_s / batched_256_s;
+    let batch_speedup_1024 = per_machine_1024_s / batched_1024_s;
+
+    let rss = peak_rss_bytes().unwrap_or(0);
+    let scaling_json = |name: &str,
+                        n: usize,
+                        ticks: usize,
+                        pm_s: f64,
+                        b_s: f64,
+                        batched: usize,
+                        speedup: f64| {
+        format!(
+            "\"{name}\": {{\n    \"model\": \"validation_cluster({n})\",\n    \"ticks\": {ticks},\n    \"threads\": 1,\n    \"per_machine_seconds\": {pm_s:.3},\n    \"batched_seconds\": {b_s:.3},\n    \"per_machine_ticks_per_sec\": {:.1},\n    \"batched_ticks_per_sec\": {:.1},\n    \"batched_machines\": {batched},\n    \"batch_speedup\": {speedup:.2}\n  }}",
+            ticks as f64 / pm_s,
+            ticks as f64 / b_s,
+        )
+    };
+    let s256 = scaling_json(
+        "cluster_256",
+        256,
+        ticks_256,
+        per_machine_256_s,
+        batched_256_s,
+        batched_256,
+        batch_speedup_256,
+    );
+    let s1024 = scaling_json(
+        "cluster_1024",
+        1024,
+        ticks_1024,
+        per_machine_1024_s,
+        batched_1024_s,
+        batched_1024,
+        batch_speedup_1024,
+    );
 
     let json = format!(
-        "{{\n  \"hardware\": {{ \"cores\": {cores} }},\n  \"single_machine\": {{\n    \"model\": \"validation_machine\",\n    \"ticks\": {ticks},\n    \"reference_ticks_per_sec\": {machine_ref_tps:.1},\n    \"kernel_ticks_per_sec\": {machine_kern_tps:.1},\n    \"speedup\": {machine_speedup:.2}\n  }},\n  \"cluster_64\": {{\n    \"model\": \"validation_cluster(64)\",\n    \"ticks\": {cluster_ticks},\n    \"reference_seconds\": {cluster_ref_s:.3},\n    \"kernel_serial_seconds\": {cluster_serial_s:.3},\n    \"kernel_parallel_seconds\": {cluster_parallel_s:.3},\n    \"parallel_threads\": {threads},\n    \"reference_ticks_per_sec\": {cluster_ref_tps:.1},\n    \"kernel_serial_ticks_per_sec\": {cluster_serial_tps:.1},\n    \"kernel_parallel_ticks_per_sec\": {cluster_parallel_tps:.1},\n    \"speedup_vs_reference\": {cluster_speedup:.2}\n  }}\n}}\n"
+        "{{\n  \"hardware\": {{ \"cores\": {cores}, \"peak_rss_bytes\": {rss} }},\n  \"single_machine\": {{\n    \"model\": \"validation_machine\",\n    \"ticks\": {ticks},\n    \"reference_ticks_per_sec\": {machine_ref_tps:.1},\n    \"kernel_ticks_per_sec\": {machine_kern_tps:.1},\n    \"speedup\": {machine_speedup:.2}\n  }},\n  \"cluster_64\": {{\n    \"model\": \"validation_cluster(64)\",\n    \"ticks\": {cluster_ticks},\n    \"reference_seconds\": {cluster_ref_s:.3},\n    \"kernel_serial_seconds\": {cluster_serial_s:.3},\n    \"kernel_batched_seconds\": {cluster_batched_s:.3},\n    {parallel_json},\n    \"reference_ticks_per_sec\": {cluster_ref_tps:.1},\n    \"kernel_serial_ticks_per_sec\": {cluster_serial_tps:.1},\n    \"kernel_batched_ticks_per_sec\": {cluster_batched_tps:.1},\n    \"speedup_vs_reference\": {cluster_speedup:.2}\n  }},\n  {s256},\n  {s1024}\n}}\n"
     );
     std::fs::write("BENCH_solver.json", &json)?;
     println!("wrote BENCH_solver.json");
@@ -343,11 +432,28 @@ pub fn bench_solver() -> Result {
         "single machine: reference {machine_ref_tps:.0} ticks/s, kernel {machine_kern_tps:.0} ticks/s ({machine_speedup:.2}×)"
     ));
     measured(&format!(
-        "64-machine cluster, 3600 ticks: reference {cluster_ref_s:.2} s, kernel serial {cluster_serial_s:.2} s, kernel parallel {cluster_parallel_s:.2} s ({threads} thread(s), {cluster_speedup:.2}× vs reference)"
+        "64-machine cluster, 3600 ticks: reference {cluster_ref_s:.2} s, per-machine {cluster_serial_s:.2} s, batched {cluster_batched_s:.2} s ({cluster_speedup:.2}× vs reference)"
+    ));
+    match parallel {
+        Some((secs, threads)) => measured(&format!(
+            "64-machine cluster parallel: {secs:.2} s on {threads} threads"
+        )),
+        None => measured("parallel measurement skipped: single-core machine"),
+    }
+    measured(&format!(
+        "256-machine cluster: per-machine {per_machine_256_s:.2} s, batched {batched_256_s:.2} s ({batch_speedup_256:.2}×, {batched_256} machines batched)"
+    ));
+    measured(&format!(
+        "1024-machine cluster: per-machine {per_machine_1024_s:.2} s, batched {batched_1024_s:.2} s ({batch_speedup_1024:.2}×, peak RSS {:.0} MiB)",
+        rss as f64 / (1024.0 * 1024.0)
     ));
     verdict(
         cluster_speedup >= 2.0,
         "64-machine cluster steps ≥2× faster than the seed algorithm",
+    );
+    verdict(
+        batch_speedup_256 >= 3.0,
+        "256-machine replicated cluster: batched kernel ≥3× the per-machine kernel",
     );
     Ok(())
 }
