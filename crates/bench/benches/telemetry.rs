@@ -1,0 +1,65 @@
+//! Telemetry-layer kernels: the raw handle costs the always-on
+//! instrumentation pays on every solver tick, plus the scrape-side
+//! render/parse round-trip.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mercury::presets::{self, nodes};
+use mercury::solver::{Solver, SolverConfig};
+use std::hint::black_box;
+use telemetry::{Counter, Histogram, Registry};
+
+fn bench_telemetry(c: &mut Criterion) {
+    c.bench_function("counter_inc", |b| {
+        let counter = Counter::new();
+        b.iter(|| {
+            counter.inc();
+            black_box(&counter);
+        });
+    });
+
+    c.bench_function("histogram_observe", |b| {
+        let histogram = Histogram::new();
+        let mut x = 1u64;
+        b.iter(|| {
+            histogram.observe(black_box(x));
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        });
+    });
+
+    c.bench_function("solver_tick_instrumented", |b| {
+        let model = presets::validation_machine();
+        let mut solver = Solver::new(&model, SolverConfig::default()).unwrap();
+        solver.set_utilization(nodes::CPU, 0.7).unwrap();
+        solver.set_instrumentation(true);
+        b.iter(|| solver.step());
+        black_box(solver.metrics().ticks.get());
+    });
+
+    c.bench_function("solver_tick_uninstrumented", |b| {
+        let model = presets::validation_machine();
+        let mut solver = Solver::new(&model, SolverConfig::default()).unwrap();
+        solver.set_utilization(nodes::CPU, 0.7).unwrap();
+        solver.set_instrumentation(false);
+        b.iter(|| solver.step());
+    });
+
+    c.bench_function("render_and_parse_exposition", |b| {
+        let registry = Registry::new();
+        let model = presets::validation_cluster(8);
+        let mut cluster =
+            mercury::solver::ClusterSolver::new(&model, SolverConfig::default()).unwrap();
+        cluster.metrics().register(&registry);
+        cluster.step_for(50);
+        b.iter(|| {
+            let text = registry.render_prometheus();
+            black_box(telemetry::text::parse_exposition(&text).unwrap());
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_telemetry
+}
+criterion_main!(benches);

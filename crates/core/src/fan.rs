@@ -252,6 +252,9 @@ mod tests {
     }
 
     #[test]
+    // Pins down the deprecated accessor's contract until it is removed;
+    // `mercury_solver_flow_recomputes_total` is the supported reading.
+    #[allow(deprecated)]
     fn unchanged_speed_commands_do_not_recompute_flows() {
         let model = presets::validation_machine();
         let mut solver = Solver::new(&model, SolverConfig::default()).unwrap();

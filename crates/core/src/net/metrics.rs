@@ -1,0 +1,209 @@
+//! Always-on telemetry for the UDP front end.
+//!
+//! [`NetMetrics`] counts datagrams, per-kind requests, replies, and
+//! malformed packets, and keeps an inter-arrival histogram — the
+//! network-side mirror of the solver bundles in `solver::metrics`.
+//! [`SolverService::spawn`](super::SolverService) owns one bundle,
+//! registers it on the service registry, and updates it from the request
+//! thread; [`Monitord`](super::Monitord) keeps its own client-side
+//! [`MonitordStats`].
+
+use super::proto::{Reply, Request};
+use telemetry::{Counter, Histogram, Registry};
+
+/// Metric handles updated by the service's request thread.
+#[derive(Debug, Clone, Default)]
+pub struct NetMetrics {
+    /// `mercury_net_datagrams_total` — datagrams received, well-formed
+    /// or not.
+    pub datagrams: Counter,
+    /// `mercury_net_malformed_total` — datagrams that failed to decode.
+    pub malformed: Counter,
+    /// `mercury_net_replies_total` — reply datagrams sent (a multi-part
+    /// scrape counts each part).
+    pub replies: Counter,
+    /// `mercury_net_interarrival_seconds` — time between consecutive
+    /// datagram arrivals, recorded in nanoseconds.
+    pub interarrival_nanos: Histogram,
+    /// `mercury_net_requests_total{kind="utilization"}`.
+    pub requests_utilization: Counter,
+    /// `mercury_net_requests_total{kind="read"}`.
+    pub requests_read: Counter,
+    /// `mercury_net_requests_total{kind="fiddle"}`.
+    pub requests_fiddle: Counter,
+    /// `mercury_net_requests_total{kind="list"}`.
+    pub requests_list: Counter,
+    /// `mercury_net_requests_total{kind="ping"}`.
+    pub requests_ping: Counter,
+    /// `mercury_net_requests_total{kind="scrape"}`.
+    pub requests_scrape: Counter,
+}
+
+impl NetMetrics {
+    /// Fresh, detached handles (all zero).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers the `mercury_net_*` families on `registry`.
+    pub fn register(&self, registry: &Registry) {
+        registry.register_counter(
+            "mercury_net_datagrams_total",
+            "UDP datagrams received by the solver service",
+            &[],
+            &self.datagrams,
+        );
+        registry.register_counter(
+            "mercury_net_malformed_total",
+            "Datagrams that failed protocol decoding",
+            &[],
+            &self.malformed,
+        );
+        registry.register_counter(
+            "mercury_net_replies_total",
+            "Reply datagrams sent by the solver service",
+            &[],
+            &self.replies,
+        );
+        registry.register_histogram(
+            "mercury_net_interarrival_seconds",
+            "Time between consecutive received datagrams",
+            &[],
+            &self.interarrival_nanos,
+            1e-9,
+        );
+        const REQS: &str = "mercury_net_requests_total";
+        const HELP: &str = "Well-formed requests handled, by request kind";
+        for (kind, handle) in [
+            ("utilization", &self.requests_utilization),
+            ("read", &self.requests_read),
+            ("fiddle", &self.requests_fiddle),
+            ("list", &self.requests_list),
+            ("ping", &self.requests_ping),
+            ("scrape", &self.requests_scrape),
+        ] {
+            registry.register_counter(REQS, HELP, &[("kind", kind)], handle);
+        }
+    }
+
+    /// The per-kind counter for a decoded request.
+    #[must_use]
+    pub fn request_counter(&self, request: &Request) -> &Counter {
+        match request {
+            Request::UtilizationUpdate { .. } => &self.requests_utilization,
+            Request::ReadTemperature { .. } => &self.requests_read,
+            Request::Fiddle { .. } => &self.requests_fiddle,
+            Request::ListNodes { .. } => &self.requests_list,
+            Request::Ping => &self.requests_ping,
+            Request::Scrape => &self.requests_scrape,
+        }
+    }
+}
+
+/// Client-side counters kept by one [`Monitord`](super::Monitord)
+/// reporting loop.
+#[derive(Debug, Clone, Default)]
+pub struct MonitordStats {
+    /// `mercury_monitord_updates_total` — utilization updates sent.
+    pub updates: Counter,
+    /// `mercury_monitord_acks_total` — positive acknowledgements
+    /// received.
+    pub acks: Counter,
+    /// `mercury_monitord_malformed_total` — replies that failed to
+    /// decode or were not an ack.
+    pub malformed: Counter,
+    /// `mercury_monitord_send_errors_total` — socket send/receive
+    /// failures (including reply timeouts).
+    pub send_errors: Counter,
+}
+
+impl MonitordStats {
+    /// Fresh, detached handles (all zero).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers the `mercury_monitord_*` families on `registry`,
+    /// labelled with the reporting machine's name.
+    pub fn register(&self, registry: &Registry, machine: &str) {
+        let labels = [("machine", machine)];
+        registry.register_counter(
+            "mercury_monitord_updates_total",
+            "Utilization updates sent to the solver service",
+            &labels,
+            &self.updates,
+        );
+        registry.register_counter(
+            "mercury_monitord_acks_total",
+            "Acknowledgements received for utilization updates",
+            &labels,
+            &self.acks,
+        );
+        registry.register_counter(
+            "mercury_monitord_malformed_total",
+            "Replies that failed to decode or were unexpected",
+            &labels,
+            &self.malformed,
+        );
+        registry.register_counter(
+            "mercury_monitord_send_errors_total",
+            "Socket errors (send failures and reply timeouts)",
+            &labels,
+            &self.send_errors,
+        );
+    }
+
+    /// Books one round-trip outcome. `Ok(ack-or-error-reply)` and
+    /// `Err(io)` both come from `Monitord`'s report step.
+    pub(crate) fn record_reply(&self, reply: &Reply) {
+        match reply {
+            Reply::Ack => self.acks.inc(),
+            _ => self.malformed.inc(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_kinds_map_to_their_counters() {
+        let m = NetMetrics::new();
+        m.request_counter(&Request::Ping).inc();
+        m.request_counter(&Request::Scrape).inc();
+        m.request_counter(&Request::Scrape).inc();
+        assert_eq!(m.requests_ping.get(), 1);
+        assert_eq!(m.requests_scrape.get(), 2);
+        assert_eq!(m.requests_read.get(), 0);
+    }
+
+    #[test]
+    fn registered_families_render_with_kind_labels() {
+        let registry = Registry::new();
+        let m = NetMetrics::new();
+        m.register(&registry);
+        m.datagrams.add(7);
+        m.requests_ping.inc();
+        let text = registry.render_prometheus();
+        assert!(text.contains("mercury_net_datagrams_total 7"));
+        assert!(text.contains("mercury_net_requests_total{kind=\"ping\"} 1"));
+        assert!(text.contains("mercury_net_interarrival_seconds_count"));
+    }
+
+    #[test]
+    fn monitord_stats_classify_replies() {
+        let stats = MonitordStats::new();
+        stats.record_reply(&Reply::Ack);
+        stats.record_reply(&Reply::Pong);
+        assert_eq!(stats.acks.get(), 1);
+        assert_eq!(stats.malformed.get(), 1);
+
+        let registry = Registry::new();
+        stats.register(&registry, "machine1");
+        let text = registry.render_prometheus();
+        assert!(text.contains("mercury_monitord_acks_total{machine=\"machine1\"} 1"));
+    }
+}

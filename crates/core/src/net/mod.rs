@@ -19,12 +19,20 @@
 //! The wire format lives in [`proto`]; it is a tiny length-prefixed binary
 //! encoding designed to keep a typical utilization update under the
 //! paper's 128 bytes.
+//!
+//! Every piece meters itself through always-on [`telemetry`] handles
+//! ([`metrics::NetMetrics`] server-side, [`metrics::MonitordStats`]
+//! client-side), and the service exposes its whole registry — solver,
+//! net, and anything callers add — as a Prometheus text exposition via
+//! [`proto::Request::Scrape`].
 
+pub mod metrics;
 pub mod monitord;
 pub mod proto;
 pub mod sensor;
 pub mod service;
 
+pub use metrics::{MonitordStats, NetMetrics};
 pub use monitord::{FnSource, Monitord, PerfSource, ProcSource, TraceSource, UtilizationSource};
 pub use sensor::Sensor;
 pub use service::{ServiceConfig, SolverService};

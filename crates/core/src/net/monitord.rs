@@ -11,7 +11,8 @@
 //! * [`FnSource`] adapts a closure — how the cluster simulation feeds its
 //!   per-server utilizations into Mercury.
 
-use super::proto::{self, Request};
+use super::metrics::MonitordStats;
+use super::proto::{self, Reply, Request};
 use crate::error::Error;
 use crate::trace::UtilizationTrace;
 use crate::units::Seconds;
@@ -21,6 +22,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+use telemetry::Registry;
 
 /// Provides `(component, utilization)` samples for one machine.
 ///
@@ -258,8 +260,65 @@ impl UtilizationSource for ProcSource {
 /// UDP updates to the solver service.
 #[derive(Debug)]
 pub struct Monitord {
+    machine: String,
     stop: Arc<AtomicBool>,
     thread: Option<JoinHandle<()>>,
+    stats: MonitordStats,
+}
+
+/// Ships one utilization update and waits for the service's reply.
+///
+/// Historically the reporting loop fired and forgot (`let _ =` on both
+/// the send and the reply drain), which made a dead service, a chopped
+/// datagram, and a healthy ack all look identical. Every outcome is now
+/// classified: booked on `stats` and returned as a typed [`Error`] so
+/// the loop (and tests) can tell them apart. The daemon itself stays
+/// tolerant — a failed report is counted and the next interval retried.
+fn report_update(
+    socket: &UdpSocket,
+    machine: &str,
+    utilizations: Vec<(String, f32)>,
+    stats: &MonitordStats,
+) -> Result<(), Error> {
+    let req = Request::UtilizationUpdate {
+        machine: machine.to_string(),
+        utilizations,
+    };
+    if let Err(e) = socket.send(&proto::encode_request(&req)) {
+        stats.send_errors.inc();
+        return Err(e.into());
+    }
+    stats.updates.inc();
+    let mut buf = [0u8; proto::MAX_DATAGRAM];
+    let n = match socket.recv(&mut buf) {
+        Ok(n) => n,
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            stats.send_errors.inc();
+            return Err(Error::Timeout);
+        }
+        Err(e) => {
+            stats.send_errors.inc();
+            return Err(e.into());
+        }
+    };
+    let reply = match proto::decode_reply(&buf[..n]) {
+        Ok(reply) => reply,
+        Err(e) => {
+            stats.malformed.inc();
+            return Err(e);
+        }
+    };
+    stats.record_reply(&reply);
+    match reply {
+        Reply::Ack => Ok(()),
+        Reply::Error { message } => Err(Error::Remote { reason: message }),
+        other => Err(Error::protocol(format!(
+            "unexpected reply {other:?} to a utilization update"
+        ))),
+    }
 }
 
 impl Monitord {
@@ -279,16 +338,18 @@ impl Monitord {
         let machine = machine.into();
         let socket = UdpSocket::bind(("0.0.0.0", 0))?;
         socket.connect(solver_addr)?;
-        // Updates are fire-and-forget, but the service replies with an Ack;
-        // drain it with a short timeout so the socket buffer stays clean.
+        // The service answers every update; wait briefly for the ack so
+        // outcomes can be classified (and the socket buffer stays clean).
         socket.set_read_timeout(Some(Duration::from_millis(5)))?;
         let stop = Arc::new(AtomicBool::new(false));
+        let stats = MonitordStats::new();
         let thread = {
             let stop = Arc::clone(&stop);
+            let stats = stats.clone();
+            let machine = machine.clone();
             std::thread::Builder::new()
                 .name(format!("monitord-{machine}"))
                 .spawn(move || {
-                    let mut drain = [0u8; proto::MAX_DATAGRAM];
                     while !stop.load(Ordering::Relaxed) {
                         let utilizations: Vec<(String, f32)> = source
                             .sample()
@@ -296,12 +357,9 @@ impl Monitord {
                             .map(|(c, u)| (c, u as f32))
                             .collect();
                         if !utilizations.is_empty() {
-                            let req = Request::UtilizationUpdate {
-                                machine: machine.clone(),
-                                utilizations,
-                            };
-                            let _ = socket.send(&proto::encode_request(&req));
-                            let _ = socket.recv(&mut drain);
+                            // Failures are booked on `stats`; the daemon
+                            // retries at the next interval regardless.
+                            let _ = report_update(&socket, &machine, utilizations, &stats);
                         }
                         std::thread::sleep(interval);
                     }
@@ -309,9 +367,25 @@ impl Monitord {
                 .map_err(Error::Io)?
         };
         Ok(Monitord {
+            machine,
             stop,
             thread: Some(thread),
+            stats,
         })
+    }
+
+    /// The daemon's always-on reporting counters (updates, acks,
+    /// malformed replies, socket errors).
+    pub fn stats(&self) -> &MonitordStats {
+        &self.stats
+    }
+
+    /// Registers the `mercury_monitord_*` families on `registry`,
+    /// labelled with this daemon's machine name — typically the registry
+    /// of the [`SolverService`](super::SolverService) it reports to, so
+    /// client-side counters appear in the same scrape.
+    pub fn register_metrics(&self, registry: &Registry) {
+        self.stats.register(registry, &self.machine);
     }
 
     /// Stops the daemon and waits for its thread.
@@ -361,6 +435,54 @@ mod tests {
         assert_eq!(util.fraction(), 1.0);
         daemon.shutdown();
         service.shutdown();
+    }
+
+    #[test]
+    #[cfg(feature = "instrument")]
+    fn stats_count_updates_and_acks() {
+        let service =
+            SolverService::spawn_machine(&presets::validation_machine(), ServiceConfig::fast())
+                .unwrap();
+        let daemon = Monitord::spawn(
+            "",
+            FnSource(|| vec![("cpu".to_string(), 0.5)]),
+            service.local_addr(),
+            Duration::from_millis(5),
+        )
+        .unwrap();
+        daemon.register_metrics(service.registry());
+        std::thread::sleep(Duration::from_millis(300));
+        let updates = daemon.stats().updates.get();
+        let acks = daemon.stats().acks.get();
+        assert!(updates >= 5, "only {updates} updates sent");
+        assert!(acks >= 1, "no acks recorded");
+        assert!(acks <= updates);
+        // The daemon's counters render in the service's scrape document.
+        let text = service.registry().render_prometheus();
+        assert!(text.contains("mercury_monitord_updates_total"));
+        daemon.shutdown();
+        service.shutdown();
+    }
+
+    #[test]
+    fn report_update_classifies_a_dead_service() {
+        // No service behind this address: the send succeeds, the reply
+        // times out, and the outcome is a typed error plus a counter.
+        let socket = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let sink = UdpSocket::bind("127.0.0.1:0").unwrap();
+        socket.connect(sink.local_addr().unwrap()).unwrap();
+        socket
+            .set_read_timeout(Some(Duration::from_millis(10)))
+            .unwrap();
+        let stats = MonitordStats::new();
+        let err = report_update(&socket, "m", vec![("cpu".into(), 0.5)], &stats).unwrap_err();
+        assert!(matches!(err, Error::Timeout));
+        #[cfg(feature = "instrument")]
+        {
+            assert_eq!(stats.updates.get(), 1);
+            assert_eq!(stats.send_errors.get(), 1);
+            assert_eq!(stats.acks.get(), 0);
+        }
     }
 
     #[test]

@@ -43,6 +43,10 @@ pub enum Request {
     },
     /// Liveness probe.
     Ping,
+    /// Scrape the service's telemetry registry (Prometheus text
+    /// exposition). Answered by one or more [`Reply::Metrics`]
+    /// datagrams, split at line boundaries.
+    Scrape,
 }
 
 /// Service → client messages.
@@ -64,6 +68,19 @@ pub enum Reply {
     },
     /// Answer to [`Request::Ping`].
     Pong,
+    /// One part of a scraped telemetry exposition. A full scrape rarely
+    /// fits [`MAX_DATAGRAM`], so the service splits the document at
+    /// metric-line boundaries into `parts` datagrams; `part` counts from
+    /// 0 and each carries whole lines, so the client reassembles with
+    /// plain concatenation.
+    Metrics {
+        /// Zero-based index of this part.
+        part: u16,
+        /// Total parts in the scrape.
+        parts: u16,
+        /// This part's whole exposition lines.
+        text: String,
+    },
     /// The request failed on the service side.
     Error {
         /// Human-readable reason.
@@ -76,12 +93,14 @@ const TAG_READ: u8 = 0x02;
 const TAG_FIDDLE: u8 = 0x03;
 const TAG_LIST: u8 = 0x04;
 const TAG_PING: u8 = 0x05;
+const TAG_SCRAPE: u8 = 0x06;
 
 const TAG_TEMP: u8 = 0x81;
 const TAG_ACK: u8 = 0x82;
 const TAG_NODES: u8 = 0x83;
 const TAG_PONG: u8 = 0x84;
 const TAG_ERR: u8 = 0x85;
+const TAG_METRICS: u8 = 0x86;
 
 fn put_str(buf: &mut Vec<u8>, s: &str) {
     let bytes = s.as_bytes();
@@ -144,6 +163,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             put_str(&mut buf, machine);
         }
         Request::Ping => buf.put_u8(TAG_PING),
+        Request::Scrape => buf.put_u8(TAG_SCRAPE),
     }
     buf
 }
@@ -211,8 +231,52 @@ pub fn decode_request(mut data: &[u8]) -> Result<Request, Error> {
             machine: get_str(buf)?,
         }),
         TAG_PING => Ok(Request::Ping),
+        TAG_SCRAPE => Ok(Request::Scrape),
         other => Err(Error::protocol(format!("unknown request tag {other:#04x}"))),
     }
+}
+
+/// Splits a rendered telemetry exposition into [`Reply::Metrics`] parts
+/// that each encode within [`MAX_DATAGRAM`], breaking at line boundaries
+/// so every part is independently parseable and the client reassembles
+/// by plain concatenation. (A single line longer than one datagram — not
+/// something the registry produces — is hard-split as a fallback rather
+/// than dropped.)
+pub fn metrics_replies(text: &str) -> Vec<Reply> {
+    // Tag + part + parts + length prefix = 7 bytes of header.
+    const BUDGET: usize = MAX_DATAGRAM - 7;
+    let mut chunks: Vec<String> = vec![String::new()];
+    let mut push = |piece: &str| {
+        let last = chunks.last_mut().expect("seeded with one chunk");
+        if !last.is_empty() && last.len() + piece.len() > BUDGET {
+            chunks.push(piece.to_string());
+        } else {
+            last.push_str(piece);
+        }
+    };
+    for line in text.split_inclusive('\n') {
+        let mut rest = line;
+        while rest.len() > BUDGET {
+            let mut cut = BUDGET;
+            while !rest.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            let (head, tail) = rest.split_at(cut);
+            push(head);
+            rest = tail;
+        }
+        push(rest);
+    }
+    let parts = chunks.len() as u16;
+    chunks
+        .into_iter()
+        .enumerate()
+        .map(|(i, text)| Reply::Metrics {
+            part: i as u16,
+            parts,
+            text,
+        })
+        .collect()
 }
 
 /// Encodes a reply into a datagram.
@@ -233,6 +297,19 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             }
         }
         Reply::Pong => buf.put_u8(TAG_PONG),
+        Reply::Metrics { part, parts, text } => {
+            buf.put_u8(TAG_METRICS);
+            buf.put_u16(*part);
+            buf.put_u16(*parts);
+            let bytes = text.as_bytes();
+            debug_assert!(
+                bytes.len() <= MAX_DATAGRAM - 7,
+                "metrics part must leave room for its header"
+            );
+            let len = bytes.len().min(MAX_DATAGRAM - 7);
+            buf.put_u16(len as u16);
+            buf.put_slice(&bytes[..len]);
+        }
         Reply::Error { message } => {
             buf.put_u8(TAG_ERR);
             let bytes = message.as_bytes();
@@ -278,6 +355,24 @@ pub fn decode_reply(mut data: &[u8]) -> Result<Reply, Error> {
             Ok(Reply::Nodes { names })
         }
         TAG_PONG => Ok(Reply::Pong),
+        TAG_METRICS => {
+            if buf.remaining() < 6 {
+                return Err(Error::protocol("truncated metrics header"));
+            }
+            let part = buf.get_u16();
+            let parts = buf.get_u16();
+            let len = buf.get_u16() as usize;
+            if buf.remaining() < len {
+                return Err(Error::protocol("truncated metrics body"));
+            }
+            if part >= parts {
+                return Err(Error::protocol("metrics part index out of range"));
+            }
+            let text = std::str::from_utf8(&buf[..len])
+                .map_err(|_| Error::protocol("metrics text is not valid UTF-8"))?
+                .to_string();
+            Ok(Reply::Metrics { part, parts, text })
+        }
         TAG_ERR => {
             if buf.remaining() < 2 {
                 return Err(Error::protocol("truncated error length"));
@@ -314,6 +409,7 @@ mod tests {
     #[test]
     fn requests_round_trip() {
         round_trip_request(Request::Ping);
+        round_trip_request(Request::Scrape);
         round_trip_request(Request::ReadTemperature {
             machine: "machine1".into(),
             node: "disk_shell".into(),
@@ -348,6 +444,55 @@ mod tests {
         round_trip_reply(Reply::Error {
             message: "unknown node `gpu`".into(),
         });
+        round_trip_reply(Reply::Metrics {
+            part: 1,
+            parts: 3,
+            text: "mercury_solver_ticks_total 42\n".into(),
+        });
+    }
+
+    #[test]
+    fn metrics_split_reassembles_and_fits_datagrams() {
+        // ~100 metric lines: forces multiple parts.
+        let mut doc = String::new();
+        for i in 0..100 {
+            doc.push_str(&format!(
+                "mercury_test_metric_number_{i}{{label=\"value-{i}\"}} {i}\n"
+            ));
+        }
+        let replies = metrics_replies(&doc);
+        assert!(replies.len() > 1, "expected a multi-part scrape");
+        let mut reassembled = String::new();
+        for (i, reply) in replies.iter().enumerate() {
+            let encoded = encode_reply(reply);
+            assert!(encoded.len() <= MAX_DATAGRAM, "part {i} oversized");
+            match decode_reply(&encoded).unwrap() {
+                Reply::Metrics { part, parts, text } => {
+                    assert_eq!(part as usize, i);
+                    assert_eq!(parts as usize, replies.len());
+                    // Every part carries whole lines.
+                    assert!(text.ends_with('\n'));
+                    reassembled.push_str(&text);
+                }
+                other => panic!("expected Metrics, got {other:?}"),
+            }
+        }
+        assert_eq!(reassembled, doc);
+    }
+
+    #[test]
+    fn metrics_part_index_validated() {
+        let bad = encode_reply(&Reply::Metrics {
+            part: 2,
+            parts: 3,
+            text: "x 1\n".into(),
+        });
+        // Corrupt `parts` below `part`.
+        let mut raw = bad.clone();
+        raw[3] = 0;
+        raw[4] = 1;
+        assert!(decode_reply(&raw).is_err());
+        assert!(decode_reply(&bad).is_ok());
     }
 
     #[test]

@@ -1,16 +1,19 @@
 //! The solver service: Mercury's long-running network front end.
 
+use super::metrics::NetMetrics;
 use super::proto::{self, Reply, Request};
 use crate::error::Error;
 use crate::model::{ClusterModel, MachineModel};
 use crate::solver::{ClusterSolver, Solver, SolverConfig};
 use crate::units::Utilization;
 use parking_lot::Mutex;
+use std::collections::HashSet;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+use telemetry::{Registry, Severity};
 
 /// The emulated system behind a service: one machine or a whole room.
 ///
@@ -109,6 +112,12 @@ impl EmulatedSystem {
                 }
                 Ok(Reply::Ack)
             }
+            // Scrapes are answered by the UDP front end straight from
+            // the registry (no solver lock); reaching here means a
+            // caller bypassed it.
+            Request::Scrape => Err(Error::invalid_input(
+                "scrape requests are answered by the service front end, not the solver",
+            )),
         }
     }
 }
@@ -171,6 +180,9 @@ pub struct SolverService {
     system: Arc<Mutex<EmulatedSystem>>,
     stop: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
+    /// The scrape surface: solver and net metrics register here at
+    /// spawn; callers may add their own before scraping.
+    registry: Arc<Registry>,
 }
 
 impl SolverService {
@@ -199,6 +211,18 @@ impl SolverService {
         let socket = UdpSocket::bind(cfg.bind)?;
         socket.set_read_timeout(Some(Duration::from_millis(20)))?;
         let addr = socket.local_addr()?;
+
+        // Build the scrape surface before the system disappears behind
+        // its mutex: the solver's always-on handles register here, so a
+        // scrape needs no solver lock.
+        let registry = Registry::shared();
+        match &system {
+            EmulatedSystem::Single(s) => s.metrics().register(&registry),
+            EmulatedSystem::Cluster(c) => c.metrics().register(&registry),
+        }
+        let net = NetMetrics::new();
+        net.register(&registry);
+
         let system = Arc::new(Mutex::new(system));
         let stop = Arc::new(AtomicBool::new(false));
 
@@ -222,10 +246,17 @@ impl SolverService {
         let handler = {
             let system = Arc::clone(&system);
             let stop = Arc::clone(&stop);
+            let registry = Arc::clone(&registry);
+            let net = net.clone();
             std::thread::Builder::new()
                 .name("mercury-udp".into())
                 .spawn(move || {
                     let mut buf = [0u8; proto::MAX_DATAGRAM];
+                    let mut last_arrival: Option<Instant> = None;
+                    // Malformed traffic is counted per packet but logged
+                    // once per distinct peer, so one chattering client
+                    // cannot wash everything else out of the event ring.
+                    let mut malformed_peers: HashSet<SocketAddr> = HashSet::new();
                     while !stop.load(Ordering::Relaxed) {
                         let (n, peer) = match socket.recv_from(&mut buf) {
                             Ok(ok) => ok,
@@ -237,13 +268,48 @@ impl SolverService {
                             }
                             Err(_) => break,
                         };
-                        let reply = match proto::decode_request(&buf[..n]) {
-                            Ok(request) => system.lock().handle(request),
-                            Err(e) => Reply::Error {
-                                message: e.to_string(),
-                            },
-                        };
-                        let _ = socket.send_to(&proto::encode_reply(&reply), peer);
+                        net.datagrams.inc();
+                        let now = Instant::now();
+                        if let Some(prev) = last_arrival.replace(now) {
+                            let nanos = u64::try_from(now.duration_since(prev).as_nanos())
+                                .unwrap_or(u64::MAX);
+                            net.interarrival_nanos.observe(nanos);
+                        }
+                        match proto::decode_request(&buf[..n]) {
+                            Ok(Request::Scrape) => {
+                                // Answered from the registry alone — a
+                                // scrape never blocks on the solver.
+                                net.requests_scrape.inc();
+                                let text = registry.render_prometheus();
+                                for reply in proto::metrics_replies(&text) {
+                                    net.replies.inc();
+                                    let _ = socket.send_to(&proto::encode_reply(&reply), peer);
+                                }
+                            }
+                            Ok(request) => {
+                                net.request_counter(&request).inc();
+                                let reply = system.lock().handle(request);
+                                net.replies.inc();
+                                let _ = socket.send_to(&proto::encode_reply(&reply), peer);
+                            }
+                            Err(e) => {
+                                net.malformed.inc();
+                                if malformed_peers.insert(peer) {
+                                    let peer_s = peer.to_string();
+                                    let error_s = e.to_string();
+                                    registry.event(
+                                        Severity::Warn,
+                                        "malformed datagram",
+                                        &[("peer", &peer_s), ("error", &error_s)],
+                                    );
+                                }
+                                let reply = Reply::Error {
+                                    message: e.to_string(),
+                                };
+                                net.replies.inc();
+                                let _ = socket.send_to(&proto::encode_reply(&reply), peer);
+                            }
+                        }
                     }
                 })
                 .map_err(Error::Io)?
@@ -254,7 +320,17 @@ impl SolverService {
             system,
             stop,
             threads: vec![ticker, handler],
+            registry,
         })
+    }
+
+    /// The service's telemetry registry — the document a
+    /// [`Request::Scrape`] renders. The solver's and the UDP front
+    /// end's metric families are registered at spawn; callers (Freon
+    /// policies, experiment harnesses) may register more at any time
+    /// and they appear in subsequent scrapes.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// The address the service is listening on.
@@ -455,6 +531,80 @@ mod tests {
             Reply::Error { message } => assert!(message.contains("machine9")),
             other => panic!("unexpected {other:?}"),
         }
+        service.shutdown();
+    }
+
+    /// Sends one scrape request and reassembles the multi-part reply.
+    fn scrape(addr: SocketAddr) -> String {
+        let socket = UdpSocket::bind("127.0.0.1:0").unwrap();
+        socket.connect(addr).unwrap();
+        socket
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        socket
+            .send(&proto::encode_request(&Request::Scrape))
+            .unwrap();
+        let mut buf = [0u8; proto::MAX_DATAGRAM];
+        let mut received = std::collections::BTreeMap::new();
+        loop {
+            let n = socket.recv(&mut buf).unwrap();
+            match proto::decode_reply(&buf[..n]).unwrap() {
+                Reply::Metrics { part, parts, text } => {
+                    received.insert(part, text);
+                    if received.len() == parts as usize {
+                        break;
+                    }
+                }
+                other => panic!("unexpected scrape reply {other:?}"),
+            }
+        }
+        received.into_values().collect()
+    }
+
+    #[test]
+    #[cfg(feature = "instrument")]
+    fn scrape_exposes_solver_and_net_families() {
+        let service =
+            SolverService::spawn_machine(&presets::validation_machine(), ServiceConfig::fast())
+                .unwrap();
+        let addr = service.local_addr();
+        assert_eq!(send(addr, &Request::Ping), Reply::Pong);
+
+        // A malformed datagram is counted, answered with an error, and
+        // logged once per peer.
+        let socket = UdpSocket::bind("127.0.0.1:0").unwrap();
+        socket.connect(addr).unwrap();
+        socket
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        socket.send(&[0xEE, 0x01, 0x02]).unwrap();
+        let mut buf = [0u8; proto::MAX_DATAGRAM];
+        let n = socket.recv(&mut buf).unwrap();
+        assert!(matches!(
+            proto::decode_reply(&buf[..n]).unwrap(),
+            Reply::Error { .. }
+        ));
+
+        std::thread::sleep(Duration::from_millis(50));
+        let text = scrape(addr);
+        let samples = telemetry::text::parse_exposition(&text).unwrap();
+        let value = |name: &str| {
+            samples
+                .iter()
+                .filter(|s| s.name == name)
+                .map(|s| s.value)
+                .sum::<f64>()
+        };
+        assert!(value("mercury_solver_ticks_total") >= 1.0);
+        assert!(value("mercury_net_datagrams_total") >= 3.0);
+        assert!(value("mercury_net_malformed_total") >= 1.0);
+        assert!(value("mercury_net_requests_total") >= 2.0);
+
+        let events = service.registry().events().recent(16);
+        assert!(
+            events.iter().any(|e| e.message == "malformed datagram"),
+            "missing malformed-datagram event in {events:?}"
+        );
         service.shutdown();
     }
 

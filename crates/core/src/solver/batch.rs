@@ -237,17 +237,23 @@ impl BatchSet {
     /// (Re)partitions the cluster into batch groups. Cheap when nothing
     /// changed: recomputes the `(fingerprint, eligible)` signature and
     /// compares it to the current plan's.
-    pub(crate) fn plan(&mut self, machines: &mut [Solver]) {
+    ///
+    /// Returns `None` when the existing plan still stands, or
+    /// `Some(demotions)` after a replan — the number of machines that
+    /// were on the batched path before and are not any more (diverged,
+    /// grew a pin, or their group shrank below [`MIN_GROUP`]). The
+    /// cluster feeds this into its telemetry.
+    pub(crate) fn plan(&mut self, machines: &mut [Solver]) -> Option<u64> {
         let signature: Vec<(u64, bool)> = machines
             .iter()
             .map(|m| (m.fingerprint(), m.batch_eligible()))
             .collect();
         if self.planned && signature == self.signature {
-            return;
+            return None;
         }
 
         self.groups.clear();
-        self.membership.clear();
+        let was_batched = std::mem::take(&mut self.membership);
         self.membership.resize(machines.len(), false);
 
         // Group eligible machines by fingerprint, preserving first-seen
@@ -300,6 +306,39 @@ impl BatchSet {
 
         self.signature = signature;
         self.planned = true;
+        let demotions = was_batched
+            .iter()
+            .zip(&self.membership)
+            .filter(|&(was, is)| *was && !*is)
+            .count() as u64;
+        Some(demotions)
+    }
+
+    /// Chunks in the current plan.
+    pub(crate) fn chunk_count(&self) -> usize {
+        self.groups.iter().map(|g| g.chunks.len()).sum()
+    }
+
+    /// Occupied lanes per chunk, in plan order — observed into the
+    /// occupancy histogram at plan time.
+    pub(crate) fn chunk_lanes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.groups
+            .iter()
+            .flat_map(|g| g.chunks.iter().map(|c| c.members.len()))
+    }
+
+    /// Explicit-Euler sub-steps one batched tick performs across all
+    /// member machines (Σ group members × group sub-steps). Lets the
+    /// cluster book tick/sub-step counters in bulk — a handful of adds
+    /// per tick — instead of per lane.
+    pub(crate) fn planned_substeps(&self) -> u64 {
+        self.groups
+            .iter()
+            .map(|g| {
+                let members: usize = g.chunks.iter().map(|c| c.members.len()).sum();
+                (members * g.op.substeps) as u64
+            })
+            .sum()
     }
 
     /// Tick preamble for every batched machine: runs the identical

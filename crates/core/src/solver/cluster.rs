@@ -4,10 +4,12 @@
 use super::batch::BatchSet;
 use super::kernel::MixGraph;
 use super::machine::{Solver, SolverConfig};
+use super::metrics::ClusterMetrics;
 use crate::error::Error;
 use crate::model::ClusterModel;
 use crate::units::{Celsius, Seconds, Utilization};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Below this cluster size the automatic thread policy stays serial: the
 /// per-tick work of a handful of machines is cheaper than waking a thread
@@ -70,6 +72,12 @@ pub struct ClusterSolver {
     batching: bool,
     time: Seconds,
     dt: Seconds,
+    /// Always-on metric handles; the nested solver bundle is shared with
+    /// every machine in the room.
+    metrics: ClusterMetrics,
+    /// Runtime instrumentation switch (default on), cascaded to every
+    /// machine solver; see [`ClusterSolver::set_instrumentation`].
+    instrumented: bool,
 }
 
 impl ClusterSolver {
@@ -97,6 +105,13 @@ impl ClusterSolver {
         let junction_names = model.junctions().to_vec();
         let junction_temps = vec![initial; junction_names.len()];
         let n = machines.len();
+        // One machine-level metric bundle for the whole room: each
+        // solver's construction-time counts (the initial flow compile)
+        // fold into it on adoption.
+        let metrics = ClusterMetrics::new();
+        for machine in &mut machines {
+            machine.share_metrics(&metrics.solver);
+        }
         Ok(ClusterSolver {
             machines,
             by_name,
@@ -112,6 +127,8 @@ impl ClusterSolver {
             batching: true,
             time: Seconds(0.0),
             dt: cfg.dt,
+            metrics,
+            instrumented: true,
         })
     }
 
@@ -300,6 +317,25 @@ impl ClusterSolver {
         self.batch.batched_machines()
     }
 
+    /// The cluster's always-on metric handles (`mercury_cluster_*` plus
+    /// the room-shared `mercury_solver_*` bundle). Register them on a
+    /// [`telemetry::Registry`] to export them — `net::SolverService`
+    /// does this automatically for its scrape surface.
+    pub fn metrics(&self) -> &ClusterMetrics {
+        &self.metrics
+    }
+
+    /// Runtime switch for metric updates (default on), cascaded to
+    /// every machine solver. Off skips handle updates and clock reads —
+    /// the overhead benchmark's within-one-binary A/B; the compile-time
+    /// equivalent is building without the `instrument` feature.
+    pub fn set_instrumentation(&mut self, on: bool) {
+        self.instrumented = on;
+        for machine in &mut self.machines {
+            machine.set_instrumentation(on);
+        }
+    }
+
     /// The thread count [`ClusterSolver::step`] will actually use.
     pub fn effective_threads(&self) -> usize {
         let n = self.machines.len();
@@ -318,6 +354,13 @@ impl ClusterSolver {
 
     /// Advances the whole room by one tick.
     pub fn step(&mut self) {
+        // Whole-room tick latency is cheap enough to time every tick
+        // (two clock reads per room tick, not per machine).
+        let started = if telemetry::enabled() && self.instrumented {
+            Some(Instant::now())
+        } else {
+            None
+        };
         // Phase 0: observe every machine's previous-tick exhaust once.
         for m in 0..self.machines.len() {
             self.exhaust_scratch[m] =
@@ -354,6 +397,13 @@ impl ClusterSolver {
         // above, so the fan-out is embarrassingly parallel.
         self.step_machines();
         self.time.0 += self.dt.0;
+        if self.instrumented {
+            self.metrics.ticks.inc();
+            if let Some(started) = started {
+                let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                self.metrics.tick_nanos.observe(nanos);
+            }
+        }
     }
 
     fn step_machines(&mut self) {
@@ -361,7 +411,15 @@ impl ClusterSolver {
         // machines step batched; the rest step per-machine. The plan is
         // rebuilt only when membership changes.
         if self.batching {
-            self.batch.plan(&mut self.machines);
+            if let Some(demotions) = self.batch.plan(&mut self.machines) {
+                // Replanned: record the new plan's shape once.
+                if self.instrumented {
+                    self.metrics.solo_demotions.add(demotions);
+                    for lanes in self.batch.chunk_lanes() {
+                        self.metrics.chunk_occupancy.observe(lanes as u64);
+                    }
+                }
+            }
         }
         // Gather batched machines' inputs into the chunk matrices
         // (serial: touches every member solver).
@@ -417,6 +475,24 @@ impl ClusterSolver {
         // Scatter batched results back and book per-machine accounting
         // (serial: touches every member solver).
         self.batch.finish_tick(&mut self.machines);
+
+        // Bulk tick accounting for the batched path: a handful of adds
+        // per room tick (the solo path counts itself in Solver::step).
+        if self.instrumented {
+            let batched = self.batch.batched_machines();
+            self.metrics.batched_machines.set(batched as f64);
+            self.metrics
+                .solo_machines
+                .set((self.machines.len() - batched) as f64);
+            self.metrics
+                .batch_chunks
+                .set(self.batch.chunk_count() as f64);
+            self.metrics.solver.ticks.add(batched as u64);
+            self.metrics
+                .solver
+                .substeps
+                .add(self.batch.planned_substeps());
+        }
     }
 
     /// Advances the room by `ticks` ticks.
@@ -532,6 +608,41 @@ mod tests {
         assert_eq!(s.effective_threads(), 4);
         s.set_threads(2);
         assert_eq!(s.effective_threads(), 2);
+    }
+
+    #[test]
+    #[cfg(feature = "instrument")]
+    fn metrics_count_ticks_on_both_paths() {
+        let cluster = presets::validation_cluster(12);
+        let mut s = ClusterSolver::new(&cluster, SolverConfig::default()).unwrap();
+        s.step(); // initial plan: all 12 machines batched
+        assert_eq!(s.metrics().batched_machines.get(), 12.0);
+        assert!(s.metrics().batch_chunks.get() >= 1.0);
+
+        // A fan fiddle demotes machine3 to the solo path at the replan.
+        s.machine_mut("machine3")
+            .unwrap()
+            .set_fan_cfm(20.0)
+            .unwrap();
+        s.step_for(9);
+        let m = s.metrics();
+        assert_eq!(m.ticks.get(), 10, "one cluster tick counted per step");
+        assert_eq!(m.solver.ticks.get(), 120, "12 machine ticks per step");
+        assert!(m.solver.substeps.get() >= m.solver.ticks.get());
+        assert_eq!(m.solo_demotions.get(), 1);
+        assert_eq!(m.batched_machines.get(), 11.0);
+        assert_eq!(m.solo_machines.get(), 1.0);
+        // Construction compiled each machine's flows once; the fiddle
+        // recompiled machine3's.
+        assert_eq!(m.solver.flow_recomputes.get(), 13);
+        assert!(m.tick_nanos.snapshot().count >= 10);
+
+        // The runtime switch freezes every counter without touching the
+        // trajectory.
+        s.set_instrumentation(false);
+        s.step_for(5);
+        assert_eq!(s.metrics().ticks.get(), 10);
+        assert_eq!(s.metrics().solver.ticks.get(), 120);
     }
 
     #[test]

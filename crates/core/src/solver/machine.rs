@@ -1,12 +1,14 @@
 //! The per-machine solver.
 
 use super::kernel::StepKernel;
+use super::metrics::{SolverMetrics, TICK_LATENCY_SAMPLE};
 use crate::error::Error;
 use crate::model::{AirKind, MachineModel, PowerModel};
 use crate::units::{
     Celsius, CubicMetersPerSecond, Joules, JoulesPerKelvin, Seconds, Utilization, WattsPerKelvin,
 };
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Configuration of a [`Solver`].
 #[derive(Debug, Clone, PartialEq)]
@@ -107,6 +109,17 @@ pub struct Solver {
     cfg: SolverConfig,
     time: Seconds,
     generated_last_tick: Joules,
+    /// Always-on metric handles. A standalone solver owns a detached
+    /// bundle; a cluster member shares its cluster's bundle (see
+    /// [`Solver::share_metrics`]).
+    metrics: SolverMetrics,
+    /// Solo-path ticks stepped, used to sample tick latency 1-in-
+    /// [`TICK_LATENCY_SAMPLE`].
+    ticks_stepped: u64,
+    /// Runtime instrumentation switch (default on). Exists for overhead
+    /// A/B measurements within one binary; the compile-time switch is
+    /// the `instrument` cargo feature.
+    instrumented: bool,
 }
 
 impl Solver {
@@ -187,6 +200,9 @@ impl Solver {
             cfg,
             time: Seconds(0.0),
             generated_last_tick: Joules(0.0),
+            metrics: SolverMetrics::new(),
+            ticks_stepped: 0,
+            instrumented: true,
         };
         solver.refresh();
         // Inlets start at the boundary temperature even when
@@ -583,6 +599,7 @@ impl Solver {
                 NodeRt::Component { .. } => None,
             })
             .collect();
+        let recomputes_before = self.kernel.flow_recomputes();
         self.kernel.rebuild(
             &self.heat_edges,
             &self.air_edges,
@@ -592,6 +609,11 @@ impl Solver {
             &self.capacity,
             &air_mass,
         );
+        if self.instrumented {
+            self.metrics
+                .flow_recomputes
+                .add(self.kernel.flow_recomputes() - recomputes_before);
+        }
         self.dirty = false;
         // A rebuild can change the sub-step length, which the generated
         // heat is priced against.
@@ -607,8 +629,39 @@ impl Solver {
     /// Rebuilds are lazy: a pending change is priced at the next
     /// [`Solver::step`] (or any call that needs the compiled kernel),
     /// not at the setter.
+    #[deprecated(
+        since = "0.1.0",
+        note = "read `mercury_solver_flow_recomputes_total` through `Solver::metrics` \
+                (or a scraped `telemetry::Registry`) instead"
+    )]
     pub fn flow_recomputes(&self) -> u64 {
         self.kernel.flow_recomputes()
+    }
+
+    /// This solver's always-on metric handles. Register them on a
+    /// [`telemetry::Registry`] to export them; for a cluster member the
+    /// bundle is shared room-wide (see [`ClusterMetrics`]'s docs).
+    ///
+    /// [`ClusterMetrics`]: super::ClusterMetrics
+    pub fn metrics(&self) -> &SolverMetrics {
+        &self.metrics
+    }
+
+    /// Adopts a shared metric bundle (a cluster's), folding whatever
+    /// this solver already counted — notably the initial flow compile —
+    /// into it so no work goes unreported.
+    pub(crate) fn share_metrics(&mut self, shared: &SolverMetrics) {
+        shared.absorb(&self.metrics);
+        self.metrics = shared.clone();
+    }
+
+    /// Runtime switch for metric updates (default on). Off makes the
+    /// solver skip handle updates and latency sampling entirely — used
+    /// by the overhead benchmark to A/B within one binary. The
+    /// compile-time equivalent is building without the `instrument`
+    /// feature.
+    pub fn set_instrumentation(&mut self, on: bool) {
+        self.instrumented = on;
     }
 
     /// Prices this tick's per-machine inputs exactly as [`Solver::step`]
@@ -702,6 +755,13 @@ impl Solver {
     /// when dirty and prices the per-tick inputs — boundary flags and the
     /// per-sub-step generated heat, both constant within a tick.
     pub fn step(&mut self) {
+        // Latency is sampled 1-in-TICK_LATENCY_SAMPLE so the common tick
+        // carries no clock reads; counters are exact. Neither touches
+        // the arithmetic, so trajectories are identical either way.
+        let timed = telemetry::enabled()
+            && self.instrumented
+            && self.ticks_stepped.is_multiple_of(TICK_LATENCY_SAMPLE);
+        let started = if timed { Some(Instant::now()) } else { None };
         self.fill_tick_inputs();
         let generated = self.kernel.tick(&mut self.temp, &self.fixed, &self.power_q);
         self.finish_tick(generated);
@@ -709,6 +769,15 @@ impl Solver {
         // batch chunk; if the solver is a chunk member, the chunk must
         // re-gather the lane before reusing it.
         self.inputs_dirty = true;
+        self.ticks_stepped += 1;
+        if self.instrumented {
+            self.metrics.ticks.inc();
+            self.metrics.substeps.add(self.kernel.substeps() as u64);
+            if let Some(started) = started {
+                let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                self.metrics.tick_nanos.observe(nanos);
+            }
+        }
     }
 
     /// Advances the emulation by `ticks` ticks.

@@ -1,0 +1,228 @@
+//! Always-on solver telemetry: handle bundles for the machine and
+//! cluster solvers.
+//!
+//! The solvers measure themselves unconditionally through detached
+//! [`telemetry`] handles — relaxed atomics cheap enough to leave on in
+//! production (the measured contract is ≤ 2 % on the 256-machine batched
+//! tick; see `DESIGN.md` §"Telemetry"). Nothing is exported anywhere
+//! until someone with a [`telemetry::Registry`] calls
+//! [`SolverMetrics::register`] / [`ClusterMetrics::register`], which is
+//! how `net::SolverService` builds its scrape surface without the
+//! solvers knowing a network exists.
+//!
+//! Instrumentation must never perturb the physics: handles are updated
+//! strictly *outside* the kernel arithmetic (tick prologues/epilogues
+//! and plan rebuilds), so serial, parallel, and batched trajectories
+//! stay bit-identical with telemetry on, off, or compiled out.
+//!
+//! A cluster shares **one** [`SolverMetrics`] across all of its machine
+//! solvers (handles are `Arc`-backed, so sharing is cloning): the
+//! interesting signal at room scale is "ticks per second across the
+//! room", not 1024 separate counters.
+
+use telemetry::{Counter, Gauge, Histogram, Registry};
+
+/// How often a solo [`super::Solver::step`] samples its own latency: one
+/// tick in 64. Sampling keeps two `Instant::now` calls off the common
+/// tick while still collecting thousands of latency points per emulated
+/// hour; counters are exact (every tick), only the histogram samples.
+pub(crate) const TICK_LATENCY_SAMPLE: u64 = 64;
+
+/// Metric handles shared by every machine solver of one emulated system.
+///
+/// All handles are cheap to clone and clones share their cells, so a
+/// cluster hands one bundle to each of its machines.
+#[derive(Debug, Clone, Default)]
+pub struct SolverMetrics {
+    /// `mercury_solver_ticks_total` — machine ticks completed, on either
+    /// the solo or the batched path.
+    pub ticks: Counter,
+    /// `mercury_solver_tick_seconds` — sampled solo-path tick latency,
+    /// recorded in nanoseconds (exposed in seconds). Batched machines
+    /// are timed per cluster tick instead; see
+    /// [`ClusterMetrics::tick_nanos`].
+    pub tick_nanos: Histogram,
+    /// `mercury_solver_substeps_total` — explicit-Euler sub-steps
+    /// executed (ticks × the stability-limited sub-step count).
+    pub substeps: Counter,
+    /// `mercury_solver_flow_recomputes_total` — air-flow distribution
+    /// recompilations, aggregated across machines. The registry-facing
+    /// successor of the deprecated [`super::Solver::flow_recomputes`].
+    pub flow_recomputes: Counter,
+}
+
+impl SolverMetrics {
+    /// Fresh, detached handles (all zero).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers the `mercury_solver_*` families on `registry`.
+    pub fn register(&self, registry: &Registry) {
+        registry.register_counter(
+            "mercury_solver_ticks_total",
+            "Machine-solver ticks completed (solo and batched paths)",
+            &[],
+            &self.ticks,
+        );
+        registry.register_histogram(
+            "mercury_solver_tick_seconds",
+            "Sampled latency of solo per-machine solver ticks",
+            &[],
+            &self.tick_nanos,
+            1e-9,
+        );
+        registry.register_counter(
+            "mercury_solver_substeps_total",
+            "Explicit-Euler sub-steps executed across all machines",
+            &[],
+            &self.substeps,
+        );
+        registry.register_counter(
+            "mercury_solver_flow_recomputes_total",
+            "Air-flow distribution recompilations across all machines",
+            &[],
+            &self.flow_recomputes,
+        );
+    }
+
+    /// Folds another bundle's counts into this one — used when a solver
+    /// constructed with its own detached bundle is adopted into a
+    /// cluster's shared bundle, so work done at construction (the
+    /// initial flow pricing) is not lost. Histograms are not folded:
+    /// nothing samples latency before adoption.
+    pub(crate) fn absorb(&self, other: &SolverMetrics) {
+        self.ticks.add(other.ticks.get());
+        self.substeps.add(other.substeps.get());
+        self.flow_recomputes.add(other.flow_recomputes.get());
+    }
+}
+
+/// Metric handles owned by one [`super::ClusterSolver`].
+#[derive(Debug, Clone, Default)]
+pub struct ClusterMetrics {
+    /// `mercury_cluster_ticks_total` — whole-room ticks completed.
+    pub ticks: Counter,
+    /// `mercury_cluster_tick_seconds` — full room-tick latency (mixing
+    /// phases + machine stepping), recorded in nanoseconds every tick.
+    pub tick_nanos: Histogram,
+    /// `mercury_cluster_batched_machines` — machines on the batched SoA
+    /// path in the latest tick.
+    pub batched_machines: Gauge,
+    /// `mercury_cluster_solo_machines` — machines on the per-machine
+    /// path in the latest tick.
+    pub solo_machines: Gauge,
+    /// `mercury_cluster_batch_chunks` — chunks in the current plan.
+    pub batch_chunks: Gauge,
+    /// `mercury_cluster_chunk_occupancy` — lanes per chunk, observed
+    /// each time the batch plan is rebuilt. A healthy replicated room
+    /// shows a spike at `CHUNK_LANES`; fragmentation after heavy
+    /// fiddling shows up as mass in the low buckets.
+    pub chunk_occupancy: Histogram,
+    /// `mercury_cluster_solo_demotions_total` — machines that left the
+    /// batched path because they diverged from their source model or
+    /// grew a force-pinned node.
+    pub solo_demotions: Counter,
+    /// The machine-level bundle shared by every solver in the cluster.
+    pub solver: SolverMetrics,
+}
+
+impl ClusterMetrics {
+    /// Fresh, detached handles (all zero).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers the `mercury_cluster_*` families — and the shared
+    /// `mercury_solver_*` families — on `registry`.
+    pub fn register(&self, registry: &Registry) {
+        self.solver.register(registry);
+        registry.register_counter(
+            "mercury_cluster_ticks_total",
+            "Whole-room cluster ticks completed",
+            &[],
+            &self.ticks,
+        );
+        registry.register_histogram(
+            "mercury_cluster_tick_seconds",
+            "Full cluster tick latency (mixing + machine stepping)",
+            &[],
+            &self.tick_nanos,
+            1e-9,
+        );
+        registry.register_gauge(
+            "mercury_cluster_batched_machines",
+            "Machines stepped on the batched SoA path in the latest tick",
+            &[],
+            &self.batched_machines,
+        );
+        registry.register_gauge(
+            "mercury_cluster_solo_machines",
+            "Machines stepped on the per-machine path in the latest tick",
+            &[],
+            &self.solo_machines,
+        );
+        registry.register_gauge(
+            "mercury_cluster_batch_chunks",
+            "Chunks in the current batch plan",
+            &[],
+            &self.batch_chunks,
+        );
+        registry.register_histogram(
+            "mercury_cluster_chunk_occupancy",
+            "Occupied lanes per batch chunk, observed at plan time",
+            &[],
+            &self.chunk_occupancy,
+            1.0,
+        );
+        registry.register_counter(
+            "mercury_cluster_solo_demotions_total",
+            "Machines demoted from the batched to the per-machine path",
+            &[],
+            &self.solo_demotions,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_exposes_all_families() {
+        let registry = Registry::new();
+        let m = ClusterMetrics::new();
+        m.register(&registry);
+        m.ticks.inc();
+        m.solver.ticks.add(4);
+        let text = registry.render_prometheus();
+        for family in [
+            "mercury_solver_ticks_total",
+            "mercury_solver_tick_seconds",
+            "mercury_solver_substeps_total",
+            "mercury_solver_flow_recomputes_total",
+            "mercury_cluster_ticks_total",
+            "mercury_cluster_tick_seconds",
+            "mercury_cluster_batched_machines",
+            "mercury_cluster_solo_machines",
+            "mercury_cluster_batch_chunks",
+            "mercury_cluster_chunk_occupancy",
+            "mercury_cluster_solo_demotions_total",
+        ] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn absorb_folds_counters() {
+        let shared = SolverMetrics::new();
+        let own = SolverMetrics::new();
+        own.flow_recomputes.inc();
+        own.ticks.add(3);
+        shared.absorb(&own);
+        assert_eq!(shared.flow_recomputes.get(), 1);
+        assert_eq!(shared.ticks.get(), 3);
+    }
+}

@@ -40,12 +40,19 @@
 //! structure-of-arrays layout, bit-identical to per-machine stepping
 //! (see [`ClusterSolver::set_batching`]).
 
+//!
+//! Both solvers meter themselves through always-on [`telemetry`] handles
+//! (tick counts, sampled latencies, batch-plan shape); see the `metrics`
+//! module and `DESIGN.md` §"Telemetry".
+
 mod batch;
 mod cluster;
 mod flows;
 mod kernel;
 mod machine;
+mod metrics;
 
 pub use cluster::ClusterSolver;
 pub use flows::{air_flows, model_air_flows, required_substeps};
 pub use machine::{Solver, SolverConfig};
+pub use metrics::{ClusterMetrics, SolverMetrics};

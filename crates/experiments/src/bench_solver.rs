@@ -293,11 +293,30 @@ fn time_replicated_cluster(
     Ok((secs, s.batched_machines()))
 }
 
+/// Best-of-`runs` wall time for `ticks` batched cluster ticks at `n`
+/// machines, with the runtime telemetry switch on or off. Min-of-runs is
+/// the standard noise-robust estimator for an A/B overhead comparison.
+fn time_instrumentation(n: usize, ticks: usize, instrumented: bool, runs: usize) -> Result<f64> {
+    let model = presets::validation_cluster(n);
+    let mut s = ClusterSolver::new(&model, SolverConfig::default())?;
+    s.set_instrumentation(instrumented);
+    for i in 1..=n {
+        s.set_utilization(&format!("machine{i}"), nodes::CPU, 0.7)?;
+    }
+    s.step_for(20); // warm-up (also builds the batch plan)
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        best = best.min(time(|| s.step_for(ticks)));
+    }
+    Ok(best)
+}
+
 /// `bench_solver`: single-machine and cluster throughput — the CSR
 /// kernel vs the seed algorithm, and the batched SoA cluster path vs
 /// per-machine stepping at 64/256/1024 replicated machines — written to
 /// `BENCH_solver.json` together with the core count, actual thread
-/// counts, and peak RSS.
+/// counts, peak RSS, and the telemetry overhead A/B (instrumented vs
+/// not, which must stay within the 2% contract).
 pub fn bench_solver() -> Result {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -421,8 +440,18 @@ pub fn bench_solver() -> Result {
         batch_speedup_1024,
     );
 
+    // --- telemetry overhead: instrumented vs switched-off, best of 3 -----
+    let telem_ticks = 1200usize;
+    let telem_runs = 3usize;
+    let instrumented_s = time_instrumentation(256, telem_ticks, true, telem_runs)?;
+    let uninstrumented_s = time_instrumentation(256, telem_ticks, false, telem_runs)?;
+    let overhead_pct = (instrumented_s / uninstrumented_s - 1.0) * 100.0;
+    let telemetry_json = format!(
+        "\"telemetry_overhead\": {{\n    \"model\": \"validation_cluster(256)\",\n    \"ticks\": {telem_ticks},\n    \"runs\": {telem_runs},\n    \"instrumented_seconds\": {instrumented_s:.4},\n    \"uninstrumented_seconds\": {uninstrumented_s:.4},\n    \"overhead_pct\": {overhead_pct:.2}\n  }}"
+    );
+
     let json = format!(
-        "{{\n  \"hardware\": {{ \"cores\": {cores}, \"peak_rss_bytes\": {rss} }},\n  \"single_machine\": {{\n    \"model\": \"validation_machine\",\n    \"ticks\": {ticks},\n    \"reference_ticks_per_sec\": {machine_ref_tps:.1},\n    \"kernel_ticks_per_sec\": {machine_kern_tps:.1},\n    \"speedup\": {machine_speedup:.2}\n  }},\n  \"cluster_64\": {{\n    \"model\": \"validation_cluster(64)\",\n    \"ticks\": {cluster_ticks},\n    \"reference_seconds\": {cluster_ref_s:.3},\n    \"kernel_serial_seconds\": {cluster_serial_s:.3},\n    \"kernel_batched_seconds\": {cluster_batched_s:.3},\n    {parallel_json},\n    \"reference_ticks_per_sec\": {cluster_ref_tps:.1},\n    \"kernel_serial_ticks_per_sec\": {cluster_serial_tps:.1},\n    \"kernel_batched_ticks_per_sec\": {cluster_batched_tps:.1},\n    \"speedup_vs_reference\": {cluster_speedup:.2}\n  }},\n  {s256},\n  {s1024}\n}}\n"
+        "{{\n  \"hardware\": {{ \"cores\": {cores}, \"peak_rss_bytes\": {rss} }},\n  \"single_machine\": {{\n    \"model\": \"validation_machine\",\n    \"ticks\": {ticks},\n    \"reference_ticks_per_sec\": {machine_ref_tps:.1},\n    \"kernel_ticks_per_sec\": {machine_kern_tps:.1},\n    \"speedup\": {machine_speedup:.2}\n  }},\n  \"cluster_64\": {{\n    \"model\": \"validation_cluster(64)\",\n    \"ticks\": {cluster_ticks},\n    \"reference_seconds\": {cluster_ref_s:.3},\n    \"kernel_serial_seconds\": {cluster_serial_s:.3},\n    \"kernel_batched_seconds\": {cluster_batched_s:.3},\n    {parallel_json},\n    \"reference_ticks_per_sec\": {cluster_ref_tps:.1},\n    \"kernel_serial_ticks_per_sec\": {cluster_serial_tps:.1},\n    \"kernel_batched_ticks_per_sec\": {cluster_batched_tps:.1},\n    \"speedup_vs_reference\": {cluster_speedup:.2}\n  }},\n  {s256},\n  {s1024},\n  {telemetry_json}\n}}\n"
     );
     std::fs::write("BENCH_solver.json", &json)?;
     println!("wrote BENCH_solver.json");
@@ -455,5 +484,19 @@ pub fn bench_solver() -> Result {
         batch_speedup_256 >= 3.0,
         "256-machine replicated cluster: batched kernel ≥3× the per-machine kernel",
     );
+    measured(&format!(
+        "telemetry overhead, 256-machine batched tick: instrumented {instrumented_s:.3} s vs off {uninstrumented_s:.3} s ({overhead_pct:+.2}%)"
+    ));
+    verdict(
+        overhead_pct <= 2.0,
+        "always-on telemetry costs ≤2% of the 256-machine batched tick",
+    );
+    if overhead_pct > 2.0 {
+        return Err(format!(
+            "telemetry overhead {overhead_pct:.2}% exceeds the 2% contract \
+             (instrumented {instrumented_s:.4} s vs uninstrumented {uninstrumented_s:.4} s)"
+        )
+        .into());
+    }
     Ok(())
 }

@@ -17,12 +17,15 @@
 //! "machines cooled down substantially while off" reproduces.
 
 use crate::log::{ExperimentLog, LogRow};
+use crate::metrics::ExperimentMetrics;
 use crate::policy::ThermalPolicy;
 use cluster_sim::ClusterSim;
 use mercury::fiddle::FiddleScript;
 use mercury::model::{ClusterModel, NodeSpec, PowerModel};
 use mercury::solver::{ClusterSolver, SolverConfig};
 use mercury::units::Watts;
+use std::sync::Arc;
+use telemetry::Registry;
 use workload_gen::WorkloadTrace;
 
 /// What a policy sees about one server each second.
@@ -60,6 +63,12 @@ pub struct ExperimentConfig {
     /// Per-machine variable-speed fan firmware (§7 extension). Cloned for
     /// every machine; `None` keeps fans at their fixed Table 1 speed.
     pub fan_controller: Option<mercury::fan::FanController>,
+    /// Telemetry registry the run reports into: the cluster solver's
+    /// metric bundle, the policy's `mercury_freon_*` families, and the
+    /// engine's own fiddle/power-state counters are all registered here
+    /// at the start of [`Experiment::run`]. `None` keeps the counters
+    /// updating but unscrapeable.
+    pub registry: Option<Arc<Registry>>,
 }
 
 impl Default for ExperimentConfig {
@@ -71,6 +80,7 @@ impl Default for ExperimentConfig {
             disk_component: "disk_platters".to_string(),
             off_watts: 0.5,
             fan_controller: None,
+            registry: None,
         }
     }
 }
@@ -142,6 +152,12 @@ impl<'a> Experiment<'a> {
         let mut solver = ClusterSolver::new(self.model, self.config.solver.clone())?;
         let mut runner = self.script.map(FiddleScript::runner);
         let mut log = ExperimentLog::new(policy.name());
+        let metrics = ExperimentMetrics::new();
+        if let Some(registry) = &self.config.registry {
+            solver.metrics().register(registry);
+            policy.register_metrics(registry);
+            metrics.register(registry);
+        }
 
         // Original power models, to restore after a power-off episode.
         let original_power: Vec<Vec<(String, PowerModel)>> = self
@@ -183,7 +199,10 @@ impl<'a> Experiment<'a> {
 
         for t in 0..self.config.duration_s {
             if let Some(r) = runner.as_mut() {
-                r.apply_due_to_cluster(mercury::units::Seconds(t as f64), &mut solver)?;
+                for command in r.due(mercury::units::Seconds(t as f64)) {
+                    command.apply_to_cluster(&mut solver)?;
+                    metrics.fiddle_events.inc();
+                }
             }
 
             let arrivals = self.trace.arrivals_at(t);
@@ -195,6 +214,9 @@ impl<'a> Experiment<'a> {
                 let powered = self.sim.server(i).is_powered();
                 let scale = self.sim.server(i).speed_scale();
                 if powered != was_powered[i] || (powered && scale != last_scale[i]) {
+                    if powered != was_powered[i] {
+                        metrics.power_state_changes.inc();
+                    }
                     let machine = solver.machine_at_mut(i);
                     for (component, model) in &original_power[i] {
                         let desired = if !powered {

@@ -30,6 +30,15 @@
 //!   utilizations → Mercury → temperatures → policy → LVS, with fiddle
 //!   scripts injecting thermal emergencies (this regenerates Figures 11
 //!   and 12).
+//!
+//! Every policy meters its decisions through always-on [`telemetry`]
+//! handles ([`FreonMetrics`]): `mercury_freon_decisions_total` labelled
+//! by `{action, reason}`, tempd observation counts, and PD-controller
+//! activation/saturation counters. Register them on any
+//! [`telemetry::Registry`] — e.g. a scraped
+//! [`mercury::net::SolverService`] registry — via
+//! [`ThermalPolicy::register_metrics`], or let [`Experiment`] do it by
+//! setting [`ExperimentConfig::registry`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,6 +50,7 @@ mod controller;
 mod engine;
 mod local;
 mod log;
+mod metrics;
 pub mod net;
 mod policy;
 mod tempd;
@@ -51,6 +61,7 @@ pub use controller::PdController;
 pub use engine::{Experiment, ExperimentConfig, ServerSnapshot};
 pub use local::{CombinedPolicy, LocalDvfsPolicy, DEFAULT_LEVELS};
 pub use log::ExperimentLog;
+pub use metrics::{ExperimentMetrics, FreonMetrics};
 pub use net::{AdmdService, TempdDaemon, TempdMessage};
 pub use policy::{FreonEcPolicy, FreonPolicy, NoPolicy, ThermalPolicy, TraditionalPolicy};
 pub use tempd::{Tempd, TempdReport};

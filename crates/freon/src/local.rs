@@ -172,6 +172,11 @@ impl CombinedPolicy {
     pub fn dvfs_steps_down(&self) -> u64 {
         self.ladder.steps_down
     }
+
+    /// The wrapped Freon policy's telemetry handles.
+    pub fn metrics(&self) -> &crate::FreonMetrics {
+        self.freon.metrics()
+    }
 }
 
 impl ThermalPolicy for CombinedPolicy {
@@ -206,6 +211,12 @@ impl ThermalPolicy for CombinedPolicy {
                 self.ladder.step_up(sim, i);
             }
         }
+    }
+
+    fn register_metrics(&self, registry: &telemetry::Registry) {
+        // The software half makes all cluster-level decisions; the DVFS
+        // ladder is hardware-internal and has no decision counters.
+        self.freon.register_metrics(registry);
     }
 }
 

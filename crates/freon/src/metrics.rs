@@ -1,0 +1,197 @@
+//! Always-on telemetry for Freon's control plane.
+//!
+//! [`FreonMetrics`] counts policy decisions by `{action, reason}` pair
+//! (the `mercury_freon_decisions_total` family), tempd observations, and
+//! PD-controller activations/saturations. Every policy owns one bundle
+//! and exposes it through [`ThermalPolicy::register_metrics`]
+//! (`crate::ThermalPolicy`), so an experiment — or a scraped
+//! [`mercury::net::SolverService`] registry — sees the control loop and
+//! the thermal solver through the same exposition.
+//!
+//! [`ExperimentMetrics`] is the engine-side companion: fiddle events
+//! applied and server power-state transitions, counted by
+//! [`Experiment::run`](crate::Experiment) when
+//! [`ExperimentConfig::registry`](crate::ExperimentConfig) is set.
+
+use telemetry::{Counter, Registry};
+
+/// Metric handles shared by a policy and whoever scrapes it.
+///
+/// Handles are cheap atomic clones: a policy clones the bundle freely and
+/// every clone feeds the same registered family.
+#[derive(Debug, Clone, Default)]
+pub struct FreonMetrics {
+    /// `mercury_freon_observations_total` — per-server tempd
+    /// observations processed at monitoring boundaries.
+    pub observations: Counter,
+    /// `mercury_freon_controller_activations_total` — PD-controller
+    /// reports with a positive output.
+    pub activations: Counter,
+    /// `mercury_freon_controller_saturations_total` — PD-controller
+    /// reports clamped to zero (temperature above `T_h` but falling fast
+    /// enough that the derivative term cancels the proportional one).
+    pub saturations: Counter,
+    /// `mercury_freon_decisions_total{action="throttle",reason="above_high"}`.
+    pub throttles: Counter,
+    /// `mercury_freon_decisions_total{action="release",reason="below_low"}`.
+    pub releases: Counter,
+    /// `mercury_freon_decisions_total{action="shutdown",reason="red_line"}`.
+    pub red_line_shutdowns: Counter,
+    /// `mercury_freon_decisions_total{action="power_on",reason="projected_load"}`.
+    pub power_ons_load: Counter,
+    /// `mercury_freon_decisions_total{action="power_on",reason="replacement"}`.
+    pub power_ons_replacement: Counter,
+    /// `mercury_freon_decisions_total{action="power_off",reason="heat"}`.
+    pub power_offs_heat: Counter,
+    /// `mercury_freon_decisions_total{action="power_off",reason="energy"}`.
+    pub power_offs_energy: Counter,
+}
+
+impl FreonMetrics {
+    /// Fresh, detached handles (all zero).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers the `mercury_freon_*` families on `registry`.
+    pub fn register(&self, registry: &Registry) {
+        registry.register_counter(
+            "mercury_freon_observations_total",
+            "Per-server tempd observations processed by the policy",
+            &[],
+            &self.observations,
+        );
+        registry.register_counter(
+            "mercury_freon_controller_activations_total",
+            "PD-controller reports with a positive output",
+            &[],
+            &self.activations,
+        );
+        registry.register_counter(
+            "mercury_freon_controller_saturations_total",
+            "PD-controller reports clamped to zero output",
+            &[],
+            &self.saturations,
+        );
+        const DECISIONS: &str = "mercury_freon_decisions_total";
+        const HELP: &str = "Policy decisions, by action and reason code";
+        for (action, reason, handle) in [
+            ("throttle", "above_high", &self.throttles),
+            ("release", "below_low", &self.releases),
+            ("shutdown", "red_line", &self.red_line_shutdowns),
+            ("power_on", "projected_load", &self.power_ons_load),
+            ("power_on", "replacement", &self.power_ons_replacement),
+            ("power_off", "heat", &self.power_offs_heat),
+            ("power_off", "energy", &self.power_offs_energy),
+        ] {
+            registry.register_counter(
+                DECISIONS,
+                HELP,
+                &[("action", action), ("reason", reason)],
+                handle,
+            );
+        }
+    }
+
+    /// Total decisions across every `{action, reason}` pair.
+    #[must_use]
+    pub fn decisions(&self) -> u64 {
+        self.throttles.get()
+            + self.releases.get()
+            + self.red_line_shutdowns.get()
+            + self.power_ons_load.get()
+            + self.power_ons_replacement.get()
+            + self.power_offs_heat.get()
+            + self.power_offs_energy.get()
+    }
+
+    /// Books one PD-controller report: positive outputs are activations,
+    /// zero outputs (clamped negatives) are saturations.
+    pub(crate) fn record_output(&self, output: f64) {
+        if output > 0.0 {
+            self.activations.inc();
+        } else {
+            self.saturations.inc();
+        }
+    }
+}
+
+/// Engine-side counters kept by one [`Experiment`](crate::Experiment) run.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentMetrics {
+    /// `mercury_freon_fiddle_events_total` — fiddle commands applied to
+    /// the cluster solver (the injected thermal emergencies).
+    pub fiddle_events: Counter,
+    /// `mercury_freon_power_state_changes_total` — server power flips
+    /// mirrored into the thermal model (off → residual draw, on →
+    /// restored power models).
+    pub power_state_changes: Counter,
+}
+
+impl ExperimentMetrics {
+    /// Fresh, detached handles (all zero).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers the engine families on `registry`.
+    pub fn register(&self, registry: &Registry) {
+        registry.register_counter(
+            "mercury_freon_fiddle_events_total",
+            "Fiddle commands applied to the cluster solver",
+            &[],
+            &self.fiddle_events,
+        );
+        registry.register_counter(
+            "mercury_freon_power_state_changes_total",
+            "Server power-state flips mirrored into the thermal model",
+            &[],
+            &self.power_state_changes,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_family_renders_with_action_and_reason() {
+        let registry = Registry::new();
+        let m = FreonMetrics::new();
+        m.register(&registry);
+        m.throttles.add(3);
+        m.red_line_shutdowns.inc();
+        let text = registry.render_prometheus();
+        assert!(text.contains(
+            "mercury_freon_decisions_total{action=\"throttle\",reason=\"above_high\"} 3"
+        ));
+        assert!(text
+            .contains("mercury_freon_decisions_total{action=\"shutdown\",reason=\"red_line\"} 1"));
+        assert_eq!(m.decisions(), 4);
+    }
+
+    #[test]
+    fn outputs_split_into_activations_and_saturations() {
+        let m = FreonMetrics::new();
+        m.record_output(0.4);
+        m.record_output(0.0);
+        m.record_output(0.1);
+        assert_eq!(m.activations.get(), 2);
+        assert_eq!(m.saturations.get(), 1);
+    }
+
+    #[test]
+    fn experiment_metrics_register_engine_families() {
+        let registry = Registry::new();
+        let m = ExperimentMetrics::new();
+        m.register(&registry);
+        m.fiddle_events.inc();
+        m.power_state_changes.add(2);
+        let text = registry.render_prometheus();
+        assert!(text.contains("mercury_freon_fiddle_events_total 1"));
+        assert!(text.contains("mercury_freon_power_state_changes_total 2"));
+    }
+}

@@ -4,8 +4,10 @@
 use crate::admd::Admd;
 use crate::config::{EcConfig, FreonConfig};
 use crate::engine::ServerSnapshot;
+use crate::metrics::FreonMetrics;
 use crate::tempd::Tempd;
 use cluster_sim::ClusterSim;
+use telemetry::Registry;
 
 /// A cluster-level thermal-management policy, invoked once per simulated
 /// second with fresh temperatures and utilizations. Policies do their own
@@ -17,6 +19,13 @@ pub trait ThermalPolicy: std::fmt::Debug {
 
     /// Observes the cluster and optionally actuates the balancer/servers.
     fn control(&mut self, now_s: u64, snapshots: &[ServerSnapshot], sim: &mut ClusterSim);
+
+    /// Registers the policy's `mercury_freon_*` metric families on
+    /// `registry`, so a scrape of e.g. a
+    /// [`mercury::net::SolverService`] registry includes the control
+    /// loop's decision counters. The default registers nothing —
+    /// appropriate for policies that never act (like [`NoPolicy`]).
+    fn register_metrics(&self, _registry: &Registry) {}
 }
 
 /// A policy that never intervenes — the control for validation runs.
@@ -40,6 +49,7 @@ pub struct TraditionalPolicy {
     config: FreonConfig,
     /// Seconds at which each server was shut down, if it was.
     shutdown_times: Vec<Option<u64>>,
+    metrics: FreonMetrics,
 }
 
 impl TraditionalPolicy {
@@ -48,12 +58,18 @@ impl TraditionalPolicy {
         TraditionalPolicy {
             config,
             shutdown_times: vec![None; n],
+            metrics: FreonMetrics::new(),
         }
     }
 
     /// When each server was turned off (`None` = survived the run).
     pub fn shutdown_times(&self) -> &[Option<u64>] {
         &self.shutdown_times
+    }
+
+    /// The policy's telemetry handles.
+    pub fn metrics(&self) -> &FreonMetrics {
+        &self.metrics
     }
 }
 
@@ -70,6 +86,7 @@ impl ThermalPolicy for TraditionalPolicy {
             if !snapshot.accepting {
                 continue;
             }
+            self.metrics.observations.inc();
             let red_lined = snapshot.temps.iter().any(|(component, temp)| {
                 self.config
                     .thresholds_for(component)
@@ -79,8 +96,13 @@ impl ThermalPolicy for TraditionalPolicy {
                 sim.lvs_mut().set_quiesced(i, true);
                 sim.server_mut(i).shutdown_hard();
                 self.shutdown_times[i] = Some(now_s);
+                self.metrics.red_line_shutdowns.inc();
             }
         }
+    }
+
+    fn register_metrics(&self, registry: &Registry) {
+        self.metrics.register(registry);
     }
 }
 
@@ -95,6 +117,7 @@ pub struct FreonPolicy {
     restricted: Vec<bool>,
     adjustments: u64,
     red_line_shutdowns: u64,
+    metrics: FreonMetrics,
 }
 
 impl FreonPolicy {
@@ -108,7 +131,13 @@ impl FreonPolicy {
             restricted: vec![false; n],
             adjustments: 0,
             red_line_shutdowns: 0,
+            metrics: FreonMetrics::new(),
         }
+    }
+
+    /// The policy's telemetry handles.
+    pub fn metrics(&self) -> &FreonMetrics {
+        &self.metrics
     }
 
     /// How many load-distribution adjustments admd has made.
@@ -132,6 +161,7 @@ impl FreonPolicy {
                 continue;
             }
             let report = self.tempds[i].observe(&snapshot.temps, &self.config);
+            self.metrics.observations.inc();
             if report.red_lined.is_some() {
                 // Modern CPUs and disks turn themselves off at the red
                 // line; Freon extends the action to the entire server.
@@ -139,6 +169,7 @@ impl FreonPolicy {
                 sim.server_mut(i).shutdown_hard();
                 self.red_line_shutdowns += 1;
                 self.restricted[i] = false;
+                self.metrics.red_line_shutdowns.inc();
                 continue;
             }
             if let Some(output) = report.output {
@@ -148,9 +179,12 @@ impl FreonPolicy {
                 }
                 self.restricted[i] = true;
                 self.adjustments += 1;
+                self.metrics.record_output(output);
+                self.metrics.throttles.inc();
             } else if report.all_below_low && self.restricted[i] {
                 self.admd.release(sim, i);
                 self.restricted[i] = false;
+                self.metrics.releases.inc();
             }
         }
         let _ = now_s;
@@ -170,6 +204,10 @@ impl ThermalPolicy for FreonPolicy {
         if now_s > 0 && now_s.is_multiple_of(self.config.monitor_period_s) {
             self.monitor(now_s, snapshots, sim);
         }
+    }
+
+    fn register_metrics(&self, registry: &Registry) {
+        self.metrics.register(registry);
     }
 }
 
@@ -192,6 +230,7 @@ pub struct FreonEcPolicy {
     power_ons: u64,
     power_offs: u64,
     adjustments: u64,
+    metrics: FreonMetrics,
 }
 
 impl FreonEcPolicy {
@@ -212,7 +251,13 @@ impl FreonEcPolicy {
             power_ons: 0,
             power_offs: 0,
             adjustments: 0,
+            metrics: FreonMetrics::new(),
         }
+    }
+
+    /// The policy's telemetry handles.
+    pub fn metrics(&self) -> &FreonMetrics {
+        &self.metrics
     }
 
     /// Servers powered on by the policy so far.
@@ -320,6 +365,7 @@ impl FreonEcPolicy {
         if need_add && any_off {
             if let Some(server) = self.select_server_to_turn_on(snapshots) {
                 self.turn_on(sim, server);
+                self.metrics.power_ons_load.inc();
             }
         }
 
@@ -339,6 +385,7 @@ impl FreonEcPolicy {
                 reports.push(None);
                 continue;
             }
+            self.metrics.observations.inc();
             reports.push(Some(self.tempds[i].observe(&snapshot.temps, &self.config)));
         }
 
@@ -353,6 +400,7 @@ impl FreonEcPolicy {
                 sim.server_mut(i).shutdown_hard();
                 self.power_offs += 1;
                 self.restricted[i] = false;
+                self.metrics.red_line_shutdowns.inc();
                 continue;
             }
             let region = self.ec.regions[i];
@@ -366,6 +414,8 @@ impl FreonEcPolicy {
                             self.turn_on(sim, replacement);
                             self.turn_off(sim, i);
                             removed_for_heat += 1;
+                            self.metrics.power_ons_replacement.inc();
+                            self.metrics.power_offs_heat.inc();
                             continue;
                         }
                     }
@@ -376,11 +426,14 @@ impl FreonEcPolicy {
                         }
                         self.restricted[i] = true;
                         self.adjustments += 1;
+                        self.metrics.record_output(output);
+                        self.metrics.throttles.inc();
                     }
                 } else {
                     // Capacity to spare: simply turn the hot server off.
                     self.turn_off(sim, i);
                     removed_for_heat += 1;
+                    self.metrics.power_offs_heat.inc();
                 }
                 continue;
             }
@@ -395,9 +448,12 @@ impl FreonEcPolicy {
                 }
                 self.restricted[i] = true;
                 self.adjustments += 1;
+                self.metrics.record_output(output);
+                self.metrics.throttles.inc();
             } else if report.all_below_low && self.restricted[i] {
                 self.admd.release(sim, i);
                 self.restricted[i] = false;
+                self.metrics.releases.inc();
             }
         }
 
@@ -429,6 +485,7 @@ impl FreonEcPolicy {
                 Some(i) if snapshots.iter().filter(|s| s.accepting).count() > shrink + 1 => {
                     self.turn_off(sim, i);
                     shrink += 1;
+                    self.metrics.power_offs_energy.inc();
                 }
                 _ => break,
             }
@@ -450,6 +507,10 @@ impl ThermalPolicy for FreonEcPolicy {
         if now_s > 0 && now_s.is_multiple_of(self.config.monitor_period_s) {
             self.monitor(snapshots, sim);
         }
+    }
+
+    fn register_metrics(&self, registry: &Registry) {
+        self.metrics.register(registry);
     }
 }
 
@@ -654,6 +715,51 @@ mod tests {
         policy.control(120, &idle, &mut sim);
         assert_eq!(sim.active_servers(), 1);
         assert_eq!(policy.power_offs(), 0);
+    }
+
+    #[test]
+    fn policy_decisions_land_in_the_metrics_registry() {
+        let mut policy = FreonPolicy::new(FreonConfig::paper(), 2);
+        let registry = Registry::new();
+        policy.register_metrics(&registry);
+        let mut sim = ClusterSim::homogeneous(2, ServerConfig::default());
+        // Throttle at 60, release at 120, red-line at 180.
+        policy.control(
+            60,
+            &snapshots(&[(68.0, 0.7, true), (60.0, 0.7, true)]),
+            &mut sim,
+        );
+        policy.control(
+            120,
+            &snapshots(&[(63.0, 0.4, true), (60.0, 0.7, true)]),
+            &mut sim,
+        );
+        policy.control(
+            180,
+            &snapshots(&[(60.0, 0.4, true), (69.5, 0.9, true)]),
+            &mut sim,
+        );
+        let m = policy.metrics();
+        assert_eq!(m.throttles.get(), 1);
+        assert_eq!(m.releases.get(), 1);
+        assert_eq!(m.red_line_shutdowns.get(), 1);
+        assert_eq!(m.observations.get(), 6);
+        assert_eq!(m.activations.get(), 1);
+        let text = registry.render_prometheus();
+        assert!(text
+            .contains("mercury_freon_decisions_total{action=\"shutdown\",reason=\"red_line\"} 1"));
+    }
+
+    #[test]
+    fn ec_power_decisions_carry_reason_codes() {
+        let mut policy = FreonEcPolicy::new(FreonConfig::paper(), EcConfig::paper_four_servers());
+        let mut sim = ClusterSim::homogeneous(4, ServerConfig::default());
+        let light = snapshots(&[(40.0, 0.1, true); 4]);
+        policy.control(60, &light, &mut sim);
+        let m = policy.metrics();
+        assert_eq!(m.power_offs_energy.get(), policy.power_offs());
+        assert!(m.power_offs_energy.get() >= 3);
+        assert_eq!(m.power_offs_heat.get(), 0);
     }
 
     #[test]

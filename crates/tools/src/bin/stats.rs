@@ -1,0 +1,178 @@
+//! `mercury-stats` — scrape and pretty-print a running solver's
+//! telemetry.
+//!
+//! ```text
+//! usage: mercury-stats --solver HOST:PORT [--raw] [--watch SECONDS]
+//!
+//!   --raw    print the Prometheus text exposition verbatim (pipe it to
+//!            a file and point a Prometheus file exporter at it)
+//!   --watch  re-scrape every N seconds until interrupted
+//! ```
+//!
+//! The default output groups the scrape by metric family: counters and
+//! gauges one per line, histograms as `count / mean / max-bucket`.
+
+use mercury::net::proto::{self, Reply, Request};
+use mercury_tools::{resolve, Args};
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::Duration;
+
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("mercury-stats: {message}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+/// Sends one scrape request and reassembles the (possibly multi-part)
+/// metrics reply into the full text exposition.
+fn scrape(solver: SocketAddr) -> Result<String, String> {
+    let socket = UdpSocket::bind("0.0.0.0:0").map_err(|e| e.to_string())?;
+    socket.connect(solver).map_err(|e| e.to_string())?;
+    socket
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .map_err(|e| e.to_string())?;
+    socket
+        .send(&proto::encode_request(&Request::Scrape))
+        .map_err(|e| e.to_string())?;
+    let mut received: BTreeMap<u16, String> = BTreeMap::new();
+    let mut buf = [0u8; proto::MAX_DATAGRAM];
+    loop {
+        let n = socket
+            .recv(&mut buf)
+            .map_err(|e| format!("no reply from the solver: {e}"))?;
+        match proto::decode_reply(&buf[..n]).map_err(|e| e.to_string())? {
+            Reply::Metrics { part, parts, text } => {
+                received.insert(part, text);
+                if received.len() as u16 == parts {
+                    return Ok(received.into_values().collect());
+                }
+            }
+            Reply::Error { message } => return Err(message),
+            other => return Err(format!("unexpected reply {other:?} to a scrape")),
+        }
+    }
+}
+
+fn format_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+/// One histogram series, reassembled from its `_bucket`/`_sum`/`_count`
+/// exposition lines.
+#[derive(Default)]
+struct HistogramSeries {
+    count: f64,
+    sum: f64,
+    /// `(le, cumulative)` pairs in line order.
+    buckets: Vec<(f64, f64)>,
+}
+
+impl HistogramSeries {
+    /// The smallest finite `le` bound whose cumulative bucket already
+    /// holds every sample — an upper bound on the largest observation.
+    fn max_le(&self) -> Option<f64> {
+        self.buckets
+            .iter()
+            .filter(|(le, cumulative)| le.is_finite() && *cumulative >= self.count)
+            .map(|(le, _)| *le)
+            .fold(None, |best, le| Some(best.map_or(le, |b: f64| b.min(le))))
+    }
+}
+
+fn pretty_print(text: &str) -> Result<(), String> {
+    let samples = telemetry::text::parse_exposition(text)
+        .map_err(|e| format!("scrape did not parse as Prometheus text: {e}"))?;
+
+    let mut histograms: BTreeMap<String, HistogramSeries> = BTreeMap::new();
+    let mut scalars: Vec<(String, f64)> = Vec::new();
+    for sample in &samples {
+        if let Some(family) = sample.name.strip_suffix("_bucket") {
+            let labels: Vec<(String, String)> = sample
+                .labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .cloned()
+                .collect();
+            let series = histograms
+                .entry(format!("{family}{}", format_labels(&labels)))
+                .or_default();
+            let le: f64 = match sample.label("le") {
+                Some("+Inf") | None => f64::INFINITY,
+                Some(bound) => bound.parse().unwrap_or(f64::INFINITY),
+            };
+            series.buckets.push((le, sample.value));
+            continue;
+        }
+        if let Some(family) = sample.name.strip_suffix("_sum") {
+            let key = format!("{family}{}", format_labels(&sample.labels));
+            histograms.entry(key).or_default().sum = sample.value;
+            continue;
+        }
+        if let Some(family) = sample.name.strip_suffix("_count") {
+            let key = format!("{family}{}", format_labels(&sample.labels));
+            histograms.entry(key).or_default().count = sample.value;
+            continue;
+        }
+        scalars.push((
+            format!("{}{}", sample.name, format_labels(&sample.labels)),
+            sample.value,
+        ));
+    }
+
+    for (name, value) in &scalars {
+        println!("{name:<70} {value}");
+    }
+    for (name, series) in &histograms {
+        if series.count > 0.0 {
+            let mean = series.sum / series.count;
+            let max = series
+                .max_le()
+                .map_or("?".to_string(), |le| format!("{le:.3e}"));
+            println!(
+                "{name:<70} count={} mean={mean:.3e} max<={max}",
+                series.count
+            );
+        } else {
+            println!("{name:<70} count=0");
+        }
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::parse(std::env::args().skip(1));
+    let solver = resolve(args.require("solver")?)?;
+    let raw = args.has("raw");
+
+    let print = |text: &str| -> Result<(), String> {
+        if raw {
+            print!("{text}");
+            Ok(())
+        } else {
+            pretty_print(text)
+        }
+    };
+
+    match args.value("watch") {
+        None => print(&scrape(solver)?),
+        Some(period) => {
+            let period: f64 = period
+                .parse()
+                .map_err(|_| "--watch wants seconds".to_string())?;
+            loop {
+                print(&scrape(solver)?)?;
+                println!();
+                std::thread::sleep(Duration::from_secs_f64(period.max(0.05)));
+            }
+        }
+    }
+}

@@ -11,6 +11,7 @@
 //! | `mercury-monitord` | samples Linux `/proc` (or a synthetic load) and streams utilization updates |
 //! | `mercury-fiddle` | sends one fiddle command, or replays a script, against a running solver |
 //! | `mercury-sensor` | the Figure 3 client: open, read (optionally repeatedly), close |
+//! | `mercury-stats` | scrapes a running solver's telemetry registry and pretty-prints (or dumps) the Prometheus exposition |
 //!
 //! A three-terminal session:
 //!
@@ -37,7 +38,7 @@ pub struct Args {
 }
 
 /// Flags that never take a value (everything else is `--key value`).
-const BOOLEAN_FLAGS: &[&str] = &["list", "verbose", "help"];
+const BOOLEAN_FLAGS: &[&str] = &["list", "verbose", "help", "raw"];
 
 impl Args {
     /// Parses the process arguments: `--key value` pairs, a fixed set of
