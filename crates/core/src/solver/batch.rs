@@ -417,6 +417,18 @@ impl BatchSet {
     /// solver and books its heat/time accounting, exactly as
     /// [`Solver::step`]'s epilogue does.
     pub(crate) fn finish_tick(&mut self, machines: &mut [Solver]) {
+        self.scatter(machines, 1);
+    }
+
+    /// Span epilogue for fused replay: the same scatter as
+    /// [`BatchSet::finish_tick`], but booking `span` ticks of heat/time
+    /// accounting at once — the chunk matrices stayed hot for the whole
+    /// span, so there is exactly one scatter to pay.
+    pub(crate) fn finish_span(&mut self, machines: &mut [Solver], span: usize) {
+        self.scatter(machines, span);
+    }
+
+    fn scatter(&mut self, machines: &mut [Solver], span: usize) {
         for group in &mut self.groups {
             let n = group.op.n;
             for chunk in &mut group.chunks {
@@ -427,9 +439,63 @@ impl BatchSet {
                     for (i, t) in temps.iter_mut().enumerate().take(n) {
                         t.0 = chunk.cur[i * lanes + l];
                     }
-                    solver.finish_tick(chunk.generated[l]);
+                    solver.finish_tick_span(chunk.generated[l], span);
                 }
             }
+        }
+    }
+
+    /// Per-machine lane coordinates `(group, chunk, lane)` under the
+    /// current plan, or `None` for machines on the per-machine path.
+    /// Built once per fused span so per-tick chunk reads and writes are
+    /// straight indexing.
+    pub(crate) fn lane_map(&self, n_machines: usize) -> Vec<Option<(u32, u32, u32)>> {
+        let mut map = vec![None; n_machines];
+        for (g, group) in self.groups.iter().enumerate() {
+            for (c, chunk) in group.chunks.iter().enumerate() {
+                for (l, &m) in chunk.members.iter().enumerate() {
+                    map[m] = Some((g as u32, c as u32, l as u32));
+                }
+            }
+        }
+        map
+    }
+
+    /// The inter-machine exhaust observation read straight off a chunk
+    /// lane: the mean over `nodes` in node order — the identical
+    /// accumulation the cluster's scalar `exhaust_temperature` performs
+    /// on a solver's scattered temperatures. `None` when the machine has
+    /// no exhaust regions (the caller falls back to its inlet, as the
+    /// scalar path does).
+    pub(crate) fn lane_exhaust(&self, g: u32, c: u32, l: u32, nodes: &[u32]) -> Option<f64> {
+        if nodes.is_empty() {
+            return None;
+        }
+        let chunk = &self.groups[g as usize].chunks[c as usize];
+        let lanes = chunk.members.len();
+        let mut sum = 0.0;
+        for &i in nodes {
+            sum += chunk.cur[i as usize * lanes + l as usize];
+        }
+        Some(sum / nodes.len() as f64)
+    }
+
+    /// One node's current temperature on a chunk lane, for per-tick
+    /// probe recording inside a fused span.
+    pub(crate) fn lane_value(&self, g: u32, c: u32, l: u32, node: usize) -> f64 {
+        let chunk = &self.groups[g as usize].chunks[c as usize];
+        chunk.cur[node * chunk.members.len() + l as usize]
+    }
+
+    /// Writes a boundary temperature into the given rows of a chunk
+    /// lane — the fused span's equivalent of `set_inlet_temperature` on
+    /// the scattered solver (inlet rows are `fixed`, so the chunk tick
+    /// carries the value through every sub-step unchanged).
+    pub(crate) fn write_lane_rows(&mut self, g: u32, c: u32, l: u32, nodes: &[usize], t: f64) {
+        let chunk = &mut self.groups[g as usize].chunks[c as usize];
+        let lanes = chunk.members.len();
+        for &i in nodes {
+            chunk.cur[i * lanes + l as usize] = t;
         }
     }
 }

@@ -4,7 +4,8 @@
 use super::batch::BatchSet;
 use super::kernel::MixGraph;
 use super::machine::{Solver, SolverConfig};
-use super::metrics::ClusterMetrics;
+use super::metrics::{ClusterMetrics, TICK_LATENCY_SAMPLE};
+use super::pool::{TickPool, WorkItem};
 use crate::error::Error;
 use crate::model::ClusterModel;
 use crate::units::{Celsius, Seconds, Utilization};
@@ -15,6 +16,32 @@ use std::time::Instant;
 /// per-tick work of a handful of machines is cheaper than waking a thread
 /// pool for them.
 const SERIAL_MACHINE_CUTOFF: usize = 8;
+
+/// How parallel ticks distribute their work across threads; see
+/// [`ClusterSolver::set_scheduler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TickScheduler {
+    /// The persistent [`TickPool`]: workers spawned once, parked between
+    /// ticks, fed one unified queue of solo-machine and batch-chunk work
+    /// items capped at exactly the configured thread count.
+    #[default]
+    Pool,
+    /// The legacy baseline: fresh `std::thread::scope` threads every
+    /// tick, solo slices and chunk slices each fanned out separately
+    /// (which can oversubscribe to 2× the configured thread count).
+    /// Kept selectable for pool-vs-spawn benchmarking only; trajectories
+    /// are bit-identical either way.
+    SpawnPerTick,
+}
+
+/// A resolved `(machine, node)` temperature probe for
+/// [`ClusterSolver::step_for_recorded`]: resolve names once, then record
+/// by dense index every tick.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterProbe {
+    machine: usize,
+    node: usize,
+}
 
 /// Emulates the temperatures of an entire machine room (Figure 1c).
 ///
@@ -70,6 +97,16 @@ pub struct ClusterSolver {
     /// [`ClusterSolver::set_batching`]).
     batch: BatchSet,
     batching: bool,
+    /// The persistent worker pool for parallel ticks; empty until the
+    /// first parallel tick, resized lazily when the effective thread
+    /// count changes, joined on drop.
+    pool: TickPool,
+    /// Which parallel-tick execution strategy to use (see
+    /// [`ClusterSolver::set_scheduler`]).
+    scheduler: TickScheduler,
+    /// Pool runs so far, for 1-in-[`TICK_LATENCY_SAMPLE`] busy/idle
+    /// sampling.
+    pool_runs: u64,
     time: Seconds,
     dt: Seconds,
     /// Always-on metric handles; the nested solver bundle is shared with
@@ -125,6 +162,9 @@ impl ClusterSolver {
             threads: 0,
             batch: BatchSet::new(n),
             batching: true,
+            pool: TickPool::new(),
+            scheduler: TickScheduler::default(),
+            pool_runs: 0,
             time: Seconds(0.0),
             dt: cfg.dt,
             metrics,
@@ -279,14 +319,44 @@ impl ClusterSolver {
 
     /// Sets the number of worker threads used to step machines each tick.
     ///
-    /// `0` (the default) picks automatically: serial for clusters of at
-    /// most 8 machines, one thread per available core (capped at the
-    /// machine count) for larger rooms. Any explicit value is clamped to
-    /// the machine count. The thread count never changes results —
-    /// machines within a tick are independent, so serial and parallel
-    /// stepping are bit-identical.
+    /// `0` (the default) is the **auto sentinel**: serial for clusters
+    /// of at most 8 machines, one thread per available core (via
+    /// [`std::thread::available_parallelism`], capped at the machine
+    /// count) for larger rooms. Any explicit value is clamped to the
+    /// machine count; [`ClusterSolver::effective_threads`] reports the
+    /// resolved count. Parallel ticks run on a persistent worker pool
+    /// that is resized lazily at the next tick after a change here (an
+    /// existing pool is torn down and respawned, counted in
+    /// `mercury_cluster_pool_resizes_total`). The thread count never
+    /// changes results — machines within a tick are independent, so
+    /// serial and parallel stepping are bit-identical.
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads;
+    }
+
+    /// Selects how parallel ticks are executed (default:
+    /// [`TickScheduler::Pool`]). The spawn-per-tick strategy exists so
+    /// benchmarks can A/B the persistent pool against the legacy scoped
+    /// spawn within one binary — like [`ClusterSolver::set_batching`],
+    /// this is a benchmarking switch, not a correctness knob: both
+    /// strategies produce bit-identical trajectories. Fused replay spans
+    /// ([`ClusterSolver::step_for`]) always use the pool.
+    pub fn set_scheduler(&mut self, scheduler: TickScheduler) {
+        self.scheduler = scheduler;
+    }
+
+    /// The currently selected parallel-tick scheduler.
+    pub fn scheduler(&self) -> TickScheduler {
+        self.scheduler
+    }
+
+    /// Worker threads currently alive in the persistent tick pool
+    /// (0 until the first parallel tick). After any parallel tick this
+    /// equals [`ClusterSolver::effective_threads`] at that tick — never
+    /// the 2× a mixed solo/chunk tick could reach under the legacy
+    /// spawn-per-tick fan-out.
+    pub fn pool_workers(&self) -> usize {
+        self.pool.worker_count()
     }
 
     /// Enables or disables batched stepping of structurally identical
@@ -434,42 +504,76 @@ impl ClusterSolver {
             }
             self.batch.tick_serial();
         } else {
-            // Parallel fan-out over two kinds of independent work item:
-            // solo machines (their whole `step`) and batch chunks (pure
-            // compute on chunk-owned state). Work is chunked by item, not
-            // by thread-dependent matrix strides, so the thread count
-            // never changes any machine's arithmetic.
-            let batch = &self.batch;
-            let mut solos: Vec<&mut Solver> = self
-                .machines
-                .iter_mut()
-                .enumerate()
-                .filter(|(i, _)| !batch.is_batched(*i))
-                .map(|(_, m)| m)
-                .collect();
-            let mut items = self.batch.par_items();
-            std::thread::scope(|scope| {
-                if !solos.is_empty() {
-                    let chunk = solos.len().div_ceil(threads);
-                    for slice in solos.chunks_mut(chunk) {
-                        scope.spawn(move || {
-                            for m in slice {
-                                m.step();
-                            }
-                        });
-                    }
+            match self.scheduler {
+                // Parallel fan-out over two kinds of independent work
+                // item: solo machines (their whole `step`) and batch
+                // chunks (pure compute on chunk-owned state), in one
+                // unified queue drained by exactly `threads` persistent
+                // workers. Work is distributed by item, not by
+                // thread-dependent matrix strides, so the thread count
+                // never changes any machine's arithmetic.
+                TickScheduler::Pool => {
+                    let batch = &mut self.batch;
+                    let mut items: Vec<WorkItem<'_>> = self
+                        .machines
+                        .iter_mut()
+                        .enumerate()
+                        .filter(|(i, _)| !batch.is_batched(*i))
+                        .map(|(_, m)| WorkItem::Step(m))
+                        .collect();
+                    items.extend(
+                        batch
+                            .par_items()
+                            .into_iter()
+                            .map(|(op, chunk)| WorkItem::Chunk { op, chunk }),
+                    );
+                    run_on_pool(
+                        &mut self.pool,
+                        &self.metrics,
+                        self.instrumented,
+                        &mut self.pool_runs,
+                        &mut items,
+                        threads,
+                    );
                 }
-                if !items.is_empty() {
-                    let chunk = items.len().div_ceil(threads);
-                    for slice in items.chunks_mut(chunk) {
-                        scope.spawn(move || {
-                            for (op, c) in slice.iter_mut() {
-                                c.tick(op);
+                // The legacy per-tick scoped spawn, kept as the
+                // benchmark baseline (including its historical
+                // oversubscription: solo slices and chunk slices each
+                // fan out by `threads`).
+                TickScheduler::SpawnPerTick => {
+                    let batch = &self.batch;
+                    let mut solos: Vec<&mut Solver> = self
+                        .machines
+                        .iter_mut()
+                        .enumerate()
+                        .filter(|(i, _)| !batch.is_batched(*i))
+                        .map(|(_, m)| m)
+                        .collect();
+                    let mut items = self.batch.par_items();
+                    std::thread::scope(|scope| {
+                        if !solos.is_empty() {
+                            let chunk = solos.len().div_ceil(threads);
+                            for slice in solos.chunks_mut(chunk) {
+                                scope.spawn(move || {
+                                    for m in slice {
+                                        m.step();
+                                    }
+                                });
                             }
-                        });
-                    }
+                        }
+                        if !items.is_empty() {
+                            let chunk = items.len().div_ceil(threads);
+                            for slice in items.chunks_mut(chunk) {
+                                scope.spawn(move || {
+                                    for (op, c) in slice.iter_mut() {
+                                        c.tick(op);
+                                    }
+                                });
+                            }
+                        }
+                    });
                 }
-            });
+            }
         }
 
         // Scatter batched results back and book per-machine accounting
@@ -496,9 +600,264 @@ impl ClusterSolver {
     }
 
     /// Advances the room by `ticks` ticks.
+    ///
+    /// For `ticks ≥ 2` this is the fused replay path: the first tick
+    /// runs as a normal [`ClusterSolver::step`] (absorbing any fiddles
+    /// since the last call — the batch plan, flow caches, and priced
+    /// inputs all refresh there), and the remaining `ticks − 1` run as
+    /// one *fused span* inside the kernel/batch layer. Within the span
+    /// no external code can run, so every machine's inputs are provably
+    /// stable: chunk matrices stay hot across ticks (no per-tick
+    /// gather/scatter), inter-machine mixing reads exhausts straight off
+    /// the chunk lanes and writes inlets straight back, solo machines
+    /// skip their idempotent repricing, and plan checks plus sampled
+    /// metrics are paid once per span. The trajectory is bit-identical
+    /// to calling [`ClusterSolver::step`] in a loop — the equivalence
+    /// proptests hold it to that at every thread count. Use
+    /// [`ClusterSolver::step_for_recorded`] to observe per-tick history
+    /// from inside a span.
     pub fn step_for(&mut self, ticks: usize) {
-        for _ in 0..ticks {
-            self.step();
+        self.replay(ticks, &[], &mut |_, _| {});
+    }
+
+    /// Resolves a `(machine, node)` pair into a dense probe for
+    /// [`ClusterSolver::step_for_recorded`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownMachine`] or [`Error::UnknownNode`].
+    pub fn probe(&self, machine: &str, node: &str) -> Result<ClusterProbe, Error> {
+        let m = self.machine_index(machine)?;
+        let n = self.machines[m]
+            .node_index(node)
+            .ok_or_else(|| Error::unknown_node(node))?;
+        Ok(ClusterProbe {
+            machine: m,
+            node: n,
+        })
+    }
+
+    /// Advances the room by `ticks` ticks like
+    /// [`ClusterSolver::step_for`], delivering each tick's probed
+    /// temperatures to `sink`: the post-tick emulated time and the
+    /// probed values in probe order. Inside a fused span the probes read
+    /// straight off the hot chunk lanes, so recording per-tick history
+    /// does not force the span apart. The trajectory is bit-identical to
+    /// [`ClusterSolver::step_for`]; only the observation differs.
+    pub fn step_for_recorded<F>(&mut self, ticks: usize, probes: &[ClusterProbe], mut sink: F)
+    where
+        F: FnMut(Seconds, &[Celsius]),
+    {
+        self.replay(ticks, probes, &mut sink);
+    }
+
+    fn replay(
+        &mut self,
+        ticks: usize,
+        probes: &[ClusterProbe],
+        sink: &mut dyn FnMut(Seconds, &[Celsius]),
+    ) {
+        if ticks == 0 {
+            return;
+        }
+        let mut scratch = vec![Celsius(0.0); probes.len()];
+        self.step();
+        if !probes.is_empty() {
+            for (s, p) in scratch.iter_mut().zip(probes) {
+                *s = self.machines[p.machine].temperature_at(p.node);
+            }
+            sink(self.time, &scratch);
+        }
+        if ticks > 1 {
+            self.fused_span(ticks - 1, probes, sink, &mut scratch);
+        }
+    }
+
+    /// Runs `span` ticks fused: mixing and stepping operate directly on
+    /// the chunk matrices (and the solo solvers), with the scatter, span
+    /// accounting, and metrics paid once at the end. The caller (always
+    /// [`ClusterSolver::replay`]) has just completed a normal tick, so
+    /// the batch plan is current, every chunk is warm, and every solo
+    /// machine's inputs are priced — and nothing can invalidate any of
+    /// that before this method returns.
+    fn fused_span(
+        &mut self,
+        span: usize,
+        probes: &[ClusterProbe],
+        sink: &mut dyn FnMut(Seconds, &[Celsius]),
+        scratch: &mut [Celsius],
+    ) {
+        let started = if telemetry::enabled() && self.instrumented {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        let threads = self.effective_threads();
+        let n = self.machines.len();
+        let lane = self.batch.lane_map(n);
+        // The inlet each machine currently sees; stands in for the solver
+        // field while batched lanes live only in the chunk matrices.
+        let mut inlet_now: Vec<Celsius> = self
+            .machines
+            .iter()
+            .map(Solver::inlet_temperature)
+            .collect();
+        for _ in 0..span {
+            // Phase 0: previous-tick exhausts — read off the chunk lanes
+            // for batched machines, off the solver for solos.
+            for m in 0..n {
+                self.exhaust_scratch[m] = match lane[m] {
+                    Some((g, c, l)) => self
+                        .batch
+                        .lane_exhaust(g, c, l, self.mix.exhaust_nodes(m))
+                        .map(Celsius)
+                        .unwrap_or(inlet_now[m]),
+                    None => exhaust_temperature(&self.machines[m], self.mix.exhaust_nodes(m)),
+                };
+            }
+            self.mix.begin_tick(
+                &self.supply_temps,
+                &self.junction_temps,
+                &self.exhaust_scratch,
+            );
+
+            // Phase 1: junctions, in model order.
+            for j in 0..self.junction_temps.len() {
+                if let Some(t) = self.mix.mix_junction(j) {
+                    self.junction_temps[j] = t;
+                }
+            }
+
+            // Phase 2: machine inlets — written straight into the chunk
+            // inlet rows for batched machines (those rows are `fixed`,
+            // so the chunk tick carries them through every sub-step).
+            for m in 0..n {
+                let forced = self.forced_inlets[m];
+                let mixed = if forced.is_some() {
+                    forced
+                } else {
+                    self.mix.mix_inlet(m)
+                };
+                if let Some(t) = mixed {
+                    inlet_now[m] = t;
+                    match lane[m] {
+                        Some((g, c, l)) => {
+                            let nodes = self.machines[m].inlet_nodes();
+                            self.batch.write_lane_rows(g, c, l, nodes, t.0);
+                        }
+                        None => self.machines[m].set_inlet_temperature(t),
+                    }
+                }
+            }
+
+            // Phase 3: step. Chunk matrices stay hot — no gather, no
+            // scatter, no plan check until the span ends.
+            if threads <= 1 {
+                for (m, l) in lane.iter().enumerate() {
+                    if l.is_none() {
+                        self.machines[m].tick_fused();
+                    }
+                }
+                self.batch.tick_serial();
+            } else {
+                let batch = &mut self.batch;
+                let mut items: Vec<WorkItem<'_>> = self
+                    .machines
+                    .iter_mut()
+                    .enumerate()
+                    .filter(|(i, _)| lane[*i].is_none())
+                    .map(|(_, m)| WorkItem::FusedStep(m))
+                    .collect();
+                items.extend(
+                    batch
+                        .par_items()
+                        .into_iter()
+                        .map(|(op, chunk)| WorkItem::Chunk { op, chunk }),
+                );
+                run_on_pool(
+                    &mut self.pool,
+                    &self.metrics,
+                    self.instrumented,
+                    &mut self.pool_runs,
+                    &mut items,
+                    threads,
+                );
+            }
+
+            self.time.0 += self.dt.0;
+            if !probes.is_empty() {
+                for (s, p) in scratch.iter_mut().zip(probes) {
+                    *s = match lane[p.machine] {
+                        Some((g, c, l)) => Celsius(self.batch.lane_value(g, c, l, p.node)),
+                        None => self.machines[p.machine].temperature_at(p.node),
+                    };
+                }
+                sink(self.time, scratch);
+            }
+        }
+
+        // Span epilogue: one scatter plus per-machine span accounting,
+        // and the inlet fields batched machines skipped per tick.
+        self.batch.finish_span(&mut self.machines, span);
+        for m in 0..n {
+            if lane[m].is_some() {
+                self.machines[m].set_inlet_field(inlet_now[m]);
+            } else {
+                self.machines[m].finish_span(span);
+            }
+        }
+
+        // Bulk metrics: counters stay exact; the latency histograms get
+        // one per-tick mean observation per span.
+        if self.instrumented {
+            let span_u64 = span as u64;
+            self.metrics.ticks.add(span_u64);
+            self.metrics.fused_ticks.add(span_u64);
+            self.metrics.fused_spans.observe(span_u64);
+            self.metrics.solver.ticks.add(n as u64 * span_u64);
+            let solo_substeps: u64 = (0..n)
+                .filter(|&m| lane[m].is_none())
+                .map(|m| self.machines[m].current_substeps() as u64)
+                .sum();
+            self.metrics
+                .solver
+                .substeps
+                .add((self.batch.planned_substeps() + solo_substeps) * span_u64);
+            if let Some(started) = started {
+                let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                self.metrics.tick_nanos.observe(nanos / span_u64);
+            }
+        }
+    }
+}
+
+/// Runs a unified work-item list on the persistent pool and books the
+/// pool's telemetry: queue depth and resize count every run, busy/idle
+/// nanoseconds on 1-in-[`TICK_LATENCY_SAMPLE`] sampled runs.
+fn run_on_pool(
+    pool: &mut TickPool,
+    metrics: &ClusterMetrics,
+    instrumented: bool,
+    pool_runs: &mut u64,
+    items: &mut [WorkItem<'_>],
+    threads: usize,
+) {
+    let sample =
+        telemetry::enabled() && instrumented && pool_runs.is_multiple_of(TICK_LATENCY_SAMPLE);
+    *pool_runs += 1;
+    let depth = items.len() as u64;
+    let resizes_before = pool.resizes();
+    let stats = pool.run(items, threads, sample);
+    if instrumented {
+        metrics.pool_queue_depth.observe(depth);
+        metrics.pool_resizes.add(pool.resizes() - resizes_before);
+        metrics.pool_workers.set(pool.worker_count() as f64);
+        if let Some(stats) = stats {
+            let wall = stats.run_nanos.saturating_mul(threads as u64);
+            metrics.pool_busy_nanos.add(stats.busy_nanos);
+            metrics
+                .pool_idle_nanos
+                .add(wall.saturating_sub(stats.busy_nanos));
         }
     }
 }
@@ -608,6 +967,116 @@ mod tests {
         assert_eq!(s.effective_threads(), 4);
         s.set_threads(2);
         assert_eq!(s.effective_threads(), 2);
+        // The 0 sentinel on a room above the cutoff resolves to the
+        // host's parallelism, capped at the machine count.
+        let cluster = presets::validation_cluster(12);
+        let s = ClusterSolver::new(&cluster, SolverConfig::default()).unwrap();
+        let auto = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(12);
+        assert_eq!(s.effective_threads(), auto);
+    }
+
+    #[test]
+    fn pool_caps_workers_at_the_thread_count() {
+        // A cluster with both solo and batched work in the same tick:
+        // the legacy spawn path would run 2×threads scoped threads here;
+        // the unified pool queue must hold exactly `threads` workers.
+        let cluster = presets::validation_cluster(12);
+        let mut s = ClusterSolver::new(&cluster, SolverConfig::default()).unwrap();
+        s.machine_mut("machine3")
+            .unwrap()
+            .set_fan_cfm(20.0)
+            .unwrap();
+        s.machine_mut("machine7")
+            .unwrap()
+            .set_fan_cfm(25.0)
+            .unwrap();
+        s.set_threads(2);
+        s.step();
+        assert!(s.batched_machines() > 0, "batched work present");
+        assert!(s.batched_machines() < 12, "solo work present");
+        assert_eq!(s.pool_workers(), 2, "one worker per configured thread");
+        // A mid-run resize takes effect at the next tick.
+        s.set_threads(3);
+        s.step();
+        assert_eq!(s.pool_workers(), 3);
+    }
+
+    #[test]
+    fn schedulers_and_fusion_match_exactly() {
+        let model = presets::validation_cluster(10);
+        let mut pooled = ClusterSolver::new(&model, SolverConfig::default()).unwrap();
+        let mut spawned = ClusterSolver::new(&model, SolverConfig::default()).unwrap();
+        let mut looped = ClusterSolver::new(&model, SolverConfig::default()).unwrap();
+        pooled.set_threads(2);
+        spawned.set_threads(2);
+        spawned.set_scheduler(TickScheduler::SpawnPerTick);
+        looped.set_threads(1);
+        for s in [&mut pooled, &mut spawned, &mut looped] {
+            s.set_utilization("machine2", "cpu", 0.7).unwrap();
+            s.machine_mut("machine5")
+                .unwrap()
+                .set_fan_cfm(20.0)
+                .unwrap();
+        }
+        // Fused replay (pool), fused replay (spawn per tick for the
+        // first tick of each call), and a hand-rolled per-tick loop.
+        pooled.step_for(40);
+        spawned.step_for(40);
+        for _ in 0..40 {
+            looped.step();
+        }
+        for m in 0..pooled.len() {
+            let a = pooled.machine_at(m).temperatures();
+            let b = spawned.machine_at(m).temperatures();
+            let c = looped.machine_at(m).temperatures();
+            for (((name, ta), (_, tb)), (_, tc)) in a.iter().zip(&b).zip(&c) {
+                assert_eq!(ta.0.to_bits(), tb.0.to_bits(), "machine {m} node {name}");
+                assert_eq!(ta.0.to_bits(), tc.0.to_bits(), "machine {m} node {name}");
+            }
+        }
+        assert!(
+            (pooled.time().0 - looped.time().0).abs() < 1e-12,
+            "span accounting advanced time differently"
+        );
+    }
+
+    #[test]
+    fn recorded_replay_matches_per_tick_observation() {
+        let model = presets::validation_cluster(6);
+        let mut fused = ClusterSolver::new(&model, SolverConfig::default()).unwrap();
+        let mut reference = ClusterSolver::new(&model, SolverConfig::default()).unwrap();
+        for s in [&mut fused, &mut reference] {
+            s.set_utilization("machine1", "cpu", 1.0).unwrap();
+            s.machine_mut("machine4")
+                .unwrap()
+                .set_fan_cfm(22.0)
+                .unwrap();
+        }
+        let probes = [
+            fused.probe("machine1", "cpu").unwrap(),
+            fused.probe("machine4", "cpu_air").unwrap(),
+        ];
+        let mut history = Vec::new();
+        fused.step_for_recorded(30, &probes, |time, temps| {
+            history.push((time, temps.to_vec()));
+        });
+        assert_eq!(history.len(), 30);
+        for (tick, (time, temps)) in history.iter().enumerate() {
+            reference.step();
+            assert!((time.0 - reference.time().0).abs() < 1e-12, "tick {tick}");
+            let want = [
+                reference.temperature("machine1", "cpu").unwrap(),
+                reference.temperature("machine4", "cpu_air").unwrap(),
+            ];
+            for (p, (got, want)) in temps.iter().zip(&want).enumerate() {
+                assert_eq!(got.0.to_bits(), want.0.to_bits(), "tick {tick} probe {p}");
+            }
+        }
+        assert!(fused.probe("machine1", "ghost").is_err());
+        assert!(fused.probe("ghost", "cpu").is_err());
     }
 
     #[test]
@@ -635,7 +1104,11 @@ mod tests {
         // Construction compiled each machine's flows once; the fiddle
         // recompiled machine3's.
         assert_eq!(m.solver.flow_recomputes.get(), 13);
-        assert!(m.tick_nanos.snapshot().count >= 10);
+        // step_for(9) = one normal tick + one fused span of 8; each
+        // timed section contributes one latency observation.
+        assert!(m.tick_nanos.snapshot().count >= 3);
+        assert_eq!(m.fused_ticks.get(), 8);
+        assert_eq!(m.fused_spans.snapshot().count, 1);
 
         // The runtime switch freezes every counter without touching the
         // trajectory.

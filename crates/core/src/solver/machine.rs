@@ -711,6 +711,60 @@ impl Solver {
         self.time.0 += self.cfg.dt.0;
     }
 
+    /// Books `span` ticks stepped outside this solver in one fused
+    /// replay span. Time advances by repeated addition — the bit-exact
+    /// trajectory `span` calls of [`Solver::finish_tick`] would produce
+    /// — and `generated` is the per-tick heat (constant across the span,
+    /// so the last tick's value equals every tick's).
+    pub(crate) fn finish_tick_span(&mut self, generated: f64, span: usize) {
+        self.generated_last_tick = Joules(generated);
+        for _ in 0..span {
+            self.time.0 += self.cfg.dt.0;
+        }
+    }
+
+    /// One repricing-free kernel tick, for fused replay of a solo
+    /// machine: the caller (the cluster's fused span) guarantees the
+    /// tick inputs were priced by a preceding [`Solver::step`] and that
+    /// no setter ran since — repricing would reproduce the same bits, so
+    /// skipping it is exact. Heat accounting lands immediately; the time
+    /// advance and tick bookkeeping are booked once per span via
+    /// [`Solver::finish_span`].
+    pub(crate) fn tick_fused(&mut self) {
+        let generated = self.kernel.tick(&mut self.temp, &self.fixed, &self.power_q);
+        self.generated_last_tick = Joules(generated);
+    }
+
+    /// Epilogue for `span` [`Solver::tick_fused`] ticks: the time
+    /// advance, the tick counter, and the changed-state flag that makes
+    /// a batch chunk re-gather this machine's lane.
+    pub(crate) fn finish_span(&mut self, span: usize) {
+        for _ in 0..span {
+            self.time.0 += self.cfg.dt.0;
+        }
+        self.ticks_stepped += span as u64;
+        self.inputs_dirty = true;
+    }
+
+    /// Overwrites the inlet boundary field without touching node
+    /// temperatures — the fused span writes inlet rows directly into the
+    /// chunk matrices and syncs the field once at span end.
+    pub(crate) fn set_inlet_field(&mut self, t: Celsius) {
+        self.inlet_temperature = t;
+    }
+
+    /// Node indices of the inlet air regions, in model order.
+    pub(crate) fn inlet_nodes(&self) -> &[usize] {
+        &self.inlets
+    }
+
+    /// Sub-steps per tick of the currently compiled kernel, without the
+    /// laziness of [`Solver::substeps_per_tick`] — callers inside a
+    /// fused span know no rebuild can be pending.
+    pub(crate) fn current_substeps(&self) -> usize {
+        self.kernel.substeps()
+    }
+
     /// Structural fingerprint of the source model, for batch grouping.
     pub(crate) fn fingerprint(&self) -> u64 {
         self.fingerprint
@@ -781,9 +835,97 @@ impl Solver {
     }
 
     /// Advances the emulation by `ticks` ticks.
+    ///
+    /// For `ticks ≥ 2` this is a fused fast path: the inputs are priced
+    /// once and the kernel runs all `ticks × substeps` sweeps back to
+    /// back ([`StepKernel::tick_span`]), hoisting the per-tick
+    /// temperature copies and the (idempotent) repricing out of the
+    /// loop. No setter can run mid-call, so the inputs are provably
+    /// stable for the whole span and the trajectory is bit-identical to
+    /// calling [`Solver::step`] in a loop. Tick latency is sampled once
+    /// per span (as the per-tick mean) instead of 1-in-64 ticks;
+    /// counters stay exact.
     pub fn step_for(&mut self, ticks: usize) {
+        if ticks < 2 {
+            if ticks == 1 {
+                self.step();
+            }
+            return;
+        }
+        let timed = telemetry::enabled()
+            && self.instrumented
+            && super::metrics::span_samples(self.ticks_stepped, ticks);
+        let started = if timed { Some(Instant::now()) } else { None };
+        self.fill_tick_inputs();
+        let generated = self
+            .kernel
+            .tick_span(&mut self.temp, &self.fixed, &self.power_q, ticks);
+        self.generated_last_tick = Joules(generated);
         for _ in 0..ticks {
-            self.step();
+            self.time.0 += self.cfg.dt.0;
+        }
+        // Same epilogue as `step`: externally visible state changed, so
+        // any batch chunk holding this machine must re-gather its lane.
+        self.inputs_dirty = true;
+        self.ticks_stepped += ticks as u64;
+        if self.instrumented {
+            self.metrics.ticks.add(ticks as u64);
+            self.metrics
+                .substeps
+                .add((self.kernel.substeps() * ticks) as u64);
+            if let Some(started) = started {
+                let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                self.metrics.tick_nanos.observe(nanos / ticks as u64);
+            }
+        }
+    }
+
+    /// Advances the emulation by `ticks` ticks, delivering each tick's
+    /// probed temperatures to `sink` — the recorded variant of
+    /// [`Solver::step_for`] for replays that need per-tick history.
+    /// `probes` holds dense node indices from [`Solver::node_index`];
+    /// `sink` receives the post-tick time and the probed temperatures in
+    /// probe order. The trajectory is bit-identical to
+    /// [`Solver::step_for`] (inputs are priced once; each tick is the
+    /// same kernel sweep); only the observation differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probe index is out of range.
+    pub fn step_for_recorded<F>(&mut self, ticks: usize, probes: &[usize], mut sink: F)
+    where
+        F: FnMut(Seconds, &[Celsius]),
+    {
+        if ticks == 0 {
+            return;
+        }
+        let timed = telemetry::enabled()
+            && self.instrumented
+            && super::metrics::span_samples(self.ticks_stepped, ticks);
+        let started = if timed { Some(Instant::now()) } else { None };
+        self.fill_tick_inputs();
+        let mut scratch = vec![Celsius(0.0); probes.len()];
+        let mut generated = 0.0;
+        for _ in 0..ticks {
+            generated = self.kernel.tick(&mut self.temp, &self.fixed, &self.power_q);
+            self.time.0 += self.cfg.dt.0;
+            for (s, &p) in scratch.iter_mut().zip(probes) {
+                *s = self.temp[p];
+            }
+            sink(self.time, &scratch);
+        }
+        self.generated_last_tick = Joules(generated);
+        self.inputs_dirty = true;
+        self.ticks_stepped += ticks as u64;
+        if self.instrumented {
+            self.metrics.ticks.add(ticks as u64);
+            self.metrics
+                .substeps
+                .add((self.kernel.substeps() * ticks) as u64);
+            if let Some(started) = started {
+                let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                self.metrics.tick_nanos.observe(nanos / ticks as u64);
+            }
         }
     }
 

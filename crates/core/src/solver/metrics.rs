@@ -28,6 +28,15 @@ use telemetry::{Counter, Gauge, Histogram, Registry};
 /// hour; counters are exact (every tick), only the histogram samples.
 pub(crate) const TICK_LATENCY_SAMPLE: u64 = 64;
 
+/// Whether a span of `ticks` ticks starting after `start` completed
+/// ticks crosses a 1-in-[`TICK_LATENCY_SAMPLE`] sampling point — the
+/// fused replay paths time the whole span (and observe the per-tick
+/// mean) exactly when the per-tick path would have sampled.
+pub(crate) fn span_samples(start: u64, ticks: usize) -> bool {
+    let to_next = (TICK_LATENCY_SAMPLE - start % TICK_LATENCY_SAMPLE) % TICK_LATENCY_SAMPLE;
+    to_next < ticks as u64
+}
+
 /// Metric handles shared by every machine solver of one emulated system.
 ///
 /// All handles are cheap to clone and clones share their cells, so a
@@ -124,6 +133,31 @@ pub struct ClusterMetrics {
     /// batched path because they diverged from their source model or
     /// grew a force-pinned node.
     pub solo_demotions: Counter,
+    /// `mercury_cluster_pool_workers` — persistent tick-pool workers
+    /// currently alive (0 until the first parallel tick).
+    pub pool_workers: Gauge,
+    /// `mercury_cluster_pool_resizes_total` — tick-pool (re)spawns,
+    /// including the initial spawn. A healthy run shows exactly one;
+    /// churn here means someone is calling `set_threads` per tick.
+    pub pool_resizes: Counter,
+    /// `mercury_cluster_pool_queue_depth` — work items (solo machines +
+    /// batch chunks) handed to the pool per parallel tick.
+    pub pool_queue_depth: Histogram,
+    /// `mercury_cluster_pool_busy_nanos_total` — summed worker wall time
+    /// spent executing items, sampled 1-in-[`TICK_LATENCY_SAMPLE`] pool
+    /// runs (the common run carries no worker clock reads).
+    pub pool_busy_nanos: Counter,
+    /// `mercury_cluster_pool_idle_nanos_total` — summed worker wall time
+    /// spent waiting within sampled runs (`workers × run − busy`).
+    /// `idle / (idle + busy)` is the pool's wasted-parallelism fraction.
+    pub pool_idle_nanos: Counter,
+    /// `mercury_cluster_fused_ticks_total` — ticks executed inside fused
+    /// replay spans (see `ClusterSolver::step_for`), where plan/gather/
+    /// scatter and sampled metrics are paid once per span.
+    pub fused_ticks: Counter,
+    /// `mercury_cluster_fused_span_ticks` — fused-span lengths, observed
+    /// once per span.
+    pub fused_spans: Histogram,
     /// The machine-level bundle shared by every solver in the cluster.
     pub solver: SolverMetrics,
 }
@@ -183,6 +217,50 @@ impl ClusterMetrics {
             &[],
             &self.solo_demotions,
         );
+        registry.register_gauge(
+            "mercury_cluster_pool_workers",
+            "Persistent tick-pool workers currently alive",
+            &[],
+            &self.pool_workers,
+        );
+        registry.register_counter(
+            "mercury_cluster_pool_resizes_total",
+            "Tick-pool (re)spawns, including the initial spawn",
+            &[],
+            &self.pool_resizes,
+        );
+        registry.register_histogram(
+            "mercury_cluster_pool_queue_depth",
+            "Work items handed to the tick pool per parallel tick",
+            &[],
+            &self.pool_queue_depth,
+            1.0,
+        );
+        registry.register_counter(
+            "mercury_cluster_pool_busy_nanos_total",
+            "Sampled worker wall time spent executing tick-pool items",
+            &[],
+            &self.pool_busy_nanos,
+        );
+        registry.register_counter(
+            "mercury_cluster_pool_idle_nanos_total",
+            "Sampled worker wall time spent idle within pool runs",
+            &[],
+            &self.pool_idle_nanos,
+        );
+        registry.register_counter(
+            "mercury_cluster_fused_ticks_total",
+            "Ticks executed inside fused replay spans",
+            &[],
+            &self.fused_ticks,
+        );
+        registry.register_histogram(
+            "mercury_cluster_fused_span_ticks",
+            "Fused replay span lengths, observed once per span",
+            &[],
+            &self.fused_spans,
+            1.0,
+        );
     }
 }
 
@@ -210,6 +288,13 @@ mod tests {
             "mercury_cluster_batch_chunks",
             "mercury_cluster_chunk_occupancy",
             "mercury_cluster_solo_demotions_total",
+            "mercury_cluster_pool_workers",
+            "mercury_cluster_pool_resizes_total",
+            "mercury_cluster_pool_queue_depth",
+            "mercury_cluster_pool_busy_nanos_total",
+            "mercury_cluster_pool_idle_nanos_total",
+            "mercury_cluster_fused_ticks_total",
+            "mercury_cluster_fused_span_ticks",
         ] {
             assert!(text.contains(family), "missing {family} in:\n{text}");
         }

@@ -39,6 +39,13 @@
 //! sweeps each group over one shared operator in a vectorizable
 //! structure-of-arrays layout, bit-identical to per-machine stepping
 //! (see [`ClusterSolver::set_batching`]).
+//!
+//! Parallel cluster ticks run on a persistent worker pool (the private
+//! `pool` module) — workers spawn once and park between ticks — and
+//! multi-tick replays ([`ClusterSolver::step_for`]) fuse input-stable
+//! spans so the per-tick orchestration (plan checks, gather/scatter,
+//! repricing, sampled metrics) is paid once per span; see `DESIGN.md`
+//! §"Tick execution".
 
 //!
 //! Both solvers meter themselves through always-on [`telemetry`] handles
@@ -51,8 +58,9 @@ mod flows;
 mod kernel;
 mod machine;
 mod metrics;
+mod pool;
 
-pub use cluster::ClusterSolver;
+pub use cluster::{ClusterProbe, ClusterSolver, TickScheduler};
 pub use flows::{air_flows, model_air_flows, required_substeps};
 pub use machine::{Solver, SolverConfig};
 pub use metrics::{ClusterMetrics, SolverMetrics};

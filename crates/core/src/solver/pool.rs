@@ -1,0 +1,363 @@
+//! The persistent tick pool: long-lived workers for cluster stepping.
+//!
+//! Before this module existed, `ClusterSolver::step` spawned fresh OS
+//! threads through `std::thread::scope` on *every tick* — at a 1 s tick
+//! over a 10k-tick trace replay that is tens of thousands of
+//! `clone(2)`/`join` round trips that contribute nothing to the physics.
+//! Worse, solo machines and batch chunks were each sliced into `threads`
+//! scoped threads, so a tick with both kinds of work oversubscribed the
+//! host with up to `2 × threads` runnable threads.
+//!
+//! [`TickPool`] replaces both problems with one mechanism:
+//!
+//! - **Workers are spawned once** (on the first parallel tick) and parked
+//!   on a condvar between ticks. A tick hands them work through an
+//!   epoch/barrier handshake: the driver publishes a work list under the
+//!   pool mutex, bumps the epoch, and wakes the workers; each worker
+//!   drains items off a shared atomic cursor and the last one out signals
+//!   the driver. The driver blocks until the barrier closes, so the
+//!   borrowed work items never outlive the call.
+//! - **One unified item queue.** A work item is either one solo machine's
+//!   tick or one batch chunk's tick ([`WorkItem`]). Exactly
+//!   `worker_count` threads drain the queue, so concurrency is capped at
+//!   the configured thread count no matter how the tick's work divides
+//!   between solos and chunks.
+//! - **Determinism is untouched.** Which worker runs an item never
+//!   affects that item's arithmetic: solo machines own their state, and
+//!   chunks own their matrices while sharing a read-only operator. The
+//!   item *list* is built in a fixed order from the batch plan, but items
+//!   may retire in any order — results are written in place, so there is
+//!   no reduction whose order could vary.
+//!
+//! # Safety
+//!
+//! Work items borrow the cluster's solvers and chunks, but worker
+//! threads are `'static`. The pool bridges the gap the same way
+//! `std::thread::scope` does: the item slice is published as a raw
+//! pointer and the driver *always* waits for every worker to pass the
+//! completion barrier before [`TickPool::run`] returns, so no worker can
+//! observe the items after the borrow ends. All item access is by unique
+//! index from the shared cursor, so no item is aliased.
+
+use super::batch::{Chunk, SharedOp};
+use super::machine::Solver;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One unit of independent per-tick work.
+pub(crate) enum WorkItem<'a> {
+    /// A full [`Solver::step`] of one solo machine (per-tick path).
+    Step(&'a mut Solver),
+    /// A repricing-free kernel tick of one solo machine (fused replay).
+    FusedStep(&'a mut Solver),
+    /// One batch chunk's tick against its group's shared operator.
+    Chunk {
+        op: &'a SharedOp,
+        chunk: &'a mut Chunk,
+    },
+}
+
+impl WorkItem<'_> {
+    fn run(&mut self) {
+        match self {
+            WorkItem::Step(solver) => solver.step(),
+            WorkItem::FusedStep(solver) => solver.tick_fused(),
+            WorkItem::Chunk { op, chunk } => chunk.tick(op),
+        }
+    }
+}
+
+// The raw-pointer hand-off below moves `WorkItem`s across threads
+// without the compiler's help; keep the obligation checked.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<WorkItem<'static>>();
+};
+
+/// What the driver learns from a sampled [`TickPool::run`].
+pub(crate) struct RunSample {
+    /// Summed worker wall time spent executing items.
+    pub busy_nanos: u64,
+    /// Driver wall time for the whole run (publish → barrier closed).
+    pub run_nanos: u64,
+}
+
+#[derive(Default)]
+struct State {
+    /// Bumped once per run; workers use it to tell a fresh run from a
+    /// spurious wakeup.
+    epoch: u64,
+    /// The published work list: `base` is `*mut WorkItem` as usize.
+    base: usize,
+    len: usize,
+    /// Workers that have not yet passed the completion barrier.
+    active: usize,
+    /// Whether workers should time themselves this run.
+    sample: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Driver → workers: a new epoch (or shutdown) is available.
+    work: Condvar,
+    /// Workers → driver: the last worker passed the barrier.
+    done: Condvar,
+    /// Item cursor for the current epoch.
+    next: AtomicUsize,
+    /// Summed busy nanos for the current (sampled) epoch.
+    busy_nanos: AtomicU64,
+    /// Set if any item panicked; the driver re-panics after the barrier.
+    panicked: AtomicBool,
+}
+
+/// A persistent pool of tick workers. Created empty; workers are spawned
+/// by the first [`TickPool::run`] and resized whenever a run asks for a
+/// different thread count. Dropping the pool joins every worker.
+pub(crate) struct TickPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    resizes: u64,
+}
+
+impl std::fmt::Debug for TickPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TickPool")
+            .field("workers", &self.workers.len())
+            .field("resizes", &self.resizes)
+            .finish()
+    }
+}
+
+impl TickPool {
+    pub(crate) fn new() -> Self {
+        TickPool {
+            shared: Self::fresh_shared(),
+            workers: Vec::new(),
+            resizes: 0,
+        }
+    }
+
+    fn fresh_shared() -> Arc<Shared> {
+        Arc::new(Shared {
+            state: Mutex::new(State::default()),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            next: AtomicUsize::new(0),
+            busy_nanos: AtomicU64::new(0),
+            panicked: AtomicBool::new(false),
+        })
+    }
+
+    /// Workers currently alive (0 before the first parallel run).
+    pub(crate) fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Times the pool has been (re)sized, including the initial spawn.
+    pub(crate) fn resizes(&self) -> u64 {
+        self.resizes
+    }
+
+    /// Ensures exactly `threads` workers are alive. A resize tears the
+    /// old pool down (worker state is trivial, and resizes are rare —
+    /// an explicit `set_threads` call, not a per-tick event).
+    fn resize(&mut self, threads: usize) {
+        if self.workers.len() == threads {
+            return;
+        }
+        self.teardown();
+        self.shared = Self::fresh_shared();
+        self.workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&self.shared);
+                std::thread::Builder::new()
+                    .name(format!("mercury-tick-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn tick worker")
+            })
+            .collect();
+        self.resizes += 1;
+    }
+
+    fn teardown(&mut self) {
+        if self.workers.is_empty() {
+            return;
+        }
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            state.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// Executes every item once across exactly `threads` workers and
+    /// returns when all are done. With `sample` set, workers time their
+    /// busy span and the result carries a [`RunSample`].
+    ///
+    /// # Panics
+    ///
+    /// Re-raises (as a panic) any panic that occurred inside an item.
+    pub(crate) fn run(
+        &mut self,
+        items: &mut [WorkItem<'_>],
+        threads: usize,
+        sample: bool,
+    ) -> Option<RunSample> {
+        debug_assert!(threads > 0, "a parallel run needs at least one worker");
+        self.resize(threads);
+        let started = if sample { Some(Instant::now()) } else { None };
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            // SAFETY: the pointer is only dereferenced by workers between
+            // this publish and the barrier below, during which `items` is
+            // exclusively borrowed by this call.
+            state.base = items.as_mut_ptr() as usize;
+            state.len = items.len();
+            state.active = self.workers.len();
+            state.sample = sample;
+            state.epoch += 1;
+            self.shared.next.store(0, Ordering::Relaxed);
+            if sample {
+                self.shared.busy_nanos.store(0, Ordering::Relaxed);
+            }
+            self.shared.work.notify_all();
+            // Barrier: wait for the last worker of this epoch.
+            while state.active > 0 {
+                state = self.shared.done.wait(state).unwrap();
+            }
+        }
+        if self.shared.panicked.swap(false, Ordering::Relaxed) {
+            panic!("a tick-pool work item panicked");
+        }
+        started.map(|t| RunSample {
+            busy_nanos: self.shared.busy_nanos.load(Ordering::Relaxed),
+            run_nanos: u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        })
+    }
+}
+
+impl Drop for TickPool {
+    fn drop(&mut self) {
+        self.teardown();
+    }
+}
+
+// The crate denies `unsafe_code`; this function is the one sanctioned
+// exception (see the module-level # Safety section and `lib.rs`).
+#[allow(unsafe_code)]
+fn worker_loop(shared: &Shared) {
+    let mut seen = 0u64;
+    loop {
+        // Park until a new epoch (or shutdown) is published.
+        let (base, len, sample) = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if state.epoch != seen {
+                    seen = state.epoch;
+                    break (state.base, state.len, state.sample);
+                }
+                state = shared.work.wait(state).unwrap();
+            }
+        };
+        let started = if sample { Some(Instant::now()) } else { None };
+        loop {
+            let i = shared.next.fetch_add(1, Ordering::Relaxed);
+            if i >= len {
+                break;
+            }
+            // SAFETY: `i` is unique to this worker (fetch_add), in
+            // bounds, and the driver keeps the slice alive until the
+            // barrier below — so this is an unaliased &mut.
+            let item = unsafe { &mut *(base as *mut WorkItem<'static>).add(i) };
+            if catch_unwind(AssertUnwindSafe(|| item.run())).is_err() {
+                shared.panicked.store(true, Ordering::Relaxed);
+            }
+        }
+        if let Some(started) = started {
+            let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            shared.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
+        }
+        // Completion barrier: the mutex write-release here is also what
+        // publishes this worker's item writes to the driver.
+        let mut state = shared.state.lock().unwrap();
+        state.active -= 1;
+        if state.active == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use crate::solver::SolverConfig;
+
+    fn solver() -> Solver {
+        Solver::new(&presets::validation_machine(), SolverConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn pool_steps_items_and_reuses_workers() {
+        let mut a = solver();
+        let mut b = solver();
+        let mut reference = solver();
+        let mut pool = TickPool::new();
+        for _ in 0..5 {
+            let mut items = [WorkItem::Step(&mut a), WorkItem::Step(&mut b)];
+            pool.run(&mut items, 2, false);
+            reference.step();
+        }
+        assert_eq!(pool.worker_count(), 2);
+        assert_eq!(pool.resizes(), 1, "five runs, one spawn");
+        for ((_, x), (_, y)) in a.temperatures().iter().zip(reference.temperatures()) {
+            assert_eq!(x.0.to_bits(), y.0.to_bits());
+        }
+        for ((_, x), (_, y)) in b.temperatures().iter().zip(reference.temperatures()) {
+            assert_eq!(x.0.to_bits(), y.0.to_bits());
+        }
+    }
+
+    #[test]
+    fn pool_resizes_on_demand() {
+        let mut a = solver();
+        let mut pool = TickPool::new();
+        pool.run(&mut [WorkItem::Step(&mut a)], 3, false);
+        assert_eq!(pool.worker_count(), 3);
+        pool.run(&mut [WorkItem::Step(&mut a)], 1, false);
+        assert_eq!(pool.worker_count(), 1);
+        assert_eq!(pool.resizes(), 2);
+    }
+
+    #[test]
+    fn sampled_run_reports_busy_time() {
+        let mut a = solver();
+        let mut b = solver();
+        let mut pool = TickPool::new();
+        let stats = pool
+            .run(
+                &mut [WorkItem::Step(&mut a), WorkItem::Step(&mut b)],
+                2,
+                true,
+            )
+            .expect("sampled run returns stats");
+        assert!(stats.run_nanos > 0);
+        assert!(stats.busy_nanos > 0);
+    }
+
+    #[test]
+    fn empty_run_completes() {
+        let mut pool = TickPool::new();
+        assert!(pool.run(&mut [], 2, false).is_none());
+    }
+}

@@ -1,0 +1,257 @@
+//! Equivalence tests for the persistent tick pool and fused replay.
+//!
+//! Four ways of advancing a cluster must be *bit-identical*: serial
+//! per-machine stepping, pool-parallel stepping (the persistent-worker
+//! default), legacy spawn-per-tick stepping, and fused multi-tick
+//! replay (`step_for`). These tests drive all four over the same
+//! scripted inputs — mixed solo/batched clusters, mid-run fiddles that
+//! break fused spans and demote machines from the batch, and
+//! `set_threads` resizes mid-run — and compare every node temperature
+//! bitwise at 1, 2 and 8 threads.
+//!
+//! Test names contain `pool` so CI can run exactly this suite in
+//! release mode (`cargo test -p mercury --release -- batch pool`).
+
+use mercury::presets::{self, nodes};
+use mercury::solver::{ClusterSolver, SolverConfig, TickScheduler};
+use mercury::units::Celsius;
+use proptest::prelude::*;
+
+/// How a run advances time between script events.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Drive {
+    /// One `step()` call per tick.
+    PerTick,
+    /// One `step_for(segment)` call per script segment (fused spans).
+    Fused,
+}
+
+/// Bitwise comparison of every node temperature on every machine.
+fn assert_bit_identical(a: &ClusterSolver, b: &ClusterSolver, context: &str) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(
+        a.time().0.to_bits(),
+        b.time().0.to_bits(),
+        "{context}: clock drift"
+    );
+    for m in 0..a.len() {
+        let ta = a.machine_at(m).temperatures();
+        let tb = b.machine_at(m).temperatures();
+        for ((name, x), (_, y)) in ta.iter().zip(&tb) {
+            assert_eq!(
+                x.0.to_bits(),
+                y.0.to_bits(),
+                "{context}: machine {m} node {name}: {} vs {}",
+                x.0,
+                y.0
+            );
+        }
+    }
+}
+
+/// One scripted run in three segments. Between segments — the only
+/// places external mutation is allowed, and therefore natural fused
+/// span breaks — the script fiddles one machine's fan (demoting it
+/// from the batch) and optionally resizes the thread pool.
+#[allow(clippy::too_many_arguments)]
+fn scripted_run(
+    cluster: &mercury::model::ClusterModel,
+    drive: Drive,
+    scheduler: TickScheduler,
+    batching: bool,
+    threads: usize,
+    resize_to: Option<usize>,
+    utils: &[f64],
+    fiddle_machine: usize,
+    segments: [usize; 3],
+) -> ClusterSolver {
+    let mut s = ClusterSolver::new(cluster, SolverConfig::default()).unwrap();
+    s.set_batching(batching);
+    s.set_scheduler(scheduler);
+    s.set_threads(threads);
+    let names: Vec<String> = s.machine_names().iter().map(|n| n.to_string()).collect();
+    for (i, name) in names.iter().enumerate() {
+        let u = utils[i % utils.len()];
+        s.set_utilization(name, nodes::CPU, u).unwrap();
+        s.set_utilization(name, nodes::DISK_PLATTERS, 1.0 - u)
+            .unwrap();
+    }
+    s.force_inlet(&names[0], Celsius(24.0)).unwrap();
+    let advance = |s: &mut ClusterSolver, ticks: usize| match drive {
+        Drive::PerTick => (0..ticks).for_each(|_| s.step()),
+        Drive::Fused => s.step_for(ticks),
+    };
+    advance(&mut s, segments[0]);
+    // Mid-run divergence: a fan-speed fiddle kicks one machine off the
+    // batched path and invalidates its flow cache.
+    let name = &names[fiddle_machine % names.len()];
+    s.machine_mut(name).unwrap().set_fan_cfm(30.0).unwrap();
+    advance(&mut s, segments[1]);
+    if let Some(t) = resize_to {
+        s.set_threads(t);
+    }
+    advance(&mut s, segments[2]);
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Serial, pool-parallel, spawn-per-tick, and fused-replay stepping
+    /// are bit-identical on mixed clusters with a mid-run fan fiddle, a
+    /// forced inlet, and a mid-run `set_threads` resize, at 1, 2 and 8
+    /// threads.
+    #[test]
+    fn pool_fused_and_spawn_match_serial_on_mixed_clusters(
+        replicated in 3usize..8,
+        unique in 0usize..3,
+        utils in proptest::collection::vec(0.0f64..1.0, 3..6),
+        fiddle_machine in 0usize..8,
+        threads in prop_oneof![Just(1usize), Just(2usize), Just(8usize)],
+        resize_to in prop_oneof![Just(1usize), Just(2usize), Just(8usize)],
+        seg0 in 1usize..12,
+        seg1 in 1usize..12,
+        seg2 in 1usize..12,
+    ) {
+        let segments = [seg0, seg1, seg2];
+        let cluster = presets::mixed_cluster(replicated, unique);
+        let serial = scripted_run(
+            &cluster, Drive::PerTick, TickScheduler::Pool, false, 1, None,
+            &utils, fiddle_machine, segments,
+        );
+        prop_assert_eq!(serial.batched_machines(), 0);
+        let pooled = scripted_run(
+            &cluster, Drive::PerTick, TickScheduler::Pool, true, threads,
+            Some(resize_to), &utils, fiddle_machine, segments,
+        );
+        // The pool resizes lazily at the next *parallel* tick: after a
+        // resize to > 1 threads the worker count matches; a resize to 1
+        // goes serial, leaving the earlier segment's workers parked.
+        if resize_to > 1 {
+            prop_assert_eq!(pooled.pool_workers(), pooled.effective_threads());
+        } else {
+            prop_assert!(pooled.pool_workers() <= pooled.len().min(threads));
+        }
+        let spawned = scripted_run(
+            &cluster, Drive::PerTick, TickScheduler::SpawnPerTick, true,
+            threads, Some(resize_to), &utils, fiddle_machine, segments,
+        );
+        let fused = scripted_run(
+            &cluster, Drive::Fused, TickScheduler::Pool, true, threads,
+            Some(resize_to), &utils, fiddle_machine, segments,
+        );
+        // The parallel runs really engaged the batched path (replicas
+        // minus at most the fiddled one still group).
+        prop_assert!(fused.batched_machines() >= replicated - 1);
+        assert_bit_identical(&serial, &pooled, "pool vs serial");
+        assert_bit_identical(&serial, &spawned, "spawn vs serial");
+        assert_bit_identical(&serial, &fused, "fused vs serial");
+    }
+}
+
+/// Fused replay with a recording sink observes exactly the per-tick
+/// trajectory: the recorded history is bit-identical to stepping one
+/// tick at a time and reading the probed nodes after each tick.
+#[test]
+fn pool_fused_recorded_history_matches_per_tick_reads() {
+    let cluster = presets::validation_cluster(24);
+    let mut reference = ClusterSolver::new(&cluster, SolverConfig::default()).unwrap();
+    let mut fused = ClusterSolver::new(&cluster, SolverConfig::default()).unwrap();
+    for s in [&mut reference, &mut fused] {
+        s.set_threads(2);
+        s.set_utilization("machine3", nodes::CPU, 0.8).unwrap();
+        s.set_utilization("machine7", nodes::DISK_PLATTERS, 0.5)
+            .unwrap();
+    }
+    // One batched probe, one solo probe (machine11 leaves the batch).
+    fused
+        .machine_mut("machine11")
+        .unwrap()
+        .set_fan_cfm(32.0)
+        .unwrap();
+    reference
+        .machine_mut("machine11")
+        .unwrap()
+        .set_fan_cfm(32.0)
+        .unwrap();
+    let probes = [
+        fused.probe("machine3", nodes::CPU).unwrap(),
+        fused.probe("machine11", nodes::CPU_AIR).unwrap(),
+    ];
+
+    let mut expected = Vec::new();
+    for _ in 0..50 {
+        reference.step();
+        expected.push((
+            reference.time().0,
+            reference.temperature("machine3", nodes::CPU).unwrap().0,
+            reference
+                .temperature("machine11", nodes::CPU_AIR)
+                .unwrap()
+                .0,
+        ));
+    }
+
+    let mut recorded = Vec::new();
+    fused.step_for_recorded(50, &probes, |time, temps| {
+        recorded.push((time.0, temps[0].0, temps[1].0));
+    });
+
+    assert_eq!(recorded.len(), expected.len());
+    for (tick, (r, e)) in recorded.iter().zip(&expected).enumerate() {
+        assert_eq!(r.0.to_bits(), e.0.to_bits(), "tick {tick}: time");
+        assert_eq!(r.1.to_bits(), e.1.to_bits(), "tick {tick}: batched probe");
+        assert_eq!(r.2.to_bits(), e.2.to_bits(), "tick {tick}: solo probe");
+    }
+    assert_bit_identical(&reference, &fused, "after recorded replay");
+}
+
+/// Regression for the historical oversubscription bug: a tick whose
+/// work mixes solo machines and batch chunks must run on exactly the
+/// configured number of workers, not `2 × threads`.
+#[test]
+fn pool_worker_count_stays_at_configured_threads_with_mixed_work() {
+    let cluster = presets::validation_cluster(16);
+    let mut s = ClusterSolver::new(&cluster, SolverConfig::default()).unwrap();
+    s.set_threads(2);
+    // Demote two machines so every tick carries solos *and* chunks.
+    s.machine_mut("machine2")
+        .unwrap()
+        .set_fan_cfm(30.0)
+        .unwrap();
+    s.machine_mut("machine9")
+        .unwrap()
+        .set_fan_cfm(28.0)
+        .unwrap();
+    for _ in 0..4 {
+        s.step();
+    }
+    assert!(s.batched_machines() >= 14, "batched path engaged");
+    assert_eq!(
+        s.pool_workers(),
+        2,
+        "solo + chunk work shares one queue on exactly `threads` workers"
+    );
+    s.step_for(16);
+    assert_eq!(s.pool_workers(), 2, "fused spans reuse the same pool");
+}
+
+/// `set_threads(0)` means "pick for me": the pool sizes itself to the
+/// host's available parallelism (capped by machine count).
+#[test]
+fn pool_auto_thread_selection_tracks_available_parallelism() {
+    let cluster = presets::validation_cluster(12);
+    let mut s = ClusterSolver::new(&cluster, SolverConfig::default()).unwrap();
+    s.set_threads(0);
+    let auto = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(12);
+    assert_eq!(s.effective_threads(), auto);
+    s.step();
+    if auto > 1 {
+        assert_eq!(s.pool_workers(), auto);
+    } else {
+        assert_eq!(s.pool_workers(), 0, "serial ticks never spawn workers");
+    }
+}
