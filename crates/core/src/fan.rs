@@ -104,8 +104,8 @@ impl FanCurve {
 ///
 /// The solver's flow cache already makes re-commanding an *unchanged*
 /// speed free (the air-flow tables are keyed on the fan's mass flow and
-/// only recompute when it actually moves — see
-/// [`crate::solver::Solver::flow_recomputes`]), so hysteresis is not
+/// only recompute when it actually moves — watch the
+/// `mercury_solver_flow_recomputes_total` metric), so hysteresis is not
 /// needed for solver throughput. It still matters for batching: any
 /// *applied* fan change diverges the machine from its replicated group
 /// (DESIGN.md §3b), so suppressing sub-`min_step_cfm` jitter keeps
@@ -252,9 +252,6 @@ mod tests {
     }
 
     #[test]
-    // Pins down the deprecated accessor's contract until it is removed;
-    // `mercury_solver_flow_recomputes_total` is the supported reading.
-    #[allow(deprecated)]
     fn unchanged_speed_commands_do_not_recompute_flows() {
         let model = presets::validation_machine();
         let mut solver = Solver::new(&model, SolverConfig::default()).unwrap();
@@ -263,13 +260,13 @@ mod tests {
         fan.min_step_cfm = 0.0; // defeat hysteresis: re-command every call
         fan.regulate(&mut solver).unwrap();
         solver.step();
-        let after_first = solver.flow_recomputes();
+        let after_first = solver.metrics().flow_recomputes.get();
         for _ in 0..5 {
             fan.regulate(&mut solver).unwrap();
             solver.step();
         }
         assert_eq!(
-            solver.flow_recomputes(),
+            solver.metrics().flow_recomputes.get(),
             after_first,
             "identical fan commands must hit the flow cache"
         );

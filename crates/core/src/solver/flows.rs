@@ -111,9 +111,9 @@ pub fn required_substeps(
 /// controller that commands the same speed twice pays nothing.
 ///
 /// The recompute counter is observable via [`FlowCache::recomputes`]
-/// (surfaced as `Solver::flow_recomputes`) so tests can assert the
-/// invalidation contract: a fan-speed change invalidates the cached
-/// flows exactly once.
+/// (surfaced as the `mercury_solver_flow_recomputes_total` metric on
+/// `Solver::metrics`) so tests can assert the invalidation contract: a
+/// fan-speed change invalidates the cached flows exactly once.
 #[derive(Debug, Clone, Default)]
 pub struct FlowCache {
     valid: bool,

@@ -620,24 +620,6 @@ impl Solver {
         self.inputs_dirty = true;
     }
 
-    /// Times the air-flow distribution has actually been recomputed (as
-    /// opposed to replayed from the kernel's dirty-tracked cache). The
-    /// initial compile counts as one; a fan-speed or air-fraction change
-    /// adds exactly one more at the next rebuild, while changes that
-    /// leave the flows alone (e.g. [`Solver::set_heat_k`]) add none.
-    ///
-    /// Rebuilds are lazy: a pending change is priced at the next
-    /// [`Solver::step`] (or any call that needs the compiled kernel),
-    /// not at the setter.
-    #[deprecated(
-        since = "0.1.0",
-        note = "read `mercury_solver_flow_recomputes_total` through `Solver::metrics` \
-                (or a scraped `telemetry::Registry`) instead"
-    )]
-    pub fn flow_recomputes(&self) -> u64 {
-        self.kernel.flow_recomputes()
-    }
-
     /// This solver's always-on metric handles. Register them on a
     /// [`telemetry::Registry`] to export them; for a cluster member the
     /// bundle is shared room-wide (see [`ClusterMetrics`]'s docs).

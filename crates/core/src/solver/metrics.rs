@@ -55,8 +55,9 @@ pub struct SolverMetrics {
     /// executed (ticks × the stability-limited sub-step count).
     pub substeps: Counter,
     /// `mercury_solver_flow_recomputes_total` — air-flow distribution
-    /// recompilations, aggregated across machines. The registry-facing
-    /// successor of the deprecated [`super::Solver::flow_recomputes`].
+    /// recompilations, aggregated across machines. The initial compile
+    /// counts as one; only changes that move the flows (fan speed, air
+    /// fractions) add more.
     pub flow_recomputes: Counter,
 }
 

@@ -147,27 +147,25 @@ fn batch_membership_follows_divergence() {
 /// once: the flows are recomputed on the next step and then served from
 /// cache again, and re-commanding the *same* speed recomputes nothing.
 #[test]
-// Pins down the deprecated accessor's contract until it is removed;
-// `mercury_solver_flow_recomputes_total` is the supported reading.
-#[allow(deprecated)]
 fn batch_flow_cache_invalidated_exactly_once_by_fan_change() {
     let mut s = Solver::new(&presets::validation_machine(), SolverConfig::default()).unwrap();
-    assert_eq!(s.flow_recomputes(), 1, "construction prices the flows once");
+    let recomputes = s.metrics().flow_recomputes.clone();
+    assert_eq!(recomputes.get(), 1, "construction prices the flows once");
     for _ in 0..10 {
         s.step();
     }
-    assert_eq!(s.flow_recomputes(), 1, "steady stepping hits the cache");
+    assert_eq!(recomputes.get(), 1, "steady stepping hits the cache");
 
     s.set_fan_cfm(50.0).unwrap();
     for _ in 0..10 {
         s.step();
     }
-    assert_eq!(s.flow_recomputes(), 2, "fan change recomputes exactly once");
+    assert_eq!(recomputes.get(), 2, "fan change recomputes exactly once");
 
     s.set_fan_cfm(50.0).unwrap();
     s.step();
     assert_eq!(
-        s.flow_recomputes(),
+        recomputes.get(),
         2,
         "same speed re-commanded is a cache hit"
     );
@@ -175,11 +173,11 @@ fn batch_flow_cache_invalidated_exactly_once_by_fan_change() {
     // A heat-k fiddle rebuilds the operator but leaves air flows alone.
     s.set_heat_k(nodes::CPU, nodes::CPU_AIR, 0.9).unwrap();
     s.step();
-    assert_eq!(s.flow_recomputes(), 2, "heat-k fiddle does not touch flows");
+    assert_eq!(recomputes.get(), 2, "heat-k fiddle does not touch flows");
 
     // An air-fraction fiddle *does* change the flow distribution.
     s.set_air_fraction(nodes::VOID_AIR, nodes::EXHAUST, 0.9)
         .unwrap();
     s.step();
-    assert_eq!(s.flow_recomputes(), 3);
+    assert_eq!(recomputes.get(), 3);
 }

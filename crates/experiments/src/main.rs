@@ -17,6 +17,7 @@ mod extensions;
 mod fluent;
 mod freon_exp;
 mod misc;
+mod scenarios;
 mod validation;
 
 use std::process::ExitCode;
@@ -42,6 +43,8 @@ usage: experiments <subcommand>
   ablation_substeps     solver stability-limit sweep (accuracy vs cost)
   sec43_throttling  remote (Freon) vs local (DVFS) vs combined throttling
   ablation_fans     fixed vs variable-speed fans under the emergencies
+  scenarios         emergency grid x declarative policies league table
+                    (--fast for the CI smoke; --policy <file.toml> to add specs)
   all               everything above, in order
 ";
 
@@ -54,7 +57,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let result = run(command);
+    let result = run_with(command, &args[1..]);
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(err) => {
@@ -65,7 +68,12 @@ fn main() -> ExitCode {
 }
 
 fn run(command: &str) -> Result<(), Box<dyn std::error::Error>> {
+    run_with(command, &[])
+}
+
+fn run_with(command: &str, args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     match command {
+        "scenarios" => scenarios::scenarios(args),
         "table1" => misc::table1(),
         "fig1" => misc::fig1(),
         "fig4" => misc::fig4(),
@@ -104,6 +112,7 @@ fn run(command: &str) -> Result<(), Box<dyn std::error::Error>> {
                 "ablation_substeps",
                 "sec43_throttling",
                 "ablation_fans",
+                "scenarios",
             ] {
                 println!("==================== {cmd} ====================");
                 run(cmd)?;

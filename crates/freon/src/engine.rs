@@ -261,6 +261,17 @@ impl<'a> Experiment<'a> {
                 .collect();
             policy.control(t, &snapshots, &mut self.sim);
 
+            // Policies can also steer the thermal plant itself (e.g. a
+            // fan-CFM rule); those commands drain here, after control.
+            for command in policy.drain_engine_commands() {
+                match command {
+                    crate::policy::EngineCommand::SetFanCfm { server, cfm } => {
+                        solver.machine_at_mut(server).set_fan_cfm(cfm)?;
+                        metrics.policy_fan_commands.inc();
+                    }
+                }
+            }
+
             let cpu_temp: Vec<f64> = (0..n)
                 .map(|i| solver.machine_at(i).temperature_at(cpu_idx[i]).0)
                 .collect();

@@ -31,6 +31,30 @@
 //!   scripts injecting thermal emergencies (this regenerates Figures 11
 //!   and 12).
 //!
+//! ## The policy framework
+//!
+//! All of the above are thin wrappers over a three-layer framework in
+//! [`policy`]:
+//!
+//! * [`PolicySpec`] — a declarative description of a policy (monitored
+//!   components and thresholds, check/sample periods, PD gains, ordered
+//!   trigger → action rules with reason codes) that serializes to and
+//!   from TOML. The built-in behaviors ship as specs
+//!   (`crates/freon/policies/*.toml`) loadable by name via
+//!   [`PolicySpec::builtin`], and new policies need no Rust at all:
+//!   write a TOML file and run it with [`SpecPolicy::from_toml_file`].
+//! * [`Actuator`]s — composable knobs a policy can turn: LVS admission
+//!   weights, DVFS frequency ladders, machine fan CFM, and power state
+//!   (emergency shutdown emits a structured [`IncidentRecord`]).
+//! * [`Mediator`] — dispatches each [`ActionRequest`] to its actuator in
+//!   a fixed dependency order and counts every *applied* actuation under
+//!   `mercury_freon_decisions_total{action, reason}`.
+//!
+//! Specs are validated eagerly — [`SpecPolicy::new`] and the wrapper
+//! constructors reject inverted thresholds, zero periods, and unknown
+//! actuator names with an error naming the offender — so a bad config
+//! fails at construction, not mid-experiment.
+//!
 //! Every policy meters its decisions through always-on [`telemetry`]
 //! handles ([`FreonMetrics`]): `mercury_freon_decisions_total` labelled
 //! by `{action, reason}`, tempd observation counts, and PD-controller
@@ -52,16 +76,20 @@ mod local;
 mod log;
 mod metrics;
 pub mod net;
-mod policy;
+pub mod policy;
 mod tempd;
 
 pub use admd::Admd;
 pub use config::{ComponentThresholds, EcConfig, FreonConfig};
 pub use controller::PdController;
 pub use engine::{Experiment, ExperimentConfig, ServerSnapshot};
-pub use local::{CombinedPolicy, LocalDvfsPolicy, DEFAULT_LEVELS};
+pub use local::{CombinedPolicy, LocalDvfsPolicy};
 pub use log::ExperimentLog;
 pub use metrics::{ExperimentMetrics, FreonMetrics};
 pub use net::{AdmdService, TempdDaemon, TempdMessage};
-pub use policy::{FreonEcPolicy, FreonPolicy, NoPolicy, ThermalPolicy, TraditionalPolicy};
+pub use policy::{
+    ActionRequest, ActionSpec, Actuator, EngineCommand, FreonEcPolicy, FreonPolicy, Gate,
+    IncidentRecord, Mediator, NoPolicy, PolicySpec, ReasonCode, RuleSpec, SpecPolicy,
+    ThermalPolicy, TraditionalPolicy, Trigger, BUILTIN_NAMES, DEFAULT_LEVELS,
+};
 pub use tempd::{Tempd, TempdReport};

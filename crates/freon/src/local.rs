@@ -15,7 +15,10 @@
 //!   stepping back up when the CPU cools below `T_l`. No load balancer
 //!   involvement: in a least-connections cluster the slowed server
 //!   naturally sheds load, which is the effect the paper observes — at
-//!   the cost of slower service for the requests it does take.
+//!   the cost of slower service for the requests it does take. The
+//!   policy is the built-in `local-dvfs` spec run through the
+//!   interpreter; the ladder itself is the
+//!   [`FrequencyActuator`](crate::policy::FrequencyActuator).
 //! * [`CombinedPolicy`] — Freon's remote throttling as the first,
 //!   coarse-grained line of defense, with local DVFS engaging only for
 //!   servers that stay above `T_h` despite the load-distribution
@@ -23,59 +26,16 @@
 
 use crate::config::FreonConfig;
 use crate::engine::ServerSnapshot;
-use crate::policy::{FreonPolicy, ThermalPolicy};
+use crate::policy::{
+    EngineCommand, FreonPolicy, FrequencyActuator, PolicySpec, SpecPolicy, ThermalPolicy,
+    DEFAULT_LEVELS,
+};
 use cluster_sim::ClusterSim;
 
-/// The default frequency ladder (full speed first). Real parts expose "a
-/// limited set of voltages and frequencies" (§4.3) — five levels here.
-pub const DEFAULT_LEVELS: [f64; 5] = [1.0, 0.85, 0.7, 0.55, 0.4];
-
-/// Per-server DVFS state machine.
-#[derive(Debug, Clone)]
-struct DvfsLadder {
-    levels: Vec<f64>,
-    index: Vec<usize>,
-    steps_down: u64,
-}
-
-impl DvfsLadder {
-    fn new(levels: Vec<f64>, n: usize) -> Self {
-        DvfsLadder {
-            levels,
-            index: vec![0; n],
-            steps_down: 0,
-        }
-    }
-
-    fn scale(&self, server: usize) -> f64 {
-        self.levels[self.index[server]]
-    }
-
-    fn step_down(&mut self, sim: &mut ClusterSim, server: usize) -> bool {
-        if self.index[server] + 1 < self.levels.len() {
-            self.index[server] += 1;
-            sim.server_mut(server).set_speed_scale(self.scale(server));
-            self.steps_down += 1;
-            true
-        } else {
-            false
-        }
-    }
-
-    fn step_up(&mut self, sim: &mut ClusterSim, server: usize) {
-        if self.index[server] > 0 {
-            self.index[server] -= 1;
-            sim.server_mut(server).set_speed_scale(self.scale(server));
-        }
-    }
-}
-
 /// Purely local thermal management: per-CPU DVFS, no balancer changes.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct LocalDvfsPolicy {
-    config: FreonConfig,
-    ladder: DvfsLadder,
-    red_line_shutdowns: u64,
+    inner: SpecPolicy,
 }
 
 impl LocalDvfsPolicy {
@@ -85,81 +45,73 @@ impl LocalDvfsPolicy {
     }
 
     /// Creates the policy with a custom (descending) frequency ladder.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the config has no `cpu` thresholds or the ladder is
+    /// not strictly descending within `(0, 1]`.
     pub fn with_levels(config: FreonConfig, n: usize, levels: Vec<f64>) -> Self {
+        let spec = PolicySpec::local_dvfs(&config, levels);
         LocalDvfsPolicy {
-            config,
-            ladder: DvfsLadder::new(levels, n),
-            red_line_shutdowns: 0,
+            inner: SpecPolicy::new(spec, n)
+                .unwrap_or_else(|e| panic!("invalid `local-dvfs` policy configuration: {e}")),
         }
     }
 
     /// Total downward frequency steps taken.
     pub fn steps_down(&self) -> u64 {
-        self.ladder.steps_down
+        self.inner.frequency_steps_down()
     }
 
     /// A server's current frequency scale.
     pub fn scale(&self, server: usize) -> f64 {
-        self.ladder.scale(server)
+        self.inner.frequency_scale(server)
     }
 
     /// Servers lost to red-line shutdowns (the CPU's own last resort).
     pub fn red_line_shutdowns(&self) -> u64 {
-        self.red_line_shutdowns
-    }
-
-    fn cpu_temp(&self, snapshot: &ServerSnapshot) -> Option<(f64, f64, f64, f64)> {
-        let thresholds = self.config.thresholds_for("cpu")?;
-        let temp = snapshot.temps.iter().find(|(c, _)| c == "cpu")?.1;
-        Some((temp, thresholds.high, thresholds.low, thresholds.red_line))
+        self.inner.red_line_shutdowns()
     }
 }
 
 impl ThermalPolicy for LocalDvfsPolicy {
-    fn name(&self) -> &'static str {
-        "local-dvfs"
+    fn name(&self) -> &str {
+        self.inner.name()
     }
 
     fn control(&mut self, now_s: u64, snapshots: &[ServerSnapshot], sim: &mut ClusterSim) {
-        if now_s == 0 || !now_s.is_multiple_of(self.config.monitor_period_s) {
-            return;
-        }
-        for (i, snapshot) in snapshots.iter().enumerate() {
-            if !snapshot.powered {
-                continue;
-            }
-            let (temp, high, low, red) = match self.cpu_temp(snapshot) {
-                Some(t) => t,
-                None => continue,
-            };
-            if temp >= red {
-                sim.lvs_mut().set_quiesced(i, true);
-                sim.server_mut(i).shutdown_hard();
-                self.red_line_shutdowns += 1;
-            } else if temp > high {
-                self.ladder.step_down(sim, i);
-            } else if temp < low {
-                self.ladder.step_up(sim, i);
-            }
-        }
+        self.inner.control(now_s, snapshots, sim);
+    }
+
+    fn register_metrics(&self, registry: &telemetry::Registry) {
+        self.inner.register_metrics(registry);
+    }
+
+    fn drain_engine_commands(&mut self) -> Vec<EngineCommand> {
+        self.inner.drain_engine_commands()
     }
 }
 
 /// Freon plus local DVFS as the second line of defense.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CombinedPolicy {
     freon: FreonPolicy,
     config: FreonConfig,
-    ladder: DvfsLadder,
+    ladder: FrequencyActuator,
 }
 
 impl CombinedPolicy {
     /// Creates the combined policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config` is invalid, naming the offending component
+    /// and values.
     pub fn new(config: FreonConfig, n: usize) -> Self {
         CombinedPolicy {
             freon: FreonPolicy::new(config.clone(), n),
             config,
-            ladder: DvfsLadder::new(DEFAULT_LEVELS.to_vec(), n),
+            ladder: FrequencyActuator::new(DEFAULT_LEVELS.to_vec(), n),
         }
     }
 
@@ -170,7 +122,7 @@ impl CombinedPolicy {
 
     /// Total downward DVFS steps the hardware side took.
     pub fn dvfs_steps_down(&self) -> u64 {
-        self.ladder.steps_down
+        self.ladder.steps_down()
     }
 
     /// The wrapped Freon policy's telemetry handles.
@@ -180,7 +132,7 @@ impl CombinedPolicy {
 }
 
 impl ThermalPolicy for CombinedPolicy {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "freon+dvfs"
     }
 
@@ -217,6 +169,10 @@ impl ThermalPolicy for CombinedPolicy {
         // The software half makes all cluster-level decisions; the DVFS
         // ladder is hardware-internal and has no decision counters.
         self.freon.register_metrics(registry);
+    }
+
+    fn drain_engine_commands(&mut self) -> Vec<EngineCommand> {
+        self.freon.drain_engine_commands()
     }
 }
 

@@ -45,6 +45,14 @@ pub struct FreonMetrics {
     pub power_offs_heat: Counter,
     /// `mercury_freon_decisions_total{action="power_off",reason="energy"}`.
     pub power_offs_energy: Counter,
+    /// `mercury_freon_decisions_total{action="shed",reason="above_high"}`.
+    pub sheds: Counter,
+    /// `mercury_freon_decisions_total{action="step_down_frequency",reason="above_high"}`.
+    pub frequency_steps_down: Counter,
+    /// `mercury_freon_decisions_total{action="step_up_frequency",reason="below_low"}`.
+    pub frequency_steps_up: Counter,
+    /// `mercury_freon_decisions_total{action="set_fan",reason="rule"}`.
+    pub fan_commands: Counter,
 }
 
 impl FreonMetrics {
@@ -84,6 +92,14 @@ impl FreonMetrics {
             ("power_on", "replacement", &self.power_ons_replacement),
             ("power_off", "heat", &self.power_offs_heat),
             ("power_off", "energy", &self.power_offs_energy),
+            ("shed", "above_high", &self.sheds),
+            (
+                "step_down_frequency",
+                "above_high",
+                &self.frequency_steps_down,
+            ),
+            ("step_up_frequency", "below_low", &self.frequency_steps_up),
+            ("set_fan", "rule", &self.fan_commands),
         ] {
             registry.register_counter(
                 DECISIONS,
@@ -104,6 +120,10 @@ impl FreonMetrics {
             + self.power_ons_replacement.get()
             + self.power_offs_heat.get()
             + self.power_offs_energy.get()
+            + self.sheds.get()
+            + self.frequency_steps_down.get()
+            + self.frequency_steps_up.get()
+            + self.fan_commands.get()
     }
 
     /// Books one PD-controller report: positive outputs are activations,
@@ -127,6 +147,9 @@ pub struct ExperimentMetrics {
     /// mirrored into the thermal model (off → residual draw, on →
     /// restored power models).
     pub power_state_changes: Counter,
+    /// `mercury_freon_policy_fan_commands_total` — fan-CFM commands a
+    /// policy issued that the engine applied to the thermal model.
+    pub policy_fan_commands: Counter,
 }
 
 impl ExperimentMetrics {
@@ -149,6 +172,12 @@ impl ExperimentMetrics {
             "Server power-state flips mirrored into the thermal model",
             &[],
             &self.power_state_changes,
+        );
+        registry.register_counter(
+            "mercury_freon_policy_fan_commands_total",
+            "Policy fan-CFM commands applied to the thermal model",
+            &[],
+            &self.policy_fan_commands,
         );
     }
 }

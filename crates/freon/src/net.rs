@@ -20,6 +20,7 @@
 
 use crate::admd::Admd;
 use crate::config::FreonConfig;
+use crate::policy::PolicySpec;
 use crate::tempd::Tempd;
 use cluster_sim::ClusterSim;
 use parking_lot::Mutex;
@@ -162,6 +163,25 @@ impl AdmdService {
         })
     }
 
+    /// Spawns the service from a declarative [`PolicySpec`] instead of a
+    /// [`FreonConfig`] — the spec's periods, gains, thresholds, and
+    /// connection-cap setting are used; its rules beyond the base
+    /// throttle/release/red-line triple do not travel over the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::Error`] when the socket cannot be bound;
+    /// invalid specs surface as [`std::io::ErrorKind::InvalidInput`].
+    pub fn spawn_spec(
+        sim: Arc<Mutex<ClusterSim>>,
+        spec: &PolicySpec,
+        time_compression: f64,
+    ) -> std::io::Result<Self> {
+        spec.validate()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+        Self::spawn(sim, spec.base_config(), time_compression)
+    }
+
     /// The address tempds should send to.
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
@@ -254,6 +274,32 @@ impl TempdDaemon {
             stop,
             thread: Some(thread),
         })
+    }
+
+    /// Spawns a tempd configured by a declarative [`PolicySpec`] (its
+    /// thresholds, gains, and monitor period).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::Error`] when the reporting socket cannot be
+    /// created; invalid specs surface as
+    /// [`std::io::ErrorKind::InvalidInput`].
+    pub fn spawn_spec(
+        server: usize,
+        spec: &PolicySpec,
+        admd_addr: SocketAddr,
+        time_compression: f64,
+        read_temps: impl FnMut() -> Vec<(String, f64)> + Send + 'static,
+    ) -> std::io::Result<Self> {
+        spec.validate()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+        Self::spawn(
+            server,
+            spec.base_config(),
+            admd_addr,
+            time_compression,
+            read_temps,
+        )
     }
 
     /// Stops the daemon.
@@ -368,6 +414,40 @@ mod tests {
         }
         tempd.shutdown();
         admd.shutdown();
+    }
+
+    #[test]
+    fn spec_spawned_daemons_match_the_config_path() {
+        let sim = Arc::new(Mutex::new(ClusterSim::homogeneous(
+            1,
+            ServerConfig::default(),
+        )));
+        let spec = PolicySpec::builtin("freon").unwrap();
+        let admd = AdmdService::spawn_spec(Arc::clone(&sim), &spec, 0.0005).unwrap();
+        let tempd = TempdDaemon::spawn_spec(0, &spec, admd.local_addr(), 0.0005, || {
+            vec![("cpu".to_string(), 68.5)]
+        })
+        .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            if sim.lock().lvs().weight(0) < 1.0 {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "no throttle arrived");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        tempd.shutdown();
+        admd.shutdown();
+
+        // An invalid spec is rejected before any socket work.
+        let mut bad = PolicySpec::builtin("freon").unwrap();
+        bad.check_period_s = 0;
+        assert_eq!(
+            AdmdService::spawn_spec(sim, &bad, 0.0005)
+                .unwrap_err()
+                .kind(),
+            std::io::ErrorKind::InvalidInput
+        );
     }
 
     #[test]

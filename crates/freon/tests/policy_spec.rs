@@ -1,0 +1,205 @@
+//! Property and equivalence tests for the declarative policy layer.
+//!
+//! Three guarantees:
+//!
+//! 1. any valid [`PolicySpec`] survives a TOML round trip unchanged,
+//! 2. malformed specs are rejected with errors naming the offender, and
+//! 3. the built-in TOML specs drive an experiment to *byte-identical*
+//!    logs as the legacy policy structs they replaced.
+
+use cluster_sim::{ClusterSim, ServerConfig};
+use freon::policy::{SpecPolicy, Trigger};
+use freon::{
+    EcConfig, Experiment, ExperimentConfig, FreonConfig, FreonEcPolicy, FreonPolicy, PolicySpec,
+    ThermalPolicy, TraditionalPolicy,
+};
+use proptest::prelude::*;
+use workload_gen::{DiurnalProfile, RequestMix, WorkloadGenerator, WorkloadTrace};
+
+/// A valid threshold triple for one component: `low < high < red_line`.
+fn thresholds(component: &'static str) -> impl Strategy<Value = freon::ComponentThresholds> {
+    (20.0..80.0f64, 0.5..10.0f64, 0.5..10.0f64).prop_map(move |(low, d_high, d_red)| {
+        freon::ComponentThresholds {
+            component: component.to_string(),
+            low,
+            high: low + d_high,
+            red_line: low + d_high + d_red,
+        }
+    })
+}
+
+/// A valid spec built around the standard throttle/release/red-line
+/// rules, with randomized periods, gains, caps, and thresholds —
+/// occasionally with an EC section or a shed rule instead of throttling.
+fn valid_spec() -> impl Strategy<Value = PolicySpec> {
+    (
+        (1u64..600, 1u64..120),
+        (0.01..1.0f64, 0.0..1.0f64),
+        any::<bool>(),
+        thresholds("cpu"),
+        thresholds("disk_platters"),
+        0u8..3,
+        (0.05..0.95f64, 1u8..4),
+    )
+        .prop_map(
+            |((check, sample), (kp, kd), caps, cpu, disk, variant, (factor, intervals))| {
+                let mut config = FreonConfig::paper();
+                config.monitor_period_s = check;
+                config.sample_period_s = sample;
+                config.kp = kp;
+                config.kd = kd;
+                config.connection_caps = caps;
+                config.thresholds = vec![cpu, disk];
+                match variant {
+                    0 => PolicySpec::freon(&config),
+                    1 => {
+                        let ec = EcConfig {
+                            regions: vec![0, 1, 0, 1],
+                            u_high: 0.7,
+                            u_low: 0.6,
+                            projection_intervals: u32::from(intervals),
+                        };
+                        PolicySpec::freon_ec(&config, &ec)
+                    }
+                    _ => {
+                        let mut spec = PolicySpec::freon(&config);
+                        spec.name = "shed-variant".to_string();
+                        for rule in &mut spec.rules {
+                            if rule.trigger == Trigger::AboveHigh {
+                                rule.action = freon::ActionSpec::Shed { factor };
+                            }
+                        }
+                        spec
+                    }
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// write → parse reproduces the spec exactly, rules and EC included.
+    #[test]
+    fn specs_round_trip_through_toml(spec in valid_spec()) {
+        prop_assert!(spec.validate().is_ok(), "strategy produced an invalid spec");
+        let text = spec.to_toml_string();
+        let back = PolicySpec::from_toml_str(&text)
+            .unwrap_or_else(|e| panic!("emitted TOML failed to parse: {e}\n{text}"));
+        prop_assert_eq!(back, spec);
+    }
+
+    /// Inverting any component's thresholds is always caught, and the
+    /// error names that component.
+    #[test]
+    fn inverted_thresholds_are_rejected(spec in valid_spec(), which in 0usize..2) {
+        let mut spec = spec;
+        let t = &mut spec.thresholds[which];
+        std::mem::swap(&mut t.low, &mut t.red_line);
+        let component = spec.thresholds[which].component.clone();
+        let err = spec.validate().expect_err("inverted thresholds accepted");
+        prop_assert!(err.contains(&component), "error does not name `{}`: {}", component, err);
+    }
+
+    /// Zero periods are always caught.
+    #[test]
+    fn zero_periods_are_rejected(spec in valid_spec(), which in any::<bool>()) {
+        let mut spec = spec;
+        if which {
+            spec.check_period_s = 0;
+        } else {
+            spec.sample_period_s = 0;
+        }
+        let err = spec.validate().expect_err("zero period accepted");
+        prop_assert!(err.contains("period"), "{}", err);
+    }
+}
+
+#[test]
+fn unknown_actuator_names_are_rejected_with_the_full_menu() {
+    let text = "\
+name = \"bogus\"
+
+[[thresholds]]
+component = \"cpu\"
+high = 67.0
+low = 64.0
+red_line = 69.0
+
+[[rules]]
+trigger = \"above_high\"
+action = \"overclock\"
+";
+    let err = PolicySpec::from_toml_str(text).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("overclock"), "{msg}");
+    assert!(msg.contains("throttle"), "menu missing: {msg}");
+    assert!(msg.contains("set_fan"), "menu missing: {msg}");
+}
+
+#[test]
+fn duplicate_triggers_are_rejected() {
+    let mut spec = PolicySpec::freon(&FreonConfig::paper());
+    let dup = spec.rules[0].clone();
+    spec.rules.push(dup);
+    let err = spec.validate().unwrap_err();
+    assert!(err.contains("duplicate rule"), "{err}");
+}
+
+fn paper_trace(duration: u64) -> WorkloadTrace {
+    let mix = RequestMix::paper();
+    let peak = mix.rps_for_cpu_utilization(0.7, 4, 1000.0);
+    let profile = DiurnalProfile::new(duration as f64, peak * 0.15, peak).with_peak_at(0.65);
+    WorkloadGenerator::new(profile, mix, 42).generate(duration)
+}
+
+/// Runs the fig-11-style emergency under one policy.
+fn run(policy: &mut dyn ThermalPolicy, duration: u64) -> freon::ExperimentLog {
+    let model = mercury::presets::validation_cluster(4);
+    let sim = ClusterSim::homogeneous(4, ServerConfig::default());
+    let trace = paper_trace(duration);
+    let script = mercury::fiddle::FiddleScript::parse(
+        "sleep 200\nfiddle machine1 temperature inlet 35.0\nfiddle machine3 temperature inlet 33.0\n",
+    )
+    .unwrap();
+    let cfg = ExperimentConfig {
+        duration_s: duration,
+        ..Default::default()
+    };
+    Experiment::new(&model, sim, &trace, Some(&script), cfg)
+        .unwrap()
+        .run(policy)
+        .unwrap()
+}
+
+/// The built-in TOML specs drive the loop to the exact same logs as the
+/// legacy policy structs (which now wrap the same interpreter — this
+/// pins the *TOML files* to the paper behaviors).
+#[test]
+fn builtin_specs_reproduce_the_legacy_policies() {
+    let duration = 700;
+    for name in ["traditional", "freon", "freon-ec"] {
+        let spec = PolicySpec::builtin(name).unwrap();
+        let mut from_spec = SpecPolicy::new(spec, 4).unwrap();
+        let spec_log = run(&mut from_spec, duration);
+        let legacy_log = match name {
+            "traditional" => {
+                let mut p = TraditionalPolicy::new(FreonConfig::paper(), 4);
+                run(&mut p, duration)
+            }
+            "freon" => {
+                let mut p = FreonPolicy::new(FreonConfig::paper(), 4);
+                run(&mut p, duration)
+            }
+            _ => {
+                let mut p =
+                    FreonEcPolicy::new(FreonConfig::paper(), EcConfig::paper_four_servers());
+                run(&mut p, duration)
+            }
+        };
+        assert_eq!(
+            spec_log, legacy_log,
+            "`{name}` spec diverged from the legacy policy"
+        );
+    }
+}
