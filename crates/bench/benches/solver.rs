@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mercury::presets::{self, nodes};
-use mercury::solver::{ClusterSolver, Solver, SolverConfig};
+use mercury::solver::{ClusterSolver, SimdBackend, Solver, SolverConfig};
 use std::hint::black_box;
 
 fn bench_solver(c: &mut Criterion) {
@@ -85,6 +85,49 @@ fn bench_solver(c: &mut Criterion) {
             });
         }
     }
+
+    // SIMD lane-width evidence: the batched 1024-machine tick on every
+    // backend the host supports (exact mode), named by backend and lane
+    // width, plus fast-math on the auto-selected backend.
+    for backend in SimdBackend::ALL.into_iter().filter(|b| b.supported()) {
+        let name = format!(
+            "solver_tick_cluster1024_simd_{}_w{}",
+            backend.name(),
+            backend.lane_width()
+        );
+        c.bench_function(&name, |b| {
+            let cluster = presets::validation_cluster(1024);
+            let mut solver = ClusterSolver::new(&cluster, SolverConfig::default()).unwrap();
+            solver.set_threads(1);
+            solver.set_simd_backend(backend).unwrap();
+            for i in 1..=1024 {
+                solver
+                    .set_utilization(&format!("machine{i}"), nodes::CPU, 0.7)
+                    .unwrap();
+            }
+            solver.step(); // build the batch plan outside the timing
+            b.iter(|| {
+                solver.step();
+                black_box(solver.time());
+            });
+        });
+    }
+    c.bench_function("solver_tick_cluster1024_simd_fast_math", |b| {
+        let cluster = presets::validation_cluster(1024);
+        let mut solver = ClusterSolver::new(&cluster, SolverConfig::default()).unwrap();
+        solver.set_threads(1);
+        solver.set_fast_math(true);
+        for i in 1..=1024 {
+            solver
+                .set_utilization(&format!("machine{i}"), nodes::CPU, 0.7)
+                .unwrap();
+        }
+        solver.step();
+        b.iter(|| {
+            solver.step();
+            black_box(solver.time());
+        });
+    });
 
     c.bench_function("solver_temperature_query", |b| {
         let solver = Solver::new(&model, SolverConfig::default()).unwrap();

@@ -66,12 +66,17 @@
 //! | [`presets`] | ready-made models with the paper's Table 1 constants |
 //! | [`net`] | UDP solver service, `monitord`, and the sensor client library |
 
-// `deny`, not `forbid`: the one sanctioned exception is the scoped
+// `deny`, not `forbid`: the sanctioned exceptions are (a) the scoped
 // pointer hand-off inside `solver::pool`, which discharges the same
 // obligation `std::thread::scope` does internally (the driver outlives
-// every borrow it publishes). Each site carries a SAFETY comment, is
-// `#[allow]`ed individually, and is exercised under ThreadSanitizer in
-// CI; everything else in the crate remains safe Rust.
+// every borrow it publishes), (b) the vector intrinsics behind
+// `solver::simd` (dispatch is gated on runtime feature detection and
+// every kernel is held bitwise-equal to the safe scalar sweep), and
+// (c) the aligned chunk buffers in `solver::aligned` (a fixed-length
+// `Vec<f64>` at cache-line alignment). Each site carries a SAFETY
+// comment, is `#[allow]`ed individually, and is exercised under
+// ThreadSanitizer in CI; everything else in the crate remains safe
+// Rust.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

@@ -39,8 +39,10 @@
 //! never depends on the thread count, so parallelism cannot change
 //! results.
 
+use super::aligned::{AlignedVec, MATRIX_ALIGN};
 use super::kernel::AssembledOp;
 use super::machine::Solver;
+use super::simd::{self, SimdBackend, Sweep};
 
 /// Maximum machines (f64 lanes) per batch chunk. 32 lanes keep one
 /// chunk's three `[nodes × lanes]` matrices a few KiB — cache-resident —
@@ -69,10 +71,15 @@ pub(crate) struct SharedOp {
     inv_capacity: Vec<f64>,
     /// Refreshed from the representative each tick (cheap: `n` bools).
     fixed: Vec<bool>,
+    /// Lane-sweep backend, stamped from the owning [`BatchSet`] so a
+    /// pool work item `(op, chunk)` carries everything a tick needs.
+    backend: SimdBackend,
+    /// Fast-math lane mode (FMA contraction), stamped like `backend`.
+    fast_math: bool,
 }
 
 impl SharedOp {
-    fn from_assembled(op: AssembledOp<'_>) -> Self {
+    fn from_assembled(op: AssembledOp<'_>, backend: SimdBackend, fast_math: bool) -> Self {
         SharedOp {
             n: op.n,
             substeps: op.substeps,
@@ -82,6 +89,8 @@ impl SharedOp {
             self_w: op.self_w.to_vec(),
             inv_capacity: op.inv_capacity.to_vec(),
             fixed: vec![false; op.n],
+            backend,
+            fast_math,
         }
     }
 
@@ -111,11 +120,14 @@ pub(crate) struct Chunk {
     /// Cluster machine indices, in cluster order; lane `l` holds
     /// machine `members[l]`.
     members: Vec<usize>,
-    /// `[nodes × lanes]` temperature matrices, double-buffered.
-    cur: Vec<f64>,
-    next: Vec<f64>,
-    /// `[nodes × lanes]` per-sub-step power ΔT.
-    power_dt: Vec<f64>,
+    /// `[nodes × lanes]` temperature matrices, double-buffered and
+    /// 64-byte aligned for the vector sweep. `fixed` rows are kept
+    /// valid in *both* buffers (written at gather time, skipped by the
+    /// sweep), so the double-buffer swap never stales them.
+    cur: AlignedVec,
+    next: AlignedVec,
+    /// `[nodes × lanes]` per-sub-step power ΔT, 64-byte aligned.
+    power_dt: AlignedVec,
     /// Per-lane heat generated over the tick (Joules), for
     /// [`Solver::finish_tick`] bookkeeping.
     generated: Vec<f64>,
@@ -132,9 +144,9 @@ impl Chunk {
         let lanes = members.len();
         Chunk {
             members,
-            cur: vec![0.0; n * lanes],
-            next: vec![0.0; n * lanes],
-            power_dt: vec![0.0; n * lanes],
+            cur: AlignedVec::zeroed(n * lanes),
+            next: AlignedVec::zeroed(n * lanes),
+            power_dt: AlignedVec::zeroed(n * lanes),
             generated: vec![0.0; lanes],
             warm: false,
         }
@@ -143,41 +155,37 @@ impl Chunk {
     /// Advances every lane by one tick (all sub-steps). Pure compute on
     /// chunk-owned state plus the shared read-only operator — safe to
     /// run concurrently with other chunks.
+    ///
+    /// Per lane each sub-step is the scalar kernel's exact sequence —
+    /// `t = self_w·T_i + ΔT_power`, then `+= w_j·T_src(j)` in operator
+    /// order — run as row sweeps by `super::simd` on the operator's
+    /// stamped backend. Lanes are independent, so the sweep reorders
+    /// nothing within a lane; in default (non-fast-math) mode every
+    /// backend is bit-identical to the scalar path. `fixed` rows are
+    /// already valid in both buffers (see [`BatchSet::begin_tick`]) and
+    /// are skipped outright.
     pub(crate) fn tick(&mut self, op: &SharedOp) {
         let lanes = self.members.len();
+        debug_assert_eq!(self.cur.as_ptr() as usize % MATRIX_ALIGN, 0);
+        debug_assert_eq!(self.next.as_ptr() as usize % MATRIX_ALIGN, 0);
+        debug_assert_eq!(self.power_dt.as_ptr() as usize % MATRIX_ALIGN, 0);
         for _ in 0..op.substeps {
-            // Field-disjoint borrows: `cur` read-only, `next` written.
-            let cur = &self.cur;
-            let next = &mut self.next;
-            let power_dt = &self.power_dt;
-            for i in 0..op.n {
-                let row = i * lanes;
-                let cur_row = &cur[row..row + lanes];
-                let next_row = &mut next[row..row + lanes];
-                if op.fixed[i] {
-                    next_row.copy_from_slice(cur_row);
-                    continue;
-                }
-                // Per lane this is the scalar kernel's exact sequence:
-                // t = self_w·T_i + ΔT_power, then += w_j·T_src(j) in
-                // operator order. Lanes are independent, so splitting
-                // the scalar loop into these row passes reorders nothing
-                // within a lane.
-                let sw = op.self_w[i];
-                let pd_row = &power_dt[row..row + lanes];
-                for l in 0..lanes {
-                    next_row[l] = sw * cur_row[l] + pd_row[l];
-                }
-                for j in op.op_off[i] as usize..op.op_off[i + 1] as usize {
-                    let src = op.op_src[j] as usize * lanes;
-                    let w = op.op_w[j];
-                    let src_row = &cur[src..src + lanes];
-                    let next_row = &mut next[row..row + lanes];
-                    for l in 0..lanes {
-                        next_row[l] += w * src_row[l];
-                    }
-                }
-            }
+            simd::substep(
+                op.backend,
+                op.fast_math,
+                Sweep {
+                    n: op.n,
+                    lanes,
+                    op_off: &op.op_off,
+                    op_src: &op.op_src,
+                    op_w: &op.op_w,
+                    self_w: &op.self_w,
+                    fixed: &op.fixed,
+                    power_dt: &self.power_dt,
+                    cur: &self.cur,
+                    next: &mut self.next,
+                },
+            );
             std::mem::swap(&mut self.cur, &mut self.next);
         }
     }
@@ -203,6 +211,13 @@ pub(crate) struct BatchSet {
     /// from; a cheap per-tick comparison detects membership changes.
     signature: Vec<(u64, bool)>,
     planned: bool,
+    /// Lane-sweep backend for every chunk tick. Defaults to the
+    /// process-wide [`SimdBackend::select`]; bit-identical across
+    /// backends in default mode.
+    backend: SimdBackend,
+    /// Opt-in fast-math lane mode (FMA contraction; bounded divergence
+    /// instead of bit-identity).
+    fast_math: bool,
 }
 
 impl BatchSet {
@@ -212,6 +227,37 @@ impl BatchSet {
             membership: vec![false; n_machines],
             signature: Vec::new(),
             planned: false,
+            backend: SimdBackend::select(),
+            fast_math: false,
+        }
+    }
+
+    /// The lane-sweep backend chunk ticks run on.
+    pub(crate) fn backend(&self) -> SimdBackend {
+        self.backend
+    }
+
+    /// Switches the lane-sweep backend, restamping existing group
+    /// operators so the change takes effect on the next tick. Callers
+    /// must pass a [`SimdBackend::supported`] backend.
+    pub(crate) fn set_backend(&mut self, backend: SimdBackend) {
+        debug_assert!(backend.supported());
+        self.backend = backend;
+        for group in &mut self.groups {
+            group.op.backend = backend;
+        }
+    }
+
+    /// Whether fast-math lane sweeps are enabled.
+    pub(crate) fn fast_math(&self) -> bool {
+        self.fast_math
+    }
+
+    /// Toggles fast-math lane sweeps, restamping existing operators.
+    pub(crate) fn set_fast_math(&mut self, fast: bool) {
+        self.fast_math = fast;
+        for group in &mut self.groups {
+            group.op.fast_math = fast;
         }
     }
 
@@ -280,8 +326,11 @@ impl BatchSet {
             // Deep-copy the representative's operator, then verify every
             // member compiled to the same bits (fingerprint collisions
             // demote the odd one out to the per-machine path).
-            let op =
-                SharedOp::from_assembled(machines[members[0]].compiled_kernel().assembled_op());
+            let op = SharedOp::from_assembled(
+                machines[members[0]].compiled_kernel().assembled_op(),
+                self.backend,
+                self.fast_math,
+            );
             let mut verified = Vec::with_capacity(members.len());
             for &m in &members {
                 if op.matches(&machines[m].compiled_kernel().assembled_op()) {
@@ -368,9 +417,13 @@ impl BatchSet {
                         // chunk except possibly its boundary rows (the
                         // room graph rewrote the inlet); non-boundary
                         // rows still hold the previous scatter's bits.
+                        // Fixed rows go into *both* buffers: the sweep
+                        // skips them, so each buffer must carry its own
+                        // copy across the double-buffer swaps.
                         for (i, (&fixed, t)) in op.fixed.iter().zip(temps).enumerate() {
                             if fixed {
                                 chunk.cur[i * lanes + l] = t.0;
+                                chunk.next[i * lanes + l] = t.0;
                             }
                         }
                         continue;
@@ -382,6 +435,12 @@ impl BatchSet {
                         let q = power_q[i];
                         sum_q += q;
                         chunk.cur[i * lanes + l] = temps[i].0;
+                        if op.fixed[i] {
+                            // Skipped by the sweep — pre-write the
+                            // boundary value into both buffers once
+                            // instead of copying it every sub-step.
+                            chunk.next[i * lanes + l] = temps[i].0;
+                        }
                         chunk.power_dt[i * lanes + l] = q * op.inv_capacity[i];
                     }
                     chunk.generated[l] = sum_q * op.substeps as f64;
@@ -489,13 +548,15 @@ impl BatchSet {
 
     /// Writes a boundary temperature into the given rows of a chunk
     /// lane — the fused span's equivalent of `set_inlet_temperature` on
-    /// the scattered solver (inlet rows are `fixed`, so the chunk tick
-    /// carries the value through every sub-step unchanged).
+    /// the scattered solver. Boundary rows are `fixed`, which the sweep
+    /// skips rather than copies, so the value is written into both
+    /// buffers to survive the per-sub-step double-buffer swaps.
     pub(crate) fn write_lane_rows(&mut self, g: u32, c: u32, l: u32, nodes: &[usize], t: f64) {
         let chunk = &mut self.groups[g as usize].chunks[c as usize];
         let lanes = chunk.members.len();
         for &i in nodes {
             chunk.cur[i * lanes + l as usize] = t;
+            chunk.next[i * lanes + l as usize] = t;
         }
     }
 }

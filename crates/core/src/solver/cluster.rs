@@ -6,6 +6,7 @@ use super::kernel::MixGraph;
 use super::machine::{Solver, SolverConfig};
 use super::metrics::{ClusterMetrics, TICK_LATENCY_SAMPLE};
 use super::pool::{TickPool, WorkItem};
+use super::simd::SimdBackend;
 use crate::error::Error;
 use crate::model::ClusterModel;
 use crate::units::{Celsius, Seconds, Utilization};
@@ -149,6 +150,11 @@ impl ClusterSolver {
         for machine in &mut machines {
             machine.share_metrics(&metrics.solver);
         }
+        let batch = BatchSet::new(n);
+        metrics
+            .solver
+            .simd_lane_width
+            .set(batch.backend().lane_width() as f64);
         Ok(ClusterSolver {
             machines,
             by_name,
@@ -160,7 +166,7 @@ impl ClusterSolver {
             exhaust_scratch: vec![Celsius(0.0); n],
             forced_inlets: vec![None; n],
             threads: 0,
-            batch: BatchSet::new(n),
+            batch,
             batching: true,
             pool: TickPool::new(),
             scheduler: TickScheduler::default(),
@@ -379,6 +385,62 @@ impl ClusterSolver {
     /// Whether batched stepping is enabled.
     pub fn batching(&self) -> bool {
         self.batching
+    }
+
+    /// The SIMD backend the batched lane sweeps run on. Defaults to the
+    /// widest instruction set the host supports (overridable process-wide
+    /// via the `MERCURY_SIMD` environment variable; see
+    /// [`SimdBackend::select`]).
+    pub fn simd_backend(&self) -> SimdBackend {
+        self.batch.backend()
+    }
+
+    /// Forces the batched lane sweeps onto a specific [`SimdBackend`].
+    ///
+    /// In default (non-fast-math) mode every backend is bit-identical —
+    /// this switch exists for benchmarking and for pinning down a
+    /// suspect path (like [`ClusterSolver::set_batching`]), and it is
+    /// how the equivalence suites force each backend on one host. Takes
+    /// effect on the next tick; the `mercury_solver_simd_lane_width`
+    /// gauge follows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] when the backend is not
+    /// supported on this host (see [`SimdBackend::supported`]).
+    pub fn set_simd_backend(&mut self, backend: SimdBackend) -> Result<(), Error> {
+        if !backend.supported() {
+            return Err(Error::invalid_input(format!(
+                "SIMD backend `{}` is not supported on this host",
+                backend.name()
+            )));
+        }
+        self.batch.set_backend(backend);
+        self.metrics
+            .solver
+            .simd_lane_width
+            .set(backend.lane_width() as f64);
+        Ok(())
+    }
+
+    /// Enables or disables **fast-math lane sweeps** on the batched path
+    /// (default: disabled).
+    ///
+    /// Fast-math permits FMA contraction and reassociated accumulation
+    /// in the chunk sub-step, trading the repo's bit-identity invariant
+    /// for peak replay throughput. Trajectories stay within the bounded
+    /// divergence documented in `DESIGN.md` §"Vectorized lane sweeps"
+    /// (|ΔT| ≤ ~1e-8 °C over 5k-tick replays, enforced by
+    /// `tests/fast_math_divergence.rs`); machines on the per-machine
+    /// path are unaffected. Leave this off when exact repeatability
+    /// across hosts matters more than the last ~10% of throughput.
+    pub fn set_fast_math(&mut self, on: bool) {
+        self.batch.set_fast_math(on);
+    }
+
+    /// Whether fast-math lane sweeps are enabled.
+    pub fn fast_math(&self) -> bool {
+        self.batch.fast_math()
     }
 
     /// Number of machines stepped on the batched path in the most recent

@@ -59,6 +59,11 @@ pub struct SolverMetrics {
     /// counts as one; only changes that move the flows (fan speed, air
     /// fractions) add more.
     pub flow_recomputes: Counter,
+    /// `mercury_solver_simd_lane_width` — `f64` lanes per vector block
+    /// in the batched sweep's active SIMD backend (1 = scalar). Set at
+    /// cluster construction and on
+    /// [`super::ClusterSolver::set_simd_backend`].
+    pub simd_lane_width: Gauge,
 }
 
 impl SolverMetrics {
@@ -94,6 +99,12 @@ impl SolverMetrics {
             "Air-flow distribution recompilations across all machines",
             &[],
             &self.flow_recomputes,
+        );
+        registry.register_gauge(
+            "mercury_solver_simd_lane_width",
+            "f64 lanes per vector block in the batched sweep's SIMD backend",
+            &[],
+            &self.simd_lane_width,
         );
     }
 
@@ -282,6 +293,7 @@ mod tests {
             "mercury_solver_tick_seconds",
             "mercury_solver_substeps_total",
             "mercury_solver_flow_recomputes_total",
+            "mercury_solver_simd_lane_width",
             "mercury_cluster_ticks_total",
             "mercury_cluster_tick_seconds",
             "mercury_cluster_batched_machines",

@@ -36,9 +36,13 @@
 //! Structurally identical machines — the common case under the paper's
 //! trace replication (§2.3) — are additionally stepped *batched*: the
 //! private `batch` module groups them by structural fingerprint and
-//! sweeps each group over one shared operator in a vectorizable
-//! structure-of-arrays layout, bit-identical to per-machine stepping
-//! (see [`ClusterSolver::set_batching`]).
+//! sweeps each group over one shared operator in a structure-of-arrays
+//! layout, bit-identical to per-machine stepping (see
+//! [`ClusterSolver::set_batching`]). The lane sweeps run explicitly
+//! vectorized (the private `simd` module; [`SimdBackend`]) with a
+//! runtime-detected instruction set, still bit-identical by default,
+//! plus an opt-in bounded-divergence fast-math mode
+//! ([`ClusterSolver::set_fast_math`]).
 //!
 //! Parallel cluster ticks run on a persistent worker pool (the private
 //! `pool` module) — workers spawn once and park between ticks — and
@@ -52,6 +56,7 @@
 //! (tick counts, sampled latencies, batch-plan shape); see the `metrics`
 //! module and `DESIGN.md` §"Telemetry".
 
+mod aligned;
 mod batch;
 mod cluster;
 mod flows;
@@ -59,8 +64,10 @@ mod kernel;
 mod machine;
 mod metrics;
 mod pool;
+mod simd;
 
 pub use cluster::{ClusterProbe, ClusterSolver, TickScheduler};
 pub use flows::{air_flows, model_air_flows, required_substeps};
 pub use machine::{Solver, SolverConfig};
 pub use metrics::{ClusterMetrics, SolverMetrics};
+pub use simd::SimdBackend;

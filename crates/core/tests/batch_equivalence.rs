@@ -12,7 +12,7 @@
 //! vectorized sweep actually engages.
 
 use mercury::presets::{self, nodes};
-use mercury::solver::{ClusterSolver, Solver, SolverConfig};
+use mercury::solver::{ClusterSolver, SimdBackend, Solver, SolverConfig};
 use mercury::units::Celsius;
 use proptest::prelude::*;
 
@@ -37,11 +37,14 @@ fn assert_bit_identical(a: &ClusterSolver, b: &ClusterSolver, context: &str) {
 /// One scripted run: identical inputs pushed into a solver configured
 /// with (batching, threads). Exercises replica fan-fiddles mid-run (a
 /// machine leaving its batch group), per-variant utilizations, and a
-/// forced inlet.
+/// forced inlet. `backend` forces the batched lane sweeps onto one
+/// SIMD backend (`None` keeps the host default).
+#[allow(clippy::too_many_arguments)]
 fn scripted_run(
     cluster: &mercury::model::ClusterModel,
     batching: bool,
     threads: usize,
+    backend: Option<SimdBackend>,
     utils: &[f64],
     fiddle_machine: usize,
     fiddle_tick: usize,
@@ -50,6 +53,9 @@ fn scripted_run(
     let mut s = ClusterSolver::new(cluster, SolverConfig::default()).unwrap();
     s.set_batching(batching);
     s.set_threads(threads);
+    if let Some(backend) = backend {
+        s.set_simd_backend(backend).unwrap();
+    }
     let names: Vec<String> = s.machine_names().iter().map(|n| n.to_string()).collect();
     for (i, name) in names.iter().enumerate() {
         let u = utils[i % utils.len()];
@@ -75,7 +81,9 @@ proptest! {
 
     /// Batched and per-machine stepping are bit-identical on a mixed
     /// cluster (replicas + structural variants + a mid-run fan fiddle +
-    /// a forced inlet), at thread counts 1, 2 and 3.
+    /// a forced inlet), at thread counts 1, 2 and 3, on every SIMD
+    /// backend the host supports (unsupported draws fall back to
+    /// scalar, so every backend index is a valid case everywhere).
     #[test]
     fn batched_matches_per_machine_on_mixed_clusters(
         replicated in 3usize..8,
@@ -84,14 +92,18 @@ proptest! {
         fiddle_machine in 0usize..8,
         fiddle_tick in 1usize..25,
         threads in 1usize..4,
+        backend_idx in 0usize..SimdBackend::ALL.len(),
     ) {
+        let backend = SimdBackend::ALL[backend_idx];
+        let backend = if backend.supported() { backend } else { SimdBackend::Scalar };
         let cluster = presets::mixed_cluster(replicated, unique);
         let baseline = scripted_run(
-            &cluster, false, 1, &utils, fiddle_machine, fiddle_tick, 30,
+            &cluster, false, 1, None, &utils, fiddle_machine, fiddle_tick, 30,
         );
         prop_assert_eq!(baseline.batched_machines(), 0);
         let batched = scripted_run(
-            &cluster, true, threads, &utils, fiddle_machine, fiddle_tick, 30,
+            &cluster, true, threads, Some(backend), &utils, fiddle_machine,
+            fiddle_tick, 30,
         );
         // The batched run really used the batched path (the replicas
         // minus at most the fiddled one still form a group of >= 2).
@@ -101,7 +113,72 @@ proptest! {
             batched.batched_machines(),
             replicated
         );
-        assert_bit_identical(&baseline, &batched, "mixed cluster");
+        assert_bit_identical(
+            &baseline,
+            &batched,
+            &format!("mixed cluster on {}", batched.simd_backend().name()),
+        );
+    }
+}
+
+/// Every supported SIMD backend is bit-identical to the per-machine
+/// path at lane counts that stress remainder handling: cluster sizes
+/// 2, 3, 31, 32 and 33 produce chunks of 1 (the 33rd machine's
+/// remainder chunk), 2, 3, 31 and a full 32 lanes, covering every
+/// `lanes % width` residue for 2-, 4- and 8-wide blocks.
+#[test]
+fn batched_backends_match_at_odd_lane_counts() {
+    let utils = [0.85, 0.15, 0.6, 0.4, 0.95];
+    for machines in [2usize, 3, 31, 32, 33] {
+        let cluster = presets::validation_cluster(machines);
+        let baseline = scripted_run(&cluster, false, 1, None, &utils, 1, 9, 25);
+        for backend in SimdBackend::ALL.into_iter().filter(|b| b.supported()) {
+            let batched = scripted_run(&cluster, true, 1, Some(backend), &utils, 1, 9, 25);
+            assert_eq!(batched.simd_backend(), backend);
+            // After the mid-run fiddle demotes one machine, the rest
+            // still batch — unless that leaves fewer than the 2-machine
+            // group minimum (the `machines == 2` case, whose 2-lane
+            // chunks were exercised by the pre-fiddle ticks).
+            let expect_batched = if machines > 2 { machines - 1 } else { 0 };
+            assert!(
+                batched.batched_machines() >= expect_batched,
+                "{machines} machines on {}: only {} batched",
+                backend.name(),
+                batched.batched_machines()
+            );
+            assert_bit_identical(
+                &baseline,
+                &batched,
+                &format!("{machines} machines on {}", backend.name()),
+            );
+        }
+    }
+}
+
+/// Forcing an unsupported backend is a checked error; the selected
+/// backend and the lane-width gauge stay put.
+#[test]
+fn batch_backend_selection_is_validated() {
+    let cluster = presets::validation_cluster(4);
+    let mut s = ClusterSolver::new(&cluster, SolverConfig::default()).unwrap();
+    let host_default = s.simd_backend();
+    assert!(host_default.supported());
+    // Scalar is supported everywhere; at least one of the vector
+    // backends must be rejected on any single-architecture host.
+    s.set_simd_backend(SimdBackend::Scalar).unwrap();
+    assert_eq!(s.simd_backend(), SimdBackend::Scalar);
+    let unsupported: Vec<SimdBackend> = SimdBackend::ALL
+        .into_iter()
+        .filter(|b| !b.supported())
+        .collect();
+    assert!(!unsupported.is_empty(), "no host supports every backend");
+    for backend in unsupported {
+        assert!(s.set_simd_backend(backend).is_err());
+        assert_eq!(
+            s.simd_backend(),
+            SimdBackend::Scalar,
+            "rejected switch stuck"
+        );
     }
 }
 
@@ -111,9 +188,9 @@ proptest! {
 fn batched_replicated_cluster_is_bit_identical_at_all_thread_counts() {
     let cluster = presets::validation_cluster(40);
     let utils = [0.9, 0.2, 0.55, 0.7];
-    let baseline = scripted_run(&cluster, false, 1, &utils, 5, 10, 40);
+    let baseline = scripted_run(&cluster, false, 1, None, &utils, 5, 10, 40);
     for threads in [1, 2, 3, 4] {
-        let batched = scripted_run(&cluster, true, threads, &utils, 5, 10, 40);
+        let batched = scripted_run(&cluster, true, threads, None, &utils, 5, 10, 40);
         // 40 replicas, one fiddled away mid-run.
         assert_eq!(batched.batched_machines(), 39);
         assert_bit_identical(&baseline, &batched, &format!("{threads} threads"));

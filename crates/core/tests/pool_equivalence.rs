@@ -13,7 +13,7 @@
 //! release mode (`cargo test -p mercury --release -- batch pool`).
 
 use mercury::presets::{self, nodes};
-use mercury::solver::{ClusterSolver, SolverConfig, TickScheduler};
+use mercury::solver::{ClusterSolver, SimdBackend, SolverConfig, TickScheduler};
 use mercury::units::Celsius;
 use proptest::prelude::*;
 
@@ -234,6 +234,61 @@ fn pool_worker_count_stays_at_configured_threads_with_mixed_work() {
     );
     s.step_for(16);
     assert_eq!(s.pool_workers(), 2, "fused spans reuse the same pool");
+}
+
+/// Every supported SIMD backend stays bit-identical to serial scalar
+/// stepping under pool-parallel execution and fused replay at 1, 2 and
+/// 8 threads — the vector sweep may not interact with how chunks are
+/// distributed across workers.
+#[test]
+fn pool_parallel_and_fused_match_on_every_simd_backend() {
+    let cluster = presets::validation_cluster(40);
+    let utils = [0.9, 0.25, 0.6];
+    let run = |backend: Option<SimdBackend>, threads: usize, fused: bool| {
+        let mut s = ClusterSolver::new(&cluster, SolverConfig::default()).unwrap();
+        s.set_threads(threads);
+        if let Some(b) = backend {
+            s.set_simd_backend(b).unwrap();
+        } else {
+            s.set_batching(false);
+        }
+        let names: Vec<String> = s.machine_names().iter().map(|n| n.to_string()).collect();
+        for (i, name) in names.iter().enumerate() {
+            s.set_utilization(name, nodes::CPU, utils[i % utils.len()])
+                .unwrap();
+        }
+        // Demote one machine so chunks and solos share the queue.
+        s.machine_mut("machine17")
+            .unwrap()
+            .set_fan_cfm(30.0)
+            .unwrap();
+        if fused {
+            s.step_for(35);
+        } else {
+            for _ in 0..35 {
+                s.step();
+            }
+        }
+        s
+    };
+    let serial = run(None, 1, false);
+    for backend in SimdBackend::ALL.into_iter().filter(|b| b.supported()) {
+        for threads in [1usize, 2, 8] {
+            let parallel = run(Some(backend), threads, false);
+            assert!(parallel.batched_machines() >= 39);
+            assert_bit_identical(
+                &serial,
+                &parallel,
+                &format!("per-tick {} at {threads} threads", backend.name()),
+            );
+            let fused = run(Some(backend), threads, true);
+            assert_bit_identical(
+                &serial,
+                &fused,
+                &format!("fused {} at {threads} threads", backend.name()),
+            );
+        }
+    }
 }
 
 /// `set_threads(0)` means "pick for me": the pool sizes itself to the
