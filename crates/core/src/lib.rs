@@ -81,6 +81,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod build;
 pub mod error;
 pub mod fan;
 pub mod fiddle;

@@ -37,6 +37,8 @@ pub struct NetMetrics {
     pub requests_ping: Counter,
     /// `mercury_net_requests_total{kind="scrape"}`.
     pub requests_scrape: Counter,
+    /// `mercury_net_requests_total{kind="trace"}`.
+    pub requests_trace: Counter,
 }
 
 impl NetMetrics {
@@ -82,6 +84,7 @@ impl NetMetrics {
             ("list", &self.requests_list),
             ("ping", &self.requests_ping),
             ("scrape", &self.requests_scrape),
+            ("trace", &self.requests_trace),
         ] {
             registry.register_counter(REQS, HELP, &[("kind", kind)], handle);
         }
@@ -97,6 +100,7 @@ impl NetMetrics {
             Request::ListNodes { .. } => &self.requests_list,
             Request::Ping => &self.requests_ping,
             Request::Scrape => &self.requests_scrape,
+            Request::TraceDump => &self.requests_trace,
         }
     }
 }

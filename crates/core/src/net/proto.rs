@@ -47,6 +47,12 @@ pub enum Request {
     /// exposition). Answered by one or more [`Reply::Metrics`]
     /// datagrams, split at line boundaries.
     Scrape,
+    /// Dump the service's recent trace spans (JSONL, one span object
+    /// per line — see `telemetry::trace`). Answered by one or more
+    /// [`Reply::Trace`] datagrams, split at line boundaries like a
+    /// scrape. A service without an attached tracer answers with a
+    /// single empty part.
+    TraceDump,
 }
 
 /// Service → client messages.
@@ -81,6 +87,17 @@ pub enum Reply {
         /// This part's whole exposition lines.
         text: String,
     },
+    /// One part of a span dump ([`Request::TraceDump`]): JSONL span
+    /// objects, split at line boundaries exactly like
+    /// [`Reply::Metrics`], reassembled by plain concatenation.
+    Trace {
+        /// Zero-based index of this part.
+        part: u16,
+        /// Total parts in the dump.
+        parts: u16,
+        /// This part's whole JSONL lines.
+        text: String,
+    },
     /// The request failed on the service side.
     Error {
         /// Human-readable reason.
@@ -94,6 +111,7 @@ const TAG_FIDDLE: u8 = 0x03;
 const TAG_LIST: u8 = 0x04;
 const TAG_PING: u8 = 0x05;
 const TAG_SCRAPE: u8 = 0x06;
+const TAG_TRACE_DUMP: u8 = 0x07;
 
 const TAG_TEMP: u8 = 0x81;
 const TAG_ACK: u8 = 0x82;
@@ -101,6 +119,7 @@ const TAG_NODES: u8 = 0x83;
 const TAG_PONG: u8 = 0x84;
 const TAG_ERR: u8 = 0x85;
 const TAG_METRICS: u8 = 0x86;
+const TAG_TRACE: u8 = 0x87;
 
 fn put_str(buf: &mut Vec<u8>, s: &str) {
     let bytes = s.as_bytes();
@@ -164,6 +183,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Ping => buf.put_u8(TAG_PING),
         Request::Scrape => buf.put_u8(TAG_SCRAPE),
+        Request::TraceDump => buf.put_u8(TAG_TRACE_DUMP),
     }
     buf
 }
@@ -232,17 +252,17 @@ pub fn decode_request(mut data: &[u8]) -> Result<Request, Error> {
         }),
         TAG_PING => Ok(Request::Ping),
         TAG_SCRAPE => Ok(Request::Scrape),
+        TAG_TRACE_DUMP => Ok(Request::TraceDump),
         other => Err(Error::protocol(format!("unknown request tag {other:#04x}"))),
     }
 }
 
-/// Splits a rendered telemetry exposition into [`Reply::Metrics`] parts
-/// that each encode within [`MAX_DATAGRAM`], breaking at line boundaries
-/// so every part is independently parseable and the client reassembles
-/// by plain concatenation. (A single line longer than one datagram — not
-/// something the registry produces — is hard-split as a fallback rather
-/// than dropped.)
-pub fn metrics_replies(text: &str) -> Vec<Reply> {
+/// Splits a multi-line text document into chunks that each fit a
+/// part-numbered reply datagram, breaking at line boundaries so every
+/// chunk carries whole lines and the client reassembles by plain
+/// concatenation. (A single line longer than one datagram is hard-split
+/// as a fallback rather than dropped.)
+fn chunk_lines(text: &str) -> Vec<String> {
     // Tag + part + parts + length prefix = 7 bytes of header.
     const BUDGET: usize = MAX_DATAGRAM - 7;
     let mut chunks: Vec<String> = vec![String::new()];
@@ -267,11 +287,35 @@ pub fn metrics_replies(text: &str) -> Vec<Reply> {
         }
         push(rest);
     }
+    chunks
+}
+
+/// Splits a rendered telemetry exposition into [`Reply::Metrics`] parts
+/// that each encode within [`MAX_DATAGRAM`] (see [`chunk_lines`]).
+pub fn metrics_replies(text: &str) -> Vec<Reply> {
+    let chunks = chunk_lines(text);
     let parts = chunks.len() as u16;
     chunks
         .into_iter()
         .enumerate()
         .map(|(i, text)| Reply::Metrics {
+            part: i as u16,
+            parts,
+            text,
+        })
+        .collect()
+}
+
+/// Splits a JSONL span dump into [`Reply::Trace`] parts that each
+/// encode within [`MAX_DATAGRAM`] (see [`chunk_lines`]). Span objects
+/// are one per line, so every part parses on its own.
+pub fn trace_replies(text: &str) -> Vec<Reply> {
+    let chunks = chunk_lines(text);
+    let parts = chunks.len() as u16;
+    chunks
+        .into_iter()
+        .enumerate()
+        .map(|(i, text)| Reply::Trace {
             part: i as u16,
             parts,
             text,
@@ -305,6 +349,19 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             debug_assert!(
                 bytes.len() <= MAX_DATAGRAM - 7,
                 "metrics part must leave room for its header"
+            );
+            let len = bytes.len().min(MAX_DATAGRAM - 7);
+            buf.put_u16(len as u16);
+            buf.put_slice(&bytes[..len]);
+        }
+        Reply::Trace { part, parts, text } => {
+            buf.put_u8(TAG_TRACE);
+            buf.put_u16(*part);
+            buf.put_u16(*parts);
+            let bytes = text.as_bytes();
+            debug_assert!(
+                bytes.len() <= MAX_DATAGRAM - 7,
+                "trace part must leave room for its header"
             );
             let len = bytes.len().min(MAX_DATAGRAM - 7);
             buf.put_u16(len as u16);
@@ -373,6 +430,24 @@ pub fn decode_reply(mut data: &[u8]) -> Result<Reply, Error> {
                 .to_string();
             Ok(Reply::Metrics { part, parts, text })
         }
+        TAG_TRACE => {
+            if buf.remaining() < 6 {
+                return Err(Error::protocol("truncated trace header"));
+            }
+            let part = buf.get_u16();
+            let parts = buf.get_u16();
+            let len = buf.get_u16() as usize;
+            if buf.remaining() < len {
+                return Err(Error::protocol("truncated trace body"));
+            }
+            if part >= parts {
+                return Err(Error::protocol("trace part index out of range"));
+            }
+            let text = std::str::from_utf8(&buf[..len])
+                .map_err(|_| Error::protocol("trace text is not valid UTF-8"))?
+                .to_string();
+            Ok(Reply::Trace { part, parts, text })
+        }
         TAG_ERR => {
             if buf.remaining() < 2 {
                 return Err(Error::protocol("truncated error length"));
@@ -410,6 +485,7 @@ mod tests {
     fn requests_round_trip() {
         round_trip_request(Request::Ping);
         round_trip_request(Request::Scrape);
+        round_trip_request(Request::TraceDump);
         round_trip_request(Request::ReadTemperature {
             machine: "machine1".into(),
             node: "disk_shell".into(),
@@ -449,6 +525,46 @@ mod tests {
             parts: 3,
             text: "mercury_solver_ticks_total 42\n".into(),
         });
+        round_trip_reply(Reply::Trace {
+            part: 0,
+            parts: 2,
+            text: "{\"id\":1,\"name\":\"cluster.tick\"}\n".into(),
+        });
+    }
+
+    #[test]
+    fn trace_split_reassembles_and_fits_datagrams() {
+        // ~200 span lines: forces multiple parts.
+        let mut doc = String::new();
+        for i in 1..=200u64 {
+            doc.push_str(&format!(
+                "{{\"id\":{i},\"parent\":0,\"tid\":0,\"start_ns\":{},\"dur_ns\":10,\
+                 \"cat\":\"solver\",\"name\":\"cluster.tick\",\"args\":{{}}}}\n",
+                i * 1000
+            ));
+        }
+        let replies = trace_replies(&doc);
+        assert!(replies.len() > 1, "expected a multi-part dump");
+        let mut reassembled = String::new();
+        for (i, reply) in replies.iter().enumerate() {
+            let encoded = encode_reply(reply);
+            assert!(encoded.len() <= MAX_DATAGRAM, "part {i} oversized");
+            match decode_reply(&encoded).unwrap() {
+                Reply::Trace { part, parts, text } => {
+                    assert_eq!(part as usize, i);
+                    assert_eq!(parts as usize, replies.len());
+                    assert!(text.ends_with('\n'), "parts carry whole lines");
+                    reassembled.push_str(&text);
+                }
+                other => panic!("expected Trace, got {other:?}"),
+            }
+        }
+        assert_eq!(reassembled, doc);
+        // Each reassembled line parses as a span.
+        assert_eq!(
+            telemetry::trace::parse_jsonl(&reassembled).unwrap().len(),
+            200
+        );
     }
 
     #[test]

@@ -7,13 +7,27 @@ use crate::model::{ClusterModel, MachineModel};
 use crate::solver::{ClusterSolver, Solver, SolverConfig};
 use crate::units::Utilization;
 use parking_lot::Mutex;
+use std::borrow::Cow;
 use std::collections::HashSet;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use telemetry::{Registry, Severity};
+use telemetry::{Registry, Severity, Tracer};
+
+/// Most recent spans a [`Request::TraceDump`] answers with. Bounded so a
+/// dump stays a few hundred datagrams even when the tracer's ring is at
+/// full capacity.
+const TRACE_DUMP_SPANS: usize = 2048;
+
+/// A trace dump is a one-shot burst with no flow control, and at a few
+/// hundred datagrams it overruns the receiver's socket buffer (~208 KiB
+/// by default on Linux) long before the client can drain it. Yielding
+/// for a moment every `TRACE_BURST` parts keeps the in-flight window
+/// well under that buffer.
+const TRACE_BURST: usize = 32;
+const TRACE_BURST_PAUSE: Duration = Duration::from_millis(2);
 
 /// The emulated system behind a service: one machine or a whole room.
 ///
@@ -112,11 +126,14 @@ impl EmulatedSystem {
                 }
                 Ok(Reply::Ack)
             }
-            // Scrapes are answered by the UDP front end straight from
-            // the registry (no solver lock); reaching here means a
-            // caller bypassed it.
+            // Scrapes and trace dumps are answered by the UDP front end
+            // straight from the registry/tracer (no solver lock);
+            // reaching here means a caller bypassed it.
             Request::Scrape => Err(Error::invalid_input(
                 "scrape requests are answered by the service front end, not the solver",
+            )),
+            Request::TraceDump => Err(Error::invalid_input(
+                "trace dumps are answered by the service front end, not the solver",
             )),
         }
     }
@@ -135,6 +152,12 @@ pub struct ServiceConfig {
     pub tick_wall: Duration,
     /// Solver configuration (tick length in *emulated* seconds, etc.).
     pub solver: SolverConfig,
+    /// Span tracer shared by the service: the request thread records
+    /// the request lifecycle (`net.request` → `net.decode` /
+    /// `net.handle` / `net.reply`), a cluster solver records its tick
+    /// phases into it, and [`Request::TraceDump`] answers from it. The
+    /// default detached tracer makes every span site a no-op.
+    pub tracer: Tracer,
 }
 
 impl Default for ServiceConfig {
@@ -143,6 +166,7 @@ impl Default for ServiceConfig {
             bind: "127.0.0.1:0".parse().expect("valid literal address"),
             tick_wall: Duration::from_secs(1),
             solver: SolverConfig::default(),
+            tracer: Tracer::default(),
         }
     }
 }
@@ -183,6 +207,8 @@ pub struct SolverService {
     /// The scrape surface: solver and net metrics register here at
     /// spawn; callers may add their own before scraping.
     registry: Arc<Registry>,
+    /// The span tracer from [`ServiceConfig::tracer`].
+    tracer: Tracer,
 }
 
 impl SolverService {
@@ -207,21 +233,27 @@ impl SolverService {
         Self::spawn(EmulatedSystem::Cluster(solver), cfg)
     }
 
-    fn spawn(system: EmulatedSystem, cfg: ServiceConfig) -> Result<Self, Error> {
+    fn spawn(mut system: EmulatedSystem, cfg: ServiceConfig) -> Result<Self, Error> {
         let socket = UdpSocket::bind(cfg.bind)?;
         socket.set_read_timeout(Some(Duration::from_millis(20)))?;
         let addr = socket.local_addr()?;
 
         // Build the scrape surface before the system disappears behind
         // its mutex: the solver's always-on handles register here, so a
-        // scrape needs no solver lock.
+        // scrape needs no solver lock. Cluster solvers also adopt the
+        // service tracer so tick-phase spans land in the same dump as
+        // the request lifecycle.
         let registry = Registry::shared();
-        match &system {
+        match &mut system {
             EmulatedSystem::Single(s) => s.metrics().register(&registry),
-            EmulatedSystem::Cluster(c) => c.metrics().register(&registry),
+            EmulatedSystem::Cluster(c) => {
+                c.metrics().register(&registry);
+                c.set_tracer(cfg.tracer.clone());
+            }
         }
         let net = NetMetrics::new();
         net.register(&registry);
+        crate::build::register_build_info(&registry);
 
         let system = Arc::new(Mutex::new(system));
         let stop = Arc::new(AtomicBool::new(false));
@@ -248,6 +280,7 @@ impl SolverService {
             let stop = Arc::clone(&stop);
             let registry = Arc::clone(&registry);
             let net = net.clone();
+            let tracer = cfg.tracer.clone();
             std::thread::Builder::new()
                 .name("mercury-udp".into())
                 .spawn(move || {
@@ -275,7 +308,11 @@ impl SolverService {
                                 .unwrap_or(u64::MAX);
                             net.interarrival_nanos.observe(nanos);
                         }
-                        match proto::decode_request(&buf[..n]) {
+                        let req_span = tracer.start("net.request", "net");
+                        let decode_span = tracer.start_child("net.decode", "net", req_span.id());
+                        let decoded = proto::decode_request(&buf[..n]);
+                        tracer.end(decode_span);
+                        match decoded {
                             Ok(Request::Scrape) => {
                                 // Answered from the registry alone — a
                                 // scrape never blocks on the solver.
@@ -286,14 +323,43 @@ impl SolverService {
                                     let _ = socket.send_to(&proto::encode_reply(&reply), peer);
                                 }
                             }
+                            Ok(Request::TraceDump) => {
+                                // Answered from the tracer alone. A
+                                // detached tracer dumps a single empty
+                                // part.
+                                net.requests_trace.inc();
+                                let spans = tracer.recent(TRACE_DUMP_SPANS);
+                                let text = telemetry::trace::to_jsonl(&spans);
+                                for (i, reply) in proto::trace_replies(&text).iter().enumerate() {
+                                    if i > 0 && i % TRACE_BURST == 0 {
+                                        std::thread::sleep(TRACE_BURST_PAUSE);
+                                    }
+                                    net.replies.inc();
+                                    let _ = socket.send_to(&proto::encode_reply(reply), peer);
+                                }
+                            }
                             Ok(request) => {
                                 net.request_counter(&request).inc();
+                                let handle_span =
+                                    tracer.start_child("net.handle", "net", req_span.id());
                                 let reply = system.lock().handle(request);
+                                tracer.end(handle_span);
+                                let reply_span =
+                                    tracer.start_child("net.reply", "net", req_span.id());
                                 net.replies.inc();
                                 let _ = socket.send_to(&proto::encode_reply(&reply), peer);
+                                tracer.end(reply_span);
                             }
                             Err(e) => {
                                 net.malformed.inc();
+                                if tracer.is_active() {
+                                    tracer.instant(
+                                        "net.malformed",
+                                        "net",
+                                        req_span.id(),
+                                        vec![(Cow::Borrowed("error"), e.to_string())],
+                                    );
+                                }
                                 if malformed_peers.insert(peer) {
                                     let peer_s = peer.to_string();
                                     let error_s = e.to_string();
@@ -310,6 +376,10 @@ impl SolverService {
                                 let _ = socket.send_to(&proto::encode_reply(&reply), peer);
                             }
                         }
+                        if req_span.is_live() {
+                            let args = vec![(Cow::Borrowed("peer"), peer.to_string())];
+                            tracer.end_with_args(req_span, args);
+                        }
                     }
                 })
                 .map_err(Error::Io)?
@@ -321,6 +391,7 @@ impl SolverService {
             stop,
             threads: vec![ticker, handler],
             registry,
+            tracer: cfg.tracer,
         })
     }
 
@@ -331,6 +402,13 @@ impl SolverService {
     /// and they appear in subsequent scrapes.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
+    }
+
+    /// The service's span tracer (from [`ServiceConfig::tracer`]) — the
+    /// store a [`Request::TraceDump`] answers from. Detached unless one
+    /// was supplied at spawn.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The address the service is listening on.
@@ -605,6 +683,61 @@ mod tests {
             events.iter().any(|e| e.message == "malformed datagram"),
             "missing malformed-datagram event in {events:?}"
         );
+        service.shutdown();
+    }
+
+    #[test]
+    #[cfg(feature = "instrument")]
+    fn trace_dump_returns_request_and_tick_spans() {
+        let cluster = presets::validation_cluster(2);
+        let cfg = ServiceConfig {
+            tracer: Tracer::new(4096),
+            ..ServiceConfig::fast()
+        };
+        let service = SolverService::spawn_cluster(&cluster, cfg).unwrap();
+        let addr = service.local_addr();
+        assert_eq!(send(addr, &Request::Ping), Reply::Pong);
+        // Let the ticker record a few cluster ticks.
+        std::thread::sleep(Duration::from_millis(50));
+
+        let socket = UdpSocket::bind("127.0.0.1:0").unwrap();
+        socket.connect(addr).unwrap();
+        socket
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        socket
+            .send(&proto::encode_request(&Request::TraceDump))
+            .unwrap();
+        let mut buf = [0u8; proto::MAX_DATAGRAM];
+        let mut received = std::collections::BTreeMap::new();
+        loop {
+            let n = socket.recv(&mut buf).unwrap();
+            match proto::decode_reply(&buf[..n]).unwrap() {
+                Reply::Trace { part, parts, text } => {
+                    received.insert(part, text);
+                    if received.len() == parts as usize {
+                        break;
+                    }
+                }
+                other => panic!("unexpected trace reply {other:?}"),
+            }
+        }
+        let text: String = received.into_values().collect();
+        let spans = telemetry::trace::parse_jsonl(&text).unwrap();
+        assert!(!spans.is_empty());
+        // The ping's full lifecycle is in the dump, parented to one
+        // net.request span, alongside the solver's tick spans.
+        let req = spans
+            .iter()
+            .find(|s| s.name == "net.request")
+            .expect("request span");
+        for name in ["net.decode", "net.handle", "net.reply"] {
+            assert!(
+                spans.iter().any(|s| s.name == name && s.parent == req.id),
+                "missing {name} under net.request"
+            );
+        }
+        assert!(spans.iter().any(|s| s.name == "cluster.tick"));
         service.shutdown();
     }
 

@@ -10,8 +10,10 @@ use super::simd::SimdBackend;
 use crate::error::Error;
 use crate::model::ClusterModel;
 use crate::units::{Celsius, Seconds, Utilization};
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::time::Instant;
+use telemetry::Tracer;
 
 /// Below this cluster size the automatic thread policy stays serial: the
 /// per-tick work of a handful of machines is cheaper than waking a thread
@@ -116,6 +118,9 @@ pub struct ClusterSolver {
     /// Runtime instrumentation switch (default on), cascaded to every
     /// machine solver; see [`ClusterSolver::set_instrumentation`].
     instrumented: bool,
+    /// Span tracer for tick-phase causal tracing (detached by default);
+    /// see [`ClusterSolver::set_tracer`].
+    tracer: Tracer,
 }
 
 impl ClusterSolver {
@@ -175,6 +180,7 @@ impl ClusterSolver {
             dt: cfg.dt,
             metrics,
             instrumented: true,
+            tracer: Tracer::default(),
         })
     }
 
@@ -468,6 +474,27 @@ impl ClusterSolver {
         }
     }
 
+    /// Attaches a span [`Tracer`]: every tick records its phase spans
+    /// (`cluster.tick` → `cluster.mix` / `cluster.machines` →
+    /// `batch.plan` / `batch.gather` / `cluster.sweep` /
+    /// `batch.scatter`), fused replay records one `cluster.fused_span`
+    /// boundary per span, and the tick pool records per-worker
+    /// `pool.worker` busy spans on sampled runs (the same
+    /// 1-in-[`TICK_LATENCY_SAMPLE`] cadence as the busy/idle gauges, so
+    /// the tracing-on overhead contract holds). A detached tracer (the
+    /// default) makes every span site a cheap no-op, and tracing never
+    /// touches the numerics — trajectories are bit-identical with or
+    /// without it.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.pool.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// The attached span tracer (detached by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
     /// The thread count [`ClusterSolver::step`] will actually use.
     pub fn effective_threads(&self) -> usize {
         let n = self.machines.len();
@@ -493,6 +520,10 @@ impl ClusterSolver {
         } else {
             None
         };
+        let tick_span = self.tracer.start("cluster.tick", "solver");
+        let mix_span = self
+            .tracer
+            .start_child("cluster.mix", "solver", tick_span.id());
         // Phase 0: observe every machine's previous-tick exhaust once.
         for m in 0..self.machines.len() {
             self.exhaust_scratch[m] =
@@ -525,9 +556,15 @@ impl ClusterSolver {
             }
         }
 
+        self.tracer.end(mix_span);
+
         // Phase 3: step every machine; all cross-machine reads happened
         // above, so the fan-out is embarrassingly parallel.
-        self.step_machines();
+        let machines_span = self
+            .tracer
+            .start_child("cluster.machines", "solver", tick_span.id());
+        self.step_machines(machines_span.id());
+        self.tracer.end(machines_span);
         self.time.0 += self.dt.0;
         if self.instrumented {
             self.metrics.ticks.inc();
@@ -536,12 +573,20 @@ impl ClusterSolver {
                 self.metrics.tick_nanos.observe(nanos);
             }
         }
+        if tick_span.is_live() {
+            let args = vec![
+                (Cow::Borrowed("time_s"), format!("{}", self.time.0)),
+                (Cow::Borrowed("machines"), self.machines.len().to_string()),
+            ];
+            self.tracer.end_with_args(tick_span, args);
+        }
     }
 
-    fn step_machines(&mut self) {
+    fn step_machines(&mut self, parent: u64) {
         // Partition the cluster: structurally identical, unfiddled
         // machines step batched; the rest step per-machine. The plan is
         // rebuilt only when membership changes.
+        let plan_span = self.tracer.start_child("batch.plan", "solver", parent);
         if self.batching {
             if let Some(demotions) = self.batch.plan(&mut self.machines) {
                 // Replanned: record the new plan's shape once.
@@ -553,11 +598,16 @@ impl ClusterSolver {
                 }
             }
         }
+        self.tracer.end(plan_span);
         // Gather batched machines' inputs into the chunk matrices
         // (serial: touches every member solver).
+        let gather_span = self.tracer.start_child("batch.gather", "solver", parent);
         self.batch.begin_tick(&mut self.machines);
+        self.tracer.end(gather_span);
 
         let threads = self.effective_threads();
+        let sweep_span = self.tracer.start_child("cluster.sweep", "solver", parent);
+        let sweep_id = sweep_span.id();
         if threads <= 1 {
             for (i, m) in self.machines.iter_mut().enumerate() {
                 if !self.batch.is_batched(i) {
@@ -596,6 +646,7 @@ impl ClusterSolver {
                         &mut self.pool_runs,
                         &mut items,
                         threads,
+                        sweep_id,
                     );
                 }
                 // The legacy per-tick scoped spawn, kept as the
@@ -638,9 +689,13 @@ impl ClusterSolver {
             }
         }
 
+        self.tracer.end(sweep_span);
+
         // Scatter batched results back and book per-machine accounting
         // (serial: touches every member solver).
+        let scatter_span = self.tracer.start_child("batch.scatter", "solver", parent);
         self.batch.finish_tick(&mut self.machines);
+        self.tracer.end(scatter_span);
 
         // Bulk tick accounting for the batched path: a handful of adds
         // per room tick (the solo path counts itself in Solver::step).
@@ -754,6 +809,10 @@ impl ClusterSolver {
         } else {
             None
         };
+        // One boundary span per fused region — per-tick spans inside the
+        // span would defeat the point of fusing.
+        let trace_span = self.tracer.start("cluster.fused_span", "solver");
+        let trace_id = trace_span.id();
         let threads = self.effective_threads();
         let n = self.machines.len();
         let lane = self.batch.lane_map(n);
@@ -843,6 +902,7 @@ impl ClusterSolver {
                     &mut self.pool_runs,
                     &mut items,
                     threads,
+                    trace_id,
                 );
             }
 
@@ -890,12 +950,22 @@ impl ClusterSolver {
                 self.metrics.tick_nanos.observe(nanos / span_u64);
             }
         }
+        if trace_span.is_live() {
+            let args = vec![
+                (Cow::Borrowed("ticks"), span.to_string()),
+                (Cow::Borrowed("machines"), n.to_string()),
+            ];
+            self.tracer.end_with_args(trace_span, args);
+        }
     }
 }
 
 /// Runs a unified work-item list on the persistent pool and books the
 /// pool's telemetry: queue depth and resize count every run, busy/idle
-/// nanoseconds on 1-in-[`TICK_LATENCY_SAMPLE`] sampled runs.
+/// nanoseconds on 1-in-[`TICK_LATENCY_SAMPLE`] sampled runs. Worker
+/// busy spans follow the same sampling cadence: `trace_parent` is only
+/// forwarded on sampled runs, so an attached tracer adds per-worker
+/// spans at 1-in-[`TICK_LATENCY_SAMPLE`] density rather than per tick.
 fn run_on_pool(
     pool: &mut TickPool,
     metrics: &ClusterMetrics,
@@ -903,13 +973,19 @@ fn run_on_pool(
     pool_runs: &mut u64,
     items: &mut [WorkItem<'_>],
     threads: usize,
+    trace_parent: u64,
 ) {
     let sample =
         telemetry::enabled() && instrumented && pool_runs.is_multiple_of(TICK_LATENCY_SAMPLE);
     *pool_runs += 1;
     let depth = items.len() as u64;
     let resizes_before = pool.resizes();
-    let stats = pool.run(items, threads, sample);
+    let stats = pool.run(
+        items,
+        threads,
+        sample,
+        if sample { trace_parent } else { 0 },
+    );
     if instrumented {
         metrics.pool_queue_depth.observe(depth);
         metrics.pool_resizes.add(pool.resizes() - resizes_before);
@@ -1178,6 +1254,69 @@ mod tests {
         s.step_for(5);
         assert_eq!(s.metrics().ticks.get(), 10);
         assert_eq!(s.metrics().solver.ticks.get(), 120);
+    }
+
+    #[test]
+    #[cfg(feature = "instrument")]
+    fn tick_spans_narrate_the_causal_phases() {
+        let cluster = presets::validation_cluster(12);
+        let mut s = ClusterSolver::new(&cluster, SolverConfig::default()).unwrap();
+        let tracer = Tracer::new(4096);
+        s.set_tracer(tracer.clone());
+        s.set_threads(2);
+        s.step();
+
+        let spans = tracer.recent(100);
+        let find = |name: &str| {
+            spans
+                .iter()
+                .find(|r| r.name == name)
+                .unwrap_or_else(|| panic!("missing span {name}"))
+        };
+        let tick = find("cluster.tick");
+        assert_eq!(find("cluster.mix").parent, tick.id);
+        let machines = find("cluster.machines");
+        assert_eq!(machines.parent, tick.id);
+        for name in [
+            "batch.plan",
+            "batch.gather",
+            "cluster.sweep",
+            "batch.scatter",
+        ] {
+            assert_eq!(find(name).parent, machines.id, "{name}");
+        }
+        // The first pool run is sampled, so each worker recorded a busy
+        // span under the sweep, on its own display lane.
+        let sweep = find("cluster.sweep");
+        let workers: Vec<_> = spans.iter().filter(|r| r.name == "pool.worker").collect();
+        assert_eq!(workers.len(), 2);
+        for w in &workers {
+            assert_eq!(w.parent, sweep.id);
+            assert!(w.tid >= 1, "worker lanes start at 1");
+        }
+
+        // Fused replay records one boundary span for the whole region.
+        s.step_for(10);
+        let spans = tracer.recent(1000);
+        let fused = spans
+            .iter()
+            .find(|r| r.name == "cluster.fused_span")
+            .expect("fused boundary span");
+        let ticks = fused.args.iter().find(|(k, _)| k == "ticks").unwrap();
+        assert_eq!(ticks.1, "9", "step_for(10) = 1 normal tick + 9 fused");
+
+        // Tracing never touches the numerics.
+        let mut untraced = ClusterSolver::new(&cluster, SolverConfig::default()).unwrap();
+        untraced.set_threads(2);
+        untraced.step();
+        untraced.step_for(10);
+        for m in 0..s.len() {
+            let a = s.machine_at(m).temperatures();
+            let b = untraced.machine_at(m).temperatures();
+            for ((name, ta), (_, tb)) in a.iter().zip(&b) {
+                assert_eq!(ta.0.to_bits(), tb.0.to_bits(), "machine {m} node {name}");
+            }
+        }
     }
 
     #[test]

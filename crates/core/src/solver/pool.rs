@@ -41,11 +41,13 @@
 
 use super::batch::{Chunk, SharedOp};
 use super::machine::Solver;
+use std::borrow::Cow;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
+use telemetry::Tracer;
 
 /// One unit of independent per-tick work.
 pub(crate) enum WorkItem<'a> {
@@ -97,6 +99,12 @@ struct State {
     active: usize,
     /// Whether workers should time themselves this run.
     sample: bool,
+    /// Span id the workers' busy spans parent to this run (0 = don't
+    /// record busy spans).
+    trace_parent: u64,
+    /// The span tracer worker busy spans record into (detached by
+    /// default; see [`TickPool::set_tracer`]).
+    tracer: Tracer,
     shutdown: bool,
 }
 
@@ -121,6 +129,8 @@ pub(crate) struct TickPool {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
     resizes: u64,
+    /// Kept on the pool so a resize can seed the fresh shared state.
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for TickPool {
@@ -138,7 +148,17 @@ impl TickPool {
             shared: Self::fresh_shared(),
             workers: Vec::new(),
             resizes: 0,
+            tracer: Tracer::default(),
         }
+    }
+
+    /// Attaches the span tracer worker busy spans record into. Workers
+    /// pick it up at their next epoch; a detached tracer (the default)
+    /// makes the busy-span sites free.
+    pub(crate) fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer.clone();
+        let mut state = self.shared.state.lock().unwrap();
+        state.tracer = tracer;
     }
 
     fn fresh_shared() -> Arc<Shared> {
@@ -171,12 +191,13 @@ impl TickPool {
         }
         self.teardown();
         self.shared = Self::fresh_shared();
+        self.shared.state.lock().unwrap().tracer = self.tracer.clone();
         self.workers = (0..threads)
             .map(|i| {
                 let shared = Arc::clone(&self.shared);
                 std::thread::Builder::new()
                     .name(format!("mercury-tick-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawn tick worker")
             })
             .collect();
@@ -199,7 +220,10 @@ impl TickPool {
 
     /// Executes every item once across exactly `threads` workers and
     /// returns when all are done. With `sample` set, workers time their
-    /// busy span and the result carries a [`RunSample`].
+    /// busy span and the result carries a [`RunSample`]. A nonzero
+    /// `trace_parent` asks each worker to record its busy interval as a
+    /// `pool.worker` span under that parent (a no-op unless a tracer is
+    /// attached and active).
     ///
     /// # Panics
     ///
@@ -209,6 +233,7 @@ impl TickPool {
         items: &mut [WorkItem<'_>],
         threads: usize,
         sample: bool,
+        trace_parent: u64,
     ) -> Option<RunSample> {
         debug_assert!(threads > 0, "a parallel run needs at least one worker");
         self.resize(threads);
@@ -222,6 +247,7 @@ impl TickPool {
             state.len = items.len();
             state.active = self.workers.len();
             state.sample = sample;
+            state.trace_parent = trace_parent;
             state.epoch += 1;
             self.shared.next.store(0, Ordering::Relaxed);
             if sample {
@@ -252,11 +278,11 @@ impl Drop for TickPool {
 // The crate denies `unsafe_code`; this function is the one sanctioned
 // exception (see the module-level # Safety section and `lib.rs`).
 #[allow(unsafe_code)]
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, index: usize) {
     let mut seen = 0u64;
     loop {
         // Park until a new epoch (or shutdown) is published.
-        let (base, len, sample) = {
+        let (base, len, sample, trace_parent, tracer) = {
             let mut state = shared.state.lock().unwrap();
             loop {
                 if state.shutdown {
@@ -264,17 +290,35 @@ fn worker_loop(shared: &Shared) {
                 }
                 if state.epoch != seen {
                     seen = state.epoch;
-                    break (state.base, state.len, state.sample);
+                    break (
+                        state.base,
+                        state.len,
+                        state.sample,
+                        state.trace_parent,
+                        state.tracer.clone(),
+                    );
                 }
                 state = shared.work.wait(state).unwrap();
             }
         };
+        // Busy-span tracing: one `pool.worker` span per sampled epoch,
+        // on this worker's own display lane (tid `1 + index`).
+        let mut local = if trace_parent != 0 && tracer.is_active() {
+            Some(tracer.local(1 + index as u32))
+        } else {
+            None
+        };
+        let busy_span = local
+            .as_ref()
+            .map(|l| l.start("pool.worker", "solver", trace_parent));
         let started = if sample { Some(Instant::now()) } else { None };
+        let mut ran = 0u64;
         loop {
             let i = shared.next.fetch_add(1, Ordering::Relaxed);
             if i >= len {
                 break;
             }
+            ran += 1;
             // SAFETY: `i` is unique to this worker (fetch_add), in
             // bounds, and the driver keeps the slice alive until the
             // barrier below — so this is an unaliased &mut.
@@ -286,6 +330,12 @@ fn worker_loop(shared: &Shared) {
         if let Some(started) = started {
             let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
             shared.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
+        }
+        if let (Some(local), Some(span)) = (local.as_mut(), busy_span) {
+            local.end_with_args(span, vec![(Cow::Borrowed("items"), ran.to_string())]);
+            // Flush before the barrier so the driver sees this epoch's
+            // spans as soon as `run` returns.
+            local.flush();
         }
         // Completion barrier: the mutex write-release here is also what
         // publishes this worker's item writes to the driver.
@@ -315,7 +365,7 @@ mod tests {
         let mut pool = TickPool::new();
         for _ in 0..5 {
             let mut items = [WorkItem::Step(&mut a), WorkItem::Step(&mut b)];
-            pool.run(&mut items, 2, false);
+            pool.run(&mut items, 2, false, 0);
             reference.step();
         }
         assert_eq!(pool.worker_count(), 2);
@@ -332,9 +382,9 @@ mod tests {
     fn pool_resizes_on_demand() {
         let mut a = solver();
         let mut pool = TickPool::new();
-        pool.run(&mut [WorkItem::Step(&mut a)], 3, false);
+        pool.run(&mut [WorkItem::Step(&mut a)], 3, false, 0);
         assert_eq!(pool.worker_count(), 3);
-        pool.run(&mut [WorkItem::Step(&mut a)], 1, false);
+        pool.run(&mut [WorkItem::Step(&mut a)], 1, false, 0);
         assert_eq!(pool.worker_count(), 1);
         assert_eq!(pool.resizes(), 2);
     }
@@ -349,6 +399,7 @@ mod tests {
                 &mut [WorkItem::Step(&mut a), WorkItem::Step(&mut b)],
                 2,
                 true,
+                0,
             )
             .expect("sampled run returns stats");
         assert!(stats.run_nanos > 0);
@@ -358,6 +409,35 @@ mod tests {
     #[test]
     fn empty_run_completes() {
         let mut pool = TickPool::new();
-        assert!(pool.run(&mut [], 2, false).is_none());
+        assert!(pool.run(&mut [], 2, false, 0).is_none());
+    }
+
+    #[test]
+    #[cfg(feature = "instrument")]
+    fn workers_record_busy_spans_under_the_given_parent() {
+        let tracer = Tracer::new(256);
+        let mut a = solver();
+        let mut b = solver();
+        let mut pool = TickPool::new();
+        pool.set_tracer(tracer.clone());
+        pool.run(
+            &mut [WorkItem::Step(&mut a), WorkItem::Step(&mut b)],
+            2,
+            false,
+            42,
+        );
+        let spans = tracer.recent(10);
+        assert_eq!(spans.len(), 2, "one busy span per worker");
+        let mut tids: Vec<u32> = spans.iter().map(|s| s.tid).collect();
+        tids.sort_unstable();
+        assert_eq!(tids, [1, 2], "workers use their own display lanes");
+        for s in &spans {
+            assert_eq!(s.name, "pool.worker");
+            assert_eq!(s.parent, 42);
+            assert!(s.args.iter().any(|(k, _)| k == "items"));
+        }
+        // A zero trace parent suppresses busy spans entirely.
+        pool.run(&mut [WorkItem::Step(&mut a)], 2, false, 0);
+        assert_eq!(tracer.recent(10).len(), 2);
     }
 }

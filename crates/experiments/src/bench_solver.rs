@@ -381,6 +381,47 @@ fn time_instrumentation(n: usize, ticks: usize, instrumented: bool, runs: usize)
     Ok(best)
 }
 
+/// How the span tracer is wired into a [`time_tracing`] run.
+#[derive(Clone, Copy, PartialEq)]
+enum TraceMode {
+    /// No tracer attached — every span site is a no-op (the default).
+    Detached,
+    /// Tracer attached but switched off: the cost of the attachment
+    /// check alone. This must be free — it is what every untraced
+    /// production run pays once the binary carries `instrument`.
+    AttachedOff,
+    /// Tracer attached and recording: the full span-recording cost.
+    AttachedOn,
+}
+
+/// Best-of-`runs` wall time for `ticks` per-tick batched cluster steps
+/// at `n` machines under one tracer wiring. Per-tick stepping on
+/// purpose: tick-phase spans record every tick, so fused replay would
+/// amortize exactly the cost being measured.
+fn time_tracing(n: usize, ticks: usize, mode: TraceMode, runs: usize) -> Result<f64> {
+    let model = presets::validation_cluster(n);
+    let mut s = ClusterSolver::new(&model, SolverConfig::default())?;
+    match mode {
+        TraceMode::Detached => {}
+        TraceMode::AttachedOff | TraceMode::AttachedOn => {
+            let tracer = telemetry::Tracer::new(telemetry::trace::DEFAULT_SPAN_CAPACITY);
+            tracer.set_enabled(mode == TraceMode::AttachedOn);
+            s.set_tracer(tracer);
+        }
+    }
+    for i in 1..=n {
+        s.set_utilization(&format!("machine{i}"), nodes::CPU, 0.7)?;
+    }
+    for _ in 0..20 {
+        s.step(); // warm-up (also builds the batch plan)
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        best = best.min(time(|| (0..ticks).for_each(|_| s.step())));
+    }
+    Ok(best)
+}
+
 /// `bench_solver`: single-machine and cluster throughput — the CSR
 /// kernel vs the seed algorithm, and the batched SoA cluster path vs
 /// per-machine stepping at 64/256/1024 replicated machines — written to
@@ -641,8 +682,24 @@ pub fn bench_solver() -> Result {
         "\"telemetry_overhead\": {{\n    \"model\": \"validation_cluster(256)\",\n    \"ticks\": {telem_ticks},\n    \"runs\": {telem_runs},\n    \"instrumented_seconds\": {instrumented_s:.4},\n    \"uninstrumented_seconds\": {uninstrumented_s:.4},\n    \"overhead_pct\": {overhead_pct:.2}\n  }}"
     );
 
+    // --- span tracing overhead: detached / attached-off / attached-on ----
+    // The tracing contract has two halves: a binary that carries the
+    // span sites but runs untraced must pay nothing (hard gate), and a
+    // fully recording run must stay within 2% (soft gate — recording
+    // is opt-in and post-incident, not always-on).
+    let trace_ticks = 300usize;
+    let trace_runs = 3usize;
+    let trace_detached_s = time_tracing(1024, trace_ticks, TraceMode::Detached, trace_runs)?;
+    let trace_off_s = time_tracing(1024, trace_ticks, TraceMode::AttachedOff, trace_runs)?;
+    let trace_on_s = time_tracing(1024, trace_ticks, TraceMode::AttachedOn, trace_runs)?;
+    let trace_off_pct = (trace_off_s / trace_detached_s - 1.0) * 100.0;
+    let trace_on_pct = (trace_on_s / trace_detached_s - 1.0) * 100.0;
+    let trace_json = format!(
+        "\"trace_overhead\": {{\n    \"model\": \"validation_cluster(1024)\",\n    \"ticks\": {trace_ticks},\n    \"runs\": {trace_runs},\n    \"detached_seconds\": {trace_detached_s:.4},\n    \"attached_off_seconds\": {trace_off_s:.4},\n    \"attached_on_seconds\": {trace_on_s:.4},\n    \"attached_off_pct\": {trace_off_pct:.2},\n    \"attached_on_pct\": {trace_on_pct:.2}\n  }}"
+    );
+
     let json = format!(
-        "{{\n  \"hardware\": {{ \"cores\": {cores}, \"peak_rss_bytes\": {rss} }},\n  \"single_machine\": {{\n    \"model\": \"validation_machine\",\n    \"ticks\": {ticks},\n    \"reference_ticks_per_sec\": {machine_ref_tps:.1},\n    \"kernel_ticks_per_sec\": {machine_kern_tps:.1},\n    \"speedup\": {machine_speedup:.2}\n  }},\n  \"cluster_64\": {{\n    \"model\": \"validation_cluster(64)\",\n    \"ticks\": {cluster_ticks},\n    \"reference_seconds\": {cluster_ref_s:.3},\n    \"kernel_serial_seconds\": {cluster_serial_s:.3},\n    \"kernel_batched_seconds\": {cluster_batched_s:.3},\n    {parallel_json},\n    \"reference_ticks_per_sec\": {cluster_ref_tps:.1},\n    \"kernel_serial_ticks_per_sec\": {cluster_serial_tps:.1},\n    \"kernel_batched_ticks_per_sec\": {cluster_batched_tps:.1},\n    \"speedup_vs_reference\": {cluster_speedup:.2}\n  }},\n  {s256},\n  {s1024},\n  {pool_256_json},\n  {pool_1024_json},\n  {fused_256_json},\n  {fused_1024_json},\n  {simd_json},\n  {telemetry_json}\n}}\n"
+        "{{\n  \"hardware\": {{ \"cores\": {cores}, \"peak_rss_bytes\": {rss} }},\n  \"single_machine\": {{\n    \"model\": \"validation_machine\",\n    \"ticks\": {ticks},\n    \"reference_ticks_per_sec\": {machine_ref_tps:.1},\n    \"kernel_ticks_per_sec\": {machine_kern_tps:.1},\n    \"speedup\": {machine_speedup:.2}\n  }},\n  \"cluster_64\": {{\n    \"model\": \"validation_cluster(64)\",\n    \"ticks\": {cluster_ticks},\n    \"reference_seconds\": {cluster_ref_s:.3},\n    \"kernel_serial_seconds\": {cluster_serial_s:.3},\n    \"kernel_batched_seconds\": {cluster_batched_s:.3},\n    {parallel_json},\n    \"reference_ticks_per_sec\": {cluster_ref_tps:.1},\n    \"kernel_serial_ticks_per_sec\": {cluster_serial_tps:.1},\n    \"kernel_batched_ticks_per_sec\": {cluster_batched_tps:.1},\n    \"speedup_vs_reference\": {cluster_speedup:.2}\n  }},\n  {s256},\n  {s1024},\n  {pool_256_json},\n  {pool_1024_json},\n  {fused_256_json},\n  {fused_1024_json},\n  {simd_json},\n  {telemetry_json},\n  {trace_json}\n}}\n"
     );
     std::fs::write("BENCH_solver.json", &json)?;
     println!("wrote BENCH_solver.json");
@@ -725,6 +782,26 @@ pub fn bench_solver() -> Result {
         return Err(format!(
             "telemetry overhead {overhead_pct:.2}% exceeds the 2% contract \
              (instrumented {instrumented_s:.4} s vs uninstrumented {uninstrumented_s:.4} s)"
+        )
+        .into());
+    }
+    measured(&format!(
+        "span tracing, 1024-machine per-tick: detached {trace_detached_s:.3} s, \
+         attached-off {trace_off_s:.3} s ({trace_off_pct:+.2}%), \
+         attached-on {trace_on_s:.3} s ({trace_on_pct:+.2}%)"
+    ));
+    verdict(
+        trace_off_pct <= 2.0,
+        "an attached-but-off tracer costs ≤2% (the untraced production path)",
+    );
+    verdict(
+        trace_on_pct <= 2.0,
+        "full span recording stays within the 2% tracing budget",
+    );
+    if trace_off_pct > 2.0 {
+        return Err(format!(
+            "dormant tracer overhead {trace_off_pct:.2}% exceeds the 2% contract \
+             (attached-off {trace_off_s:.4} s vs detached {trace_detached_s:.4} s)"
         )
         .into());
     }

@@ -44,7 +44,9 @@ usage: experiments <subcommand>
   sec43_throttling  remote (Freon) vs local (DVFS) vs combined throttling
   ablation_fans     fixed vs variable-speed fans under the emergencies
   scenarios         emergency grid x declarative policies league table
-                    (--fast for the CI smoke; --policy <file.toml> to add specs)
+                    (--fast for the CI smoke; --policy <file.toml> to add specs;
+                     --scenario <name> for one cell; --trace for causal spans
+                     + flight-recorder incident bundles in results/incidents/)
   all               everything above, in order
 ";
 

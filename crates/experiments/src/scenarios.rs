@@ -13,14 +13,19 @@
 //! experiments scenarios                 # the full grid
 //! experiments scenarios --fast          # one emergency, short trace (CI)
 //! experiments scenarios --policy my.toml  # add a spec from disk
+//! experiments scenarios --fast --trace --scenario cooling_failure_fast
+//!                                       # causal tracing + flight recorder:
+//!                                       # incident bundles -> results/incidents/
 //! ```
 
-use crate::common::{measured, paper, verdict, write_results};
+use crate::common::{measured, paper, results_dir, verdict, write_results};
 use crate::freon_exp;
 use cluster_sim::{ClusterSim, ServerConfig};
 use freon::policy::SpecPolicy;
 use freon::{Experiment, ExperimentConfig, ExperimentLog, PolicySpec};
 use mercury::fiddle::FiddleScript;
+use mercury::model::NodeSpec;
+use telemetry::{FlightRecorder, RecorderConfig, Tracer};
 use workload_gen::{DiurnalProfile, RequestMix, WorkloadGenerator, WorkloadTrace};
 
 type Result<T = ()> = std::result::Result<T, Box<dyn std::error::Error>>;
@@ -29,6 +34,7 @@ type Result<T = ()> = std::result::Result<T, Box<dyn std::error::Error>>;
 const SERVERS: usize = 4;
 
 /// One thermal emergency, as a fiddle script over the 4-machine room.
+#[derive(Clone, Copy)]
 struct Scenario {
     name: &'static str,
     what: &'static str,
@@ -85,6 +91,19 @@ const FAST_SCENARIO: Scenario = Scenario {
     script: "sleep 60\nfiddle machine1 temperature inlet 40.0\n",
 };
 
+/// A compressed cooling failure for the trace-e2e CI step: every inlet
+/// jumps at 60 s, hot enough that red lines are crossed well inside a
+/// short trace, so the flight recorder has incidents to bundle.
+const FAST_COOLING: Scenario = Scenario {
+    name: "cooling_failure_fast",
+    what: "compressed CRAC failure: every inlet jumps to 40 °C at 60 s",
+    script: "sleep 60\n\
+             fiddle machine1 temperature inlet 40.0\n\
+             fiddle machine2 temperature inlet 40.0\n\
+             fiddle machine3 temperature inlet 40.0\n\
+             fiddle machine4 temperature inlet 40.0\n",
+};
+
 /// TOML-only policies shipped with the freon crate (no Rust structs).
 const SPEC_ONLY: &[&str] = &[
     concat!(
@@ -118,18 +137,56 @@ fn trace(duration: u64) -> WorkloadTrace {
     WorkloadGenerator::new(profile, mix, freon_exp::SEED).generate(duration)
 }
 
+/// Tracing gear for one cell: span tracer, flight recorder with probes
+/// matching the machine's component order, and the bundle directory.
+fn trace_setup(model: &mercury::model::ClusterModel) -> Result<(Tracer, FlightRecorder)> {
+    let probes: Vec<String> = model.machines()[0]
+        .nodes()
+        .iter()
+        .filter_map(|node| match node {
+            NodeSpec::Component(c) => Some(c.name.clone()),
+            NodeSpec::Air(_) => None,
+        })
+        .collect();
+    let recorder = FlightRecorder::new(RecorderConfig {
+        probes,
+        // Red-line incidents from the policy are the main trigger; the
+        // band sits just above the paper's CPU red line so the recorder
+        // also fires on unmanaged runaway.
+        band_high_c: 70.0,
+        // A fiddled inlet jumps instantaneously; don't let that mask
+        // the incident itself.
+        max_rate_c_per_s: 25.0,
+        ..RecorderConfig::default()
+    });
+    Ok((
+        Tracer::new(telemetry::trace::DEFAULT_SPAN_CAPACITY),
+        recorder,
+    ))
+}
+
 fn run_cell(
     scenario: &Scenario,
     spec: &PolicySpec,
     trace: &WorkloadTrace,
     duration: u64,
+    with_trace: bool,
 ) -> Result<Cell> {
     let mut policy = SpecPolicy::new(spec.clone(), SERVERS)?;
     let model = mercury::presets::freon_cluster(SERVERS);
     let sim = ClusterSim::homogeneous(SERVERS, ServerConfig::default());
     let script = FiddleScript::parse(scenario.script)?;
+    let (tracer, recorder, incident_dir) = if with_trace {
+        let (tracer, recorder) = trace_setup(&model)?;
+        (tracer, recorder, Some(results_dir()?.join("incidents")))
+    } else {
+        (Tracer::default(), FlightRecorder::disabled(), None)
+    };
     let config = ExperimentConfig {
         duration_s: duration,
+        tracer,
+        recorder,
+        incident_dir,
         ..Default::default()
     };
     let log = Experiment::new(&model, sim, trace, Some(&script), config)?.run(&mut policy)?;
@@ -158,14 +215,21 @@ fn seconds_above_all(log: &ExperimentLog, t_h: f64) -> u64 {
 
 /// Runs the grid. `--fast` shrinks it to one emergency and a short
 /// trace (the CI smoke); repeatable `--policy <file.toml>` adds specs
-/// from disk on top of the shipped ones.
+/// from disk on top of the shipped ones; `--scenario <name>` narrows
+/// the grid to one emergency (fast variants included); `--trace` turns
+/// on span tracing and the thermal flight recorder, landing incident
+/// bundles under `results/incidents/`.
 pub fn scenarios(args: &[String]) -> Result {
     let mut fast = false;
+    let mut with_trace = false;
+    let mut only: Option<String> = None;
     let mut extra_paths: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--fast" => fast = true,
+            "--trace" => with_trace = true,
+            "--scenario" => only = Some(it.next().ok_or("--scenario needs a name")?.clone()),
             "--policy" => extra_paths.push(
                 it.next()
                     .ok_or("--policy needs a path to a TOML file")?
@@ -193,13 +257,26 @@ pub fn scenarios(args: &[String]) -> Result {
 
     let duration = if fast { 1200 } else { freon_exp::DURATION_S };
     let fast_grid = [FAST_SCENARIO];
-    let grid: &[Scenario] = if fast { &fast_grid } else { SCENARIOS };
+    let named_grid;
+    let grid: &[Scenario] = match only {
+        Some(name) => {
+            let all = SCENARIOS
+                .iter()
+                .chain([&FAST_SCENARIO, &FAST_COOLING])
+                .find(|s| s.name == name)
+                .ok_or_else(|| format!("no scenario named `{name}`"))?;
+            named_grid = [*all];
+            &named_grid
+        }
+        None if fast => &fast_grid,
+        None => SCENARIOS,
+    };
     let trace = trace(duration);
 
     let mut cells: Vec<Cell> = Vec::new();
     for scenario in grid {
         for spec in &specs {
-            cells.push(run_cell(scenario, spec, &trace, duration)?);
+            cells.push(run_cell(scenario, spec, &trace, duration, with_trace)?);
         }
     }
 
@@ -261,7 +338,8 @@ pub fn scenarios(args: &[String]) -> Result {
     // serve the whole trace. The rack-wide scenarios are deliberate
     // counter-cases — with no cool server to shift load onto, remote
     // throttling can only shed or cascade.
-    let localized = |c: &&Cell| c.scenario != "cooling_failure" && c.scenario != "rack_surge";
+    let localized =
+        |c: &&Cell| !c.scenario.starts_with("cooling_failure") && c.scenario != "rack_surge";
     let freon_localized_drops: u64 = cells
         .iter()
         .filter(|c| c.policy == "freon")
@@ -292,6 +370,53 @@ pub fn scenarios(args: &[String]) -> Result {
             .any(|c| c.policy == "load-shed" && c.shutdowns == 0)
             && cells.iter().any(|c| c.policy == "fan-boost"),
         "TOML-only policies (no Rust struct) ran through the same interpreter",
+    );
+    if with_trace {
+        check_bundles()?;
+    }
+    Ok(())
+}
+
+/// Post-run check for `--trace`: at least one incident bundle landed in
+/// `results/incidents/`, its spans extract, and the causal chain closes
+/// (a `mediator.dispatch` span whose parent is a `tempd.observe` span).
+fn check_bundles() -> Result {
+    let dir = results_dir()?.join("incidents");
+    let mut bundles: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+        .map(|it| {
+            it.filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|x| x == "json"))
+                .collect()
+        })
+        .unwrap_or_default();
+    bundles.sort();
+    measured(&format!(
+        "flight recorder: {} incident bundle(s) under {}",
+        bundles.len(),
+        dir.display()
+    ));
+    verdict(!bundles.is_empty(), "tracing produced incident bundles");
+    let mut chain_closed = false;
+    for path in &bundles {
+        let text = std::fs::read_to_string(path)?;
+        let spans = telemetry::recorder::extract_bundle_spans(&text)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let observe_ids: std::collections::HashSet<u64> = spans
+            .iter()
+            .filter(|s| s.name == "tempd.observe")
+            .map(|s| s.id)
+            .collect();
+        if spans
+            .iter()
+            .any(|s| s.name == "mediator.dispatch" && observe_ids.contains(&s.parent))
+        {
+            chain_closed = true;
+            break;
+        }
+    }
+    verdict(
+        chain_closed,
+        "a bundle's actuation span links back to the tempd observation that caused it",
     );
     Ok(())
 }

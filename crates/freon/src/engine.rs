@@ -24,9 +24,13 @@ use mercury::fiddle::FiddleScript;
 use mercury::model::{ClusterModel, NodeSpec, PowerModel};
 use mercury::solver::{ClusterSolver, SolverConfig};
 use mercury::units::Watts;
+use std::borrow::Cow;
 use std::sync::Arc;
-use telemetry::Registry;
+use telemetry::{FlightRecorder, IncidentTrigger, Registry, TickState, Tracer};
 use workload_gen::WorkloadTrace;
+
+/// How many recent spans land in an incident bundle's `spans` section.
+const BUNDLE_SPANS: usize = 4096;
 
 /// What a policy sees about one server each second.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +73,19 @@ pub struct ExperimentConfig {
     /// at the start of [`Experiment::run`]. `None` keeps the counters
     /// updating but unscrapeable.
     pub registry: Option<Arc<Registry>>,
+    /// Tracer for the causal chain. The engine attaches it to the
+    /// cluster solver and the policy at the start of the run and wraps
+    /// each simulated second in an `engine.second` span; a detached
+    /// tracer (the default) records nothing.
+    pub tracer: Tracer,
+    /// Thermal flight recorder, fed one [`TickState`] per
+    /// machine-second. Its anomaly triggers — and red-line incidents
+    /// reported by the policy — produce JSON incident bundles under
+    /// [`ExperimentConfig::incident_dir`]. Detached by default.
+    pub recorder: FlightRecorder,
+    /// Directory incident bundles are written to (created on demand).
+    /// `None` suppresses bundle files; triggers still fire.
+    pub incident_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ExperimentConfig {
@@ -81,6 +98,9 @@ impl Default for ExperimentConfig {
             off_watts: 0.5,
             fan_controller: None,
             registry: None,
+            tracer: Tracer::default(),
+            recorder: FlightRecorder::disabled(),
+            incident_dir: None,
         }
     }
 }
@@ -157,7 +177,13 @@ impl<'a> Experiment<'a> {
             solver.metrics().register(registry);
             policy.register_metrics(registry);
             metrics.register(registry);
+            mercury::build::register_build_info(registry);
         }
+        let tracer = self.config.tracer.clone();
+        solver.set_tracer(tracer.clone());
+        policy.set_tracer(tracer.clone());
+        let recorder = self.config.recorder.clone();
+        let mut seen_incidents = policy.incidents().len();
 
         // Original power models, to restore after a power-off episode.
         let original_power: Vec<Vec<(String, PowerModel)>> = self
@@ -198,6 +224,7 @@ impl<'a> Experiment<'a> {
         }
 
         for t in 0..self.config.duration_s {
+            let sec_span = tracer.start("engine.second", "freon");
             if let Some(r) = runner.as_mut() {
                 for command in r.due(mercury::units::Seconds(t as f64)) {
                     command.apply_to_cluster(&mut solver)?;
@@ -263,14 +290,64 @@ impl<'a> Experiment<'a> {
 
             // Policies can also steer the thermal plant itself (e.g. a
             // fan-CFM rule); those commands drain here, after control.
-            for command in policy.drain_engine_commands() {
+            let commands = policy.drain_engine_commands();
+            for command in &commands {
                 match command {
                     crate::policy::EngineCommand::SetFanCfm { server, cfm } => {
-                        solver.machine_at_mut(server).set_fan_cfm(cfm)?;
+                        solver.machine_at_mut(*server).set_fan_cfm(*cfm)?;
                         metrics.policy_fan_commands.inc();
                     }
                 }
             }
+
+            // Flight recorder: one TickState per machine-second, then
+            // bundles for anything that tripped — anomaly triggers from
+            // the recorder itself or fresh red-line incidents from the
+            // policy.
+            if recorder.is_attached() {
+                let mut triggers: Vec<IncidentTrigger> = Vec::new();
+                for (i, snap) in snapshots.iter().enumerate() {
+                    let mut actuations: Vec<String> = policy.incidents()[seen_incidents..]
+                        .iter()
+                        .filter(|inc| inc.server == i)
+                        .map(|inc| format!("{}@{}", inc.action, inc.reason))
+                        .collect();
+                    actuations.extend(commands.iter().filter_map(|c| match c {
+                        crate::policy::EngineCommand::SetFanCfm { server, cfm } if *server == i => {
+                            Some(format!("set_fan@{cfm}"))
+                        }
+                        _ => None,
+                    }));
+                    let state = TickState {
+                        time_s: t,
+                        temps: snap.temps.iter().map(|(_, c)| *c).collect(),
+                        cpu_util: snap.cpu_util,
+                        disk_util: snap.disk_util,
+                        powered: snap.powered,
+                        accepting: snap.accepting,
+                        speed_scale: self.sim.server(i).speed_scale(),
+                        actuations,
+                    };
+                    if let Some(trigger) = recorder.record(i, state) {
+                        triggers.push(trigger);
+                    }
+                }
+                for incident in &policy.incidents()[seen_incidents..] {
+                    let detail = match (&incident.component, incident.temperature_c) {
+                        (Some(c), Some(temp)) => format!("{c} at {temp:.2} C"),
+                        _ => incident.reason.clone(),
+                    };
+                    if let Some(trigger) =
+                        recorder.red_line(incident.time_s, incident.server, detail)
+                    {
+                        triggers.push(trigger);
+                    }
+                }
+                for trigger in &triggers {
+                    self.write_bundle(&recorder, &tracer, policy.name(), trigger, &metrics);
+                }
+            }
+            seen_incidents = policy.incidents().len();
 
             let cpu_temp: Vec<f64> = (0..n)
                 .map(|i| solver.machine_at(i).temperature_at(cpu_idx[i]).0)
@@ -291,8 +368,44 @@ impl<'a> Experiment<'a> {
                 completed: stats.completed,
                 request_seconds: stats.request_seconds,
             });
+            if sec_span.is_live() {
+                tracer.end_with_args(sec_span, vec![(Cow::Borrowed("time_s"), t.to_string())]);
+            }
         }
         Ok(log)
+    }
+
+    /// Renders and writes one incident bundle under
+    /// `config.incident_dir`. Filesystem trouble is reported to stderr
+    /// but never aborts the run — the recorder must not be able to kill
+    /// an experiment.
+    fn write_bundle(
+        &self,
+        recorder: &FlightRecorder,
+        tracer: &Tracer,
+        policy: &str,
+        trigger: &IncidentTrigger,
+        metrics: &ExperimentMetrics,
+    ) {
+        let dir = match &self.config.incident_dir {
+            Some(dir) => dir,
+            None => return,
+        };
+        let mut build: Vec<(String, String)> = mercury::build::build_labels()
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+            .collect();
+        build.push(("policy".to_string(), policy.to_string()));
+        let bundle = recorder.bundle(trigger, &build, &tracer.recent(BUNDLE_SPANS));
+        let path = dir.join(format!(
+            "incident_t{}_m{}_{}.json",
+            trigger.time_s, trigger.machine, trigger.kind
+        ));
+        let result = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, bundle));
+        match result {
+            Ok(()) => metrics.incident_bundles.inc(),
+            Err(e) => eprintln!("freon: failed to write {}: {e}", path.display()),
+        }
     }
 }
 

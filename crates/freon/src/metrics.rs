@@ -150,6 +150,9 @@ pub struct ExperimentMetrics {
     /// `mercury_freon_policy_fan_commands_total` — fan-CFM commands a
     /// policy issued that the engine applied to the thermal model.
     pub policy_fan_commands: Counter,
+    /// `mercury_freon_incident_bundles_total` — flight-recorder incident
+    /// bundles written to disk.
+    pub incident_bundles: Counter,
 }
 
 impl ExperimentMetrics {
@@ -178,6 +181,12 @@ impl ExperimentMetrics {
             "Policy fan-CFM commands applied to the thermal model",
             &[],
             &self.policy_fan_commands,
+        );
+        registry.register_counter(
+            "mercury_freon_incident_bundles_total",
+            "Flight-recorder incident bundles written to disk",
+            &[],
+            &self.incident_bundles,
         );
     }
 }

@@ -41,6 +41,9 @@ pub struct ActionRequest {
     pub temperature_c: Option<f64>,
     /// The threshold it crossed, °C.
     pub threshold_c: Option<f64>,
+    /// Span id of the `tempd.observe` span that triggered this request
+    /// (0 = untraced), so actuation spans link back to the observation.
+    pub cause: u64,
 }
 
 impl ActionRequest {
@@ -55,6 +58,7 @@ impl ActionRequest {
             component: None,
             temperature_c: None,
             threshold_c: None,
+            cause: 0,
         }
     }
 }

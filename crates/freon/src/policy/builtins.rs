@@ -16,7 +16,7 @@ use crate::policy::interp::SpecPolicy;
 use crate::policy::spec::PolicySpec;
 use crate::policy::ThermalPolicy;
 use cluster_sim::ClusterSim;
-use telemetry::Registry;
+use telemetry::{Registry, Tracer};
 
 fn build(spec: PolicySpec, n: usize) -> SpecPolicy {
     let name = spec.name.clone();
@@ -85,6 +85,14 @@ impl ThermalPolicy for TraditionalPolicy {
     fn drain_engine_commands(&mut self) -> Vec<EngineCommand> {
         self.inner.drain_engine_commands()
     }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.inner.set_tracer(tracer);
+    }
+
+    fn incidents(&self) -> &[crate::policy::IncidentRecord] {
+        ThermalPolicy::incidents(&self.inner)
+    }
 }
 
 /// The base Freon policy (§4.1): remote throttling via LVS weights and
@@ -149,6 +157,14 @@ impl ThermalPolicy for FreonPolicy {
 
     fn drain_engine_commands(&mut self) -> Vec<EngineCommand> {
         self.inner.drain_engine_commands()
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.inner.set_tracer(tracer);
+    }
+
+    fn incidents(&self) -> &[crate::policy::IncidentRecord] {
+        ThermalPolicy::incidents(&self.inner)
     }
 }
 
@@ -215,6 +231,14 @@ impl ThermalPolicy for FreonEcPolicy {
 
     fn drain_engine_commands(&mut self) -> Vec<EngineCommand> {
         self.inner.drain_engine_commands()
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.inner.set_tracer(tracer);
+    }
+
+    fn incidents(&self) -> &[crate::policy::IncidentRecord] {
+        ThermalPolicy::incidents(&self.inner)
     }
 }
 

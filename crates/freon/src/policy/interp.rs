@@ -19,7 +19,8 @@ use crate::policy::spec::{ActionSpec, EcSpec, Gate, PolicySpec, ReasonCode, Rule
 use crate::policy::ThermalPolicy;
 use crate::tempd::{Tempd, TempdReport};
 use cluster_sim::ClusterSim;
-use telemetry::Registry;
+use std::borrow::Cow;
+use telemetry::{Registry, Tracer};
 
 /// Freon-EC bookkeeping (Figure 10) for a spec with an `[ec]` section.
 #[derive(Debug)]
@@ -92,6 +93,14 @@ impl EcState {
     }
 }
 
+/// One gated server's tempd reading plus the id of its `tempd.observe`
+/// span — the `cause` every downstream rule and actuation span links
+/// back to (0 when untraced).
+struct Observation {
+    report: TempdReport,
+    cause: u64,
+}
+
 /// A thermal policy defined entirely by a [`PolicySpec`].
 #[derive(Debug)]
 pub struct SpecPolicy {
@@ -107,6 +116,7 @@ pub struct SpecPolicy {
     metrics: FreonMetrics,
     ec: Option<EcState>,
     uses_admission: bool,
+    tracer: Tracer,
 }
 
 impl SpecPolicy {
@@ -142,6 +152,7 @@ impl SpecPolicy {
             metrics,
             ec,
             uses_admission,
+            tracer: Tracer::default(),
         })
     }
 
@@ -235,20 +246,59 @@ impl SpecPolicy {
             .cloned()
     }
 
+    /// Records one server's `tempd.observe` span around the tempd read;
+    /// its id becomes the `cause` of every downstream rule and
+    /// actuation span for this server at this check boundary.
+    fn observe_traced(
+        &mut self,
+        server: usize,
+        now_s: u64,
+        snapshot: &ServerSnapshot,
+    ) -> Observation {
+        let span = self.tracer.start("tempd.observe", "freon");
+        let report = self.tempds[server].observe(&snapshot.temps, &self.base);
+        let cause = span.id();
+        if span.is_live() {
+            let mut args = vec![
+                (Cow::Borrowed("server"), server.to_string()),
+                (Cow::Borrowed("time_s"), now_s.to_string()),
+            ];
+            if let Some(component) = &report.red_lined {
+                args.push((Cow::Borrowed("red_lined"), component.clone()));
+            }
+            self.tracer.end_with_args(span, args);
+        }
+        Observation { report, cause }
+    }
+
     /// Dispatches a rule's action for one server, attaching the
-    /// triggering component's context for incident records.
+    /// triggering component's context for incident records and the
+    /// observation span id (`cause`) for the trace.
     fn dispatch_rule(
         &mut self,
         rule: &RuleSpec,
         server: usize,
-        report: &TempdReport,
+        obs: &Observation,
         snapshot: &ServerSnapshot,
         now_s: u64,
         sim: &mut ClusterSim,
     ) -> bool {
+        if self.tracer.is_active() {
+            self.tracer.instant(
+                "policy.rule",
+                "freon",
+                obs.cause,
+                vec![
+                    (Cow::Borrowed("trigger"), rule.trigger.as_str().to_string()),
+                    (Cow::Borrowed("action"), rule.action.name().to_string()),
+                    (Cow::Borrowed("server"), server.to_string()),
+                ],
+            );
+        }
         let mut req = ActionRequest::new(server, rule.action.clone(), rule.reason, now_s);
-        req.output = report.output;
-        if let Some(component) = &report.red_lined {
+        req.output = obs.report.output;
+        req.cause = obs.cause;
+        if let Some(component) = &obs.report.red_lined {
             req.component = Some(component.clone());
             req.temperature_c = snapshot
                 .temps
@@ -287,12 +337,12 @@ impl SpecPolicy {
                 continue;
             }
             self.metrics.observations.inc();
-            let report = self.tempds[i].observe(&snapshot.temps, &self.base);
+            let obs = self.observe_traced(i, now_s, snapshot);
             for rule in &rules {
                 let fired = match rule.trigger {
-                    Trigger::RedLine => report.red_lined.is_some(),
-                    Trigger::AboveHigh => report.output.is_some(),
-                    Trigger::BelowLow => report.all_below_low,
+                    Trigger::RedLine => obs.report.red_lined.is_some(),
+                    Trigger::AboveHigh => obs.report.output.is_some(),
+                    Trigger::BelowLow => obs.report.all_below_low,
                 };
                 if !fired {
                     continue;
@@ -302,7 +352,7 @@ impl SpecPolicy {
                 if matches!(rule.action, ActionSpec::Release) && !self.restricted[i] {
                     continue;
                 }
-                if self.dispatch_rule(rule, i, &report, snapshot, now_s, sim) {
+                if self.dispatch_rule(rule, i, &obs, snapshot, now_s, sim) {
                     self.bookkeep(i, &rule.action, now_s);
                 }
                 break;
@@ -338,8 +388,10 @@ impl SpecPolicy {
         server: usize,
         reason: ReasonCode,
         now_s: u64,
+        cause: u64,
     ) {
-        let req = ActionRequest::new(server, ActionSpec::PowerOn, reason, now_s);
+        let mut req = ActionRequest::new(server, ActionSpec::PowerOn, reason, now_s);
+        req.cause = cause;
         self.mediator.dispatch(&req, sim);
         self.restricted[server] = false;
         ec.power_ons += 1;
@@ -352,8 +404,10 @@ impl SpecPolicy {
         server: usize,
         reason: ReasonCode,
         now_s: u64,
+        cause: u64,
     ) {
-        let req = ActionRequest::new(server, ActionSpec::PowerOff, reason, now_s);
+        let mut req = ActionRequest::new(server, ActionSpec::PowerOff, reason, now_s);
+        req.cause = cause;
         self.mediator.dispatch(&req, sim);
         ec.power_offs += 1;
     }
@@ -379,7 +433,7 @@ impl SpecPolicy {
         let any_off = snapshots.iter().any(|s| !s.powered);
         if need_add && any_off {
             if let Some(server) = ec.select_server_to_turn_on(snapshots) {
-                self.ec_turn_on(&mut ec, sim, server, ReasonCode::ProjectedLoad, now_s);
+                self.ec_turn_on(&mut ec, sim, server, ReasonCode::ProjectedLoad, now_s, 0);
             }
         }
 
@@ -393,27 +447,28 @@ impl SpecPolicy {
         };
 
         // --- Figure 10, step 2: per-server thermal events.
-        let mut reports: Vec<Option<TempdReport>> = Vec::with_capacity(snapshots.len());
+        let mut observations: Vec<Option<Observation>> = Vec::with_capacity(snapshots.len());
         for (i, snapshot) in snapshots.iter().enumerate() {
             if !snapshot.powered {
-                reports.push(None);
+                observations.push(None);
                 continue;
             }
             self.metrics.observations.inc();
-            reports.push(Some(self.tempds[i].observe(&snapshot.temps, &self.base)));
+            let obs = self.observe_traced(i, now_s, snapshot);
+            observations.push(Some(obs));
         }
 
         let mut removed_for_heat = 0usize;
-        for (i, report) in reports.iter().enumerate() {
-            let report = match report {
-                Some(r) => r,
+        for (i, obs) in observations.iter().enumerate() {
+            let obs = match obs {
+                Some(o) => o,
                 None => continue,
             };
-            if report.red_lined.is_some() {
+            if obs.report.red_lined.is_some() {
                 // Modern CPUs and disks turn themselves off at the red
                 // line; Freon extends the action to the entire server.
                 if let Some(rule) = self.rule_for(Trigger::RedLine) {
-                    if self.dispatch_rule(&rule, i, report, &snapshots[i], now_s, sim) {
+                    if self.dispatch_rule(&rule, i, obs, &snapshots[i], now_s, sim) {
                         self.bookkeep(i, &rule.action, now_s);
                         ec.power_offs += 1;
                     }
@@ -421,7 +476,7 @@ impl SpecPolicy {
                 continue;
             }
             let region = ec.cfg.regions[i];
-            if !report.crossed_high.is_empty() {
+            if !obs.report.crossed_high.is_empty() {
                 ec.region_emergencies[region] += 1;
                 if !removable(removed_for_heat + 1) {
                     // All remaining servers are needed: fall back to the
@@ -434,39 +489,40 @@ impl SpecPolicy {
                                 replacement,
                                 ReasonCode::Replacement,
                                 now_s,
+                                obs.cause,
                             );
-                            self.ec_turn_off(&mut ec, sim, i, ReasonCode::Heat, now_s);
+                            self.ec_turn_off(&mut ec, sim, i, ReasonCode::Heat, now_s, obs.cause);
                             removed_for_heat += 1;
                             continue;
                         }
                     }
-                    if report.output.is_some() {
+                    if obs.report.output.is_some() {
                         if let Some(rule) = self.rule_for(Trigger::AboveHigh) {
-                            if self.dispatch_rule(&rule, i, report, &snapshots[i], now_s, sim) {
+                            if self.dispatch_rule(&rule, i, obs, &snapshots[i], now_s, sim) {
                                 self.bookkeep(i, &rule.action, now_s);
                             }
                         }
                     }
                 } else {
                     // Capacity to spare: simply turn the hot server off.
-                    self.ec_turn_off(&mut ec, sim, i, ReasonCode::Heat, now_s);
+                    self.ec_turn_off(&mut ec, sim, i, ReasonCode::Heat, now_s, obs.cause);
                     removed_for_heat += 1;
                 }
                 continue;
             }
-            if !report.crossed_low.is_empty() {
+            if !obs.report.crossed_low.is_empty() {
                 ec.region_emergencies[region] = (ec.region_emergencies[region] - 1).max(0);
             }
             // Base policy for ongoing episodes / releases.
-            if report.output.is_some() {
+            if obs.report.output.is_some() {
                 if let Some(rule) = self.rule_for(Trigger::AboveHigh) {
-                    if self.dispatch_rule(&rule, i, report, &snapshots[i], now_s, sim) {
+                    if self.dispatch_rule(&rule, i, obs, &snapshots[i], now_s, sim) {
                         self.bookkeep(i, &rule.action, now_s);
                     }
                 }
-            } else if report.all_below_low && self.restricted[i] {
+            } else if obs.report.all_below_low && self.restricted[i] {
                 if let Some(rule) = self.rule_for(Trigger::BelowLow) {
-                    if self.dispatch_rule(&rule, i, report, &snapshots[i], now_s, sim) {
+                    if self.dispatch_rule(&rule, i, obs, &snapshots[i], now_s, sim) {
                         self.bookkeep(i, &rule.action, now_s);
                     }
                 }
@@ -499,7 +555,7 @@ impl SpecPolicy {
                 .map(|(i, _)| i);
             match candidate {
                 Some(i) if snapshots.iter().filter(|s| s.accepting).count() > shrink + 1 => {
-                    self.ec_turn_off(&mut ec, sim, i, ReasonCode::Energy, now_s);
+                    self.ec_turn_off(&mut ec, sim, i, ReasonCode::Energy, now_s, 0);
                     shrink += 1;
                 }
                 _ => break,
@@ -535,6 +591,15 @@ impl ThermalPolicy for SpecPolicy {
 
     fn drain_engine_commands(&mut self) -> Vec<EngineCommand> {
         self.mediator.take_commands()
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.mediator.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    fn incidents(&self) -> &[IncidentRecord] {
+        self.mediator.incidents()
     }
 }
 
@@ -678,6 +743,43 @@ reason = \"below_low\"
             }]
         );
         assert_eq!(policy.metrics().fan_commands.get(), 2);
+    }
+
+    #[cfg(feature = "instrument")]
+    #[test]
+    fn decision_spans_link_back_to_the_observation() {
+        let mut policy = SpecPolicy::new(shed_spec(), 2).unwrap();
+        let tracer = Tracer::new(1024);
+        crate::policy::ThermalPolicy::set_tracer(&mut policy, tracer.clone());
+        let mut sim = ClusterSim::homogeneous(2, ServerConfig::default());
+        // Server 0 above T_h: observe → rule → shed dispatch.
+        policy.control(
+            60,
+            &snapshots(&[(68.0, 0.7, true), (60.0, 0.7, true)]),
+            &mut sim,
+        );
+        let spans = tracer.drain();
+        let observations: Vec<_> = spans.iter().filter(|s| s.name == "tempd.observe").collect();
+        assert_eq!(observations.len(), 2, "one observation per gated server");
+        let obs0 = observations
+            .iter()
+            .find(|s| s.args.iter().any(|(k, v)| k == "server" && v == "0"))
+            .unwrap();
+        let rule = spans.iter().find(|s| s.name == "policy.rule").unwrap();
+        assert_eq!(rule.parent, obs0.id);
+        assert!(rule.args.iter().any(|(k, v)| k == "action" && v == "shed"));
+        let dispatch = spans
+            .iter()
+            .find(|s| s.name == "mediator.dispatch")
+            .unwrap();
+        assert_eq!(
+            dispatch.parent, obs0.id,
+            "actuation links back to the observation that caused it"
+        );
+        assert!(dispatch
+            .args
+            .iter()
+            .any(|(k, v)| k == "applied" && v == "true"));
     }
 
     #[test]

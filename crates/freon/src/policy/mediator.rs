@@ -15,6 +15,8 @@ use crate::policy::actuators::{
 };
 use crate::policy::spec::{ActionSpec, ReasonCode};
 use cluster_sim::ClusterSim;
+use std::borrow::Cow;
+use telemetry::Tracer;
 
 /// Dependency-ordered actuator mediation with decision telemetry.
 #[derive(Debug)]
@@ -27,6 +29,7 @@ pub struct Mediator {
     commands: Vec<EngineCommand>,
     incidents: Vec<IncidentRecord>,
     metrics: FreonMetrics,
+    tracer: Tracer,
 }
 
 impl Mediator {
@@ -46,7 +49,15 @@ impl Mediator {
             commands: Vec::new(),
             incidents: Vec::new(),
             metrics,
+            tracer: Tracer::default(),
         }
+    }
+
+    /// Attaches a tracer; every subsequent dispatch records a
+    /// `mediator.dispatch` span whose parent is the request's `cause`
+    /// (the triggering `tempd.observe` span).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Appends an extension actuator, consulted after the standard set.
@@ -58,6 +69,9 @@ impl Mediator {
     /// Returns whether an actuator applied a real change; only then is
     /// the decision counted.
     pub fn dispatch(&mut self, req: &ActionRequest, sim: &mut ClusterSim) -> bool {
+        let span = self
+            .tracer
+            .start_child("mediator.dispatch", "freon", req.cause);
         let mut ctx = ActuationCtx {
             sim,
             commands: &mut self.commands,
@@ -87,6 +101,17 @@ impl Mediator {
         let applied = applied.unwrap_or(false);
         if applied {
             self.count(req);
+        }
+        if span.is_live() {
+            self.tracer.end_with_args(
+                span,
+                vec![
+                    (Cow::Borrowed("server"), req.server.to_string()),
+                    (Cow::Borrowed("action"), req.action.name().to_string()),
+                    (Cow::Borrowed("reason"), req.reason.as_str().to_string()),
+                    (Cow::Borrowed("applied"), applied.to_string()),
+                ],
+            );
         }
         applied
     }

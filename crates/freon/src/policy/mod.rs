@@ -42,7 +42,7 @@ pub use toml::TomlError;
 
 use crate::engine::ServerSnapshot;
 use cluster_sim::ClusterSim;
-use telemetry::Registry;
+use telemetry::{Registry, Tracer};
 
 /// A cluster-level thermal-management policy, invoked once per simulated
 /// second with fresh temperatures and utilizations. Policies do their own
@@ -68,5 +68,18 @@ pub trait ThermalPolicy: std::fmt::Debug {
     /// step; the default has none.
     fn drain_engine_commands(&mut self) -> Vec<EngineCommand> {
         Vec::new()
+    }
+
+    /// Attaches a tracer for decision-chain spans (`tempd.observe` →
+    /// `policy.rule` → `mediator.dispatch`). The experiment engine calls
+    /// this once before the run; the default ignores it — appropriate
+    /// for policies that never act.
+    fn set_tracer(&mut self, _tracer: Tracer) {}
+
+    /// Structured records of emergency shutdowns so far; the engine's
+    /// flight recorder turns new entries into red-line incident
+    /// bundles. The default has none.
+    fn incidents(&self) -> &[IncidentRecord] {
+        &[]
     }
 }

@@ -113,6 +113,20 @@ fn scrape_covers_solver_cluster_freon_and_net_families() {
         }),
         "throttle decision not attributed to its reason code"
     );
+    assert_eq!(
+        sum("mercury_telemetry_events_dropped_total"),
+        0.0,
+        "the registry's event ring wrapped during a short e2e run"
+    );
+    assert!(
+        samples.iter().any(|s| {
+            s.name == "mercury_build_info"
+                && s.value == 1.0
+                && s.label("version").is_some()
+                && s.label("simd").is_some()
+        }),
+        "build identity gauge missing from the scrape"
+    );
 
     service.shutdown();
 }

@@ -38,6 +38,13 @@
 //! `mercury_cluster_tick_seconds`); counters end in `_total`, histogram
 //! families use base units (seconds) via the registration-time scale.
 //!
+//! Two sibling subsystems share these rules: [`trace`] records
+//! causally-linked spans (packet → solver tick → policy decision →
+//! actuation) behind the same `instrument` feature and exports them as
+//! Chrome trace-event JSON, and [`recorder`] is a thermal flight
+//! recorder — bounded per-machine rings of recent tick state dumped as
+//! JSON incident bundles when a red-line or anomaly trigger fires.
+//!
 //! ```
 //! use telemetry::{Registry, Severity};
 //!
@@ -63,14 +70,18 @@
 
 mod events;
 mod handles;
+pub mod recorder;
 mod registry;
 pub mod text;
+pub mod trace;
 
 pub use events::{Event, EventRing, Severity};
 pub use handles::{Counter, Gauge, Histogram, HistogramSnapshot, NUM_BUCKETS};
+pub use recorder::{FlightRecorder, IncidentTrigger, RecorderConfig, TickState};
 pub use registry::{
     CounterSample, GaugeSample, HistogramSample, MetricKind, Registry, TelemetrySnapshot,
 };
+pub use trace::{LocalSpans, Span, SpanArgs, SpanRecord, Tracer};
 
 /// `true` when the `instrument` feature is compiled in.
 ///

@@ -133,6 +133,9 @@ impl TelemetrySnapshot {
 /// How many events the registry's built-in ring retains.
 const DEFAULT_EVENT_CAPACITY: usize = 256;
 
+/// Synthetic counter exposing the built-in ring's overflow count.
+const EVENTS_DROPPED: &str = "mercury_telemetry_events_dropped_total";
+
 /// A global-free metric index with a built-in event ring.
 ///
 /// See the [crate docs](crate) for the design rules and an example.
@@ -237,6 +240,15 @@ impl Registry {
         g
     }
 
+    /// Creates and registers a labelled gauge in one step (the
+    /// `mercury_build_info` idiom: constant labels, value 1).
+    #[must_use]
+    pub fn gauge_with_labels(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        let g = Gauge::new();
+        self.register_gauge(name, help, labels, &g);
+        g
+    }
+
     /// Creates and registers a unit-free histogram in one step.
     #[must_use]
     pub fn histogram(&self, name: &str, help: &str) -> Histogram {
@@ -271,6 +283,13 @@ impl Registry {
             events: self.events.recent(DEFAULT_EVENT_CAPACITY),
             ..TelemetrySnapshot::default()
         };
+        // The built-in ring's overflow is part of the surface: a reader
+        // must be able to tell "quiet system" from "events lost".
+        snap.counters.push(CounterSample {
+            name: EVENTS_DROPPED.to_string(),
+            labels: Vec::new(),
+            value: self.events.overwritten(),
+        });
         for e in entries {
             match e.handle {
                 Handle::Counter(c) => snap.counters.push(CounterSample {
@@ -304,6 +323,12 @@ impl Registry {
     pub fn render_prometheus(&self) -> String {
         let entries = self.entries().clone();
         let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# HELP {EVENTS_DROPPED} Events lost to the registry ring's wraparound"
+        );
+        let _ = writeln!(out, "# TYPE {EVENTS_DROPPED} counter");
+        let _ = writeln!(out, "{EVENTS_DROPPED} {}", self.events.overwritten());
         let mut rendered: Vec<&str> = Vec::new();
         for e in &entries {
             if rendered.contains(&e.name.as_str()) {
@@ -482,7 +507,14 @@ mod tests {
         new.add(1);
         r.register_counter("mercury_x_total", "x", &[], &new);
         assert_eq!(r.snapshot().counter("mercury_x_total"), Some(1));
-        assert_eq!(r.snapshot().counters.len(), 1);
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.counters
+                .iter()
+                .filter(|c| c.name == "mercury_x_total")
+                .count(),
+            1
+        );
     }
 
     #[test]
@@ -518,6 +550,37 @@ mod tests {
         assert!(r
             .render_prometheus()
             .contains("mercury_cluster_batched_machines 24\n"));
+    }
+
+    #[test]
+    fn events_dropped_counter_tracks_ring_overflow() {
+        let r = Registry::new();
+        assert_eq!(r.snapshot().counter(EVENTS_DROPPED), Some(0));
+        assert!(r
+            .render_prometheus()
+            .contains(&format!("{EVENTS_DROPPED} 0")));
+        for i in 0..300 {
+            r.event(Severity::Info, format!("e{i}"), &[]);
+        }
+        // 300 pushes into a 256-slot ring: 44 lost.
+        assert_eq!(r.snapshot().counter(EVENTS_DROPPED), Some(44));
+        assert!(r
+            .render_prometheus()
+            .contains(&format!("{EVENTS_DROPPED} 44")));
+    }
+
+    #[test]
+    fn labelled_gauge_renders_constant_value() {
+        let r = Registry::new();
+        let g = r.gauge_with_labels(
+            "mercury_build_info",
+            "b",
+            &[("version", "0.1.0"), ("simd", "avx2")],
+        );
+        g.set(1.0);
+        assert!(r
+            .render_prometheus()
+            .contains("mercury_build_info{version=\"0.1.0\",simd=\"avx2\"} 1"));
     }
 
     #[test]

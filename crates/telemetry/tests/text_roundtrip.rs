@@ -1,0 +1,162 @@
+//! Round-trip: everything [`telemetry::Registry::render_prometheus`]
+//! can emit must come back unchanged through the strict parser in
+//! [`telemetry::text`]. The renderer and the parser are written
+//! independently on purpose — this suite is the contract between them,
+//! exercised on the edge cases a live scrape rarely hits: escaped label
+//! values, special floats, histogram bucket series, and re-registered
+//! families.
+
+use telemetry::text::parse_exposition;
+use telemetry::Registry;
+
+#[test]
+fn escaped_label_values_survive_the_round_trip() {
+    let registry = Registry::new();
+    let nasty = "quote \" backslash \\ newline \n done";
+    let c = registry.counter_with_labels(
+        "mercury_roundtrip_total",
+        "labels with every escapable character",
+        &[("detail", nasty), ("plain", "ok")],
+    );
+    c.add(7);
+    let text = registry.render_prometheus();
+    let samples = parse_exposition(&text).expect("rendered exposition must parse");
+    let sample = samples
+        .iter()
+        .find(|s| s.name == "mercury_roundtrip_total")
+        .expect("family missing");
+    assert_eq!(sample.label("detail"), Some(nasty));
+    assert_eq!(sample.label("plain"), Some("ok"));
+    assert_eq!(sample.value, 7.0);
+}
+
+#[test]
+fn special_float_gauges_round_trip() {
+    let registry = Registry::new();
+    registry
+        .gauge_with_labels("mercury_edge", "special values", &[("case", "pos_inf")])
+        .set(f64::INFINITY);
+    registry
+        .gauge_with_labels("mercury_edge", "special values", &[("case", "neg_inf")])
+        .set(f64::NEG_INFINITY);
+    registry
+        .gauge_with_labels("mercury_edge", "special values", &[("case", "nan")])
+        .set(f64::NAN);
+    registry
+        .gauge_with_labels("mercury_edge", "special values", &[("case", "tiny")])
+        .set(1e-12);
+    let samples = parse_exposition(&registry.render_prometheus()).unwrap();
+    let by_case = |case: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == "mercury_edge" && s.label("case") == Some(case))
+            .unwrap_or_else(|| panic!("case {case} missing"))
+            .value
+    };
+    assert_eq!(by_case("pos_inf"), f64::INFINITY);
+    assert_eq!(by_case("neg_inf"), f64::NEG_INFINITY);
+    assert!(by_case("nan").is_nan());
+    assert_eq!(by_case("tiny"), 1e-12);
+}
+
+#[test]
+fn histogram_series_parse_with_monotone_buckets() {
+    let registry = Registry::new();
+    let h = registry.histogram_scaled(
+        "mercury_roundtrip_seconds",
+        "latencies recorded in nanoseconds",
+        1e-9,
+    );
+    for v in [50, 900, 900, 40_000, 2_000_000] {
+        h.observe(v);
+    }
+    let samples = parse_exposition(&registry.render_prometheus()).unwrap();
+    let buckets: Vec<&telemetry::text::Sample> = samples
+        .iter()
+        .filter(|s| s.name == "mercury_roundtrip_seconds_bucket")
+        .collect();
+    assert!(buckets.len() >= 2, "cumulative buckets plus +Inf expected");
+    let mut last = 0.0;
+    for b in &buckets {
+        assert!(
+            b.value >= last,
+            "cumulative bucket counts must be monotone: {samples:?}"
+        );
+        last = b.value;
+    }
+    assert_eq!(buckets.last().unwrap().label("le"), Some("+Inf"));
+    assert_eq!(buckets.last().unwrap().value, 5.0);
+    let count = samples
+        .iter()
+        .find(|s| s.name == "mercury_roundtrip_seconds_count")
+        .unwrap();
+    assert_eq!(count.value, 5.0);
+    let sum = samples
+        .iter()
+        .find(|s| s.name == "mercury_roundtrip_seconds_sum")
+        .unwrap();
+    // Bucketing quantizes the recorded values, but the sum keeps the
+    // scaled order of magnitude.
+    assert!(sum.value > 0.0 && sum.value < 1.0, "sum {}", sum.value);
+}
+
+#[test]
+fn reregistration_renders_one_series_not_two() {
+    let registry = Registry::new();
+    let first = registry.counter("mercury_once_total", "registered twice");
+    first.add(3);
+    let second = registry.counter("mercury_once_total", "registered twice");
+    second.add(5);
+    let samples = parse_exposition(&registry.render_prometheus()).unwrap();
+    let series: Vec<_> = samples
+        .iter()
+        .filter(|s| s.name == "mercury_once_total")
+        .collect();
+    assert_eq!(series.len(), 1, "idempotent registration must not fork");
+    assert_eq!(series[0].value, 5.0, "the fresh handle wins");
+}
+
+#[test]
+fn fresh_registry_exposes_zero_dropped_events() {
+    let registry = Registry::new();
+    let samples = parse_exposition(&registry.render_prometheus()).unwrap();
+    let dropped = samples
+        .iter()
+        .find(|s| s.name == "mercury_telemetry_events_dropped_total")
+        .expect("the drop counter is part of every exposition");
+    assert_eq!(dropped.value, 0.0);
+}
+
+#[test]
+fn mixed_document_round_trips_every_sample() {
+    // One registry with every metric kind, rendered and parsed: no
+    // sample line may be lost or reordered within its family.
+    let registry = Registry::new();
+    registry.counter("mercury_a_total", "a").add(1);
+    registry.gauge("mercury_b", "b").set(-2.5);
+    registry.histogram("mercury_c", "c (unit-free)").observe(10);
+    for (k, v) in [("x", "1"), ("y", "2"), ("z", "3")] {
+        registry
+            .counter_with_labels("mercury_d_total", "d", &[("shard", k)])
+            .add(v.parse().unwrap());
+    }
+    let text = registry.render_prometheus();
+    let samples = parse_exposition(&text).unwrap();
+    assert!(samples.iter().any(|s| s.name == "mercury_a_total"));
+    assert!(samples
+        .iter()
+        .any(|s| s.name == "mercury_b" && s.value == -2.5));
+    assert!(samples.iter().any(|s| s.name == "mercury_c_count"));
+    let shards: Vec<_> = samples
+        .iter()
+        .filter(|s| s.name == "mercury_d_total")
+        .collect();
+    assert_eq!(shards.len(), 3);
+    assert_eq!(shards[0].label("shard"), Some("x"));
+    assert_eq!(shards[2].label("shard"), Some("z"));
+    assert_eq!(
+        shards.iter().map(|s| s.value).sum::<f64>(),
+        6.0,
+        "shard values 1+2+3"
+    );
+}

@@ -3,7 +3,7 @@
 //! ```text
 //! usage: mercury-solverd [--bind HOST:PORT] [--model PRESET|FILE.mdl]
 //!                        [--machine NAME | --cluster NAME]
-//!                        [--tick-ms MILLIS] [--dt SECONDS]
+//!                        [--tick-ms MILLIS] [--dt SECONDS] [--trace]
 //!
 //!   --bind      address to listen on            (default 127.0.0.1:8367)
 //!   --model     `table1`, `freon`, `room:<n>`, `freon-room:<n>`,
@@ -13,6 +13,8 @@
 //!   --tick-ms   wall milliseconds per emulated second (default 1000 =
 //!               real time; smaller fast-forwards)
 //!   --dt        emulated seconds per solver tick (default 1)
+//!   --trace     record causal spans (tick phases, request lifecycle)
+//!               and answer TraceDump requests from `mercury-trace`
 //! ```
 //!
 //! The paper's example port is 8367.
@@ -48,6 +50,11 @@ fn run() -> Result<(), String> {
         .parse()
         .map_err(|_| "--dt wants a number".to_string())?;
 
+    let tracer = if args.has("trace") {
+        telemetry::Tracer::new(telemetry::trace::DEFAULT_SPAN_CAPACITY)
+    } else {
+        telemetry::Tracer::default()
+    };
     let config = ServiceConfig {
         bind,
         tick_wall: Duration::from_millis(tick_ms.max(1)),
@@ -55,6 +62,7 @@ fn run() -> Result<(), String> {
             dt: Seconds(dt),
             ..SolverConfig::default()
         },
+        tracer: tracer.clone(),
     };
 
     let wants_cluster =
@@ -77,6 +85,9 @@ fn run() -> Result<(), String> {
         service.local_addr(),
         tick_ms
     );
+    if tracer.is_attached() {
+        eprintln!("span tracing on; dump with `mercury-trace fetch {}`", bind);
+    }
     eprintln!("press ctrl-c to stop");
     // Serve until killed; the service threads do all the work.
     loop {

@@ -12,6 +12,7 @@
 //! | `mercury-fiddle` | sends one fiddle command, or replays a script, against a running solver |
 //! | `mercury-sensor` | the Figure 3 client: open, read (optionally repeatedly), close |
 //! | `mercury-stats` | scrapes a running solver's telemetry registry and pretty-prints (or dumps) the Prometheus exposition |
+//! | `mercury-trace` | fetches a solver's span buffer and converts dumps/incident bundles to Chrome trace-event JSON |
 //!
 //! A three-terminal session:
 //!
@@ -38,7 +39,7 @@ pub struct Args {
 }
 
 /// Flags that never take a value (everything else is `--key value`).
-const BOOLEAN_FLAGS: &[&str] = &["list", "verbose", "help", "raw"];
+const BOOLEAN_FLAGS: &[&str] = &["list", "verbose", "help", "raw", "trace", "jsonl"];
 
 impl Args {
     /// Parses the process arguments: `--key value` pairs, a fixed set of
