@@ -39,6 +39,8 @@ pub struct NetMetrics {
     pub requests_scrape: Counter,
     /// `mercury_net_requests_total{kind="trace"}`.
     pub requests_trace: Counter,
+    /// `mercury_net_requests_total{kind="series"}`.
+    pub requests_series: Counter,
 }
 
 impl NetMetrics {
@@ -85,6 +87,7 @@ impl NetMetrics {
             ("ping", &self.requests_ping),
             ("scrape", &self.requests_scrape),
             ("trace", &self.requests_trace),
+            ("series", &self.requests_series),
         ] {
             registry.register_counter(REQS, HELP, &[("kind", kind)], handle);
         }
@@ -101,6 +104,7 @@ impl NetMetrics {
             Request::Ping => &self.requests_ping,
             Request::Scrape => &self.requests_scrape,
             Request::TraceDump => &self.requests_trace,
+            Request::SeriesQuery { .. } => &self.requests_series,
         }
     }
 }

@@ -10,6 +10,7 @@
 use crate::error::Error;
 use crate::fiddle::FiddleCommand;
 use bytes::{Buf, BufMut};
+use telemetry::tsdb::QueryKind;
 
 /// Largest datagram either side will send or accept.
 pub const MAX_DATAGRAM: usize = 1400;
@@ -53,6 +54,25 @@ pub enum Request {
     /// scrape. A service without an attached tracer answers with a
     /// single empty part.
     TraceDump,
+    /// Query the service's sampled time-series history
+    /// (`telemetry::tsdb`). Answered by one or more [`Reply::Series`]
+    /// datagrams carrying the line-oriented result text
+    /// (`telemetry::tsdb::render_results`), split at line boundaries
+    /// like a scrape. A service without sampling enabled answers with
+    /// [`Reply::Error`].
+    SeriesQuery {
+        /// `*`-glob over series names (e.g. `temp/*/cpu`).
+        pattern: String,
+        /// Range start timestamp, inclusive (service clock:
+        /// milliseconds since the Unix epoch).
+        start: u64,
+        /// Range end timestamp, inclusive.
+        end: u64,
+        /// Bucket width for downsample/rate queries (same unit).
+        step: u64,
+        /// What to compute over the range.
+        kind: QueryKind,
+    },
 }
 
 /// Service → client messages.
@@ -98,6 +118,17 @@ pub enum Reply {
         /// This part's whole JSONL lines.
         text: String,
     },
+    /// One part of a series-query result ([`Request::SeriesQuery`]):
+    /// one series per line, split at line boundaries exactly like
+    /// [`Reply::Metrics`], reassembled by plain concatenation.
+    Series {
+        /// Zero-based index of this part.
+        part: u16,
+        /// Total parts in the result.
+        parts: u16,
+        /// This part's whole result lines.
+        text: String,
+    },
     /// The request failed on the service side.
     Error {
         /// Human-readable reason.
@@ -112,6 +143,7 @@ const TAG_LIST: u8 = 0x04;
 const TAG_PING: u8 = 0x05;
 const TAG_SCRAPE: u8 = 0x06;
 const TAG_TRACE_DUMP: u8 = 0x07;
+const TAG_SERIES_QUERY: u8 = 0x08;
 
 const TAG_TEMP: u8 = 0x81;
 const TAG_ACK: u8 = 0x82;
@@ -120,6 +152,7 @@ const TAG_PONG: u8 = 0x84;
 const TAG_ERR: u8 = 0x85;
 const TAG_METRICS: u8 = 0x86;
 const TAG_TRACE: u8 = 0x87;
+const TAG_SERIES: u8 = 0x88;
 
 fn put_str(buf: &mut Vec<u8>, s: &str) {
     let bytes = s.as_bytes();
@@ -184,6 +217,20 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Ping => buf.put_u8(TAG_PING),
         Request::Scrape => buf.put_u8(TAG_SCRAPE),
         Request::TraceDump => buf.put_u8(TAG_TRACE_DUMP),
+        Request::SeriesQuery {
+            pattern,
+            start,
+            end,
+            step,
+            kind,
+        } => {
+            buf.put_u8(TAG_SERIES_QUERY);
+            put_str(&mut buf, pattern);
+            buf.put_u64(*start);
+            buf.put_u64(*end);
+            buf.put_u64(*step);
+            buf.put_u8(kind.as_u8());
+        }
     }
     buf
 }
@@ -253,6 +300,27 @@ pub fn decode_request(mut data: &[u8]) -> Result<Request, Error> {
         TAG_PING => Ok(Request::Ping),
         TAG_SCRAPE => Ok(Request::Scrape),
         TAG_TRACE_DUMP => Ok(Request::TraceDump),
+        TAG_SERIES_QUERY => {
+            let pattern = get_str(buf)?;
+            if buf.remaining() < 25 {
+                return Err(Error::protocol("truncated series query"));
+            }
+            let start = buf.get_u64();
+            let end = buf.get_u64();
+            let step = buf.get_u64();
+            let kind = QueryKind::from_u8(buf.get_u8())
+                .ok_or_else(|| Error::protocol("unknown series query kind"))?;
+            if start > end {
+                return Err(Error::protocol("series query range is inverted"));
+            }
+            Ok(Request::SeriesQuery {
+                pattern,
+                start,
+                end,
+                step,
+                kind,
+            })
+        }
         other => Err(Error::protocol(format!("unknown request tag {other:#04x}"))),
     }
 }
@@ -323,6 +391,23 @@ pub fn trace_replies(text: &str) -> Vec<Reply> {
         .collect()
 }
 
+/// Splits rendered series-query results into [`Reply::Series`] parts
+/// that each encode within [`MAX_DATAGRAM`] (see [`chunk_lines`]).
+/// Results are one series per line, so every part parses on its own.
+pub fn series_replies(text: &str) -> Vec<Reply> {
+    let chunks = chunk_lines(text);
+    let parts = chunks.len() as u16;
+    chunks
+        .into_iter()
+        .enumerate()
+        .map(|(i, text)| Reply::Series {
+            part: i as u16,
+            parts,
+            text,
+        })
+        .collect()
+}
+
 /// Encodes a reply into a datagram.
 pub fn encode_reply(reply: &Reply) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64);
@@ -362,6 +447,19 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             debug_assert!(
                 bytes.len() <= MAX_DATAGRAM - 7,
                 "trace part must leave room for its header"
+            );
+            let len = bytes.len().min(MAX_DATAGRAM - 7);
+            buf.put_u16(len as u16);
+            buf.put_slice(&bytes[..len]);
+        }
+        Reply::Series { part, parts, text } => {
+            buf.put_u8(TAG_SERIES);
+            buf.put_u16(*part);
+            buf.put_u16(*parts);
+            let bytes = text.as_bytes();
+            debug_assert!(
+                bytes.len() <= MAX_DATAGRAM - 7,
+                "series part must leave room for its header"
             );
             let len = bytes.len().min(MAX_DATAGRAM - 7);
             buf.put_u16(len as u16);
@@ -448,6 +546,24 @@ pub fn decode_reply(mut data: &[u8]) -> Result<Reply, Error> {
                 .to_string();
             Ok(Reply::Trace { part, parts, text })
         }
+        TAG_SERIES => {
+            if buf.remaining() < 6 {
+                return Err(Error::protocol("truncated series header"));
+            }
+            let part = buf.get_u16();
+            let parts = buf.get_u16();
+            let len = buf.get_u16() as usize;
+            if buf.remaining() < len {
+                return Err(Error::protocol("truncated series body"));
+            }
+            if part >= parts {
+                return Err(Error::protocol("series part index out of range"));
+            }
+            let text = std::str::from_utf8(&buf[..len])
+                .map_err(|_| Error::protocol("series text is not valid UTF-8"))?
+                .to_string();
+            Ok(Reply::Series { part, parts, text })
+        }
         TAG_ERR => {
             if buf.remaining() < 2 {
                 return Err(Error::protocol("truncated error length"));
@@ -504,6 +620,44 @@ mod tests {
                 celsius: 38.6,
             },
         });
+        for kind in [QueryKind::Raw, QueryKind::Downsample, QueryKind::Rate] {
+            round_trip_request(Request::SeriesQuery {
+                pattern: "temp/*/cpu".into(),
+                start: 1_700_000_000_000,
+                end: u64::MAX,
+                step: 10_000,
+                kind,
+            });
+        }
+    }
+
+    #[test]
+    fn series_query_validates_on_decode() {
+        let good = encode_request(&Request::SeriesQuery {
+            pattern: "*".into(),
+            start: 10,
+            end: 20,
+            step: 1,
+            kind: QueryKind::Raw,
+        });
+        assert!(decode_request(&good).is_ok());
+        // Unknown kind byte rejected.
+        let mut bad_kind = good.clone();
+        let last = bad_kind.len() - 1;
+        bad_kind[last] = 99;
+        assert!(decode_request(&bad_kind).is_err());
+        // Inverted range rejected.
+        let inverted = encode_request(&Request::SeriesQuery {
+            pattern: "*".into(),
+            start: 20,
+            end: 10,
+            step: 1,
+            kind: QueryKind::Raw,
+        });
+        assert!(decode_request(&inverted).is_err());
+        for cut in 1..good.len() {
+            let _ = decode_request(&good[..cut]); // must not panic
+        }
     }
 
     #[test]
@@ -530,6 +684,45 @@ mod tests {
             parts: 2,
             text: "{\"id\":1,\"name\":\"cluster.tick\"}\n".into(),
         });
+        round_trip_reply(Reply::Series {
+            part: 0,
+            parts: 1,
+            text: "temp/m1/cpu raw 1:40.5 2:41\n".into(),
+        });
+    }
+
+    #[test]
+    fn series_split_reassembles_and_fits_datagrams() {
+        // Many series lines force multiple parts.
+        let mut doc = String::new();
+        for m in 0..40 {
+            doc.push_str(&format!("temp/machine{m}/cpu ds"));
+            for b in 0..12 {
+                doc.push_str(&format!(" {}:40.1:41.25:42.9", b * 10_000));
+            }
+            doc.push('\n');
+        }
+        let replies = series_replies(&doc);
+        assert!(replies.len() > 1, "expected a multi-part result");
+        let mut reassembled = String::new();
+        for (i, reply) in replies.iter().enumerate() {
+            let encoded = encode_reply(reply);
+            assert!(encoded.len() <= MAX_DATAGRAM, "part {i} oversized");
+            match decode_reply(&encoded).unwrap() {
+                Reply::Series { part, parts, text } => {
+                    assert_eq!(part as usize, i);
+                    assert_eq!(parts as usize, replies.len());
+                    assert!(text.ends_with('\n'), "parts carry whole lines");
+                    reassembled.push_str(&text);
+                }
+                other => panic!("expected Series, got {other:?}"),
+            }
+        }
+        assert_eq!(reassembled, doc);
+        // The reassembled document parses back into structured results.
+        let parsed = telemetry::tsdb::parse_results(&reassembled).unwrap();
+        assert_eq!(parsed.len(), 40);
+        assert_eq!(parsed[0].points.len(), 12);
     }
 
     #[test]

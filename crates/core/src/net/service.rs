@@ -14,7 +14,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use telemetry::{Registry, Severity, Tracer};
+use telemetry::tsdb::{self, Tsdb, TsdbConfig};
+use telemetry::{Registry, Sampler, Severity, Tracer};
 
 /// Most recent spans a [`Request::TraceDump`] answers with. Bounded so a
 /// dump stays a few hundred datagrams even when the tracer's ring is at
@@ -28,6 +29,12 @@ const TRACE_DUMP_SPANS: usize = 2048;
 /// well under that buffer.
 const TRACE_BURST: usize = 32;
 const TRACE_BURST_PAUSE: Duration = Duration::from_millis(2);
+
+/// Series matched by one [`Request::SeriesQuery`] pattern, at most. A
+/// registry snapshot plus per-component temperatures is a few hundred
+/// series even for a large room, so the cap only bites on `*` against
+/// pathological label cardinality.
+const SERIES_QUERY_MAX_SERIES: usize = 512;
 
 /// The emulated system behind a service: one machine or a whole room.
 ///
@@ -135,6 +142,9 @@ impl EmulatedSystem {
             Request::TraceDump => Err(Error::invalid_input(
                 "trace dumps are answered by the service front end, not the solver",
             )),
+            Request::SeriesQuery { .. } => Err(Error::invalid_input(
+                "series queries are answered by the service front end, not the solver",
+            )),
         }
     }
 }
@@ -158,6 +168,13 @@ pub struct ServiceConfig {
     /// phases into it, and [`Request::TraceDump`] answers from it. The
     /// default detached tracer makes every span site a no-op.
     pub tracer: Tracer,
+    /// Cadence of the background history sampler. `Some(period)` spawns
+    /// a [`telemetry::Sampler`] that snapshots the registry and every
+    /// monitored component temperature into an embedded time-series
+    /// store, which [`Request::SeriesQuery`] answers from. `None` (the
+    /// default) keeps history off: no sampling thread runs and series
+    /// queries are answered with an error.
+    pub sample_every: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -167,6 +184,7 @@ impl Default for ServiceConfig {
             tick_wall: Duration::from_secs(1),
             solver: SolverConfig::default(),
             tracer: Tracer::default(),
+            sample_every: None,
         }
     }
 }
@@ -209,6 +227,12 @@ pub struct SolverService {
     registry: Arc<Registry>,
     /// The span tracer from [`ServiceConfig::tracer`].
     tracer: Tracer,
+    /// The embedded time-series store behind [`Request::SeriesQuery`],
+    /// present when [`ServiceConfig::sample_every`] was set.
+    history: Option<Arc<Tsdb>>,
+    /// The background sampling thread feeding `history`; stopped before
+    /// the service threads at shutdown.
+    sampler: Option<Sampler>,
 }
 
 impl SolverService {
@@ -255,8 +279,63 @@ impl SolverService {
         net.register(&registry);
         crate::build::register_build_info(&registry);
 
+        // Temperature probe list for the history sampler, also built
+        // while the system is still in hand: (series, machine index,
+        // node index) triples let the sampling thread read temperatures
+        // positionally under a brief lock, with no name lookups.
+        let probes: Vec<(String, usize, usize)> = if cfg.sample_every.is_some() {
+            let mut probes = Vec::new();
+            let mut add = |machine_idx: usize, solver: &Solver| {
+                for component in solver.monitored_components() {
+                    if let Some(node) = solver.node_index(component) {
+                        let series = format!("temp/{}/{component}", solver.machine_name());
+                        probes.push((series, machine_idx, node));
+                    }
+                }
+            };
+            match &system {
+                EmulatedSystem::Single(s) => add(0, s),
+                EmulatedSystem::Cluster(c) => {
+                    for i in 0..c.len() {
+                        add(i, c.machine_at(i));
+                    }
+                }
+            }
+            probes
+        } else {
+            Vec::new()
+        };
+
         let system = Arc::new(Mutex::new(system));
         let stop = Arc::new(AtomicBool::new(false));
+
+        // History sampler: at the configured cadence, snapshot every
+        // registry metric plus the probed component temperatures into
+        // the embedded time-series store. The solver lock is held only
+        // while the temperature values are copied out.
+        let (history, sampler) = match cfg.sample_every {
+            Some(period) => {
+                let tsdb = Tsdb::shared(TsdbConfig::default());
+                let sys = Arc::clone(&system);
+                let extra: telemetry::sampler::ExtraSource = Box::new(move |out| {
+                    let sys = sys.lock();
+                    out.push(("mercury_emulated_time_seconds".to_string(), sys.time()));
+                    for (series, machine, node) in &probes {
+                        let celsius = match &*sys {
+                            EmulatedSystem::Single(s) => s.temperature_at(*node),
+                            EmulatedSystem::Cluster(c) => {
+                                c.machine_at(*machine).temperature_at(*node)
+                            }
+                        };
+                        out.push((series.clone(), celsius.0));
+                    }
+                });
+                let sampler =
+                    Sampler::spawn(period, Arc::clone(&tsdb), Arc::clone(&registry), extra);
+                (Some(tsdb), Some(sampler))
+            }
+            None => (None, None),
+        };
 
         // Ticker thread: advances emulated time at the configured pace.
         let ticker = {
@@ -281,6 +360,7 @@ impl SolverService {
             let registry = Arc::clone(&registry);
             let net = net.clone();
             let tracer = cfg.tracer.clone();
+            let history = history.clone();
             std::thread::Builder::new()
                 .name("mercury-udp".into())
                 .spawn(move || {
@@ -331,6 +411,42 @@ impl SolverService {
                                 let spans = tracer.recent(TRACE_DUMP_SPANS);
                                 let text = telemetry::trace::to_jsonl(&spans);
                                 for (i, reply) in proto::trace_replies(&text).iter().enumerate() {
+                                    if i > 0 && i % TRACE_BURST == 0 {
+                                        std::thread::sleep(TRACE_BURST_PAUSE);
+                                    }
+                                    net.replies.inc();
+                                    let _ = socket.send_to(&proto::encode_reply(reply), peer);
+                                }
+                            }
+                            Ok(Request::SeriesQuery {
+                                pattern,
+                                start,
+                                end,
+                                step,
+                                kind,
+                            }) => {
+                                // Answered from the history store alone
+                                // — a series query never blocks on the
+                                // solver (the sampler does the locking,
+                                // briefly, on its own thread).
+                                net.requests_series.inc();
+                                let replies = match &history {
+                                    Some(db) => {
+                                        let mut names = db.match_names(&pattern);
+                                        names.truncate(SERIES_QUERY_MAX_SERIES);
+                                        let results: Vec<_> = names
+                                            .iter()
+                                            .map(|n| tsdb::run_query(db, n, kind, start, end, step))
+                                            .collect();
+                                        proto::series_replies(&tsdb::render_results(&results))
+                                    }
+                                    None => vec![Reply::Error {
+                                        message: "series history is disabled on this service \
+                                                  (spawn it with sample_every set)"
+                                            .to_string(),
+                                    }],
+                                };
+                                for (i, reply) in replies.iter().enumerate() {
                                     if i > 0 && i % TRACE_BURST == 0 {
                                         std::thread::sleep(TRACE_BURST_PAUSE);
                                     }
@@ -392,6 +508,8 @@ impl SolverService {
             threads: vec![ticker, handler],
             registry,
             tracer: cfg.tracer,
+            history,
+            sampler,
         })
     }
 
@@ -416,6 +534,14 @@ impl SolverService {
         self.addr
     }
 
+    /// The embedded time-series store behind [`Request::SeriesQuery`] —
+    /// `Some` when the service was spawned with
+    /// [`ServiceConfig::sample_every`] set. In-process callers (tests,
+    /// experiment harnesses) can query it directly without the wire.
+    pub fn history(&self) -> Option<&Arc<Tsdb>> {
+        self.history.as_ref()
+    }
+
     /// Runs a closure with exclusive access to the emulated system —
     /// useful for tests and for in-process experiment harnesses that also
     /// expose the system over the network.
@@ -429,6 +555,12 @@ impl SolverService {
     }
 
     fn stop_and_join(&mut self) {
+        // The sampler goes first: it locks the emulated system on its
+        // own cadence, and there is no point sampling a stopping
+        // service.
+        if let Some(sampler) = self.sampler.take() {
+            sampler.stop();
+        }
         self.stop.store(true, Ordering::Relaxed);
         for t in self.threads.drain(..) {
             let _ = t.join();
@@ -738,6 +870,95 @@ mod tests {
             );
         }
         assert!(spans.iter().any(|s| s.name == "cluster.tick"));
+        service.shutdown();
+    }
+
+    /// Sends one series query and reassembles the multi-part reply.
+    fn series_query(addr: SocketAddr, req: &Request) -> String {
+        let socket = UdpSocket::bind("127.0.0.1:0").unwrap();
+        socket.connect(addr).unwrap();
+        socket
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        socket.send(&proto::encode_request(req)).unwrap();
+        let mut buf = [0u8; proto::MAX_DATAGRAM];
+        let mut received = std::collections::BTreeMap::new();
+        loop {
+            let n = socket.recv(&mut buf).unwrap();
+            match proto::decode_reply(&buf[..n]).unwrap() {
+                Reply::Series { part, parts, text } => {
+                    received.insert(part, text);
+                    if received.len() == parts as usize {
+                        break;
+                    }
+                }
+                other => panic!("unexpected series reply {other:?}"),
+            }
+        }
+        received.into_values().collect()
+    }
+
+    #[test]
+    fn series_query_returns_sampled_temperature_history() {
+        use telemetry::tsdb::QueryKind;
+        let cfg = ServiceConfig {
+            sample_every: Some(Duration::from_millis(5)),
+            ..ServiceConfig::fast()
+        };
+        let service = SolverService::spawn_machine(&presets::validation_machine(), cfg).unwrap();
+        let addr = service.local_addr();
+        // Let the sampler take a couple of dozen snapshots.
+        std::thread::sleep(Duration::from_millis(150));
+
+        let text = series_query(
+            addr,
+            &Request::SeriesQuery {
+                pattern: "temp/*".into(),
+                start: 0,
+                end: u64::MAX,
+                step: 1000,
+                kind: QueryKind::Raw,
+            },
+        );
+        let results = telemetry::tsdb::parse_results(&text).unwrap();
+        let cpu = results
+            .iter()
+            .find(|r| r.name == "temp/server/cpu")
+            .unwrap_or_else(|| panic!("no cpu series in {results:?}"));
+        assert!(cpu.points.len() >= 2, "only {} samples", cpu.points.len());
+        assert!(cpu
+            .points
+            .iter()
+            .all(|p| p.mean.is_finite() && p.mean > 0.0));
+        // Timestamps are the sampler's wall clock, so they ascend.
+        assert!(cpu.points.windows(2).all(|w| w[0].t <= w[1].t));
+
+        // The store is also reachable in-process, without the wire.
+        let db = service.history().expect("history enabled");
+        assert!(db.latest("temp/server/cpu").is_some());
+        service.shutdown();
+    }
+
+    #[test]
+    fn series_query_without_sampling_is_an_error() {
+        use telemetry::tsdb::QueryKind;
+        let service =
+            SolverService::spawn_machine(&presets::validation_machine(), ServiceConfig::fast())
+                .unwrap();
+        assert!(service.history().is_none());
+        match send(
+            service.local_addr(),
+            &Request::SeriesQuery {
+                pattern: "*".into(),
+                start: 0,
+                end: u64::MAX,
+                step: 0,
+                kind: QueryKind::Raw,
+            },
+        ) {
+            Reply::Error { message } => assert!(message.contains("disabled")),
+            other => panic!("unexpected {other:?}"),
+        }
         service.shutdown();
     }
 

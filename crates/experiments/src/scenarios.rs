@@ -22,9 +22,10 @@ use crate::common::{measured, paper, results_dir, verdict, write_results};
 use crate::freon_exp;
 use cluster_sim::{ClusterSim, ServerConfig};
 use freon::policy::SpecPolicy;
-use freon::{Experiment, ExperimentConfig, ExperimentLog, PolicySpec};
+use freon::{Experiment, ExperimentConfig, ExperimentLog, HistoryConfig, PolicySpec};
 use mercury::fiddle::FiddleScript;
 use mercury::model::NodeSpec;
+use telemetry::tsdb::Tsdb;
 use telemetry::{FlightRecorder, RecorderConfig, Tracer};
 use workload_gen::{DiurnalProfile, RequestMix, WorkloadGenerator, WorkloadTrace};
 
@@ -182,14 +183,22 @@ fn run_cell(
     } else {
         (Tracer::default(), FlightRecorder::disabled(), None)
     };
+    // Traced cells also keep embedded history: the trend detectors can
+    // then arm the flight recorder on a developing ramp, and the
+    // per-machine temperature curves land as a downsampled report.
+    let history = with_trace.then(|| Tsdb::shared(Default::default()));
     let config = ExperimentConfig {
         duration_s: duration,
         tracer,
         recorder,
         incident_dir,
+        history: history.clone().map(HistoryConfig::new),
         ..Default::default()
     };
     let log = Experiment::new(&model, sim, trace, Some(&script), config)?.run(&mut policy)?;
+    if let Some(tsdb) = &history {
+        write_series_report(scenario.name, &spec.name, tsdb, duration)?;
+    }
     // Time above T_h is judged against the cpu high-water mark the spec
     // monitors (67 °C for every shipped policy), summed over servers.
     let t_h = spec
@@ -211,6 +220,28 @@ fn run_cell(
 
 fn seconds_above_all(log: &ExperimentLog, t_h: f64) -> u64 {
     (0..SERVERS).map(|i| log.seconds_above(i, t_h)).sum()
+}
+
+/// Writes one traced cell's per-machine CPU temperature history,
+/// downsampled to ~100 buckets, to
+/// `results/series/<scenario>__<policy>.csv`.
+fn write_series_report(scenario: &str, policy: &str, tsdb: &Tsdb, duration: u64) -> Result {
+    let dir = results_dir()?.join("series");
+    std::fs::create_dir_all(&dir)?;
+    let step = (duration / 100).max(1);
+    let mut csv = String::from("series,t_s,min_c,mean_c,max_c,samples\n");
+    let mut names = tsdb.match_names("temp/*/cpu");
+    names.sort();
+    for name in names {
+        for b in tsdb.query_downsampled(&name, 0, duration, step) {
+            csv.push_str(&format!(
+                "{},{},{:.3},{:.3},{:.3},{}\n",
+                name, b.t, b.min, b.mean, b.max, b.count
+            ));
+        }
+    }
+    std::fs::write(dir.join(format!("{scenario}__{policy}.csv")), csv)?;
+    Ok(())
 }
 
 /// Runs the grid. `--fast` shrinks it to one emergency and a short
@@ -372,15 +403,32 @@ pub fn scenarios(args: &[String]) -> Result {
         "TOML-only policies (no Rust struct) ran through the same interpreter",
     );
     if with_trace {
-        check_bundles()?;
+        measured(&format!(
+            "history: {} per-cell temperature report(s) under {}",
+            grid.len() * specs.len(),
+            results_dir()?.join("series").display()
+        ));
+        check_bundles(grid)?;
     }
     Ok(())
+}
+
+/// Parses an incident bundle file name,
+/// `incident_t{T}_m{M}_{kind}.json`, into `(T, kind)`.
+fn parse_bundle_name(name: &str) -> Option<(u64, String)> {
+    let rest = name.strip_prefix("incident_t")?.strip_suffix(".json")?;
+    let (t, rest) = rest.split_once("_m")?;
+    let (_machine, kind) = rest.split_once('_')?;
+    Some((t.parse().ok()?, kind.to_string()))
 }
 
 /// Post-run check for `--trace`: at least one incident bundle landed in
 /// `results/incidents/`, its spans extract, and the causal chain closes
 /// (a `mediator.dispatch` span whose parent is a `tempd.observe` span).
-fn check_bundles() -> Result {
+/// When the whole grid is a cooling failure, additionally verify the
+/// trend detectors got there first: the earliest `trend_*` bundle must
+/// predate the earliest reactive `red_line` bundle.
+fn check_bundles(grid: &[Scenario]) -> Result {
     let dir = results_dir()?.join("incidents");
     let mut bundles: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
         .map(|it| {
@@ -418,5 +466,27 @@ fn check_bundles() -> Result {
         chain_closed,
         "a bundle's actuation span links back to the tempd observation that caused it",
     );
+    if grid.iter().all(|s| s.name.starts_with("cooling_failure")) {
+        let mut first_trend: Option<u64> = None;
+        let mut first_red: Option<u64> = None;
+        for path in &bundles {
+            let name = path.file_name().unwrap_or_default().to_string_lossy();
+            if let Some((t, kind)) = parse_bundle_name(&name) {
+                if kind.starts_with("trend_") {
+                    first_trend = Some(first_trend.map_or(t, |x| x.min(t)));
+                } else if kind == "red_line" {
+                    first_red = Some(first_red.map_or(t, |x| x.min(t)));
+                }
+            }
+        }
+        measured(&format!(
+            "trend lead: first trend bundle at {:?} s, first red-line bundle at {:?} s",
+            first_trend, first_red
+        ));
+        verdict(
+            matches!((first_trend, first_red), (Some(a), Some(b)) if a < b),
+            "the trend detectors captured the developing emergency before the red line",
+        );
+    }
     Ok(())
 }

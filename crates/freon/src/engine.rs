@@ -26,11 +26,50 @@ use mercury::solver::{ClusterSolver, SolverConfig};
 use mercury::units::Watts;
 use std::borrow::Cow;
 use std::sync::Arc;
-use telemetry::{FlightRecorder, IncidentTrigger, Registry, TickState, Tracer};
+use telemetry::tsdb::Tsdb;
+use telemetry::{
+    FlightRecorder, IncidentTrigger, Registry, TickState, Tracer, TrendConfig, TrendDetector,
+};
 use workload_gen::WorkloadTrace;
 
 /// How many recent spans land in an incident bundle's `spans` section.
 const BUNDLE_SPANS: usize = 4096;
+
+/// Embedded time-series history for an experiment run, plus the trend
+/// detectors that watch it.
+///
+/// When attached to an [`ExperimentConfig`], the engine appends every
+/// machine's monitored CPU and disk temperature (`temp/<machine>/cpu`,
+/// `temp/<machine>/disk`) to the store each sampled simulated second —
+/// timestamps are *simulated seconds*, not wall time — and scans each
+/// machine's trailing CPU window for developing anomalies. Detected
+/// trends fire the flight recorder's `trend_*` triggers, so an incident
+/// bundle captures a runaway ramp *before* the reactive red-line
+/// trigger would.
+#[derive(Debug, Clone)]
+pub struct HistoryConfig {
+    /// The store appended to. Shared, so harnesses can query it while
+    /// the run executes or after it finishes.
+    pub tsdb: Arc<Tsdb>,
+    /// Append (and scan) every `cadence_s` simulated seconds; 1 samples
+    /// every tick. Zero is treated as 1.
+    pub cadence_s: u64,
+    /// Trend detection over the trailing per-machine CPU window.
+    /// `None` records history without watching it.
+    pub detect: Option<TrendConfig>,
+}
+
+impl HistoryConfig {
+    /// History at every tick with the default trend detectors.
+    #[must_use]
+    pub fn new(tsdb: Arc<Tsdb>) -> Self {
+        HistoryConfig {
+            tsdb,
+            cadence_s: 1,
+            detect: Some(TrendConfig::default()),
+        }
+    }
+}
 
 /// What a policy sees about one server each second.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,6 +125,9 @@ pub struct ExperimentConfig {
     /// Directory incident bundles are written to (created on demand).
     /// `None` suppresses bundle files; triggers still fire.
     pub incident_dir: Option<std::path::PathBuf>,
+    /// Embedded time-series history and trend detection. `None` (the
+    /// default) keeps both off.
+    pub history: Option<HistoryConfig>,
 }
 
 impl Default for ExperimentConfig {
@@ -101,6 +143,7 @@ impl Default for ExperimentConfig {
             tracer: Tracer::default(),
             recorder: FlightRecorder::disabled(),
             incident_dir: None,
+            history: None,
         }
     }
 }
@@ -184,6 +227,29 @@ impl<'a> Experiment<'a> {
         policy.set_tracer(tracer.clone());
         let recorder = self.config.recorder.clone();
         let mut seen_incidents = policy.incidents().len();
+
+        // Embedded history: per-machine series handles resolved once,
+        // so the per-second appends below are index lookups. The trend
+        // window is sized to the largest detector's appetite.
+        let history = self.config.history.clone();
+        let mut cpu_series = Vec::new();
+        let mut cpu_handles = Vec::new();
+        let mut disk_handles = Vec::new();
+        let mut trend: Option<(TrendDetector, u64)> = None;
+        if let Some(h) = &history {
+            for i in 0..n {
+                let machine = solver.machine_at(i).machine_name().to_string();
+                let cpu_name = format!("temp/{machine}/cpu");
+                cpu_handles.push(h.tsdb.handle(&cpu_name));
+                disk_handles.push(h.tsdb.handle(&format!("temp/{machine}/disk")));
+                cpu_series.push(cpu_name);
+            }
+            if let Some(cfg) = &h.detect {
+                let window_samples = cfg.min_samples.max(cfg.flatline_samples) as u64;
+                let window_s = h.cadence_s.max(1) * window_samples;
+                trend = Some((TrendDetector::new(cfg.clone()), window_s));
+            }
+        }
 
         // Original power models, to restore after a power-off episode.
         let original_power: Vec<Vec<(String, PowerModel)>> = self
@@ -300,12 +366,51 @@ impl<'a> Experiment<'a> {
                 }
             }
 
+            let cpu_temp: Vec<f64> = (0..n)
+                .map(|i| solver.machine_at(i).temperature_at(cpu_idx[i]).0)
+                .collect();
+            let disk_temp: Vec<f64> = (0..n)
+                .map(|i| solver.machine_at(i).temperature_at(disk_idx[i]).0)
+                .collect();
+
+            // Embedded history + trend detection: append this second's
+            // monitored temperatures, then scan each machine's trailing
+            // CPU window for developing anomalies. A detected trend
+            // arms the flight recorder before the reactive red-line
+            // trigger would.
+            let mut trend_triggers: Vec<IncidentTrigger> = Vec::new();
+            if let Some(h) = &history {
+                if t % h.cadence_s.max(1) == 0 {
+                    for i in 0..n {
+                        h.tsdb.append_handle(cpu_handles[i], t, cpu_temp[i]);
+                        h.tsdb.append_handle(disk_handles[i], t, disk_temp[i]);
+                    }
+                    if let Some((detector, window_s)) = &trend {
+                        for (i, series) in cpu_series.iter().enumerate() {
+                            let window = h.tsdb.query_raw(series, t.saturating_sub(*window_s), t);
+                            if let Some(anomaly) = detector.scan(&window) {
+                                metrics.trend_anomalies.inc();
+                                if let Some(trigger) = recorder.anomaly(
+                                    t,
+                                    i,
+                                    anomaly.kind.as_str(),
+                                    anomaly.detail.clone(),
+                                ) {
+                                    trend_triggers.push(trigger);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
             // Flight recorder: one TickState per machine-second, then
-            // bundles for anything that tripped — anomaly triggers from
-            // the recorder itself or fresh red-line incidents from the
+            // bundles for anything that tripped — trend triggers from
+            // the history detectors above, anomaly triggers from the
+            // recorder itself, or fresh red-line incidents from the
             // policy.
             if recorder.is_attached() {
-                let mut triggers: Vec<IncidentTrigger> = Vec::new();
+                let mut triggers: Vec<IncidentTrigger> = trend_triggers;
                 for (i, snap) in snapshots.iter().enumerate() {
                     let mut actuations: Vec<String> = policy.incidents()[seen_incidents..]
                         .iter()
@@ -349,12 +454,6 @@ impl<'a> Experiment<'a> {
             }
             seen_incidents = policy.incidents().len();
 
-            let cpu_temp: Vec<f64> = (0..n)
-                .map(|i| solver.machine_at(i).temperature_at(cpu_idx[i]).0)
-                .collect();
-            let disk_temp: Vec<f64> = (0..n)
-                .map(|i| solver.machine_at(i).temperature_at(disk_idx[i]).0)
-                .collect();
             log.push(LogRow {
                 time_s: t,
                 cpu_temp,
@@ -494,6 +593,80 @@ mod tests {
         // The off machine sits near ambient; the on machine runs warm.
         assert!(off < 25.0, "off server at {off}");
         assert!(on > off + 8.0, "on {on} vs off {off}");
+    }
+
+    #[test]
+    #[cfg(feature = "instrument")]
+    fn history_trends_flag_a_ramp_before_red_line() {
+        use telemetry::RecorderConfig;
+
+        let model = mercury::presets::validation_cluster(2);
+        let sim = ClusterSim::homogeneous(2, ServerConfig::default());
+        let duration = 520;
+        let trace = paper_trace(duration);
+        // Ramp machine1's inlet steadily toward the red line. The slope
+        // detector should forecast the breach from the trend alone.
+        let mut script = String::from("sleep 120\n");
+        let mut inlet = 25.0;
+        for _ in 0..70 {
+            inlet += 0.75;
+            script.push_str(&format!(
+                "fiddle machine1 temperature inlet {inlet:.2}\nsleep 5\n"
+            ));
+        }
+        let script = FiddleScript::parse(&script).unwrap();
+
+        let dir = std::env::temp_dir().join(format!("freon-trend-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let tsdb = Tsdb::shared(Default::default());
+        let registry = Arc::new(Registry::new());
+        let cfg = ExperimentConfig {
+            duration_s: duration,
+            registry: Some(Arc::clone(&registry)),
+            recorder: FlightRecorder::new(RecorderConfig {
+                // Leave headroom so only trend triggers (and the
+                // recorder's own band trigger, eventually) fire.
+                band_high_c: 200.0,
+                max_rate_c_per_s: 50.0,
+                ..Default::default()
+            }),
+            incident_dir: Some(dir.clone()),
+            history: Some(HistoryConfig::new(Arc::clone(&tsdb))),
+            ..Default::default()
+        };
+        let log = Experiment::new(&model, sim, &trace, Some(&script), cfg)
+            .unwrap()
+            .run(&mut NoPolicy)
+            .unwrap();
+        assert_eq!(log.len(), duration as usize);
+
+        // History: one cpu and one disk series per machine, stamped in
+        // simulated seconds.
+        let stats = tsdb.stats();
+        assert_eq!(stats.series, 4, "series: {:?}", tsdb.series_names());
+        assert_eq!(tsdb.latest("temp/machine1/cpu").unwrap().0, duration - 1);
+        assert_eq!(
+            tsdb.query_raw("temp/machine1/cpu", 0, u64::MAX).len(),
+            duration as usize
+        );
+
+        // The ramp tripped the forecast detector and the recorder wrote
+        // a trend bundle.
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("mercury_freon_trend_anomalies_total")
+                && !text.contains("mercury_freon_trend_anomalies_total 0\n"),
+            "no trend anomalies counted:\n{text}"
+        );
+        let bundles: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            bundles.iter().any(|b| b.contains("trend_redline_eta")),
+            "no trend bundle in {bundles:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -82,7 +82,7 @@ mod tempd;
 pub use admd::Admd;
 pub use config::{ComponentThresholds, EcConfig, FreonConfig};
 pub use controller::PdController;
-pub use engine::{Experiment, ExperimentConfig, ServerSnapshot};
+pub use engine::{Experiment, ExperimentConfig, HistoryConfig, ServerSnapshot};
 pub use local::{CombinedPolicy, LocalDvfsPolicy};
 pub use log::ExperimentLog;
 pub use metrics::{ExperimentMetrics, FreonMetrics};

@@ -153,6 +153,10 @@ pub struct ExperimentMetrics {
     /// `mercury_freon_incident_bundles_total` — flight-recorder incident
     /// bundles written to disk.
     pub incident_bundles: Counter,
+    /// `mercury_freon_trend_anomalies_total` — developing anomalies the
+    /// history trend detectors flagged (red-line ETAs, z-score spikes,
+    /// flatlined sensors), before any recorder cooldown.
+    pub trend_anomalies: Counter,
 }
 
 impl ExperimentMetrics {
@@ -187,6 +191,12 @@ impl ExperimentMetrics {
             "Flight-recorder incident bundles written to disk",
             &[],
             &self.incident_bundles,
+        );
+        registry.register_counter(
+            "mercury_freon_trend_anomalies_total",
+            "Developing anomalies flagged by the history trend detectors",
+            &[],
+            &self.trend_anomalies,
         );
     }
 }

@@ -1,0 +1,296 @@
+//! Trend detectors over sampled history.
+//!
+//! [`TrendDetector::scan`] runs three cheap statistical checks over a
+//! trailing window of `(timestamp, value)` samples — as produced by a
+//! [`crate::tsdb::Tsdb`] raw-range query — and reports the first
+//! anomaly it finds:
+//!
+//! 1. **Slope-toward-red-line ETA**: a least-squares fit over the
+//!    window projects when the series crosses
+//!    [`TrendConfig::red_line_c`]; an ETA inside
+//!    [`TrendConfig::eta_horizon_s`] fires *before* the breach, which
+//!    is the whole point — the flight recorder captures the developing
+//!    emergency, not the aftermath.
+//! 2. **Rolling z-score**: the newest sample against the mean/stddev of
+//!    the window behind it; catches steps and spikes a slope fit
+//!    smears out.
+//! 3. **Flatline / stuck sensor**: a long run of bit-identical values.
+//!    Real thermal nodes jitter in the low mantissa bits every step, so
+//!    an exactly-frozen reading means a wedged sensor, not stability.
+//!
+//! Detectors are pure and deterministic; callers (the freon engine)
+//! route anomalies through
+//! [`FlightRecorder::anomaly`](crate::FlightRecorder::anomaly), whose
+//! per-kind cooldown turns a persistent condition into a single
+//! incident bundle per window.
+
+/// Tuning for [`TrendDetector`]; time fields are in the same unit as
+/// the sample timestamps (seconds in the freon engine).
+#[derive(Debug, Clone)]
+pub struct TrendConfig {
+    /// Minimum samples before any detector runs.
+    pub min_samples: usize,
+    /// Red-line temperature the ETA detector projects toward.
+    pub red_line_c: f64,
+    /// Fire when the projected crossing is within this many time units.
+    pub eta_horizon_s: f64,
+    /// Ignore slopes below this (°C per time unit) — flat drift never
+    /// "trends toward" anything.
+    pub min_slope_c_per_s: f64,
+    /// |z| at or above this fires the z-score detector.
+    pub zscore_threshold: f64,
+    /// Stddev floor so a near-constant window cannot make z explode.
+    pub min_std_c: f64,
+    /// Bit-identical run length that counts as a stuck sensor.
+    pub flatline_samples: usize,
+}
+
+impl Default for TrendConfig {
+    fn default() -> Self {
+        Self {
+            min_samples: 20,
+            red_line_c: 69.5,
+            eta_horizon_s: 120.0,
+            min_slope_c_per_s: 0.01,
+            zscore_threshold: 6.0,
+            min_std_c: 0.05,
+            flatline_samples: 90,
+        }
+    }
+}
+
+/// Which detector fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrendKind {
+    /// Slope projects a red-line crossing within the horizon.
+    RedLineEta,
+    /// Newest sample is a statistical outlier against its window.
+    ZScore,
+    /// The series is frozen bit-for-bit: stuck sensor.
+    Flatline,
+}
+
+impl TrendKind {
+    /// Stable incident-kind string, used in bundle file names; the
+    /// `trend_` prefix distinguishes these from the recorder's own
+    /// reactive triggers (`band_violation`, `red_line`, ...).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TrendKind::RedLineEta => "trend_redline_eta",
+            TrendKind::ZScore => "trend_zscore",
+            TrendKind::Flatline => "trend_flatline",
+        }
+    }
+}
+
+/// One detector verdict: what fired and a human-readable why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendAnomaly {
+    /// Which detector fired.
+    pub kind: TrendKind,
+    /// Diagnostic detail for the incident bundle.
+    pub detail: String,
+}
+
+/// Stateless scanner bundling the three trend checks.
+#[derive(Debug, Clone, Default)]
+pub struct TrendDetector {
+    /// Detector tuning.
+    pub config: TrendConfig,
+}
+
+impl TrendDetector {
+    /// Detector with the given tuning.
+    #[must_use]
+    pub fn new(config: TrendConfig) -> Self {
+        Self { config }
+    }
+
+    /// Scans a trailing window (oldest first) and returns the first
+    /// anomaly in priority order: red-line ETA, z-score, flatline.
+    #[must_use]
+    pub fn scan(&self, samples: &[(u64, f64)]) -> Option<TrendAnomaly> {
+        if samples.len() < self.config.min_samples {
+            return None;
+        }
+        self.red_line_eta(samples)
+            .or_else(|| self.zscore(samples))
+            .or_else(|| self.flatline(samples))
+    }
+
+    fn red_line_eta(&self, samples: &[(u64, f64)]) -> Option<TrendAnomaly> {
+        let c = &self.config;
+        let (_, last) = *samples.last()?;
+        if !last.is_finite() || last >= c.red_line_c {
+            // At or past the line the reactive red-line trigger owns it.
+            return None;
+        }
+        let slope = least_squares_slope(samples)?;
+        if slope < c.min_slope_c_per_s {
+            return None;
+        }
+        let eta = (c.red_line_c - last) / slope;
+        if eta > c.eta_horizon_s {
+            return None;
+        }
+        Some(TrendAnomaly {
+            kind: TrendKind::RedLineEta,
+            detail: format!(
+                "{last:.2}C climbing {slope:.4}C/s, red line {:.1}C in ~{eta:.0}s",
+                c.red_line_c
+            ),
+        })
+    }
+
+    fn zscore(&self, samples: &[(u64, f64)]) -> Option<TrendAnomaly> {
+        let c = &self.config;
+        let (_, last) = *samples.last()?;
+        if !last.is_finite() {
+            return None;
+        }
+        let window: Vec<f64> = samples[..samples.len() - 1]
+            .iter()
+            .map(|&(_, v)| v)
+            .filter(|v| v.is_finite())
+            .collect();
+        if window.len() + 1 < c.min_samples {
+            return None;
+        }
+        let n = window.len() as f64;
+        let mean = window.iter().sum::<f64>() / n;
+        let var = window.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let std = var.sqrt().max(c.min_std_c);
+        let z = (last - mean) / std;
+        if z.abs() < c.zscore_threshold {
+            return None;
+        }
+        Some(TrendAnomaly {
+            kind: TrendKind::ZScore,
+            detail: format!("{last:.2}C is z={z:.1} against window mean {mean:.2}C (std {std:.3})"),
+        })
+    }
+
+    fn flatline(&self, samples: &[(u64, f64)]) -> Option<TrendAnomaly> {
+        let c = &self.config;
+        if c.flatline_samples == 0 || samples.len() < c.flatline_samples {
+            return None;
+        }
+        let (_, last) = *samples.last()?;
+        let bits = last.to_bits();
+        let frozen = samples
+            .iter()
+            .rev()
+            .take(c.flatline_samples)
+            .all(|&(_, v)| v.to_bits() == bits);
+        if !frozen {
+            return None;
+        }
+        Some(TrendAnomaly {
+            kind: TrendKind::Flatline,
+            detail: format!(
+                "sensor stuck at {last:.2}C for {} consecutive samples",
+                c.flatline_samples
+            ),
+        })
+    }
+}
+
+/// Least-squares slope of value over time; `None` when degenerate
+/// (all timestamps equal or non-finite values in the window).
+fn least_squares_slope(samples: &[(u64, f64)]) -> Option<f64> {
+    let t0 = samples.first()?.0;
+    let n = samples.len() as f64;
+    let (mut st, mut sv, mut stt, mut stv) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for &(t, v) in samples {
+        if !v.is_finite() {
+            return None;
+        }
+        let x = t.wrapping_sub(t0) as f64;
+        st += x;
+        sv += v;
+        stt += x * x;
+        stv += x * v;
+    }
+    let denom = n * stt - st * st;
+    if denom.abs() < f64::EPSILON {
+        return None;
+    }
+    Some((n * stv - st * sv) / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(start: f64, slope: f64, n: usize) -> Vec<(u64, f64)> {
+        (0..n)
+            .map(|i| (i as u64, start + slope * i as f64))
+            .collect()
+    }
+
+    #[test]
+    fn quiet_series_is_quiet() {
+        let d = TrendDetector::default();
+        let samples: Vec<(u64, f64)> = (0..120)
+            .map(|i| (i as u64, 45.0 + (i as f64 * 0.7).sin() * 0.3))
+            .collect();
+        assert_eq!(d.scan(&samples), None);
+    }
+
+    #[test]
+    fn climb_toward_red_line_fires_before_breach() {
+        let d = TrendDetector::default();
+        // 60 °C climbing 0.15 °C/s → red line 69.5 in ~63 s, inside the
+        // 120 s horizon, well below the line itself.
+        let samples = ramp(51.0, 0.15, 60);
+        let anomaly = d.scan(&samples).expect("eta detector fires");
+        assert_eq!(anomaly.kind, TrendKind::RedLineEta);
+        assert!(samples.last().unwrap().1 < d.config.red_line_c);
+    }
+
+    #[test]
+    fn slow_drift_does_not_fire() {
+        let d = TrendDetector::default();
+        // 0.02 °C/s from 40 °C: ETA ≈ 1475 s, far past the horizon.
+        assert_eq!(d.scan(&ramp(40.0, 0.02, 60)), None);
+    }
+
+    #[test]
+    fn past_red_line_defers_to_reactive_trigger() {
+        let d = TrendDetector::default();
+        assert_eq!(d.red_line_eta(&ramp(70.0, 0.2, 60)), None);
+    }
+
+    #[test]
+    fn step_change_trips_zscore() {
+        let d = TrendDetector::default();
+        let mut samples: Vec<(u64, f64)> = (0..60)
+            .map(|i| (i as u64, 44.0 + if i % 2 == 0 { 0.1 } else { -0.1 }))
+            .collect();
+        samples.push((60, 52.0));
+        let anomaly = d.scan(&samples).expect("zscore fires");
+        assert_eq!(anomaly.kind, TrendKind::ZScore);
+    }
+
+    #[test]
+    fn frozen_sensor_trips_flatline() {
+        let d = TrendDetector::new(TrendConfig {
+            flatline_samples: 30,
+            ..TrendConfig::default()
+        });
+        let samples: Vec<(u64, f64)> = (0..40).map(|i| (i as u64, 55.25)).collect();
+        let anomaly = d.scan(&samples).expect("flatline fires");
+        assert_eq!(anomaly.kind, TrendKind::Flatline);
+        // One wiggling bit resets the run.
+        let mut wiggle = samples;
+        wiggle[35].1 = 55.250000001;
+        assert_eq!(d.scan(&wiggle), None);
+    }
+
+    #[test]
+    fn short_windows_are_ignored() {
+        let d = TrendDetector::default();
+        assert_eq!(d.scan(&ramp(65.0, 0.3, 5)), None);
+    }
+}

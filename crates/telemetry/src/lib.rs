@@ -38,12 +38,20 @@
 //! `mercury_cluster_tick_seconds`); counters end in `_total`, histogram
 //! families use base units (seconds) via the registration-time scale.
 //!
-//! Two sibling subsystems share these rules: [`trace`] records
+//! Sibling subsystems share these rules: [`trace`] records
 //! causally-linked spans (packet → solver tick → policy decision →
 //! actuation) behind the same `instrument` feature and exports them as
 //! Chrome trace-event JSON, and [`recorder`] is a thermal flight
 //! recorder — bounded per-machine rings of recent tick state dumped as
 //! JSON incident bundles when a red-line or anomaly trigger fires.
+//! The history layer adds time: [`tsdb`] is an embedded Gorilla-style
+//! compressed time-series store with bounded per-series rings,
+//! [`sampler`] snapshots a [`Registry`] (plus caller-supplied series
+//! such as per-machine temperatures) into it on a background cadence,
+//! and [`detect`] runs trend detectors — rolling z-score, slope-toward-
+//! red-line ETA, stuck-sensor flatline — over that history, feeding
+//! [`FlightRecorder::anomaly`] so bundles capture *developing*
+//! emergencies, not just breaches.
 //!
 //! ```
 //! use telemetry::{Registry, Severity};
@@ -68,20 +76,26 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod detect;
 mod events;
 mod handles;
 pub mod recorder;
 mod registry;
+pub mod sampler;
 pub mod text;
 pub mod trace;
+pub mod tsdb;
 
+pub use detect::{TrendAnomaly, TrendConfig, TrendDetector, TrendKind};
 pub use events::{Event, EventRing, Severity};
 pub use handles::{Counter, Gauge, Histogram, HistogramSnapshot, NUM_BUCKETS};
 pub use recorder::{FlightRecorder, IncidentTrigger, RecorderConfig, TickState};
 pub use registry::{
     CounterSample, GaugeSample, HistogramSample, MetricKind, Registry, TelemetrySnapshot,
 };
+pub use sampler::Sampler;
 pub use trace::{LocalSpans, Span, SpanArgs, SpanRecord, Tracer};
+pub use tsdb::{Tsdb, TsdbConfig};
 
 /// `true` when the `instrument` feature is compiled in.
 ///

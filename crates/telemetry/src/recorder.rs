@@ -44,8 +44,10 @@ pub struct RecorderConfig {
     /// Absolute per-probe rate of change, °C/s, above which the
     /// `rate_of_change` trigger trips.
     pub max_rate_c_per_s: f64,
-    /// Minimum seconds between triggers (recording continues in
-    /// between; only the trigger output is suppressed).
+    /// Minimum seconds between triggers *of the same kind* (recording
+    /// continues in between; only the trigger output is suppressed).
+    /// Kinds cool down independently so an early trend anomaly never
+    /// swallows the later `red_line` bundle.
     pub cooldown_s: u64,
 }
 
@@ -101,7 +103,8 @@ pub struct IncidentTrigger {
 struct RecInner {
     config: RecorderConfig,
     rings: Vec<VecDeque<TickState>>,
-    last_trigger_s: Option<u64>,
+    /// Last trigger time per kind — the per-kind cooldown state.
+    last_trigger: Vec<(String, u64)>,
 }
 
 /// A shareable per-machine ring of recent [`TickState`]s with anomaly
@@ -133,7 +136,7 @@ impl FlightRecorder {
                 inner: Some(Arc::new(Mutex::new(RecInner {
                     config,
                     rings: Vec::new(),
-                    last_trigger_s: None,
+                    last_trigger: Vec::new(),
                 }))),
             }
         }
@@ -182,10 +185,9 @@ impl FlightRecorder {
             }
             let time_s = state.time_s;
             ring.push_back(state);
-            if trigger.is_some() && inner.allow_trigger(time_s) {
-                trigger
-            } else {
-                None
+            match trigger {
+                Some(t) if inner.allow_trigger(&t.kind, time_s) => Some(t),
+                _ => None,
             }
         }
         #[cfg(not(feature = "instrument"))]
@@ -201,20 +203,42 @@ impl FlightRecorder {
     pub fn red_line(&self, time_s: u64, machine: usize, detail: String) -> Option<IncidentTrigger> {
         #[cfg(feature = "instrument")]
         {
+            self.anomaly(time_s, machine, "red_line", detail)
+        }
+        #[cfg(not(feature = "instrument"))]
+        {
+            let _ = (time_s, machine, detail);
+            None
+        }
+    }
+
+    /// Builds a trigger of an arbitrary `kind` — the entry point for
+    /// externally-run detectors (the `telemetry::detect` trend scanners
+    /// use kinds like `trend_redline_eta`) — honoring that kind's
+    /// cooldown. Returns `None` when detached or still cooling down.
+    pub fn anomaly(
+        &self,
+        time_s: u64,
+        machine: usize,
+        kind: &str,
+        detail: String,
+    ) -> Option<IncidentTrigger> {
+        #[cfg(feature = "instrument")]
+        {
             let mut inner = self.lock()?;
-            if !inner.allow_trigger(time_s) {
+            if !inner.allow_trigger(kind, time_s) {
                 return None;
             }
             Some(IncidentTrigger {
                 time_s,
                 machine,
-                kind: "red_line".to_string(),
+                kind: kind.to_string(),
                 detail,
             })
         }
         #[cfg(not(feature = "instrument"))]
         {
-            let _ = (time_s, machine, detail);
+            let _ = (time_s, machine, kind, detail);
             None
         }
     }
@@ -297,17 +321,24 @@ impl FlightRecorder {
 
 #[cfg(feature = "instrument")]
 impl RecInner {
-    /// Whether a trigger at `time_s` is outside the cooldown window,
-    /// latching it if so.
-    fn allow_trigger(&mut self, time_s: u64) -> bool {
-        let ok = match self.last_trigger_s {
-            None => true,
-            Some(last) => time_s.saturating_sub(last) >= self.config.cooldown_s,
-        };
-        if ok {
-            self.last_trigger_s = Some(time_s);
+    /// Whether a `kind` trigger at `time_s` is outside that kind's
+    /// cooldown window, latching it if so. Kinds are independent: a
+    /// `trend_redline_eta` trigger never delays the `red_line` one.
+    fn allow_trigger(&mut self, kind: &str, time_s: u64) -> bool {
+        match self.last_trigger.iter_mut().find(|(k, _)| k == kind) {
+            Some((_, last)) => {
+                if time_s.saturating_sub(*last) >= self.config.cooldown_s {
+                    *last = time_s;
+                    true
+                } else {
+                    false
+                }
+            }
+            None => {
+                self.last_trigger.push((kind.to_string(), time_s));
+                true
+            }
         }
-        ok
     }
 }
 
@@ -586,6 +617,27 @@ mod tests {
             assert!(rec.red_line(125, 1, "cpu 70.4".to_string()).is_some());
             assert!(FlightRecorder::disabled()
                 .red_line(0, 0, String::new())
+                .is_none());
+        }
+
+        #[test]
+        fn cooldowns_are_per_kind() {
+            let rec = FlightRecorder::new(RecorderConfig {
+                cooldown_s: 60,
+                ..RecorderConfig::default()
+            });
+            // A trend anomaly must not delay the red-line trigger that
+            // follows it inside the same cooldown window.
+            let t = rec
+                .anomaly(100, 0, "trend_redline_eta", "climbing".to_string())
+                .expect("first trend trigger");
+            assert_eq!(t.kind, "trend_redline_eta");
+            assert!(rec
+                .anomaly(120, 0, "trend_redline_eta", "still".to_string())
+                .is_none());
+            assert!(rec.red_line(130, 0, "cpu 69.6".to_string()).is_some());
+            assert!(FlightRecorder::disabled()
+                .anomaly(0, 0, "trend_zscore", String::new())
                 .is_none());
         }
     }

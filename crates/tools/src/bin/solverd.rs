@@ -4,17 +4,22 @@
 //! usage: mercury-solverd [--bind HOST:PORT] [--model PRESET|FILE.mdl]
 //!                        [--machine NAME | --cluster NAME]
 //!                        [--tick-ms MILLIS] [--dt SECONDS] [--trace]
+//!                        [--sample-ms MILLIS]
 //!
-//!   --bind      address to listen on            (default 127.0.0.1:8367)
-//!   --model     `table1`, `freon`, `room:<n>`, `freon-room:<n>`,
-//!               or a graph-description file     (default table1)
-//!   --machine   machine to pick from a file defining several
-//!   --cluster   cluster to pick from a file (serves a whole room)
-//!   --tick-ms   wall milliseconds per emulated second (default 1000 =
-//!               real time; smaller fast-forwards)
-//!   --dt        emulated seconds per solver tick (default 1)
-//!   --trace     record causal spans (tick phases, request lifecycle)
-//!               and answer TraceDump requests from `mercury-trace`
+//!   --bind       address to listen on           (default 127.0.0.1:8367)
+//!   --model      `table1`, `freon`, `room:<n>`, `freon-room:<n>`,
+//!                or a graph-description file    (default table1)
+//!   --machine    machine to pick from a file defining several
+//!   --cluster    cluster to pick from a file (serves a whole room)
+//!   --tick-ms    wall milliseconds per emulated second (default 1000 =
+//!                real time; smaller fast-forwards)
+//!   --dt         emulated seconds per solver tick (default 1)
+//!   --trace      record causal spans (tick phases, request lifecycle)
+//!                and answer TraceDump requests from `mercury-trace`
+//!   --sample-ms  keep sampled history: snapshot every metric and node
+//!                temperature into the embedded time-series store every
+//!                N wall ms, and answer SeriesQuery requests from
+//!                `mercury-top` (off unless given; 1000 is typical)
 //! ```
 //!
 //! The paper's example port is 8367.
@@ -55,6 +60,14 @@ fn run() -> Result<(), String> {
     } else {
         telemetry::Tracer::default()
     };
+    let sample_every = args
+        .value("sample-ms")
+        .map(|ms| {
+            ms.parse::<u64>()
+                .map(|ms| Duration::from_millis(ms.max(1)))
+                .map_err(|_| "--sample-ms wants an integer".to_string())
+        })
+        .transpose()?;
     let config = ServiceConfig {
         bind,
         tick_wall: Duration::from_millis(tick_ms.max(1)),
@@ -63,6 +76,7 @@ fn run() -> Result<(), String> {
             ..SolverConfig::default()
         },
         tracer: tracer.clone(),
+        sample_every,
     };
 
     let wants_cluster =
@@ -87,6 +101,13 @@ fn run() -> Result<(), String> {
     );
     if tracer.is_attached() {
         eprintln!("span tracing on; dump with `mercury-trace fetch {}`", bind);
+    }
+    if let Some(period) = sample_every {
+        eprintln!(
+            "history sampling on every {} ms; watch with `mercury-top --solver {}`",
+            period.as_millis(),
+            bind
+        );
     }
     eprintln!("press ctrl-c to stop");
     // Serve until killed; the service threads do all the work.

@@ -6,21 +6,27 @@
 //!
 //!   --raw    print the Prometheus text exposition verbatim (pipe it to
 //!            a file and point a Prometheus file exporter at it)
-//!   --watch  re-scrape every N seconds until interrupted
+//!   --watch  re-scrape every N seconds until interrupted; from the
+//!            second frame on, counter families additionally print
+//!            their per-interval rate (delta / elapsed)
 //! ```
 //!
 //! The default output groups the scrape by metric family: counters and
 //! gauges one per line, histograms as `count / mean / max-bucket`.
+//!
+//! Scrapes travel as multiple UDP datagrams; when any advertised part
+//! fails to arrive the tool warns on stderr and (in one-shot mode)
+//! exits with status 2 rather than presenting a truncated document.
 
-use mercury::net::proto::{self, Reply, Request};
-use mercury_tools::{resolve, Args};
+use mercury::net::proto::Request;
+use mercury_tools::{fetch_multipart, resolve, Args, MultipartFetch};
 use std::collections::BTreeMap;
-use std::net::{SocketAddr, UdpSocket};
-use std::time::Duration;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
 
 fn main() -> std::process::ExitCode {
     match run() {
-        Ok(()) => std::process::ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(message) => {
             eprintln!("mercury-stats: {message}");
             std::process::ExitCode::FAILURE
@@ -29,33 +35,9 @@ fn main() -> std::process::ExitCode {
 }
 
 /// Sends one scrape request and reassembles the (possibly multi-part)
-/// metrics reply into the full text exposition.
-fn scrape(solver: SocketAddr) -> Result<String, String> {
-    let socket = UdpSocket::bind("0.0.0.0:0").map_err(|e| e.to_string())?;
-    socket.connect(solver).map_err(|e| e.to_string())?;
-    socket
-        .set_read_timeout(Some(Duration::from_secs(2)))
-        .map_err(|e| e.to_string())?;
-    socket
-        .send(&proto::encode_request(&Request::Scrape))
-        .map_err(|e| e.to_string())?;
-    let mut received: BTreeMap<u16, String> = BTreeMap::new();
-    let mut buf = [0u8; proto::MAX_DATAGRAM];
-    loop {
-        let n = socket
-            .recv(&mut buf)
-            .map_err(|e| format!("no reply from the solver: {e}"))?;
-        match proto::decode_reply(&buf[..n]).map_err(|e| e.to_string())? {
-            Reply::Metrics { part, parts, text } => {
-                received.insert(part, text);
-                if received.len() as u16 == parts {
-                    return Ok(received.into_values().collect());
-                }
-            }
-            Reply::Error { message } => return Err(message),
-            other => return Err(format!("unexpected reply {other:?} to a scrape")),
-        }
-    }
+/// metrics reply.
+fn scrape(solver: SocketAddr) -> Result<MultipartFetch, String> {
+    fetch_multipart(solver, &Request::Scrape, Duration::from_secs(2))
 }
 
 fn format_labels(labels: &[(String, String)]) -> String {
@@ -148,28 +130,79 @@ fn pretty_print(text: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn run() -> Result<(), String> {
+/// Extracts every counter-family sample (`*_total` counters and
+/// histogram `*_count` lines) keyed by `name{labels}`, for rate
+/// computation between watch frames.
+fn counter_samples(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let samples = telemetry::text::parse_exposition(text)
+        .map_err(|e| format!("scrape did not parse as Prometheus text: {e}"))?;
+    Ok(samples
+        .iter()
+        .filter(|s| s.name.ends_with("_total") || s.name.ends_with("_count"))
+        .map(|s| (format!("{}{}", s.name, format_labels(&s.labels)), s.value))
+        .collect())
+}
+
+/// Prints per-second rates for every counter seen this frame, using the
+/// previous frame as the baseline (counters new this frame rate from 0).
+fn print_rates(now: &BTreeMap<String, f64>, before: &BTreeMap<String, f64>, elapsed: Duration) {
+    let dt = elapsed.as_secs_f64();
+    if dt <= 0.0 {
+        return;
+    }
+    println!("-- counter rates over the last {dt:.1} s --");
+    for (name, value) in now {
+        let delta = value - before.get(name).copied().unwrap_or(0.0);
+        println!("{name:<70} {:+.3}/s", delta / dt);
+    }
+}
+
+fn run() -> Result<std::process::ExitCode, String> {
     let args = Args::parse(std::env::args().skip(1));
     let solver = resolve(args.require("solver")?)?;
     let raw = args.has("raw");
 
-    let print = |text: &str| -> Result<(), String> {
+    let print = |fetch: &MultipartFetch| -> Result<(), String> {
+        if !fetch.is_complete() {
+            eprintln!(
+                "mercury-stats: warning: incomplete scrape — {}/{} parts arrived (UDP loss)",
+                fetch.received, fetch.total
+            );
+        }
         if raw {
-            print!("{text}");
+            print!("{}", fetch.text);
             Ok(())
         } else {
-            pretty_print(text)
+            pretty_print(&fetch.text)
         }
     };
 
     match args.value("watch") {
-        None => print(&scrape(solver)?),
+        None => {
+            let fetch = scrape(solver)?;
+            print(&fetch)?;
+            Ok(if fetch.is_complete() {
+                std::process::ExitCode::SUCCESS
+            } else {
+                std::process::ExitCode::from(2)
+            })
+        }
         Some(period) => {
             let period: f64 = period
                 .parse()
                 .map_err(|_| "--watch wants seconds".to_string())?;
+            let mut prev: Option<(Instant, BTreeMap<String, f64>)> = None;
             loop {
-                print(&scrape(solver)?)?;
+                let fetch = scrape(solver)?;
+                print(&fetch)?;
+                if !raw {
+                    let counters = counter_samples(&fetch.text)?;
+                    let now = Instant::now();
+                    if let Some((then, before)) = prev.take() {
+                        print_rates(&counters, &before, now - then);
+                    }
+                    prev = Some((now, counters));
+                }
                 println!();
                 std::thread::sleep(Duration::from_secs_f64(period.max(0.05)));
             }

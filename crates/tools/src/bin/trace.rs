@@ -19,16 +19,14 @@
 //!       --out incident.trace.json
 //! ```
 
-use mercury::net::proto::{self, Reply, Request};
-use mercury_tools::{resolve, Args};
-use std::collections::BTreeMap;
-use std::net::UdpSocket;
+use mercury::net::proto::Request;
+use mercury_tools::{fetch_multipart, resolve, Args};
 use std::time::Duration;
 use telemetry::trace::{parse_jsonl, to_chrome_trace, to_jsonl, SpanRecord};
 
 fn main() -> std::process::ExitCode {
     match run() {
-        Ok(()) => std::process::ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(message) => {
             eprintln!("mercury-trace: {message}");
             std::process::ExitCode::FAILURE
@@ -36,13 +34,13 @@ fn main() -> std::process::ExitCode {
     }
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<std::process::ExitCode, String> {
     let args = Args::parse(std::env::args().skip(1));
     match args.positional() {
         [] => Err("usage: mercury-trace fetch HOST:PORT | convert INPUT... (see --help)".into()),
         [cmd, rest @ ..] => match cmd.as_str() {
             "fetch" => fetch(&args, rest),
-            "convert" => convert(&args, rest),
+            "convert" => convert(&args, rest).map(|()| std::process::ExitCode::SUCCESS),
             other => Err(format!("unknown command `{other}`; try fetch or convert")),
         },
     }
@@ -59,46 +57,31 @@ fn emit(args: &Args, text: &str) -> Result<(), String> {
     }
 }
 
-/// `fetch HOST:PORT` — one TraceDump round trip, reassembling the
-/// multi-part reply in part order.
-fn fetch(args: &Args, rest: &[String]) -> Result<(), String> {
+/// `fetch HOST:PORT` — one TraceDump round trip through the shared
+/// multi-part fetch path. A dump with datagrams missing is still
+/// written (spans are independent JSONL lines), but the gap is warned
+/// about and the exit status is 2.
+fn fetch(args: &Args, rest: &[String]) -> Result<std::process::ExitCode, String> {
     let addr = rest
         .first()
         .ok_or("fetch wants the solver's HOST:PORT".to_string())?;
     let solver = resolve(addr)?;
-    let socket = UdpSocket::bind("0.0.0.0:0").map_err(|e| e.to_string())?;
-    socket.connect(solver).map_err(|e| e.to_string())?;
-    socket
-        .set_read_timeout(Some(Duration::from_secs(2)))
-        .map_err(|e| e.to_string())?;
-    socket
-        .send(&proto::encode_request(&Request::TraceDump))
-        .map_err(|e| e.to_string())?;
-
-    let mut parts: BTreeMap<u16, String> = BTreeMap::new();
-    let mut expected: Option<u16> = None;
-    let mut buf = [0u8; proto::MAX_DATAGRAM];
-    while expected.is_none_or(|n| parts.len() < n as usize) {
-        let n = socket
-            .recv(&mut buf)
-            .map_err(|e| format!("no reply from the solver: {e}"))?;
-        match proto::decode_reply(&buf[..n]).map_err(|e| e.to_string())? {
-            Reply::Trace {
-                part,
-                parts: total,
-                text,
-            } => {
-                expected = Some(total);
-                parts.insert(part, text);
-            }
-            Reply::Error { message } => return Err(message),
-            other => return Err(format!("unexpected reply {other:?}")),
-        }
-    }
-    let text: String = parts.into_values().collect();
-    let spans = parse_jsonl(&text).map_err(|e| format!("solver sent a malformed dump: {e}"))?;
+    let dump = fetch_multipart(solver, &Request::TraceDump, Duration::from_secs(2))?;
+    let spans =
+        parse_jsonl(&dump.text).map_err(|e| format!("solver sent a malformed dump: {e}"))?;
     eprintln!("fetched {} spans from {addr}", spans.len());
-    emit(args, &text)
+    if !dump.is_complete() {
+        eprintln!(
+            "mercury-trace: warning: incomplete dump — {}/{} parts arrived (UDP loss)",
+            dump.received, dump.total
+        );
+    }
+    emit(args, &dump.text)?;
+    Ok(if dump.is_complete() {
+        std::process::ExitCode::SUCCESS
+    } else {
+        std::process::ExitCode::from(2)
+    })
 }
 
 /// Reads one input file as spans: an incident bundle (detected by its
