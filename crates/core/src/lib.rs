@@ -61,7 +61,7 @@
 //! | [`solver`] | the coarse-grained finite-element solver (§2.2) |
 //! | [`fiddle`] | thermal-emergency injection tool and script language (§2.3) |
 //! | [`fan`] | variable-speed fan curves and controllers (§7 extension) |
-//! | [`trace`] | utilization traces, offline runs, trace replication |
+//! | [`trace`] | utilization traces, `.events` binary replay, checkpoints |
 //! | [`perf`] | performance-counter energy accounting (Pentium 4 mode, §2.3) |
 //! | [`presets`] | ready-made models with the paper's Table 1 constants |
 //! | [`net`] | UDP solver service, `monitord`, and the sensor client library |
@@ -73,10 +73,12 @@
 // `solver::simd` (dispatch is gated on runtime feature detection and
 // every kernel is held bitwise-equal to the safe scalar sweep), and
 // (c) the aligned chunk buffers in `solver::aligned` (a fixed-length
-// `Vec<f64>` at cache-line alignment). Each site carries a SAFETY
-// comment, is `#[allow]`ed individually, and is exercised under
-// ThreadSanitizer in CI; everything else in the crate remains safe
-// Rust.
+// `Vec<f64>` at cache-line alignment), and (d) the read-only `mmap`
+// of `.events` trace files in `trace::stream` (a private mapping of
+// an immutable file, unmapped on drop, with a buffered-read fallback
+// on the same code path). Each site carries a SAFETY comment, is
+// `#[allow]`ed individually, and is exercised under ThreadSanitizer
+// in CI; everything else in the crate remains safe Rust.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

@@ -737,6 +737,75 @@ impl ClusterSolver {
         self.replay(ticks, &[], &mut |_, _| {});
     }
 
+    /// Serializes the room's full mutable state to a `mercury-ckpt-v1`
+    /// blob — a convenience wrapper over [`crate::trace::checkpoint::save`].
+    #[must_use]
+    pub fn checkpoint(&self) -> Vec<u8> {
+        crate::trace::checkpoint::save(self)
+    }
+
+    /// Restores a blob from [`ClusterSolver::checkpoint`] into this room,
+    /// which must have been built from the same model and configuration —
+    /// a convenience wrapper over [`crate::trace::checkpoint::restore`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] for malformed or mismatched blobs.
+    pub fn restore_checkpoint(&mut self, blob: &[u8]) -> Result<(), Error> {
+        crate::trace::checkpoint::restore(self, blob)
+    }
+
+    /// Writes the cluster-level mutable state (clock, supply and junction
+    /// temperatures, forced inlets) followed by every machine's state.
+    ///
+    /// Scratch that is recomputed from this state each tick — exhaust
+    /// buffers, batch chunk matrices, kernel double buffers — is *not*
+    /// serialized: every tick/span boundary scatters it back into the
+    /// state written here, and a restored solver re-gathers it.
+    pub(crate) fn write_ckpt(&self, w: &mut crate::trace::checkpoint::CkptWriter) {
+        w.f64(self.time.0);
+        w.u32(self.supply_temps.len() as u32);
+        for t in &self.supply_temps {
+            w.f64(t.0);
+        }
+        w.u32(self.junction_temps.len() as u32);
+        for t in &self.junction_temps {
+            w.f64(t.0);
+        }
+        w.u32(self.machines.len() as u32);
+        for (i, m) in self.machines.iter().enumerate() {
+            w.opt_f64(self.forced_inlets[i].map(|t| t.0));
+            m.write_ckpt(w);
+        }
+    }
+
+    /// Restores state written by [`ClusterSolver::write_ckpt`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] when the blob is truncated or was
+    /// taken from a differently shaped cluster.
+    pub(crate) fn read_ckpt(
+        &mut self,
+        r: &mut crate::trace::checkpoint::CkptReader<'_>,
+    ) -> Result<(), Error> {
+        self.time = Seconds(r.f64("cluster time")?);
+        r.count("supply", self.supply_temps.len())?;
+        for t in &mut self.supply_temps {
+            *t = Celsius(r.f64("supply temperature")?);
+        }
+        r.count("junction", self.junction_temps.len())?;
+        for t in &mut self.junction_temps {
+            *t = Celsius(r.f64("junction temperature")?);
+        }
+        r.count("machine", self.machines.len())?;
+        for i in 0..self.machines.len() {
+            self.forced_inlets[i] = r.opt_f64("forced inlet")?.map(Celsius);
+            self.machines[i].read_ckpt(r)?;
+        }
+        Ok(())
+    }
+
     /// Resolves a `(machine, node)` pair into a dense probe for
     /// [`ClusterSolver::step_for_recorded`].
     ///

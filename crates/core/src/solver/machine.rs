@@ -784,6 +784,95 @@ impl Solver {
         &mut self.temp
     }
 
+    /// Serializes this machine's mutable state into a `mercury-ckpt-v1`
+    /// blob (see `trace::checkpoint` for the layout and contract).
+    ///
+    /// Only state a tick can change is written: structural data (names,
+    /// edge topology, kernels) is rebuilt deterministically from the
+    /// model at restore time. Heat-edge conductances and air fractions
+    /// *are* written because fiddle commands retune them at runtime.
+    pub(crate) fn write_ckpt(&self, w: &mut crate::trace::checkpoint::CkptWriter) {
+        w.name(&self.machine);
+        w.f64(self.time.0);
+        w.u64(self.ticks_stepped);
+        w.f64(self.generated_last_tick.0);
+        w.f64(self.fan.0);
+        w.f64(self.inlet_temperature.0);
+        w.u8(u8::from(self.diverged));
+        w.u32(self.temp.len() as u32);
+        for i in 0..self.temp.len() {
+            w.f64(self.temp[i].0);
+            w.f64(self.utilization[i].fraction());
+            w.opt_f64(self.forced[i].map(|t| t.0));
+        }
+        w.u32(self.heat_edges.len() as u32);
+        for &(_, _, k) in &self.heat_edges {
+            w.f64(k.0);
+        }
+        w.u32(self.air_edges.len() as u32);
+        for &(_, _, fraction) in &self.air_edges {
+            w.f64(fraction);
+        }
+    }
+
+    /// Restores state written by [`Solver::write_ckpt`] into this solver,
+    /// which must have been built from the same machine model.
+    ///
+    /// Marks the kernel dirty and the tick inputs stale so the next step
+    /// recompiles from the restored edge constants and re-prices power —
+    /// recompilation is deterministic, so a restored solver continues the
+    /// checkpointed trajectory bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] when the blob is truncated or was
+    /// taken from a differently shaped machine.
+    pub(crate) fn read_ckpt(
+        &mut self,
+        r: &mut crate::trace::checkpoint::CkptReader<'_>,
+    ) -> Result<(), Error> {
+        let name = r.name("machine")?;
+        if name != self.machine {
+            return Err(Error::invalid_input(format!(
+                "checkpoint machine `{name}` does not match target machine `{}`",
+                self.machine
+            )));
+        }
+        self.time = Seconds(r.f64("machine time")?);
+        self.ticks_stepped = r.u64("ticks stepped")?;
+        self.generated_last_tick = Joules(r.f64("generated heat")?);
+        self.fan = CubicMetersPerSecond(r.f64("fan")?);
+        self.inlet_temperature = Celsius(r.f64("inlet temperature")?);
+        self.diverged = match r.u8("diverged flag")? {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(Error::invalid_input(format!(
+                    "checkpoint diverged flag is {other}, not 0/1"
+                )));
+            }
+        };
+        r.count("node", self.temp.len())?;
+        for i in 0..self.temp.len() {
+            self.temp[i] = Celsius(r.f64("node temperature")?);
+            self.utilization[i] = Utilization::new(r.f64("node utilization")?);
+            self.forced[i] = r.opt_f64("forced temperature")?.map(Celsius);
+        }
+        r.count("heat edge", self.heat_edges.len())?;
+        for edge in &mut self.heat_edges {
+            edge.2 = WattsPerKelvin(r.f64("heat conductance")?);
+        }
+        r.count("air edge", self.air_edges.len())?;
+        for edge in &mut self.air_edges {
+            edge.2 = r.f64("air fraction")?;
+        }
+        // Force a kernel rebuild and input re-pricing on the next tick;
+        // both are pure functions of the state restored above.
+        self.dirty = true;
+        self.inputs_dirty = true;
+        Ok(())
+    }
+
     /// Advances the emulation by one tick of [`SolverConfig::dt`] seconds.
     ///
     /// The graph arithmetic (Equations 2, 3, and 5 plus advection) runs in

@@ -1,0 +1,302 @@
+//! `mercury-ckpt-v1`: full solver-state checkpoints.
+//!
+//! A checkpoint captures everything that distinguishes a running
+//! [`ClusterSolver`] from a freshly constructed one — node temperatures,
+//! utilizations, fiddle state (forced nodes and inlets, fan speeds,
+//! retuned heat/air edges), divergence flags, junction and supply
+//! temperatures, and the emulated clock — as a compact little-endian
+//! blob:
+//!
+//! ```text
+//! magic    8  b"MCCKPT1\0"             (mercury-ckpt-v1)
+//! version  u32 = 1
+//! time     f64 (bit pattern preserved)
+//! supplies u32, then f64 each
+//! junctions u32, then f64 each
+//! machines u32, then per machine:
+//!   forced inlet     u8 flag + f64
+//!   name             u16 len + UTF-8
+//!   time             f64
+//!   ticks_stepped    u64
+//!   generated        f64 (J)
+//!   fan              f64 (m³/s)
+//!   inlet            f64 (°C)
+//!   diverged         u8
+//!   nodes            u32, then per node: temp f64, utilization f64,
+//!                    forced u8 flag + f64
+//!   heat edges       u32, then k f64 each   (construction order)
+//!   air edges        u32, then fraction f64 each
+//! ```
+//!
+//! Restore targets a solver built from the **same model and config**:
+//! structural data (names, edges, kernels, batch plans) is rebuilt
+//! deterministically from the model, so the blob only carries mutable
+//! state. Every count and name is validated against the target; a
+//! mismatch is a hard error, never a silent partial restore.
+//!
+//! The contract — proven by proptest in `tests/trace_pipeline.rs` — is
+//! *bitwise* continuation: stepping a restored solver produces exactly
+//! the trajectory the checkpointed solver would have produced, at any
+//! thread count, with batching on or off. That is what makes cutting a
+//! long replay into parallel time segments sound (kernel double buffers
+//! and chunk matrices need no serialization: both are scattered back to
+//! solver state at every tick/span boundary, and a restored solver
+//! re-gathers them on its next tick).
+
+use crate::error::Error;
+use crate::solver::ClusterSolver;
+
+/// File magic, "mercury-ckpt-v1".
+pub const MAGIC: [u8; 8] = *b"MCCKPT1\0";
+/// Current checkpoint version.
+pub const VERSION: u32 = 1;
+
+/// Serializes the full mutable state of `cluster` to a
+/// `mercury-ckpt-v1` blob.
+#[must_use]
+pub fn save(cluster: &ClusterSolver) -> Vec<u8> {
+    let mut w = CkptWriter::new();
+    w.bytes(&MAGIC);
+    w.u32(VERSION);
+    cluster.write_ckpt(&mut w);
+    w.into_bytes()
+}
+
+/// Restores a blob produced by [`save`] into `cluster`, which must have
+/// been built from the same model and configuration.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidInput`] when the blob is malformed, version-
+/// incompatible, or shaped for a different cluster. The target solver
+/// is left unusable-but-memory-safe on error; callers should discard it.
+pub fn restore(cluster: &mut ClusterSolver, blob: &[u8]) -> Result<(), Error> {
+    let mut r = CkptReader::new(blob);
+    let magic = r.bytes(8, "magic")?;
+    if magic != MAGIC {
+        return Err(Error::invalid_input("not a mercury-ckpt blob (bad magic)"));
+    }
+    let version = r.u32("version")?;
+    if version != VERSION {
+        return Err(Error::invalid_input(format!(
+            "unsupported mercury-ckpt version {version} (expected {VERSION})"
+        )));
+    }
+    cluster.read_ckpt(&mut r)?;
+    r.finish()
+}
+
+/// Little-endian checkpoint field writer.
+#[derive(Debug, Default)]
+pub(crate) struct CkptWriter {
+    out: Vec<u8>,
+}
+
+impl CkptWriter {
+    fn new() -> Self {
+        Self::default()
+    }
+
+    fn into_bytes(self) -> Vec<u8> {
+        self.out
+    }
+
+    pub(crate) fn bytes(&mut self, b: &[u8]) {
+        self.out.extend_from_slice(b);
+    }
+
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes the exact bit pattern — checkpoints must round-trip NaNs
+    /// and signed zeros untouched for the bitwise-continuation contract.
+    pub(crate) fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    pub(crate) fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(x) => {
+                self.u8(1);
+                self.f64(x);
+            }
+            None => {
+                self.u8(0);
+                self.f64(0.0);
+            }
+        }
+    }
+
+    pub(crate) fn name(&mut self, s: &str) {
+        let b = s.as_bytes();
+        debug_assert!(b.len() <= usize::from(u16::MAX));
+        self.out
+            .extend_from_slice(&(b.len().min(usize::from(u16::MAX)) as u16).to_le_bytes());
+        self.out
+            .extend_from_slice(&b[..b.len().min(usize::from(u16::MAX))]);
+    }
+}
+
+/// Bounds-checked checkpoint field reader.
+#[derive(Debug)]
+pub(crate) struct CkptReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> CkptReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        CkptReader { bytes, pos: 0 }
+    }
+
+    fn finish(self) -> Result<(), Error> {
+        if self.pos != self.bytes.len() {
+            return Err(Error::invalid_input(format!(
+                "checkpoint has {} trailing bytes",
+                self.bytes.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+
+    pub(crate) fn bytes(&mut self, n: usize, what: &str) -> Result<&'a [u8], Error> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let s = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(Error::invalid_input(format!(
+                "truncated checkpoint: {what} at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    pub(crate) fn u8(&mut self, what: &str) -> Result<u8, Error> {
+        Ok(self.bytes(1, what)?[0])
+    }
+
+    pub(crate) fn u32(&mut self, what: &str) -> Result<u32, Error> {
+        let b = self.bytes(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub(crate) fn u64(&mut self, what: &str) -> Result<u64, Error> {
+        let b = self.bytes(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    pub(crate) fn f64(&mut self, what: &str) -> Result<f64, Error> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    pub(crate) fn opt_f64(&mut self, what: &str) -> Result<Option<f64>, Error> {
+        let flag = self.u8(what)?;
+        let value = self.f64(what)?;
+        match flag {
+            0 => Ok(None),
+            1 => Ok(Some(value)),
+            other => Err(Error::invalid_input(format!(
+                "checkpoint flag for {what} is {other}, not 0/1"
+            ))),
+        }
+    }
+
+    pub(crate) fn name(&mut self, what: &str) -> Result<String, Error> {
+        let len = usize::from(u16::from_le_bytes({
+            let b = self.bytes(2, what)?;
+            [b[0], b[1]]
+        }));
+        let raw = self.bytes(len, what)?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| Error::invalid_input(format!("checkpoint {what} name is not UTF-8")))
+    }
+
+    /// Reads a count and validates it against the target's expectation —
+    /// the guard that keeps a blob from a different model from silently
+    /// half-applying.
+    pub(crate) fn count(&mut self, what: &str, expected: usize) -> Result<usize, Error> {
+        let got = self.u32(what)? as usize;
+        if got != expected {
+            return Err(Error::invalid_input(format!(
+                "checkpoint {what} count {got} does not match the target solver's {expected}"
+            )));
+        }
+        Ok(got)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use crate::solver::SolverConfig;
+
+    fn cluster(n: usize) -> ClusterSolver {
+        ClusterSolver::new(&presets::validation_cluster(n), SolverConfig::default()).unwrap()
+    }
+
+    fn temps(c: &ClusterSolver) -> Vec<u64> {
+        (0..c.len())
+            .flat_map(|i| {
+                c.machine_at(i)
+                    .temperatures()
+                    .into_iter()
+                    .map(|(_, t)| t.0.to_bits())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn checkpoint_round_trips_bitwise() {
+        let mut a = cluster(3);
+        a.machine_at_mut(0).set_utilization("cpu", 0.9).unwrap();
+        a.machine_at_mut(1).set_fan_cfm(20.0).unwrap();
+        a.force_inlet("machine3", crate::units::Celsius(30.0))
+            .unwrap();
+        a.step_for(50);
+        let blob = save(&a);
+        let mut b = cluster(3);
+        restore(&mut b, &blob).unwrap();
+        assert_eq!(temps(&a), temps(&b));
+        assert_eq!(a.time(), b.time());
+        // Continuations stay bit-identical.
+        a.step_for(25);
+        b.step_for(25);
+        assert_eq!(temps(&a), temps(&b));
+        // And a second checkpoint of the continuation matches too.
+        assert_eq!(save(&a), save(&b));
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_targets() {
+        let a = cluster(2);
+        let blob = save(&a);
+        let mut wrong_size = cluster(3);
+        assert!(restore(&mut wrong_size, &blob).is_err());
+        // Corruption: magic, version, truncation, trailing bytes.
+        let mut bad = blob.clone();
+        bad[0] ^= 0xff;
+        assert!(restore(&mut cluster(2), &bad).is_err());
+        let mut bad = blob.clone();
+        bad[8] = 42;
+        assert!(restore(&mut cluster(2), &bad).is_err());
+        assert!(restore(&mut cluster(2), &blob[..blob.len() - 3]).is_err());
+        let mut bad = blob.clone();
+        bad.push(0);
+        assert!(restore(&mut cluster(2), &bad).is_err());
+    }
+}

@@ -9,6 +9,18 @@
 //! of utilizations. [`run_offline`] replays a trace through a solver and
 //! produces a [`TemperatureLog`]; [`run_offline_cluster`] does the same for
 //! a whole room.
+//!
+//! For fleet-scale replay the in-RAM CSV path does not cut it: the
+//! [`events`] submodule defines `mercury-events-v1`, a compact binary
+//! trace format, [`stream`] replays `.events` files out of core
+//! (memory-mapped or buffered) with flat memory, and [`checkpoint`]
+//! serializes full solver state to `mercury-ckpt-v1` blobs so long
+//! replays can be cut at tick boundaries and resumed — or run in
+//! parallel across time segments — bit-identically.
+
+pub mod checkpoint;
+pub mod events;
+pub mod stream;
 
 use crate::error::Error;
 use crate::fiddle::FiddleScript;
@@ -16,7 +28,7 @@ use crate::model::{ClusterModel, MachineModel};
 use crate::solver::{ClusterSolver, Solver, SolverConfig};
 use crate::units::{Celsius, Seconds, Utilization};
 use serde::{Deserialize, Serialize};
-use std::io::Write;
+use std::io::{BufRead, Write};
 use std::sync::Arc;
 
 /// A fixed-interval recording of component utilizations for one machine.
@@ -212,12 +224,39 @@ impl UtilizationTrace {
     ///
     /// Returns [`Error::InvalidInput`] for malformed headers, rows of the
     /// wrong width, or non-numeric utilizations.
+    #[deprecated(
+        since = "0.1.0",
+        note = "holds the whole file in RAM; use `read_csv_from` with a `BufRead` instead"
+    )]
     pub fn read_csv(text: &str) -> Result<UtilizationTrace, Error> {
-        let mut lines = text.lines();
-        let header = lines
-            .next()
-            .ok_or_else(|| Error::invalid_input("empty trace file"))?;
-        let header = header
+        Self::read_csv_from(text.as_bytes())
+    }
+
+    /// Reads a trace from any [`BufRead`] source producing the CSV format
+    /// of [`UtilizationTrace::write_csv`], line by line — the raw text is
+    /// never held in memory, only the parsed samples. This is the reader
+    /// `mercury-traceconv` uses so a multi-gigabyte CSV streams straight
+    /// into the (much smaller) parsed representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] for malformed headers, rows of the
+    /// wrong width, or non-numeric utilizations, and [`Error::Io`] for
+    /// reader failures.
+    pub fn read_csv_from<R: BufRead>(mut reader: R) -> Result<UtilizationTrace, Error> {
+        let mut line = String::new();
+        let mut read_line = |line: &mut String| -> Result<bool, Error> {
+            line.clear();
+            let n = reader.read_line(line)?;
+            while line.ends_with('\n') || line.ends_with('\r') {
+                line.pop();
+            }
+            Ok(n > 0)
+        };
+        if !read_line(&mut line)? {
+            return Err(Error::invalid_input("empty trace file"));
+        }
+        let header = line
             .strip_prefix('#')
             .ok_or_else(|| Error::invalid_input("trace file is missing its `#` header"))?;
         let mut machine = String::new();
@@ -231,28 +270,25 @@ impl UtilizationTrace {
                     .map_err(|_| Error::invalid_input(format!("bad interval `{v}`")))?;
             }
         }
-        let columns = lines
-            .next()
-            .ok_or_else(|| Error::invalid_input("trace file is missing its column row"))?;
-        let components: Vec<String> = columns.split(',').skip(1).map(str::to_string).collect();
+        if !read_line(&mut line)? {
+            return Err(Error::invalid_input("trace file is missing its column row"));
+        }
+        let components: Vec<String> = line.split(',').skip(1).map(str::to_string).collect();
         let mut trace = UtilizationTrace::new(machine, interval, components)?;
-        for (number, line) in lines.enumerate() {
+        let mut row = Vec::with_capacity(trace.components.len());
+        let mut number = 0usize;
+        while read_line(&mut line)? {
+            number += 1;
             if line.trim().is_empty() {
                 continue;
             }
-            let values: Result<Vec<f64>, Error> = line
-                .split(',')
-                .skip(1)
-                .map(|v| {
-                    v.parse::<f64>().map_err(|_| {
-                        Error::invalid_input(format!(
-                            "row {}: `{v}` is not a utilization",
-                            number + 3
-                        ))
-                    })
-                })
-                .collect();
-            trace.push_row(&values?)?;
+            row.clear();
+            for v in line.split(',').skip(1) {
+                row.push(v.parse::<f64>().map_err(|_| {
+                    Error::invalid_input(format!("row {}: `{v}` is not a utilization", number + 2))
+                })?);
+            }
+            trace.push_row(&row)?;
         }
         Ok(trace)
     }
@@ -558,7 +594,7 @@ mod tests {
         // ...and so does a CSV round-trip, with equal content.
         let mut buf = Vec::new();
         trace.write_csv(&mut buf).unwrap();
-        let back = UtilizationTrace::read_csv(&String::from_utf8(buf).unwrap()).unwrap();
+        let back = UtilizationTrace::read_csv_from(&buf[..]).unwrap();
         assert!(!trace.shares_components_with(&back));
         assert_eq!(back.components(), trace.components());
     }
@@ -630,19 +666,32 @@ mod tests {
         trace.write_csv(&mut buffer).unwrap();
         let text = String::from_utf8(buffer).unwrap();
         assert!(text.starts_with("# machine=server interval_s=1"));
-        let back = UtilizationTrace::read_csv(&text).unwrap();
+        let back = UtilizationTrace::read_csv_from(text.as_bytes()).unwrap();
         assert_eq!(back, trace);
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_str_reader_delegates_to_the_streaming_one() {
+        let trace = staircase_trace("server");
+        let mut buffer = Vec::new();
+        trace.write_csv(&mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        let old = UtilizationTrace::read_csv(&text).unwrap();
+        let new = UtilizationTrace::read_csv_from(text.as_bytes()).unwrap();
+        assert_eq!(old, new);
+    }
+
+    #[test]
     fn utilization_trace_csv_rejects_garbage() {
-        assert!(UtilizationTrace::read_csv("").is_err());
-        assert!(UtilizationTrace::read_csv("time,cpu\n0,0.5\n").is_err()); // no header
-        assert!(UtilizationTrace::read_csv("# machine=m interval_s=zero\ntime,cpu\n").is_err());
+        let read = |text: &str| UtilizationTrace::read_csv_from(text.as_bytes());
+        assert!(read("").is_err());
+        assert!(read("time,cpu\n0,0.5\n").is_err()); // no header
+        assert!(read("# machine=m interval_s=zero\ntime,cpu\n").is_err());
         let bad_row = "# machine=m interval_s=1\ntime,cpu\n0,not_a_number\n";
-        assert!(UtilizationTrace::read_csv(bad_row).is_err());
+        assert!(read(bad_row).is_err());
         let wrong_width = "# machine=m interval_s=1\ntime,cpu\n0,0.5,0.9\n";
-        assert!(UtilizationTrace::read_csv(wrong_width).is_err());
+        assert!(read(wrong_width).is_err());
     }
 
     #[test]

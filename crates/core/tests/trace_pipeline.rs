@@ -1,0 +1,411 @@
+//! End-to-end tests of the binary trace pipeline: CSV ↔ `.events`
+//! round-trips under the quantization contract, strict decode rejection,
+//! out-of-core replay equivalence (mapped vs buffered vs hand-rolled
+//! per-tick feeding) with flat decode memory, and checkpointed
+//! time-segment replay held bitwise-identical to the serial run at
+//! several thread counts.
+
+use mercury::presets;
+use mercury::solver::{ClusterSolver, SolverConfig};
+use mercury::trace::events::{self, quantize, QUANT_BOUND};
+use mercury::trace::stream::{ClusterBinding, EventsStream};
+use mercury::trace::UtilizationTrace;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monitored components of the Table 1 validation server, in a fixed
+/// order shared by every trace in these tests.
+const COMPONENTS: [&str; 2] = ["cpu", "disk_platters"];
+
+fn unique_path(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "mercury-pipeline-{}-{n}-{tag}.events",
+        std::process::id()
+    ))
+}
+
+/// A scope guard that deletes the file on drop, pass or fail.
+struct Cleanup(PathBuf);
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn write_events(traces: &[UtilizationTrace], tag: &str) -> (PathBuf, Cleanup) {
+    let (bytes, _) = events::encode_to_vec(traces).unwrap();
+    let path = unique_path(tag);
+    std::fs::write(&path, bytes).unwrap();
+    (path.clone(), Cleanup(path))
+}
+
+/// Builds one trace per machine over [`COMPONENTS`] from raw fractions.
+/// `rows[t][m * COMPONENTS.len() + c]` is machine `m`, component `c` at
+/// tick `t`.
+fn traces_from_rows(machines: usize, rows: &[Vec<f64>]) -> Vec<UtilizationTrace> {
+    (0..machines)
+        .map(|m| {
+            let mut t = UtilizationTrace::new(
+                format!("machine{}", m + 1),
+                1.0,
+                COMPONENTS.iter().map(|c| c.to_string()).collect(),
+            )
+            .unwrap();
+            for row in rows {
+                let w = COMPONENTS.len();
+                t.push_row(&row[m * w..(m + 1) * w]).unwrap();
+            }
+            t
+        })
+        .collect()
+}
+
+/// A blocky random workload: utilizations change only at segment
+/// boundaries so the encoder has real HOLD runs to find.
+fn blocky_rows() -> impl Strategy<Value = (usize, Vec<Vec<f64>>)> {
+    (2usize..5, 1usize..6).prop_flat_map(|(machines, blocks)| {
+        let width = machines * COMPONENTS.len();
+        (
+            Just(machines),
+            proptest::collection::vec(
+                (
+                    proptest::collection::vec(0.0f64..1.0, width..=width),
+                    1usize..12,
+                ),
+                blocks..=blocks,
+            ),
+        )
+            .prop_map(|(machines, blocks)| {
+                let rows = blocks
+                    .into_iter()
+                    .flat_map(|(row, repeat)| std::iter::repeat_n(row, repeat))
+                    .collect::<Vec<_>>();
+                (machines, rows)
+            })
+    })
+}
+
+fn cluster(n: usize, threads: usize) -> ClusterSolver {
+    let mut c = ClusterSolver::new(&presets::validation_cluster(n), SolverConfig::default())
+        .expect("preset cluster builds");
+    c.set_threads(threads);
+    c
+}
+
+fn temps_bits(c: &ClusterSolver) -> Vec<u64> {
+    (0..c.len())
+        .flat_map(|i| {
+            c.machine_at(i)
+                .temperatures()
+                .into_iter()
+                .map(|(_, t)| t.0.to_bits())
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// CSV ↔ `.events` ↔ CSV: one pass through the quantizer, then every
+    /// further conversion is bit-exact, and re-encoding a decode gives
+    /// back the identical byte stream (the encoder is canonical).
+    #[test]
+    fn csv_events_csv_round_trip((machines, rows) in blocky_rows()) {
+        let originals = traces_from_rows(machines, &rows);
+        let (bytes, stats) = events::encode_to_vec(&originals).unwrap();
+        prop_assert_eq!(stats.ticks as usize, rows.len());
+        let decoded = events::decode(&bytes).unwrap();
+        prop_assert_eq!(decoded.len(), originals.len());
+
+        for (original, roundtrip) in originals.iter().zip(&decoded) {
+            prop_assert_eq!(original.machine(), roundtrip.machine());
+            prop_assert_eq!(original.len(), roundtrip.len());
+            for t in 0..original.len() {
+                let time = mercury::units::Seconds(t as f64);
+                let a = original.at(time).unwrap();
+                let b = roundtrip.at(time).unwrap();
+                for (x, y) in a.iter().zip(b) {
+                    // The one lossy step: off-grid values move by at most
+                    // the quantization bound...
+                    prop_assert!((x.fraction() - y.fraction()).abs() <= QUANT_BOUND);
+                    // ...and land exactly on the dequantized grid.
+                    prop_assert_eq!(
+                        y.fraction().to_bits(),
+                        events::dequantize(quantize(x.fraction())).to_bits()
+                    );
+                }
+            }
+        }
+
+        // Canonical encoder: decode → encode is the identity on bytes.
+        let (bytes2, _) = events::encode_to_vec(&decoded).unwrap();
+        prop_assert_eq!(&bytes, &bytes2);
+
+        // CSV is exact from here on: decoded → CSV → parsed is bit-equal.
+        for trace in &decoded {
+            let mut csv = Vec::new();
+            trace.write_csv(&mut csv).unwrap();
+            let parsed = UtilizationTrace::read_csv_from(&csv[..]).unwrap();
+            prop_assert_eq!(parsed.machine(), trace.machine());
+            prop_assert_eq!(parsed.len(), trace.len());
+            for t in 0..trace.len() {
+                let time = mercury::units::Seconds(t as f64);
+                let a = trace.at(time).unwrap();
+                let b = parsed.at(time).unwrap();
+                for (x, y) in a.iter().zip(b) {
+                    prop_assert_eq!(x.fraction().to_bits(), y.fraction().to_bits());
+                }
+            }
+        }
+
+        // And the `.events` encoding of the CSV round-trip is again the
+        // same byte stream.
+        let reparsed: Vec<_> = decoded
+            .iter()
+            .map(|t| {
+                let mut csv = Vec::new();
+                t.write_csv(&mut csv).unwrap();
+                UtilizationTrace::read_csv_from(&csv[..]).unwrap()
+            })
+            .collect();
+        let (bytes3, _) = events::encode_to_vec(&reparsed).unwrap();
+        prop_assert_eq!(&bytes, &bytes3);
+    }
+}
+
+#[test]
+fn stream_rejects_corrupt_files() {
+    let rows: Vec<Vec<f64>> = (0..20)
+        .map(|t| vec![0.5, 0.25, (t / 7) as f64 * 0.1, 0.75])
+        .collect();
+    let traces = traces_from_rows(2, &rows);
+    let (bytes, _) = events::encode_to_vec(&traces).unwrap();
+
+    type Opener = fn(&std::path::Path) -> Result<EventsStream, mercury::Error>;
+    let modes: [Opener; 2] = [
+        |p| EventsStream::open_mapped(p),
+        |p| EventsStream::open_buffered(p),
+    ];
+
+    // Truncations must fail at open (header) or during replay (records),
+    // never succeed silently — in both modes.
+    for cut in [4usize, 20, bytes.len() / 2, bytes.len() - 1] {
+        let path = unique_path("corrupt");
+        let _guard = Cleanup(path.clone());
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        for open in modes {
+            let outcome = open(&path).and_then(|mut s| {
+                let mut c = cluster(2, 1);
+                let binding = ClusterBinding::new(s.header(), &c)?;
+                s.replay(&binding, &mut c).map(|_| ())
+            });
+            assert!(outcome.is_err(), "truncation at {cut} bytes was accepted");
+        }
+    }
+
+    // Bad magic and bad version fail at open in both modes.
+    for (offset, value) in [(0usize, 0xffu8), (8, 99)] {
+        let mut bad = bytes.clone();
+        bad[offset] ^= value;
+        let path = unique_path("corrupt");
+        let _guard = Cleanup(path.clone());
+        std::fs::write(&path, &bad).unwrap();
+        assert!(EventsStream::open_mapped(&path).is_err());
+        assert!(EventsStream::open_buffered(&path).is_err());
+    }
+
+    // Trailing garbage after the declared tick count fails during replay.
+    let mut padded = bytes.clone();
+    padded.extend_from_slice(&[0x03, 1, 0, 0, 0]); // one extra HOLD tick
+    let path = unique_path("corrupt");
+    let _guard = Cleanup(path.clone());
+    std::fs::write(&path, &padded).unwrap();
+    for open in modes {
+        let mut s = open(&path).unwrap();
+        let mut c = cluster(2, 1);
+        let binding = ClusterBinding::new(s.header(), &c).unwrap();
+        assert!(s.replay(&binding, &mut c).is_err());
+    }
+}
+
+#[test]
+fn binding_validates_shape_and_interval() {
+    let rows = vec![vec![0.5, 0.5]; 4];
+    let traces = traces_from_rows(1, &rows);
+    let (bytes, _) = events::encode_to_vec(&traces).unwrap();
+    let header = events::EventsHeader::parse(&bytes).unwrap().0;
+
+    // Unknown machine name.
+    let two = cluster(2, 1);
+    assert!(ClusterBinding::new(&header, &two).is_ok());
+    let mut renamed = header.clone();
+    renamed.machines[0] = "no-such-machine".into();
+    assert!(ClusterBinding::new(&renamed, &two).is_err());
+
+    // Unmonitored component and unknown node.
+    let mut shell = header.clone();
+    shell.components[0] = "disk_shell".into();
+    assert!(ClusterBinding::new(&shell, &two).is_err());
+    let mut ghost = header.clone();
+    ghost.components[0] = "no-such-node".into();
+    assert!(ClusterBinding::new(&ghost, &two).is_err());
+
+    // Interval must match dt bit-for-bit.
+    let mut coarse = header;
+    coarse.interval_s = 2.0;
+    assert!(ClusterBinding::new(&coarse, &two).is_err());
+}
+
+/// The replay core: mapped replay, buffered replay, and a hand-rolled
+/// per-tick `set_utilization` loop over the decoded trace all produce
+/// bitwise-identical trajectories, and the stream's decode memory stays
+/// flat from the first tick to the last.
+#[test]
+fn mapped_and_buffered_replay_match_per_tick_feeding() {
+    let rows: Vec<Vec<f64>> = (0..240)
+        .map(|t| {
+            let phase = t / 40; // six 40-tick blocks → real HOLD spans
+            vec![
+                0.1 * phase as f64,
+                0.9 - 0.1 * phase as f64,
+                if phase % 2 == 0 { 1.0 } else { 0.2 },
+                0.5,
+                0.33,
+                0.66,
+            ]
+        })
+        .collect();
+    let traces = traces_from_rows(3, &rows);
+    let (path, _guard) = write_events(&traces, "equiv");
+
+    // Ground truth: decode in RAM and feed tick by tick.
+    let mut truth = cluster(3, 1);
+    let decoded = events::decode(&std::fs::read(&path).unwrap()).unwrap();
+    for t in 0..rows.len() {
+        for trace in &decoded {
+            let row = trace.at(mercury::units::Seconds(t as f64)).unwrap();
+            let row: Vec<f64> = row.iter().map(|u| u.fraction()).collect();
+            for (c, component) in COMPONENTS.iter().enumerate() {
+                truth
+                    .machine_mut(trace.machine())
+                    .unwrap()
+                    .set_utilization(component, row[c])
+                    .unwrap();
+            }
+        }
+        truth.step_for(1);
+    }
+
+    type Opener = fn(&PathBuf) -> Result<EventsStream, mercury::Error>;
+    let modes: [(&str, Opener); 2] = [
+        ("mapped", |p| EventsStream::open_mapped(p)),
+        ("buffered", |p| EventsStream::open_buffered(p)),
+    ];
+    for (mode, open) in modes {
+        let mut stream = open(&path).unwrap();
+        assert_eq!(stream.is_mapped(), mode == "mapped");
+        let mut c = cluster(3, 1);
+        let binding = ClusterBinding::new(stream.header(), &c).unwrap();
+        let flat = stream.memory_bytes();
+        // Replay in uneven chunks so spans split across calls.
+        let mut done = 0u64;
+        for chunk in [7u64, 64, 1, 500] {
+            let stats = stream.replay_ticks(&binding, &mut c, chunk).unwrap();
+            done += stats.ticks;
+            assert_eq!(
+                stream.memory_bytes(),
+                flat,
+                "{mode} decode memory grew mid-replay"
+            );
+        }
+        assert_eq!(done, rows.len() as u64);
+        assert_eq!(stream.position(), rows.len() as u64);
+        assert_eq!(
+            temps_bits(&truth),
+            temps_bits(&c),
+            "{mode} replay diverged from per-tick feeding"
+        );
+        assert_eq!(c.time(), truth.time());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Checkpointed time-segment replay is bitwise-identical to the
+    /// uninterrupted serial run, at 1, 2, and 8 threads: cut the trace at
+    /// random boundaries, checkpoint the serial run at each cut, then
+    /// replay every segment from its checkpoint in parallel workers and
+    /// compare final (and per-boundary) state bit for bit.
+    #[test]
+    fn segmented_checkpoint_replay_is_bit_identical(
+        (machines, rows) in blocky_rows(),
+        cut_seed in 0usize..97,
+    ) {
+        let traces = traces_from_rows(machines, &rows);
+        let (path, _guard) = write_events(&traces, "segments");
+        let ticks = rows.len() as u64;
+
+        // Deterministic pseudo-random cut points inside (0, ticks).
+        let mut cuts: Vec<u64> = (1..ticks)
+            .filter(|t| (t * 31 + cut_seed as u64).is_multiple_of(5))
+            .take(3)
+            .collect();
+        cuts.dedup();
+        let mut bounds = vec![0u64];
+        bounds.append(&mut cuts);
+        bounds.push(ticks);
+
+        for threads in [1usize, 2, 8] {
+            // Serial reference run, checkpointing at every boundary.
+            let mut serial = cluster(machines, threads);
+            let mut stream = EventsStream::open(&path).unwrap();
+            let binding = ClusterBinding::new(stream.header(), &serial).unwrap();
+            let mut blobs = vec![serial.checkpoint()];
+            for pair in bounds.windows(2) {
+                stream
+                    .replay_ticks(&binding, &mut serial, pair[1] - pair[0])
+                    .unwrap();
+                blobs.push(serial.checkpoint());
+            }
+
+            // Parallel segment workers: restore blob i, seek, replay the
+            // segment, and return the end-of-segment checkpoint.
+            let ends: Vec<Vec<u8>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = bounds
+                    .windows(2)
+                    .enumerate()
+                    .map(|(i, pair)| {
+                        let (start, end) = (pair[0], pair[1]);
+                        let blob = &blobs[i];
+                        let path = &path;
+                        scope.spawn(move || {
+                            let mut c = cluster(machines, threads);
+                            c.restore_checkpoint(blob).unwrap();
+                            let mut s = EventsStream::open(path).unwrap();
+                            let b = ClusterBinding::new(s.header(), &c).unwrap();
+                            s.seek(start).unwrap();
+                            let stats = s.replay_ticks(&b, &mut c, end - start).unwrap();
+                            assert_eq!(stats.ticks, end - start);
+                            c.checkpoint()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+
+            for (i, end_blob) in ends.iter().enumerate() {
+                prop_assert!(
+                    end_blob == &blobs[i + 1],
+                    "segment {} of {} diverged at {} threads",
+                    i,
+                    bounds.len() - 1,
+                    threads
+                );
+            }
+        }
+    }
+}

@@ -814,8 +814,26 @@ pub fn bench_solver() -> Result {
         "\"sampler_overhead\": {{\n    \"model\": \"validation_cluster(1024)\",\n    \"ticks\": {sampler_ticks},\n    \"runs\": {sampler_runs},\n    \"off_seconds\": {sampler_off_s:.4},\n    \"hz1_seconds\": {sampler_1hz_s:.4},\n    \"hz10_seconds\": {sampler_10hz_s:.4},\n    \"hz1_overhead_pct\": {sampler_1hz_pct:.2},\n    \"hz10_overhead_pct\": {sampler_10hz_pct:.2}\n  }}"
     );
 
+    // --- out-of-core .events replay: the fleet-scale trace pipeline ------
+    // Same harness as `experiments replay` (which can refresh just this
+    // section): synthesize a 1024-machine blocky trace, verify the
+    // checkpointed parallel segments bitwise, then time repeated
+    // out-of-core passes. Its three gates (≥100k machine-ticks/s, flat
+    // RSS, bit-identical segments) are hard failures here too.
+    let replay_bench = {
+        let path = std::env::temp_dir().join(format!(
+            "mercury-bench-replay-{}.events",
+            std::process::id()
+        ));
+        crate::replay::synthesize_events(&path, 1024, 2000)?;
+        let bench = crate::replay::bench_replay(&path, 1024, 3, 4, 1);
+        let _ = std::fs::remove_file(&path);
+        bench?
+    };
+    let replay_json = replay_bench.to_json();
+
     let json = format!(
-        "{{\n  \"hardware\": {{ \"cores\": {cores}, \"peak_rss_bytes\": {rss} }},\n  \"single_machine\": {{\n    \"model\": \"validation_machine\",\n    \"ticks\": {ticks},\n    \"reference_ticks_per_sec\": {machine_ref_tps:.1},\n    \"kernel_ticks_per_sec\": {machine_kern_tps:.1},\n    \"speedup\": {machine_speedup:.2}\n  }},\n  \"cluster_64\": {{\n    \"model\": \"validation_cluster(64)\",\n    \"ticks\": {cluster_ticks},\n    \"reference_seconds\": {cluster_ref_s:.3},\n    \"kernel_serial_seconds\": {cluster_serial_s:.3},\n    \"kernel_batched_seconds\": {cluster_batched_s:.3},\n    {parallel_json},\n    \"reference_ticks_per_sec\": {cluster_ref_tps:.1},\n    \"kernel_serial_ticks_per_sec\": {cluster_serial_tps:.1},\n    \"kernel_batched_ticks_per_sec\": {cluster_batched_tps:.1},\n    \"speedup_vs_reference\": {cluster_speedup:.2}\n  }},\n  {s256},\n  {s1024},\n  {pool_256_json},\n  {pool_1024_json},\n  {fused_256_json},\n  {fused_1024_json},\n  {simd_json},\n  {telemetry_json},\n  {trace_json},\n  {sampler_json}\n}}\n"
+        "{{\n  \"hardware\": {{ \"cores\": {cores}, \"peak_rss_bytes\": {rss} }},\n  \"single_machine\": {{\n    \"model\": \"validation_machine\",\n    \"ticks\": {ticks},\n    \"reference_ticks_per_sec\": {machine_ref_tps:.1},\n    \"kernel_ticks_per_sec\": {machine_kern_tps:.1},\n    \"speedup\": {machine_speedup:.2}\n  }},\n  \"cluster_64\": {{\n    \"model\": \"validation_cluster(64)\",\n    \"ticks\": {cluster_ticks},\n    \"reference_seconds\": {cluster_ref_s:.3},\n    \"kernel_serial_seconds\": {cluster_serial_s:.3},\n    \"kernel_batched_seconds\": {cluster_batched_s:.3},\n    {parallel_json},\n    \"reference_ticks_per_sec\": {cluster_ref_tps:.1},\n    \"kernel_serial_ticks_per_sec\": {cluster_serial_tps:.1},\n    \"kernel_batched_ticks_per_sec\": {cluster_batched_tps:.1},\n    \"speedup_vs_reference\": {cluster_speedup:.2}\n  }},\n  {s256},\n  {s1024},\n  {pool_256_json},\n  {pool_1024_json},\n  {fused_256_json},\n  {fused_1024_json},\n  {simd_json},\n  {telemetry_json},\n  {trace_json},\n  {sampler_json},\n  {replay_json}\n}}\n"
     );
     std::fs::write("BENCH_solver.json", &json)?;
     println!("wrote BENCH_solver.json");
@@ -937,5 +955,17 @@ pub fn bench_solver() -> Result {
         )
         .into());
     }
+    measured(&format!(
+        "out-of-core replay: {} passes of {} ticks x {} machines in {:.2} s \
+         ({:.2}M machine-ticks/s, {} segments, RSS growth {} bytes)",
+        replay_bench.passes,
+        replay_bench.ticks,
+        replay_bench.machines,
+        replay_bench.serial_seconds,
+        replay_bench.machine_ticks_per_sec() / 1e6,
+        replay_bench.segments,
+        replay_bench.rss_growth_bytes(),
+    ));
+    crate::replay::gate(&replay_bench)?;
     Ok(())
 }

@@ -17,6 +17,7 @@ mod extensions;
 mod fluent;
 mod freon_exp;
 mod misc;
+mod replay;
 mod scenarios;
 mod validation;
 
@@ -38,6 +39,10 @@ usage: experiments <subcommand>
   table_drops       Freon vs the traditional red-line baseline
   micro             solver-iteration and sensor-read latency micro numbers
   bench_solver      step-kernel vs seed-algorithm throughput -> BENCH_solver.json
+  replay            out-of-core .events fleet replay: throughput, flat-RSS,
+                    and checkpointed parallel time segments vs serial
+                    (--machines/--ticks/--passes/--segments/--threads/--events;
+                     updates the replay section of BENCH_solver.json)
   ablation_controller   PD vs P-only vs bang-bang admission control
   ablation_projection   Freon-EC projection horizon 0/1/2/4 intervals
   ablation_substeps     solver stability-limit sweep (accuracy vs cost)
@@ -89,6 +94,7 @@ fn run_with(command: &str, args: &[String]) -> Result<(), Box<dyn std::error::Er
         "table_drops" => freon_exp::table_drops(),
         "micro" => misc::micro(),
         "bench_solver" => bench_solver::bench_solver(),
+        "replay" => replay::replay(args),
         "ablation_controller" => ablation::controller(),
         "ablation_projection" => ablation::projection(),
         "ablation_substeps" => ablation::substeps(),

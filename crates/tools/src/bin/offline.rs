@@ -37,10 +37,17 @@ fn run() -> Result<(), String> {
         args.value("model").unwrap_or("table1"),
         args.value("machine"),
     )?;
-    let trace_path = args.require("trace")?;
-    let trace_text = std::fs::read_to_string(trace_path)
+    // `--trace` is a boolean flag in the shared parser (mercury-solverd
+    // uses it for span tracing), so its file argument arrives as the
+    // first positional word.
+    let trace_path = args
+        .value("trace")
+        .or_else(|| args.positional().first().map(String::as_str))
+        .ok_or("missing required --trace <TRACE.csv>")?;
+    let trace_file = std::fs::File::open(trace_path)
         .map_err(|e| format!("cannot read trace `{trace_path}`: {e}"))?;
-    let trace = UtilizationTrace::read_csv(&trace_text).map_err(|e| e.to_string())?;
+    let trace = UtilizationTrace::read_csv_from(std::io::BufReader::new(trace_file))
+        .map_err(|e| format!("`{trace_path}`: {e}"))?;
     let script = match args.value("script") {
         Some(path) => {
             let text = std::fs::read_to_string(path)

@@ -1,0 +1,254 @@
+//! `mercury-traceconv` — convert utilization traces to and from the
+//! `mercury-events-v1` binary format.
+//!
+//! CSV is the human-facing trace format; `.events` is the replay format:
+//! one preprocessing pass quantizes every sample to 16 bits, delta/RLE-
+//! compresses input-stable spans, and writes a file the replay engine
+//! memory-maps and feeds to `ClusterSolver::step_for` out of core (see
+//! DESIGN.md "The binary trace pipeline").
+//!
+//! ```text
+//! usage: mercury-traceconv <command> [options]
+//!
+//!   encode TRACE.csv...        CSVs (one per machine) -> one .events file
+//!     --out FLEET.events         output path (required)
+//!     --replicate N              replicate a single input CSV across
+//!                                machine1..machineN before encoding
+//!
+//!   decode FLEET.events        .events -> one CSV per machine
+//!     --out-dir DIR              output directory (default .)
+//!
+//!   workload WORKLOAD.json     workload-gen trace -> .events
+//!     --out FLEET.events         output path (required)
+//!     --machines N               fleet size (default 1)
+//!     --interval-s S             solver tick length (default 1)
+//!     --peak-rps R               offered rate that saturates a component
+//!                                (default: the trace's own peak second)
+//!     --components LIST          comma-separated component names
+//!                                (default cpu)
+//!
+//!   info FLEET.events          print the header without decoding frames
+//! ```
+//!
+//! Streaming by construction: `encode` reads CSVs through `BufRead` line
+//! by line and `decode` writes CSVs row by row, so neither ever holds a
+//! whole text file in RAM.
+
+use mercury::trace::events::{self, EventsHeader};
+use mercury::trace::UtilizationTrace;
+use mercury_tools::Args;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write as _};
+use std::path::Path;
+
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("mercury-traceconv: {message}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut raw = std::env::args().skip(1).peekable();
+    let command = raw.next().unwrap_or_else(|| "help".to_string());
+    let args = Args::parse(raw);
+    match command.as_str() {
+        "encode" => encode(&args),
+        "decode" => decode(&args),
+        "workload" => workload(&args),
+        "info" => info(&args),
+        "help" | "--help" => {
+            eprintln!(
+                "usage: mercury-traceconv encode|decode|workload|info ... (see --help text \
+                 in the source header)"
+            );
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown command `{other}` (expected encode, decode, workload, or info)"
+        )),
+    }
+}
+
+fn read_csv(path: &str) -> Result<UtilizationTrace, String> {
+    let file = File::open(path).map_err(|e| format!("cannot read trace `{path}`: {e}"))?;
+    UtilizationTrace::read_csv_from(BufReader::new(file)).map_err(|e| format!("`{path}`: {e}"))
+}
+
+fn write_events(path: &str, traces: &[UtilizationTrace]) -> Result<events::EncodeStats, String> {
+    let file = File::create(path).map_err(|e| format!("cannot create `{path}`: {e}"))?;
+    let mut out = BufWriter::new(file);
+    let stats = events::encode(traces, &mut out).map_err(|e| e.to_string())?;
+    out.flush()
+        .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    Ok(stats)
+}
+
+fn report(path: &str, stats: &events::EncodeStats, machines: usize) {
+    eprintln!(
+        "wrote {path}: {machines} machines x {} ticks in {} bytes \
+         ({} full, {} delta frames; {} ticks held across {} holds)",
+        stats.ticks,
+        stats.bytes,
+        stats.full_frames,
+        stats.delta_frames,
+        stats.held_ticks,
+        stats.hold_records
+    );
+}
+
+fn encode(args: &Args) -> Result<(), String> {
+    let out = args.require("out")?;
+    let inputs = args.positional();
+    if inputs.is_empty() {
+        return Err("encode needs at least one TRACE.csv argument".into());
+    }
+    let mut traces = Vec::new();
+    if let Some(n) = args.value("replicate") {
+        let n: usize = n
+            .parse()
+            .map_err(|_| format!("--replicate `{n}` is not a number"))?;
+        if inputs.len() != 1 {
+            return Err("--replicate takes exactly one input CSV".into());
+        }
+        if n == 0 {
+            return Err("--replicate needs at least one machine".into());
+        }
+        let base = read_csv(&inputs[0])?;
+        traces.extend((0..n).map(|i| base.replicate_for(format!("machine{}", i + 1))));
+    } else {
+        for path in inputs {
+            traces.push(read_csv(path)?);
+        }
+    }
+    let stats = write_events(out, &traces)?;
+    report(out, &stats, traces.len());
+    Ok(())
+}
+
+fn decode(args: &Args) -> Result<(), String> {
+    let [input] = args.positional() else {
+        return Err("decode takes exactly one FLEET.events argument".into());
+    };
+    let out_dir = Path::new(args.value("out-dir").unwrap_or("."));
+    let bytes = std::fs::read(input).map_err(|e| format!("cannot read `{input}`: {e}"))?;
+    let traces = events::decode(&bytes).map_err(|e| format!("`{input}`: {e}"))?;
+    std::fs::create_dir_all(out_dir)
+        .map_err(|e| format!("cannot create `{}`: {e}", out_dir.display()))?;
+    for trace in &traces {
+        let path = out_dir.join(format!("{}.csv", trace.machine()));
+        let file =
+            File::create(&path).map_err(|e| format!("cannot create `{}`: {e}", path.display()))?;
+        let mut w = BufWriter::new(file);
+        trace
+            .write_csv(&mut w)
+            .and_then(|()| w.flush().map_err(Into::into))
+            .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+    }
+    eprintln!(
+        "decoded {input}: {} machines x {} ticks into {}",
+        traces.len(),
+        traces.first().map_or(0, UtilizationTrace::len),
+        out_dir.display()
+    );
+    Ok(())
+}
+
+fn workload(args: &Args) -> Result<(), String> {
+    let [input] = args.positional() else {
+        return Err("workload takes exactly one WORKLOAD.json argument".into());
+    };
+    let out = args.require("out")?;
+    let machines: usize = args.value("machines").unwrap_or("1").parse().map_err(|_| {
+        format!(
+            "--machines `{}` is not a number",
+            args.value("machines").unwrap_or_default()
+        )
+    })?;
+    if machines == 0 {
+        return Err("--machines needs at least one machine".into());
+    }
+    let interval_s: u64 = args
+        .value("interval-s")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "--interval-s must be a whole number of seconds".to_string())?;
+    if interval_s == 0 {
+        return Err("--interval-s must be at least 1".into());
+    }
+    let components: Vec<String> = args
+        .value("components")
+        .unwrap_or("cpu")
+        .split(',')
+        .map(|c| c.trim().to_string())
+        .filter(|c| !c.is_empty())
+        .collect();
+
+    let text = std::fs::read_to_string(input).map_err(|e| format!("cannot read `{input}`: {e}"))?;
+    let trace =
+        workload_gen::WorkloadTrace::from_json(&text).map_err(|e| format!("`{input}`: {e}"))?;
+    let peak_rps = match args.value("peak-rps") {
+        Some(v) => v
+            .parse::<f64>()
+            .ok()
+            .filter(|p| p.is_finite() && *p > 0.0)
+            .ok_or_else(|| format!("--peak-rps `{v}` is not a positive number"))?,
+        // Default: the busiest second saturates the components.
+        None => (0..trace.duration_s())
+            .map(|t| f64::from(trace.offered_at(t)))
+            .fold(1.0, f64::max),
+    };
+    let series = trace.utilization_series(interval_s, peak_rps);
+
+    let mut base = UtilizationTrace::new("machine1", interval_s as f64, components.clone())
+        .map_err(|e| e.to_string())?;
+    let mut row = vec![0.0; components.len()];
+    for u in &series {
+        row.fill(*u);
+        base.push_row(&row).map_err(|e| e.to_string())?;
+    }
+    let traces: Vec<UtilizationTrace> = std::iter::once(base.clone())
+        .chain((1..machines).map(|i| base.replicate_for(format!("machine{}", i + 1))))
+        .collect();
+    let stats = write_events(out, &traces)?;
+    eprintln!(
+        "converted {input} ({} requests over {} s, peak {peak_rps:.1} rps)",
+        trace.total_requests(),
+        trace.duration_s()
+    );
+    report(out, &stats, traces.len());
+    Ok(())
+}
+
+fn info(args: &Args) -> Result<(), String> {
+    let [input] = args.positional() else {
+        return Err("info takes exactly one FLEET.events argument".into());
+    };
+    let bytes = std::fs::read(input).map_err(|e| format!("cannot read `{input}`: {e}"))?;
+    let (header, header_len) =
+        EventsHeader::parse(&bytes).map_err(|e| format!("`{input}`: {e}"))?;
+    println!("file:        {input}");
+    println!("format:      mercury-events-v{}", events::VERSION);
+    println!("interval:    {} s", header.interval_s);
+    println!("machines:    {}", header.machines.len());
+    println!("components:  {}", header.components.join(", "));
+    println!("ticks:       {}", header.ticks);
+    println!(
+        "size:        {} bytes ({} header + {} records)",
+        bytes.len(),
+        header_len,
+        bytes.len() - header_len
+    );
+    let cells = header.cells() as u64;
+    let raw = header.ticks * cells * 2;
+    if raw > 0 {
+        println!(
+            "compression: {:.2}x vs uncompressed frames",
+            raw as f64 / (bytes.len() - header_len).max(1) as f64
+        );
+    }
+    Ok(())
+}

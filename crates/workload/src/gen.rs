@@ -190,6 +190,35 @@ impl WorkloadTrace {
     pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(text)
     }
+
+    /// Converts the offered load to a component-utilization series: the
+    /// mean offered rate over each `interval_s`-second bucket divided by
+    /// `peak_rps` (the rate that saturates the component), clamped to
+    /// `[0, 1]`. This is how `mercury-traceconv` turns a generated
+    /// workload into solver inputs without this crate depending on the
+    /// solver.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `interval_s` is zero or `peak_rps` is not a positive
+    /// finite number.
+    pub fn utilization_series(&self, interval_s: u64, peak_rps: f64) -> Vec<f64> {
+        assert!(interval_s > 0, "interval must be at least one second");
+        assert!(
+            peak_rps.is_finite() && peak_rps > 0.0,
+            "peak rate must be positive"
+        );
+        let buckets = self.duration_s().div_ceil(interval_s);
+        (0..buckets)
+            .map(|b| {
+                let start = b * interval_s;
+                let end = (start + interval_s).min(self.duration_s());
+                let offered: u64 = (start..end).map(|t| u64::from(self.offered_at(t))).sum();
+                let mean = offered as f64 / (end - start) as f64;
+                (mean / peak_rps).clamp(0.0, 1.0)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -210,6 +239,26 @@ mod tests {
         assert_eq!(t1, t2);
         let t3 = paper_generator(8).generate(500);
         assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn utilization_series_buckets_and_clamps() {
+        let trace = paper_generator(42).generate(100);
+        // A saturation rate well below the offered load clamps at 1.
+        assert!(trace.utilization_series(10, 1e-3).iter().all(|u| *u == 1.0));
+        // Bucketing conserves the offered total (peak chosen so nothing
+        // clamps; a 1 s bucket is just offered/peak).
+        let peak = 10.0 * trace.total_requests() as f64;
+        let per_second = trace.utilization_series(1, peak);
+        assert_eq!(per_second.len(), 100);
+        for (t, u) in per_second.iter().enumerate() {
+            assert_eq!(*u, f64::from(trace.offered_at(t as u64)) / peak);
+        }
+        // A coarse bucket is the mean of its seconds.
+        let coarse = trace.utilization_series(25, peak);
+        assert_eq!(coarse.len(), 4);
+        let mean: f64 = per_second[..25].iter().sum::<f64>() / 25.0;
+        assert!((coarse[0] - mean).abs() < 1e-12);
     }
 
     #[test]
